@@ -1,0 +1,82 @@
+"""Ablation: what produces the Fig. 4 shape — latency degradation vs
+capacity sharing.
+
+DESIGN.md calls out two mechanisms in the memory-bandwidth model:
+
+1. the *latency degradation* other traffic imposes on a core's achievable
+   bandwidth (``bw_latency_alpha``), and
+2. the *capacity sharing* discipline once the socket pool saturates
+   (max-min vs proportional).
+
+This bench sweeps both on the Fig. 4 scenario.  With ``alpha = 0`` the
+early part of the curve flattens (1x/3x membw no longer hurt STREAM,
+because raw demands still fit the pool) — showing the latency term is
+what reproduces the paper's early degradation — while the sharing
+discipline only matters once the pool saturates at high instance counts.
+"""
+
+from conftest import emit
+
+from repro.apps import StreamBenchmark
+from repro.cluster import Cluster, MachineSpec
+from repro.core import MemBw
+from repro.experiments.common import format_table
+from repro.resources.fairshare import max_min_fair_share, proportional_share
+
+COUNTS = (0, 1, 3, 7, 15)
+
+
+def _sweep(alpha, share_fn):
+    spec = MachineSpec.voltrino().with_overrides(bw_latency_alpha=alpha)
+    rates = []
+    for n in COUNTS:
+        cluster = Cluster(num_nodes=1, spec=spec, share_fn=share_fn)
+        stream = StreamBenchmark()
+        stream.launch(cluster, "node0", core=0)
+        for i in range(n):
+            MemBw().launch(cluster, "node0", core=1 + i)
+        cluster.sim.run(until=500)
+        rates.append(stream.best_rate() / 1e9)
+    return rates
+
+
+class BandwidthModelAblation:
+    def __init__(self, rows):
+        self.rows = rows
+
+    def render(self):
+        return format_table(
+            ["model variant"] + [f"{n}x" for n in COUNTS],
+            [(label, *series) for label, series in self.rows],
+            title="Ablation: STREAM GB/s under membw, by bandwidth model",
+        )
+
+
+def test_ablation_bandwidth_model(benchmark):
+    def run():
+        return BandwidthModelAblation(
+            [
+                ("alpha=1.0, max-min", _sweep(1.0, max_min_fair_share)),
+                ("alpha=0.5, max-min", _sweep(0.5, max_min_fair_share)),
+                ("alpha=0.0, max-min", _sweep(0.0, max_min_fair_share)),
+                ("alpha=0.0, proportional", _sweep(0.0, proportional_share)),
+            ]
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(result)
+    series = dict(result.rows)
+    full = series["alpha=1.0, max-min"]
+    no_latency = series["alpha=0.0, max-min"]
+    # The latency term produces the early degradation: without it, a
+    # single membw instance leaves STREAM untouched; with it, STREAM
+    # already loses >15% (the paper's Fig. 4 shows the early drop).
+    assert no_latency[1] > 0.99 * no_latency[0]
+    assert full[1] < 0.85 * full[0]
+    # All variants agree the curve is monotone non-increasing.
+    for label, rates in result.rows:
+        assert all(a >= b - 1e-9 for a, b in zip(rates, rates[1:])), label
+    # The sharing discipline only matters once the pool saturates: the
+    # 15x points differ between max-min and proportional at alpha=0.
+    prop = series["alpha=0.0, proportional"]
+    assert abs(prop[-1] - no_latency[-1]) > 0.05

@@ -1,0 +1,78 @@
+"""Ablation: which metric families carry the diagnosis signal.
+
+Drops one sampler family at a time from the diagnosis feature set and
+re-evaluates the random forest, mirroring the paper's observation that
+missing memory-bandwidth metrics cause the cpuoccupy/membw/cachecopy
+confusion.
+"""
+
+from conftest import emit
+
+from repro.analytics.diagnosis import DiagnosisDataset, DiagnosisPipeline
+from repro.analytics.forest import RandomForestClassifier
+from repro.analytics.features import STAT_NAMES
+from repro.experiments.common import format_table
+from repro.experiments.diagnosis_data import build_dataset, generate_runs
+
+FAMILIES = ("procstat", "meminfo", "vmstat", "spapiHASW", "aries_nic_mmr")
+
+
+def _drop_family(dataset: DiagnosisDataset, family: str) -> DiagnosisDataset:
+    keep = [
+        i
+        for i, name in enumerate(dataset.feature_names)
+        if f"::{family}__" not in name
+    ]
+    return DiagnosisDataset(
+        X=dataset.X[:, keep],
+        y=dataset.y,
+        feature_names=[dataset.feature_names[i] for i in keep],
+        groups=dataset.groups,
+    )
+
+
+class FeatureFamilyAblation:
+    def __init__(self, rows):
+        self.rows = rows
+
+    def render(self):
+        return format_table(
+            ["feature set", "RandomForest macro F1"],
+            self.rows,
+            title="Ablation: dropping metric families from diagnosis",
+        )
+
+
+def test_ablation_features(benchmark):
+    def run():
+        runs = generate_runs(iterations=30, seed=2)
+        dataset = build_dataset(runs, window=20, stride=10)
+        rows = []
+        # Only the random forest matters here; skip the other two models.
+        pipeline = DiagnosisPipeline(
+            models={
+                "RandomForest": lambda: RandomForestClassifier(
+                    n_estimators=40, seed=2
+                )
+            },
+            folds=3,
+            seed=2,
+        )
+        full = pipeline.evaluate(dataset)["RandomForest"].macro_f1
+        rows.append(("all families", full))
+        for family in FAMILIES:
+            reduced = _drop_family(dataset, family)
+            score = pipeline.evaluate(reduced)["RandomForest"].macro_f1
+            rows.append((f"without {family}", score))
+        return FeatureFamilyAblation(rows)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(result)
+    scores = dict(result.rows)
+    full = scores["all families"]
+    assert full > 0.7
+    # Sanity: each feature vector length is a multiple of the stat count.
+    assert len(STAT_NAMES) == 11
+    # No single family is load-bearing enough to collapse diagnosis
+    # entirely, but dropping the hardware counters must not help.
+    assert scores["without spapiHASW"] <= full + 0.05

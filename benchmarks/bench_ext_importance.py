@@ -1,0 +1,19 @@
+"""Extension: forest feature importances over the diagnosis dataset."""
+
+from conftest import emit
+
+from repro.experiments.ext_importance import run_ext_importance
+
+
+def test_ext_importance(benchmark):
+    result = benchmark.pedantic(run_ext_importance, rounds=1, iterations=1)
+    emit(result)
+    assert len(result.top_features) == 10
+    # Importances are a distribution over features.
+    total = sum(result.family_importance.values())
+    assert 0.99 < total < 1.01
+    # CPU utilisation and hardware-counter families carry most of the
+    # signal (the same families whose removal costs the most F1 in the
+    # feature ablation).
+    fam = result.family_importance
+    assert fam["procstat"] + fam["spapiHASW"] + fam["meminfo"] > 0.6

@@ -1,0 +1,21 @@
+"""Extension: online diagnosis timeline with detection latency."""
+
+from conftest import emit
+
+from repro.experiments import run_ext_online
+
+
+def test_ext_online(benchmark):
+    result = benchmark.pedantic(run_ext_online, rounds=1, iterations=1)
+    emit(result)
+    report = result.report
+    # The diagnoser is right for most of the timeline...
+    assert report.accuracy > 0.75
+    # ...and names the injected anomaly within a window-and-a-half of its
+    # onset (the runtime-phase responsiveness of the paper's framework).
+    assert report.detection_latency is not None
+    assert report.detection_latency <= 35.0
+    # The anomaly window is dominated by the correct label.
+    start, end = result.anomaly_window
+    inside = report.labels_between(start + 25, end)
+    assert inside and inside.count("cachecopy") / len(inside) > 0.6

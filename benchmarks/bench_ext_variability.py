@@ -1,0 +1,21 @@
+"""Extension: Varbench-style induced-variability characterisation."""
+
+from conftest import emit
+
+from repro.experiments import run_ext_variability
+
+
+def test_ext_variability(benchmark):
+    result = benchmark.pedantic(run_ext_variability, rounds=1, iterations=1)
+    emit(result)
+    reports = result.reports
+    clean = reports["none"]
+    # Clean runs are nearly deterministic (only app jitter).
+    assert clean.coefficient_of_variation < 0.02
+    # Randomly-phased CPU-path anomalies induce real run-to-run
+    # variability on the CPU-bound app; memleak does not.
+    for label in ("cpuoccupy", "membw"):
+        report = reports[label]
+        assert report.mean > clean.mean
+        assert report.coefficient_of_variation > 3 * clean.coefficient_of_variation
+    assert reports["memleak"].coefficient_of_variation < 0.02

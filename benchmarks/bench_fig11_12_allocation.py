@@ -1,0 +1,17 @@
+"""Figs. 11-12: RR vs WBAS allocation under anomalies."""
+
+from conftest import emit
+
+from repro.experiments import run_fig11_12
+
+
+def test_fig11_12(benchmark):
+    result = benchmark.pedantic(run_fig11_12, rounds=1, iterations=1)
+    emit(result)
+    # Fig 11: RR walks straight into the anomalies; WBAS avoids node0
+    # (cpuoccupy) and node2 (memleak).
+    assert result.allocations["RoundRobin"] == ["node0", "node1", "node2", "node3"]
+    wbas_nodes = result.allocations["WBAS"]
+    assert "node0" not in wbas_nodes and "node2" not in wbas_nodes
+    # Fig 12: WBAS cuts execution time substantially (paper: 26%).
+    assert 0.1 < result.improvement() < 0.6

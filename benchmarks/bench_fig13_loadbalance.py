@@ -1,0 +1,21 @@
+"""Fig. 13: stencil iteration time vs cpuoccupy for two load balancers."""
+
+from conftest import emit
+
+from repro.experiments import run_fig13
+
+
+def test_fig13(benchmark):
+    result = benchmark.pedantic(run_fig13, rounds=1, iterations=1)
+    emit(result)
+    lb_obj = dict(zip(result.utilizations, result.time_per_iter["LBObjOnly"]))
+    greedy = dict(zip(result.utilizations, result.time_per_iter["GreedyRefineLB"]))
+    # Equal with no anomaly.
+    assert abs(lb_obj[0] - greedy[0]) < 0.02 * lb_obj[0]
+    # GreedyRefine wins clearly through the mid-range (< 16 CPUs).
+    for pct in (200, 400, 800, 1200):
+        assert greedy[pct] < 0.85 * lb_obj[pct]
+    # The balancers converge when the anomaly occupies most cores.
+    assert greedy[3200] > 0.95 * lb_obj[3200]
+    # LBObjOnly pays the occupied-core price as soon as any core is hit.
+    assert lb_obj[200] > 1.5 * lb_obj[0]

@@ -1,0 +1,15 @@
+"""Fig. 2: cpuoccupy intensity tracks measured CPU utilisation."""
+
+from conftest import emit
+
+from repro.experiments import run_fig2
+
+
+def test_fig2(benchmark):
+    result = benchmark.pedantic(run_fig2, rounds=1, iterations=1)
+    emit(result)
+    # Utilisation tracks the knob within the OS-jitter floor (< 1%).
+    for intensity, util in zip(result.intensities, result.utilizations):
+        assert abs(util - intensity) < 1.0
+    # Monotone in intensity.
+    assert result.utilizations == sorted(result.utilizations)

@@ -1,0 +1,17 @@
+"""Fig. 3: cachecopy working-set size vs miniGhost L3 MPKI."""
+
+from conftest import emit
+
+from repro.experiments import run_fig3
+
+
+def test_fig3(benchmark):
+    result = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
+    emit(result)
+    for machine in result.machines:
+        mpki = result.mpki[machine]
+        # MPKI grows monotonically with the anomaly's working-set level.
+        assert mpki["none"] < mpki["L1"] < mpki["L2"] < mpki["L3"]
+    # Chameleon (smaller L3) suffers more than Voltrino at every level.
+    for level in ("none", "L1", "L2", "L3"):
+        assert result.mpki["chameleon"][level] > result.mpki["voltrino"][level]

@@ -1,0 +1,18 @@
+"""Fig. 4: membw slashes STREAM bandwidth; cachecopy does not."""
+
+from conftest import emit
+
+from repro.experiments import run_fig4
+
+
+def test_fig4(benchmark):
+    result = benchmark.pedantic(run_fig4, rounds=1, iterations=1)
+    emit(result)
+    rates = dict(zip(result.labels, result.best_rate_gbps))
+    # Strictly decreasing with membw instance count.
+    assert rates["none"] > rates["membw 1x"] > rates["membw 3x"]
+    assert rates["membw 3x"] > rates["membw 7x"] > rates["membw 15x"]
+    # 15 membw instances leave STREAM with a small fraction of its rate.
+    assert rates["membw 15x"] < 0.3 * rates["none"]
+    # cachecopy on 15 cores barely moves memory bandwidth (< 10%).
+    assert rates["cachecopy 15x"] > 0.9 * rates["none"]

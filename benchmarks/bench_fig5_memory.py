@@ -1,0 +1,26 @@
+"""Fig. 5: memory usage over time for memleak vs memeater."""
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments import run_fig5
+
+
+def test_fig5(benchmark):
+    result = benchmark.pedantic(run_fig5, rounds=1, iterations=1)
+    emit(result)
+    leak = result.usage_gb["memleak"]
+    eater = result.usage_gb["memeater"]
+    baseline = leak[2]
+    # memeater ramps quickly then stays flat.
+    assert eater[60] > baseline + 3.0
+    assert abs(eater[400] - eater[60]) < 0.2
+    # memleak keeps growing for its whole duration.
+    assert leak[150] > leak[60] > baseline
+    assert leak[440] > leak[150]
+    # Both release their memory once the duration elapses (t > 460).
+    assert abs(leak[-1] - baseline) < 0.2
+    assert abs(eater[-1] - baseline) < 0.2
+    # The leak's ramp is roughly linear (staircase at 1 Hz sampling).
+    mid = np.diff(leak[60:400])
+    assert np.all(mid >= -1e-6)

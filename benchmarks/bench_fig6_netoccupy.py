@@ -1,0 +1,21 @@
+"""Fig. 6: OSU bandwidth vs message size under netoccupy."""
+
+from conftest import emit
+
+from repro.experiments import run_fig6
+
+
+def test_fig6(benchmark):
+    result = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
+    emit(result)
+    clean = result.bandwidth_gbps[0]
+    # Bandwidth rises with message size (latency-bound -> peak).
+    assert clean == sorted(clean)
+    # More anomaly nodes -> less bandwidth, at every message size.
+    for i in range(len(result.message_sizes_kb)):
+        series = [result.bandwidth_gbps[n][i] for n in result.anomaly_nodes]
+        assert all(a >= b for a, b in zip(series, series[1:]))
+    # ... but the damage is bounded: adaptive routing over redundant
+    # links keeps the worst case above half the clean bandwidth.
+    worst = result.bandwidth_gbps[max(result.anomaly_nodes)]
+    assert all(w > 0.5 * c for w, c in zip(worst, clean))

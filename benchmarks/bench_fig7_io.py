@@ -1,0 +1,27 @@
+"""Fig. 7: I/O anomalies vs IOR on the Chameleon NFS appliance."""
+
+from conftest import emit
+
+from repro.experiments import run_fig7
+
+
+def test_fig7(benchmark):
+    result = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+    emit(result)
+    none = result.rows["none"]
+    iobw = result.rows["iobandwidth"]
+    iometa = result.rows["iometadata"]
+    # Both anomalies reduce every phase.
+    for phase in ("write", "access", "read"):
+        assert iobw[phase] < none[phase]
+        assert iometa[phase] < none[phase]
+    # iobandwidth hits the streaming phases hardest (paper: "impact of
+    # iobandwidth is higher ... single disk").
+    assert iobw["write"] < iometa["write"]
+    assert iobw["read"] < iometa["read"]
+    # iometadata also hurts streaming because the NFS appliance has no
+    # separate metadata server.
+    assert iometa["write"] < 0.5 * none["write"]
+    # The access (metadata) phase collapses under both anomalies.
+    assert iometa["access"] < 0.5 * none["access"]
+    assert iobw["access"] < 0.5 * none["access"]

@@ -1,0 +1,29 @@
+"""Fig. 8: application runtime under each anomaly."""
+
+from conftest import emit
+
+from repro.experiments import run_fig8
+
+CPU_APPS = ("CoMD", "miniMD", "sw4lite")
+MEM_APPS = ("cloverleaf", "milc", "miniAMR", "miniGhost")
+
+
+def test_fig8(benchmark):
+    result = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+    emit(result)
+    for app in CPU_APPS:
+        # CPU-intensive apps are heavily affected by cachecopy/cpuoccupy...
+        assert result.slowdown(app, "cachecopy") > 1.5
+        assert result.slowdown(app, "cpuoccupy") > 1.5
+        # ... and essentially immune to membw.
+        assert result.slowdown(app, "membw") < 1.1
+    for app in MEM_APPS:
+        # Memory-intensive apps are most impacted by membw.
+        assert result.slowdown(app, "membw") > 1.25
+        assert result.slowdown(app, "membw") > result.slowdown(app, "cpuoccupy")
+    for app in result.runtimes:
+        # Nobody is significantly affected by netoccupy (adaptive-routed
+        # fabric) nor by the memory-footprint anomalies.
+        assert result.slowdown(app, "netoccupy") < 1.15
+        assert result.slowdown(app, "memleak") < 1.1
+        assert result.slowdown(app, "memeater") < 1.1

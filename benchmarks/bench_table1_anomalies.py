@@ -1,0 +1,14 @@
+"""Table 1: the anomaly inventory and knob surface."""
+
+from conftest import emit
+
+from repro.core import ANOMALY_REGISTRY
+from repro.experiments import run_table1
+
+
+def test_table1(benchmark):
+    result = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    emit(result)
+    assert len(result.rows) == 8
+    names = {row[1] for row in result.rows}
+    assert names == set(ANOMALY_REGISTRY)

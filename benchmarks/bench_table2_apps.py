@@ -1,0 +1,13 @@
+"""Table 2: measured application characterisation matches the paper."""
+
+from conftest import emit
+
+from repro.experiments import run_table2
+
+
+def test_table2(benchmark):
+    result = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    emit(result)
+    assert len(result.rows) == 8
+    for row in result.rows:
+        assert row.matches_paper, f"{row.app} classified differently than Table 2"

@@ -1,0 +1,27 @@
+"""Benchmark harness configuration.
+
+Each ``bench_*.py`` regenerates one table or figure of the paper.  Run::
+
+    pytest benchmarks/ --benchmark-only -s
+
+``-s`` shows the printed rows/series (the same quantities the paper
+plots); every bench also asserts the qualitative shape the paper reports,
+so a silent model regression fails loudly.  Each rendered table is also
+written to ``results/<ResultType>.txt`` as a reproducibility artefact.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def emit(result) -> None:
+    """Print an experiment's table and archive it under ``results/``."""
+    text = result.render()
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    name = type(result).__name__.lstrip("_")
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

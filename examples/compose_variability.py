@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Composing complex variability patterns from anomaly instances.
+
+The paper notes (Sec. 3) that the intensity knobs and start/end times make
+it possible to compose complicated variability patterns from multiple
+anomaly instances.  This example builds a "noisy neighbour day" on one
+node: morning cache pressure, a midday bandwidth storm, and a slow
+afternoon memory leak — then shows the pattern in the monitoring data.
+
+Run:  python examples/compose_variability.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster import Cluster
+from repro.core import AnomalyInjector, Injection, make_anomaly
+from repro.monitoring import MetricService
+
+PHASES = [
+    # (what, knobs, core, start, duration)
+    ("cachecopy", {"cache": "L2", "rate": 0.6}, 1, 50.0, 150.0),
+    ("membw", {"rate": 0.8}, 2, 250.0, 100.0),
+    ("membw", {"rate": 0.8}, 3, 250.0, 100.0),
+    ("memleak", {"buffer_size": 64 << 20, "rate": 1.0}, 4, 400.0, 150.0),
+]
+
+
+def main() -> None:
+    cluster = Cluster.voltrino(num_nodes=2)
+    service = MetricService(cluster)
+    service.attach(end=600)
+
+    injector = AnomalyInjector(cluster)
+    for name, knobs, core, start, duration in PHASES:
+        injector.add(
+            Injection(
+                anomaly=make_anomaly(name, **knobs),
+                node="node0",
+                core=core,
+                start=start,
+                duration=duration,
+            )
+        )
+    injector.deploy()
+    cluster.sim.run(until=600)
+
+    util = service.series("node0", "user::procstat")
+    used = service.series("node0", "MemUsed::meminfo") / 1e9
+    print("time   util%   mem(GB)  active anomalies")
+    for t in range(0, 600, 50):
+        labels = ",".join(injector.active_labels(float(t))) or "-"
+        print(f"{t:4d} {util[t]:7.1f} {used[t]:8.2f}  {labels}")
+
+    print(f"\npeak utilization: {np.max(util):.1f}%  "
+          f"peak memory: {np.max(used):.2f} GB")
+    print("Each phase is visible in the LDMS-style series — this is the "
+          "composition workflow the paper describes.")
+
+
+if __name__ == "__main__":
+    main()

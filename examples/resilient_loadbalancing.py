@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Use case 3 (paper Sec. 5.3): build anomaly-resilient applications.
+
+Reproduces the Fig. 13 study: a Charm++-style 3D stencil on 32 cores,
+with cpuoccupy sweeping from 0% to 3200% of one CPU, under two load
+balancers.  The capacity-measuring GreedyRefineLB rides out the anomaly;
+the object-count-only balancer pays the slowest core's price.
+
+Run:  python examples/resilient_loadbalancing.py
+"""
+
+from __future__ import annotations
+
+from repro.cluster import Cluster
+from repro.core import CpuOccupy
+from repro.runtime import CharmRuntime, GreedyRefineLB, LBObjOnly, WorkObject
+
+
+def stencil_time(balancer, occupied_pct: int) -> float:
+    cluster = Cluster(num_nodes=1)
+    objects = [WorkObject(oid=i, load=3.2 / 96) for i in range(96)]
+    full, rem = divmod(occupied_pct, 100)
+    for core in range(min(full, 32)):
+        CpuOccupy(utilization=100).launch(cluster, "node0", core=core)
+    if rem and full < 32:
+        CpuOccupy(utilization=rem).launch(cluster, "node0", core=full)
+    runtime = CharmRuntime(
+        cluster, "node0", list(range(32)), objects, balancer, iterations=8
+    )
+    runtime.run(timeout=3_600)
+    return runtime.mean_iteration_time(skip=2)
+
+
+def main() -> None:
+    print(f"{'cpuoccupy %':>12s} {'LBObjOnly':>12s} {'GreedyRefineLB':>15s}")
+    for pct in (0, 200, 400, 800, 1600, 2400, 3200):
+        naive = stencil_time(LBObjOnly(), pct)
+        greedy = stencil_time(GreedyRefineLB(), pct)
+        marker = "  <- Greedy avoids the occupied cores" if greedy < 0.9 * naive else ""
+        print(f"{pct:12d} {naive:12.4f} {greedy:15.4f}{marker}")
+    print(
+        "\nTakeaway: a balancer that measures delivered core capacity keeps\n"
+        "iteration times near-nominal until the anomaly floods most cores —\n"
+        "the resilience argument of the paper's Sec. 5.3."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed editable on machines without the ``wheel`` package
+(PEP 660 editable installs need it):
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

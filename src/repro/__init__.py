@@ -1,0 +1,27 @@
+"""HPAS reproduction: an HPC Performance Anomaly Suite on a simulated substrate.
+
+This package reproduces *HPAS: An HPC Performance Anomaly Suite for
+Reproducing Performance Variations* (Ates et al., ICPP 2019) in pure Python.
+Because the original suite creates *physical* contention on real hardware —
+which a Python process cannot do precisely — the reproduction runs on a
+deterministic fluid-rate simulation of an HPC cluster (CPU, cache hierarchy,
+memory, Aries-like network, shared filesystem) and implements the full HPAS
+anomaly suite, benchmark applications, LDMS-style monitoring, the ML
+diagnosis pipeline, allocation policies and the load-balancing runtime on
+top of that substrate.
+
+Public entry points
+-------------------
+:class:`repro.cluster.Cluster`
+    Build a simulated machine (Voltrino- or Chameleon-like).
+:mod:`repro.core`
+    The eight HPAS anomaly generators plus the injector.
+:mod:`repro.apps`
+    Benchmark applications (Mantevo proxies, STREAM, OSU, IOR, stencil).
+:mod:`repro.experiments`
+    One callable per paper figure/table.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

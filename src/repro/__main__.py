@@ -1,0 +1,5 @@
+"""``python -m repro`` entry point (HPAS-style CLI)."""
+
+from repro.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,32 @@
+"""Anomaly diagnosis analytics: features, tree models, metrics, pipeline.
+
+This subpackage reimplements — from scratch, on numpy — the machinery the
+paper's Sec. 5.1 borrows from Tuncer et al.: statistical feature extraction
+from monitoring time series, tree-based classifiers (decision tree, random
+forest, AdaBoost), and the evaluation harness (per-class F1, confusion
+matrix, stratified 3-fold cross-validation).
+"""
+
+from repro.analytics.features import extract_features, feature_names, windows
+from repro.analytics.tree import DecisionTreeClassifier
+from repro.analytics.forest import RandomForestClassifier
+from repro.analytics.adaboost import AdaBoostClassifier
+from repro.analytics.metrics import confusion_matrix, f1_scores, macro_f1
+from repro.analytics.crossval import cross_val_predict, stratified_kfold
+from repro.analytics.diagnosis import DiagnosisDataset, DiagnosisPipeline
+
+__all__ = [
+    "AdaBoostClassifier",
+    "DecisionTreeClassifier",
+    "DiagnosisDataset",
+    "DiagnosisPipeline",
+    "RandomForestClassifier",
+    "confusion_matrix",
+    "cross_val_predict",
+    "extract_features",
+    "f1_scores",
+    "feature_names",
+    "macro_f1",
+    "stratified_kfold",
+    "windows",
+]

@@ -1,0 +1,91 @@
+"""Multi-class AdaBoost (SAMME) on shallow CART trees."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analytics.tree import DecisionTreeClassifier
+from repro.errors import ConfigError
+
+
+class AdaBoostClassifier:
+    """SAMME boosting with depth-limited trees as weak learners.
+
+    Parameters
+    ----------
+    n_estimators:
+        Boosting rounds (early-stopped if a learner reaches zero error or
+        does no better than chance).
+    max_depth:
+        Depth of each weak learner (stumps-ish; 2 by default because
+        multi-class SAMME needs slightly more capacity than depth-1).
+    learning_rate:
+        Shrinkage on each learner's vote weight.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        max_depth: int = 2,
+        learning_rate: float = 1.0,
+        seed: int | None = None,
+    ) -> None:
+        if n_estimators < 1 or max_depth < 1 or learning_rate <= 0:
+            raise ConfigError("invalid AdaBoost parameters")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.learning_rate = learning_rate
+        self.seed = seed
+        self.learners_: list[DecisionTreeClassifier] = []
+        self.alphas_: list[float] = []
+        self.classes_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "AdaBoostClassifier":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y)
+        if X.shape[0] != y.shape[0] or X.shape[0] == 0:
+            raise ConfigError("X and y must be non-empty with matching N")
+        self.classes_ = np.unique(y)
+        k = len(self.classes_)
+        n = X.shape[0]
+        w = np.full(n, 1.0 / n)
+        self.learners_, self.alphas_ = [], []
+        for round_idx in range(self.n_estimators):
+            learner = DecisionTreeClassifier(
+                max_depth=self.max_depth, seed=self.seed
+            )
+            learner.fit(X, y, sample_weight=w)
+            pred = learner.predict(X)
+            miss = pred != y
+            err = float(np.sum(w[miss]) / np.sum(w))
+            if err <= 1e-12:
+                # perfect learner: give it a large vote and stop
+                self.learners_.append(learner)
+                self.alphas_.append(10.0)
+                break
+            if err >= 1.0 - 1.0 / k:
+                break  # no better than chance
+            alpha = self.learning_rate * (np.log((1 - err) / err) + np.log(k - 1))
+            self.learners_.append(learner)
+            self.alphas_.append(float(alpha))
+            w = w * np.exp(alpha * miss)
+            w /= w.sum()
+        if not self.learners_:
+            # degenerate data (e.g. single class): fall back to one learner
+            learner = DecisionTreeClassifier(max_depth=self.max_depth)
+            learner.fit(X, y)
+            self.learners_.append(learner)
+            self.alphas_.append(1.0)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if not self.learners_ or self.classes_ is None:
+            raise ConfigError("classifier is not fitted")
+        X = np.asarray(X, dtype=float)
+        votes = np.zeros((X.shape[0], len(self.classes_)))
+        class_pos = {c: i for i, c in enumerate(self.classes_)}
+        for learner, alpha in zip(self.learners_, self.alphas_):
+            pred = learner.predict(X)
+            for i, p in enumerate(pred):
+                votes[i, class_pos[p]] += alpha
+        return self.classes_[np.argmax(votes, axis=1)]

@@ -1,0 +1,85 @@
+"""Stratified k-fold cross-validation utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.sim.rng import spawn_rng
+
+
+def stratified_kfold(
+    y: np.ndarray,
+    k: int = 3,
+    seed: int | None = None,
+    groups: np.ndarray | None = None,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Return ``k`` (train_idx, test_idx) pairs with per-class balance.
+
+    Without ``groups``, samples of each class are shuffled
+    (deterministically from ``seed``) and dealt round-robin into folds.
+
+    With ``groups`` (e.g. the run a window came from), whole groups are
+    dealt into folds instead, so windows of the same monitored run never
+    straddle the train/test boundary — the split the paper's run-level
+    evaluation implies.  Each group must carry a single label.
+    """
+    y = np.asarray(y)
+    if k < 2:
+        raise ConfigError("k must be >= 2")
+    if y.size < k:
+        raise ConfigError("not enough samples for the requested folds")
+    rng = spawn_rng(seed, "kfold")
+    folds: list[list[int]] = [[] for _ in range(k)]
+    if groups is None:
+        for label in np.unique(y):
+            idx = np.nonzero(y == label)[0]
+            rng.shuffle(idx)
+            for i, sample in enumerate(idx):
+                folds[i % k].append(int(sample))
+    else:
+        groups = np.asarray(groups)
+        if groups.shape != y.shape:
+            raise ConfigError("groups must align with y")
+        group_label: dict = {}
+        for g, label in zip(groups.tolist(), y.tolist()):
+            if group_label.setdefault(g, label) != label:
+                raise ConfigError(f"group {g!r} has mixed labels")
+        for label in np.unique(y):
+            label_groups = sorted({g for g, lab in group_label.items() if lab == label})
+            order = rng.permutation(len(label_groups))
+            for i, gi in enumerate(order):
+                g = label_groups[gi]
+                members = np.nonzero(groups == g)[0]
+                folds[i % k].extend(int(m) for m in members)
+    out = []
+    all_idx = set(range(y.size))
+    for fold in folds:
+        test = np.asarray(sorted(fold), dtype=int)
+        train = np.asarray(sorted(all_idx - set(fold)), dtype=int)
+        out.append((train, test))
+    return out
+
+
+def cross_val_predict(
+    make_model,
+    X: np.ndarray,
+    y: np.ndarray,
+    k: int = 3,
+    seed: int | None = None,
+    groups: np.ndarray | None = None,
+) -> np.ndarray:
+    """Out-of-fold predictions for every sample.
+
+    ``make_model`` is a zero-argument factory returning a fresh,
+    unfitted classifier with ``fit``/``predict``.  ``groups`` keeps
+    same-run windows in the same fold (see :func:`stratified_kfold`).
+    """
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y)
+    predictions = np.empty(y.shape, dtype=y.dtype)
+    for train, test in stratified_kfold(y, k=k, seed=seed, groups=groups):
+        model = make_model()
+        model.fit(X[train], y[train])
+        predictions[test] = model.predict(X[test])
+    return predictions

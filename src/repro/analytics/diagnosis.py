@@ -1,0 +1,151 @@
+"""End-to-end anomaly diagnosis pipeline (paper Sec. 5.1).
+
+Offline phase: monitored runs with known anomaly labels are windowed and
+summarised into statistical features.  Runtime phase: tree-based models
+predict the root-cause label of unseen windows.  The evaluation mirrors the
+paper: 3-fold cross-validation, per-class F1 (Fig. 9), and the random
+forest's row-normalised confusion matrix (Fig. 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.analytics.adaboost import AdaBoostClassifier
+from repro.analytics.crossval import cross_val_predict
+from repro.analytics.features import extract_features, feature_names, windows
+from repro.analytics.forest import RandomForestClassifier
+from repro.analytics.metrics import (
+    confusion_matrix,
+    f1_scores,
+    macro_f1,
+    normalized_confusion,
+)
+from repro.analytics.tree import DecisionTreeClassifier
+from repro.errors import ConfigError
+
+#: the six diagnosis classes of Figs. 9-10
+DIAGNOSIS_CLASSES = (
+    "none",
+    "memleak",
+    "memeater",
+    "cpuoccupy",
+    "membw",
+    "cachecopy",
+)
+
+
+@dataclass
+class DiagnosisDataset:
+    """Feature matrix + labels assembled from monitored runs.
+
+    ``groups`` records which run each window came from, so the evaluation
+    can split folds at run granularity (windows of one run are strongly
+    correlated; splitting them across folds would leak).
+    """
+
+    X: np.ndarray
+    y: np.ndarray
+    feature_names: list[str] = field(default_factory=list)
+    groups: np.ndarray | None = None
+
+    @classmethod
+    def from_runs(
+        cls,
+        runs: list[tuple[np.ndarray, str]],
+        metrics: list[str],
+        window: int = 45,
+        stride: int | None = None,
+    ) -> "DiagnosisDataset":
+        """Build a dataset from ``(time_series_matrix, label)`` runs.
+
+        Each run's (T, M) node matrix is sliced into ``window``-sample
+        windows; every window becomes one labelled sample grouped by its
+        run index.
+        """
+        xs, ys, gs = [], [], []
+        for run_idx, (series, label) in enumerate(runs):
+            for win in windows(series, window, stride):
+                xs.append(extract_features(win))
+                ys.append(label)
+                gs.append(run_idx)
+        if not xs:
+            raise ConfigError("no windows produced — runs too short?")
+        return cls(
+            X=np.vstack(xs),
+            y=np.asarray(ys),
+            feature_names=feature_names(metrics),
+            groups=np.asarray(gs),
+        )
+
+    @property
+    def n_samples(self) -> int:
+        return self.X.shape[0]
+
+    def class_counts(self) -> dict[str, int]:
+        labels, counts = np.unique(self.y, return_counts=True)
+        return dict(zip(labels.tolist(), counts.tolist()))
+
+
+def default_models(seed: int | None = None) -> dict[str, Callable[[], object]]:
+    """The paper's three classifiers."""
+    return {
+        "DecisionTree": lambda: DecisionTreeClassifier(max_depth=8),
+        "AdaBoost": lambda: AdaBoostClassifier(n_estimators=40, max_depth=2, seed=seed),
+        "RandomForest": lambda: RandomForestClassifier(n_estimators=40, seed=seed),
+    }
+
+
+@dataclass
+class ModelReport:
+    """Cross-validated evaluation of one classifier."""
+
+    name: str
+    f1_per_class: dict
+    macro_f1: float
+    confusion: np.ndarray
+    labels: list
+
+
+class DiagnosisPipeline:
+    """Trains and evaluates the three classifiers on a dataset."""
+
+    def __init__(
+        self,
+        models: dict[str, Callable[[], object]] | None = None,
+        folds: int = 3,
+        seed: int | None = None,
+    ) -> None:
+        if folds < 2:
+            raise ConfigError("folds must be >= 2")
+        self.models = models if models is not None else default_models(seed)
+        self.folds = folds
+        self.seed = seed
+
+    def evaluate(self, dataset: DiagnosisDataset) -> dict[str, ModelReport]:
+        """3-fold cross-validated report per model (Figs. 9-10 inputs)."""
+        reports: dict[str, ModelReport] = {}
+        label_order = [c for c in DIAGNOSIS_CLASSES if c in set(dataset.y.tolist())]
+        extra = sorted(set(dataset.y.tolist()) - set(label_order))
+        label_order += extra
+        for name, factory in self.models.items():
+            pred = cross_val_predict(
+                factory,
+                dataset.X,
+                dataset.y,
+                k=self.folds,
+                seed=self.seed,
+                groups=dataset.groups,
+            )
+            matrix, labels = confusion_matrix(dataset.y, pred, labels=label_order)
+            reports[name] = ModelReport(
+                name=name,
+                f1_per_class=f1_scores(dataset.y, pred, labels=label_order),
+                macro_f1=macro_f1(dataset.y, pred, labels=label_order),
+                confusion=normalized_confusion(matrix),
+                labels=labels,
+            )
+        return reports

@@ -1,0 +1,90 @@
+"""Random forest classifier built on the CART tree."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analytics.tree import DecisionTreeClassifier
+from repro.errors import ConfigError
+from repro.sim.rng import spawn_rng
+
+
+class RandomForestClassifier:
+    """Bagged CART trees with per-split feature subsampling.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of trees.
+    max_depth / min_samples_leaf:
+        Passed to each tree.
+    max_features:
+        Features per split ("sqrt" default, the standard forest choice).
+    seed:
+        Controls bootstrap draws and per-tree feature subsampling.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        max_depth: int | None = None,
+        min_samples_leaf: int = 1,
+        max_features: int | str | None = "sqrt",
+        seed: int | None = None,
+    ) -> None:
+        if n_estimators < 1:
+            raise ConfigError("n_estimators must be >= 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self.trees_: list[DecisionTreeClassifier] = []
+        self.classes_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y)
+        if X.shape[0] != y.shape[0] or X.shape[0] == 0:
+            raise ConfigError("X and y must be non-empty with matching N")
+        self.classes_ = np.unique(y)
+        rng = spawn_rng(self.seed, "forest")
+        n = X.shape[0]
+        self.trees_ = []
+        for t in range(self.n_estimators):
+            idx = rng.integers(0, n, size=n)  # bootstrap
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                seed=int(rng.integers(0, 2**31 - 1)),
+            )
+            tree.fit(X[idx], y[idx])
+            self.trees_.append(tree)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Average of per-tree class probabilities over ``classes_``."""
+        if not self.trees_ or self.classes_ is None:
+            raise ConfigError("classifier is not fitted")
+        X = np.asarray(X, dtype=float)
+        total = np.zeros((X.shape[0], len(self.classes_)))
+        class_pos = {c: i for i, c in enumerate(self.classes_)}
+        for tree in self.trees_:
+            proba = tree.predict_proba(X)
+            cols = [class_pos[c] for c in tree.classes_]
+            total[:, cols] += proba
+        return total / len(self.trees_)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        proba = self.predict_proba(X)
+        assert self.classes_ is not None
+        return self.classes_[np.argmax(proba, axis=1)]
+
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        """Mean impurity-decrease importance across the forest's trees."""
+        if not self.trees_:
+            raise ConfigError("classifier is not fitted")
+        stacked = np.vstack([t.feature_importances_ for t in self.trees_])
+        return stacked.mean(axis=0)

@@ -1,0 +1,64 @@
+"""Classification metrics: confusion matrix and per-class F1."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def confusion_matrix(
+    y_true: np.ndarray, y_pred: np.ndarray, labels: list | None = None
+) -> tuple[np.ndarray, list]:
+    """Row-normalisable confusion matrix.
+
+    Returns ``(matrix, labels)`` where ``matrix[i, j]`` counts samples of
+    true class ``labels[i]`` predicted as ``labels[j]``.
+    """
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ConfigError("y_true and y_pred must have the same shape")
+    if labels is None:
+        labels = sorted(set(y_true.tolist()) | set(y_pred.tolist()))
+    pos = {label: i for i, label in enumerate(labels)}
+    matrix = np.zeros((len(labels), len(labels)), dtype=int)
+    for t, p in zip(y_true, y_pred):
+        matrix[pos[t], pos[p]] += 1
+    return matrix, list(labels)
+
+
+def normalized_confusion(matrix: np.ndarray) -> np.ndarray:
+    """Row-normalise a confusion matrix (rows with no samples stay zero)."""
+    matrix = np.asarray(matrix, dtype=float)
+    sums = matrix.sum(axis=1, keepdims=True)
+    out = np.zeros_like(matrix)
+    nonzero = sums[:, 0] > 0
+    out[nonzero] = matrix[nonzero] / sums[nonzero]
+    return out
+
+
+def f1_scores(
+    y_true: np.ndarray, y_pred: np.ndarray, labels: list | None = None
+) -> dict:
+    """Per-class F1 (harmonic mean of precision and recall)."""
+    matrix, labels = confusion_matrix(y_true, y_pred, labels)
+    out: dict = {}
+    for i, label in enumerate(labels):
+        tp = matrix[i, i]
+        fp = matrix[:, i].sum() - tp
+        fn = matrix[i, :].sum() - tp
+        precision = tp / (tp + fp) if tp + fp > 0 else 0.0
+        recall = tp / (tp + fn) if tp + fn > 0 else 0.0
+        out[label] = (
+            2 * precision * recall / (precision + recall)
+            if precision + recall > 0
+            else 0.0
+        )
+    return out
+
+
+def macro_f1(y_true: np.ndarray, y_pred: np.ndarray, labels: list | None = None) -> float:
+    """Unweighted mean of per-class F1 (the paper's overall score)."""
+    scores = f1_scores(y_true, y_pred, labels)
+    return float(np.mean(list(scores.values()))) if scores else 0.0

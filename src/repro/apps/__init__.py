@@ -1,0 +1,18 @@
+"""Benchmark applications: Mantevo-style proxies and measurement probes."""
+
+from repro.apps.base import AppJob, AppProfile, Application
+from repro.apps.registry import APP_REGISTRY, get_app
+from repro.apps.stream import StreamBenchmark
+from repro.apps.osu import OSUBandwidth
+from repro.apps.ior import IORBenchmark
+
+__all__ = [
+    "APP_REGISTRY",
+    "AppJob",
+    "AppProfile",
+    "Application",
+    "IORBenchmark",
+    "OSUBandwidth",
+    "StreamBenchmark",
+    "get_app",
+]

@@ -1,0 +1,245 @@
+"""Application modelling: profiles, rank bodies, and the job launcher.
+
+Every proxy application in the paper's Table 2 is bulk-synchronous: ranks
+compute, exchange halos, and synchronise each iteration.  An
+:class:`AppProfile` captures the per-rank, per-iteration resource demands
+(calibrated to the Table 2 characterisation), :class:`Application` turns it
+into rank bodies, and :class:`AppJob` launches one rank per core across a
+set of nodes and reports the job's execution time — the quantity Fig. 8
+plots under each anomaly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.cluster.cluster import Cluster
+from repro.errors import ConfigError
+from repro.mpi.comm import Barrier, p2p_transfer
+from repro.sim.process import Body, Segment, SimProcess
+from repro.sim.rng import spawn_rng
+
+
+@dataclass(frozen=True)
+class AppProfile:
+    """Per-rank, per-iteration resource demands of one application.
+
+    The three ``*_intensive`` flags are the paper's Table 2
+    characterisation; the numeric fields are what produce it (see
+    ``experiments/table2_characteristics.py`` for the measured
+    verification).
+    """
+
+    name: str
+    iterations: int
+    iter_seconds: float  # nominal compute time per iteration at full speed
+    ips: float  # instructions/s while computing
+    working_set: float  # bytes of cache-resident data per rank
+    cache_intensity: float
+    mpki_base: float
+    mpki_extra: float
+    miss_cpi_penalty: float
+    mem_bw: float  # bytes/s demanded from the socket pool
+    mem_bw_extra: float  # extra demand at full cache eviction
+    comm_bytes: float  # halo bytes sent per rank per iteration
+    mem_alloc: float  # resident set per rank (bytes)
+    cpu_intensive: bool = False
+    mem_intensive: bool = False
+    net_intensive: bool = False
+    jitter: float = 0.01  # relative per-iteration compute-time jitter
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1 or self.iter_seconds <= 0:
+            raise ConfigError("iterations >= 1 and iter_seconds > 0 required")
+        for fieldname in (
+            "ips",
+            "working_set",
+            "cache_intensity",
+            "mpki_base",
+            "mpki_extra",
+            "miss_cpi_penalty",
+            "mem_bw",
+            "mem_bw_extra",
+            "comm_bytes",
+            "mem_alloc",
+        ):
+            if getattr(self, fieldname) < 0:
+                raise ConfigError(f"{fieldname} must be >= 0")
+
+    @property
+    def nominal_runtime(self) -> float:
+        """Uncontended single-rank runtime (compute only)."""
+        return self.iterations * self.iter_seconds
+
+
+class Application:
+    """Turns an :class:`AppProfile` into runnable rank bodies."""
+
+    def __init__(self, profile: AppProfile) -> None:
+        self.profile = profile
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+    def scaled(self, iterations: int | None = None, **overrides) -> "Application":
+        """A copy with some profile fields replaced (e.g. short test runs)."""
+        profile = self.profile
+        if iterations is not None:
+            profile = replace(profile, iterations=iterations)
+        if overrides:
+            profile = replace(profile, **overrides)
+        return Application(profile)
+
+    def rank_body(
+        self,
+        proc: SimProcess,
+        rank: int,
+        peers: list[tuple[str, int]],
+        barrier: Barrier,
+        seed: int | None,
+        nic_bw: float,
+    ) -> Body:
+        """One MPI rank: alloc, iterate compute+halo+barrier, free."""
+        p = self.profile
+        cluster: Cluster = proc.sim.model.cluster  # type: ignore[attr-defined]
+        ledger = cluster.node(proc.node).memory
+        ledger.alloc(proc.pid, p.mem_alloc)
+        rng = spawn_rng(seed, f"{p.name}:rank{rank}")
+        try:
+            # Halo partner: the next rank in a ring; transfers only matter
+            # when the partner lives on a different node.
+            partner_node = peers[(rank + 1) % len(peers)][0] if peers else None
+            for it in range(p.iterations):
+                jitter = 1.0 + p.jitter * float(rng.standard_normal())
+                yield Segment(
+                    work=p.iter_seconds * max(0.2, jitter),
+                    cpu=1.0,
+                    ips=p.ips,
+                    cache_footprint={"L3": p.working_set},
+                    cache_intensity=p.cache_intensity,
+                    mpki_base=p.mpki_base,
+                    mpki_extra=p.mpki_extra,
+                    miss_cpi_penalty=p.miss_cpi_penalty,
+                    mem_bw=p.mem_bw,
+                    mem_bw_extra=p.mem_bw_extra,
+                    label=f"{p.name} iter {it}",
+                )
+                if p.comm_bytes > 0 and partner_node is not None and partner_node != proc.node:
+                    yield p2p_transfer(
+                        dst=partner_node,
+                        nbytes=p.comm_bytes,
+                        peak_bw=nic_bw * 0.5,
+                        label=f"{p.name} halo {it}",
+                    )
+                yield from barrier.wait()
+        finally:
+            ledger.free_all(proc.pid)
+
+
+class AppJob:
+    """A parallel run of an application on a cluster.
+
+    Parameters
+    ----------
+    app:
+        The application.
+    cluster:
+        Where to run.
+    nodes:
+        Node names/indices; ranks are placed round-robin: rank ``r`` goes
+        to ``nodes[r % len(nodes)]`` on core ``r // len(nodes)``.
+    ranks_per_node:
+        Ranks on each node (1 rank per logical core).
+    start:
+        Launch time.
+    seed:
+        Seed for per-rank jitter streams.
+    """
+
+    def __init__(
+        self,
+        app: Application,
+        cluster: Cluster,
+        nodes: list[str | int],
+        ranks_per_node: int = 1,
+        start: float = 0.0,
+        seed: int | None = None,
+    ) -> None:
+        if not nodes or ranks_per_node < 1:
+            raise ConfigError("need at least one node and one rank per node")
+        self.app = app
+        self.cluster = cluster
+        self.node_names = [cluster.node(n).name for n in nodes]
+        self.ranks_per_node = ranks_per_node
+        self.start = start
+        self.seed = seed
+        self.procs: list[SimProcess] = []
+        self._launched = False
+
+    @property
+    def n_ranks(self) -> int:
+        return len(self.node_names) * self.ranks_per_node
+
+    def placement(self) -> list[tuple[str, int]]:
+        """(node, core) per rank, round-robin across nodes."""
+        out = []
+        for r in range(self.n_ranks):
+            node = self.node_names[r % len(self.node_names)]
+            core = r // len(self.node_names)
+            out.append((node, core))
+        return out
+
+    def launch(self) -> list[SimProcess]:
+        if self._launched:
+            raise ConfigError("job already launched")
+        self._launched = True
+        peers = self.placement()
+        barrier = Barrier(self.cluster.sim, self.n_ranks, name=f"{self.app.name}-sync")
+        nic_bw = self.cluster.spec.nic_bw
+        for rank, (node, core) in enumerate(peers):
+            body = (
+                lambda proc, _rank=rank: self.app.rank_body(
+                    proc, _rank, peers, barrier, self.seed, nic_bw
+                )
+            )
+            self.procs.append(
+                self.cluster.spawn(
+                    name=f"{self.app.name}.r{rank}@{node}",
+                    body=body,
+                    node=node,
+                    core=core,
+                    at=self.start,
+                )
+            )
+        return self.procs
+
+    @property
+    def finished(self) -> bool:
+        return bool(self.procs) and all(p.state.terminal for p in self.procs)
+
+    @property
+    def crashed(self) -> bool:
+        return any(p.state.name == "KILLED" for p in self.procs)
+
+    def runtime(self) -> float:
+        """Job execution time: launch to last rank completion."""
+        if not self.finished:
+            raise ConfigError(f"job {self.app.name} has not finished")
+        end = max(p.end_time for p in self.procs if p.end_time is not None)
+        return end - self.start
+
+    def run(self, timeout: float = math.inf) -> float:
+        """Launch (if needed), simulate until the job completes, and
+        return the runtime.
+
+        The simulation stops as soon as every rank finishes — recurring
+        background events (monitoring ticks, other anomalies) do not keep
+        it running to the timeout.
+        """
+        if not self._launched:
+            self.launch()
+        sim = self.cluster.sim
+        sim.run(until=self.start + timeout, stop_when=lambda: self.finished)
+        return self.runtime()

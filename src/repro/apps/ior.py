@@ -1,0 +1,124 @@
+"""The IOR parallel filesystem benchmark (LLNL).
+
+Fig. 7 runs IOR on one Chameleon node while the I/O anomalies hammer the
+NFS appliance from four other nodes, and reports three phases:
+
+* **write** — streaming writes of the test file,
+* **access** — metadata-heavy open/stat/close sweeps over many small
+  files (reported as an effective MB/s of the small-block traffic),
+* **read** — streaming reads back.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.cluster import Cluster
+from repro.errors import ConfigError
+from repro.sim.process import Body, IODemand, Segment, SimProcess
+from repro.units import KB, MB10
+
+
+class IORBenchmark:
+    """Three-phase IOR run against a shared filesystem.
+
+    Parameters
+    ----------
+    fs:
+        Filesystem name.
+    file_bytes:
+        Bytes written (and read back) in the streaming phases.
+    access_files:
+        Files touched by the access phase (one open+stat+close plus one
+        4 KiB block each).
+    demand_bw:
+        Client-side streaming rate when the filesystem is idle.
+    """
+
+    PHASES = ("write", "access", "read")
+    #: bytes re-read per file in the access sweep (random small reads)
+    ACCESS_BLOCK = 256 * KB
+    ACCESS_OPS_PER_FILE = 3.0  # open + stat + close
+    ACCESS_OP_RATE = 900.0  # ops/s an uncontended client achieves
+
+    def __init__(
+        self,
+        fs: str = "nfs",
+        file_bytes: float = 4_000 * MB10,
+        access_files: int = 2_000,
+        demand_bw: float = 400 * MB10,
+    ) -> None:
+        if file_bytes <= 0 or access_files < 1 or demand_bw <= 0:
+            raise ConfigError("invalid IOR parameters")
+        self.fs = fs
+        self.file_bytes = file_bytes
+        self.access_files = access_files
+        self.demand_bw = demand_bw
+        self.proc: SimProcess | None = None
+        self._phase_marks: dict[str, tuple[float, float]] = {}
+
+    def body(self, proc: SimProcess) -> Body:
+        t0 = proc.now
+        yield Segment(
+            work=self.file_bytes / self.demand_bw,
+            cpu=0.3,
+            ips=0.3e9,
+            io=IODemand(fs=self.fs, write_bw=self.demand_bw, meta_ops=2.0),
+            label="ior write",
+        )
+        t1 = proc.now
+        ops = self.access_files * self.ACCESS_OPS_PER_FILE
+        yield Segment(
+            work=ops / self.ACCESS_OP_RATE,
+            cpu=0.3,
+            ips=0.2e9,
+            io=IODemand(
+                fs=self.fs,
+                meta_ops=self.ACCESS_OP_RATE,
+                read_bw=self.ACCESS_OP_RATE / self.ACCESS_OPS_PER_FILE * self.ACCESS_BLOCK,
+            ),
+            label="ior access",
+        )
+        t2 = proc.now
+        yield Segment(
+            work=self.file_bytes / self.demand_bw,
+            cpu=0.3,
+            ips=0.3e9,
+            io=IODemand(fs=self.fs, read_bw=self.demand_bw, meta_ops=2.0),
+            label="ior read",
+        )
+        t3 = proc.now
+        self._phase_marks = {
+            "write": (t0, t1),
+            "access": (t1, t2),
+            "read": (t2, t3),
+        }
+
+    def launch(
+        self, cluster: Cluster, node: str | int, core: int = 0, start: float = 0.0
+    ) -> SimProcess:
+        self.proc = cluster.spawn(
+            name=f"ior@{cluster.node(node).name}",
+            body=self.body,
+            node=cluster.node(node).name,
+            core=core,
+            at=start,
+        )
+        return self.proc
+
+    def phase_bandwidth(self) -> dict[str, float]:
+        """MB/s per phase (requires a finished run).
+
+        The access phase reports the effective rate of its small-block
+        traffic, so metadata starvation shows up on the same axis as the
+        streaming phases — matching how Fig. 7 plots all three bars.
+        """
+        if self.proc is None or not self._phase_marks:
+            raise ConfigError("IOR has not finished")
+        out: dict[str, float] = {}
+        for phase, (a, b) in self._phase_marks.items():
+            elapsed = max(b - a, 1e-12)
+            if phase == "access":
+                nbytes = self.access_files * self.ACCESS_BLOCK
+            else:
+                nbytes = self.file_bytes
+            out[phase] = nbytes / elapsed / MB10
+        return out

@@ -1,0 +1,75 @@
+"""OSU point-to-point bandwidth micro-benchmark.
+
+Fig. 6 measures bandwidth between two nodes on different switches while
+netoccupy streams between other node pairs.  The benchmark sends a train
+of messages of a given size and reports ``bytes / elapsed``; the
+achievable uncontended bandwidth follows the classic half-bandwidth-point
+curve (small messages are latency-bound).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.cluster import Cluster
+from repro.core.netoccupy import message_peak_bw
+from repro.errors import ConfigError
+from repro.mpi.comm import p2p_transfer
+from repro.sim.process import Body, SimProcess
+
+
+class OSUBandwidth:
+    """Measure p2p bandwidth for one message size between two nodes.
+
+    Parameters
+    ----------
+    message_size:
+        Bytes per message.
+    messages:
+        Messages in the train (the real benchmark uses a 64-deep window;
+        in the fluid model a train of blocking sends measures the same
+        steady-state rate).
+    """
+
+    def __init__(self, message_size: float, messages: int = 64) -> None:
+        if message_size <= 0 or messages < 1:
+            raise ConfigError("message_size > 0 and messages >= 1 required")
+        self.message_size = message_size
+        self.messages = messages
+        self.proc: SimProcess | None = None
+        self._dst: str | None = None
+
+    def body(self, proc: SimProcess) -> Body:
+        cluster: Cluster = proc.sim.model.cluster  # type: ignore[attr-defined]
+        nic_bw = cluster.node(proc.node).spec.nic_bw
+        peak = message_peak_bw(self.message_size, nic_bw)
+        assert self._dst is not None
+        for i in range(self.messages):
+            yield p2p_transfer(
+                dst=self._dst,
+                nbytes=self.message_size,
+                peak_bw=peak,
+                label=f"osu msg {i}",
+            )
+
+    def launch(
+        self,
+        cluster: Cluster,
+        src: str | int,
+        dst: str | int,
+        core: int = 0,
+        start: float = 0.0,
+    ) -> SimProcess:
+        self._dst = cluster.node(dst).name
+        self.proc = cluster.spawn(
+            name=f"osu@{cluster.node(src).name}",
+            body=self.body,
+            node=cluster.node(src).name,
+            core=core,
+            at=start,
+        )
+        return self.proc
+
+    def bandwidth(self) -> float:
+        """Measured bandwidth in bytes/s (requires a finished run)."""
+        if self.proc is None or not self.proc.state.terminal:
+            raise ConfigError("osu benchmark has not finished")
+        return self.message_size * self.messages / self.proc.runtime

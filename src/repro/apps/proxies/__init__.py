@@ -1,0 +1,38 @@
+"""The eight benchmark applications of the paper's Table 2.
+
+Each module defines one application's :class:`~repro.apps.base.AppProfile`
+calibrated to its Table 2 characterisation (CPU-, memory-, and/or
+network-intensive) and the paper's baseline runtimes in Fig. 8.
+"""
+
+from repro.apps.proxies.cloverleaf import CLOVERLEAF
+from repro.apps.proxies.comd import COMD
+from repro.apps.proxies.kripke import KRIPKE
+from repro.apps.proxies.milc import MILC
+from repro.apps.proxies.miniamr import MINIAMR
+from repro.apps.proxies.minighost import MINIGHOST
+from repro.apps.proxies.minimd import MINIMD
+from repro.apps.proxies.sw4lite import SW4LITE
+
+ALL_PROXIES = [
+    CLOVERLEAF,
+    COMD,
+    KRIPKE,
+    MILC,
+    MINIAMR,
+    MINIGHOST,
+    MINIMD,
+    SW4LITE,
+]
+
+__all__ = [
+    "ALL_PROXIES",
+    "CLOVERLEAF",
+    "COMD",
+    "KRIPKE",
+    "MILC",
+    "MINIAMR",
+    "MINIGHOST",
+    "MINIMD",
+    "SW4LITE",
+]

@@ -1,0 +1,26 @@
+"""Cloverleaf: hydrodynamics proxy (Mantevo).
+
+Table 2: memory-intensive.  Structured-grid Eulerian hydro sweeps stream
+large state arrays, so the profile demands high memory bandwidth with a
+working set well beyond the L3 share of one core.
+"""
+
+from repro.apps.base import AppProfile
+from repro.units import GB, GB10, MB
+
+CLOVERLEAF = AppProfile(
+    name="cloverleaf",
+    iterations=120,
+    iter_seconds=2.0,
+    ips=1.1e9,
+    working_set=30 * MB,
+    cache_intensity=1.0,
+    mpki_base=12.0,
+    mpki_extra=15.0,
+    miss_cpi_penalty=0.3,
+    mem_bw=9.5 * GB10,
+    mem_bw_extra=3.0 * GB10,
+    comm_bytes=2 * MB,
+    mem_alloc=1.5 * GB,
+    mem_intensive=True,
+)

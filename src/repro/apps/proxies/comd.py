@@ -1,0 +1,26 @@
+"""CoMD: classical molecular dynamics proxy (Mantevo).
+
+Table 2: CPU-intensive.  Force kernels run hot out of small caches — low
+memory-bandwidth demand, high instruction throughput, strongly sensitive
+to cache eviction and lost CPU cycles (Fig. 8's cachecopy/cpuoccupy rows).
+"""
+
+from repro.apps.base import AppProfile
+from repro.units import GB, GB10, KB, MB
+
+COMD = AppProfile(
+    name="CoMD",
+    iterations=100,
+    iter_seconds=1.5,
+    ips=2.3e9,
+    working_set=2.5 * MB,
+    cache_intensity=1.4,
+    mpki_base=0.3,
+    mpki_extra=6.0,
+    miss_cpi_penalty=1.0,
+    mem_bw=1.2 * GB10,
+    mem_bw_extra=2.0 * GB10,
+    comm_bytes=512 * KB,
+    mem_alloc=0.8 * GB,
+    cpu_intensive=True,
+)

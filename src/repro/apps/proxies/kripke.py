@@ -1,0 +1,27 @@
+"""Kripke: deterministic particle transport proxy (LLNL).
+
+Table 2: CPU- and memory-intensive.  Sweep kernels mix dense compute with
+large angular-flux arrays, so the profile sits between the pure-CPU and
+pure-memory families.
+"""
+
+from repro.apps.base import AppProfile
+from repro.units import GB, GB10, MB
+
+KRIPKE = AppProfile(
+    name="kripke",
+    iterations=130,
+    iter_seconds=1.7,
+    ips=1.9e9,
+    working_set=16 * MB,
+    cache_intensity=1.1,
+    mpki_base=6.0,
+    mpki_extra=10.0,
+    miss_cpi_penalty=0.6,
+    mem_bw=6.0 * GB10,
+    mem_bw_extra=2.5 * GB10,
+    comm_bytes=1 * MB,
+    mem_alloc=1.8 * GB,
+    cpu_intensive=True,
+    mem_intensive=True,
+)

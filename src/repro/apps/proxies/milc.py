@@ -1,0 +1,26 @@
+"""MILC: lattice quantum chromodynamics (MIMD Lattice Computation).
+
+Table 2: CPU- and memory-intensive.  Conjugate-gradient solves on lattice
+fields stream large vectors with moderate compute density.
+"""
+
+from repro.apps.base import AppProfile
+from repro.units import GB, GB10, MB
+
+MILC = AppProfile(
+    name="milc",
+    iterations=120,
+    iter_seconds=2.0,
+    ips=1.8e9,
+    working_set=20 * MB,
+    cache_intensity=1.0,
+    mpki_base=8.0,
+    mpki_extra=12.0,
+    miss_cpi_penalty=0.5,
+    mem_bw=7.5 * GB10,
+    mem_bw_extra=2.5 * GB10,
+    comm_bytes=4 * MB,
+    mem_alloc=2.0 * GB,
+    cpu_intensive=True,
+    mem_intensive=True,
+)

@@ -1,0 +1,26 @@
+"""miniAMR: adaptive mesh refinement proxy (Mantevo).
+
+Table 2: memory- and network-intensive.  Refinement churn streams blocks
+through memory and ships large ghost regions every cycle.
+"""
+
+from repro.apps.base import AppProfile
+from repro.units import GB, GB10, MB
+
+MINIAMR = AppProfile(
+    name="miniAMR",
+    iterations=130,
+    iter_seconds=1.8,
+    ips=1.2e9,
+    working_set=24 * MB,
+    cache_intensity=1.0,
+    mpki_base=10.0,
+    mpki_extra=14.0,
+    miss_cpi_penalty=0.35,
+    mem_bw=8.5 * GB10,
+    mem_bw_extra=3.0 * GB10,
+    comm_bytes=24 * MB,
+    mem_alloc=2.0 * GB,
+    mem_intensive=True,
+    net_intensive=True,
+)

@@ -1,0 +1,28 @@
+"""miniGhost: finite-difference stencil proxy with halo exchange (Mantevo).
+
+Table 2: memory- and network-intensive.  This is the victim application of
+Fig. 3 (cachecopy vs L3 MPKI): its working set (34 MB) fits Voltrino's
+40 MiB L3 but slightly overflows Chameleon's 30 MiB L3, so its baseline
+and contended MPKI are higher on Chameleon — the contrast the paper shows.
+"""
+
+from repro.apps.base import AppProfile
+from repro.units import GB, GB10, MB
+
+MINIGHOST = AppProfile(
+    name="miniGhost",
+    iterations=150,
+    iter_seconds=1.6,
+    ips=1.3e9,
+    working_set=34 * MB,
+    cache_intensity=1.0,
+    mpki_base=0.6,
+    mpki_extra=5.5,
+    miss_cpi_penalty=0.4,
+    mem_bw=8.0 * GB10,
+    mem_bw_extra=3.5 * GB10,
+    comm_bytes=16 * MB,
+    mem_alloc=1.6 * GB,
+    mem_intensive=True,
+    net_intensive=True,
+)

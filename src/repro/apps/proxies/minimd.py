@@ -1,0 +1,25 @@
+"""miniMD: molecular dynamics proxy (Mantevo).
+
+Table 2: CPU-intensive.  Lennard-Jones force loops with neighbour lists —
+compute-dense, cache-friendly, tiny bandwidth demand.
+"""
+
+from repro.apps.base import AppProfile
+from repro.units import GB, GB10, KB, MB
+
+MINIMD = AppProfile(
+    name="miniMD",
+    iterations=150,
+    iter_seconds=1.2,
+    ips=2.4e9,
+    working_set=2.0 * MB,
+    cache_intensity=1.5,
+    mpki_base=0.25,
+    mpki_extra=5.0,
+    miss_cpi_penalty=0.9,
+    mem_bw=1.0 * GB10,
+    mem_bw_extra=1.8 * GB10,
+    comm_bytes=256 * KB,
+    mem_alloc=0.6 * GB,
+    cpu_intensive=True,
+)

@@ -1,0 +1,26 @@
+"""SW4lite: seismic-wave propagation kernels (LLNL SW4 proxy).
+
+Table 2: CPU-intensive.  Fourth-order stencils with heavy per-point
+arithmetic; the app used in the allocation-policy case study (Figs. 11-12),
+where its 4-node runtime is ~322 s without anomalies.
+"""
+
+from repro.apps.base import AppProfile
+from repro.units import GB, GB10, MB
+
+SW4LITE = AppProfile(
+    name="sw4lite",
+    iterations=145,
+    iter_seconds=2.2,
+    ips=2.1e9,
+    working_set=4.0 * MB,
+    cache_intensity=1.3,
+    mpki_base=0.5,
+    mpki_extra=6.5,
+    miss_cpi_penalty=0.85,
+    mem_bw=1.8 * GB10,
+    mem_bw_extra=2.2 * GB10,
+    comm_bytes=1 * MB,
+    mem_alloc=1.2 * GB,
+    cpu_intensive=True,
+)

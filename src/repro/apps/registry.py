@@ -1,0 +1,18 @@
+"""Application registry keyed by the paper's app names."""
+
+from __future__ import annotations
+
+from repro.apps.base import Application, AppProfile
+from repro.apps.proxies import ALL_PROXIES
+from repro.errors import ConfigError
+
+APP_REGISTRY: dict[str, AppProfile] = {p.name: p for p in ALL_PROXIES}
+
+
+def get_app(name: str) -> Application:
+    """Look up an application by name (case-insensitive)."""
+    for key, profile in APP_REGISTRY.items():
+        if key.lower() == name.lower():
+            return Application(profile)
+    known = ", ".join(sorted(APP_REGISTRY))
+    raise ConfigError(f"unknown application {name!r} (known: {known})")

@@ -1,0 +1,68 @@
+"""The STREAM memory-bandwidth benchmark (McCalpin).
+
+Used by Fig. 4: STREAM runs on core 0 while membw/cachecopy instances
+occupy the socket's other cores.  The benchmark repeatedly executes triad
+sweeps at the single-core bandwidth limit; the "best rate" it reports is
+the highest per-iteration bandwidth observed.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.cluster import Cluster
+from repro.errors import ConfigError
+from repro.sim.process import Body, Segment, SimProcess
+from repro.units import KB
+
+
+class StreamBenchmark:
+    """Single-rank STREAM: triad sweeps at the core's bandwidth limit.
+
+    Parameters
+    ----------
+    array_bytes:
+        Bytes moved per triad iteration (3 arrays x N elements).
+    iterations:
+        Triad repetitions; STREAM reports the best (here: measured mean,
+        which equals the best in the deterministic fluid model).
+    """
+
+    def __init__(self, array_bytes: float = 2.4e9, iterations: int = 10) -> None:
+        if array_bytes <= 0 or iterations < 1:
+            raise ConfigError("array_bytes > 0 and iterations >= 1 required")
+        self.array_bytes = array_bytes
+        self.iterations = iterations
+        self.proc: SimProcess | None = None
+
+    def body(self, proc: SimProcess) -> Body:
+        cluster: Cluster = proc.sim.model.cluster  # type: ignore[attr-defined]
+        spec = cluster.node(proc.node).spec
+        peak = spec.core_mem_bw
+        for it in range(self.iterations):
+            yield Segment(
+                work=self.array_bytes / peak,
+                cpu=1.0,
+                ips=0.8e9,
+                # Non-cache-resident streaming: tiny footprint, every
+                # access misses.
+                cache_footprint={"L1": 32 * KB},
+                cache_intensity=0.3,
+                mpki_base=30.0,
+                mem_bw=peak,
+                label=f"triad {it}",
+            )
+
+    def launch(self, cluster: Cluster, node: str | int, core: int = 0, start: float = 0.0) -> SimProcess:
+        self.proc = cluster.spawn(
+            name=f"stream@{cluster.node(node).name}:c{core}",
+            body=self.body,
+            node=node if isinstance(node, str) else f"node{node}",
+            core=core,
+            at=start,
+        )
+        return self.proc
+
+    def best_rate(self) -> float:
+        """Measured bandwidth in bytes/s (requires a finished run)."""
+        if self.proc is None or not self.proc.state.terminal:
+            raise ConfigError("stream has not finished")
+        return self.proc.counters.get("mem_bytes", 0.0) / self.proc.runtime

@@ -1,0 +1,17 @@
+"""Analytic cache-hierarchy contention model."""
+
+from repro.cache.model import (
+    CacheDemand,
+    EvictionResult,
+    cascade_miss_factor,
+    inclusive_footprints,
+    solve_occupancy,
+)
+
+__all__ = [
+    "CacheDemand",
+    "EvictionResult",
+    "cascade_miss_factor",
+    "inclusive_footprints",
+    "solve_occupancy",
+]

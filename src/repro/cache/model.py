@@ -1,0 +1,173 @@
+"""Cache occupancy and eviction model.
+
+Real caches arbitrate capacity through replacement: under LRU-like
+policies, steady-state occupancy of co-running working sets is roughly
+proportional to each tenant's *access pressure times footprint*, capped by
+the footprint itself.  We solve exactly that:
+
+* if the combined footprints fit, nobody is evicted;
+* otherwise capacity is distributed proportionally to
+  ``intensity x footprint`` weights with per-tenant caps at the footprint,
+  redistributing leftovers (a weighted max-min on occupancy).
+
+Each tenant's *eviction fraction* ``e = 1 - occupancy / footprint`` then
+drives three observables in the rate model:
+
+* extra last-level misses (MPKI) via the machine's cascade weights,
+* a CPI stall penalty,
+* extra memory-bandwidth demand (evicted lines must be refetched).
+
+This reproduces the paper's Fig. 3: a ``cachecopy`` working set of L1 size
+steals mostly L1, which cascades weakly to L3 MPKI; an L3-sized set
+directly evicts from L3, which cascades at full weight — so the victim's
+L3 MPKI climbs monotonically with the anomaly's working-set size, and
+climbs further on Chameleon's smaller L3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import ResourceError
+from repro.sim.process import CACHE_LEVELS
+
+
+@dataclass(frozen=True)
+class CacheDemand:
+    """One tenant's demand on one cache domain."""
+
+    pid: int
+    footprint: float
+    intensity: float
+
+    def __post_init__(self) -> None:
+        if self.footprint < 0 or self.intensity < 0:
+            raise ResourceError("cache footprint and intensity must be >= 0")
+
+
+@dataclass(frozen=True)
+class EvictionResult:
+    """Per-tenant occupancy outcome for one cache domain."""
+
+    occupancy: float
+    eviction: float  # fraction of the footprint not resident, in [0, 1]
+
+
+def solve_occupancy(
+    capacity: float,
+    demands: Sequence[CacheDemand],
+    sharpness: float = 1.0,
+) -> dict[int, EvictionResult]:
+    """Distribute ``capacity`` bytes among competing working sets.
+
+    Parameters
+    ----------
+    capacity:
+        Domain capacity in bytes (e.g. one socket's L3).
+    demands:
+        Competing tenants.  Tenants with zero footprint get zero occupancy
+        and zero eviction.
+    sharpness:
+        Exponent applied to the pressure weights; 1.0 is the default
+        proportional model, larger values make high-intensity tenants win
+        more decisively (ablation knob).
+
+    Returns
+    -------
+    ``{pid: EvictionResult}``.
+    """
+    if capacity < 0:
+        raise ResourceError("cache capacity must be >= 0")
+    results: dict[int, EvictionResult] = {}
+    active = [d for d in demands if d.footprint > 0]
+    for d in demands:
+        if d.footprint <= 0:
+            results[d.pid] = EvictionResult(occupancy=0.0, eviction=0.0)
+
+    total_footprint = sum(d.footprint for d in active)
+    if total_footprint <= capacity:
+        for d in active:
+            results[d.pid] = EvictionResult(occupancy=d.footprint, eviction=0.0)
+        return results
+
+    # Weighted proportional fill with caps, redistributing leftover shares.
+    remaining = capacity
+    pending = list(active)
+    granted = {d.pid: 0.0 for d in active}
+    while pending and remaining > 1e-9:
+        weights = [
+            max(d.intensity, 1e-6) ** sharpness * (d.footprint - granted[d.pid])
+            for d in pending
+        ]
+        wsum = sum(weights)
+        if wsum <= 0:
+            break
+        next_pending = []
+        for d, w in zip(pending, weights):
+            share = remaining * w / wsum
+            room = d.footprint - granted[d.pid]
+            granted[d.pid] += min(share, room)
+            if granted[d.pid] < d.footprint - 1e-9:
+                next_pending.append(d)
+        spent = sum(granted.values())
+        remaining = capacity - spent
+        if len(next_pending) == len(pending) and remaining > 1e-9:
+            # Nobody reached their cap this round: shares are final.
+            break
+        pending = next_pending
+
+    for d in active:
+        occ = min(granted[d.pid], d.footprint)
+        ev = 0.0 if d.footprint == 0 else max(0.0, 1.0 - occ / d.footprint)
+        results[d.pid] = EvictionResult(occupancy=occ, eviction=ev)
+    return results
+
+
+def inclusive_footprints(
+    footprint: Mapping[str, float], cache_sizes: Mapping[str, float]
+) -> dict[str, float]:
+    """Normalise a per-level footprint map to the inclusive convention.
+
+    Callers may specify only the total working-set size under ``"L3"``
+    (or any subset of levels); missing levels inherit the largest declared
+    value, clamped to the level's capacity (a 10 MB set occupies at most
+    all of L1).  *Declared* levels keep their raw value even above the
+    level's capacity — an oversized working set must keep demanding more
+    than the level holds so its eviction fraction (and the resulting
+    refetch traffic) is computed correctly.
+    """
+    total = 0.0
+    for level in CACHE_LEVELS:
+        total = max(total, float(footprint.get(level, 0.0)))
+    out: dict[str, float] = {}
+    for level in CACHE_LEVELS:
+        explicit = footprint.get(level)
+        if explicit is not None:
+            out[level] = float(explicit)
+        else:
+            out[level] = min(total, float(cache_sizes[level]))
+    return out
+
+
+def cascade_miss_factor(
+    evictions: Mapping[str, float], cascade: tuple[float, float, float]
+) -> float:
+    """Combine per-level evictions into a single [0, 1+] miss-pressure factor.
+
+    ``cascade`` weights (c1, c2, c3) express how strongly eviction at each
+    level turns into last-level misses; the combined factor saturates at
+    the max per-level contribution plus a fraction of the rest, mimicking
+    partially-overlapping miss streams.
+    """
+    contributions = sorted(
+        (
+            cascade[0] * evictions.get("L1", 0.0),
+            cascade[1] * evictions.get("L2", 0.0),
+            cascade[2] * evictions.get("L3", 0.0),
+        ),
+        reverse=True,
+    )
+    # Dominant level counts fully; the others at 30% (their miss streams
+    # largely overlap with the dominant one).
+    return min(1.0, contributions[0] + 0.3 * (contributions[1] + contributions[2]))

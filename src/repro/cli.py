@@ -1,0 +1,109 @@
+"""Command-line front end mirroring the HPAS executables.
+
+The original suite ships binaries like ``hpas cpuoccupy -u 80``.  This
+module provides the same surface against the simulated substrate::
+
+    python -m repro cpuoccupy -u 80 -d 60 --node node0 --core 0
+    python -m repro cachecopy -c L3 --with-app miniGhost --report
+
+It builds a Voltrino-like cluster, optionally co-runs a benchmark
+application, injects the requested anomaly, and prints a monitoring
+summary — a one-command demonstration of the suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.apps import AppJob, get_app
+from repro.cluster import Cluster
+from repro.core import ANOMALY_REGISTRY, parse_cli
+from repro.monitoring import MetricService
+
+SUMMARY_METRICS = (
+    "user::procstat",
+    "sys::procstat",
+    "MemUsed::meminfo",
+    "INST_RETIRED:ANY::spapiHASW",
+    "LLC_MISSES::spapiHASW",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run an HPAS anomaly on the simulated HPC substrate.",
+    )
+    parser.add_argument(
+        "anomaly",
+        choices=sorted(ANOMALY_REGISTRY),
+        help="anomaly generator to run",
+    )
+    parser.add_argument("--node", default="node0", help="target node (default node0)")
+    parser.add_argument("--core", type=int, default=0, help="target logical core")
+    parser.add_argument(
+        "--nodes", type=int, default=4, help="cluster size (default 4 nodes)"
+    )
+    parser.add_argument(
+        "--with-app",
+        default=None,
+        metavar="APP",
+        help="co-run a benchmark application (e.g. miniGhost)",
+    )
+    parser.add_argument(
+        "--horizon",
+        type=float,
+        default=120.0,
+        help="simulated seconds to run (default 120)",
+    )
+    parser.add_argument(
+        "--report", action="store_true", help="print the monitoring summary table"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    # Split our options from the anomaly's HPAS-style knobs: everything the
+    # parser does not know is forwarded to parse_cli.
+    parser = build_parser()
+    args, anomaly_argv = parser.parse_known_args(argv)
+
+    anomaly = parse_cli([args.anomaly] + anomaly_argv)
+    cluster = Cluster.voltrino(num_nodes=args.nodes)
+    service = MetricService(cluster)
+    service.attach(end=args.horizon)
+
+    job = None
+    if args.with_app is not None:
+        app = get_app(args.with_app).scaled(iterations=max(5, int(args.horizon / 4)))
+        job = AppJob(
+            app,
+            cluster,
+            nodes=list(range(min(4, args.nodes))),
+            ranks_per_node=4,
+            seed=1,
+        )
+        job.launch()
+
+    proc = anomaly.launch(cluster, node=args.node, core=args.core, start=1.0)
+    cluster.sim.run(until=args.horizon)
+
+    print(f"ran {anomaly.name} on {args.node}:c{args.core} "
+          f"for {cluster.sim.now - 1.0:.0f}s (state: {proc.state.value})")
+    if job is not None:
+        done = sum(p.state.terminal for p in job.procs)
+        print(f"co-ran {args.with_app}: {done}/{job.n_ranks} ranks finished")
+    if args.report:
+        print(f"\n{'metric':45s} {'mean':>12s} {'max':>12s}")
+        for metric in SUMMARY_METRICS:
+            series = service.series(args.node, metric)
+            print(f"{metric:45s} {np.mean(series):12.4g} {np.max(series):12.4g}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,7 @@
+"""Simulated machines: specs, nodes, clusters, and the cluster rate model."""
+
+from repro.cluster.specs import CacheSpec, MachineSpec
+from repro.cluster.node import Node
+from repro.cluster.cluster import Cluster
+
+__all__ = ["CacheSpec", "Cluster", "MachineSpec", "Node"]

@@ -1,0 +1,48 @@
+"""HPAS: the HPC Performance Anomaly Suite (the paper's contribution).
+
+Eight anomaly generators, one per row of the paper's Table 1:
+
+=============================  ==============  =====================================
+Anomaly type                   Name            Runtime configuration options
+=============================  ==============  =====================================
+CPU intensive process          ``cpuoccupy``   utilization%
+Cache contention               ``cachecopy``   cache (L1/L2/L3), multiplier, rate
+Memory bandwidth contention    ``membw``       buffer size, rate
+Memory intensive process       ``memeater``    buffer size, rate
+Memory leak                    ``memleak``     buffer size, rate
+Network contention             ``netoccupy``   message size, rate, ntasks
+I/O metadata server contention ``iometadata``  rate, ntasks
+I/O bandwidth contention       ``iobandwidth`` file size, ntasks
+=============================  ==============  =====================================
+
+Every anomaly has configurable start/end times (through
+:meth:`Anomaly.launch` and the :class:`~repro.core.injector.AnomalyInjector`).
+"""
+
+from repro.core.anomaly import ANOMALY_REGISTRY, Anomaly, make_anomaly, parse_cli
+from repro.core.cpuoccupy import CpuOccupy
+from repro.core.cachecopy import CacheCopy
+from repro.core.membw import MemBw
+from repro.core.memeater import MemEater
+from repro.core.memleak import MemLeak
+from repro.core.netoccupy import NetOccupy
+from repro.core.iometadata import IOMetadata
+from repro.core.iobandwidth import IOBandwidth
+from repro.core.injector import AnomalyInjector, Injection
+
+__all__ = [
+    "ANOMALY_REGISTRY",
+    "Anomaly",
+    "AnomalyInjector",
+    "CacheCopy",
+    "CpuOccupy",
+    "IOBandwidth",
+    "IOMetadata",
+    "Injection",
+    "MemBw",
+    "MemEater",
+    "MemLeak",
+    "NetOccupy",
+    "make_anomaly",
+    "parse_cli",
+]

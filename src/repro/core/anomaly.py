@@ -1,0 +1,191 @@
+"""Anomaly base class, registry, and HPAS-style CLI parsing.
+
+The original HPAS ships userspace executables configured by command-line
+options (``hpas cpuoccupy -u 80 ...``).  The reproduction mirrors that
+surface: every anomaly is a class whose constructor exposes the Table 1
+knobs, registered under its paper name, and :func:`parse_cli` accepts the
+same option style so scripted injection campaigns read like HPAS invocations.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Type
+
+from repro.errors import AnomalyError
+from repro.sim.process import Body, SimProcess
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cluster import Cluster
+
+
+class Anomaly(ABC):
+    """Base class for HPAS anomaly generators.
+
+    Subclasses implement :meth:`body` — a simulated-process generator that
+    runs until externally stopped.  ``launch`` handles the suite-wide
+    start/end-time knobs: the anomaly process is spawned at ``start`` and,
+    if ``duration`` is finite, killed at ``start + duration`` (releasing
+    whatever memory it holds, as the real generators do on exit).
+    """
+
+    #: registry name (the paper's anomaly name)
+    name: str = "anomaly"
+
+    def __init__(self, duration: float = math.inf) -> None:
+        if duration <= 0:
+            raise AnomalyError("anomaly duration must be positive")
+        self.duration = duration
+
+    @abstractmethod
+    def body(self, proc: SimProcess) -> Body:
+        """The anomaly's process body."""
+
+    def launch(
+        self,
+        cluster: "Cluster",
+        node: str | int,
+        core: int = 0,
+        start: float = 0.0,
+    ) -> SimProcess:
+        """Start one instance on ``(node, core)`` at time ``start``."""
+        node_name = cluster.node(node).name
+        proc = cluster.spawn(
+            name=f"{self.name}@{node_name}:c{core}",
+            body=self.body,
+            node=node_name,
+            core=core,
+            at=start,
+        )
+        if math.isfinite(self.duration):
+            cluster.sim.schedule(
+                start + self.duration,
+                lambda: cluster.sim.kill(proc, reason="anomaly duration elapsed"),
+            )
+        return proc
+
+    def describe(self) -> dict[str, object]:
+        """The anomaly's knob settings (for logging/provenance)."""
+        public = {
+            k: v for k, v in vars(self).items() if not k.startswith("_")
+        }
+        public["name"] = self.name
+        return public
+
+
+def cluster_of(proc: SimProcess) -> "Cluster":
+    """The cluster behind a process's simulator (anomalies need one)."""
+    assert proc.sim is not None
+    cluster = getattr(proc.sim.model, "cluster", None)
+    if cluster is None:
+        raise AnomalyError(
+            "anomaly processes must run on a cluster-backed simulator"
+        )
+    return cluster
+
+
+ANOMALY_REGISTRY: dict[str, Type[Anomaly]] = {}
+
+
+def register(cls: Type[Anomaly]) -> Type[Anomaly]:
+    """Class decorator adding an anomaly to the suite registry."""
+    if not cls.name or cls.name == "anomaly":
+        raise AnomalyError(f"{cls.__name__} must define a unique name")
+    if cls.name in ANOMALY_REGISTRY:
+        raise AnomalyError(f"duplicate anomaly name {cls.name!r}")
+    ANOMALY_REGISTRY[cls.name] = cls
+    return cls
+
+
+def make_anomaly(name: str, **knobs) -> Anomaly:
+    """Instantiate a registered anomaly by its paper name."""
+    try:
+        cls = ANOMALY_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(ANOMALY_REGISTRY))
+        raise AnomalyError(f"unknown anomaly {name!r} (known: {known})") from None
+    return cls(**knobs)
+
+
+#: CLI option spellings per anomaly, mirroring the HPAS executables.
+_CLI_OPTIONS: dict[str, dict[str, tuple[str, type]]] = {
+    "cpuoccupy": {"-u": ("utilization", float), "--utilization": ("utilization", float)},
+    "cachecopy": {
+        "-c": ("cache", str),
+        "--cache": ("cache", str),
+        "-m": ("multiplier", float),
+        "--multiplier": ("multiplier", float),
+        "-r": ("rate", float),
+        "--rate": ("rate", float),
+    },
+    "membw": {
+        "-s": ("buffer_size", float),
+        "--size": ("buffer_size", float),
+        "-r": ("rate", float),
+        "--rate": ("rate", float),
+    },
+    "memeater": {
+        "-s": ("buffer_size", float),
+        "--size": ("buffer_size", float),
+        "-r": ("rate", float),
+        "--rate": ("rate", float),
+        "-t": ("total_size", float),
+        "--total": ("total_size", float),
+    },
+    "memleak": {
+        "-s": ("buffer_size", float),
+        "--size": ("buffer_size", float),
+        "-r": ("rate", float),
+        "--rate": ("rate", float),
+        "-l": ("limit", float),
+        "--limit": ("limit", float),
+    },
+    "netoccupy": {
+        "-m": ("message_size", float),
+        "--message-size": ("message_size", float),
+        "-r": ("rate", float),
+        "--rate": ("rate", float),
+    },
+    "iometadata": {"-r": ("rate", float), "--rate": ("rate", float)},
+    "iobandwidth": {
+        "-s": ("file_size", float),
+        "--file-size": ("file_size", float),
+    },
+}
+
+_COMMON_OPTIONS: dict[str, tuple[str, type]] = {
+    "-d": ("duration", float),
+    "--duration": ("duration", float),
+}
+
+
+def parse_cli(argv: list[str]) -> Anomaly:
+    """Parse an HPAS-style command line into an anomaly instance.
+
+    Example::
+
+        parse_cli(["cpuoccupy", "-u", "80", "-d", "300"])
+    """
+    if not argv:
+        raise AnomalyError("empty anomaly command line")
+    name, *rest = argv
+    if name not in ANOMALY_REGISTRY:
+        known = ", ".join(sorted(ANOMALY_REGISTRY))
+        raise AnomalyError(f"unknown anomaly {name!r} (known: {known})")
+    options = {**_COMMON_OPTIONS, **_CLI_OPTIONS.get(name, {})}
+    knobs: dict[str, object] = {}
+    i = 0
+    while i < len(rest):
+        flag = rest[i]
+        if flag not in options:
+            raise AnomalyError(f"unknown option {flag!r} for {name}")
+        if i + 1 >= len(rest):
+            raise AnomalyError(f"option {flag!r} needs a value")
+        dest, caster = options[flag]
+        try:
+            knobs[dest] = caster(rest[i + 1])
+        except ValueError as exc:
+            raise AnomalyError(f"bad value for {flag!r}: {rest[i + 1]!r}") from exc
+        i += 2
+    return make_anomaly(name, **knobs)

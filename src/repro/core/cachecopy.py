@@ -1,0 +1,79 @@
+"""Cache contention anomaly (``cachecopy``).
+
+Allocates two contiguous arrays, each half the size of the chosen cache
+level (scaled by ``multiplier``), and repeatedly copies one onto the other.
+The chosen level is effectively saturated, so co-located applications'
+lines are evicted from it — and, with ``multiplier > 1``, the anomaly's own
+working set overflows the level and starts producing memory traffic.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.anomaly import Anomaly, cluster_of, register
+from repro.errors import AnomalyError
+from repro.sim.process import Body, Segment, SimProcess
+from repro.units import GB10
+
+
+@register
+class CacheCopy(Anomaly):
+    """Evict a chosen cache level by relentless array copying.
+
+    Parameters
+    ----------
+    cache:
+        Target level: "L1", "L2", or "L3".  The two arrays together span
+        that level's capacity.
+    multiplier:
+        Scales the combined working set relative to the level size.
+    rate:
+        Duty cycle in (0, 1]; sleep is inserted between copy rounds below
+        1.0 (the intensity knob of the original generator).
+    """
+
+    name = "cachecopy"
+
+    def __init__(
+        self,
+        cache: str = "L3",
+        multiplier: float = 1.0,
+        rate: float = 1.0,
+        duration: float = math.inf,
+    ) -> None:
+        super().__init__(duration=duration)
+        if cache not in ("L1", "L2", "L3"):
+            raise AnomalyError(f"cache must be L1/L2/L3, got {cache!r}")
+        if multiplier <= 0:
+            raise AnomalyError("multiplier must be > 0")
+        if not 0.0 < rate <= 1.0:
+            raise AnomalyError("rate (duty cycle) must be in (0, 1]")
+        self.cache = cache
+        self.multiplier = multiplier
+        self.rate = rate
+
+    def body(self, proc: SimProcess) -> Body:
+        node = cluster_of(proc).node(proc.node)
+        working_set = node.spec.cache.size(self.cache) * self.multiplier
+        ledger = node.memory
+        ledger.alloc(proc.pid, working_set)  # posix_memalign'd arrays
+        try:
+            yield Segment(
+                work=math.inf,
+                cpu=self.rate,
+                ips=1.6e9 * self.rate,
+                cache_footprint={self.cache: working_set},
+                cache_intensity=4.0 * self.rate,
+                mpki_base=0.5,
+                mpki_extra=30.0,
+                miss_cpi_penalty=0.5,
+                # The copy loop itself touches memory only when its working
+                # set is evicted (self- or cross-eviction): mem_bw_extra
+                # prices the refetch traffic.
+                mem_bw=0.1 * GB10 * self.rate,
+                mem_bw_extra=4.0 * GB10 * self.rate,
+                label=f"cachecopy {self.cache} x{self.multiplier:g}",
+            )
+        finally:
+            ledger.free_all(proc.pid)

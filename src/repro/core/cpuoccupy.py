@@ -1,0 +1,52 @@
+"""CPU-intensive process anomaly (``cpuoccupy``).
+
+Performs arithmetic on random values in a loop and sleeps for the rest of
+each period (``setitimer`` in the original), so the CPU utilisation it
+produces equals the requested percentage while cache and memory impact stay
+negligible.  Emulates orphan processes (100%) or OS jitter (low values).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.anomaly import Anomaly, register
+from repro.errors import AnomalyError
+from repro.sim.process import Body, Segment, SimProcess
+from repro.units import KB
+
+
+@register
+class CpuOccupy(Anomaly):
+    """Occupy a configurable percentage of one logical CPU.
+
+    Parameters
+    ----------
+    utilization:
+        Target CPU utilisation in percent of one logical core, (0, 100].
+    duration:
+        Seconds to run (infinite by default; ``launch`` kills on expiry).
+    """
+
+    name = "cpuoccupy"
+
+    #: arithmetic loop throughput at 100% duty on the reference core
+    FULL_SPEED_IPS = 2.4e9
+
+    def __init__(self, utilization: float = 100.0, duration: float = math.inf) -> None:
+        super().__init__(duration=duration)
+        if not 0.0 < utilization <= 100.0:
+            raise AnomalyError("utilization must be in (0, 100]")
+        self.utilization = utilization
+
+    def body(self, proc: SimProcess) -> Body:
+        duty = self.utilization / 100.0
+        yield Segment(
+            work=math.inf,
+            cpu=duty,
+            ips=self.FULL_SPEED_IPS * duty,
+            cache_footprint={"L1": 4 * KB},
+            cache_intensity=0.05,
+            mpki_base=0.01,
+            label=f"cpuoccupy {self.utilization:.0f}%",
+        )

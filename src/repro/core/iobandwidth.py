@@ -1,0 +1,69 @@
+"""I/O bandwidth contention anomaly (``iobandwidth``).
+
+Uses ``dd`` to copy random data into a file, then copies that file to
+another file, and so on — saturating the storage servers' disks and the
+interconnect between the filesystem and the compute nodes.  Each copy
+round reads the previous file and writes the next one.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.anomaly import Anomaly, register
+from repro.errors import AnomalyError
+from repro.sim.process import Body, IODemand, Segment, SimProcess
+from repro.units import GB, MB10
+
+
+@register
+class IOBandwidth(Anomaly):
+    """dd-style file copy chains against the shared filesystem.
+
+    Parameters
+    ----------
+    file_size:
+        Bytes per file (sets the copy-round granularity; the fluid model
+        folds rounds into a sustained read+write stream).
+    demand_bw:
+        Disk bandwidth one instance tries to extract, each direction.
+    fs:
+        Target shared filesystem name.
+    """
+
+    name = "iobandwidth"
+
+    def __init__(
+        self,
+        file_size: float = 1 * GB,
+        demand_bw: float = 25 * MB10,
+        fs: str = "nfs",
+        duration: float = math.inf,
+    ) -> None:
+        super().__init__(duration=duration)
+        if file_size <= 0 or demand_bw <= 0:
+            raise AnomalyError("file_size and demand_bw must be positive")
+        self.file_size = file_size
+        self.demand_bw = demand_bw
+        self.fs = fs
+
+    def body(self, proc: SimProcess) -> Body:
+        # dd writes /dev/urandom data into the first file, then each round
+        # reads the previous file while writing the next.  The first
+        # (write-only) round is negligible relative to the chain — and
+        # under contention it would stretch indefinitely — so the model is
+        # the steady-state read+write stream plus the create/unlink
+        # metadata chatter of rotating files.
+        meta_rate = max(1.0, self.demand_bw / self.file_size * 4.0)
+        yield Segment(
+            work=math.inf,
+            cpu=0.2,
+            ips=0.2e9,
+            io=IODemand(
+                fs=self.fs,
+                write_bw=self.demand_bw,
+                read_bw=self.demand_bw,
+                meta_ops=meta_rate,
+            ),
+            label="iobandwidth copy chain",
+        )

@@ -1,0 +1,69 @@
+"""Memory bandwidth contention anomaly (``membw``).
+
+Writes the transpose of one stack-allocated matrix into another using x86
+SSE *non-temporal* stores (``MOVNT*``): the data bypasses the cache
+entirely, so the anomaly consumes memory bandwidth without polluting any
+cache level — the property that distinguishes it from ``memeater`` and
+lets Fig. 4 separate bandwidth contention from cache contention.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.anomaly import Anomaly, cluster_of, register
+from repro.errors import AnomalyError
+from repro.sim.process import Body, Segment, SimProcess
+from repro.units import GB10, KB, MB
+
+
+@register
+class MemBw(Anomaly):
+    """Saturate memory bandwidth with non-temporal transpose streams.
+
+    Parameters
+    ----------
+    buffer_size:
+        Combined size of the two matrices (bytes).  Must exceed the L3 to
+        guarantee the stream always reaches memory (default 64 MiB).
+    rate:
+        Duty cycle in (0, 1]; scales the demanded bandwidth.
+    """
+
+    name = "membw"
+
+    #: bandwidth one core's non-temporal store stream can demand
+    PEAK_STREAM_BW = 10 * GB10
+
+    def __init__(
+        self,
+        buffer_size: float = 64 * MB,
+        rate: float = 1.0,
+        duration: float = math.inf,
+    ) -> None:
+        super().__init__(duration=duration)
+        if buffer_size <= 0:
+            raise AnomalyError("buffer size must be positive")
+        if not 0.0 < rate <= 1.0:
+            raise AnomalyError("rate (duty cycle) must be in (0, 1]")
+        self.buffer_size = buffer_size
+        self.rate = rate
+
+    def body(self, proc: SimProcess) -> Body:
+        ledger = cluster_of(proc).node(proc.node).memory
+        ledger.alloc(proc.pid, self.buffer_size)
+        try:
+            yield Segment(
+                work=math.inf,
+                cpu=self.rate,
+                ips=0.6e9 * self.rate,
+                # Non-temporal hint: no cache footprint beyond the store
+                # buffers themselves.
+                cache_footprint={"L1": 4 * KB},
+                cache_intensity=0.1,
+                mpki_base=40.0,  # every access misses by construction
+                mem_bw=self.PEAK_STREAM_BW * self.rate,
+                label=f"membw rate={self.rate:g}",
+            )
+        finally:
+            ledger.free_all(proc.pid)

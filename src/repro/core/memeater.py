@@ -1,0 +1,87 @@
+"""Memory-intensive process anomaly (``memeater``).
+
+Allocates an array (35 MB by default), fills it with random values, then
+repeatedly ``realloc``-grows it by the same amount and fills the new tail,
+until the configured total size is reached.  After the ramp it behaves like
+a resident memory-intensive process: a large, *stable* footprint (unlike
+``memleak``, whose footprint grows forever).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.anomaly import Anomaly, cluster_of, register
+from repro.errors import AnomalyError
+from repro.sim.process import Body, Segment, Sleep, SimProcess
+from repro.units import GB, GB10, MB
+
+
+@register
+class MemEater(Anomaly):
+    """Grow to a fixed footprint, then keep using it.
+
+    Parameters
+    ----------
+    buffer_size:
+        The initial allocation and each ``realloc`` increment (bytes).
+    total_size:
+        Footprint at which growth stops (bytes).
+    rate:
+        ``realloc`` steps per second during the ramp.
+    """
+
+    name = "memeater"
+
+    #: rate at which the fill loop writes random values
+    FILL_BW = 2 * GB10
+
+    def __init__(
+        self,
+        buffer_size: float = 35 * MB,
+        total_size: float = 3.5 * GB,
+        rate: float = 50.0,
+        duration: float = math.inf,
+    ) -> None:
+        super().__init__(duration=duration)
+        if buffer_size <= 0 or total_size < buffer_size:
+            raise AnomalyError("need buffer_size > 0 and total_size >= buffer_size")
+        if rate <= 0:
+            raise AnomalyError("rate must be positive")
+        self.buffer_size = buffer_size
+        self.total_size = total_size
+        self.rate = rate
+
+    def body(self, proc: SimProcess) -> Body:
+        ledger = cluster_of(proc).node(proc.node).memory
+        held = 0.0
+        while held < self.total_size:
+            step = min(self.buffer_size, self.total_size - held)
+            ledger.alloc(proc.pid, step)
+            held += step
+            # realloc extends the array in place (glibc mremap for these
+            # sizes), then the new tail is filled with random values.
+            yield Segment(
+                work=step / self.FILL_BW,
+                cpu=1.0,
+                ips=1.0e9,
+                cache_intensity=0.5,
+                cache_footprint={"L3": min(held, 8 * MB)},
+                mpki_base=15.0,
+                mem_bw=self.FILL_BW,
+                label="memeater fill",
+            )
+            pause = 1.0 / self.rate - (held + step) / self.FILL_BW
+            if pause > 0:
+                yield Sleep(pause)
+        # Steady state: a memory-intensive resident process.
+        yield Segment(
+            work=math.inf,
+            cpu=0.5,
+            ips=0.8e9,
+            cache_intensity=0.8,
+            cache_footprint={"L3": 8 * MB},
+            mpki_base=10.0,
+            mem_bw=1.0 * GB10,
+            label="memeater steady",
+        )

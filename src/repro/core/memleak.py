@@ -1,0 +1,73 @@
+"""Memory leak anomaly (``memleak``).
+
+Each iteration allocates an array of characters (20 MB by default), fills
+it with random characters, and *drops the pointer* — the memory is never
+freed, so the process footprint grows monotonically (the pathological
+staircase of Fig. 5) until the duration elapses, a configured limit is
+reached, or the node runs out of memory.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.anomaly import Anomaly, cluster_of, register
+from repro.errors import AnomalyError
+from repro.sim.process import Body, Segment, Sleep, SimProcess
+from repro.units import GB10, MB
+
+
+@register
+class MemLeak(Anomaly):
+    """Leak memory at a configurable rate.
+
+    Parameters
+    ----------
+    buffer_size:
+        Bytes leaked per iteration.
+    rate:
+        Iterations per second (default tuned to Fig. 5's ~7 MB/s ramp).
+    limit:
+        Stop allocating once this many bytes are held (the process keeps
+        running so the memory stays dead until the duration ends).
+    """
+
+    name = "memleak"
+
+    FILL_BW = 2 * GB10
+
+    def __init__(
+        self,
+        buffer_size: float = 20 * MB,
+        rate: float = 0.35,
+        limit: float = math.inf,
+        duration: float = math.inf,
+    ) -> None:
+        super().__init__(duration=duration)
+        if buffer_size <= 0 or rate <= 0 or limit <= 0:
+            raise AnomalyError("buffer_size, rate and limit must be positive")
+        self.buffer_size = buffer_size
+        self.rate = rate
+        self.limit = limit
+
+    def body(self, proc: SimProcess) -> Body:
+        ledger = cluster_of(proc).node(proc.node).memory
+        held = 0.0
+        while held < self.limit:
+            step = min(self.buffer_size, self.limit - held)
+            ledger.alloc(proc.pid, step)
+            held += step
+            yield Segment(
+                work=step / self.FILL_BW,
+                cpu=1.0,
+                ips=0.9e9,
+                cache_intensity=0.3,
+                mpki_base=12.0,
+                mem_bw=self.FILL_BW,
+                label="memleak fill",
+            )
+            pause = 1.0 / self.rate - step / self.FILL_BW
+            if pause > 0:
+                yield Sleep(pause)
+        # Limit reached: hold the dead memory without further activity.
+        yield Segment(work=math.inf, cpu=0.01, ips=1e7, label="memleak hold")

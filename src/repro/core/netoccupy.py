@@ -1,0 +1,110 @@
+"""Network contention anomaly (``netoccupy``).
+
+Runs on two nodes whose connecting links/routers should be congested: the
+ranks on one node continuously ``shmem_putmem`` 100 MB messages to their
+corresponding rank on the other node.  The paper found 100 MB to be the
+sweet spot — smaller messages create less contention, larger ones add no
+bandwidth — which in the fluid model corresponds to the demand saturating
+at the NIC's peak for large messages.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.anomaly import Anomaly, cluster_of, register
+from repro.errors import AnomalyError
+from repro.mpi.comm import sustained_stream
+from repro.sim.process import Body, SimProcess
+from repro.units import KB, MB
+
+if False:  # pragma: no cover - typing only
+    from repro.cluster.cluster import Cluster
+
+
+def message_peak_bw(message_size: float, nic_bw: float, half_point: float = 64 * KB) -> float:
+    """Achievable put bandwidth for a message size (saturating curve).
+
+    Small messages are latency-dominated; the classic half-bandwidth-point
+    model ``bw = peak * M / (M + M_half)`` captures the OSU-style ramp.
+    """
+    return nic_bw * message_size / (message_size + half_point)
+
+
+@register
+class NetOccupy(Anomaly):
+    """Stream large SHMEM puts toward a peer node.
+
+    Parameters
+    ----------
+    peer:
+        Destination node name (set/overridden by :meth:`launch_pair`).
+    message_size:
+        Bytes per ``shmem_putmem`` (100 MB default, per the paper).
+    rate:
+        Fraction of the achievable bandwidth to demand, (0, 1].
+    """
+
+    name = "netoccupy"
+
+    def __init__(
+        self,
+        peer: str | None = None,
+        message_size: float = 100 * MB,
+        rate: float = 1.0,
+        duration: float = math.inf,
+    ) -> None:
+        super().__init__(duration=duration)
+        if message_size <= 0:
+            raise AnomalyError("message size must be positive")
+        if not 0.0 < rate <= 1.0:
+            raise AnomalyError("rate must be in (0, 1]")
+        self.peer = peer
+        self.message_size = message_size
+        self.rate = rate
+
+    def body(self, proc: SimProcess) -> Body:
+        if self.peer is None:
+            raise AnomalyError("netoccupy needs a peer node (use launch_pair)")
+        cluster = cluster_of(proc)
+        nic_bw = cluster.node(proc.node).spec.nic_bw
+        peak = message_peak_bw(self.message_size, nic_bw) * self.rate
+        # Back-to-back 100 MB puts form a continuous stream at the
+        # achievable rate; modelling them as one sustained flow is exact
+        # in the fluid model and costs O(1) events instead of one event
+        # per message.
+        yield sustained_stream(
+            dst=cluster.node(self.peer).name,
+            rate=peak,
+            label="netoccupy put stream",
+        )
+
+    @classmethod
+    def launch_pair(
+        cls,
+        cluster: "Cluster",
+        src: str | int,
+        dst: str | int,
+        ranks: int = 4,
+        message_size: float = 100 * MB,
+        rate: float = 1.0,
+        duration: float = math.inf,
+        start: float = 0.0,
+    ) -> list[SimProcess]:
+        """Start ``ranks`` sender ranks on ``src`` targeting ``dst``.
+
+        Each rank is pinned to its own core, mirroring an MPI/SHMEM job
+        with one rank per core on the sending node.
+        """
+        src_name = cluster.node(src).name
+        dst_name = cluster.node(dst).name
+        procs = []
+        for r in range(ranks):
+            anomaly = cls(
+                peer=dst_name,
+                message_size=message_size,
+                rate=rate,
+                duration=duration,
+            )
+            procs.append(anomaly.launch(cluster, src_name, core=r, start=start))
+        return procs

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this package derives from :class:`ReproError` so that
+callers can catch package failures with a single ``except`` clause while
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an inconsistent state."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class ResourceError(ReproError):
+    """A resource request could not be satisfied (e.g. unknown resource)."""
+
+
+class ProcessCrash(ReproError):
+    """A simulated process died abnormally.
+
+    The engine catches this class when it escapes a process body and
+    records the process as KILLED instead of aborting the simulation —
+    the simulated analogue of a crashing application.
+    """
+
+
+class OutOfMemoryError(ResourceError, ProcessCrash):
+    """A node ran out of physical memory; the allocating process is killed.
+
+    Mirrors the behaviour reported in the paper: Voltrino has no swap and
+    processes are killed when the node's memory is exhausted.
+    """
+
+    def __init__(self, node: str, requested: float, available: float):
+        self.node = node
+        self.requested = requested
+        self.available = available
+        super().__init__(
+            f"node {node!r}: requested {requested:.0f} B "
+            f"with only {available:.0f} B free (no swap; process killed)"
+        )
+
+
+class ProcessKilled(ReproError):
+    """Raised inside a simulated process when the engine terminates it."""
+
+
+class SchedulingError(ReproError):
+    """A job could not be scheduled/allocated."""
+
+
+class AnomalyError(ReproError):
+    """Invalid anomaly configuration or usage."""

@@ -1,0 +1,51 @@
+"""Paper experiments: one module per table/figure of the evaluation.
+
+Every module exposes a ``run(...)`` function returning a structured result
+(rows/series matching what the paper plots) and accepts scale parameters so
+tests can run reduced versions while the benchmark harness runs the full
+configuration.
+"""
+
+from repro.experiments.table1_anomalies import run_table1
+from repro.experiments.fig2_cpuoccupy import run_fig2
+from repro.experiments.fig3_cachecopy import run_fig3
+from repro.experiments.fig4_membw import run_fig4
+from repro.experiments.fig5_memory import run_fig5
+from repro.experiments.fig6_netoccupy import run_fig6
+from repro.experiments.fig7_io import run_fig7
+from repro.experiments.table2_characteristics import run_table2
+from repro.experiments.fig8_matrix import run_fig8
+from repro.experiments.fig9_f1 import run_fig9
+from repro.experiments.fig10_confusion import run_fig10
+from repro.experiments.fig11_12_allocation import run_fig11_12
+from repro.experiments.fig13_loadbalance import run_fig13
+from repro.experiments.ext_dragonfly import run_ext_dragonfly
+from repro.experiments.ext_importance import run_ext_importance
+from repro.experiments.ext_jitter import run_ext_jitter
+from repro.experiments.ext_jobstream import run_ext_jobstream
+from repro.experiments.ext_lustre import run_ext_lustre
+from repro.experiments.ext_online import run_ext_online
+from repro.experiments.ext_variability import run_ext_variability
+
+__all__ = [
+    "run_ext_dragonfly",
+    "run_ext_importance",
+    "run_ext_jitter",
+    "run_ext_jobstream",
+    "run_ext_lustre",
+    "run_ext_online",
+    "run_ext_variability",
+    "run_fig2",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_fig10",
+    "run_fig11_12",
+    "run_fig13",
+    "run_table1",
+    "run_table2",
+]

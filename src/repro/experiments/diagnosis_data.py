@@ -1,0 +1,110 @@
+"""Synthetic training data for the diagnosis experiments (Figs. 9-10).
+
+Mirrors the paper's Sec. 5.1 data collection: every benchmark application
+runs with each anomaly class (and without) while LDMS-style monitoring
+samples the anomalous node at 1 Hz; the node's time series, labelled with
+the injected anomaly, feed the feature extractor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analytics.diagnosis import DIAGNOSIS_CLASSES, DiagnosisDataset
+from repro.apps import AppJob, get_app
+from repro.cluster import Cluster
+from repro.core import CacheCopy, CpuOccupy, MemBw, MemEater, MemLeak
+from repro.experiments.fig8_matrix import APPS
+from repro.monitoring import MetricService
+
+
+@dataclass
+class MonitoredRun:
+    """One labelled monitored run."""
+
+    app: str
+    label: str
+    series: np.ndarray  # (T, M) node0 matrix
+    metrics: list[str]
+
+
+def _place(cluster: Cluster, label: str) -> None:
+    spec = cluster.spec
+    if label == "cachecopy":
+        sibling = spec.sibling_of(0)
+        assert sibling is not None
+        CacheCopy(cache="L3").launch(cluster, "node0", core=sibling)
+    elif label == "cpuoccupy":
+        # Orphan processes land on whatever core is free; node-level
+        # monitoring sees extra utilisation and instructions.
+        CpuOccupy(utilization=100).launch(cluster, "node0", core=12)
+    elif label == "membw":
+        for core in (4, 5, 6):
+            MemBw().launch(cluster, "node0", core=core)
+    elif label == "memeater":
+        MemEater().launch(cluster, "node0", core=8)
+    elif label == "memleak":
+        MemLeak().launch(cluster, "node0", core=8)
+    elif label != "none":
+        raise ValueError(f"unknown diagnosis label {label!r}")
+
+
+def generate_runs(
+    apps: tuple[str, ...] = APPS,
+    labels: tuple[str, ...] = DIAGNOSIS_CLASSES,
+    iterations: int = 45,
+    ranks_per_node: int = 4,
+    noise: float = 0.02,
+    seed: int = 0,
+    trim: int = 10,
+) -> list[MonitoredRun]:
+    """Run every (app, anomaly) pair under monitoring; label node0 data.
+
+    ``trim`` samples are dropped from each end of every run's series so
+    the labelled windows cover steady state, not job startup/teardown
+    (the convention of the diagnosis framework the paper evaluates).
+    """
+    runs: list[MonitoredRun] = []
+    for run_idx, app_name in enumerate(apps):
+        for label in labels:
+            cluster = Cluster.voltrino(num_nodes=8)
+            label_key = sum(ord(c) for c in label)  # stable across processes
+            service = MetricService(
+                cluster, noise=noise, seed=seed + 1000 * run_idx + label_key
+            )
+            service.attach(end=100_000)
+            app = get_app(app_name).scaled(iterations=iterations)
+            job = AppJob(
+                app,
+                cluster,
+                nodes=[0, 1, 2, 3],
+                ranks_per_node=ranks_per_node,
+                seed=seed + run_idx,
+            )
+            job.launch()
+            _place(cluster, label)
+            job.run(timeout=100_000)
+            service.detach()
+            series = service.matrix("node0")
+            if trim > 0 and series.shape[0] > 2 * trim + 1:
+                series = series[trim:-trim]
+            runs.append(
+                MonitoredRun(
+                    app=app_name,
+                    label=label,
+                    series=series,
+                    metrics=service.metric_names,
+                )
+            )
+    return runs
+
+
+def build_dataset(
+    runs: list[MonitoredRun], window: int = 45, stride: int | None = None
+) -> DiagnosisDataset:
+    """Window the monitored runs into a labelled feature dataset."""
+    pairs = [(r.series, r.label) for r in runs]
+    metrics = runs[0].metrics if runs else []
+    return DiagnosisDataset.from_runs(pairs, metrics, window=window, stride=stride)

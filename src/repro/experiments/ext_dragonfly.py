@@ -1,0 +1,68 @@
+"""Extension: netoccupy on a full dragonfly — global-link contention.
+
+Voltrino's single electrical group bounds netoccupy's damage (Fig. 6).
+On a full dragonfly, traffic between *groups* crosses a handful of thin
+optical global links — the congestion hotspot Bhatele et al. identify.
+This extension runs the Fig. 6 scenario twice: within one group (Fig. 6's
+setting) and across two groups, where the same anomaly bites much harder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps import OSUBandwidth
+from repro.cluster import Cluster
+from repro.core import NetOccupy
+from repro.experiments.common import format_table
+from repro.network.topology import dragonfly
+from repro.units import MB
+
+
+@dataclass
+class DragonflyResult:
+    rows: list[tuple[str, float, float, float]]  # scope, clean, contended, retained
+
+    def render(self) -> str:
+        return format_table(
+            ["traffic scope", "clean GB/s", "3 pairs GB/s", "retained"],
+            self.rows,
+            title="Extension: netoccupy within vs across dragonfly groups",
+        )
+
+
+def _osu(cluster_factory, src, dst, pairs, anomaly_endpoints) -> float:
+    cluster = cluster_factory()
+    osu = OSUBandwidth(message_size=4 * MB, messages=32)
+    osu.launch(cluster, src=src, dst=dst)
+    for p in range(pairs):
+        a, b = anomaly_endpoints(p)
+        NetOccupy.launch_pair(cluster, src=a, dst=b, ranks=4)
+    cluster.sim.run(until=4000)
+    return osu.bandwidth() / 1e9
+
+
+def run_ext_dragonfly(pairs: int = 3) -> DragonflyResult:
+    """OSU bandwidth retention, intra-group vs inter-group."""
+
+    def factory():
+        topo = dragonfly(groups=4, switches_per_group=4, nodes_per_switch=4)
+        return Cluster(num_nodes=len(topo.compute_nodes), topology=topo)
+
+    # Intra-group: node0 (g0sw0) -> node4 (g0sw1); anomalies beside them.
+    intra_clean = _osu(factory, "node0", "node4", 0, None)
+    intra_noisy = _osu(
+        factory, "node0", "node4", pairs, lambda p: (f"node{1 + p}", f"node{5 + p}")
+    )
+    # Inter-group: node0 (group 0) -> node16 (group 1); anomaly pairs also
+    # cross the same pair of groups, hammering the one global link.
+    inter_clean = _osu(factory, "node0", "node16", 0, None)
+    inter_noisy = _osu(
+        factory, "node0", "node16", pairs, lambda p: (f"node{1 + p}", f"node{17 + p}")
+    )
+    return DragonflyResult(
+        rows=[
+            ("within group", intra_clean, intra_noisy, intra_noisy / intra_clean),
+            ("across groups", inter_clean, inter_noisy, inter_noisy / inter_clean),
+        ]
+    )

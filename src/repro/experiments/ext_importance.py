@@ -1,0 +1,66 @@
+"""Extension: which monitoring metrics carry the diagnosis signal.
+
+The paper attributes the cpuoccupy/membw/cachecopy confusion to "the lack
+of metrics representing memory bandwidth in the monitoring data".  With
+the from-scratch random forest exposing impurity-decrease importances, we
+can ask the model directly: which metrics (and statistical features) does
+it lean on, aggregated per LDMS sampler family?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analytics.forest import RandomForestClassifier
+from repro.experiments.common import format_table
+from repro.experiments.diagnosis_data import build_dataset, generate_runs
+
+FAMILIES = ("procstat", "meminfo", "vmstat", "spapiHASW", "aries_nic_mmr")
+
+
+@dataclass
+class ImportanceResult:
+    top_features: list[tuple[str, float]]
+    family_importance: dict[str, float]
+
+    def render(self) -> str:
+        rows = [(name, value) for name, value in self.top_features]
+        table1 = format_table(
+            ["feature", "importance"],
+            rows,
+            title="Extension: top diagnosis features (random forest)",
+        )
+        table2 = format_table(
+            ["sampler family", "total importance"],
+            sorted(self.family_importance.items(), key=lambda kv: -kv[1]),
+            title="Aggregated by LDMS sampler family",
+        )
+        return table1 + "\n\n" + table2
+
+
+def run_ext_importance(
+    iterations: int = 30,
+    window: int = 20,
+    stride: int | None = 10,
+    top_k: int = 10,
+    seed: int = 4,
+) -> ImportanceResult:
+    """Train a forest on the diagnosis dataset and rank its features."""
+    runs = generate_runs(iterations=iterations, seed=seed)
+    dataset = build_dataset(runs, window=window, stride=stride)
+    forest = RandomForestClassifier(n_estimators=40, seed=seed)
+    forest.fit(dataset.X, dataset.y)
+    importances = forest.feature_importances_
+    order = np.argsort(importances)[::-1]
+    top = [
+        (dataset.feature_names[i], float(importances[i])) for i in order[:top_k]
+    ]
+    family_importance = {f: 0.0 for f in FAMILIES}
+    for name, value in zip(dataset.feature_names, importances):
+        for family in FAMILIES:
+            if f"::{family}__" in name:
+                family_importance[family] += float(value)
+                break
+    return ImportanceResult(top_features=top, family_importance=family_importance)

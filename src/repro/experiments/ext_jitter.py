@@ -1,0 +1,86 @@
+"""Extension: OS-jitter amplification at scale.
+
+The paper (Sec. 3.1) notes cpuoccupy at low intensity "can emulate OS
+jitter".  Classic results (Hoefler et al., cited as [19]) show jitter's
+cost is amplified by bulk-synchronous applications as node counts grow:
+every barrier waits for the unluckiest rank.  This extension runs a BSP
+application at several scales with low-intensity, randomly-phased
+cpuoccupy "daemons" on every core and reports the slowdown versus a clean
+run — the amplification curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps import AppJob, get_app
+from repro.cluster import Cluster
+from repro.core import CpuOccupy
+from repro.experiments.common import format_table
+from repro.sim.rng import spawn_rng
+
+
+@dataclass
+class JitterResult:
+    node_counts: list[int]
+    clean: list[float]
+    jittered: list[float]
+
+    @property
+    def slowdowns(self) -> list[float]:
+        return [j / c for c, j in zip(self.clean, self.jittered)]
+
+    def render(self) -> str:
+        rows = [
+            (n, c, j, j / c)
+            for n, c, j in zip(self.node_counts, self.clean, self.jittered)
+        ]
+        return format_table(
+            ["nodes", "clean (s)", "jittered (s)", "slowdown"],
+            rows,
+            title="Extension: OS-jitter amplification with scale",
+        )
+
+
+def _run(nodes: int, bursty: bool, iterations: int, seed: int) -> float:
+    cluster = Cluster.voltrino(num_nodes=max(nodes, 4))
+    app = get_app("CoMD").scaled(iterations=iterations, jitter=0.0)
+    job = AppJob(
+        app,
+        cluster,
+        nodes=list(range(nodes)),
+        ranks_per_node=4,
+        seed=seed,
+    )
+    job.launch()
+    if bursty:
+        # OS daemons: short 100% bursts at random times on random rank
+        # cores.  Uncorrelated across nodes, so as the job widens, every
+        # barrier is more likely to catch *some* rank mid-burst — the
+        # classic jitter-amplification mechanism.
+        rng = spawn_rng(seed, "jitter-daemons")
+        horizon = app.profile.nominal_runtime * 1.6
+        for node in range(nodes):
+            for core in range(4):  # the cores the ranks occupy
+                t = float(rng.uniform(0.0, 3.0))
+                while t < horizon:
+                    CpuOccupy(utilization=100.0, duration=0.3).launch(
+                        cluster, f"node{node}", core=core, start=t
+                    )
+                    t += float(rng.exponential(4.0)) + 0.3
+    return job.run(timeout=1e7)
+
+
+def run_ext_jitter(
+    node_counts: tuple[int, ...] = (1, 2, 4, 8),
+    iterations: int = 15,
+    seed: int = 3,
+) -> JitterResult:
+    """Clean vs jittered runtimes across node counts."""
+    clean, jittered = [], []
+    for nodes in node_counts:
+        clean.append(_run(nodes, False, iterations, seed))
+        jittered.append(_run(nodes, True, iterations, seed))
+    return JitterResult(
+        node_counts=list(node_counts), clean=clean, jittered=jittered
+    )

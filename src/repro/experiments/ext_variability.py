@@ -1,0 +1,60 @@
+"""Extension: Varbench-style variability characterisation per anomaly.
+
+The paper's introduction motivates HPAS with run-to-run performance
+variation ("more than 100% variation" on production systems).  This
+extension closes the loop: it measures, Varbench-style, the run-time
+variability each HPAS anomaly *induces* on an application when the
+anomaly arrives at a random phase of the run — the coefficient of
+variation and max/min spread across repetitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import make_anomaly
+from repro.experiments.common import format_table
+from repro.varbench import VariabilityReport
+
+
+@dataclass
+class VariabilityResult:
+    reports: dict[str, VariabilityReport]  # anomaly label -> report
+
+    def render(self) -> str:
+        rows = [
+            (
+                label,
+                report.mean,
+                report.std,
+                report.coefficient_of_variation,
+                report.spread,
+            )
+            for label, report in self.reports.items()
+        ]
+        return format_table(
+            ["anomaly", "mean (s)", "std (s)", "CoV", "spread"],
+            rows,
+            title="Extension: induced run-to-run variability (Varbench-style)",
+        )
+
+
+def run_ext_variability(
+    app_name: str = "miniMD",
+    repetitions: int = 6,
+    iterations: int = 15,
+    anomalies: tuple[str, ...] = ("none", "cpuoccupy", "membw", "memleak"),
+    seed: int = 5,
+) -> VariabilityResult:
+    """Measure induced variability for a set of anomalies."""
+    reports: dict[str, VariabilityReport] = {}
+    for label in anomalies:
+        factory = None if label == "none" else (lambda l=label: make_anomaly(l))
+        reports[label] = VariabilityReport.measure(
+            app_name=app_name,
+            anomaly_factory=factory,
+            repetitions=repetitions,
+            iterations=iterations,
+            seed=seed,
+        )
+    return VariabilityResult(reports=reports)

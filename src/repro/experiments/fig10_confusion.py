@@ -1,0 +1,50 @@
+"""Fig. 10: random-forest confusion matrix for anomaly diagnosis.
+
+Row-normalised over true labels; the paper's matrix is strongly diagonal
+with the residual confusion concentrated among cpuoccupy, membw and
+cachecopy (the three anomalies that look alike without a direct memory-
+bandwidth metric in the monitoring data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.common import format_table
+from repro.experiments.fig9_f1 import Fig9Result, run_fig9
+
+
+@dataclass
+class Fig10Result:
+    labels: list[str]
+    matrix: np.ndarray  # row-normalised
+
+    def render(self) -> str:
+        rows = []
+        for i, label in enumerate(self.labels):
+            rows.append([label] + [f"{v:.2f}" for v in self.matrix[i]])
+        return format_table(
+            ["true \\ predicted"] + list(self.labels),
+            rows,
+            title="Fig 10: RandomForest confusion matrix (row-normalised)",
+        )
+
+    @property
+    def diagonal_mean(self) -> float:
+        return float(np.mean(np.diag(self.matrix)))
+
+
+def run_fig10(
+    fig9: Fig9Result | None = None,
+    iterations: int = 45,
+    window: int = 30,
+    stride: int | None = 15,
+    seed: int = 0,
+) -> Fig10Result:
+    """Extract the random-forest confusion matrix (reusing Fig 9 data)."""
+    if fig9 is None:
+        fig9 = run_fig9(iterations=iterations, window=window, stride=stride, seed=seed)
+    report = fig9.reports["RandomForest"]
+    return Fig10Result(labels=list(report.labels), matrix=report.confusion)

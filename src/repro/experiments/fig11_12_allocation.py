@@ -1,0 +1,100 @@
+"""Figs. 11-12: allocation policies under anomalies.
+
+Eight nodes; cpuoccupy occupies a core on node0 and memleak pins node2's
+free memory down to ~1 GB.  SW4lite asks for 4 of the 8 nodes:
+
+* RR allocates [node0..node3] by label order — straight into both
+  anomalies (Fig. 11 top),
+* WBAS ranks nodes by ``CP = (1 - Load%) x MemFree`` and picks
+  [node1, node3, node4, node5], avoiding both (Fig. 11 bottom).
+
+Fig. 12 then compares the job execution times (3 runs each).
+
+Placement note: the paper's ranks are unpinned, so a 100% cpuoccupy on a
+32-core node costs the co-located job ~35%.  Our ranks are pinned; to
+preserve the measured effect size the anomaly lands on rank 0's
+hyperthread sibling (SMT contention, ~1.5x on that rank) rather than
+time-sharing the identical logical core (which would cost 2x).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps import get_app
+from repro.cluster import Cluster
+from repro.core import CpuOccupy, MemLeak
+from repro.experiments.common import format_table
+from repro.monitoring import MetricService
+from repro.scheduling import JobScheduler, RoundRobin, WellBalancedAllocation
+from repro.units import GB, MB
+
+
+@dataclass
+class Fig11_12Result:
+    allocations: dict[str, list[str]]  # policy -> chosen nodes
+    runtimes: dict[str, list[float]]  # policy -> per-run execution times
+
+    def render(self) -> str:
+        rows = []
+        for policy, nodes in self.allocations.items():
+            times = self.runtimes[policy]
+            rows.append(
+                (
+                    policy,
+                    " ".join(nodes),
+                    float(np.mean(times)),
+                    " ".join(f"{t:.0f}" for t in times),
+                )
+            )
+        return format_table(
+            ["policy", "allocated nodes", "mean time (s)", "runs"],
+            rows,
+            title="Figs 11-12: allocation policies under anomalies",
+        )
+
+    def improvement(self) -> float:
+        """WBAS runtime reduction relative to RR (the paper reports 26%)."""
+        rr = float(np.mean(self.runtimes["RoundRobin"]))
+        wbas = float(np.mean(self.runtimes["WBAS"]))
+        return (rr - wbas) / rr
+
+
+def _one_run(policy, iterations: int, seed: int) -> tuple[list[str], float]:
+    cluster = Cluster.voltrino(num_nodes=8)
+    service = MetricService(cluster)
+    service.attach(end=1_000_000)
+    # Anomalies: CPU load on node0, dead memory on node2.
+    sibling = cluster.spec.sibling_of(0)
+    assert sibling is not None
+    CpuOccupy(utilization=100).launch(cluster, "node0", core=sibling)
+    leak_target = cluster.node(2).memory.free - 1 * GB
+    MemLeak(buffer_size=512 * MB, rate=50, limit=leak_target).launch(
+        cluster, "node2", core=0
+    )
+    cluster.sim.run(until=60)  # let monitoring observe the anomalies
+    scheduler = JobScheduler(cluster, service)
+    app = get_app("sw4lite").scaled(iterations=iterations)
+    allocation, job = scheduler.submit(
+        app, policy, n_nodes=4, ranks_per_node=4, seed=seed
+    )
+    runtime = job.run(timeout=900_000)
+    service.detach()
+    return allocation.nodes, runtime
+
+
+def run_fig11_12(iterations: int = 145, repeats: int = 3) -> Fig11_12Result:
+    """Both policies, ``repeats`` runs each (paper: 3 runs)."""
+    allocations: dict[str, list[str]] = {}
+    runtimes: dict[str, list[float]] = {}
+    for policy_cls in (WellBalancedAllocation, RoundRobin):
+        policy = policy_cls()
+        times = []
+        for r in range(repeats):
+            nodes, runtime = _one_run(policy, iterations, seed=17 + r)
+            allocations[policy.name] = nodes
+            times.append(runtime)
+        runtimes[policy.name] = times
+    return Fig11_12Result(allocations=allocations, runtimes=runtimes)

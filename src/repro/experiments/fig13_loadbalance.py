@@ -1,0 +1,75 @@
+"""Fig. 13: 3D stencil under cpuoccupy with two Charm++ load balancers.
+
+One node, 32 worker cores, a stencil decomposed into 96 migratable
+objects.  cpuoccupy's total intensity sweeps 0..3200% of one CPU (i.e.
+0..32 fully-occupied cores).  LBObjOnly ignores core capacity and pays the
+slowest core's price as soon as any core is occupied; GreedyRefineLB
+measures capacity and steers objects away until so many cores are occupied
+that avoidance no longer pays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster import Cluster
+from repro.core import CpuOccupy
+from repro.experiments.common import format_table
+from repro.runtime import CharmRuntime, GreedyRefineLB, LBObjOnly, WorkObject
+
+
+@dataclass
+class Fig13Result:
+    utilizations: list[int]  # percent of one CPU (0..3200)
+    time_per_iter: dict[str, list[float]]  # balancer -> series
+
+    def render(self) -> str:
+        rows = []
+        for i, pct in enumerate(self.utilizations):
+            rows.append(
+                (
+                    pct,
+                    self.time_per_iter["LBObjOnly"][i],
+                    self.time_per_iter["GreedyRefineLB"][i],
+                )
+            )
+        return format_table(
+            ["cpuoccupy %", "LBObjOnly s/iter", "GreedyRefineLB s/iter"],
+            rows,
+            title="Fig 13: 3D stencil time per iteration vs cpuoccupy",
+        )
+
+
+def _one(balancer, occupied_pct: int, n_objects: int, iterations: int) -> float:
+    cluster = Cluster(num_nodes=1)
+    cores = list(range(32))  # one logical core per physical core
+    load = 3.2 / n_objects  # 3.2 core-seconds of stencil work per iteration
+    objects = [WorkObject(oid=i, load=load) for i in range(n_objects)]
+    full, remainder = divmod(occupied_pct, 100)
+    for core in range(min(full, 32)):
+        CpuOccupy(utilization=100).launch(cluster, "node0", core=core)
+    if remainder and full < 32:
+        CpuOccupy(utilization=remainder).launch(cluster, "node0", core=full)
+    runtime = CharmRuntime(
+        cluster, "node0", cores, objects, balancer, iterations=iterations
+    )
+    runtime.run(timeout=3_600)
+    return runtime.mean_iteration_time(skip=2)
+
+
+def run_fig13(
+    utilizations: tuple[int, ...] = (
+        0, 100, 200, 400, 600, 800, 1000, 1200, 1400, 1600,
+        2000, 2400, 2800, 3200,
+    ),
+    n_objects: int = 96,
+    iterations: int = 10,
+) -> Fig13Result:
+    """Mean time/iteration for both balancers across the intensity sweep."""
+    series: dict[str, list[float]] = {"LBObjOnly": [], "GreedyRefineLB": []}
+    for pct in utilizations:
+        series["LBObjOnly"].append(_one(LBObjOnly(), pct, n_objects, iterations))
+        series["GreedyRefineLB"].append(
+            _one(GreedyRefineLB(), pct, n_objects, iterations)
+        )
+    return Fig13Result(utilizations=list(utilizations), time_per_iter=series)

@@ -1,0 +1,56 @@
+"""Fig. 2: cpuoccupy intensity vs measured CPU utilisation.
+
+One cpuoccupy instance per logical core at the requested intensity; the
+``user::procstat + sys::procstat`` utilisation tracks the knob ~1:1 (plus
+the OS-jitter floor), as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster import Cluster, MachineSpec
+from repro.core import CpuOccupy
+from repro.experiments.common import format_table
+from repro.monitoring import MetricService
+
+
+@dataclass
+class Fig2Result:
+    intensities: list[float]
+    utilizations: list[float]  # user + sys, percent of the node
+
+    def render(self) -> str:
+        return format_table(
+            ["intensity %", "utilization %"],
+            zip(self.intensities, self.utilizations),
+            title="Fig 2: cpuoccupy intensity vs CPU utilization (Voltrino)",
+        )
+
+
+def run_fig2(
+    intensities: tuple[float, ...] = (10, 20, 30, 40, 50, 60, 70, 80, 90, 100),
+    duration: float = 30.0,
+    machine: str = "voltrino",
+) -> Fig2Result:
+    """Measure node utilisation for each cpuoccupy intensity."""
+    utilizations = []
+    for intensity in intensities:
+        spec = (
+            MachineSpec.voltrino() if machine == "voltrino" else MachineSpec.chameleon()
+        )
+        cluster = Cluster(num_nodes=1, spec=spec)
+        service = MetricService(cluster)
+        service.attach(end=duration + 5)
+        for core in range(spec.logical_cores):
+            CpuOccupy(utilization=intensity, duration=duration).launch(
+                cluster, "node0", core=core
+            )
+        cluster.sim.run(until=duration + 5)
+        user = service.series("node0", "user::procstat")
+        sys = service.series("node0", "sys::procstat")
+        window = slice(2, int(duration) - 2)
+        utilizations.append(float(np.mean(user[window] + sys[window])))
+    return Fig2Result(intensities=list(intensities), utilizations=utilizations)

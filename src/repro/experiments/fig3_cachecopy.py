@@ -1,0 +1,61 @@
+"""Fig. 3: cachecopy working-set size vs miniGhost L3 MPKI.
+
+A single-rank miniGhost shares a physical core (hyperthread siblings) with
+one cachecopy instance whose working set is sized to L1, L2, or L3.  As
+the working set grows, miniGhost's last-level MPKI rises; Chameleon's
+smaller L3 makes it suffer more than Voltrino.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps import AppJob, get_app
+from repro.cluster import Cluster, MachineSpec
+from repro.core import CacheCopy
+from repro.experiments.common import format_table
+
+LEVELS = (None, "L1", "L2", "L3")
+
+
+@dataclass
+class Fig3Result:
+    machines: list[str]
+    mpki: dict[str, dict[str, float]]  # machine -> level-label -> L3 MPKI
+
+    def render(self) -> str:
+        rows = []
+        for machine in self.machines:
+            for level in ("none", "L1", "L2", "L3"):
+                rows.append((machine, level, self.mpki[machine][level]))
+        return format_table(
+            ["machine", "cachecopy WS", "L3 MPKI"],
+            rows,
+            title="Fig 3: cachecopy working set vs miniGhost L3 MPKI",
+        )
+
+
+def run_fig3(iterations: int = 20, machines: tuple[str, ...] = ("voltrino", "chameleon")) -> Fig3Result:
+    """Measure miniGhost L3 MPKI against each cachecopy working-set size."""
+    results: dict[str, dict[str, float]] = {}
+    for machine in machines:
+        spec = (
+            MachineSpec.voltrino() if machine == "voltrino" else MachineSpec.chameleon()
+        )
+        per_level: dict[str, float] = {}
+        for level in LEVELS:
+            cluster = Cluster(num_nodes=1, spec=spec)
+            app = get_app("miniGhost").scaled(iterations=iterations)
+            job = AppJob(app, cluster, nodes=["node0"], ranks_per_node=1, seed=7)
+            job.launch()
+            if level is not None:
+                sibling = spec.sibling_of(0)
+                assert sibling is not None
+                CacheCopy(cache=level).launch(cluster, "node0", core=sibling)
+            job.run(timeout=10_000)
+            rank = job.procs[0]
+            per_level["none" if level is None else level] = (
+                rank.counters["l3_misses"] / rank.counters["instructions"] * 1000.0
+            )
+        results[machine] = per_level
+    return Fig3Result(machines=list(machines), mpki=results)

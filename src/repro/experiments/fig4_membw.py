@@ -1,0 +1,54 @@
+"""Fig. 4: membw / cachecopy effect on STREAM memory bandwidth.
+
+STREAM runs on core 0 while anomaly instances occupy the socket's other
+cores (1x/3x/7x/15x membw, or 15x cachecopy).  membw slashes the
+available bandwidth; cachecopy — despite using 15 cores — leaves it
+essentially untouched, because its traffic stays inside the caches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps import StreamBenchmark
+from repro.cluster import Cluster
+from repro.core import CacheCopy, MemBw
+from repro.experiments.common import format_table
+
+
+@dataclass
+class Fig4Result:
+    labels: list[str]
+    best_rate_gbps: list[float]
+
+    def render(self) -> str:
+        return format_table(
+            ["anomaly", "STREAM best rate (GB/s)"],
+            zip(self.labels, self.best_rate_gbps),
+            title="Fig 4: membw and cachecopy vs STREAM bandwidth (Voltrino)",
+        )
+
+
+def _one(n_membw: int, n_cachecopy: int) -> float:
+    cluster = Cluster(num_nodes=1)
+    stream = StreamBenchmark()
+    stream.launch(cluster, "node0", core=0)
+    # Anomalies go on the socket's other cores (cores 1..15 share
+    # socket 0 with STREAM on the Voltrino spec).
+    for i in range(n_membw):
+        MemBw().launch(cluster, "node0", core=1 + i)
+    for i in range(n_cachecopy):
+        CacheCopy(cache="L2").launch(cluster, "node0", core=1 + i)
+    cluster.sim.run(until=500)
+    return stream.best_rate() / 1e9
+
+
+def run_fig4(counts: tuple[int, ...] = (0, 1, 3, 7, 15)) -> Fig4Result:
+    """STREAM best rate under each anomaly configuration."""
+    labels, rates = [], []
+    for n in counts:
+        labels.append("none" if n == 0 else f"membw {n}x")
+        rates.append(_one(n_membw=n, n_cachecopy=0))
+    labels.append("cachecopy 15x")
+    rates.append(_one(n_membw=0, n_cachecopy=15))
+    return Fig4Result(labels=labels, best_rate_gbps=rates)

@@ -1,0 +1,53 @@
+"""Fig. 5: memory usage over time for memleak and memeater.
+
+memeater ramps to its full footprint almost immediately and holds it flat;
+memleak climbs in a staircase for its whole duration.  Both release their
+memory when the configured duration elapses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster import Cluster
+from repro.core import MemEater, MemLeak
+from repro.experiments.common import format_table
+from repro.monitoring import MetricService
+
+
+@dataclass
+class Fig5Result:
+    times: np.ndarray
+    usage_gb: dict[str, np.ndarray]  # anomaly -> MemUsed series (GB)
+
+    def render(self) -> str:
+        marks = [int(t) for t in (5, 60, 150, 300, 440, 480) if t < self.times.size]
+        rows = []
+        for name, series in self.usage_gb.items():
+            rows.append([name] + [f"{series[m]:.2f}" for m in marks])
+        return format_table(
+            ["anomaly"] + [f"t={m}s" for m in marks],
+            rows,
+            title="Fig 5: memory usage over time (GB)",
+        )
+
+
+def run_fig5(duration: float = 450.0, horizon: float = 520.0) -> Fig5Result:
+    """Record MemUsed time series for each memory anomaly."""
+    usage: dict[str, np.ndarray] = {}
+    times = None
+    for name, anomaly in (
+        ("memleak", MemLeak(duration=duration)),
+        ("memeater", MemEater(duration=duration)),
+    ):
+        cluster = Cluster(num_nodes=1)
+        service = MetricService(cluster)
+        service.attach(end=horizon)
+        anomaly.launch(cluster, "node0", core=0, start=10.0)
+        cluster.sim.run(until=horizon)
+        usage[name] = service.series("node0", "MemUsed::meminfo") / 1e9
+        times = service.timestamps()
+    assert times is not None
+    return Fig5Result(times=times, usage_gb=usage)

@@ -1,0 +1,63 @@
+"""Fig. 6: OSU bandwidth vs message size under netoccupy.
+
+The OSU pair spans two Aries switches of the full Voltrino fabric; 1-3
+netoccupy pairs stream between the switches' remaining nodes.  Bandwidth
+falls with anomaly count but the damage is bounded — redundant links and
+adaptive routing absorb most of it, exactly the paper's observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps import OSUBandwidth
+from repro.cluster import Cluster
+from repro.core import NetOccupy
+from repro.experiments.common import format_table
+from repro.network.topology import aries_like
+from repro.units import KB
+
+
+@dataclass
+class Fig6Result:
+    message_sizes_kb: list[int]
+    anomaly_nodes: list[int]
+    bandwidth_gbps: dict[int, list[float]]  # anomaly-node count -> series
+
+    def render(self) -> str:
+        headers = ["msg size (KB)"] + [f"{n} anomaly nodes" for n in self.anomaly_nodes]
+        rows = []
+        for i, msg in enumerate(self.message_sizes_kb):
+            rows.append(
+                [msg] + [self.bandwidth_gbps[n][i] for n in self.anomaly_nodes]
+            )
+        return format_table(
+            headers, rows, title="Fig 6: OSU bandwidth vs netoccupy (GB/s)"
+        )
+
+
+def run_fig6(
+    message_sizes_kb: tuple[int, ...] = (16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192),
+    pair_counts: tuple[int, ...] = (0, 1, 2, 3),
+    fabric_nodes: int = 48,
+) -> Fig6Result:
+    """OSU bandwidth for every (message size, anomaly pair count)."""
+    bandwidth: dict[int, list[float]] = {2 * p: [] for p in pair_counts}
+    for msg_kb in message_sizes_kb:
+        for pairs in pair_counts:
+            topo = aries_like(num_nodes=fabric_nodes)
+            cluster = Cluster(num_nodes=fabric_nodes, topology=topo)
+            osu = OSUBandwidth(message_size=msg_kb * KB, messages=32)
+            # node0 sits on switch 0, node4 on switch 1.
+            osu.launch(cluster, src="node0", dst="node4")
+            for p in range(pairs):
+                NetOccupy.launch_pair(
+                    cluster, src=f"node{1 + p}", dst=f"node{5 + p}", ranks=4
+                )
+            cluster.sim.run(until=4000)
+            bandwidth[2 * pairs].append(osu.bandwidth() / 1e9)
+    return Fig6Result(
+        message_sizes_kb=list(message_sizes_kb),
+        anomaly_nodes=[2 * p for p in pair_counts],
+        bandwidth_gbps=bandwidth,
+    )

@@ -1,0 +1,59 @@
+"""Fig. 7: IOR bandwidth under the I/O anomalies (Chameleon + NFS).
+
+Four client nodes run 48 anomaly instances each while IOR measures the
+NFS share from a fifth node.  iobandwidth clogs the single disk and
+crushes the streaming phases; iometadata starves the (shared) metadata
+service and server CPU, hitting the access phase hardest but dragging
+streaming down too — the NFS appliance has no separate metadata server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps import IORBenchmark
+from repro.cluster import Cluster
+from repro.core import IOBandwidth, IOMetadata
+from repro.experiments.common import format_table
+
+
+@dataclass
+class Fig7Result:
+    rows: dict[str, dict[str, float]]  # anomaly -> phase -> MB/s
+
+    def render(self) -> str:
+        table = [
+            (name, vals["write"], vals["access"], vals["read"])
+            for name, vals in self.rows.items()
+        ]
+        return format_table(
+            ["anomaly", "write MB/s", "access MB/s", "read MB/s"],
+            table,
+            title="Fig 7: I/O anomalies vs IOR (Chameleon Cloud, NFS)",
+        )
+
+
+def run_fig7(
+    anomaly_nodes: int = 4,
+    instances_per_node: int = 48,
+    horizon: float = 30_000.0,
+) -> Fig7Result:
+    """IOR phase bandwidths under none / iobandwidth / iometadata."""
+    rows: dict[str, dict[str, float]] = {}
+    for label, factory in (
+        ("none", None),
+        ("iobandwidth", IOBandwidth),
+        ("iometadata", IOMetadata),
+    ):
+        cluster = Cluster.chameleon(num_nodes=anomaly_nodes + 2)
+        # Anomalies start first; IOR measures once they reach steady state
+        # (iobandwidth's first round only writes its seed file).
+        ior = IORBenchmark()
+        ior.launch(cluster, node=f"node{anomaly_nodes + 1}", start=60.0)
+        if factory is not None:
+            for n in range(1, anomaly_nodes + 1):
+                for core in range(instances_per_node):
+                    factory().launch(cluster, f"node{n}", core=core)
+        cluster.sim.run(until=horizon)
+        rows[label] = ior.phase_bandwidth()
+    return Fig7Result(rows=rows)

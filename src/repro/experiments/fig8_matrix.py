@@ -1,0 +1,111 @@
+"""Fig. 8: execution time of each application under each anomaly.
+
+Each run places one application across four Voltrino nodes (one rank per
+core used) and one anomaly configuration on node0, mirroring the paper's
+placements:
+
+* ``cachecopy`` — L3-sized instance on rank 0's hyperthread sibling,
+* ``cpuoccupy`` — 100% instance time-sharing rank 0's core,
+* ``membw`` — three instances on the socket's free cores,
+* ``memeater`` / ``memleak`` — one instance on a free core,
+* ``netoccupy`` — a 4-rank pair streaming out of node0's switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps import AppJob, get_app
+from repro.cluster import Cluster
+from repro.core import (
+    CacheCopy,
+    CpuOccupy,
+    MemBw,
+    MemEater,
+    MemLeak,
+    NetOccupy,
+)
+from repro.experiments.common import format_table
+
+ANOMALIES = (
+    "cachecopy",
+    "cpuoccupy",
+    "membw",
+    "memeater",
+    "memleak",
+    "netoccupy",
+    "none",
+)
+
+APPS = (
+    "cloverleaf",
+    "CoMD",
+    "kripke",
+    "milc",
+    "miniAMR",
+    "miniGhost",
+    "miniMD",
+    "sw4lite",
+)
+
+
+@dataclass
+class Fig8Result:
+    runtimes: dict[str, dict[str, float]]  # app -> anomaly -> seconds
+
+    def render(self) -> str:
+        rows = []
+        for app, per_anomaly in self.runtimes.items():
+            rows.append([app] + [per_anomaly[a] for a in ANOMALIES])
+        return format_table(
+            ["app"] + list(ANOMALIES),
+            rows,
+            title="Fig 8: application execution time (s) per anomaly",
+        )
+
+    def slowdown(self, app: str, anomaly: str) -> float:
+        return self.runtimes[app][anomaly] / self.runtimes[app]["none"]
+
+
+def _place_anomaly(cluster: Cluster, anomaly: str) -> None:
+    spec = cluster.spec
+    if anomaly == "cachecopy":
+        sibling = spec.sibling_of(0)
+        assert sibling is not None
+        CacheCopy(cache="L3").launch(cluster, "node0", core=sibling)
+    elif anomaly == "cpuoccupy":
+        CpuOccupy(utilization=100).launch(cluster, "node0", core=0)
+    elif anomaly == "membw":
+        for core in (4, 5, 6):
+            MemBw().launch(cluster, "node0", core=core)
+    elif anomaly == "memeater":
+        MemEater().launch(cluster, "node0", core=8)
+    elif anomaly == "memleak":
+        MemLeak().launch(cluster, "node0", core=8)
+    elif anomaly == "netoccupy":
+        NetOccupy.launch_pair(cluster, src="node0", dst="node4", ranks=4)
+    elif anomaly != "none":
+        raise ValueError(f"unknown anomaly {anomaly!r}")
+
+
+def run_fig8(
+    iterations: int = 60,
+    ranks_per_node: int = 4,
+    apps: tuple[str, ...] = APPS,
+    anomalies: tuple[str, ...] = ANOMALIES,
+) -> Fig8Result:
+    """Runtime matrix: every app against every anomaly configuration."""
+    runtimes: dict[str, dict[str, float]] = {}
+    for app_name in apps:
+        per_anomaly: dict[str, float] = {}
+        for anomaly in anomalies:
+            cluster = Cluster.voltrino(num_nodes=8)
+            app = get_app(app_name).scaled(iterations=iterations)
+            job = AppJob(
+                app, cluster, nodes=[0, 1, 2, 3], ranks_per_node=ranks_per_node, seed=5
+            )
+            job.launch()
+            _place_anomaly(cluster, anomaly)
+            per_anomaly[anomaly] = job.run(timeout=50_000)
+        runtimes[app_name] = per_anomaly
+    return Fig8Result(runtimes=runtimes)

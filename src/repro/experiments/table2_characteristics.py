@@ -1,0 +1,112 @@
+"""Table 2: benchmark application characterisation.
+
+Runs each application clean (no anomalies) and classifies it from the
+collected metrics, exactly the way the paper does: CPU-intensiveness from
+``INST_RETIRED:ANY::spapiHASW`` (IPS), memory-intensiveness from
+``L2_RQSTS:MISS::spapiHASW``, network-intensiveness from the Aries NIC
+request-flit counter.  The derived flags are compared against the paper's
+Table 2 rows (stored on each profile).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps import AppJob, get_app
+from repro.apps.registry import APP_REGISTRY
+from repro.cluster import Cluster
+from repro.experiments.common import format_table
+from repro.monitoring import MetricService
+
+#: classification thresholds on node-mean rates (4 ranks per node):
+#: CPU apps retire ~2e9+ inst/s per rank; memory apps sustain L2 demand
+#: misses proportional to their bandwidth; network apps ship MB-scale
+#: halos every iteration
+IPS_THRESHOLD = 3.0e9
+L2_MISS_THRESHOLD = 4.0e7
+FLIT_THRESHOLD = 2.5e5
+
+
+@dataclass
+class Table2Row:
+    app: str
+    ips: float
+    l2_miss_rate: float
+    flit_rate: float
+    cpu_intensive: bool
+    mem_intensive: bool
+    net_intensive: bool
+    expected: tuple[bool, bool, bool]
+
+    @property
+    def matches_paper(self) -> bool:
+        return (
+            self.cpu_intensive,
+            self.mem_intensive,
+            self.net_intensive,
+        ) == self.expected
+
+
+@dataclass
+class Table2Result:
+    rows: list[Table2Row]
+
+    def render(self) -> str:
+        table = [
+            (
+                r.app,
+                f"{r.ips:.3g}",
+                f"{r.l2_miss_rate:.3g}",
+                f"{r.flit_rate:.3g}",
+                "CPU" * r.cpu_intensive + " Mem" * r.mem_intensive + " Net" * r.net_intensive,
+                "ok" if r.matches_paper else "MISMATCH",
+            )
+            for r in self.rows
+        ]
+        return format_table(
+            ["app", "IPS", "L2 miss/s", "NIC flits/s", "classes", "vs paper"],
+            table,
+            title="Table 2: application characteristics (measured)",
+        )
+
+
+def run_table2(iterations: int = 15, ranks_per_node: int = 4) -> Table2Result:
+    """Characterise every registered application from clean-run metrics."""
+    rows = []
+    for name, profile in sorted(APP_REGISTRY.items(), key=lambda kv: kv[0].lower()):
+        cluster = Cluster.voltrino(num_nodes=4)
+        service = MetricService(cluster)
+        service.attach(end=10_000)
+        app = get_app(name).scaled(iterations=iterations)
+        job = AppJob(app, cluster, nodes=[0, 1, 2, 3], ranks_per_node=ranks_per_node, seed=11)
+        job.launch()
+        job.run(timeout=10_000)
+        service.detach()
+        ips = float(np.mean(service.series("node0", "INST_RETIRED:ANY::spapiHASW")))
+        l2 = float(np.mean(service.series("node0", "L2_RQSTS:MISS::spapiHASW")))
+        flits = float(
+            np.mean(
+                service.series(
+                    "node0", "AR_NIC_NETMON_ORB_EVENT_CNTR_REQ_FLITS::aries_nic_mmr"
+                )
+            )
+        )
+        rows.append(
+            Table2Row(
+                app=name,
+                ips=ips,
+                l2_miss_rate=l2,
+                flit_rate=flits,
+                cpu_intensive=ips > IPS_THRESHOLD,
+                mem_intensive=l2 > L2_MISS_THRESHOLD,
+                net_intensive=flits > FLIT_THRESHOLD,
+                expected=(
+                    profile.cpu_intensive,
+                    profile.mem_intensive,
+                    profile.net_intensive,
+                ),
+            )
+        )
+    return Table2Result(rows=rows)

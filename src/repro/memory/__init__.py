@@ -1,0 +1,6 @@
+"""Memory subsystem: capacity ledger (OOM semantics) and bandwidth sharing."""
+
+from repro.memory.capacity import MemoryLedger
+from repro.memory.bandwidth import solve_bandwidth
+
+__all__ = ["MemoryLedger", "solve_bandwidth"]

@@ -1,0 +1,57 @@
+"""Per-socket memory-bandwidth contention model.
+
+Two effects shape measured bandwidth on real memory controllers:
+
+1. **Capacity sharing** — the controller's sustained bandwidth is divided
+   among requesters.  We model this with max-min fair sharing (or, for the
+   ablation, proportional sharing).
+2. **Latency degradation** — a single core cannot saturate the controller;
+   its achievable bandwidth is limited by outstanding misses, and queueing
+   caused by *other* traffic stretches miss latency.  We model a core's
+   achievable bandwidth as ``demand / (1 + alpha * other_load)`` where
+   ``other_load`` is the rest of the socket's demand relative to socket
+   capacity.
+
+Effect 2 is what makes a single ``membw`` instance already hurt STREAM in
+the paper's Fig. 4 even though 2 cores' demands fit within the socket's raw
+capacity; effect 1 caps the aggregate as instances multiply.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.resources.fairshare import max_min_fair_share
+
+ShareFn = Callable[[float, Sequence[float]], list[float]]
+
+
+def solve_bandwidth(
+    capacity: float,
+    demands: Sequence[float],
+    alpha: float = 1.0,
+    share_fn: ShareFn = max_min_fair_share,
+) -> list[float]:
+    """Grant memory bandwidth to per-process demands on one socket.
+
+    Parameters
+    ----------
+    capacity:
+        Socket's sustained memory bandwidth (bytes/s).
+    demands:
+        Bytes/s each process wants at full speed.
+    alpha:
+        Latency-degradation strength; 0 disables effect 2.
+    share_fn:
+        Sharing discipline for effect 1 (max-min by default).
+
+    Returns
+    -------
+    list of granted bytes/s, one per demand, each ``<=`` its demand.
+    """
+    total = float(sum(demands))
+    degraded = []
+    for demand in demands:
+        other_load = max(0.0, (total - demand)) / capacity
+        degraded.append(demand / (1.0 + alpha * other_load))
+    return share_fn(capacity, degraded)

@@ -1,0 +1,122 @@
+"""Per-node physical memory accounting with OOM-kill semantics.
+
+Voltrino (like most HPC systems) runs without swap: when a node's memory is
+exhausted the kernel's OOM killer terminates a process — the paper notes
+that oversized ``memleak``/``memeater`` instances crash the co-located
+application.  :class:`MemoryLedger` reproduces that: allocations are charged
+to pids, and when an allocation does not fit, the configured victim policy
+picks a process to kill (default: the largest consumer, approximating Linux
+OOM badness).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Literal
+
+from repro.errors import ConfigError, OutOfMemoryError, ResourceError
+
+VictimPolicy = Literal["largest", "allocator"]
+
+
+class MemoryLedger:
+    """Tracks physical memory allocations of one node.
+
+    Parameters
+    ----------
+    node:
+        Node name (for error messages).
+    capacity:
+        Physical bytes available to user processes.
+    baseline:
+        Bytes reserved by the OS and system services (the paper's Fig. 5
+        shows ~7 GB in use before the anomalies start).
+    victim_policy:
+        Who dies on OOM: ``"largest"`` (biggest consumer, Linux-like,
+        default) or ``"allocator"`` (the requesting process).
+    """
+
+    def __init__(
+        self,
+        node: str,
+        capacity: float,
+        baseline: float = 0.0,
+        victim_policy: VictimPolicy = "largest",
+    ) -> None:
+        if capacity <= 0:
+            raise ConfigError("memory capacity must be positive")
+        if not 0 <= baseline < capacity:
+            raise ConfigError("baseline must be within [0, capacity)")
+        if victim_policy not in ("largest", "allocator"):
+            raise ConfigError(f"unknown victim policy {victim_policy!r}")
+        self.node = node
+        self.capacity = float(capacity)
+        self.baseline = float(baseline)
+        self.victim_policy: VictimPolicy = victim_policy
+        self._held: dict[int, float] = {}
+        #: called with the victim pid when OOM fires; wired to the engine's
+        #: kill by the cluster rate model
+        self.oom_killer: Callable[[int], None] | None = None
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def used(self) -> float:
+        """Bytes in use, including the OS baseline."""
+        return self.baseline + sum(self._held.values())
+
+    @property
+    def free(self) -> float:
+        """Bytes available (``MemFree`` in meminfo terms)."""
+        return self.capacity - self.used
+
+    def held_by(self, pid: int) -> float:
+        """Bytes currently charged to ``pid``."""
+        return self._held.get(pid, 0.0)
+
+    # -- mutation ------------------------------------------------------------
+
+    def alloc(self, pid: int, nbytes: float) -> None:
+        """Charge ``nbytes`` to ``pid``; triggers the OOM killer if needed.
+
+        On OOM the victim's memory is released and, if an ``oom_killer``
+        callback is wired, the victim process is terminated.  If the
+        *allocator itself* is the victim (or memory still does not fit
+        after killing), :class:`OutOfMemoryError` propagates to the
+        caller so the allocating process's body can observe its own death.
+        """
+        if nbytes < 0:
+            raise ResourceError("allocation size must be >= 0")
+        while nbytes > self.free:
+            victim = self._pick_victim(pid)
+            self.free_all(victim)
+            if self.oom_killer is not None and victim != pid:
+                self.oom_killer(victim)
+            if victim == pid:
+                raise OutOfMemoryError(self.node, nbytes, self.free)
+        self._held[pid] = self._held.get(pid, 0.0) + nbytes
+
+    def release(self, pid: int, nbytes: float) -> None:
+        """Return ``nbytes`` previously charged to ``pid``."""
+        held = self._held.get(pid, 0.0)
+        if nbytes < 0 or nbytes > held + 1e-6:
+            raise ResourceError(
+                f"pid {pid} releasing {nbytes} B but holds only {held} B"
+            )
+        remaining = held - nbytes
+        if remaining <= 1e-6:
+            self._held.pop(pid, None)
+        else:
+            self._held[pid] = remaining
+
+    def free_all(self, pid: int) -> float:
+        """Release everything held by ``pid``; returns the amount freed."""
+        return self._held.pop(pid, 0.0)
+
+    def _pick_victim(self, allocator: int) -> int:
+        if self.victim_policy == "allocator" or not self._held:
+            return allocator
+        # Largest consumer; ties broken by pid for determinism.  The
+        # allocator's *current* holdings count too — a leak that grew the
+        # biggest is the one the OOM killer reaps, exactly the behaviour
+        # the paper reports for oversized memleak.
+        return max(self._held, key=lambda p: (self._held[p], -p))

@@ -1,0 +1,23 @@
+"""LDMS-style monitoring: samplers, 1 Hz collection, time-series store."""
+
+from repro.monitoring.samplers import (
+    AriesNicSampler,
+    MeminfoSampler,
+    PapiSampler,
+    PerCoreProcstatSampler,
+    ProcstatSampler,
+    Sampler,
+    VmstatSampler,
+)
+from repro.monitoring.service import MetricService
+
+__all__ = [
+    "AriesNicSampler",
+    "MeminfoSampler",
+    "MetricService",
+    "PapiSampler",
+    "PerCoreProcstatSampler",
+    "ProcstatSampler",
+    "Sampler",
+    "VmstatSampler",
+]

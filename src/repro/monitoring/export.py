@@ -1,0 +1,62 @@
+"""Exporting collected metrics (CSV / dict-of-arrays).
+
+Real LDMS deployments store samples in CSV files consumed by analysis
+pipelines; these helpers produce the same artefacts from a
+:class:`~repro.monitoring.service.MetricService` so downstream tooling
+(pandas, the paper's analysis scripts) can be pointed at simulated data.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.monitoring.service import MetricService
+
+
+def to_csv_text(service: MetricService, node: str | int) -> str:
+    """One node's samples as CSV text: ``time`` plus one metric column."""
+    name = f"node{node}" if isinstance(node, int) else node
+    times = service.timestamps()
+    if times.size == 0:
+        raise ConfigError("no samples collected")
+    metrics = service.metric_names
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["time"] + metrics)
+    columns = [service.series(name, m) for m in metrics]
+    for i, t in enumerate(times):
+        writer.writerow([f"{t:.3f}"] + [repr(float(col[i])) for col in columns])
+    return buffer.getvalue()
+
+
+def write_csv(service: MetricService, node: str | int, path: str | Path) -> Path:
+    """Write one node's samples to a CSV file; returns the path."""
+    path = Path(path)
+    path.write_text(to_csv_text(service, node))
+    return path
+
+
+def read_csv(path: str | Path) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+    """Load a CSV produced by :func:`write_csv`.
+
+    Returns ``(times, {metric: series})`` — the inverse of the export,
+    so round-trips are exact.
+    """
+    path = Path(path)
+    with path.open() as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        rows = [[float(cell) for cell in row] for row in reader]
+    if header[0] != "time":
+        raise ConfigError(f"{path} is not a metric export (no time column)")
+    data = np.asarray(rows, dtype=float)
+    if data.size == 0:
+        return np.empty(0), {m: np.empty(0) for m in header[1:]}
+    times = data[:, 0]
+    series = {metric: data[:, i + 1] for i, metric in enumerate(header[1:])}
+    return times, series

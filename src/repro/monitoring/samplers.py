@@ -1,0 +1,177 @@
+"""Metric samplers mirroring the LDMS configuration on Voltrino.
+
+The paper collects node metrics through LDMS samplers and names metrics
+``<metric>::<sampler>`` (e.g. ``user::procstat``).  Each sampler here reads
+the node's cumulative counters (integrated by the rate model) and converts
+the delta since the previous tick into the units the real sampler reports:
+
+* ``procstat`` — CPU utilisation percentages (user/sys/idle),
+* ``meminfo`` — memory capacity gauges in bytes,
+* ``vmstat`` — free pages and paging rates,
+* ``spapiHASW`` — PAPI hardware counters (instructions, cache misses),
+* ``aries_nic_mmr`` — Aries NIC flit counters.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.cluster.node import Node
+
+#: Aries network flit payload in bytes (one flit per 32 B of traffic).
+ARIES_FLIT_BYTES = 32.0
+
+#: Linux page size used by the vmstat sampler.
+PAGE_BYTES = 4096.0
+
+
+class Sampler(ABC):
+    """One LDMS sampler: turns counter deltas into named metrics."""
+
+    #: sampler name used in ``metric::sampler`` identifiers
+    name: str = "sampler"
+
+    #: True when this sampler reports exact gauges (kernel-maintained
+    #: values like meminfo) rather than rate-derived readings; the metric
+    #: service never adds measurement noise to gauges
+    gauge: bool = False
+
+    def metric_names(self) -> list[str]:
+        """Fully-qualified metric names this sampler emits."""
+        return [f"{m}::{self.name}" for m in self.raw_metric_names()]
+
+    @abstractmethod
+    def raw_metric_names(self) -> list[str]: ...
+
+    @abstractmethod
+    def sample(self, node: Node, delta: dict[str, float], dt: float) -> dict[str, float]:
+        """Produce raw-name -> value for one interval of length ``dt``.
+
+        ``delta`` holds per-counter increments since the previous tick.
+        """
+
+
+class ProcstatSampler(Sampler):
+    """CPU utilisation from /proc/stat, in percent of the whole node."""
+
+    name = "procstat"
+
+    def raw_metric_names(self) -> list[str]:
+        return ["user", "sys", "idle"]
+
+    def sample(self, node: Node, delta: dict[str, float], dt: float) -> dict[str, float]:
+        total = node.logical_cores * dt
+        user = 100.0 * delta.get("cpu_user_seconds", 0.0) / total
+        sys = 100.0 * delta.get("cpu_sys_seconds", 0.0) / total
+        return {"user": user, "sys": sys, "idle": max(0.0, 100.0 - user - sys)}
+
+
+class MeminfoSampler(Sampler):
+    """Memory gauges from /proc/meminfo, in bytes (exact, no noise)."""
+
+    name = "meminfo"
+    gauge = True
+
+    def raw_metric_names(self) -> list[str]:
+        return ["MemTotal", "MemFree", "MemUsed", "Active"]
+
+    def sample(self, node: Node, delta: dict[str, float], dt: float) -> dict[str, float]:
+        mem = node.memory
+        return {
+            "MemTotal": mem.capacity,
+            "MemFree": mem.free,
+            "MemUsed": mem.used,
+            "Active": mem.used - mem.baseline,
+        }
+
+
+class VmstatSampler(Sampler):
+    """Paging/free-page metrics from /proc/vmstat."""
+
+    name = "vmstat"
+
+    def raw_metric_names(self) -> list[str]:
+        return ["nr_free_pages", "pgpgin", "pgpgout"]
+
+    def sample(self, node: Node, delta: dict[str, float], dt: float) -> dict[str, float]:
+        return {
+            "nr_free_pages": node.memory.free / PAGE_BYTES,
+            "pgpgin": delta.get("io_read_bytes", 0.0) / PAGE_BYTES / dt,
+            "pgpgout": delta.get("io_write_bytes", 0.0) / PAGE_BYTES / dt,
+        }
+
+
+class PapiSampler(Sampler):
+    """PAPI hardware counters (the spapiHASW sampler on Voltrino).
+
+    Counters are reported as rates per second, matching how the paper
+    derives IPS and MPKI from consecutive samples.
+    """
+
+    name = "spapiHASW"
+
+    def raw_metric_names(self) -> list[str]:
+        return ["INST_RETIRED:ANY", "L2_RQSTS:MISS", "LLC_MISSES"]
+
+    def sample(self, node: Node, delta: dict[str, float], dt: float) -> dict[str, float]:
+        return {
+            "INST_RETIRED:ANY": delta.get("instructions", 0.0) / dt,
+            "L2_RQSTS:MISS": delta.get("l2_misses", 0.0) / dt,
+            "LLC_MISSES": delta.get("l3_misses", 0.0) / dt,
+        }
+
+
+class AriesNicSampler(Sampler):
+    """Aries NIC machine registers (flit counters), as rates per second."""
+
+    name = "aries_nic_mmr"
+
+    def raw_metric_names(self) -> list[str]:
+        return [
+            "AR_NIC_NETMON_ORB_EVENT_CNTR_REQ_FLITS",
+            "AR_NIC_NETMON_ORB_EVENT_CNTR_RSP_FLITS",
+        ]
+
+    def sample(self, node: Node, delta: dict[str, float], dt: float) -> dict[str, float]:
+        return {
+            "AR_NIC_NETMON_ORB_EVENT_CNTR_REQ_FLITS": delta.get("nic_tx_bytes", 0.0)
+            / ARIES_FLIT_BYTES
+            / dt,
+            "AR_NIC_NETMON_ORB_EVENT_CNTR_RSP_FLITS": delta.get("nic_rx_bytes", 0.0)
+            / ARIES_FLIT_BYTES
+            / dt,
+        }
+
+
+class PerCoreProcstatSampler(Sampler):
+    """Per-logical-core utilisation (the per-cpu rows of /proc/stat).
+
+    Not part of the default set (the paper's node-level analysis does not
+    need it), but available for finer-grained studies: per-core features
+    pinpoint *which* core an orphan process occupies.
+    """
+
+    name = "procstat_percore"
+
+    def __init__(self, logical_cores: int) -> None:
+        self.logical_cores = logical_cores
+
+    def raw_metric_names(self) -> list[str]:
+        return [f"user{core}" for core in range(self.logical_cores)]
+
+    def sample(self, node: Node, delta: dict[str, float], dt: float) -> dict[str, float]:
+        return {
+            f"user{core}": 100.0 * delta.get(f"cpu_core{core}_seconds", 0.0) / dt
+            for core in range(self.logical_cores)
+        }
+
+
+def default_samplers() -> list[Sampler]:
+    """The Voltrino LDMS sampler set used throughout the paper."""
+    return [
+        ProcstatSampler(),
+        MeminfoSampler(),
+        VmstatSampler(),
+        PapiSampler(),
+        AriesNicSampler(),
+    ]

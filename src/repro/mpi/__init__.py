@@ -1,0 +1,9 @@
+"""Minimal MPI/SHMEM semantics on top of the simulated network."""
+
+from repro.mpi.comm import (
+    Barrier,
+    p2p_transfer,
+    sustained_stream,
+)
+
+__all__ = ["Barrier", "p2p_transfer", "sustained_stream"]

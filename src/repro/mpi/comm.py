@@ -1,0 +1,100 @@
+"""Communication primitives for simulated parallel programs.
+
+Real HPC communication maps onto two fluid patterns:
+
+``p2p_transfer``
+    A fixed-size message/put: a segment whose nominal duration is
+    ``latency + nbytes / peak_bw`` and whose flow demands ``peak_bw``.
+    Under contention the flow's grant ratio stretches the segment, exactly
+    like a blocking ``MPI_Send``/``shmem_putmem`` of that size.
+``sustained_stream``
+    An open-ended stream pushing at a target rate until stopped — the
+    netoccupy anomaly's behaviour.
+
+``Barrier`` provides BSP-style synchronisation between ranks: all of the
+paper's iterative applications are bulk-synchronous, so one barrier per
+iteration reproduces how the slowest rank paces the job.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigError
+from repro.sim.engine import Simulator
+from repro.sim.process import Condition, Flow, Segment, Wait
+
+
+class Barrier:
+    """A reusable BSP barrier for ``n`` participants.
+
+    Bodies use it as ``yield from barrier.wait()``.  Each cycle uses a
+    fresh condition object, so a fast rank re-entering the barrier before
+    slow ranks have resumed cannot corrupt the previous cycle.
+    """
+
+    def __init__(self, sim: Simulator, n: int, name: str = "barrier") -> None:
+        if n < 1:
+            raise ConfigError("barrier size must be >= 1")
+        self.sim = sim
+        self.n = n
+        self.name = name
+        self._count = 0
+        self._cond = Condition(name)
+        self.cycles = 0
+
+    def wait(self):
+        """Generator: arrive and block until all ``n`` ranks have arrived."""
+        cond = self._cond
+        self._count += 1
+        if self._count == self.n:
+            self._count = 0
+            self._cond = Condition(self.name)
+            self.cycles += 1
+            self.sim.notify(cond)
+            return
+            yield  # pragma: no cover - makes this a generator function
+        yield Wait(cond)
+
+
+def p2p_transfer(
+    dst: str,
+    nbytes: float,
+    peak_bw: float,
+    latency: float = 2e-6,
+    cpu: float = 0.05,
+    label: str = "p2p",
+) -> Segment:
+    """A blocking point-to-point transfer of ``nbytes`` to node ``dst``.
+
+    ``peak_bw`` is the uncontended achievable bandwidth for this message
+    size (the OSU benchmark model computes it from the message size);
+    contention stretches the transfer through the flow's grant ratio.
+    """
+    if nbytes < 0 or peak_bw <= 0:
+        raise ConfigError("transfer needs nbytes >= 0 and peak_bw > 0")
+    duration = latency + nbytes / peak_bw
+    return Segment(
+        work=duration,
+        cpu=cpu,
+        flows=[Flow(dst=dst, rate=peak_bw)],
+        label=label,
+    )
+
+
+def sustained_stream(
+    dst: str,
+    rate: float,
+    duration: float = math.inf,
+    cpu: float = 0.05,
+    label: str = "stream",
+) -> Segment:
+    """An open-ended put stream toward ``dst`` at ``rate`` bytes/s."""
+    if rate <= 0:
+        raise ConfigError("stream rate must be > 0")
+    return Segment(
+        work=duration,
+        cpu=cpu,
+        flows=[Flow(dst=dst, rate=rate)],
+        label=label,
+    )

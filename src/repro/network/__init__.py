@@ -1,0 +1,13 @@
+"""Interconnect model: topology builders, adaptive routing, flow solver."""
+
+from repro.network.topology import NetworkTopology, aries_like, dragonfly, star
+from repro.network.flows import FlowRequest, FlowSolver
+
+__all__ = [
+    "FlowRequest",
+    "FlowSolver",
+    "NetworkTopology",
+    "aries_like",
+    "dragonfly",
+    "star",
+]

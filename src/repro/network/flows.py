@@ -1,0 +1,256 @@
+"""Fluid flow allocation with adaptive multipath routing.
+
+The solver mirrors how Aries behaves at the granularity our monitoring
+observes (1 Hz):
+
+1. **Path selection (adaptive routing).**  Each flow considers up to ``k``
+   loop-free shortest paths.  Its demand is split across them, and the
+   split is iteratively re-balanced away from congested links — the fluid
+   analogue of Aries' per-packet adaptive routing.
+2. **Link sharing.**  Given the final sub-flows, per-link capacity is
+   divided by demand-capped max-min fairness (the classic water-filling
+   algorithm over links).
+
+Static single-path routing (the ablation in
+``benchmarks/bench_ablation_routing.py``) uses ``k=1``, which removes the
+re-balancing and reproduces the severe congestion the paper says adaptive
+routing avoids.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ResourceError
+from repro.network.topology import NetworkTopology
+
+Edge = tuple[str, str]
+
+
+def _edge(u: str, v: str) -> Edge:
+    return (u, v) if str(u) <= str(v) else (v, u)
+
+
+@dataclass
+class FlowRequest:
+    """A point-to-point demand to be routed.
+
+    Attributes
+    ----------
+    key:
+        Caller's identifier (e.g. the pid of the demanding process).
+    src / dst:
+        Compute-node names.
+    demand:
+        Bytes/s wanted at full speed.
+    """
+
+    key: int
+    src: str
+    dst: str
+    demand: float
+
+    def __post_init__(self) -> None:
+        if self.demand < 0 or math.isnan(self.demand) or math.isinf(self.demand):
+            raise ResourceError("flow demand must be finite and >= 0")
+
+
+@dataclass
+class _SubFlow:
+    flow_index: int
+    edges: list[Edge]
+    demand: float
+    rate: float = 0.0
+    fixed: bool = False
+
+
+@dataclass
+class FlowResult:
+    """Outcome of a solve: per-flow grants and per-edge utilisation."""
+
+    grants: dict[int, float]
+    edge_load: dict[Edge, float] = field(default_factory=dict)
+
+
+class FlowSolver:
+    """Allocates network bandwidth for a set of concurrent flows."""
+
+    def __init__(
+        self,
+        topology: NetworkTopology,
+        k_paths: int = 4,
+        rebalance_rounds: int = 4,
+        latency_alpha: float = 0.6,
+    ) -> None:
+        if k_paths < 1:
+            raise ResourceError("k_paths must be >= 1")
+        if latency_alpha < 0:
+            raise ResourceError("latency_alpha must be >= 0")
+        self.topology = topology
+        self.k_paths = k_paths
+        self.rebalance_rounds = rebalance_rounds
+        #: strength of the congestion-latency degradation: traffic from
+        #: *other* flows on a flow's path stretches per-packet latency,
+        #: lowering the bandwidth a fixed-window sender can extract even
+        #: when link capacity is not exhausted.  This is the effect that
+        #: makes netoccupy hurt the OSU benchmark on an adaptively-routed
+        #: fabric whose links never fully saturate (paper Fig. 6).
+        self.latency_alpha = latency_alpha
+        self._path_cache: dict[tuple[str, str], list[list[Edge]]] = {}
+
+    # -- public -----------------------------------------------------------
+
+    def solve(self, flows: list[FlowRequest]) -> FlowResult:
+        """Grant bandwidth to every flow; grants are keyed by ``flow.key``.
+
+        Multiple requests may share a key (a process with several flows);
+        the result sums grants per key is NOT done here — keys must be
+        unique per request for unambiguous results.
+        """
+        if not flows:
+            return FlowResult(grants={})
+        keys = [f.key for f in flows]
+        if len(set(keys)) != len(keys):
+            raise ResourceError("flow keys must be unique per solve")
+
+        subflows: list[_SubFlow] = []
+        per_flow_subflows: list[list[_SubFlow]] = []
+        for idx, flow in enumerate(flows):
+            paths = self._paths(flow.src, flow.dst)
+            split = [flow.demand / len(paths)] * len(paths)
+            flow_subs = [
+                _SubFlow(flow_index=idx, edges=path, demand=d)
+                for path, d in zip(paths, split)
+            ]
+            per_flow_subflows.append(flow_subs)
+            subflows.extend(flow_subs)
+
+        for _ in range(self.rebalance_rounds):
+            loads = self._edge_loads(subflows)
+            self._rebalance(flows, per_flow_subflows, loads)
+
+        # Pass 1: capacity sharing with the raw demands.
+        self._max_min(subflows)
+
+        if self.latency_alpha > 0:
+            # Pass 2: degrade each flow's demand by the congestion other
+            # granted traffic imposes on its paths, then re-share.
+            granted_loads = self._edge_loads(subflows, use_rate=True)
+            for subs in per_flow_subflows:
+                own = {e: 0.0 for sub in subs for e in sub.edges}
+                for sub in subs:
+                    for e in sub.edges:
+                        own[e] += sub.rate
+                worst = 0.0
+                for sub in subs:
+                    for e in sub.edges:
+                        cap = self.topology.capacity(*e)
+                        other = max(0.0, granted_loads.get(e, 0.0) - own[e])
+                        worst = max(worst, other / cap)
+                factor = 1.0 / (1.0 + self.latency_alpha * worst)
+                for sub in subs:
+                    sub.demand *= factor
+            self._max_min(subflows)
+
+        grants = {f.key: 0.0 for f in flows}
+        for sub in subflows:
+            grants[flows[sub.flow_index].key] += sub.rate
+        return FlowResult(grants=grants, edge_load=self._edge_loads(subflows, use_rate=True))
+
+    # -- internals ----------------------------------------------------------
+
+    def _paths(self, src: str, dst: str) -> list[list[Edge]]:
+        cache_key = (src, dst)
+        if cache_key not in self._path_cache:
+            node_paths = self.topology.k_shortest_paths(src, dst, self.k_paths)
+            # Keep only paths no longer than shortest + 1 hop: Aries'
+            # adaptive routing only considers minimal and near-minimal routes.
+            min_len = len(node_paths[0])
+            node_paths = [p for p in node_paths if len(p) <= min_len + 1]
+            self._path_cache[cache_key] = [
+                [_edge(u, v) for u, v in zip(p, p[1:])] for p in node_paths
+            ]
+        return self._path_cache[cache_key]
+
+    def _edge_loads(
+        self, subflows: list[_SubFlow], use_rate: bool = False
+    ) -> dict[Edge, float]:
+        loads: dict[Edge, float] = {}
+        for sub in subflows:
+            amount = sub.rate if use_rate else sub.demand
+            for edge in sub.edges:
+                loads[edge] = loads.get(edge, 0.0) + amount
+        return loads
+
+    def _rebalance(
+        self,
+        flows: list[FlowRequest],
+        per_flow_subflows: list[list[_SubFlow]],
+        loads: dict[Edge, float],
+    ) -> None:
+        """Shift each flow's split toward its less-congested paths."""
+        for flow, subs in zip(flows, per_flow_subflows):
+            if len(subs) <= 1 or flow.demand == 0:
+                continue
+            congestions = []
+            for sub in subs:
+                # Congestion the flow would see on this path from OTHER
+                # traffic (its own contribution removed).
+                worst = 0.0
+                for edge in sub.edges:
+                    cap = self.topology.capacity(*edge)
+                    other = loads.get(edge, 0.0) - sub.demand
+                    worst = max(worst, other / cap)
+                congestions.append(worst)
+            weights = [1.0 / (1.0 + c) ** 2 for c in congestions]
+            wsum = sum(weights)
+            for sub, w in zip(subs, weights):
+                for edge in sub.edges:
+                    loads[edge] = loads.get(edge, 0.0) - sub.demand
+                sub.demand = flow.demand * w / wsum
+                for edge in sub.edges:
+                    loads[edge] = loads.get(edge, 0.0) + sub.demand
+
+    def _max_min(self, subflows: list[_SubFlow]) -> None:
+        """Demand-capped max-min fair rates over all links (water filling)."""
+        for sub in subflows:
+            sub.rate = 0.0
+            sub.fixed = sub.demand <= 0.0
+        edges = {e for sub in subflows for e in sub.edges}
+        residual = {e: self.topology.capacity(*e) for e in edges}
+
+        for _ in range(len(subflows) + len(edges) + 1):
+            unfixed = [s for s in subflows if not s.fixed]
+            if not unfixed:
+                return
+            # Fair share offered by each link to its unfixed subflows.
+            link_share: dict[Edge, float] = {}
+            for edge in edges:
+                crossing = [s for s in unfixed if edge in s.edges]
+                if crossing:
+                    link_share[edge] = residual[edge] / len(crossing)
+            if not link_share:
+                for sub in unfixed:  # no constrained links: grant demands
+                    sub.rate = sub.demand
+                    sub.fixed = True
+                return
+            bottleneck_rate = min(link_share.values())
+            # Subflows whose demand is below the current water level are
+            # satisfied outright; otherwise fix flows crossing the tightest
+            # link at the fair share.
+            demand_limited = [s for s in unfixed if s.demand <= bottleneck_rate + 1e-12]
+            if demand_limited:
+                fixed_now = demand_limited
+                for sub in fixed_now:
+                    sub.rate = sub.demand
+            else:
+                bottleneck = min(link_share, key=lambda e: (link_share[e], e))
+                fixed_now = [s for s in unfixed if bottleneck in s.edges]
+                for sub in fixed_now:
+                    sub.rate = bottleneck_rate
+            for sub in fixed_now:
+                sub.fixed = True
+                for edge in sub.edges:
+                    residual[edge] = max(0.0, residual[edge] - sub.rate)
+        raise ResourceError("max-min water filling failed to converge")

@@ -1,0 +1,155 @@
+"""Network topologies.
+
+Two builders cover the paper's systems:
+
+``aries_like``
+    Voltrino's Aries interconnect: four nodes per switch, switches densely
+    connected with *redundant* inter-switch links.  The redundancy plus
+    adaptive routing is what bounds netoccupy's damage in Fig. 6.
+``star``
+    Chameleon Cloud's simple star: every node hangs off one router, so
+    there are no alternative paths — which is why the paper cannot
+    evaluate netoccupy there.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.errors import ConfigError
+from repro.units import GB10
+
+
+class NetworkTopology:
+    """An undirected capacity graph of compute nodes and switches.
+
+    Nodes whose name starts with ``"node"`` are compute endpoints; other
+    vertices are switches/routers.  Edge attribute ``capacity`` is in
+    bytes/s (bundled parallel links appear as one edge with the summed
+    capacity).
+    """
+
+    def __init__(self, graph: nx.Graph, name: str = "net") -> None:
+        for u, v, data in graph.edges(data=True):
+            if data.get("capacity", 0) <= 0:
+                raise ConfigError(f"edge {u}-{v} must have positive capacity")
+        self.graph = graph
+        self.name = name
+
+    @property
+    def compute_nodes(self) -> list[str]:
+        return sorted(n for n in self.graph.nodes if str(n).startswith("node"))
+
+    @property
+    def switches(self) -> list[str]:
+        return sorted(
+            (n for n in self.graph.nodes if not str(n).startswith("node")), key=str
+        )
+
+    def capacity(self, u: str, v: str) -> float:
+        return float(self.graph.edges[u, v]["capacity"])
+
+    def switch_of(self, node: str) -> str:
+        """The switch a compute node attaches to (assumes single uplink)."""
+        neighbors = list(self.graph.neighbors(node))
+        if len(neighbors) != 1:
+            raise ConfigError(f"{node} has {len(neighbors)} uplinks; expected 1")
+        return neighbors[0]
+
+    def k_shortest_paths(self, src: str, dst: str, k: int = 4) -> list[list[str]]:
+        """Up to ``k`` loop-free shortest paths (hop-count metric)."""
+        if src == dst:
+            return [[src]]
+        paths: list[list[str]] = []
+        for path in nx.shortest_simple_paths(self.graph, src, dst):
+            paths.append(list(path))
+            if len(paths) >= k:
+                break
+        return paths
+
+
+def aries_like(
+    num_nodes: int = 12,
+    nodes_per_switch: int = 4,
+    link_bw: float = 5.25 * GB10,
+    inter_switch_redundancy: int = 3,
+    nic_bw: float = 10 * GB10,
+) -> NetworkTopology:
+    """Build a Voltrino-like Aries electrical group.
+
+    Switches are connected all-to-all; each switch pair gets
+    ``inter_switch_redundancy`` parallel links (modelled as one edge with
+    the summed capacity).  Every switch hosts ``nodes_per_switch`` nodes.
+    """
+    if num_nodes < 1 or nodes_per_switch < 1:
+        raise ConfigError("num_nodes and nodes_per_switch must be >= 1")
+    num_switches = (num_nodes + nodes_per_switch - 1) // nodes_per_switch
+    g = nx.Graph()
+    for s in range(num_switches):
+        g.add_node(f"sw{s}")
+    for s in range(num_switches):
+        for t in range(s + 1, num_switches):
+            g.add_edge(
+                f"sw{s}", f"sw{t}", capacity=link_bw * inter_switch_redundancy
+            )
+    for n in range(num_nodes):
+        switch = n // nodes_per_switch
+        g.add_edge(f"node{n}", f"sw{switch}", capacity=nic_bw)
+    return NetworkTopology(g, name="aries")
+
+
+def dragonfly(
+    groups: int = 4,
+    switches_per_group: int = 4,
+    nodes_per_switch: int = 4,
+    local_link_bw: float = 5.25 * GB10,
+    local_redundancy: int = 3,
+    global_link_bw: float = 4.7 * GB10,
+    nic_bw: float = 10 * GB10,
+) -> NetworkTopology:
+    """Build a full dragonfly: all-to-all groups of all-to-all switches.
+
+    Aries' real structure: electrical all-to-all links inside a group
+    (chassis), optical global links between groups.  Each ordered group
+    pair gets one global link, attached round-robin to the groups'
+    switches.  Used by the extension study on global-link contention —
+    the bottleneck Bhatele et al. identify on dragonfly systems.
+    """
+    if groups < 2 or switches_per_group < 1 or nodes_per_switch < 1:
+        raise ConfigError("need >= 2 groups and >= 1 switch/node per level")
+    g = nx.Graph()
+    node_id = 0
+    for grp in range(groups):
+        for s in range(switches_per_group):
+            g.add_node(f"g{grp}sw{s}")
+        for a in range(switches_per_group):
+            for b in range(a + 1, switches_per_group):
+                g.add_edge(
+                    f"g{grp}sw{a}",
+                    f"g{grp}sw{b}",
+                    capacity=local_link_bw * local_redundancy,
+                )
+        for s in range(switches_per_group):
+            for _ in range(nodes_per_switch):
+                g.add_edge(f"node{node_id}", f"g{grp}sw{s}", capacity=nic_bw)
+                node_id += 1
+    # one global link per group pair, spread across switches round-robin
+    pair_index = 0
+    for ga in range(groups):
+        for gb in range(ga + 1, groups):
+            sa = pair_index % switches_per_group
+            sb = (pair_index + 1) % switches_per_group
+            g.add_edge(f"g{ga}sw{sa}", f"g{gb}sw{sb}", capacity=global_link_bw)
+            pair_index += 1
+    return NetworkTopology(g, name="dragonfly")
+
+
+def star(num_nodes: int = 6, link_bw: float = 1.25 * GB10) -> NetworkTopology:
+    """Build a Chameleon-like star: one router, one link per node."""
+    if num_nodes < 1:
+        raise ConfigError("num_nodes must be >= 1")
+    g = nx.Graph()
+    g.add_node("router")
+    for n in range(num_nodes):
+        g.add_edge(f"node{n}", "router", capacity=link_bw)
+    return NetworkTopology(g, name="star")

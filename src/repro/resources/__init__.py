@@ -1,0 +1,5 @@
+"""Resource-sharing primitives used by the cluster rate model."""
+
+from repro.resources.fairshare import max_min_fair_share, proportional_share
+
+__all__ = ["max_min_fair_share", "proportional_share"]

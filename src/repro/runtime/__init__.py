@@ -1,0 +1,18 @@
+"""Charm++-style object runtime with pluggable load balancers (Sec. 5.3)."""
+
+from repro.runtime.loadbalancers import (
+    GreedyRefineLB,
+    LBObjOnly,
+    LoadBalancer,
+    WorkObject,
+)
+from repro.runtime.charm import CharmRuntime, IterationStats
+
+__all__ = [
+    "CharmRuntime",
+    "GreedyRefineLB",
+    "IterationStats",
+    "LBObjOnly",
+    "LoadBalancer",
+    "WorkObject",
+]

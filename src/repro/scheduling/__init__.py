@@ -1,0 +1,19 @@
+"""Job allocation policies and the cluster scheduler (paper Sec. 5.2)."""
+
+from repro.scheduling.policies import (
+    AllocationPolicy,
+    NodeStatus,
+    RoundRobin,
+    WellBalancedAllocation,
+    observe_nodes,
+)
+from repro.scheduling.scheduler import JobScheduler
+
+__all__ = [
+    "AllocationPolicy",
+    "JobScheduler",
+    "NodeStatus",
+    "RoundRobin",
+    "WellBalancedAllocation",
+    "observe_nodes",
+]

@@ -1,0 +1,114 @@
+"""Job allocation policies: Round-Robin and WBAS.
+
+The paper's Sec. 5.2 compares:
+
+* **Round-Robin (RR)** — allocate to available nodes in label order.
+* **Well-Balanced Allocation Strategy (WBAS)** (Yang et al.) — rank nodes
+  by computing capacity ``CP = (1 - Load%) x MemFree`` where
+  ``Load = 5/6 Load_current + 1/6 Load_5minAvg``, taking the current CPU
+  load from ``user::procstat`` and free memory from ``Memfree::meminfo``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SchedulingError
+from repro.monitoring.service import MetricService
+
+
+@dataclass(frozen=True)
+class NodeStatus:
+    """Monitoring-derived node state consumed by allocation policies."""
+
+    name: str
+    load_current: float  # fraction of the node's CPUs busy, [0, 1]
+    load_avg5min: float
+    mem_free: float  # bytes
+
+    @property
+    def wbas_load(self) -> float:
+        """The WBAS blended load: 5/6 current + 1/6 five-minute average."""
+        return (5.0 / 6.0) * self.load_current + (1.0 / 6.0) * self.load_avg5min
+
+    @property
+    def computing_capacity(self) -> float:
+        """WBAS CP value: ``(1 - Load%) x MemFree``."""
+        return (1.0 - min(1.0, self.wbas_load)) * self.mem_free
+
+
+def observe_nodes(service: MetricService, window: float = 300.0) -> list[NodeStatus]:
+    """Snapshot every node's status from collected monitoring data.
+
+    ``load_current`` is the latest ``user::procstat`` sample;
+    ``load_avg5min`` averages the trailing ``window`` seconds.
+    """
+    statuses = []
+    for name in service.cluster.node_names:
+        util = service.series(name, "user::procstat") / 100.0
+        if util.size == 0:
+            raise SchedulingError(f"no monitoring data for {name}")
+        n_avg = max(1, int(window / service.interval))
+        statuses.append(
+            NodeStatus(
+                name=name,
+                load_current=float(util[-1]),
+                load_avg5min=float(np.mean(util[-n_avg:])),
+                mem_free=float(service.series(name, "MemFree::meminfo")[-1]),
+            )
+        )
+    return statuses
+
+
+class AllocationPolicy(ABC):
+    """Chooses which nodes a job runs on."""
+
+    name = "policy"
+
+    @abstractmethod
+    def select(self, statuses: list[NodeStatus], n_nodes: int) -> list[str]:
+        """Pick ``n_nodes`` node names from the candidate statuses."""
+
+    def _check(self, statuses: list[NodeStatus], n_nodes: int) -> None:
+        if n_nodes < 1:
+            raise SchedulingError("n_nodes must be >= 1")
+        if n_nodes > len(statuses):
+            raise SchedulingError(
+                f"requested {n_nodes} nodes but only {len(statuses)} available"
+            )
+
+
+class RoundRobin(AllocationPolicy):
+    """Allocate to available nodes following the label order."""
+
+    name = "RoundRobin"
+
+    def select(self, statuses: list[NodeStatus], n_nodes: int) -> list[str]:
+        self._check(statuses, n_nodes)
+        ordered = sorted(statuses, key=lambda s: _label_key(s.name))
+        return [s.name for s in ordered[:n_nodes]]
+
+
+class WellBalancedAllocation(AllocationPolicy):
+    """WBAS: prefer nodes with low CPU load and high free memory."""
+
+    name = "WBAS"
+
+    def select(self, statuses: list[NodeStatus], n_nodes: int) -> list[str]:
+        self._check(statuses, n_nodes)
+        ordered = sorted(
+            statuses,
+            key=lambda s: (-s.computing_capacity, _label_key(s.name)),
+        )
+        return sorted(
+            (s.name for s in ordered[:n_nodes]), key=_label_key
+        )
+
+
+def _label_key(name: str):
+    """Order 'node10' after 'node9' (numeric suffix aware)."""
+    digits = "".join(ch for ch in name if ch.isdigit())
+    return (int(digits) if digits else 0, name)

@@ -1,0 +1,80 @@
+"""A minimal job scheduler tying policies to the cluster.
+
+Fig. 11's workflow: monitoring observes node state, a policy picks the
+job's nodes, and the job launches there.  The scheduler exists so policy
+evaluation experiments read like the production flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.base import Application, AppJob
+from repro.cluster.cluster import Cluster
+from repro.errors import SchedulingError
+from repro.monitoring.service import MetricService
+from repro.scheduling.policies import AllocationPolicy, observe_nodes
+
+
+@dataclass
+class Allocation:
+    """A policy's decision for one job."""
+
+    policy: str
+    nodes: list[str]
+
+
+class JobScheduler:
+    """Allocates and launches jobs using a pluggable policy.
+
+    Jobs submitted through :meth:`submit` mark their nodes busy until
+    they finish, so a stream of jobs is space-shared: a later allocation
+    only considers currently-free nodes (like a node-exclusive batch
+    scheduler).
+    """
+
+    def __init__(self, cluster: Cluster, service: MetricService) -> None:
+        self.cluster = cluster
+        self.service = service
+        self.history: list[Allocation] = []
+        self._active: list[tuple[Allocation, AppJob]] = []
+
+    @property
+    def busy_nodes(self) -> set[str]:
+        """Nodes held by jobs that have not finished yet."""
+        self._active = [(a, j) for a, j in self._active if not j.finished]
+        return {node for allocation, _ in self._active for node in allocation.nodes}
+
+    def allocate(self, policy: AllocationPolicy, n_nodes: int) -> Allocation:
+        """Pick ``n_nodes`` currently-free nodes with ``policy``."""
+        busy = self.busy_nodes
+        statuses = [s for s in observe_nodes(self.service) if s.name not in busy]
+        if not statuses:
+            raise SchedulingError("no free nodes available")
+        nodes = policy.select(statuses, n_nodes)
+        allocation = Allocation(policy=policy.name, nodes=nodes)
+        self.history.append(allocation)
+        return allocation
+
+    def submit(
+        self,
+        app: Application,
+        policy: AllocationPolicy,
+        n_nodes: int,
+        ranks_per_node: int,
+        start: float | None = None,
+        seed: int | None = None,
+    ) -> tuple[Allocation, AppJob]:
+        """Allocate with ``policy`` and launch the job there."""
+        allocation = self.allocate(policy, n_nodes)
+        job = AppJob(
+            app,
+            self.cluster,
+            nodes=list(allocation.nodes),
+            ranks_per_node=ranks_per_node,
+            start=self.cluster.sim.now if start is None else start,
+            seed=seed,
+        )
+        job.launch()
+        self._active.append((allocation, job))
+        return allocation, job

@@ -1,0 +1,34 @@
+"""Deterministic fluid-rate / discrete-event simulation engine.
+
+The engine models computation as *fluid progress*: every simulated process
+executes a sequence of :class:`~repro.sim.process.Segment` objects, each of
+which declares the resource rates it wants (CPU share, cache footprint,
+memory bandwidth, network flows, I/O).  Whenever the set of active segments
+changes, the engine asks the attached :class:`~repro.sim.engine.RateModel`
+to re-solve resource allocation; between such events every process advances
+linearly at its granted speed, so the simulation is exact (no time-step
+error) and fast (events only where rates change).
+"""
+
+from repro.sim.engine import RateModel, Simulator
+from repro.sim.events import Event, EventQueue
+from repro.sim.process import (
+    ProcessState,
+    Segment,
+    SimProcess,
+    Sleep,
+)
+from repro.sim.rng import make_rng, spawn_rng
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "ProcessState",
+    "RateModel",
+    "Segment",
+    "SimProcess",
+    "Simulator",
+    "Sleep",
+    "make_rng",
+    "spawn_rng",
+]

@@ -1,0 +1,342 @@
+"""The simulation engine: exact fluid advancement between rate-change events.
+
+The engine owns simulated time, the event queue, and the process table.  It
+delegates *all* performance modelling to a :class:`RateModel` (the cluster
+package provides the real one): whenever the set of running segments
+changes, the engine calls :meth:`RateModel.resolve` to obtain each process's
+speed, and between events it calls :meth:`RateModel.accrue` so the model can
+integrate usage counters (CPU seconds, bytes moved, NIC flits, ...) for the
+monitoring samplers.
+
+Because processes advance linearly between events, segment completions can
+be scheduled exactly — the simulation has no time-step discretisation error
+and its cost scales with the number of rate changes, not with simulated
+duration.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Callable, Sequence
+
+from repro.errors import ProcessCrash, SimulationError
+from repro.sim.events import Event, EventQueue
+from repro.sim.process import (
+    Condition,
+    ProcessState,
+    Segment,
+    SimProcess,
+    Sleep,
+    Wait,
+)
+
+#: Guard against runaway event loops (a real experiment uses ~1e4 events).
+MAX_EVENTS = 20_000_000
+
+#: Slack used when clamping residual work after float round-off.
+_EPS = 1e-9
+
+
+class RateModel(ABC):
+    """Performance model plugged into the engine.
+
+    Implementations translate the demand vectors of running segments into
+    per-process speeds (fraction of nominal progress per wall second) and
+    integrate usage counters between events.
+    """
+
+    @abstractmethod
+    def resolve(self, running: Sequence[SimProcess], now: float) -> dict[int, float]:
+        """Return ``{pid: speed}`` for every running process.
+
+        Speeds are in ``[0, 1]``: 1 means the segment progresses in real
+        time, 0.5 means it takes twice its nominal duration.
+        """
+
+    @abstractmethod
+    def accrue(self, running: Sequence[SimProcess], t0: float, t1: float) -> None:
+        """Integrate usage counters over ``[t0, t1]`` at the current rates."""
+
+    def on_process_end(self, proc: SimProcess) -> None:
+        """Hook called when a process finishes or is killed (cleanup)."""
+
+
+class UnitRateModel(RateModel):
+    """Trivial model: every segment runs at full speed (used in tests)."""
+
+    def resolve(self, running: Sequence[SimProcess], now: float) -> dict[int, float]:
+        return {proc.pid: 1.0 for proc in running}
+
+    def accrue(self, running: Sequence[SimProcess], t0: float, t1: float) -> None:
+        dt = t1 - t0
+        for proc in running:
+            seg = proc.current
+            if seg is not None:
+                proc.add_counter("cpu_seconds", seg.cpu * dt * proc.speed)
+
+
+class RecurringHandle:
+    """Cancellation handle for :meth:`Simulator.every`."""
+
+    def __init__(self) -> None:
+        self._event: Event | None = None
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        if self._event is not None:
+            self._event.cancel()
+
+
+class Simulator:
+    """Discrete-event driver for fluid-rate simulation.
+
+    Parameters
+    ----------
+    model:
+        The :class:`RateModel` that prices resource contention.  Defaults
+        to :class:`UnitRateModel` (no contention), which is useful for unit
+        tests of process logic.
+    """
+
+    def __init__(self, model: RateModel | None = None) -> None:
+        self.model: RateModel = model if model is not None else UnitRateModel()
+        self.now: float = 0.0
+        self._queue = EventQueue()
+        self._processes: dict[int, SimProcess] = {}
+        self._running: list[SimProcess] = []
+        self._ready: list[SimProcess] = []
+        self._dirty = False
+        self._events_dispatched = 0
+        self._terminate_hooks: list[Callable[[SimProcess], None]] = []
+
+    # -- public API ---------------------------------------------------------
+
+    @property
+    def processes(self) -> tuple[SimProcess, ...]:
+        """All processes ever spawned, in pid order."""
+        return tuple(self._processes[pid] for pid in sorted(self._processes))
+
+    @property
+    def running(self) -> tuple[SimProcess, ...]:
+        """Processes currently holding an active segment."""
+        return tuple(self._running)
+
+    def process(self, pid: int) -> SimProcess:
+        """Look up a process by pid."""
+        try:
+            return self._processes[pid]
+        except KeyError:
+            raise SimulationError(f"unknown pid {pid}") from None
+
+    def add_terminate_hook(self, hook: Callable[[SimProcess], None]) -> None:
+        """Register a callback fired whenever a process ends (done or killed)."""
+        self._terminate_hooks.append(hook)
+
+    def spawn(self, proc: SimProcess, at: float | None = None) -> SimProcess:
+        """Register ``proc`` and start it at time ``at`` (default: now)."""
+        start = self.now if at is None else at
+        if start < self.now:
+            raise SimulationError(
+                f"cannot spawn {proc.name} in the past ({start} < {self.now})"
+            )
+        if proc.pid in self._processes:
+            raise SimulationError(f"process {proc.name} already spawned")
+        self._processes[proc.pid] = proc
+        self._queue.push(start, lambda: self._start(proc))
+        return proc
+
+    def kill(self, proc: SimProcess, reason: str = "killed") -> None:
+        """Terminate ``proc`` immediately (its ``finally`` blocks run)."""
+        if proc.state.terminal or proc.state is ProcessState.NEW and proc.sim is None:
+            return
+        proc._close()
+        self._finish(proc, ProcessState.KILLED, reason)
+
+    def schedule(self, time: float, action: Callable[[], None]) -> Event:
+        """Run ``action`` at absolute simulated ``time``."""
+        if time < self.now:
+            raise SimulationError(f"cannot schedule in the past ({time} < {self.now})")
+        return self._queue.push(time, action)
+
+    def call_in(self, delay: float, action: Callable[[], None]) -> Event:
+        """Run ``action`` after ``delay`` simulated seconds."""
+        return self.schedule(self.now + delay, action)
+
+    def every(
+        self,
+        interval: float,
+        action: Callable[[float], None],
+        start: float | None = None,
+        end: float = math.inf,
+    ) -> RecurringHandle:
+        """Invoke ``action(time)`` every ``interval`` seconds until ``end``.
+
+        The monitoring stack uses this for 1 Hz sampling.
+        """
+        if interval <= 0:
+            raise SimulationError("recurring interval must be > 0")
+        handle = RecurringHandle()
+        first = self.now if start is None else start
+
+        def fire(at: float) -> None:
+            if handle.cancelled or at > end:
+                return
+            action(at)
+            nxt = at + interval
+            if nxt <= end:
+                handle._event = self._queue.push(nxt, lambda: fire(nxt))
+
+        handle._event = self._queue.push(first, lambda: fire(first))
+        return handle
+
+    def notify(self, condition: Condition) -> None:
+        """Release all waiters of ``condition``; they resume in this event."""
+        for proc in condition.notify_all():
+            if proc.state is ProcessState.WAITING:
+                proc.state = ProcessState.NEW  # transitional; _drain re-steps it
+                self._ready.append(proc)
+
+    def run(
+        self,
+        until: float = math.inf,
+        stop_when: Callable[[], bool] | None = None,
+    ) -> float:
+        """Run until the queue drains or simulated time reaches ``until``.
+
+        ``stop_when`` is checked after every event; when it returns True
+        the loop exits immediately (recurring background events such as
+        monitoring ticks would otherwise keep an idle simulation running
+        to ``until``).
+
+        Returns the final simulated time.  Counters are integrated all the
+        way to ``until`` when it is finite and no stop condition fired, so
+        sampling windows that end in quiet periods account usage correctly.
+        """
+        if stop_when is not None and stop_when():
+            return self.now
+        while True:
+            tnext = self._queue.peek_time()
+            if tnext is None or tnext > until:
+                break
+            event = self._queue.pop()
+            assert event is not None
+            self._advance(event.time)
+            self._events_dispatched += 1
+            if self._events_dispatched > MAX_EVENTS:
+                raise SimulationError("event budget exhausted (runaway simulation?)")
+            event.action()
+            self._drain_ready()
+            if self._dirty:
+                self._resolve()
+            if stop_when is not None and stop_when():
+                return self.now
+        if math.isfinite(until) and until > self.now:
+            self._advance(until)
+        return self.now
+
+    # -- internals ------------------------------------------------------------
+
+    def _start(self, proc: SimProcess) -> None:
+        proc._bind(self)
+        proc.start_time = self.now
+        self._ready.append(proc)
+
+    def _advance(self, t: float) -> None:
+        dt = t - self.now
+        if dt < 0:
+            raise SimulationError("time went backwards")
+        if dt == 0:
+            return
+        if self._running:
+            self.model.accrue(self._running, self.now, t)
+            for proc in self._running:
+                proc.remaining = max(0.0, proc.remaining - proc.speed * dt)
+        self.now = t
+
+    def _drain_ready(self) -> None:
+        while self._ready:
+            proc = self._ready.pop(0)
+            if proc.state.terminal:
+                continue
+            self._step(proc)
+
+    def _step(self, proc: SimProcess) -> None:
+        was_running = proc.state is ProcessState.RUNNING
+        try:
+            item = proc._step()
+        except ProcessCrash as crash:
+            if was_running and proc in self._running:
+                self._running.remove(proc)
+                self._dirty = True
+            self._finish(proc, ProcessState.KILLED, f"crash: {crash}")
+            return
+        if was_running and proc in self._running and not isinstance(item, Segment):
+            self._running.remove(proc)
+            self._dirty = True
+        if item is None:
+            self._finish(proc, ProcessState.DONE, "done")
+        elif isinstance(item, Segment):
+            proc.current = item
+            proc.remaining = item.work
+            proc.wake_version += 1
+            if proc.state is not ProcessState.RUNNING:
+                proc.state = ProcessState.RUNNING
+                self._running.append(proc)
+            self._dirty = True
+        elif isinstance(item, Sleep):
+            proc.current = None
+            proc.state = ProcessState.SLEEPING
+            proc.wake_version += 1
+            version = proc.wake_version
+            self._queue.push(self.now + item.duration, lambda: self._wake(proc, version))
+        elif isinstance(item, Wait):
+            proc.current = None
+            proc.state = ProcessState.WAITING
+            proc.wake_version += 1
+            item.condition._add(proc)
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"process {proc.name} yielded {item!r}")
+
+    def _wake(self, proc: SimProcess, version: int) -> None:
+        if proc.wake_version != version or proc.state.terminal:
+            return
+        self._ready.append(proc)
+
+    def _on_segment_done(self, proc: SimProcess, version: int) -> None:
+        if proc.wake_version != version or proc.state is not ProcessState.RUNNING:
+            return
+        if proc.remaining > _EPS * max(1.0, proc.current.work if proc.current else 1.0):
+            # Rates changed since this wake was scheduled; a fresh wake was
+            # (or will be) scheduled by resolve.  Ignore the stale one.
+            return
+        proc.remaining = 0.0
+        self._ready.append(proc)
+
+    def _finish(self, proc: SimProcess, state: ProcessState, reason: str) -> None:
+        if proc in self._running:
+            self._running.remove(proc)
+            self._dirty = True
+        proc.state = state
+        proc.current = None
+        proc.end_time = self.now
+        proc.exit_reason = reason
+        proc.wake_version += 1
+        self.model.on_process_end(proc)
+        for hook in self._terminate_hooks:
+            hook(proc)
+
+    def _resolve(self) -> None:
+        self._dirty = False
+        speeds = self.model.resolve(self._running, self.now)
+        for proc in self._running:
+            proc.speed = speeds.get(proc.pid, 0.0)
+            proc.wake_version += 1
+            if math.isfinite(proc.remaining) and proc.speed > 0.0:
+                eta = self.now + proc.remaining / proc.speed
+                version = proc.wake_version
+                self._queue.push(eta, lambda p=proc, v=version: self._on_segment_done(p, v))
+        if self._dirty:
+            # resolve() itself may kill processes (e.g. OOM policies); loop.
+            self._resolve()

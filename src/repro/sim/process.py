@@ -1,0 +1,296 @@
+"""Simulated processes and the work segments they execute.
+
+A *process* is a Python generator pinned to one logical core of one node.
+It repeatedly yields work items:
+
+:class:`Segment`
+    Fluid work with a resource-demand vector.  The engine advances the
+    segment at the speed granted by the rate model and wakes the process
+    when the segment's ``work`` is exhausted (``math.inf`` keeps it running
+    until the process is stopped externally — anomaly generators use this).
+:class:`Sleep`
+    Idle for a fixed simulated duration (no resource demands).
+:class:`Wait`
+    Block until a :class:`Condition` is notified (used for barriers and
+    message completion in the MPI layer).
+
+The demand vocabulary mirrors the subsystems of the paper: CPU duty cycle,
+cache footprints/intensities and miss behaviour, memory bandwidth, network
+flows, and filesystem traffic.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Generator, Mapping, Sequence
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+
+#: Cache level names, innermost first.
+CACHE_LEVELS = ("L1", "L2", "L3")
+
+
+@dataclass(frozen=True)
+class Flow:
+    """A point-to-point network demand.
+
+    Attributes
+    ----------
+    dst:
+        Destination node name.
+    rate:
+        Bytes/second the flow wants to push at full speed.
+    """
+
+    dst: str
+    rate: float
+
+
+@dataclass(frozen=True)
+class IODemand:
+    """Filesystem traffic demanded by a segment.
+
+    Attributes
+    ----------
+    fs:
+        Name of the shared filesystem to talk to.
+    write_bw / read_bw:
+        Bytes/second of disk traffic demanded at full speed.
+    meta_ops:
+        Metadata operations (create/open/close/unlink/stat) per second.
+    """
+
+    fs: str
+    write_bw: float = 0.0
+    read_bw: float = 0.0
+    meta_ops: float = 0.0
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One fluid unit of work with its resource-demand vector.
+
+    Parameters
+    ----------
+    work:
+        Nominal duration in seconds when running at full speed on the
+        reference core.  ``math.inf`` runs until the process is stopped.
+    cpu:
+        Demanded duty cycle on the pinned logical core, in ``[0, 1]``.
+        ``cpuoccupy`` at 30% intensity demands ``0.3``; a compute phase
+        demands ``1.0``.
+    cache_footprint:
+        Working-set bytes per cache level, e.g. ``{"L1": 16*KB, ...}``.
+        Levels are inclusive: a 1 MiB working set occupies 1 MiB of L3 and
+        fully occupies L1/L2.
+    cache_intensity:
+        Relative access pressure used to weight cache-occupancy contests.
+        0 means the segment barely touches the cache.
+    mpki_base / mpki_extra:
+        Last-level-cache misses per kilo-instruction when unmolested, and
+        the additional MPKI incurred when the working set is fully evicted.
+    miss_cpi_penalty:
+        Relative CPI slowdown at full eviction (e.g. 0.8 means the segment
+        runs 1.8x slower when its cache lines are always evicted).
+    mem_bw / mem_bw_extra:
+        Bytes/second demanded from the socket memory pool at full speed,
+        and the extra demand at full cache eviction (refetches).
+    flows:
+        Network flows this segment keeps active.
+    io:
+        Filesystem traffic this segment keeps active.
+    ips:
+        Instructions per (full-speed) second, used by the PAPI-style
+        sampler to report instruction counts and MPKI.
+    label:
+        Free-form tag for tracing/debugging.
+    """
+
+    work: float
+    cpu: float = 1.0
+    cache_footprint: Mapping[str, float] = field(default_factory=dict)
+    cache_intensity: float = 0.0
+    mpki_base: float = 0.0
+    mpki_extra: float = 0.0
+    miss_cpi_penalty: float = 0.0
+    mem_bw: float = 0.0
+    mem_bw_extra: float = 0.0
+    flows: Sequence[Flow] = ()
+    io: IODemand | None = None
+    ips: float = 0.0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.work < 0 or math.isnan(self.work):
+            raise SimulationError(f"segment work must be >= 0, got {self.work}")
+        if not 0.0 <= self.cpu <= 1.0:
+            raise SimulationError(f"segment cpu duty must be in [0,1], got {self.cpu}")
+        for name in ("cache_intensity", "mpki_base", "mpki_extra", "miss_cpi_penalty",
+                     "mem_bw", "mem_bw_extra", "ips"):
+            if getattr(self, name) < 0:
+                raise SimulationError(f"segment {name} must be >= 0")
+        for level, size in self.cache_footprint.items():
+            if level not in CACHE_LEVELS:
+                raise SimulationError(f"unknown cache level {level!r}")
+            if size < 0:
+                raise SimulationError("cache footprint must be >= 0")
+
+
+@dataclass(frozen=True)
+class Sleep:
+    """Idle for ``duration`` simulated seconds."""
+
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 0 or math.isnan(self.duration):
+            raise SimulationError(f"sleep duration must be >= 0, got {self.duration}")
+
+
+class Condition:
+    """A waitable broadcast condition (engine-level synchronisation)."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._waiters: list[SimProcess] = []
+
+    @property
+    def waiters(self) -> tuple["SimProcess", ...]:
+        return tuple(self._waiters)
+
+    def _add(self, proc: SimProcess) -> None:
+        self._waiters.append(proc)
+
+    def notify_all(self) -> list["SimProcess"]:
+        """Release every waiter; returns the released processes."""
+        released, self._waiters = self._waiters, []
+        return released
+
+
+@dataclass(frozen=True)
+class Wait:
+    """Block until ``condition`` is notified."""
+
+    condition: Condition
+
+
+Yieldable = Segment | Sleep | Wait
+Body = Generator[Yieldable, None, None]
+
+
+class ProcessState(enum.Enum):
+    """Lifecycle of a simulated process."""
+
+    NEW = "new"
+    RUNNING = "running"
+    SLEEPING = "sleeping"
+    WAITING = "waiting"
+    DONE = "done"
+    KILLED = "killed"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (ProcessState.DONE, ProcessState.KILLED)
+
+
+_pid_counter = itertools.count(1)
+
+
+class SimProcess:
+    """A simulated OS process pinned to one logical core.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier (unique names make traces legible).
+    body:
+        Callable returning the generator to execute; it receives this
+        process object, through which it can reach the simulator
+        (``proc.sim``), its placement (``proc.node``, ``proc.core``), and
+        the node's memory ledger.
+    node:
+        Name of the node this process runs on.
+    core:
+        Logical core index within the node.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        body: Callable[["SimProcess"], Body],
+        node: str,
+        core: int,
+    ) -> None:
+        self.pid: int = next(_pid_counter)
+        self.name = name
+        self.node = node
+        self.core = core
+        self._body_factory = body
+        self._gen: Body | None = None
+        self.sim: "Simulator | None" = None
+        self.state = ProcessState.NEW
+        self.current: Segment | None = None
+        self.remaining: float = 0.0
+        self.speed: float = 0.0
+        #: incremented every time the process is (re)scheduled; wake events
+        #: carry the version they were computed for so stale ones are ignored
+        self.wake_version: int = 0
+        self.start_time: float | None = None
+        self.end_time: float | None = None
+        self.exit_reason: str = ""
+        #: cumulative counters maintained by the rate model (cpu seconds,
+        #: bytes moved, cache misses, ...)
+        self.counters: dict[str, float] = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (
+            f"<SimProcess {self.name} pid={self.pid} node={self.node} "
+            f"core={self.core} state={self.state.value}>"
+        )
+
+    # -- engine-side API ---------------------------------------------------
+
+    def _bind(self, sim: "Simulator") -> None:
+        if self.sim is not None:
+            raise SimulationError(f"process {self.name} already bound to a simulator")
+        self.sim = sim
+        self._gen = self._body_factory(self)
+
+    def _step(self, exc: BaseException | None = None) -> Yieldable | None:
+        """Advance the generator; returns the next yieldable or None if done."""
+        assert self._gen is not None
+        try:
+            if exc is not None:
+                return self._gen.throw(exc)
+            return self._gen.send(None)
+        except StopIteration:
+            return None
+
+    def _close(self) -> None:
+        if self._gen is not None:
+            self._gen.close()
+
+    # -- body-side helpers ---------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (valid while the body is executing)."""
+        assert self.sim is not None
+        return self.sim.now
+
+    def add_counter(self, key: str, amount: float) -> None:
+        """Accumulate into a named per-process counter."""
+        self.counters[key] = self.counters.get(key, 0.0) + amount
+
+    @property
+    def runtime(self) -> float:
+        """Wall time from spawn to completion (requires a finished process)."""
+        if self.start_time is None or self.end_time is None:
+            raise SimulationError(f"process {self.name} has not finished")
+        return self.end_time - self.start_time

@@ -1,0 +1,168 @@
+"""Execution tracing for simulated processes.
+
+A :class:`Tracer` subscribes to a simulator and records process lifecycle
+transitions — spawn, segment starts, speed changes, completion — as
+timestamped records.  Useful for debugging contention models ("why did
+this rank slow down at t=42?") and for asserting timeline properties in
+tests.  Tracing is pull-based and zero-cost when not attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.sim.engine import RateModel, Simulator
+from repro.sim.process import SimProcess
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One timeline event."""
+
+    time: float
+    pid: int
+    name: str
+    kind: str  # "speed" | "end"
+    detail: str
+    value: float = 0.0
+
+
+@dataclass
+class Timeline:
+    """A process's recorded speed profile."""
+
+    records: list[TraceRecord] = field(default_factory=list)
+
+    def speed_at(self, time: float) -> float:
+        """Speed in effect at ``time`` (0.0 before the first record)."""
+        current = 0.0
+        for rec in self.records:
+            if rec.kind != "speed":
+                continue
+            if rec.time > time:
+                break
+            current = rec.value
+        return current
+
+    def intervals(self) -> list[tuple[float, float, float]]:
+        """(start, end, speed) pieces of the speed profile."""
+        out = []
+        speed_records = [r for r in self.records if r.kind == "speed"]
+        end_records = [r for r in self.records if r.kind == "end"]
+        for a, b in zip(speed_records, speed_records[1:]):
+            out.append((a.time, b.time, a.value))
+        if speed_records:
+            last = speed_records[-1]
+            end = end_records[-1].time if end_records else float("inf")
+            out.append((last.time, end, last.value))
+        return out
+
+
+class _TracingModel(RateModel):
+    """Wraps a rate model, recording every resolve outcome."""
+
+    def __init__(self, inner: RateModel, tracer: "Tracer") -> None:
+        self.inner = inner
+        self.tracer = tracer
+        # expose the inner model's cluster (anomalies look it up)
+        cluster = getattr(inner, "cluster", None)
+        if cluster is not None:
+            self.cluster = cluster
+
+    def resolve(self, running, now):
+        speeds = self.inner.resolve(running, now)
+        for proc in running:
+            self.tracer._record_speed(now, proc, speeds.get(proc.pid, 0.0))
+        return speeds
+
+    def accrue(self, running, t0, t1):
+        self.inner.accrue(running, t0, t1)
+
+    def on_process_end(self, proc):
+        self.inner.on_process_end(proc)
+        self.tracer._record_end(proc)
+
+
+class Tracer:
+    """Records per-process speed timelines from a simulator."""
+
+    def __init__(self) -> None:
+        self.timelines: dict[int, Timeline] = {}
+        self._names: dict[int, str] = {}
+        self._sim: Simulator | None = None
+
+    def attach(self, sim: Simulator) -> None:
+        """Wrap the simulator's rate model to observe every resolve."""
+        if self._sim is not None:
+            raise RuntimeError("tracer already attached")
+        self._sim = sim
+        sim.model = _TracingModel(sim.model, self)
+
+    # -- recording ------------------------------------------------------------
+
+    def _timeline(self, proc: SimProcess) -> Timeline:
+        self._names[proc.pid] = proc.name
+        return self.timelines.setdefault(proc.pid, Timeline())
+
+    def _record_speed(self, now: float, proc: SimProcess, speed: float) -> None:
+        timeline = self._timeline(proc)
+        label = proc.current.label if proc.current is not None else ""
+        last = next(
+            (r for r in reversed(timeline.records) if r.kind == "speed"), None
+        )
+        if last is not None and last.value == speed and last.detail == label:
+            return  # deduplicate no-op resolves
+        timeline.records.append(
+            TraceRecord(
+                time=now,
+                pid=proc.pid,
+                name=proc.name,
+                kind="speed",
+                detail=label,
+                value=speed,
+            )
+        )
+
+    def _record_end(self, proc: SimProcess) -> None:
+        assert self._sim is not None
+        self._timeline(proc).records.append(
+            TraceRecord(
+                time=self._sim.now,
+                pid=proc.pid,
+                name=proc.name,
+                kind="end",
+                detail=proc.exit_reason,
+            )
+        )
+
+    # -- queries --------------------------------------------------------------
+
+    def by_name(self, name: str) -> Timeline:
+        """Timeline of the (unique) process with this name."""
+        matches = [pid for pid, n in self._names.items() if n == name]
+        if len(matches) != 1:
+            raise KeyError(f"{len(matches)} processes named {name!r}")
+        return self.timelines[matches[0]]
+
+    def records(self) -> Iterable[TraceRecord]:
+        """All records across processes in time order."""
+        out: list[TraceRecord] = []
+        for timeline in self.timelines.values():
+            out.extend(timeline.records)
+        return sorted(out, key=lambda r: (r.time, r.pid))
+
+    def render(self, limit: int = 50) -> str:
+        """Human-readable trace (first ``limit`` records)."""
+        lines = []
+        for rec in list(self.records())[:limit]:
+            if rec.kind == "speed":
+                lines.append(
+                    f"{rec.time:10.3f}  {rec.name:30s} speed={rec.value:.3f}"
+                    f"  [{rec.detail}]"
+                )
+            else:
+                lines.append(
+                    f"{rec.time:10.3f}  {rec.name:30s} END ({rec.detail})"
+                )
+        return "\n".join(lines)

@@ -1,0 +1,5 @@
+"""Shared-filesystem model: metadata and storage servers with coupled pools."""
+
+from repro.storage.filesystem import IOGrant, SharedFilesystem
+
+__all__ = ["IOGrant", "SharedFilesystem"]

@@ -1,0 +1,185 @@
+"""Shared filesystem with metadata and storage resource pools.
+
+The model captures the architecture described in the paper (Sec. 3.5): one
+or a few metadata servers manage creation/deletion/locks, storage servers
+hold file contents, and compute nodes reach both over a network.  Three
+pools price contention, each with the sharing discipline real servers
+exhibit:
+
+``disk``
+    Aggregate storage-server disk bandwidth (bytes/s).  Data traffic uses
+    it directly; each metadata operation also commits a few KiB of journal
+    and inode traffic (to the *shared* disk only when the metadata service
+    lives on the same server).  Shared max-min per client node, then
+    max-min among a node's processes — NFS/Lustre servers arbitrate
+    per-client fairly.
+``meta``
+    Metadata operations per second, shared like the disk.
+``cpu``
+    Server CPU seconds per second.  Worker threads are grabbed
+    first-come-first-served, so CPU shares are *proportional to demand* —
+    a metadata storm monopolising the nfsd threads starves the data path
+    even though the data path asks for little.  This is why ``iometadata``
+    also lowers IOR's streaming bandwidth on the paper's NFS appliance
+    (Fig. 7), and why a Lustre-like deployment with a dedicated metadata
+    server (``separate_metadata=True``) decouples the two.
+
+Every request class demands from several pools; a requester's progress
+ratio is the minimum grant/demand ratio across the pools it touches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.resources.fairshare import max_min_fair_share, proportional_share
+from repro.sim.process import IODemand
+from repro.units import KB, MB10
+
+
+@dataclass(frozen=True)
+class IOGrant:
+    """Granted filesystem rates for one requester."""
+
+    ratio: float  # achieved fraction of the demand, in [0, 1]
+    write_bw: float
+    read_bw: float
+    meta_ops: float
+
+
+class SharedFilesystem:
+    """A shared filesystem serving many compute nodes.
+
+    Parameters
+    ----------
+    name:
+        Filesystem name referenced by :class:`repro.sim.process.IODemand`.
+    disk_bw:
+        Aggregate storage disk bandwidth in bytes/s.
+    meta_capacity:
+        Metadata operations/s the metadata service can sustain.
+    server_cpu:
+        CPU-seconds/s available on the server(s) (i.e. core count).
+    cpu_per_meta_op:
+        Server CPU seconds consumed per metadata operation.
+    cpu_per_byte:
+        Server CPU seconds per byte of data traffic.
+    meta_disk_bytes:
+        Disk bytes (journal + inode) per metadata operation.
+    separate_metadata:
+        True for Lustre-like deployments with dedicated metadata servers:
+        metadata CPU and journal traffic use the MDS's own resources and
+        do not compete with the data path.
+    """
+
+    def __init__(
+        self,
+        name: str = "nfs",
+        disk_bw: float = 320 * MB10,
+        meta_capacity: float = 6000.0,
+        server_cpu: float = 24.0,
+        cpu_per_meta_op: float = 3.0e-3,
+        cpu_per_byte: float = 5.0e-9,
+        meta_disk_bytes: float = 2 * KB,
+        separate_metadata: bool = False,
+    ) -> None:
+        if disk_bw <= 0 or meta_capacity <= 0 or server_cpu <= 0:
+            raise ConfigError("filesystem capacities must be positive")
+        if cpu_per_meta_op < 0 or cpu_per_byte < 0 or meta_disk_bytes < 0:
+            raise ConfigError("filesystem cost coefficients must be >= 0")
+        self.name = name
+        self.disk_bw = disk_bw
+        self.meta_capacity = meta_capacity
+        self.server_cpu = server_cpu
+        self.cpu_per_meta_op = cpu_per_meta_op
+        self.cpu_per_byte = cpu_per_byte
+        self.meta_disk_bytes = meta_disk_bytes
+        self.separate_metadata = separate_metadata
+
+    @classmethod
+    def nfs_appliance(cls) -> "SharedFilesystem":
+        """The paper's Chameleon NFS share: one server, one 250 GB disk.
+
+        The server runs 24 metadata threads and the data path on the same
+        CPUs, and the single disk serves both journal and data traffic.
+        """
+        return cls(name="nfs", separate_metadata=False)
+
+    @classmethod
+    def lustre_like(cls) -> "SharedFilesystem":
+        """A Lustre-flavoured setup: dedicated MDS, larger OST pool."""
+        return cls(
+            name="lustre",
+            disk_bw=5_000 * MB10,
+            meta_capacity=40_000.0,
+            server_cpu=96.0,
+            separate_metadata=True,
+        )
+
+    # -- solving ---------------------------------------------------------------
+
+    def _pool_demand(self, d: IODemand, pool: str) -> float:
+        if pool == "disk":
+            journal = 0.0 if self.separate_metadata else d.meta_ops * self.meta_disk_bytes
+            return d.write_bw + d.read_bw + journal
+        if pool == "meta":
+            return d.meta_ops
+        data_cpu = (d.write_bw + d.read_bw) * self.cpu_per_byte
+        if self.separate_metadata:
+            return data_cpu
+        return data_cpu + d.meta_ops * self.cpu_per_meta_op
+
+    def solve(self, demands: list[tuple[int, str, IODemand]]) -> dict[int, IOGrant]:
+        """Price concurrent demands; returns ``{pid: IOGrant}``.
+
+        Each demand is ``(pid, client_node, IODemand)``.  Disk and
+        metadata capacity are shared max-min per client node (then among
+        a node's processes); server CPU is shared proportionally (thread
+        grabbing).  A requester's ratio is its worst pool ratio.
+        """
+        if not demands:
+            return {}
+        for _, _, d in demands:
+            if d.fs != self.name:
+                raise ConfigError(f"demand for fs {d.fs!r} sent to {self.name!r}")
+
+        nodes = sorted({node for _, node, _ in demands})
+        index_of = {node: i for i, node in enumerate(nodes)}
+        grants: dict[str, list[float]] = {}
+
+        # Per-client-fair pools: two-level max-min.
+        for pool, capacity in (("disk", self.disk_bw), ("meta", self.meta_capacity)):
+            per_demand = [self._pool_demand(d, pool) for _, _, d in demands]
+            node_totals = [0.0] * len(nodes)
+            for (_, node, _), dem in zip(demands, per_demand):
+                node_totals[index_of[node]] += dem
+            node_grants = max_min_fair_share(capacity, node_totals)
+            pool_grants = [0.0] * len(demands)
+            for node in nodes:
+                members = [i for i, (_, n, _) in enumerate(demands) if n == node]
+                inner = max_min_fair_share(
+                    node_grants[index_of[node]], [per_demand[i] for i in members]
+                )
+                for i, g in zip(members, inner):
+                    pool_grants[i] = g
+            grants[pool] = pool_grants
+
+        # Thread-grabbed pool: flat proportional.
+        cpu_demands = [self._pool_demand(d, "cpu") for _, _, d in demands]
+        grants["cpu"] = proportional_share(self.server_cpu, cpu_demands)
+
+        out: dict[int, IOGrant] = {}
+        for i, (pid, _, d) in enumerate(demands):
+            ratio = 1.0
+            for pool in ("disk", "meta", "cpu"):
+                dem = self._pool_demand(d, pool)
+                if dem > 0:
+                    ratio = min(ratio, grants[pool][i] / dem)
+            out[pid] = IOGrant(
+                ratio=ratio,
+                write_bw=d.write_bw * ratio,
+                read_bw=d.read_bw * ratio,
+                meta_ops=d.meta_ops * ratio,
+            )
+        return out

@@ -1,0 +1,51 @@
+"""Unit helpers and constants.
+
+All quantities inside the simulator use SI base units: bytes, seconds,
+operations.  These helpers exist so that configuration code reads like the
+paper ("35 MB buffer", "100 MB messages") instead of raw exponents.
+"""
+
+from __future__ import annotations
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+# Decimal variants, used where the paper's sources use decimal prefixes
+# (network and disk bandwidths are conventionally decimal).
+KB10 = 1_000
+MB10 = 1_000_000
+GB10 = 1_000_000_000
+
+MINUTE = 60.0
+HOUR = 3600.0
+
+
+def mib(n: float) -> float:
+    """Return ``n`` mebibytes in bytes."""
+    return float(n) * MB
+
+
+def gib(n: float) -> float:
+    """Return ``n`` gibibytes in bytes."""
+    return float(n) * GB
+
+
+def kib(n: float) -> float:
+    """Return ``n`` kibibytes in bytes."""
+    return float(n) * KB
+
+
+def fmt_bytes(n: float) -> str:
+    """Human-readable byte count (binary prefixes)."""
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or unit == "TiB":
+            return f"{value:.4g} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_rate(n: float) -> str:
+    """Human-readable bytes-per-second rate."""
+    return fmt_bytes(n) + "/s"

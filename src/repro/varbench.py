@@ -1,0 +1,104 @@
+"""Varbench-style performance-variability measurement.
+
+Kocoloski & Lange's *Varbench* (ICPP 2018, discussed in the paper's
+related work) measures the variability an application *experiences* by
+running it repeatedly and summarising the run-time distribution.  This
+module reproduces that workflow on the simulated substrate so HPAS
+anomalies can be characterised by the variability they induce::
+
+    report = VariabilityReport.measure(
+        app_name="miniGhost",
+        anomaly_factory=lambda: make_anomaly("cachecopy"),
+        repetitions=10,
+    )
+    print(report.coefficient_of_variation)
+
+Repetitions differ through the application's per-rank jitter stream (a
+fresh seed per repetition) and, when an anomaly factory is given, through
+a randomised anomaly start offset — matching how real systems encounter
+anomalies at arbitrary phases of a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.apps import AppJob, get_app
+from repro.cluster import Cluster
+from repro.core.anomaly import Anomaly
+from repro.errors import ConfigError
+from repro.sim.rng import spawn_rng
+
+
+@dataclass(frozen=True)
+class VariabilityReport:
+    """Run-time distribution summary for repeated runs of one workload."""
+
+    app: str
+    anomaly: str
+    runtimes: tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.runtimes))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.runtimes))
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        """CoV = std/mean — Varbench's headline number."""
+        return self.std / self.mean if self.mean > 0 else 0.0
+
+    @property
+    def spread(self) -> float:
+        """(max - min) / min: the "more than 100% variation" measure of
+        Skinner & Kramer that motivates the paper's introduction."""
+        lo = min(self.runtimes)
+        return (max(self.runtimes) - lo) / lo if lo > 0 else 0.0
+
+    def percentile(self, q: float) -> float:
+        return float(np.percentile(self.runtimes, q))
+
+    @classmethod
+    def measure(
+        cls,
+        app_name: str,
+        anomaly_factory: Callable[[], Anomaly] | None = None,
+        repetitions: int = 10,
+        iterations: int = 20,
+        nodes: int = 4,
+        ranks_per_node: int = 4,
+        seed: int = 0,
+    ) -> "VariabilityReport":
+        """Run the workload ``repetitions`` times and summarise runtimes."""
+        if repetitions < 2:
+            raise ConfigError("need at least 2 repetitions to measure variability")
+        rng = spawn_rng(seed, f"varbench:{app_name}")
+        runtimes = []
+        anomaly_name = "none"
+        for rep in range(repetitions):
+            cluster = Cluster.voltrino(num_nodes=max(nodes, 4))
+            app = get_app(app_name).scaled(iterations=iterations)
+            job = AppJob(
+                app,
+                cluster,
+                nodes=list(range(nodes)),
+                ranks_per_node=ranks_per_node,
+                seed=seed * 1000 + rep,
+            )
+            job.launch()
+            if anomaly_factory is not None:
+                anomaly = anomaly_factory()
+                anomaly_name = anomaly.name
+                start = float(rng.uniform(0.0, app.profile.nominal_runtime / 2))
+                # Collide with rank 0's core: the random arrival phase is
+                # what turns a deterministic anomaly into run-to-run
+                # variability.
+                anomaly.launch(cluster, node="node0", core=0, start=start)
+            runtimes.append(job.run(timeout=1e7))
+        return cls(app=app_name, anomaly=anomaly_name, runtimes=tuple(runtimes))

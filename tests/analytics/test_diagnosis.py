@@ -1,0 +1,72 @@
+"""Diagnosis dataset assembly and pipeline (small synthetic + tiny real)."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.diagnosis import (
+    DIAGNOSIS_CLASSES,
+    DiagnosisDataset,
+    DiagnosisPipeline,
+    default_models,
+)
+from repro.errors import ConfigError
+
+
+def synthetic_runs(n_per_class=4, t=60, m=3, seed=0):
+    """Runs whose first metric encodes the class (plus noise)."""
+    rng = np.random.default_rng(seed)
+    runs = []
+    for ci, label in enumerate(("none", "memleak", "cpuoccupy")):
+        for r in range(n_per_class):
+            base = np.full((t, m), float(ci * 10))
+            series = base + rng.normal(0, 0.5, size=(t, m))
+            runs.append((series, label))
+    return runs
+
+
+class TestDatasetAssembly:
+    def test_windows_become_samples_with_groups(self):
+        runs = synthetic_runs()
+        ds = DiagnosisDataset.from_runs(runs, ["a", "b", "c"], window=20)
+        assert ds.n_samples == len(runs) * 3  # 60/20 windows per run
+        assert ds.groups is not None
+        assert len(np.unique(ds.groups)) == len(runs)
+        assert ds.X.shape[1] == 3 * 11
+
+    def test_class_counts(self):
+        ds = DiagnosisDataset.from_runs(synthetic_runs(), ["a", "b", "c"], window=30)
+        counts = ds.class_counts()
+        assert counts["none"] == counts["memleak"] == counts["cpuoccupy"]
+
+    def test_too_short_runs_rejected(self):
+        with pytest.raises(ConfigError):
+            DiagnosisDataset.from_runs(
+                [(np.ones((5, 2)), "none")], ["a", "b"], window=50
+            )
+
+
+class TestPipeline:
+    def test_three_default_models(self):
+        assert set(default_models()) == {"DecisionTree", "AdaBoost", "RandomForest"}
+
+    def test_easy_dataset_scores_high(self):
+        ds = DiagnosisDataset.from_runs(
+            synthetic_runs(n_per_class=6), ["a", "b", "c"], window=20
+        )
+        reports = DiagnosisPipeline(folds=3, seed=0).evaluate(ds)
+        for report in reports.values():
+            assert report.macro_f1 > 0.9
+            assert np.allclose(report.confusion.sum(axis=1), 1.0)
+
+    def test_labels_follow_paper_order(self):
+        ds = DiagnosisDataset.from_runs(
+            synthetic_runs(n_per_class=6), ["a", "b", "c"], window=20
+        )
+        reports = DiagnosisPipeline(folds=3, seed=0).evaluate(ds)
+        labels = reports["RandomForest"].labels
+        expected = [c for c in DIAGNOSIS_CLASSES if c in ("none", "memleak", "cpuoccupy")]
+        assert labels == expected
+
+    def test_fold_validation(self):
+        with pytest.raises(ConfigError):
+            DiagnosisPipeline(folds=1)

@@ -1,0 +1,77 @@
+"""Random forest and AdaBoost."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.adaboost import AdaBoostClassifier
+from repro.analytics.forest import RandomForestClassifier
+from repro.analytics.tree import DecisionTreeClassifier
+from repro.errors import ConfigError
+
+
+def noisy_blobs(n=120, noise=1.2, seed=0):
+    rng = np.random.default_rng(seed)
+    X = np.vstack(
+        [rng.normal(loc=c * 2.0, scale=noise, size=(n // 3, 4)) for c in range(3)]
+    )
+    y = np.repeat(["a", "b", "c"], n // 3)
+    return X, y
+
+
+class TestRandomForest:
+    def test_fits_and_predicts(self):
+        X, y = noisy_blobs()
+        rf = RandomForestClassifier(n_estimators=15, seed=1).fit(X, y)
+        assert (rf.predict(X) == y).mean() > 0.9
+
+    def test_deterministic_per_seed(self):
+        X, y = noisy_blobs()
+        a = RandomForestClassifier(n_estimators=10, seed=5).fit(X, y).predict(X)
+        b = RandomForestClassifier(n_estimators=10, seed=5).fit(X, y).predict(X)
+        assert np.array_equal(a, b)
+
+    def test_proba_shape_and_normalisation(self):
+        X, y = noisy_blobs()
+        rf = RandomForestClassifier(n_estimators=8, seed=2).fit(X, y)
+        proba = rf.predict_proba(X[:10])
+        assert proba.shape == (10, 3)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_more_trees_not_worse_on_noisy_data(self):
+        X, y = noisy_blobs(noise=2.0, seed=3)
+        few = RandomForestClassifier(n_estimators=2, seed=4).fit(X, y)
+        many = RandomForestClassifier(n_estimators=40, seed=4).fit(X, y)
+        assert (many.predict(X) == y).mean() >= (few.predict(X) == y).mean() - 0.05
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(ConfigError):
+            RandomForestClassifier().predict(np.ones((2, 2)))
+        with pytest.raises(ConfigError):
+            RandomForestClassifier(n_estimators=0)
+
+
+class TestAdaBoost:
+    def test_boosting_beats_single_stump(self):
+        X, y = noisy_blobs(noise=1.5, seed=7)
+        stump = DecisionTreeClassifier(max_depth=1).fit(X, y)
+        boosted = AdaBoostClassifier(n_estimators=30, max_depth=1).fit(X, y)
+        assert (boosted.predict(X) == y).mean() >= (stump.predict(X) == y).mean()
+
+    def test_early_stop_on_perfect_learner(self):
+        X, y = noisy_blobs(noise=0.1, seed=8)  # trivially separable
+        boosted = AdaBoostClassifier(n_estimators=50, max_depth=3).fit(X, y)
+        assert len(boosted.learners_) < 50
+
+    def test_single_class_degenerate(self):
+        X = np.random.default_rng(0).random((10, 2))
+        y = np.zeros(10)
+        boosted = AdaBoostClassifier(n_estimators=5).fit(X, y)
+        assert np.all(boosted.predict(X) == 0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            AdaBoostClassifier(n_estimators=0)
+        with pytest.raises(ConfigError):
+            AdaBoostClassifier(learning_rate=0)
+        with pytest.raises(ConfigError):
+            AdaBoostClassifier().predict(np.ones((1, 1)))

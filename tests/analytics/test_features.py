@@ -1,0 +1,87 @@
+"""Feature extraction and windowing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytics.features import (
+    STAT_NAMES,
+    extract_features,
+    feature_names,
+    windows,
+)
+from repro.errors import ConfigError
+
+
+class TestExtractFeatures:
+    def test_feature_count(self):
+        window = np.random.default_rng(0).random((30, 4))
+        feats = extract_features(window)
+        assert feats.shape == (4 * len(STAT_NAMES),)
+
+    def test_constant_column_is_safe(self):
+        window = np.ones((20, 2))
+        feats = extract_features(window)
+        assert np.all(np.isfinite(feats))
+        # mean = min = max = 1, std = skew = kurtosis = 0
+        assert feats[0] == 1.0 and feats[1] == 0.0
+        assert feats[4] == 0.0 and feats[5] == 0.0
+
+    def test_known_statistics(self):
+        col = np.arange(1.0, 11.0).reshape(-1, 1)
+        feats = extract_features(col)
+        named = dict(zip(feature_names(["m"]), feats))
+        assert named["m__mean"] == pytest.approx(5.5)
+        assert named["m__min"] == 1.0
+        assert named["m__max"] == 10.0
+        assert named["m__p50"] == pytest.approx(5.5)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ConfigError):
+            extract_features(np.ones(5))
+        with pytest.raises(ConfigError):
+            extract_features(np.empty((0, 3)))
+
+
+class TestFeatureNames:
+    def test_order_matches_extraction(self):
+        names = feature_names(["a", "b"])
+        assert names[0] == "a__mean"
+        assert names[len(STAT_NAMES)] == "b__mean"
+        assert len(names) == 2 * len(STAT_NAMES)
+
+
+class TestWindows:
+    def test_non_overlapping(self):
+        series = np.arange(100).reshape(-1, 1)
+        wins = windows(series, width=30)
+        assert len(wins) == 3  # trailing partial dropped
+        assert wins[0][0, 0] == 0 and wins[1][0, 0] == 30
+
+    def test_overlapping_stride(self):
+        series = np.arange(50).reshape(-1, 1)
+        wins = windows(series, width=20, stride=10)
+        assert len(wins) == 4
+        assert wins[1][0, 0] == 10
+
+    def test_too_short_series(self):
+        assert windows(np.ones((5, 2)), width=10) == []
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            windows(np.ones((5, 1)), width=0)
+        with pytest.raises(ConfigError):
+            windows(np.ones((5, 1)), width=2, stride=0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    t=st.integers(min_value=1, max_value=60),
+    m=st.integers(min_value=1, max_value=6),
+)
+def test_features_always_finite(t, m):
+    rng = np.random.default_rng(t * 100 + m)
+    feats = extract_features(rng.normal(size=(t, m)) * 1e9)
+    assert feats.shape == (m * 11,)
+    assert np.all(np.isfinite(feats))

@@ -1,0 +1,50 @@
+"""Feature importances of the tree and forest."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.forest import RandomForestClassifier
+from repro.analytics.tree import DecisionTreeClassifier
+from repro.errors import ConfigError
+
+
+def informative_data(n=120, seed=0):
+    """Feature 0 carries the label; features 1-3 are noise."""
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, 2, n)
+    X = rng.normal(size=(n, 4))
+    X[:, 0] += 5.0 * y
+    return X, y
+
+
+def test_tree_importances_sum_to_one():
+    X, y = informative_data()
+    tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+    assert tree.feature_importances_.sum() == pytest.approx(1.0)
+
+
+def test_informative_feature_dominates_tree():
+    X, y = informative_data()
+    tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+    assert np.argmax(tree.feature_importances_) == 0
+    assert tree.feature_importances_[0] > 0.8
+
+
+def test_forest_importances_average_trees():
+    X, y = informative_data()
+    forest = RandomForestClassifier(n_estimators=15, seed=1).fit(X, y)
+    imps = forest.feature_importances_
+    assert imps.shape == (4,)
+    assert np.argmax(imps) == 0
+
+
+def test_unsplit_tree_has_zero_importances():
+    X = np.ones((10, 3))
+    y = np.zeros(10)
+    tree = DecisionTreeClassifier().fit(X, y)
+    assert tree.feature_importances_.sum() == 0.0
+
+
+def test_unfitted_forest_rejected():
+    with pytest.raises(ConfigError):
+        _ = RandomForestClassifier().feature_importances_

@@ -1,0 +1,116 @@
+"""Classification metrics and cross-validation splitting."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.crossval import cross_val_predict, stratified_kfold
+from repro.analytics.metrics import (
+    confusion_matrix,
+    f1_scores,
+    macro_f1,
+    normalized_confusion,
+)
+from repro.errors import ConfigError
+
+
+class TestConfusionMatrix:
+    def test_perfect_prediction_is_diagonal(self):
+        y = np.array(["a", "b", "a", "b"])
+        matrix, labels = confusion_matrix(y, y)
+        assert labels == ["a", "b"]
+        assert matrix.tolist() == [[2, 0], [0, 2]]
+
+    def test_off_diagonal_counts(self):
+        y_true = np.array(["a", "a", "b"])
+        y_pred = np.array(["b", "a", "b"])
+        matrix, labels = confusion_matrix(y_true, y_pred)
+        assert matrix[labels.index("a"), labels.index("b")] == 1
+
+    def test_explicit_label_order(self):
+        y = np.array(["x"])
+        matrix, labels = confusion_matrix(y, y, labels=["z", "x"])
+        assert labels == ["z", "x"]
+        assert matrix[1, 1] == 1
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigError):
+            confusion_matrix(np.ones(3), np.ones(2))
+
+    def test_normalised_rows(self):
+        matrix = np.array([[2, 2], [0, 0]])
+        norm = normalized_confusion(matrix)
+        assert norm[0].tolist() == [0.5, 0.5]
+        assert norm[1].tolist() == [0.0, 0.0]  # empty row stays zero
+
+
+class TestF1:
+    def test_perfect(self):
+        y = np.array([0, 1, 1])
+        assert f1_scores(y, y) == {0: 1.0, 1: 1.0}
+        assert macro_f1(y, y) == 1.0
+
+    def test_never_predicted_class_gets_zero(self):
+        y_true = np.array([0, 1])
+        y_pred = np.array([0, 0])
+        scores = f1_scores(y_true, y_pred)
+        assert scores[1] == 0.0
+
+    def test_known_value(self):
+        y_true = np.array([1, 1, 1, 0])
+        y_pred = np.array([1, 1, 0, 0])
+        # class 1: precision 1.0, recall 2/3 -> F1 = 0.8
+        assert f1_scores(y_true, y_pred)[1] == pytest.approx(0.8)
+
+
+class TestStratifiedKFold:
+    def test_folds_partition_everything(self):
+        y = np.array([0, 0, 0, 1, 1, 1, 2, 2, 2])
+        folds = stratified_kfold(y, k=3, seed=0)
+        all_test = np.concatenate([test for _, test in folds])
+        assert sorted(all_test.tolist()) == list(range(9))
+        for train, test in folds:
+            assert set(train) | set(test) == set(range(9))
+            assert set(train) & set(test) == set()
+
+    def test_stratification(self):
+        y = np.array([0] * 6 + [1] * 6)
+        for _, test in stratified_kfold(y, k=3, seed=1):
+            labels = y[test]
+            assert (labels == 0).sum() == 2
+            assert (labels == 1).sum() == 2
+
+    def test_groups_never_split(self):
+        y = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        groups = np.array([10, 10, 11, 11, 20, 20, 21, 21])
+        for train, test in stratified_kfold(y, k=2, seed=2, groups=groups):
+            for g in np.unique(groups):
+                members = set(np.nonzero(groups == g)[0].tolist())
+                assert members <= set(train.tolist()) or members <= set(
+                    test.tolist()
+                )
+
+    def test_mixed_label_group_rejected(self):
+        y = np.array([0, 1])
+        groups = np.array([5, 5])
+        with pytest.raises(ConfigError):
+            stratified_kfold(y, k=2, groups=groups)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            stratified_kfold(np.array([0, 1]), k=1)
+        with pytest.raises(ConfigError):
+            stratified_kfold(np.array([0]), k=2)
+
+
+class TestCrossValPredict:
+    def test_every_sample_predicted(self):
+        rng = np.random.default_rng(0)
+        X = np.vstack(
+            [rng.normal(0, 0.3, (15, 2)), rng.normal(4, 0.3, (15, 2))]
+        )
+        y = np.array(["lo"] * 15 + ["hi"] * 15)
+        from repro.analytics.tree import DecisionTreeClassifier
+
+        pred = cross_val_predict(lambda: DecisionTreeClassifier(), X, y, k=3, seed=0)
+        assert pred.shape == y.shape
+        assert (pred == y).mean() > 0.9

@@ -1,0 +1,96 @@
+"""Online diagnoser on synthetic timelines."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.online import OnlineDiagnoser
+from repro.analytics.tree import DecisionTreeClassifier
+from repro.errors import ConfigError
+
+
+class StepModel:
+    """Fake classifier: label by the window's first-feature mean."""
+
+    def predict(self, X):
+        return np.where(X[:, 0] > 5.0, "anomaly", "none")
+
+
+def step_series(t=100, onset=40):
+    times = np.arange(t, dtype=float)
+    series = np.zeros((t, 2))
+    series[onset:, 0] = 10.0
+    return times, series, onset
+
+
+class TestPredictTimeline:
+    def test_window_and_stride(self):
+        times, series, _ = step_series()
+        diag = OnlineDiagnoser(StepModel(), window=10, stride=10)
+        preds = diag.predict_timeline(times, series)
+        assert [p.time for p in preds] == [9.0, 19.0, 29.0, 39.0, 49.0, 59.0,
+                                           69.0, 79.0, 89.0, 99.0]
+
+    def test_labels_flip_after_onset(self):
+        times, series, onset = step_series()
+        diag = OnlineDiagnoser(StepModel(), window=10, stride=1)
+        preds = diag.predict_timeline(times, series)
+        by_time = {p.time: p.label for p in preds}
+        assert by_time[30.0] == "none"
+        assert by_time[60.0] == "anomaly"
+
+    def test_short_series_empty(self):
+        diag = OnlineDiagnoser(StepModel(), window=50)
+        assert diag.predict_timeline(np.arange(10.0), np.zeros((10, 2))) == []
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            OnlineDiagnoser(StepModel(), window=1)
+        diag = OnlineDiagnoser(StepModel(), window=5)
+        with pytest.raises(ConfigError):
+            diag.predict_timeline(np.arange(5.0), np.zeros(5))
+
+
+class TestEvaluate:
+    def test_accuracy_and_latency(self):
+        times, series, onset = step_series()
+        diag = OnlineDiagnoser(StepModel(), window=10, stride=1)
+
+        def truth(t):
+            return "anomaly" if t >= onset else "none"
+
+        report = diag.evaluate(times, series, truth)
+        # mis-labelled only while the window straddles the onset
+        assert report.accuracy > 0.85
+        # the step model flips once the window majority is anomalous:
+        # latency ~ window/2
+        assert report.detection_latency == pytest.approx(5.0, abs=2.0)
+
+    def test_never_detected(self):
+        times = np.arange(50.0)
+        series = np.zeros((50, 2))  # model always says none
+        diag = OnlineDiagnoser(StepModel(), window=10, stride=5)
+
+        def truth(t):
+            return "anomaly" if t >= 20 else "none"
+
+        report = diag.evaluate(times, series, truth)
+        assert report.detection_latency is None
+
+    def test_with_real_tree(self):
+        rng = np.random.default_rng(0)
+        X = np.vstack([rng.normal(0, 0.2, (30, 22)), rng.normal(8, 0.2, (30, 22))])
+        y = np.array(["none"] * 30 + ["hot"] * 30)
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        # streaming series whose stats jump at t=30 (2 metrics x 11 stats = 22)
+        times = np.arange(60.0)
+        series = np.zeros((60, 2))
+        series[30:] = 8.0
+        diag = OnlineDiagnoser(tree, window=10, stride=2)
+        preds = diag.predict_timeline(times, series)
+        assert preds[-1].label == "hot"
+        assert preds[0].label == "none"
+
+    def test_too_short_evaluate(self):
+        diag = OnlineDiagnoser(StepModel(), window=30)
+        with pytest.raises(ConfigError):
+            diag.evaluate(np.arange(5.0), np.zeros((5, 2)), lambda t: "none")

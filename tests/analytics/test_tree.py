@@ -1,0 +1,108 @@
+"""Decision-tree classifier."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytics.tree import DecisionTreeClassifier
+from repro.errors import ConfigError
+
+
+def blobs(n=60, seed=0):
+    """Two well-separated Gaussian blobs."""
+    rng = np.random.default_rng(seed)
+    x0 = rng.normal(loc=0.0, scale=0.5, size=(n // 2, 3))
+    x1 = rng.normal(loc=5.0, scale=0.5, size=(n // 2, 3))
+    X = np.vstack([x0, x1])
+    y = np.array(["a"] * (n // 2) + ["b"] * (n // 2))
+    return X, y
+
+
+class TestFitPredict:
+    def test_separable_data_perfect_fit(self):
+        X, y = blobs()
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert np.all(tree.predict(X) == y)
+
+    def test_three_classes(self):
+        rng = np.random.default_rng(1)
+        X = np.vstack(
+            [rng.normal(loc=c * 4, scale=0.3, size=(20, 2)) for c in range(3)]
+        )
+        y = np.repeat([0, 1, 2], 20)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert (tree.predict(X) == y).mean() > 0.95
+
+    def test_single_class(self):
+        X = np.ones((10, 2))
+        y = np.zeros(10)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert np.all(tree.predict(X) == 0)
+
+    def test_max_depth_limits_tree(self):
+        X, y = blobs(n=100)
+        tree = DecisionTreeClassifier(max_depth=1).fit(X, y)
+        assert tree.depth <= 1
+
+    def test_min_samples_leaf_respected(self):
+        X, y = blobs(n=40)
+        deep = DecisionTreeClassifier().fit(X, y)
+        stumpy = DecisionTreeClassifier(min_samples_leaf=20).fit(X, y)
+        assert stumpy.depth <= deep.depth
+
+    def test_predict_proba_rows_sum_to_one(self):
+        X, y = blobs()
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        proba = tree.predict_proba(X)
+        assert proba.shape == (len(y), 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_sample_weights_steer_the_fit(self):
+        # weight one class to dominance; an unsplittable stump predicts it
+        X = np.zeros((10, 1))
+        y = np.array([0] * 5 + [1] * 5)
+        w = np.array([10.0] * 5 + [0.1] * 5)
+        tree = DecisionTreeClassifier(max_depth=1).fit(X, y, sample_weight=w)
+        assert np.all(tree.predict(X) == 0)
+
+
+class TestValidation:
+    def test_unfitted_predict(self):
+        with pytest.raises(ConfigError):
+            DecisionTreeClassifier().predict(np.ones((2, 2)))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigError):
+            DecisionTreeClassifier().fit(np.ones((3, 2)), np.ones(4))
+
+    def test_empty_dataset(self):
+        with pytest.raises(ConfigError):
+            DecisionTreeClassifier().fit(np.empty((0, 2)), np.empty(0))
+
+    def test_bad_params(self):
+        with pytest.raises(ConfigError):
+            DecisionTreeClassifier(max_depth=0)
+        with pytest.raises(ConfigError):
+            DecisionTreeClassifier(min_samples_leaf=0)
+
+    def test_bad_weights(self):
+        with pytest.raises(ConfigError):
+            DecisionTreeClassifier().fit(
+                np.ones((3, 1)), np.arange(3), sample_weight=np.array([-1.0, 1, 1])
+            )
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1000))
+def test_training_accuracy_beats_majority_on_separable_data(seed):
+    X, y = blobs(n=40, seed=seed)
+    tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+    assert (tree.predict(X) == y).mean() >= 0.9
+
+
+def test_max_features_sqrt_is_deterministic_per_seed():
+    X, y = blobs(n=80)
+    a = DecisionTreeClassifier(max_features="sqrt", seed=7).fit(X, y).predict(X)
+    b = DecisionTreeClassifier(max_features="sqrt", seed=7).fit(X, y).predict(X)
+    assert np.array_equal(a, b)

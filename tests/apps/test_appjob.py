@@ -1,0 +1,130 @@
+"""Application profiles, rank bodies and the job launcher."""
+
+import pytest
+
+from repro.apps import AppJob, get_app
+from repro.apps.base import AppProfile, Application
+from repro.apps.registry import APP_REGISTRY
+from repro.cluster import Cluster
+from repro.errors import ConfigError
+
+
+class TestRegistry:
+    def test_eight_apps(self):
+        assert len(APP_REGISTRY) == 8
+
+    def test_lookup_case_insensitive(self):
+        assert get_app("comd").name == "CoMD"
+        assert get_app("MINIGHOST").name == "miniGhost"
+
+    def test_unknown_app(self):
+        with pytest.raises(ConfigError):
+            get_app("hpl")
+
+    def test_table2_flags(self):
+        flags = {
+            name: (p.cpu_intensive, p.mem_intensive, p.net_intensive)
+            for name, p in APP_REGISTRY.items()
+        }
+        assert flags["cloverleaf"] == (False, True, False)
+        assert flags["CoMD"] == (True, False, False)
+        assert flags["kripke"] == (True, True, False)
+        assert flags["milc"] == (True, True, False)
+        assert flags["miniAMR"] == (False, True, True)
+        assert flags["miniGhost"] == (False, True, True)
+        assert flags["miniMD"] == (True, False, False)
+        assert flags["sw4lite"] == (True, False, False)
+
+
+class TestProfileValidation:
+    def test_bad_iterations(self):
+        with pytest.raises(ConfigError):
+            AppProfile(
+                name="x", iterations=0, iter_seconds=1.0, ips=1, working_set=1,
+                cache_intensity=1, mpki_base=1, mpki_extra=1, miss_cpi_penalty=1,
+                mem_bw=1, mem_bw_extra=1, comm_bytes=1, mem_alloc=1,
+            )
+
+    def test_scaled_override(self):
+        app = get_app("CoMD").scaled(iterations=5, mem_bw=123.0)
+        assert app.profile.iterations == 5
+        assert app.profile.mem_bw == 123.0
+        # original registry profile untouched
+        assert APP_REGISTRY["CoMD"].iterations != 5
+
+    def test_nominal_runtime(self):
+        app = get_app("CoMD").scaled(iterations=10)
+        assert app.profile.nominal_runtime == pytest.approx(
+            10 * app.profile.iter_seconds
+        )
+
+
+class TestAppJob:
+    def test_placement_round_robin(self):
+        cluster = Cluster.voltrino(num_nodes=4)
+        job = AppJob(get_app("CoMD"), cluster, nodes=[0, 1], ranks_per_node=2)
+        assert job.placement() == [
+            ("node0", 0),
+            ("node1", 0),
+            ("node0", 1),
+            ("node1", 1),
+        ]
+        assert job.n_ranks == 4
+
+    def test_single_node_run_completes_near_nominal(self):
+        cluster = Cluster(num_nodes=1)
+        app = get_app("CoMD").scaled(iterations=10)
+        job = AppJob(app, cluster, nodes=[0], ranks_per_node=1, seed=1)
+        runtime = job.run(timeout=1000)
+        assert runtime == pytest.approx(app.profile.nominal_runtime, rel=0.1)
+
+    def test_barrier_couples_ranks(self):
+        """An anomaly on one rank's core slows the whole BSP job."""
+        cluster = Cluster(num_nodes=1)
+        app = get_app("CoMD").scaled(iterations=10)
+        job = AppJob(app, cluster, nodes=[0], ranks_per_node=4, seed=1)
+        job.launch()
+        from repro.core import CpuOccupy
+
+        CpuOccupy(utilization=100).launch(cluster, "node0", core=0)
+        runtime = job.run(timeout=1000)
+        assert runtime > 1.8 * app.profile.nominal_runtime
+
+    def test_memory_allocated_and_released(self):
+        cluster = Cluster(num_nodes=1)
+        app = get_app("cloverleaf").scaled(iterations=3)
+        job = AppJob(app, cluster, nodes=[0], ranks_per_node=2, seed=1)
+        job.launch()
+        cluster.sim.run(until=2.0, stop_when=lambda: False)
+        used_during = cluster.node(0).memory.used
+        job.run(timeout=1000)
+        assert used_during >= 2 * app.profile.mem_alloc
+        assert cluster.node(0).memory.used == cluster.node(0).memory.baseline
+
+    def test_runtime_requires_finish(self):
+        cluster = Cluster(num_nodes=1)
+        job = AppJob(get_app("CoMD").scaled(iterations=5), cluster, nodes=[0])
+        job.launch()
+        with pytest.raises(ConfigError):
+            job.runtime()
+
+    def test_double_launch_rejected(self):
+        cluster = Cluster(num_nodes=1)
+        job = AppJob(get_app("CoMD").scaled(iterations=2), cluster, nodes=[0])
+        job.launch()
+        with pytest.raises(ConfigError):
+            job.launch()
+
+    def test_invalid_construction(self):
+        cluster = Cluster(num_nodes=1)
+        with pytest.raises(ConfigError):
+            AppJob(get_app("CoMD"), cluster, nodes=[])
+        with pytest.raises(ConfigError):
+            AppJob(get_app("CoMD"), cluster, nodes=[0], ranks_per_node=0)
+
+    def test_multi_node_halo_traffic_visible(self):
+        cluster = Cluster.voltrino(num_nodes=4)
+        app = get_app("miniGhost").scaled(iterations=5)
+        job = AppJob(app, cluster, nodes=[0, 1, 2, 3], ranks_per_node=2, seed=1)
+        job.run(timeout=1000)
+        assert cluster.node(0).counters["nic_tx_bytes"] > 0

@@ -1,0 +1,83 @@
+"""Measurement probes: STREAM, OSU, IOR."""
+
+import pytest
+
+from repro.apps import IORBenchmark, OSUBandwidth, StreamBenchmark
+from repro.cluster import Cluster
+from repro.errors import ConfigError
+from repro.units import KB, MB
+
+
+class TestStream:
+    def test_uncontended_best_rate_is_core_limit(self):
+        cluster = Cluster(num_nodes=1)
+        stream = StreamBenchmark()
+        stream.launch(cluster, "node0", core=0)
+        cluster.sim.run(until=100)
+        assert stream.best_rate() == pytest.approx(cluster.spec.core_mem_bw, rel=0.01)
+
+    def test_unfinished_rejected(self):
+        cluster = Cluster(num_nodes=1)
+        stream = StreamBenchmark()
+        stream.launch(cluster, "node0", core=0)
+        with pytest.raises(ConfigError):
+            stream.best_rate()
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            StreamBenchmark(array_bytes=0)
+        with pytest.raises(ConfigError):
+            StreamBenchmark(iterations=0)
+
+
+class TestOSU:
+    def test_large_messages_reach_near_nic_peak(self):
+        cluster = Cluster.voltrino(num_nodes=8)
+        osu = OSUBandwidth(message_size=8 * 1024 * KB, messages=16)
+        osu.launch(cluster, src="node0", dst="node4")
+        cluster.sim.run(until=500)
+        assert osu.bandwidth() > 0.9 * cluster.spec.nic_bw
+
+    def test_small_messages_latency_bound(self):
+        cluster = Cluster.voltrino(num_nodes=8)
+        osu = OSUBandwidth(message_size=16 * KB, messages=16)
+        osu.launch(cluster, src="node0", dst="node4")
+        cluster.sim.run(until=500)
+        assert osu.bandwidth() < 0.3 * cluster.spec.nic_bw
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            OSUBandwidth(message_size=0)
+        cluster = Cluster.voltrino(num_nodes=8)
+        osu = OSUBandwidth(message_size=1 * MB)
+        with pytest.raises(ConfigError):
+            osu.bandwidth()
+
+
+class TestIOR:
+    def test_three_phases_reported(self):
+        cluster = Cluster.chameleon(num_nodes=2)
+        ior = IORBenchmark()
+        ior.launch(cluster, node="node1")
+        cluster.sim.run(until=10_000)
+        phases = ior.phase_bandwidth()
+        assert set(phases) == {"write", "access", "read"}
+        assert all(v > 0 for v in phases.values())
+
+    def test_streaming_capped_by_disk(self):
+        cluster = Cluster.chameleon(num_nodes=2)
+        ior = IORBenchmark()
+        ior.launch(cluster, node="node1")
+        cluster.sim.run(until=10_000)
+        phases = ior.phase_bandwidth()
+        disk_mbps = cluster.filesystem("nfs").disk_bw / 1e6
+        assert phases["write"] <= disk_mbps * 1.01
+
+    def test_unfinished_rejected(self):
+        ior = IORBenchmark()
+        with pytest.raises(ConfigError):
+            ior.phase_bandwidth()
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            IORBenchmark(file_bytes=0)

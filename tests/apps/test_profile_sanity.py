@@ -1,0 +1,52 @@
+"""Physical-sanity checks on the calibrated application profiles."""
+
+import pytest
+
+from repro.apps.registry import APP_REGISTRY
+from repro.cluster import MachineSpec
+from repro.units import GB10
+
+SPEC = MachineSpec.voltrino()
+
+
+@pytest.mark.parametrize("name", sorted(APP_REGISTRY))
+def test_profile_within_hardware_envelope(name):
+    p = APP_REGISTRY[name]
+    # demands must be achievable on the reference core/socket
+    assert p.mem_bw <= SPEC.core_mem_bw
+    assert p.ips <= 4e9  # < ~1.6 IPC x 2.3 GHz superscalar headroom
+    assert 0 < p.working_set <= 2 * SPEC.cache.l3
+    assert p.mem_alloc < SPEC.mem_bytes / 8  # 8+ ranks must fit a node
+
+
+@pytest.mark.parametrize("name", sorted(APP_REGISTRY))
+def test_flags_match_demand_magnitudes(name):
+    """Table 2 flags must be consistent with the numeric profile."""
+    p = APP_REGISTRY[name]
+    if p.cpu_intensive and not p.mem_intensive:
+        assert p.ips >= 2.0e9
+        assert p.mem_bw <= 2 * GB10
+    if p.mem_intensive:
+        assert p.mem_bw >= 6 * GB10
+    if p.net_intensive:
+        assert p.comm_bytes >= 8 * (1 << 20)
+    else:
+        assert p.comm_bytes <= 4 * (1 << 20)
+
+
+def test_cpu_apps_more_cache_sensitive_than_memory_apps():
+    cpu_penalties = [
+        p.miss_cpi_penalty for p in APP_REGISTRY.values()
+        if p.cpu_intensive and not p.mem_intensive
+    ]
+    mem_penalties = [
+        p.miss_cpi_penalty for p in APP_REGISTRY.values()
+        if p.mem_intensive and not p.cpu_intensive
+    ]
+    assert min(cpu_penalties) > max(mem_penalties)
+
+
+def test_baseline_runtimes_in_paper_range():
+    """Fig 8's 'none' bars sit between ~90 and ~330 s."""
+    for p in APP_REGISTRY.values():
+        assert 80.0 <= p.nominal_runtime <= 350.0, p.name

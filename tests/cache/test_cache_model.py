@@ -1,0 +1,171 @@
+"""Cache-occupancy model: examples and property-based invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.model import (
+    CacheDemand,
+    cascade_miss_factor,
+    inclusive_footprints,
+    solve_occupancy,
+)
+from repro.errors import ResourceError
+from repro.units import KB, MB
+
+
+class TestSolveOccupancy:
+    def test_everything_fits_no_eviction(self):
+        res = solve_occupancy(
+            40 * MB,
+            [CacheDemand(1, 10 * MB, 1.0), CacheDemand(2, 20 * MB, 1.0)],
+        )
+        assert res[1].eviction == 0.0
+        assert res[2].eviction == 0.0
+        assert res[1].occupancy == 10 * MB
+
+    def test_oversubscription_splits_by_pressure(self):
+        res = solve_occupancy(
+            40 * MB,
+            [CacheDemand(1, 40 * MB, 1.0), CacheDemand(2, 40 * MB, 1.0)],
+        )
+        assert res[1].occupancy == pytest.approx(20 * MB, rel=1e-6)
+        assert res[1].eviction == pytest.approx(0.5, rel=1e-6)
+
+    def test_intensity_weights_the_contest(self):
+        res = solve_occupancy(
+            40 * MB,
+            [CacheDemand(1, 40 * MB, 4.0), CacheDemand(2, 40 * MB, 1.0)],
+        )
+        assert res[1].occupancy > res[2].occupancy
+        assert res[1].eviction < res[2].eviction
+
+    def test_zero_footprint_untouched(self):
+        res = solve_occupancy(10 * MB, [CacheDemand(1, 0.0, 1.0)])
+        assert res[1].eviction == 0.0
+        assert res[1].occupancy == 0.0
+
+    def test_small_tenant_squeezed_proportionally(self):
+        # Equal intensity: occupancy follows footprint pressure, so the
+        # small tenant holds only its proportional share.
+        res = solve_occupancy(
+            10 * MB,
+            [CacheDemand(1, 1 * MB, 1.0), CacheDemand(2, 100 * MB, 1.0)],
+        )
+        assert res[1].occupancy == pytest.approx(10 * MB / 101, rel=1e-3)
+        assert res[1].occupancy + res[2].occupancy == pytest.approx(10 * MB, rel=1e-6)
+
+    def test_capped_tenant_leftover_redistributed(self):
+        # A hot small tenant reaches its footprint cap; the leftover
+        # share flows to the big tenant.
+        res = solve_occupancy(
+            10 * MB,
+            [CacheDemand(1, 1 * MB, 50.0), CacheDemand(2, 100 * MB, 1.0)],
+        )
+        assert res[1].occupancy == pytest.approx(1 * MB, rel=1e-3)
+        assert res[2].occupancy == pytest.approx(9 * MB, rel=1e-3)
+
+    def test_self_eviction_when_alone_and_oversized(self):
+        res = solve_occupancy(10 * MB, [CacheDemand(1, 20 * MB, 1.0)])
+        assert res[1].eviction == pytest.approx(0.5, rel=1e-6)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ResourceError):
+            solve_occupancy(-1.0, [])
+
+    def test_negative_footprint_rejected(self):
+        with pytest.raises(ResourceError):
+            CacheDemand(1, -1.0, 1.0)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    capacity=st.floats(min_value=1e3, max_value=1e9, allow_nan=False),
+    tenants=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=1e9, allow_nan=False),  # footprint
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),  # intensity
+        ),
+        min_size=1,
+        max_size=8,
+    ),
+)
+def test_occupancy_invariants(capacity, tenants):
+    demands = [CacheDemand(i, fp, w) for i, (fp, w) in enumerate(tenants)]
+    res = solve_occupancy(capacity, demands)
+    total_occupancy = sum(r.occupancy for r in res.values())
+    assert total_occupancy <= capacity * (1 + 1e-6) + 1e-6
+    for d in demands:
+        r = res[d.pid]
+        assert 0.0 <= r.eviction <= 1.0
+        assert r.occupancy <= d.footprint + 1e-6
+        # Anyone who fits entirely has zero eviction accounting consistency.
+        if d.footprint > 0:
+            assert r.eviction == pytest.approx(
+                1.0 - r.occupancy / d.footprint, abs=1e-6
+            )
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    capacity=st.floats(min_value=1e3, max_value=1e9),
+    footprint=st.floats(min_value=1.0, max_value=1e9),
+)
+def test_single_tenant_gets_min_of_footprint_and_capacity(capacity, footprint):
+    res = solve_occupancy(capacity, [CacheDemand(0, footprint, 1.0)])
+    assert res[0].occupancy == pytest.approx(min(capacity, footprint), rel=1e-6)
+
+
+class TestInclusiveFootprints:
+    SIZES = {"L1": 32 * KB, "L2": 256 * KB, "L3": 40 * MB}
+
+    def test_single_l3_number_fills_inner_levels(self):
+        fp = inclusive_footprints({"L3": 10 * MB}, self.SIZES)
+        assert fp["L1"] == 32 * KB
+        assert fp["L2"] == 256 * KB
+        assert fp["L3"] == 10 * MB
+
+    def test_small_set_fits_everywhere(self):
+        fp = inclusive_footprints({"L3": 4 * KB}, self.SIZES)
+        assert fp["L1"] == 4 * KB
+        assert fp["L2"] == 4 * KB
+        assert fp["L3"] == 4 * KB
+
+    def test_explicit_levels_respected(self):
+        fp = inclusive_footprints({"L1": 16 * KB, "L3": 1 * MB}, self.SIZES)
+        assert fp["L1"] == 16 * KB
+        assert fp["L3"] == 1 * MB
+
+    def test_empty_footprint(self):
+        fp = inclusive_footprints({}, self.SIZES)
+        assert fp == {"L1": 0.0, "L2": 0.0, "L3": 0.0}
+
+    def test_derived_levels_clamped_declared_kept(self):
+        fp = inclusive_footprints({"L3": 100 * MB}, self.SIZES)
+        # the declared level keeps its oversized demand (self-eviction)...
+        assert fp["L3"] == 100 * MB
+        # ...while derived inner levels clamp to their capacity
+        assert fp["L1"] == 32 * KB
+        assert fp["L2"] == 256 * KB
+
+
+class TestCascade:
+    CASCADE = (0.15, 0.35, 1.0)
+
+    def test_no_eviction_no_misses(self):
+        assert cascade_miss_factor({}, self.CASCADE) == 0.0
+
+    def test_l3_eviction_dominates(self):
+        full_l3 = cascade_miss_factor({"L3": 1.0}, self.CASCADE)
+        full_l1 = cascade_miss_factor({"L1": 1.0}, self.CASCADE)
+        assert full_l3 > full_l1
+
+    def test_monotone_in_level(self):
+        l1 = cascade_miss_factor({"L1": 0.5}, self.CASCADE)
+        l2 = cascade_miss_factor({"L2": 0.5}, self.CASCADE)
+        l3 = cascade_miss_factor({"L3": 0.5}, self.CASCADE)
+        assert l1 < l2 < l3
+
+    def test_saturates_at_one(self):
+        val = cascade_miss_factor({"L1": 1.0, "L2": 1.0, "L3": 1.0}, self.CASCADE)
+        assert val == 1.0

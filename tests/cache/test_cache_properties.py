@@ -1,0 +1,57 @@
+"""Property-based checks on the cache model helpers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.model import cascade_miss_factor, inclusive_footprints
+from repro.units import KB, MB
+
+SIZES = {"L1": 32 * KB, "L2": 256 * KB, "L3": 40 * MB}
+CASCADE = (0.15, 0.35, 1.0)
+
+evictions = st.fixed_dictionaries(
+    {
+        "L1": st.floats(min_value=0, max_value=1),
+        "L2": st.floats(min_value=0, max_value=1),
+        "L3": st.floats(min_value=0, max_value=1),
+    }
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(e=evictions)
+def test_cascade_bounded(e):
+    factor = cascade_miss_factor(e, CASCADE)
+    assert 0.0 <= factor <= 1.0
+
+
+@settings(max_examples=200, deadline=None)
+@given(e=evictions, bump=st.sampled_from(["L1", "L2", "L3"]))
+def test_cascade_monotone_in_each_level(e, bump):
+    factor = cascade_miss_factor(e, CASCADE)
+    bumped = dict(e)
+    bumped[bump] = min(1.0, bumped[bump] + 0.2)
+    assert cascade_miss_factor(bumped, CASCADE) >= factor - 1e-12
+
+
+@settings(max_examples=200, deadline=None)
+@given(total=st.floats(min_value=0, max_value=200 * MB))
+def test_inclusive_derived_levels_clamped(total):
+    fp = inclusive_footprints({"L3": total}, SIZES)
+    assert fp["L3"] == total  # declared level preserved verbatim
+    assert fp["L1"] <= SIZES["L1"]
+    assert fp["L2"] <= SIZES["L2"]
+    assert fp["L1"] <= fp["L2"] + 1e-9 or total < SIZES["L1"]
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    l1=st.floats(min_value=0, max_value=64 * KB),
+    l3=st.floats(min_value=0, max_value=80 * MB),
+)
+def test_inclusive_explicit_levels_kept(l1, l3):
+    fp = inclusive_footprints({"L1": l1, "L3": l3}, SIZES)
+    assert fp["L1"] == l1
+    assert fp["L3"] == l3
+    # the derived middle level inherits the largest declared value, capped
+    assert fp["L2"] == min(max(l1, l3), SIZES["L2"])

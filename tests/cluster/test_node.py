@@ -1,0 +1,55 @@
+"""Node construction and counter bookkeeping."""
+
+import pytest
+
+from repro.cluster import MachineSpec
+from repro.cluster.node import Node
+from repro.errors import ConfigError
+from repro.units import GB
+
+
+def test_node_owns_memory_ledger():
+    node = Node("node0", MachineSpec.voltrino())
+    assert node.memory.capacity == 125 * GB
+    assert node.memory.baseline == Node.OS_BASELINE_BYTES
+
+
+def test_counters_initialised_including_per_core():
+    spec = MachineSpec.voltrino()
+    node = Node("node0", spec)
+    assert node.counters["cpu_user_seconds"] == 0.0
+    assert f"cpu_core{spec.logical_cores - 1}_seconds" in node.counters
+
+
+def test_add_counter_accumulates_and_creates():
+    node = Node("node0", MachineSpec.voltrino())
+    node.add_counter("cpu_user_seconds", 2.0)
+    node.add_counter("cpu_user_seconds", 3.0)
+    node.add_counter("made_up", 1.0)
+    assert node.counters["cpu_user_seconds"] == 5.0
+    assert node.counters["made_up"] == 1.0
+
+
+def test_logical_cores_property():
+    node = Node("node0", MachineSpec.chameleon())
+    assert node.logical_cores == 48
+
+
+def test_empty_name_rejected():
+    with pytest.raises(ConfigError):
+        Node("", MachineSpec.voltrino())
+
+
+def test_knl_node_runs_work():
+    """The KNL partition spec is usable end to end."""
+    from repro.cluster import Cluster
+    from repro.sim.process import Segment
+
+    cluster = Cluster(num_nodes=1, spec=MachineSpec.voltrino_knl())
+
+    def body(proc):
+        yield Segment(work=3.0, mem_bw=4e9, cache_footprint={"L3": 1 << 30})
+
+    p = cluster.spawn("knl-work", body, node=0, core=67)
+    cluster.sim.run(until=100)
+    assert p.runtime == pytest.approx(3.0)

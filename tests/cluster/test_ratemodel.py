@@ -1,0 +1,229 @@
+"""Cluster rate model: CPU sharing, SMT, cache, bandwidth, roofline."""
+
+import math
+
+import pytest
+
+from repro.cluster import Cluster, MachineSpec
+from repro.sim.process import Flow, IODemand, ProcessState, Segment
+from repro.storage.filesystem import SharedFilesystem
+from repro.units import GB10, MB, MB10
+
+
+def compute(work=10.0, **kwargs):
+    def body(proc):
+        yield Segment(work=work, **kwargs)
+
+    return body
+
+
+def hog(cpu=1.0, **kwargs):
+    def body(proc):
+        yield Segment(work=math.inf, cpu=cpu, **kwargs)
+
+    return body
+
+
+class TestCpuSharing:
+    def test_uncontended_full_speed(self):
+        cluster = Cluster(num_nodes=1)
+        p = cluster.spawn("p", compute(10.0), node=0, core=0)
+        cluster.sim.run(until=100)
+        assert p.runtime == pytest.approx(10.0)
+
+    def test_core_sharing_halves_speed(self):
+        cluster = Cluster(num_nodes=1)
+        p = cluster.spawn("p", compute(10.0), node=0, core=0)
+        cluster.spawn("hog", hog(), node=0, core=0)
+        cluster.sim.run(until=100)
+        assert p.runtime == pytest.approx(20.0)
+
+    def test_duty_cycle_share(self):
+        cluster = Cluster(num_nodes=1)
+        p = cluster.spawn("p", compute(10.0), node=0, core=0)
+        cluster.spawn("hog", hog(cpu=0.5), node=0, core=0)
+        cluster.sim.run(until=100)
+        # proportional sharing: p gets 1/1.5 of the core
+        assert p.runtime == pytest.approx(15.0, rel=1e-6)
+
+    def test_smt_sibling_penalty(self):
+        spec = MachineSpec.voltrino()
+        cluster = Cluster(num_nodes=1, spec=spec)
+        p = cluster.spawn("p", compute(10.0), node=0, core=0)
+        cluster.spawn("hog", hog(), node=0, core=spec.sibling_of(0))
+        cluster.sim.run(until=100)
+        # each hyperthread delivers smt_throughput/2 = 0.65
+        assert p.runtime == pytest.approx(10.0 / 0.65, rel=1e-6)
+
+    def test_different_cores_no_interference(self):
+        cluster = Cluster(num_nodes=1)
+        p = cluster.spawn("p", compute(10.0), node=0, core=0)
+        cluster.spawn("hog", hog(), node=0, core=1)
+        cluster.sim.run(until=100)
+        assert p.runtime == pytest.approx(10.0)
+
+    def test_cpu_time_accounting_is_occupancy(self):
+        """/proc/stat-style accounting: a busy thread is 100% utilised."""
+        spec = MachineSpec.voltrino()
+        cluster = Cluster(num_nodes=1, spec=spec)
+        cluster.spawn("a", hog(), node=0, core=0)
+        cluster.spawn("b", hog(), node=0, core=spec.sibling_of(0))
+        cluster.sim.run(until=10.0)
+        assert cluster.node(0).counters["cpu_user_seconds"] == pytest.approx(
+            20.0, rel=1e-6
+        )
+
+
+class TestCacheEffects:
+    def test_eviction_slows_sensitive_segment(self):
+        spec = MachineSpec.voltrino()
+
+        def victim(work):
+            return compute(
+                work,
+                cache_footprint={"L3": 20 * MB},
+                cache_intensity=1.0,
+                miss_cpi_penalty=1.0,
+                mpki_base=1.0,
+                mpki_extra=10.0,
+                ips=1e9,
+            )
+
+        cluster = Cluster(num_nodes=1, spec=spec)
+        clean = cluster.spawn("v", victim(10.0), node=0, core=0)
+        cluster.sim.run(until=100)
+
+        cluster2 = Cluster(num_nodes=1, spec=spec)
+        victim_proc = cluster2.spawn("v", victim(10.0), node=0, core=0)
+        cluster2.spawn(
+            "evictor",
+            hog(
+                cache_footprint={"L3": 40 * MB},
+                cache_intensity=4.0,
+            ),
+            node=0,
+            core=1,  # same socket, different physical core
+        )
+        cluster2.sim.run(until=100)
+        assert victim_proc.runtime > clean.runtime * 1.3
+
+    def test_mpki_counter_reflects_eviction(self):
+        spec = MachineSpec.voltrino()
+        cluster = Cluster(num_nodes=1, spec=spec)
+        victim = cluster.spawn(
+            "v",
+            compute(
+                5.0,
+                cache_footprint={"L3": 20 * MB},
+                cache_intensity=1.0,
+                mpki_base=1.0,
+                mpki_extra=10.0,
+                ips=1e9,
+            ),
+            node=0,
+            core=0,
+        )
+        cluster.spawn(
+            "evictor",
+            hog(cache_footprint={"L3": 40 * MB}, cache_intensity=4.0),
+            node=0,
+            core=1,
+        )
+        cluster.sim.run(until=100)
+        mpki = victim.counters["l3_misses"] / victim.counters["instructions"] * 1000
+        assert mpki > 3.0  # well above the base 1.0
+
+
+class TestMemoryBandwidth:
+    def test_memory_bound_segment_ignores_cpu_loss(self):
+        spec = MachineSpec.voltrino()
+        cluster = Cluster(num_nodes=1, spec=spec)
+        stream = cluster.spawn(
+            "s", compute(10.0, mem_bw=spec.core_mem_bw), node=0, core=0
+        )
+        cluster.spawn("hog", hog(), node=0, core=0)  # same logical core
+        cluster.sim.run(until=200)
+        # phi = 1: fully memory-bound, CPU share loss is hidden
+        assert stream.runtime == pytest.approx(10.0, rel=0.01)
+
+    def test_bandwidth_contention_slows_stream(self):
+        spec = MachineSpec.voltrino()
+        cluster = Cluster(num_nodes=1, spec=spec)
+        stream = cluster.spawn(
+            "s", compute(10.0, mem_bw=spec.core_mem_bw), node=0, core=0
+        )
+        for i in range(7):
+            cluster.spawn(f"bw{i}", hog(mem_bw=10 * GB10), node=0, core=1 + i)
+        cluster.sim.run(until=500)
+        assert stream.runtime > 20.0
+
+    def test_other_socket_does_not_contend(self):
+        spec = MachineSpec.voltrino()
+        cluster = Cluster(num_nodes=1, spec=spec)
+        stream = cluster.spawn(
+            "s", compute(10.0, mem_bw=spec.core_mem_bw), node=0, core=0
+        )
+        for i in range(7):
+            # cores 16+ live on socket 1
+            cluster.spawn(f"bw{i}", hog(mem_bw=10 * GB10), node=0, core=16 + i)
+        cluster.sim.run(until=500)
+        assert stream.runtime == pytest.approx(10.0, rel=0.01)
+
+
+class TestNetworkStage:
+    def test_flow_contention_stretches_transfer(self):
+        cluster = Cluster.voltrino(num_nodes=8)
+
+        def sender(proc):
+            yield Segment(
+                work=10.0, cpu=0.05, flows=[Flow(dst="node4", rate=9e9)]
+            )
+
+        p = cluster.spawn("snd", sender, node=0, core=0)
+        # a competing stream out of the same node
+        def rival(proc):
+            yield Segment(
+                work=math.inf, cpu=0.05, flows=[Flow(dst="node5", rate=9e9)]
+            )
+
+        cluster.spawn("rival", rival, node=0, core=1)
+        cluster.sim.run(until=200)
+        assert p.runtime > 10.5  # slowed by uplink sharing + latency factor
+
+    def test_nic_counters_accumulate(self):
+        cluster = Cluster.voltrino(num_nodes=8)
+
+        def sender(proc):
+            yield Segment(work=5.0, cpu=0.05, flows=[Flow(dst="node4", rate=1e9)])
+
+        cluster.spawn("snd", sender, node=0, core=0)
+        cluster.sim.run(until=100)
+        assert cluster.node(0).counters["nic_tx_bytes"] == pytest.approx(
+            5e9, rel=0.01
+        )
+        assert cluster.node(4).counters["nic_rx_bytes"] == pytest.approx(
+            5e9, rel=0.01
+        )
+
+
+class TestStorageStage:
+    def test_io_contention_slows_writer(self):
+        fs = SharedFilesystem(name="nfs", disk_bw=100 * MB10)
+        cluster = Cluster(num_nodes=2, filesystems=[fs])
+
+        def writer(proc):
+            yield Segment(
+                work=10.0, cpu=0.1, io=IODemand(fs="nfs", write_bw=80 * MB10)
+            )
+
+        p = cluster.spawn("w", writer, node=0, core=0)
+        cluster.spawn(
+            "rival",
+            hog(cpu=0.1, io=IODemand(fs="nfs", write_bw=80 * MB10)),
+            node=1,
+            core=0,
+        )
+        cluster.sim.run(until=200)
+        # two 80 MB/s writers on a 100 MB/s disk -> each gets 50
+        assert p.runtime == pytest.approx(16.0, rel=0.02)
+        assert cluster.node(0).counters["io_write_bytes"] > 0

@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster, MachineSpec
+
+
+@pytest.fixture
+def voltrino_node() -> Cluster:
+    """A single Voltrino-spec node with no network."""
+    return Cluster(num_nodes=1, spec=MachineSpec.voltrino())
+
+
+@pytest.fixture
+def small_cluster() -> Cluster:
+    """Four Voltrino nodes on an Aries-like fabric."""
+    return Cluster.voltrino(num_nodes=4)
+
+
+@pytest.fixture
+def chameleon_cluster() -> Cluster:
+    """A Chameleon-like cluster with the NFS appliance attached."""
+    return Cluster.chameleon(num_nodes=6)

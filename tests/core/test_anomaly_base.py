@@ -1,0 +1,98 @@
+"""Anomaly base class, registry, and CLI parsing."""
+
+import math
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import ANOMALY_REGISTRY, make_anomaly, parse_cli
+from repro.core.anomaly import Anomaly, register
+from repro.errors import AnomalyError
+from repro.sim.process import ProcessState, Segment
+
+
+class TestRegistry:
+    def test_all_eight_anomalies_registered(self):
+        assert set(ANOMALY_REGISTRY) == {
+            "cpuoccupy",
+            "cachecopy",
+            "membw",
+            "memeater",
+            "memleak",
+            "netoccupy",
+            "iometadata",
+            "iobandwidth",
+        }
+
+    def test_make_anomaly(self):
+        a = make_anomaly("cpuoccupy", utilization=50)
+        assert a.name == "cpuoccupy"
+        assert a.utilization == 50
+
+    def test_unknown_name(self):
+        with pytest.raises(AnomalyError):
+            make_anomaly("fanspin")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(AnomalyError):
+
+            @register
+            class Duplicate(Anomaly):
+                name = "cpuoccupy"
+
+                def body(self, proc):
+                    yield Segment(work=1.0)
+
+    def test_describe_includes_knobs(self):
+        info = make_anomaly("cachecopy", cache="L2", multiplier=2.0).describe()
+        assert info["name"] == "cachecopy"
+        assert info["cache"] == "L2"
+        assert info["multiplier"] == 2.0
+
+
+class TestCli:
+    def test_basic_parse(self):
+        a = parse_cli(["cpuoccupy", "-u", "75"])
+        assert a.utilization == 75.0
+        assert math.isinf(a.duration)
+
+    def test_duration_option_common(self):
+        a = parse_cli(["memleak", "-d", "120"])
+        assert a.duration == 120.0
+
+    def test_long_options(self):
+        a = parse_cli(["cachecopy", "--cache", "L1", "--multiplier", "2"])
+        assert a.cache == "L1" and a.multiplier == 2.0
+
+    def test_errors(self):
+        with pytest.raises(AnomalyError):
+            parse_cli([])
+        with pytest.raises(AnomalyError):
+            parse_cli(["nope"])
+        with pytest.raises(AnomalyError):
+            parse_cli(["cpuoccupy", "--frequency", "2"])
+        with pytest.raises(AnomalyError):
+            parse_cli(["cpuoccupy", "-u"])
+        with pytest.raises(AnomalyError):
+            parse_cli(["cpuoccupy", "-u", "lots"])
+
+
+class TestLaunchLifecycle:
+    def test_launch_start_and_duration(self):
+        cluster = Cluster(num_nodes=1)
+        a = make_anomaly("cpuoccupy", utilization=100, duration=5.0)
+        proc = a.launch(cluster, node=0, core=0, start=2.0)
+        cluster.sim.run(until=20.0)
+        assert proc.state is ProcessState.KILLED
+        assert proc.start_time == pytest.approx(2.0)
+        assert proc.end_time == pytest.approx(7.0)
+
+    def test_infinite_duration_runs_forever(self):
+        cluster = Cluster(num_nodes=1)
+        proc = make_anomaly("cpuoccupy").launch(cluster, node=0, core=0)
+        cluster.sim.run(until=100.0)
+        assert proc.state is ProcessState.RUNNING
+
+    def test_invalid_duration(self):
+        with pytest.raises(AnomalyError):
+            make_anomaly("cpuoccupy", duration=0)

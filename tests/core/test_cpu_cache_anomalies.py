@@ -1,0 +1,114 @@
+"""cpuoccupy and cachecopy behaviour on the substrate."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import CacheCopy, CpuOccupy
+from repro.errors import AnomalyError
+from repro.monitoring import MetricService
+from repro.sim.process import Segment
+from repro.units import MB
+
+
+class TestCpuOccupy:
+    @pytest.mark.parametrize("intensity", [10, 50, 100])
+    def test_utilization_matches_intensity(self, intensity):
+        cluster = Cluster(num_nodes=1)
+        svc = MetricService(cluster)
+        svc.attach(end=20)
+        for core in range(cluster.spec.logical_cores):
+            CpuOccupy(utilization=intensity).launch(cluster, "node0", core=core)
+        cluster.sim.run(until=20)
+        user = svc.series("node0", "user::procstat")
+        assert np.mean(user[2:]) == pytest.approx(intensity, abs=0.5)
+
+    def test_negligible_memory_and_cache(self):
+        cluster = Cluster(num_nodes=1)
+        proc = CpuOccupy(utilization=100).launch(cluster, "node0", core=0)
+        cluster.sim.run(until=10)
+        assert proc.counters.get("mem_bytes", 0.0) == 0.0
+        assert cluster.node(0).memory.held_by(proc.pid) == 0.0
+
+    def test_timeshares_with_colocated_app(self):
+        cluster = Cluster(num_nodes=1)
+
+        def app(proc):
+            yield Segment(work=10.0)
+
+        p = cluster.spawn("app", app, node=0, core=0)
+        CpuOccupy(utilization=100).launch(cluster, "node0", core=0)
+        cluster.sim.run(until=100)
+        assert p.runtime == pytest.approx(20.0)
+
+    def test_invalid_utilization(self):
+        for bad in (0, -5, 101):
+            with pytest.raises(AnomalyError):
+                CpuOccupy(utilization=bad)
+
+
+class TestCacheCopy:
+    def test_allocates_and_frees_working_set(self):
+        cluster = Cluster(num_nodes=1)
+        anomaly = CacheCopy(cache="L3", duration=5.0)
+        proc = anomaly.launch(cluster, "node0", core=0)
+        ledger = cluster.node(0).memory
+        cluster.sim.run(until=2.0)
+        assert ledger.held_by(proc.pid) == pytest.approx(40 * MB)
+        cluster.sim.run(until=10.0)
+        assert ledger.held_by(proc.pid) == 0.0
+
+    def test_multiplier_scales_working_set(self):
+        cluster = Cluster(num_nodes=1)
+        proc = CacheCopy(cache="L2", multiplier=2.0).launch(cluster, "node0", core=0)
+        cluster.sim.run(until=1.0)
+        assert cluster.node(0).memory.held_by(proc.pid) == pytest.approx(
+            2 * 256 * 1024
+        )
+
+    def test_rate_knob_reduces_pressure(self):
+        def victim_runtime(rate):
+            cluster = Cluster(num_nodes=1)
+
+            def victim(proc):
+                yield Segment(
+                    work=10.0,
+                    cache_footprint={"L3": 20 * MB},
+                    cache_intensity=1.0,
+                    miss_cpi_penalty=0.8,
+                    ips=1e9,
+                    mpki_base=1.0,
+                    mpki_extra=10.0,
+                )
+
+            p = cluster.spawn("v", victim, node=0, core=0)
+            sibling = cluster.spec.sibling_of(0)
+            CacheCopy(cache="L3", rate=rate).launch(cluster, "node0", core=sibling)
+            cluster.sim.run(until=200)
+            return p.runtime
+
+        assert victim_runtime(0.2) < victim_runtime(1.0)
+
+    def test_invalid_knobs(self):
+        with pytest.raises(AnomalyError):
+            CacheCopy(cache="L9")
+        with pytest.raises(AnomalyError):
+            CacheCopy(multiplier=0)
+        with pytest.raises(AnomalyError):
+            CacheCopy(rate=0)
+
+    def test_self_eviction_with_multiplier_generates_memory_traffic(self):
+        cluster = Cluster(num_nodes=1)
+        proc = CacheCopy(cache="L3", multiplier=2.0).launch(cluster, "node0", core=0)
+        cluster.sim.run(until=10)
+        # working set 2x L3 -> ~50% self-eviction -> refetch traffic
+        assert proc.counters["mem_bytes"] > 1e9
+
+    def test_contained_l2_copy_stays_quiet(self):
+        cluster = Cluster(num_nodes=1)
+        proc = CacheCopy(cache="L2").launch(cluster, "node0", core=0)
+        cluster.sim.run(until=10)
+        # fits in its private L2: only the baseline trickle
+        assert proc.counters["mem_bytes"] < 2e9

@@ -1,0 +1,80 @@
+"""AnomalyInjector campaigns."""
+
+import math
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import AnomalyInjector, Injection, make_anomaly
+from repro.errors import AnomalyError
+from repro.sim.process import ProcessState
+
+
+class TestInjection:
+    def test_validation(self):
+        a = make_anomaly("cpuoccupy")
+        with pytest.raises(AnomalyError):
+            Injection(anomaly=a, node=0, start=-1.0)
+        with pytest.raises(AnomalyError):
+            Injection(anomaly=a, node=0, duration=0.0)
+
+
+class TestInjector:
+    def test_deploy_schedules_all(self):
+        cluster = Cluster(num_nodes=2)
+        injector = AnomalyInjector(cluster)
+        injector.add(
+            Injection(make_anomaly("cpuoccupy"), node=0, core=0, start=1.0, duration=4.0)
+        )
+        injector.add(
+            Injection(make_anomaly("memleak"), node=1, core=0, start=2.0, duration=6.0)
+        )
+        procs = injector.deploy()
+        assert len(procs) == 2
+        cluster.sim.run(until=20)
+        assert all(p.state is ProcessState.KILLED for p in procs)
+        assert procs[0].end_time == pytest.approx(5.0)
+        assert procs[1].end_time == pytest.approx(8.0)
+
+    def test_deploy_is_idempotent(self):
+        cluster = Cluster(num_nodes=1)
+        injector = AnomalyInjector(cluster)
+        injector.add(Injection(make_anomaly("cpuoccupy"), node=0, duration=2.0))
+        first = injector.deploy()
+        second = injector.deploy()
+        assert len(first) == 1 and second == []
+
+    def test_inject_immediate(self):
+        cluster = Cluster(num_nodes=1)
+        injector = AnomalyInjector(cluster)
+        injection = injector.inject(make_anomaly("membw"), node=0, core=1, duration=3.0)
+        assert injection.process is not None
+        cluster.sim.run(until=10)
+        assert injection.process.state is ProcessState.KILLED
+
+    def test_active_labels(self):
+        cluster = Cluster(num_nodes=1)
+        injector = AnomalyInjector(cluster)
+        injector.add(
+            Injection(make_anomaly("cpuoccupy"), node=0, start=0.0, duration=5.0)
+        )
+        injector.add(
+            Injection(make_anomaly("memleak"), node=0, core=1, start=3.0, duration=5.0)
+        )
+        assert injector.active_labels(1.0) == ["cpuoccupy"]
+        assert sorted(injector.active_labels(4.0)) == ["cpuoccupy", "memleak"]
+        assert injector.active_labels(7.0) == ["memleak"]
+        assert injector.active_labels(10.0) == []
+
+    def test_overlapping_composition_runs(self):
+        """Composing multiple anomalies (paper Sec. 3) works end to end."""
+        cluster = Cluster(num_nodes=1)
+        injector = AnomalyInjector(cluster)
+        for i, name in enumerate(("cpuoccupy", "membw", "cachecopy")):
+            injector.inject(
+                make_anomaly(name), node=0, core=i, start=float(i), duration=10.0
+            )
+        cluster.sim.run(until=30)
+        assert all(
+            inj.process.state is ProcessState.KILLED for inj in injector.injections
+        )

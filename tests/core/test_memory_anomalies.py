@@ -1,0 +1,118 @@
+"""membw, memeater and memleak behaviour."""
+
+import math
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import MemBw, MemEater, MemLeak
+from repro.errors import AnomalyError
+from repro.sim.process import ProcessState, Segment
+from repro.units import GB, MB
+
+
+class TestMemBw:
+    def test_consumes_bandwidth_without_cache(self):
+        cluster = Cluster(num_nodes=1)
+        proc = MemBw().launch(cluster, "node0", core=0)
+        cluster.sim.run(until=10)
+        assert proc.counters["mem_bytes"] > 50e9  # ~10 GB/s for 10 s
+        # tiny L1-only footprint: no L3 presence at all
+        assert proc.current.cache_footprint.get("L3") is None
+
+    def test_rate_scales_demand(self):
+        def bytes_at(rate):
+            cluster = Cluster(num_nodes=1)
+            proc = MemBw(rate=rate).launch(cluster, "node0", core=0)
+            cluster.sim.run(until=10)
+            return proc.counters["mem_bytes"]
+
+        assert bytes_at(0.5) == pytest.approx(bytes_at(1.0) / 2, rel=0.05)
+
+    def test_buffer_registered_in_ledger(self):
+        cluster = Cluster(num_nodes=1)
+        proc = MemBw(buffer_size=64 * MB).launch(cluster, "node0", core=0)
+        cluster.sim.run(until=1)
+        assert cluster.node(0).memory.held_by(proc.pid) == pytest.approx(64 * MB)
+
+    def test_validation(self):
+        with pytest.raises(AnomalyError):
+            MemBw(buffer_size=0)
+        with pytest.raises(AnomalyError):
+            MemBw(rate=1.5)
+
+
+class TestMemEater:
+    def test_ramps_to_total_size_then_flat(self):
+        cluster = Cluster(num_nodes=1)
+        anomaly = MemEater(total_size=1 * GB, rate=100.0)
+        proc = anomaly.launch(cluster, "node0", core=0)
+        ledger = cluster.node(0).memory
+        cluster.sim.run(until=60)
+        assert ledger.held_by(proc.pid) == pytest.approx(1 * GB, rel=1e-6)
+        held_at_60 = ledger.held_by(proc.pid)
+        cluster.sim.run(until=120)
+        assert ledger.held_by(proc.pid) == held_at_60  # stable footprint
+
+    def test_releases_on_duration_end(self):
+        cluster = Cluster(num_nodes=1)
+        anomaly = MemEater(total_size=1 * GB, rate=100.0, duration=30.0)
+        proc = anomaly.launch(cluster, "node0", core=0)
+        cluster.sim.run(until=60)
+        assert proc.state is ProcessState.KILLED
+        assert cluster.node(0).memory.held_by(proc.pid) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(AnomalyError):
+            MemEater(buffer_size=0)
+        with pytest.raises(AnomalyError):
+            MemEater(buffer_size=2 * MB, total_size=1 * MB)
+        with pytest.raises(AnomalyError):
+            MemEater(rate=0)
+
+
+class TestMemLeak:
+    def test_footprint_grows_monotonically(self):
+        cluster = Cluster(num_nodes=1)
+        proc = MemLeak(buffer_size=20 * MB, rate=2.0).launch(cluster, "node0", core=0)
+        ledger = cluster.node(0).memory
+        samples = []
+        for t in (10, 20, 40, 80):
+            cluster.sim.run(until=t)
+            samples.append(ledger.held_by(proc.pid))
+        assert all(a < b for a, b in zip(samples, samples[1:]))
+        # rate 2/s x 20 MB = 40 MB/s
+        assert samples[-1] == pytest.approx(80 * 2 * 20 * MB, rel=0.05)
+
+    def test_limit_stops_growth(self):
+        cluster = Cluster(num_nodes=1)
+        proc = MemLeak(buffer_size=20 * MB, rate=10.0, limit=100 * MB).launch(
+            cluster, "node0", core=0
+        )
+        cluster.sim.run(until=30)
+        assert cluster.node(0).memory.held_by(proc.pid) == pytest.approx(100 * MB)
+        assert proc.state is ProcessState.RUNNING  # holds the dead memory
+
+    def test_oversized_leak_triggers_oom_kill_of_big_app(self):
+        """The paper: oversized memory anomalies crash the application."""
+        cluster = Cluster(num_nodes=1)
+        ledger = cluster.node(0).memory
+
+        def app(proc):
+            ledger.alloc(proc.pid, 80 * GB)
+            yield Segment(work=math.inf)
+
+        app_proc = cluster.spawn("app", app, node=0, core=0)
+        MemLeak(buffer_size=1 * GB, rate=10.0).launch(cluster, "node0", core=1)
+        cluster.sim.run(until=120)
+        # the app is the largest consumer when memory runs out
+        assert app_proc.state is ProcessState.KILLED
+        assert app_proc.exit_reason == "oom-killed"
+
+    def test_validation(self):
+        with pytest.raises(AnomalyError):
+            MemLeak(buffer_size=0)
+        with pytest.raises(AnomalyError):
+            MemLeak(rate=0)
+        with pytest.raises(AnomalyError):
+            MemLeak(limit=0)

@@ -1,0 +1,132 @@
+"""The paper's design constraint: anomalies stay out of non-target subsystems.
+
+Sec. 3: "each anomaly is designed to minimize its interference in the
+subsystems that it is not targeting."  This module measures every
+anomaly's footprint on each subsystem (CPU time, memory bandwidth, memory
+capacity, network traffic, filesystem traffic) and asserts the
+interference matrix is near-diagonal.
+"""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import make_anomaly
+from repro.units import GB, GB10, MB
+
+RUN_SECONDS = 20.0
+
+
+def footprint(anomaly_name, **knobs):
+    """Run one instance alone for RUN_SECONDS; return per-second usage."""
+    cluster = Cluster.chameleon(num_nodes=2)  # has the NFS share + network
+    anomaly = make_anomaly(anomaly_name, **knobs)
+    if anomaly_name == "netoccupy":
+        anomaly.peer = "node1"
+    proc = anomaly.launch(cluster, "node0", core=0)
+    cluster.sim.run(until=RUN_SECONDS)
+    held = cluster.node(0).memory.held_by(proc.pid)
+    c = proc.counters
+    return {
+        "cpu": c.get("cpu_user_seconds", 0.0) / RUN_SECONDS,
+        "membw": c.get("mem_bytes", 0.0) / RUN_SECONDS,
+        "memcap": held,
+        "net": c.get("nic_tx_bytes", 0.0) / RUN_SECONDS,
+        "io": (c.get("io_write_bytes", 0.0) + c.get("io_read_bytes", 0.0))
+        / RUN_SECONDS,
+        "meta": c.get("io_meta_ops", 0.0) / RUN_SECONDS,
+    }
+
+
+class TestCpuOccupy:
+    def test_targets_cpu_only(self):
+        f = footprint("cpuoccupy", utilization=100)
+        assert f["cpu"] == pytest.approx(1.0, rel=0.01)
+        assert f["membw"] < 0.05 * GB10
+        assert f["memcap"] == 0.0
+        assert f["net"] == 0.0 and f["io"] == 0.0
+
+
+class TestCacheCopy:
+    def test_stays_inside_the_cache(self):
+        f = footprint("cachecopy", cache="L2")
+        # busy core, tiny memory traffic, working-set-sized allocation only
+        assert f["cpu"] == pytest.approx(1.0, rel=0.01)
+        assert f["membw"] < 0.5 * GB10
+        assert f["memcap"] < 1 * MB
+        assert f["net"] == 0.0 and f["io"] == 0.0
+
+
+class TestMemBw:
+    def test_targets_bandwidth_not_capacity(self):
+        f = footprint("membw")
+        assert f["membw"] > 5 * GB10  # the point of the anomaly
+        assert f["memcap"] < 100 * MB  # two matrices only
+        assert f["net"] == 0.0 and f["io"] == 0.0
+
+
+class TestMemEater:
+    def test_targets_capacity(self):
+        f = footprint("memeater", total_size=1 * GB, rate=100)
+        assert f["memcap"] == pytest.approx(1 * GB, rel=1e-6)
+        assert f["net"] == 0.0 and f["io"] == 0.0
+        # steady-state bandwidth stays modest (it is not membw)
+        assert f["membw"] < 3 * GB10
+
+
+class TestMemLeak:
+    def test_targets_capacity_gradually(self):
+        f = footprint("memleak")
+        assert 0 < f["memcap"] < 1 * GB  # still growing at default rate
+        assert f["cpu"] < 0.1  # mostly asleep between allocations
+        assert f["net"] == 0.0 and f["io"] == 0.0
+
+
+class TestNetOccupy:
+    def test_targets_network_only(self):
+        f = footprint("netoccupy")
+        assert f["net"] > 0.5 * GB10
+        assert f["cpu"] < 0.1  # SHMEM puts barely use the CPU
+        assert f["membw"] == 0.0
+        assert f["io"] == 0.0
+
+
+class TestIOAnomaliesFootprint:
+    def test_iometadata_is_ops_not_bytes(self):
+        f = footprint("iometadata")
+        assert f["meta"] > 50.0
+        assert f["io"] < 1e6  # one character per file
+        assert f["net"] == 0.0
+        assert f["memcap"] == 0.0
+
+    def test_iobandwidth_is_bytes(self):
+        f = footprint("iobandwidth")
+        assert f["io"] > 10e6
+        assert f["meta"] < 10.0  # only file-rotation chatter
+        assert f["memcap"] == 0.0
+
+
+def test_interference_matrix_is_diagonal():
+    """Summary check: each anomaly's dominant axis is its target."""
+    dominant = {
+        "cpuoccupy": "cpu",
+        "membw": "membw",
+        "memeater": "memcap",
+        "netoccupy": "net",
+        "iobandwidth": "io",
+    }
+    scales = {
+        "cpu": 1.0,
+        "membw": 10 * GB10,
+        "memcap": 4 * GB,
+        "net": 10 * GB10,
+        "io": 50e6,
+        "meta": 120.0,
+    }
+    for name, target in dominant.items():
+        f = footprint(name)
+        normalised = {k: v / scales[k] for k, v in f.items()}
+        top = max(normalised, key=normalised.get)
+        assert top == target or normalised[target] > 0.5 * normalised[top], (
+            name,
+            normalised,
+        )

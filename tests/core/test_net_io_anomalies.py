@@ -1,0 +1,102 @@
+"""netoccupy, iometadata and iobandwidth behaviour."""
+
+import pytest
+
+from repro.apps import IORBenchmark, OSUBandwidth
+from repro.cluster import Cluster
+from repro.core import IOBandwidth, IOMetadata, NetOccupy
+from repro.core.netoccupy import message_peak_bw
+from repro.errors import AnomalyError
+from repro.units import KB, MB, MB10
+
+
+class TestMessagePeakBw:
+    def test_saturating_curve(self):
+        nic = 10e9
+        small = message_peak_bw(16 * KB, nic)
+        large = message_peak_bw(100 * MB, nic)
+        assert small < 0.3 * nic
+        assert large > 0.99 * nic
+
+    def test_monotone_in_size(self):
+        nic = 10e9
+        sizes = [2**k * KB for k in range(0, 14)]
+        peaks = [message_peak_bw(s, nic) for s in sizes]
+        assert peaks == sorted(peaks)
+
+
+class TestNetOccupy:
+    def test_needs_peer(self):
+        cluster = Cluster.voltrino(num_nodes=8)
+        proc = NetOccupy().launch(cluster, "node0", core=0)
+        with pytest.raises(AnomalyError):
+            cluster.sim.run(until=1)
+
+    def test_launch_pair_spawns_ranks(self):
+        cluster = Cluster.voltrino(num_nodes=8)
+        procs = NetOccupy.launch_pair(cluster, "node0", "node4", ranks=4)
+        assert len(procs) == 4
+        cluster.sim.run(until=5)
+        assert cluster.node(0).counters["nic_tx_bytes"] > 0
+        assert cluster.node(4).counters["nic_rx_bytes"] > 0
+
+    def test_reduces_osu_bandwidth(self):
+        def osu_bw(with_anomaly):
+            cluster = Cluster.voltrino(num_nodes=8)
+            osu = OSUBandwidth(message_size=4 * MB, messages=16)
+            osu.launch(cluster, src="node0", dst="node4")
+            if with_anomaly:
+                NetOccupy.launch_pair(cluster, "node1", "node5", ranks=4)
+            cluster.sim.run(until=500)
+            return osu.bandwidth()
+
+        assert osu_bw(True) < osu_bw(False)
+
+    def test_validation(self):
+        with pytest.raises(AnomalyError):
+            NetOccupy(message_size=0)
+        with pytest.raises(AnomalyError):
+            NetOccupy(rate=0)
+
+
+class TestIOAnomalies:
+    def _ior_with(self, anomaly_cls, instances=48):
+        cluster = Cluster.chameleon(num_nodes=5)
+        ior = IORBenchmark()
+        # start IOR once the anomalies reach steady state
+        ior.launch(cluster, node="node4", start=60.0)
+        if anomaly_cls is not None:
+            for n in (1, 2, 3):
+                for core in range(instances):
+                    anomaly_cls().launch(cluster, f"node{n}", core=core)
+        cluster.sim.run(until=20_000)
+        return ior.phase_bandwidth()
+
+    def test_iobandwidth_crushes_streaming(self):
+        clean = self._ior_with(None)
+        noisy = self._ior_with(IOBandwidth)
+        assert noisy["write"] < 0.4 * clean["write"]
+        assert noisy["read"] < 0.4 * clean["read"]
+
+    def test_iometadata_hits_access_hardest(self):
+        clean = self._ior_with(None)
+        noisy = self._ior_with(IOMetadata)
+        assert noisy["access"] < 0.6 * clean["access"]
+        # streaming is dragged down through the shared server CPU, but a
+        # substantial fraction survives (the disk itself is not busy)
+        assert noisy["write"] / clean["write"] > 0.2
+
+    def test_validation(self):
+        with pytest.raises(AnomalyError):
+            IOMetadata(rate=0)
+        with pytest.raises(AnomalyError):
+            IOBandwidth(file_size=0)
+        with pytest.raises(AnomalyError):
+            IOBandwidth(demand_bw=0)
+
+    def test_iobandwidth_accounts_read_and_write(self):
+        cluster = Cluster.chameleon(num_nodes=2)
+        proc = IOBandwidth(demand_bw=10 * MB10).launch(cluster, "node1", core=0)
+        cluster.sim.run(until=300)
+        assert proc.counters["io_write_bytes"] > 0
+        assert proc.counters["io_read_bytes"] > 0  # copy chains read back

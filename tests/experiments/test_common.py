@@ -1,0 +1,22 @@
+"""Experiment table rendering."""
+
+from repro.experiments.common import format_table
+
+
+def test_alignment_and_headers():
+    out = format_table(["name", "value"], [("a", 1.5), ("long-name", 2.0)])
+    lines = out.splitlines()
+    assert lines[0].startswith("name")
+    assert "----" in lines[1]
+    assert "1.500" in lines[2]
+
+
+def test_title_prepended():
+    out = format_table(["x"], [(1,)], title="My Table")
+    assert out.splitlines()[0] == "My Table"
+
+
+def test_mixed_types():
+    out = format_table(["a", "b"], [(1, "two"), (3.14159, None)])
+    assert "3.142" in out
+    assert "None" in out

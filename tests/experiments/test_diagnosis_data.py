@@ -1,0 +1,70 @@
+"""Diagnosis data generation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.experiments.diagnosis_data import (
+    MonitoredRun,
+    _place,
+    build_dataset,
+    generate_runs,
+)
+
+
+def test_place_rejects_unknown_label():
+    with pytest.raises(ValueError):
+        _place(Cluster.voltrino(num_nodes=8), "gremlin")
+
+
+def test_place_none_is_noop():
+    cluster = Cluster.voltrino(num_nodes=8)
+    _place(cluster, "none")
+    assert len(cluster.sim.processes) == 0
+
+
+def test_generate_runs_single_pair():
+    runs = generate_runs(
+        apps=("CoMD",), labels=("none", "cpuoccupy"), iterations=10, trim=2
+    )
+    assert [r.label for r in runs] == ["none", "cpuoccupy"]
+    assert runs[0].app == "CoMD"
+    # trimmed series still long enough to window
+    assert runs[0].series.shape[0] > 5
+    assert runs[0].series.shape[1] == len(runs[0].metrics)
+
+
+def test_trim_shortens_series():
+    kwargs = dict(apps=("CoMD",), labels=("none",), iterations=10)
+    untrimmed = generate_runs(trim=0, **kwargs)[0].series.shape[0]
+    trimmed = generate_runs(trim=3, **kwargs)[0].series.shape[0]
+    assert trimmed == untrimmed - 6
+
+
+def test_build_dataset_from_monitored_runs():
+    rng = np.random.default_rng(0)
+    runs = [
+        MonitoredRun(
+            app="a",
+            label="none",
+            series=rng.random((40, 3)),
+            metrics=["m1", "m2", "m3"],
+        ),
+        MonitoredRun(
+            app="a",
+            label="cpuoccupy",
+            series=rng.random((40, 3)) + 5,
+            metrics=["m1", "m2", "m3"],
+        ),
+    ]
+    ds = build_dataset(runs, window=20)
+    assert ds.n_samples == 4
+    assert set(ds.y) == {"none", "cpuoccupy"}
+    assert ds.groups.tolist() == [0, 0, 1, 1]
+
+
+def test_runs_are_deterministic_per_seed():
+    kwargs = dict(apps=("miniMD",), labels=("membw",), iterations=8)
+    a = generate_runs(seed=5, **kwargs)[0].series
+    b = generate_runs(seed=5, **kwargs)[0].series
+    assert np.array_equal(a, b)

@@ -1,0 +1,104 @@
+"""Reduced-scale runs of every experiment module (shape checks).
+
+The full-scale runs live in ``benchmarks/``; these tests exercise the same
+code paths at a fraction of the cost so the experiment harness itself is
+covered by ``pytest tests/``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig11_12,
+    run_fig13,
+    run_table1,
+    run_table2,
+)
+
+
+def test_table1_lists_all_anomalies():
+    result = run_table1()
+    assert len(result.rows) == 8
+    assert "utilization" in dict((r[1], r[3]) for r in result.rows)["cpuoccupy"]
+    assert result.render().startswith("Table 1")
+
+
+def test_fig2_reduced():
+    result = run_fig2(intensities=(25, 75), duration=10)
+    assert result.utilizations[0] == pytest.approx(25, abs=1)
+    assert result.utilizations[1] == pytest.approx(75, abs=1)
+
+
+def test_fig3_reduced():
+    result = run_fig3(iterations=6)
+    for machine in result.machines:
+        m = result.mpki[machine]
+        assert m["none"] < m["L1"] < m["L2"] < m["L3"]
+    assert result.mpki["chameleon"]["L3"] > result.mpki["voltrino"]["L3"]
+
+
+def test_fig4_reduced():
+    result = run_fig4(counts=(0, 3, 15))
+    rates = dict(zip(result.labels, result.best_rate_gbps))
+    assert rates["none"] > rates["membw 3x"] > rates["membw 15x"]
+    assert rates["cachecopy 15x"] > 0.9 * rates["none"]
+
+
+def test_fig5_reduced():
+    result = run_fig5(duration=80, horizon=100)
+    leak = result.usage_gb["memleak"]
+    eater = result.usage_gb["memeater"]
+    assert leak[70] > leak[20]
+    assert eater[70] == pytest.approx(eater[30], abs=0.1)
+    assert result.render()
+
+
+def test_fig6_reduced():
+    result = run_fig6(message_sizes_kb=(64, 4096), pair_counts=(0, 3))
+    for i in range(2):
+        assert result.bandwidth_gbps[6][i] < result.bandwidth_gbps[0][i]
+
+
+def test_fig7_reduced():
+    result = run_fig7(anomaly_nodes=3, instances_per_node=48, horizon=20_000)
+    assert result.rows["iobandwidth"]["write"] < 0.5 * result.rows["none"]["write"]
+    assert result.rows["iometadata"]["access"] < 0.7 * result.rows["none"]["access"]
+
+
+def test_table2_reduced():
+    result = run_table2(iterations=6, ranks_per_node=4)
+    mismatches = [r.app for r in result.rows if not r.matches_paper]
+    assert mismatches == []
+
+
+def test_fig8_reduced():
+    result = run_fig8(
+        iterations=10,
+        apps=("CoMD", "cloverleaf"),
+        anomalies=("cachecopy", "membw", "none"),
+    )
+    assert result.slowdown("CoMD", "cachecopy") > 1.5
+    assert result.slowdown("cloverleaf", "membw") > 1.2
+    assert result.slowdown("CoMD", "membw") < 1.1
+
+
+def test_fig11_12_reduced():
+    result = run_fig11_12(iterations=15, repeats=1)
+    assert result.allocations["RoundRobin"] == ["node0", "node1", "node2", "node3"]
+    assert "node0" not in result.allocations["WBAS"]
+    assert result.improvement() > 0.05
+
+
+def test_fig13_reduced():
+    result = run_fig13(utilizations=(0, 400, 3200), n_objects=48, iterations=6)
+    lb = dict(zip(result.utilizations, result.time_per_iter["LBObjOnly"]))
+    greedy = dict(zip(result.utilizations, result.time_per_iter["GreedyRefineLB"]))
+    assert greedy[400] < lb[400]
+    assert abs(greedy[0] - lb[0]) < 0.01 * max(lb[0], 1e-9)

@@ -1,0 +1,104 @@
+"""Rendering of the remaining experiment result types."""
+
+import numpy as np
+
+from repro.analytics.diagnosis import ModelReport
+from repro.analytics.online import OnlineReport, TimelinePrediction
+from repro.experiments.ext_importance import ImportanceResult
+from repro.experiments.ext_lustre import LustreResult
+from repro.experiments.ext_online import OnlineResult
+from repro.experiments.fig3_cachecopy import Fig3Result
+from repro.experiments.fig5_memory import Fig5Result
+from repro.experiments.fig7_io import Fig7Result
+from repro.experiments.fig13_loadbalance import Fig13Result
+
+
+def test_fig3_render():
+    r = Fig3Result(
+        machines=["voltrino"],
+        mpki={"voltrino": {"none": 0.6, "L1": 1.3, "L2": 2.3, "L3": 5.6}},
+    )
+    out = r.render()
+    assert "voltrino" in out and "L3" in out
+
+
+def test_fig5_render():
+    times = np.arange(500.0)
+    usage = {"memleak": np.linspace(7.5, 10.5, 500)}
+    r = Fig5Result(times=times, usage_gb=usage)
+    out = r.render()
+    assert "memleak" in out and "t=300s" in out
+
+
+def test_fig7_render():
+    r = Fig7Result(
+        rows={"none": {"write": 320.0, "access": 78.0, "read": 320.0}}
+    )
+    assert "write MB/s" in r.render()
+
+
+def test_fig13_render():
+    r = Fig13Result(
+        utilizations=[0, 100],
+        time_per_iter={"LBObjOnly": [0.1, 0.2], "GreedyRefineLB": [0.1, 0.13]},
+    )
+    out = r.render()
+    assert "GreedyRefineLB" in out
+
+
+def test_lustre_result_retained():
+    r = LustreResult(
+        rows={
+            "nfs": {
+                "none": {"write": 320.0, "access": 78.0, "read": 320.0},
+                "iometadata": {"write": 160.0, "access": 29.0, "read": 160.0},
+            }
+        }
+    )
+    assert r.streaming_retained("nfs") == 0.5
+    assert "filesystem" in r.render()
+
+
+def test_importance_render():
+    r = ImportanceResult(
+        top_features=[("user::procstat__mean", 0.2)],
+        family_importance={"procstat": 0.6, "meminfo": 0.4},
+    )
+    out = r.render()
+    assert "user::procstat__mean" in out and "sampler family" in out
+
+
+def test_online_result_render():
+    report = OnlineReport(
+        predictions=[
+            TimelinePrediction(time=10.0, label="none"),
+            TimelinePrediction(time=15.0, label="cachecopy"),
+        ],
+        accuracy=0.9,
+        detection_latency=5.0,
+    )
+    r = OnlineResult(report=report, anomaly_window=(12.0, 40.0))
+    out = r.render()
+    assert "detection latency: 5s" in out
+    assert report.labels_between(12.0, 20.0) == ["cachecopy"]
+
+
+def test_online_result_render_not_detected():
+    report = OnlineReport(
+        predictions=[TimelinePrediction(time=10.0, label="none")],
+        accuracy=0.5,
+        detection_latency=None,
+    )
+    r = OnlineResult(report=report, anomaly_window=(5.0, 9.0))
+    assert "not detected" in r.render()
+
+
+def test_model_report_holds_confusion():
+    report = ModelReport(
+        name="RandomForest",
+        f1_per_class={"none": 1.0},
+        macro_f1=1.0,
+        confusion=np.eye(1),
+        labels=["none"],
+    )
+    assert report.confusion.shape == (1, 1)

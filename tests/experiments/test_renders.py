@@ -1,0 +1,89 @@
+"""Rendering of experiment result objects (no simulation needed)."""
+
+import numpy as np
+
+from repro.experiments.ext_dragonfly import DragonflyResult
+from repro.experiments.ext_jitter import JitterResult
+from repro.experiments.ext_jobstream import JobStreamResult
+from repro.experiments.ext_variability import VariabilityResult
+from repro.experiments.fig2_cpuoccupy import Fig2Result
+from repro.experiments.fig4_membw import Fig4Result
+from repro.experiments.fig6_netoccupy import Fig6Result
+from repro.experiments.fig8_matrix import ANOMALIES, Fig8Result
+from repro.experiments.fig10_confusion import Fig10Result
+from repro.experiments.fig11_12_allocation import Fig11_12Result
+from repro.varbench import VariabilityReport
+
+
+def test_fig2_render():
+    r = Fig2Result(intensities=[10, 50], utilizations=[10.4, 50.4])
+    out = r.render()
+    assert "10.400" in out and "Fig 2" in out
+
+
+def test_fig4_render():
+    r = Fig4Result(labels=["none", "membw 1x"], best_rate_gbps=[12.5, 9.5])
+    assert "membw 1x" in r.render()
+
+
+def test_fig6_render():
+    r = Fig6Result(
+        message_sizes_kb=[64, 128],
+        anomaly_nodes=[0, 2],
+        bandwidth_gbps={0: [4.0, 6.0], 2: [3.5, 5.5]},
+    )
+    out = r.render()
+    assert "0 anomaly nodes" in out and "2 anomaly nodes" in out
+
+
+def test_fig8_render_and_slowdown():
+    runtimes = {
+        "CoMD": {a: 100.0 for a in ANOMALIES},
+    }
+    runtimes["CoMD"]["cachecopy"] = 250.0
+    r = Fig8Result(runtimes=runtimes)
+    assert r.slowdown("CoMD", "cachecopy") == 2.5
+    assert "CoMD" in r.render()
+
+
+def test_fig10_render_and_diagonal():
+    matrix = np.eye(3)
+    r = Fig10Result(labels=["a", "b", "c"], matrix=matrix)
+    assert r.diagonal_mean == 1.0
+    assert "true \\ predicted" in r.render()
+
+
+def test_fig11_12_render_and_improvement():
+    r = Fig11_12Result(
+        allocations={"WBAS": ["node1"], "RoundRobin": ["node0"]},
+        runtimes={"WBAS": [300.0], "RoundRobin": [400.0]},
+    )
+    assert r.improvement() == 0.25
+    assert "WBAS" in r.render()
+
+
+def test_jitter_render_and_slowdowns():
+    r = JitterResult(node_counts=[1, 4], clean=[10.0, 10.0], jittered=[11.0, 12.0])
+    assert r.slowdowns == [1.1, 1.2]
+    assert "slowdown" in r.render()
+
+
+def test_dragonfly_render():
+    r = DragonflyResult(rows=[("within group", 9.8, 7.0, 0.71)])
+    assert "within group" in r.render()
+
+
+def test_jobstream_render():
+    r = JobStreamResult(
+        runtimes={"WBAS": [10.0]},
+        makespans={"WBAS": 20.0},
+        anomalous_hits={"WBAS": 0},
+    )
+    assert "makespan" in r.render()
+
+
+def test_variability_render():
+    report = VariabilityReport(app="x", anomaly="none", runtimes=(10.0, 11.0))
+    r = VariabilityResult(reports={"none": report})
+    out = r.render()
+    assert "CoV" in out and "none" in out

@@ -1,0 +1,90 @@
+"""Cross-module integration scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.apps import AppJob, get_app
+from repro.cluster import Cluster
+from repro.core import AnomalyInjector, make_anomaly
+from repro.monitoring import MetricService
+from repro.sim.process import ProcessState
+from repro.units import GB
+
+
+class TestInjectionDuringJob:
+    def test_mid_run_anomaly_window_slows_only_that_window(self):
+        cluster = Cluster(num_nodes=1)
+        service = MetricService(cluster)
+        service.attach(end=10_000)
+        app = get_app("CoMD").scaled(iterations=30)
+        job = AppJob(app, cluster, nodes=[0], ranks_per_node=2, seed=3)
+        job.launch()
+        injector = AnomalyInjector(cluster)
+        injector.inject(
+            make_anomaly("cpuoccupy"), node=0, core=0, start=15.0, duration=15.0
+        )
+        runtime = job.run(timeout=10_000)
+        service.detach()
+        nominal = app.profile.nominal_runtime
+        # slowed, but only for the window: runtime < full-2x, > nominal
+        assert nominal * 1.1 < runtime < nominal * 2.0
+        # monitoring shows the utilization step while the anomaly ran
+        util = service.series("node0", "user::procstat")
+        during = np.mean(util[16:29])
+        after_end = int(runtime) - 2
+        before = np.mean(util[2:14])
+        assert during != pytest.approx(before, rel=0.02)
+
+    def test_ground_truth_labels_align_with_lifecycle(self):
+        cluster = Cluster(num_nodes=2)
+        injector = AnomalyInjector(cluster)
+        injection = injector.inject(
+            make_anomaly("memleak"), node=1, core=0, start=5.0, duration=10.0
+        )
+        cluster.sim.run(until=30)
+        assert injection.process.state is ProcessState.KILLED
+        assert injector.active_labels(7.0) == ["memleak"]
+        assert injector.active_labels(20.0) == []
+
+
+class TestCrashScenario:
+    def test_oversized_memeater_crashes_big_application(self):
+        """Paper: 'if the size of the memory anomalies are set too large,
+        they result in application crashes'."""
+        cluster = Cluster(num_nodes=1)
+        app = get_app("cloverleaf").scaled(iterations=50, mem_alloc=60 * GB)
+        job = AppJob(app, cluster, nodes=[0], ranks_per_node=1, seed=1)
+        job.launch()
+        make_anomaly("memeater", total_size=80 * GB, rate=1000.0).launch(
+            cluster, "node0", core=2, start=5.0
+        )
+        cluster.sim.run(until=1000, stop_when=lambda: job.finished)
+        assert job.crashed
+        rank = job.procs[0]
+        assert rank.exit_reason == "oom-killed"
+
+
+class TestMonitoredMultiNodeRun:
+    def test_anomalous_node_stands_out_in_metrics(self):
+        cluster = Cluster.voltrino(num_nodes=4)
+        service = MetricService(cluster)
+        service.attach(end=10_000)
+        app = get_app("miniGhost").scaled(iterations=12)
+        job = AppJob(app, cluster, nodes=[0, 1, 2, 3], ranks_per_node=2, seed=2)
+        job.launch()
+        sibling = cluster.spec.sibling_of(0)
+        make_anomaly("cachecopy").launch(cluster, "node0", core=sibling)
+        job.run(timeout=10_000)
+        service.detach()
+        miss0 = np.mean(service.series("node0", "LLC_MISSES::spapiHASW")[2:10])
+        miss1 = np.mean(service.series("node1", "LLC_MISSES::spapiHASW")[2:10])
+        assert miss0 > 1.5 * miss1
+
+    def test_determinism_across_identical_runs(self):
+        def one():
+            cluster = Cluster.voltrino(num_nodes=4)
+            app = get_app("milc").scaled(iterations=8)
+            job = AppJob(app, cluster, nodes=[0, 1], ranks_per_node=2, seed=9)
+            return job.run(timeout=10_000)
+
+        assert one() == one()

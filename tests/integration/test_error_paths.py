@@ -1,0 +1,80 @@
+"""Error-path coverage across packages."""
+
+import pytest
+
+from repro.apps import AppJob, get_app
+from repro.cluster import Cluster
+from repro.core import CpuOccupy
+from repro.errors import ConfigError, SchedulingError
+from repro.monitoring import MetricService
+from repro.runtime import CharmRuntime, LBObjOnly, WorkObject
+from repro.scheduling import JobScheduler, RoundRobin
+
+
+def test_scheduler_refuses_when_all_nodes_busy():
+    cluster = Cluster.voltrino(num_nodes=4)
+    service = MetricService(cluster)
+    service.attach(end=1_000_000)
+    cluster.sim.run(until=5)
+    scheduler = JobScheduler(cluster, service)
+    app = get_app("CoMD").scaled(iterations=50)
+    scheduler.submit(app, RoundRobin(), n_nodes=4, ranks_per_node=1)
+    with pytest.raises(SchedulingError):
+        scheduler.allocate(RoundRobin(), 1)
+
+
+def test_scheduler_frees_nodes_after_completion():
+    cluster = Cluster.voltrino(num_nodes=4)
+    service = MetricService(cluster)
+    service.attach(end=1_000_000)
+    cluster.sim.run(until=5)
+    scheduler = JobScheduler(cluster, service)
+    app = get_app("CoMD").scaled(iterations=2)
+    _, job = scheduler.submit(app, RoundRobin(), n_nodes=4, ranks_per_node=1)
+    cluster.sim.run(until=10_000, stop_when=lambda: job.finished)
+    assert scheduler.busy_nodes == set()
+    allocation = scheduler.allocate(RoundRobin(), 2)
+    assert allocation.nodes == ["node0", "node1"]
+
+
+def test_charm_runtime_timeout_raises():
+    cluster = Cluster(num_nodes=1)
+    # one heavily-contended core: 20 iterations cannot finish in 0.01 s
+    CpuOccupy(utilization=100).launch(cluster, "node0", core=0)
+    runtime = CharmRuntime(
+        cluster,
+        "node0",
+        [0],
+        [WorkObject(0, 1.0)],
+        LBObjOnly(),
+        iterations=20,
+    )
+    with pytest.raises(ConfigError):
+        runtime.run(timeout=0.01)
+
+
+def test_appjob_runtime_unavailable_before_finish():
+    cluster = Cluster(num_nodes=1)
+    job = AppJob(get_app("CoMD").scaled(iterations=50), cluster, nodes=[0])
+    job.launch()
+    cluster.sim.run(until=1.0, stop_when=lambda: False)
+    assert not job.finished
+    with pytest.raises(ConfigError):
+        job.runtime()
+
+
+def test_anomaly_launch_invalid_core():
+    cluster = Cluster(num_nodes=1)
+    with pytest.raises(ConfigError):
+        CpuOccupy().launch(cluster, node=0, core=10_000)
+
+
+def test_osu_works_on_star_network():
+    from repro.apps import OSUBandwidth
+    from repro.units import MB
+
+    cluster = Cluster.chameleon(num_nodes=4)
+    osu = OSUBandwidth(message_size=1 * MB, messages=8)
+    osu.launch(cluster, src="node0", dst="node2")
+    cluster.sim.run(until=100)
+    assert 0 < osu.bandwidth() <= cluster.spec.nic_bw

@@ -1,0 +1,70 @@
+"""Golden regression values: exact outputs pinned against model drift.
+
+The simulator is fully deterministic, so key experiment outputs can be
+pinned to exact values.  A failure here means a *model change* — update
+the constants deliberately, alongside EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.apps import AppJob, StreamBenchmark, get_app
+from repro.cluster import Cluster
+from repro.core import CacheCopy, MemBw
+
+GOLDEN_STREAM_GBPS = {
+    0: 12.5,
+    1: 9.523809523809524,
+    3: 6.451612903225806,
+    7: 3.9215686274509802,
+    15: 2.197802197802198,
+}
+
+
+@pytest.mark.parametrize("n,expected", sorted(GOLDEN_STREAM_GBPS.items()))
+def test_fig4_stream_rates_exact(n, expected):
+    cluster = Cluster(num_nodes=1)
+    stream = StreamBenchmark()
+    stream.launch(cluster, "node0", core=0)
+    for i in range(n):
+        MemBw().launch(cluster, "node0", core=1 + i)
+    cluster.sim.run(until=500)
+    assert stream.best_rate() / 1e9 == pytest.approx(expected, rel=1e-9)
+
+
+def test_fig3_voltrino_mpki_exact():
+    cluster = Cluster(num_nodes=1)
+    app = get_app("miniGhost").scaled(iterations=10)
+    job = AppJob(app, cluster, nodes=["node0"], ranks_per_node=1, seed=7)
+    job.launch()
+    CacheCopy(cache="L3").launch(
+        cluster, "node0", core=cluster.spec.sibling_of(0)
+    )
+    job.run(timeout=10_000)
+    rank = job.procs[0]
+    mpki = rank.counters["l3_misses"] / rank.counters["instructions"] * 1000
+    assert mpki == pytest.approx(5.626, abs=0.01)
+
+
+def test_comd_clean_runtime_exact():
+    cluster = Cluster.voltrino(num_nodes=8)
+    app = get_app("CoMD").scaled(iterations=60)
+    job = AppJob(app, cluster, nodes=[0, 1, 2, 3], ranks_per_node=4, seed=1)
+    runtime = job.run(timeout=50_000)
+    assert runtime == pytest.approx(91.5356562329149, rel=1e-9)
+
+
+def test_repeatability_across_process_restarts():
+    """Nothing depends on dict ordering, ids, or wall-clock state."""
+
+    def fingerprint():
+        cluster = Cluster.voltrino(num_nodes=4)
+        app = get_app("milc").scaled(iterations=6)
+        job = AppJob(app, cluster, nodes=[0, 1], ranks_per_node=2, seed=42)
+        runtime = job.run(timeout=10_000)
+        counters = tuple(
+            round(cluster.node(0).counters[k], 6)
+            for k in ("instructions", "l3_misses", "nic_tx_bytes")
+        )
+        return (round(runtime, 9), counters)
+
+    assert fingerprint() == fingerprint()

@@ -1,0 +1,113 @@
+"""Corner cases across modules."""
+
+import math
+
+import pytest
+
+from repro.cluster import Cluster, MachineSpec
+from repro.errors import SimulationError
+from repro.memory.bandwidth import solve_bandwidth
+from repro.resources.fairshare import proportional_share
+from repro.sim.engine import MAX_EVENTS, Simulator
+from repro.sim.process import Segment, SimProcess, Sleep
+
+
+class TestEngineGuards:
+    def test_event_budget_guard_exists(self):
+        assert MAX_EVENTS >= 1_000_000
+
+    def test_runaway_zero_sleep_loop_is_caught(self):
+        sim = Simulator()
+        sim._events_dispatched = MAX_EVENTS  # simulate exhaustion cheaply
+
+        def body(proc):
+            while True:
+                yield Sleep(0.001)
+
+        sim.spawn(SimProcess("spin", body, node="n", core=0))
+        with pytest.raises(SimulationError):
+            sim.run(until=10.0)
+
+
+class TestClusterVariants:
+    def test_custom_share_fn_changes_outcomes(self):
+        def one(share_fn):
+            spec = MachineSpec.voltrino().with_overrides(bw_latency_alpha=0.0)
+            cluster = Cluster(num_nodes=1, spec=spec, share_fn=share_fn)
+
+            def stream(proc):
+                yield Segment(work=5.0, mem_bw=spec.core_mem_bw)
+
+            p = cluster.spawn("s", stream, node=0, core=0)
+            for i in range(15):
+
+                def hog(proc):
+                    yield Segment(work=math.inf, mem_bw=10e9)
+
+                cluster.spawn(f"h{i}", hog, node=0, core=1 + i)
+            cluster.sim.run(until=500)
+            return p.runtime
+
+        from repro.resources.fairshare import max_min_fair_share
+
+        assert one(proportional_share) != one(max_min_fair_share)
+
+    def test_cluster_without_topology_rejects_flows(self):
+        """Flows on a network-less cluster are ignored (no solver)."""
+        from repro.sim.process import Flow
+
+        cluster = Cluster(num_nodes=2, topology=None)
+
+        def sender(proc):
+            yield Segment(work=2.0, flows=[Flow(dst="node1", rate=1e9)])
+
+        p = cluster.spawn("snd", sender, node=0, core=0)
+        cluster.sim.run(until=10)
+        # without a topology the network stage is skipped entirely
+        assert p.runtime == pytest.approx(2.0)
+
+    def test_two_socket_placement_isolates_l3(self):
+        spec = MachineSpec.voltrino()
+        cluster = Cluster(num_nodes=1, spec=spec)
+
+        def victim(proc):
+            yield Segment(
+                work=5.0,
+                cache_footprint={"L3": 20 << 20},
+                cache_intensity=1.0,
+                miss_cpi_penalty=1.0,
+                mpki_base=1.0,
+                mpki_extra=10.0,
+                ips=1e9,
+            )
+
+        def evictor(proc):
+            yield Segment(
+                work=math.inf,
+                cache_footprint={"L3": 40 << 20},
+                cache_intensity=4.0,
+            )
+
+        p = cluster.spawn("v", victim, node=0, core=0)  # socket 0
+        cluster.spawn("e", evictor, node=0, core=16)  # socket 1
+        cluster.sim.run(until=100)
+        assert p.runtime == pytest.approx(5.0)  # other socket: no eviction
+
+
+class TestBandwidthEdges:
+    def test_zero_demands(self):
+        assert solve_bandwidth(10e9, [0.0, 0.0]) == [0.0, 0.0]
+
+    def test_single_huge_demand_capped_at_capacity(self):
+        grants = solve_bandwidth(10e9, [50e9], alpha=0.0)
+        assert grants[0] == pytest.approx(10e9)
+
+
+class TestAppJobCrashFlag:
+    def test_crashed_is_false_for_clean_run(self):
+        from repro.apps import AppJob, get_app
+
+        cluster = Cluster(num_nodes=1)
+        job = AppJob(get_app("CoMD").scaled(iterations=2), cluster, nodes=[0])
+        job.run(timeout=1000)
+        assert job.finished and not job.crashed

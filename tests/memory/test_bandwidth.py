@@ -1,0 +1,61 @@
+"""Memory-bandwidth model: latency degradation + capacity sharing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.bandwidth import solve_bandwidth
+from repro.resources.fairshare import proportional_share
+
+
+def test_single_demand_undegraded():
+    grants = solve_bandwidth(32e9, [12.5e9])
+    assert grants[0] == pytest.approx(12.5e9)
+
+
+def test_other_traffic_degrades_achievable_bw():
+    alone = solve_bandwidth(32e9, [12.5e9])[0]
+    contended = solve_bandwidth(32e9, [12.5e9, 10e9])[0]
+    assert contended < alone
+    # The degradation formula: demand / (1 + other/capacity).
+    expected = 12.5e9 / (1 + 10e9 / 32e9)
+    assert contended == pytest.approx(expected, rel=1e-6)
+
+
+def test_alpha_zero_disables_degradation():
+    grants = solve_bandwidth(32e9, [12.5e9, 10e9], alpha=0.0)
+    assert grants[0] == pytest.approx(12.5e9)
+
+
+def test_capacity_cap_engages_with_many_streams():
+    demands = [10e9] * 16
+    grants = solve_bandwidth(32e9, demands, alpha=0.0)
+    assert sum(grants) == pytest.approx(32e9, rel=1e-6)
+
+
+def test_monotone_in_contender_count():
+    rates = [
+        solve_bandwidth(32e9, [12.5e9] + [10e9] * n)[0] for n in range(0, 16, 2)
+    ]
+    assert all(a > b for a, b in zip(rates, rates[1:]))
+
+
+def test_pluggable_share_fn():
+    grants = solve_bandwidth(10e9, [20e9, 20e9], alpha=0.0, share_fn=proportional_share)
+    assert grants[0] == pytest.approx(5e9)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    demands=st.lists(
+        st.floats(min_value=0, max_value=20e9), min_size=1, max_size=16
+    ),
+    alpha=st.floats(min_value=0.0, max_value=2.0),
+)
+def test_bandwidth_invariants(demands, alpha):
+    capacity = 32e9
+    grants = solve_bandwidth(capacity, demands, alpha=alpha)
+    assert len(grants) == len(demands)
+    assert sum(grants) <= capacity * (1 + 1e-9) + 1e-3
+    for g, d in zip(grants, demands):
+        assert 0 <= g <= d + 1e-6

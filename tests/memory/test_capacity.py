@@ -1,0 +1,117 @@
+"""Memory ledger: allocation, release, OOM-kill semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, OutOfMemoryError, ResourceError
+from repro.memory.capacity import MemoryLedger
+from repro.units import GB
+
+
+def ledger(capacity=10 * GB, baseline=1 * GB, policy="largest"):
+    return MemoryLedger("node0", capacity, baseline, policy)
+
+
+class TestBasics:
+    def test_initial_accounting(self):
+        led = ledger()
+        assert led.used == 1 * GB
+        assert led.free == 9 * GB
+
+    def test_alloc_and_release(self):
+        led = ledger()
+        led.alloc(1, 2 * GB)
+        assert led.held_by(1) == 2 * GB
+        assert led.free == 7 * GB
+        led.release(1, 1 * GB)
+        assert led.held_by(1) == 1 * GB
+
+    def test_free_all(self):
+        led = ledger()
+        led.alloc(1, 2 * GB)
+        assert led.free_all(1) == 2 * GB
+        assert led.held_by(1) == 0.0
+        assert led.free_all(1) == 0.0  # idempotent
+
+    def test_release_more_than_held_rejected(self):
+        led = ledger()
+        led.alloc(1, 1 * GB)
+        with pytest.raises(ResourceError):
+            led.release(1, 2 * GB)
+
+    def test_negative_alloc_rejected(self):
+        with pytest.raises(ResourceError):
+            ledger().alloc(1, -1.0)
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ConfigError):
+            MemoryLedger("n", capacity=0)
+        with pytest.raises(ConfigError):
+            MemoryLedger("n", capacity=10, baseline=10)
+        with pytest.raises(ConfigError):
+            MemoryLedger("n", capacity=10, victim_policy="nope")
+
+
+class TestOOM:
+    def test_largest_consumer_is_killed(self):
+        led = ledger()
+        killed = []
+        led.oom_killer = killed.append
+        led.alloc(1, 7 * GB)  # the big consumer
+        led.alloc(2, 1 * GB)
+        led.alloc(2, 3 * GB)  # needs 3, only 1 free -> kill pid 1
+        assert killed == [1]
+        assert led.held_by(1) == 0.0
+        assert led.held_by(2) == 4 * GB
+
+    def test_allocator_dies_when_it_is_the_largest(self):
+        led = ledger()
+        led.alloc(1, 8 * GB)
+        with pytest.raises(OutOfMemoryError):
+            led.alloc(1, 5 * GB)
+        # its own holdings were reaped by the OOM pass
+        assert led.held_by(1) == 0.0
+
+    def test_allocator_policy_kills_requester(self):
+        led = ledger(policy="allocator")
+        led.alloc(1, 8 * GB)
+        with pytest.raises(OutOfMemoryError):
+            led.alloc(2, 5 * GB)
+        assert led.held_by(1) == 8 * GB  # victim policy spared the hog
+
+    def test_multiple_victims_until_it_fits(self):
+        led = ledger()
+        killed = []
+        led.oom_killer = killed.append
+        led.alloc(1, 4 * GB)
+        led.alloc(2, 4 * GB)
+        led.alloc(3, 8 * GB)  # kills both 1 and 2
+        assert sorted(killed) == [1, 2]
+        assert led.held_by(3) == 8 * GB
+
+    def test_oom_error_reports_node(self):
+        led = ledger()
+        with pytest.raises(OutOfMemoryError) as err:
+            led.alloc(1, 100 * GB)
+        assert "node0" in str(err.value)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    allocs=st.lists(
+        st.tuples(st.integers(min_value=1, max_value=5),
+                  st.floats(min_value=0, max_value=2e9)),
+        max_size=30,
+    )
+)
+def test_ledger_never_exceeds_capacity(allocs):
+    led = MemoryLedger("n", capacity=8e9, baseline=1e9)
+    led.oom_killer = lambda pid: None
+    for pid, amount in allocs:
+        try:
+            led.alloc(pid, amount)
+        except OutOfMemoryError:
+            pass
+        assert led.used <= led.capacity + 1e-6
+        assert led.free >= -1e-6

@@ -1,0 +1,50 @@
+"""CSV export / import round-trip."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import CpuOccupy
+from repro.errors import ConfigError
+from repro.monitoring import MetricService
+from repro.monitoring.export import read_csv, to_csv_text, write_csv
+
+
+@pytest.fixture
+def collected():
+    cluster = Cluster(num_nodes=1)
+    service = MetricService(cluster)
+    service.attach(end=10)
+    CpuOccupy(utilization=60).launch(cluster, "node0", core=0)
+    cluster.sim.run(until=10)
+    return service
+
+
+def test_csv_has_header_and_rows(collected):
+    text = to_csv_text(collected, "node0")
+    lines = text.strip().splitlines()
+    assert lines[0].startswith("time,")
+    assert "user::procstat" in lines[0]
+    assert len(lines) == 1 + len(collected.times)
+
+
+def test_round_trip_exact(tmp_path, collected):
+    path = write_csv(collected, "node0", tmp_path / "node0.csv")
+    times, series = read_csv(path)
+    assert np.allclose(times, collected.timestamps(), atol=1e-3)
+    for metric in collected.metric_names:
+        assert np.allclose(series[metric], collected.series("node0", metric))
+
+
+def test_empty_service_rejected():
+    cluster = Cluster(num_nodes=1)
+    service = MetricService(cluster)
+    with pytest.raises(ConfigError):
+        to_csv_text(service, "node0")
+
+
+def test_read_rejects_foreign_csv(tmp_path):
+    bad = tmp_path / "other.csv"
+    bad.write_text("a,b\n1,2\n")
+    with pytest.raises(ConfigError):
+        read_csv(bad)

@@ -1,0 +1,64 @@
+"""Per-core procstat sampler."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import CpuOccupy
+from repro.monitoring import MetricService, PerCoreProcstatSampler
+from repro.monitoring.samplers import default_samplers
+from repro.sim.process import Segment
+
+
+def test_percore_utilization_pinpoints_the_busy_core():
+    cluster = Cluster(num_nodes=1)
+    samplers = default_samplers() + [
+        PerCoreProcstatSampler(cluster.spec.logical_cores)
+    ]
+    service = MetricService(cluster, samplers=samplers)
+    service.attach(end=10)
+    CpuOccupy(utilization=100).launch(cluster, "node0", core=5)
+    cluster.sim.run(until=10)
+    busy = service.series("node0", "user5::procstat_percore")
+    idle = service.series("node0", "user6::procstat_percore")
+    assert np.mean(busy[2:]) == pytest.approx(100.0, rel=1e-6)
+    assert np.mean(idle[2:]) == 0.0
+
+
+def test_percore_shares_on_contended_core():
+    cluster = Cluster(num_nodes=1)
+    samplers = [PerCoreProcstatSampler(cluster.spec.logical_cores)]
+    service = MetricService(cluster, samplers=samplers)
+    service.attach(end=10)
+
+    def hog(proc):
+        yield Segment(work=math.inf, cpu=1.0)
+
+    cluster.spawn("a", hog, node=0, core=0)
+    cluster.spawn("b", hog, node=0, core=0)
+    cluster.sim.run(until=10)
+    core0 = service.series("node0", "user0::procstat_percore")
+    # two full-duty processes time-share: the core is 100% busy
+    assert np.mean(core0[2:]) == pytest.approx(100.0, rel=1e-6)
+
+
+def test_percore_consistent_with_node_level():
+    cluster = Cluster(num_nodes=1)
+    samplers = default_samplers() + [
+        PerCoreProcstatSampler(cluster.spec.logical_cores)
+    ]
+    service = MetricService(cluster, samplers=samplers)
+    service.attach(end=10)
+    for core in (0, 3, 9):
+        CpuOccupy(utilization=50).launch(cluster, "node0", core=core)
+    cluster.sim.run(until=10)
+    node_user = np.mean(service.series("node0", "user::procstat")[2:])
+    percore_sum = sum(
+        np.mean(service.series("node0", f"user{c}::procstat_percore")[2:])
+        for c in range(cluster.spec.logical_cores)
+    )
+    assert percore_sum == pytest.approx(
+        node_user * cluster.spec.logical_cores, rel=1e-6
+    )

@@ -1,0 +1,94 @@
+"""Individual sampler conversions."""
+
+import pytest
+
+from repro.cluster import MachineSpec
+from repro.cluster.node import Node
+from repro.monitoring.samplers import (
+    ARIES_FLIT_BYTES,
+    PAGE_BYTES,
+    AriesNicSampler,
+    MeminfoSampler,
+    PapiSampler,
+    ProcstatSampler,
+    VmstatSampler,
+    default_samplers,
+)
+
+
+@pytest.fixture
+def node():
+    return Node("node0", MachineSpec.voltrino())
+
+
+class TestProcstat:
+    def test_percentages(self, node):
+        delta = {"cpu_user_seconds": 32.0, "cpu_sys_seconds": 6.4}
+        values = ProcstatSampler().sample(node, delta, dt=1.0)
+        assert values["user"] == pytest.approx(50.0)
+        assert values["sys"] == pytest.approx(10.0)
+        assert values["idle"] == pytest.approx(40.0)
+
+    def test_idle_floor(self, node):
+        delta = {"cpu_user_seconds": 128.0}
+        values = ProcstatSampler().sample(node, delta, dt=1.0)
+        assert values["idle"] == 0.0
+
+    def test_dt_scaling(self, node):
+        delta = {"cpu_user_seconds": 64.0}
+        values = ProcstatSampler().sample(node, delta, dt=2.0)
+        assert values["user"] == pytest.approx(50.0)
+
+
+class TestMeminfo:
+    def test_gauges(self, node):
+        node.memory.alloc(1, 10e9)
+        values = MeminfoSampler().sample(node, {}, dt=1.0)
+        assert values["MemTotal"] == node.memory.capacity
+        assert values["MemUsed"] == node.memory.used
+        assert values["MemFree"] == node.memory.free
+        assert values["Active"] == pytest.approx(10e9)
+
+    def test_is_gauge(self):
+        assert MeminfoSampler.gauge is True
+        assert ProcstatSampler.gauge is False
+
+
+class TestVmstat:
+    def test_pages(self, node):
+        delta = {"io_read_bytes": PAGE_BYTES * 100, "io_write_bytes": PAGE_BYTES * 50}
+        values = VmstatSampler().sample(node, delta, dt=1.0)
+        assert values["pgpgin"] == pytest.approx(100)
+        assert values["pgpgout"] == pytest.approx(50)
+        assert values["nr_free_pages"] == pytest.approx(node.memory.free / PAGE_BYTES)
+
+
+class TestPapi:
+    def test_rates(self, node):
+        delta = {"instructions": 2e9, "l2_misses": 4e6, "l3_misses": 1e6}
+        values = PapiSampler().sample(node, delta, dt=2.0)
+        assert values["INST_RETIRED:ANY"] == pytest.approx(1e9)
+        assert values["L2_RQSTS:MISS"] == pytest.approx(2e6)
+        assert values["LLC_MISSES"] == pytest.approx(5e5)
+
+
+class TestAriesNic:
+    def test_flit_conversion(self, node):
+        delta = {"nic_tx_bytes": 3200.0, "nic_rx_bytes": 6400.0}
+        values = AriesNicSampler().sample(node, delta, dt=1.0)
+        assert values["AR_NIC_NETMON_ORB_EVENT_CNTR_REQ_FLITS"] == pytest.approx(
+            3200 / ARIES_FLIT_BYTES
+        )
+        assert values["AR_NIC_NETMON_ORB_EVENT_CNTR_RSP_FLITS"] == pytest.approx(
+            6400 / ARIES_FLIT_BYTES
+        )
+
+
+def test_default_sampler_set_matches_voltrino_ldms():
+    names = [s.name for s in default_samplers()]
+    assert names == ["procstat", "meminfo", "vmstat", "spapiHASW", "aries_nic_mmr"]
+
+
+def test_metric_name_qualification():
+    sampler = ProcstatSampler()
+    assert "user::procstat" in sampler.metric_names()

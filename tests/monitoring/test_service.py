@@ -1,0 +1,133 @@
+"""Metric service: sampling cadence, series access, noise model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.errors import ConfigError
+from repro.monitoring import MetricService
+from repro.sim.process import Segment
+
+
+def busy(cpu=1.0):
+    def body(proc):
+        yield Segment(work=math.inf, cpu=cpu, ips=1e9)
+
+    return body
+
+
+class TestCollection:
+    def test_one_sample_per_second(self):
+        cluster = Cluster(num_nodes=1)
+        svc = MetricService(cluster)
+        svc.attach(end=10)
+        cluster.sim.run(until=10)
+        assert len(svc.times) == 11  # t = 0..10
+
+    def test_series_lookup(self):
+        cluster = Cluster(num_nodes=2)
+        svc = MetricService(cluster)
+        svc.attach(end=5)
+        cluster.spawn("b", busy(), node=0, core=0)
+        cluster.sim.run(until=5)
+        series = svc.series("node0", "user::procstat")
+        assert series.shape == (6,)
+        with pytest.raises(ConfigError):
+            svc.series("node0", "nope::nosampler")
+        with pytest.raises(ConfigError):
+            svc.series("node9", "user::procstat")
+
+    def test_utilization_reflects_load(self):
+        cluster = Cluster(num_nodes=1)
+        svc = MetricService(cluster)
+        svc.attach(end=10)
+        cluster.spawn("b", busy(), node=0, core=0)
+        cluster.sim.run(until=10)
+        util = svc.series("node0", "user::procstat")
+        expected = 100.0 / cluster.spec.logical_cores
+        assert np.mean(util[2:]) == pytest.approx(expected, rel=1e-6)
+
+    def test_sys_shows_os_noise_floor(self):
+        cluster = Cluster(num_nodes=1)
+        svc = MetricService(cluster)
+        svc.attach(end=10)
+        cluster.sim.run(until=10)
+        sys = svc.series("node0", "sys::procstat")
+        assert np.mean(sys[1:]) == pytest.approx(
+            100 * cluster.spec.os_noise_util, rel=1e-6
+        )
+
+    def test_matrix_stacks_all_metrics(self):
+        cluster = Cluster(num_nodes=1)
+        svc = MetricService(cluster)
+        svc.attach(end=5)
+        cluster.sim.run(until=5)
+        mat = svc.matrix("node0")
+        assert mat.shape == (6, len(svc.metric_names))
+
+    def test_detach_stops_sampling(self):
+        cluster = Cluster(num_nodes=1)
+        svc = MetricService(cluster)
+        svc.attach()
+        cluster.sim.run(until=3)
+        svc.detach()
+        cluster.sim.run(until=10)
+        assert svc.times[-1] <= 4.0
+
+    def test_double_attach_rejected(self):
+        cluster = Cluster(num_nodes=1)
+        svc = MetricService(cluster)
+        svc.attach(end=5)
+        with pytest.raises(ConfigError):
+            svc.attach()
+
+    def test_invalid_interval(self):
+        with pytest.raises(ConfigError):
+            MetricService(Cluster(num_nodes=1), interval=0)
+
+
+class TestNoise:
+    def test_noise_applies_to_rates_not_gauges(self):
+        cluster = Cluster(num_nodes=1)
+        svc = MetricService(cluster, noise=0.05, seed=3)
+        svc.attach(end=20)
+        cluster.spawn("b", busy(), node=0, core=0)
+        cluster.sim.run(until=20)
+        util = svc.series("node0", "user::procstat")
+        memtotal = svc.series("node0", "MemTotal::meminfo")
+        assert np.std(util[2:]) > 0  # jittered
+        assert np.std(memtotal) == 0  # exact gauge
+
+    def test_noise_is_deterministic_per_seed(self):
+        def collect(seed):
+            cluster = Cluster(num_nodes=1)
+            svc = MetricService(cluster, noise=0.05, seed=seed)
+            svc.attach(end=10)
+            cluster.spawn("b", busy(), node=0, core=0)
+            cluster.sim.run(until=10)
+            return svc.series("node0", "user::procstat")
+
+        assert np.array_equal(collect(1), collect(1))
+        assert not np.array_equal(collect(1), collect(2))
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ConfigError):
+            MetricService(Cluster(num_nodes=1), noise=-0.1)
+
+
+class TestMetricNames:
+    def test_paper_metric_names_present(self):
+        cluster = Cluster(num_nodes=1)
+        svc = MetricService(cluster)
+        names = svc.metric_names
+        for expected in (
+            "user::procstat",
+            "MemFree::meminfo",
+            "nr_free_pages::vmstat",
+            "INST_RETIRED:ANY::spapiHASW",
+            "L2_RQSTS:MISS::spapiHASW",
+            "AR_NIC_NETMON_ORB_EVENT_CNTR_REQ_FLITS::aries_nic_mmr",
+        ):
+            assert expected in names

@@ -1,0 +1,101 @@
+"""Barrier and transfer primitives."""
+
+import math
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.errors import ConfigError
+from repro.mpi.comm import Barrier, p2p_transfer, sustained_stream
+from repro.sim.engine import Simulator
+from repro.sim.process import ProcessState, Segment, SimProcess, Sleep
+
+
+class TestBarrier:
+    def test_all_ranks_meet(self):
+        sim = Simulator()
+        barrier = Barrier(sim, 3)
+        times = {}
+
+        def rank(delay):
+            def body(proc):
+                yield Sleep(delay)
+                yield from barrier.wait()
+                times[proc.name] = proc.now
+
+            return body
+
+        for i, delay in enumerate((1.0, 2.0, 5.0)):
+            sim.spawn(SimProcess(f"r{i}", rank(delay), node="n", core=i))
+        sim.run()
+        # everyone resumes when the slowest arrives
+        assert all(t == pytest.approx(5.0) for t in times.values())
+        assert barrier.cycles == 1
+
+    def test_barrier_is_reusable(self):
+        sim = Simulator()
+        barrier = Barrier(sim, 2)
+        log = []
+
+        def rank(name, delays):
+            def body(proc):
+                for d in delays:
+                    yield Sleep(d)
+                    yield from barrier.wait()
+                    log.append((name, proc.now))
+
+            return body
+
+        sim.spawn(SimProcess("a", rank("a", [1.0, 1.0]), node="n", core=0))
+        sim.spawn(SimProcess("b", rank("b", [3.0, 1.0]), node="n", core=1))
+        sim.run()
+        assert barrier.cycles == 2
+        cycle2 = [t for (_, t) in log[2:]]
+        assert all(t == pytest.approx(4.0) for t in cycle2)
+
+    def test_single_rank_barrier_is_free(self):
+        sim = Simulator()
+        barrier = Barrier(sim, 1)
+
+        def body(proc):
+            yield Segment(work=1.0)
+            yield from barrier.wait()
+            yield Segment(work=1.0)
+
+        p = sim.spawn(SimProcess("p", body, node="n", core=0))
+        sim.run()
+        assert p.state is ProcessState.DONE
+        assert p.runtime == pytest.approx(2.0)
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigError):
+            Barrier(Simulator(), 0)
+
+
+class TestTransfers:
+    def test_p2p_duration_is_latency_plus_bytes(self):
+        seg = p2p_transfer(dst="node1", nbytes=1e9, peak_bw=1e9, latency=0.5)
+        assert seg.work == pytest.approx(1.5)
+        assert seg.flows[0].dst == "node1"
+        assert seg.flows[0].rate == 1e9
+
+    def test_p2p_validation(self):
+        with pytest.raises(ConfigError):
+            p2p_transfer(dst="x", nbytes=-1, peak_bw=1e9)
+        with pytest.raises(ConfigError):
+            p2p_transfer(dst="x", nbytes=1, peak_bw=0)
+
+    def test_sustained_stream_is_open_ended(self):
+        seg = sustained_stream(dst="node1", rate=5e9)
+        assert math.isinf(seg.work)
+        assert seg.flows[0].rate == 5e9
+
+    def test_transfer_on_cluster_finishes_at_rate(self):
+        cluster = Cluster.voltrino(num_nodes=8)
+
+        def body(proc):
+            yield p2p_transfer(dst="node4", nbytes=10e9, peak_bw=5e9)
+
+        p = cluster.spawn("snd", body, node=0, core=0)
+        cluster.sim.run(until=100)
+        assert p.runtime == pytest.approx(2.0, rel=1e-3)

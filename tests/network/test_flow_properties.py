@@ -1,0 +1,68 @@
+"""Property-based invariants of the network flow solver."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.flows import FlowRequest, FlowSolver
+from repro.network.topology import aries_like
+
+TOPO = aries_like(num_nodes=16)
+NODES = TOPO.compute_nodes
+
+flow_strategy = st.tuples(
+    st.integers(min_value=0, max_value=15),  # src index
+    st.integers(min_value=0, max_value=15),  # dst index
+    st.floats(min_value=0.0, max_value=20e9),  # demand
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(flows=st.lists(flow_strategy, min_size=1, max_size=10),
+       alpha=st.sampled_from([0.0, 0.6]))
+def test_flow_solver_invariants(flows, alpha):
+    solver = FlowSolver(TOPO, latency_alpha=alpha)
+    requests = [
+        FlowRequest(key=i, src=NODES[s], dst=NODES[d if d != s else (d + 1) % 16], demand=dem)
+        for i, (s, d, dem) in enumerate(flows)
+    ]
+    result = solver.solve(requests)
+    for req in requests:
+        grant = result.grants[req.key]
+        assert 0.0 <= grant <= req.demand * (1 + 1e-9) + 1e-6
+    for edge, load in result.edge_load.items():
+        assert load <= TOPO.capacity(*edge) * (1 + 1e-6) + 1e-3
+
+
+@settings(max_examples=40, deadline=None)
+@given(demand=st.floats(min_value=1e6, max_value=20e9))
+def test_single_flow_latency_free(demand):
+    """A lone flow suffers no latency degradation whatever its size."""
+    solver = FlowSolver(TOPO, latency_alpha=0.6)
+    result = solver.solve(
+        [FlowRequest(key=1, src=NODES[0], dst=NODES[5], demand=demand)]
+    )
+    nic = TOPO.capacity(NODES[0], TOPO.switch_of(NODES[0]))
+    assert result.grants[1] == pytest.approx(min(demand, nic), rel=1e-6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    demand=st.floats(min_value=1e9, max_value=10e9),
+    rivals=st.integers(min_value=1, max_value=4),
+)
+def test_more_rivals_never_help(demand, rivals):
+    """Adding rival flows can only shrink an existing flow's grant."""
+    solver = FlowSolver(TOPO, latency_alpha=0.6)
+    probe = FlowRequest(key=0, src=NODES[0], dst=NODES[4], demand=demand)
+
+    def grant_with(n):
+        flows = [probe] + [
+            FlowRequest(
+                key=1 + i, src=NODES[1 + i % 3], dst=NODES[5 + i % 3], demand=9e9
+            )
+            for i in range(n)
+        ]
+        return solver.solve(flows).grants[0]
+
+    assert grant_with(rivals) <= grant_with(0) * (1 + 1e-9) + 1e-3

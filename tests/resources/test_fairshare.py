@@ -1,0 +1,116 @@
+"""Max-min and proportional sharing, including property-based invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ResourceError
+from repro.resources.fairshare import max_min_fair_share, proportional_share
+
+demands_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=1e12, allow_nan=False, allow_infinity=False),
+    min_size=0,
+    max_size=20,
+)
+capacity_strategy = st.floats(min_value=0.0, max_value=1e12, allow_nan=False)
+
+
+class TestMaxMinExamples:
+    def test_all_fit(self):
+        assert max_min_fair_share(10, [2, 3]) == [2, 3]
+
+    def test_equal_split_when_oversubscribed(self):
+        grants = max_min_fair_share(10, [20, 20])
+        assert grants == pytest.approx([5, 5])
+
+    def test_small_demand_protected(self):
+        grants = max_min_fair_share(10, [1, 100])
+        assert grants == pytest.approx([1, 9])
+
+    def test_three_way_with_one_small(self):
+        grants = max_min_fair_share(9, [1, 10, 10])
+        assert grants == pytest.approx([1, 4, 4])
+
+    def test_empty(self):
+        assert max_min_fair_share(5, []) == []
+
+    def test_zero_capacity(self):
+        assert max_min_fair_share(0, [1, 2]) == pytest.approx([0, 0])
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ResourceError):
+            max_min_fair_share(10, [-1])
+
+    def test_infinite_demand_rejected(self):
+        with pytest.raises(ResourceError):
+            max_min_fair_share(10, [float("inf")])
+
+    def test_nan_capacity_rejected(self):
+        with pytest.raises(ResourceError):
+            max_min_fair_share(float("nan"), [1])
+
+
+class TestProportionalExamples:
+    def test_all_fit(self):
+        assert proportional_share(10, [2, 3]) == [2, 3]
+
+    def test_proportional_when_oversubscribed(self):
+        grants = proportional_share(10, [10, 30])
+        assert grants == pytest.approx([2.5, 7.5])
+
+    def test_small_demand_not_protected(self):
+        maxmin = max_min_fair_share(10, [1, 100])
+        prop = proportional_share(10, [1, 100])
+        assert prop[0] < maxmin[0]
+
+
+@settings(max_examples=200, deadline=None)
+@given(capacity=capacity_strategy, demands=demands_strategy)
+def test_maxmin_invariants(capacity, demands):
+    grants = max_min_fair_share(capacity, demands)
+    assert len(grants) == len(demands)
+    # Never grant more than demanded.
+    for g, d in zip(grants, demands):
+        assert g <= d + 1e-6
+        assert g >= 0
+    # Work conserving up to capacity.
+    total = sum(grants)
+    assert total <= capacity * (1 + 1e-9) + 1e-6
+    expected = min(capacity, sum(demands))
+    assert total == pytest.approx(expected, rel=1e-6, abs=1e-3)
+
+
+@settings(max_examples=200, deadline=None)
+@given(capacity=capacity_strategy, demands=demands_strategy)
+def test_maxmin_fairness_property(capacity, demands):
+    """An unsatisfied demand's grant is >= every other grant (max-min)."""
+    grants = max_min_fair_share(capacity, demands)
+    for i, (g, d) in enumerate(zip(grants, demands)):
+        if g < d - 1e-6:  # unsatisfied
+            assert g >= max(grants) - 1e-5
+
+
+@settings(max_examples=200, deadline=None)
+@given(capacity=capacity_strategy, demands=demands_strategy)
+def test_proportional_invariants(capacity, demands):
+    grants = proportional_share(capacity, demands)
+    for g, d in zip(grants, demands):
+        assert 0 <= g <= d + 1e-6
+    assert sum(grants) <= max(capacity, sum(demands)) * (1 + 1e-9) + 1e-6
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    capacity=st.floats(min_value=1.0, max_value=1e9, allow_nan=False),
+    demands=st.lists(
+        st.floats(min_value=0.1, max_value=1e9, allow_nan=False),
+        min_size=1,
+        max_size=10,
+    ),
+)
+def test_maxmin_scale_invariance(capacity, demands):
+    """Scaling capacity and demands together scales grants."""
+    grants = np.array(max_min_fair_share(capacity, demands))
+    scaled = np.array(max_min_fair_share(capacity * 3, [d * 3 for d in demands]))
+    assert np.allclose(scaled, grants * 3, rtol=1e-6, atol=1e-6)

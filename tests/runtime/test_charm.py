@@ -1,0 +1,70 @@
+"""Charm-style runtime on the simulator."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import CpuOccupy
+from repro.errors import ConfigError
+from repro.runtime import CharmRuntime, GreedyRefineLB, LBObjOnly, WorkObject
+
+
+def make_runtime(balancer, cluster=None, cores=8, n_objects=16, iterations=4):
+    cluster = cluster if cluster is not None else Cluster(num_nodes=1)
+    objects = [WorkObject(oid=i, load=0.05) for i in range(n_objects)]
+    return cluster, CharmRuntime(
+        cluster, "node0", list(range(cores)), objects, balancer, iterations=iterations
+    )
+
+
+class TestExecution:
+    def test_runs_all_iterations(self):
+        _, runtime = make_runtime(LBObjOnly())
+        stats = runtime.run(timeout=600)
+        assert len(stats) == 4
+        assert [s.index for s in stats] == [0, 1, 2, 3]
+
+    def test_iteration_time_near_nominal_when_clean(self):
+        _, runtime = make_runtime(LBObjOnly())
+        runtime.run(timeout=600)
+        # 16 objects x 0.05 s over 8 cores = 0.1 s/iter at full speed
+        assert runtime.mean_iteration_time() == pytest.approx(0.1, rel=0.1)
+
+    def test_assignment_sizes_recorded(self):
+        _, runtime = make_runtime(LBObjOnly())
+        stats = runtime.run(timeout=600)
+        assert sum(stats[0].assignment_sizes.values()) == 16
+
+    def test_stats_require_run(self):
+        _, runtime = make_runtime(LBObjOnly())
+        with pytest.raises(ConfigError):
+            runtime.mean_iteration_time()
+
+    def test_validation(self):
+        cluster = Cluster(num_nodes=1)
+        with pytest.raises(ConfigError):
+            CharmRuntime(cluster, "node0", [], [WorkObject(0, 1.0)], LBObjOnly())
+        with pytest.raises(ConfigError):
+            CharmRuntime(cluster, "node0", [0], [], LBObjOnly())
+
+
+class TestAnomalyResponse:
+    def test_greedy_beats_objonly_under_partial_occupancy(self):
+        def run(balancer):
+            cluster = Cluster(num_nodes=1)
+            for core in (0, 1):
+                CpuOccupy(utilization=100).launch(cluster, "node0", core=core)
+            _, runtime = make_runtime(
+                balancer, cluster=cluster, cores=8, n_objects=24, iterations=6
+            )
+            runtime.run(timeout=600)
+            return runtime.mean_iteration_time(skip=2)
+
+        assert run(GreedyRefineLB()) < 0.9 * run(LBObjOnly())
+
+    def test_speed_measurements_reflect_anomaly(self):
+        cluster = Cluster(num_nodes=1)
+        CpuOccupy(utilization=100).launch(cluster, "node0", core=0)
+        _, runtime = make_runtime(LBObjOnly(), cluster=cluster, iterations=3)
+        runtime.run(timeout=600)
+        assert runtime._speeds[0] < 0.7  # the occupied core measured slow
+        assert runtime._speeds[1] > 0.8

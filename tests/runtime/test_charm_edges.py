@@ -1,0 +1,60 @@
+"""Charm runtime edge cases."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.errors import ConfigError
+from repro.runtime import CharmRuntime, GreedyRefineLB, LBObjOnly, WorkObject
+
+
+def test_more_cores_than_objects_leaves_cores_idle():
+    cluster = Cluster(num_nodes=1)
+    objects = [WorkObject(oid=i, load=0.1) for i in range(3)]
+    runtime = CharmRuntime(
+        cluster, "node0", list(range(8)), objects, LBObjOnly(), iterations=2
+    )
+    stats = runtime.run(timeout=100)
+    # only 3 cores carried work each iteration
+    loaded = [n for n in stats[0].assignment_sizes.values() if n > 0]
+    assert len(loaded) == 3
+    assert runtime.mean_iteration_time() == pytest.approx(0.1, rel=0.05)
+
+
+def test_single_core_serialises_all_objects():
+    cluster = Cluster(num_nodes=1)
+    objects = [WorkObject(oid=i, load=0.05) for i in range(10)]
+    runtime = CharmRuntime(
+        cluster, "node0", [0], objects, GreedyRefineLB(), iterations=2
+    )
+    runtime.run(timeout=100)
+    assert runtime.mean_iteration_time() == pytest.approx(0.5, rel=0.05)
+
+
+def test_mean_iteration_time_skip_larger_than_stats():
+    cluster = Cluster(num_nodes=1)
+    objects = [WorkObject(oid=0, load=0.1)]
+    runtime = CharmRuntime(
+        cluster, "node0", [0], objects, LBObjOnly(), iterations=2
+    )
+    runtime.run(timeout=100)
+    # skip >= len(stats) falls back to all iterations instead of crashing
+    assert runtime.mean_iteration_time(skip=10) > 0
+
+
+def test_stats_assignment_conservation():
+    cluster = Cluster(num_nodes=1)
+    objects = [WorkObject(oid=i, load=0.05) for i in range(12)]
+    runtime = CharmRuntime(
+        cluster, "node0", list(range(4)), objects, LBObjOnly(), iterations=3
+    )
+    stats = runtime.run(timeout=100)
+    for s in stats:
+        assert sum(s.assignment_sizes.values()) == 12
+
+
+def test_invalid_iterations():
+    cluster = Cluster(num_nodes=1)
+    with pytest.raises(ConfigError):
+        CharmRuntime(
+            cluster, "node0", [0], [WorkObject(0, 1.0)], LBObjOnly(), iterations=0
+        )

@@ -1,0 +1,73 @@
+"""Load-balancer assignment logic (no simulation needed)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.runtime.loadbalancers import GreedyRefineLB, LBObjOnly, WorkObject
+
+
+def objects(n, load=1.0):
+    return [WorkObject(oid=i, load=load) for i in range(n)]
+
+
+class TestWorkObject:
+    def test_positive_load_required(self):
+        with pytest.raises(ConfigError):
+            WorkObject(oid=0, load=0.0)
+
+
+class TestLBObjOnly:
+    def test_even_spread(self):
+        assignment = LBObjOnly().assign(objects(8), [0, 1, 2, 3], {})
+        sizes = sorted(len(v) for v in assignment.values())
+        assert sizes == [2, 2, 2, 2]
+
+    def test_every_object_placed_once(self):
+        assignment = LBObjOnly().assign(objects(10), [0, 1, 2], {})
+        placed = [o.oid for objs in assignment.values() for o in objs]
+        assert sorted(placed) == list(range(10))
+
+    def test_ignores_core_speeds(self):
+        slow_speeds = {0: 0.1}
+        a = LBObjOnly().assign(objects(8), [0, 1, 2, 3], {})
+        b = LBObjOnly().assign(objects(8), [0, 1, 2, 3], slow_speeds)
+        assert {c: len(v) for c, v in a.items()} == {c: len(v) for c, v in b.items()}
+
+    def test_heterogeneous_loads_lpt(self):
+        objs = [WorkObject(0, 4.0), WorkObject(1, 1.0), WorkObject(2, 1.0),
+                WorkObject(3, 1.0), WorkObject(4, 1.0)]
+        assignment = LBObjOnly().assign(objs, [0, 1], {})
+        loads = sorted(sum(o.load for o in v) for v in assignment.values())
+        assert loads == [4.0, 4.0]
+
+    def test_empty_cores_rejected(self):
+        with pytest.raises(ConfigError):
+            LBObjOnly().assign(objects(2), [], {})
+
+
+class TestGreedyRefine:
+    def test_avoids_slow_cores_with_fine_objects(self):
+        speeds = {0: 0.4, 1: 1.0, 2: 1.0, 3: 1.0}
+        assignment = GreedyRefineLB().assign(objects(40, load=0.1), [0, 1, 2, 3], speeds)
+        slow_count = len(assignment[0])
+        fast_counts = [len(assignment[c]) for c in (1, 2, 3)]
+        assert slow_count < min(fast_counts)
+
+    def test_balances_predicted_finish_times(self):
+        speeds = {0: 0.5, 1: 1.0}
+        assignment = GreedyRefineLB().assign(objects(30, load=0.1), [0, 1], speeds)
+        t0 = sum(o.load for o in assignment[0]) / 0.5
+        t1 = sum(o.load for o in assignment[1]) / 1.0
+        assert t0 == pytest.approx(t1, rel=0.25)
+
+    def test_unmeasured_cores_assumed_nominal(self):
+        assignment = GreedyRefineLB().assign(objects(8), [0, 1, 2, 3], {})
+        sizes = sorted(len(v) for v in assignment.values())
+        assert sizes == [2, 2, 2, 2]
+
+    def test_min_speed_floor(self):
+        # a dead-slow core still gets considered (never written off fully)
+        speeds = {0: 1e-9, 1: 1.0}
+        assignment = GreedyRefineLB().assign(objects(100, load=0.01), [0, 1], speeds)
+        assert len(assignment[0]) >= 0  # no crash; bounded by floor
+        assert len(assignment[1]) > len(assignment[0])

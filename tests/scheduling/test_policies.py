@@ -1,0 +1,88 @@
+"""Allocation policies: RR ordering and the WBAS capacity ranking."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.scheduling.policies import (
+    NodeStatus,
+    RoundRobin,
+    WellBalancedAllocation,
+)
+
+
+def status(name, load=0.0, avg=0.0, free=100e9):
+    return NodeStatus(name=name, load_current=load, load_avg5min=avg, mem_free=free)
+
+
+class TestNodeStatus:
+    def test_wbas_load_blend(self):
+        s = status("node0", load=0.6, avg=0.0)
+        assert s.wbas_load == pytest.approx(0.5)
+
+    def test_computing_capacity(self):
+        s = status("node0", load=0.5, avg=0.5, free=10e9)
+        assert s.computing_capacity == pytest.approx(0.5 * 10e9)
+
+    def test_capacity_floor_at_full_load(self):
+        s = status("node0", load=1.5, avg=1.5, free=10e9)
+        assert s.computing_capacity == 0.0
+
+
+class TestRoundRobin:
+    def test_label_order(self):
+        statuses = [status(f"node{i}") for i in (3, 1, 0, 2)]
+        assert RoundRobin().select(statuses, 2) == ["node0", "node1"]
+
+    def test_numeric_suffix_ordering(self):
+        statuses = [status("node10"), status("node2"), status("node1")]
+        assert RoundRobin().select(statuses, 3) == ["node1", "node2", "node10"]
+
+    def test_ignores_load(self):
+        statuses = [status("node0", load=1.0), status("node1", load=0.0)]
+        assert RoundRobin().select(statuses, 1) == ["node0"]
+
+
+class TestWBAS:
+    def test_avoids_loaded_node(self):
+        statuses = [
+            status("node0", load=0.9),
+            status("node1"),
+            status("node2"),
+        ]
+        assert WellBalancedAllocation().select(statuses, 2) == ["node1", "node2"]
+
+    def test_avoids_low_memory_node(self):
+        statuses = [
+            status("node0", free=1e9),
+            status("node1"),
+            status("node2"),
+        ]
+        assert "node0" not in WellBalancedAllocation().select(statuses, 2)
+
+    def test_five_minute_average_matters(self):
+        # node0 quiet now but was busy recently; node1 consistently quiet
+        statuses = [
+            status("node0", load=0.0, avg=0.9),
+            status("node1", load=0.0, avg=0.0),
+        ]
+        assert WellBalancedAllocation().select(statuses, 1) == ["node1"]
+
+    def test_paper_scenario(self):
+        """Fig 11: cpuoccupy on node0, memleak on node2 -> WBAS picks 1,3,4,5."""
+        statuses = [
+            status("node0", load=0.03, avg=0.03),  # cpuoccupy, one core
+            status("node1"),
+            status("node2", free=1e9),  # memleak pinned memory
+        ] + [status(f"node{i}") for i in range(3, 8)]
+        chosen = WellBalancedAllocation().select(statuses, 4)
+        assert chosen == ["node1", "node3", "node4", "node5"]
+
+
+class TestValidation:
+    def test_too_many_nodes_requested(self):
+        with pytest.raises(SchedulingError):
+            RoundRobin().select([status("node0")], 2)
+
+    def test_zero_nodes_requested(self):
+        with pytest.raises(SchedulingError):
+            WellBalancedAllocation().select([status("node0")], 0)

@@ -1,0 +1,66 @@
+"""JobScheduler over live monitoring data."""
+
+import pytest
+
+from repro.apps import get_app
+from repro.cluster import Cluster
+from repro.core import CpuOccupy, MemLeak
+from repro.monitoring import MetricService
+from repro.scheduling import (
+    JobScheduler,
+    RoundRobin,
+    WellBalancedAllocation,
+    observe_nodes,
+)
+from repro.units import GB, MB
+
+
+@pytest.fixture
+def monitored_cluster():
+    cluster = Cluster.voltrino(num_nodes=8)
+    service = MetricService(cluster)
+    service.attach(end=1_000_000)
+    return cluster, service
+
+
+def test_observe_nodes_reads_monitoring(monitored_cluster):
+    cluster, service = monitored_cluster
+    CpuOccupy(utilization=100).launch(cluster, "node0", core=0)
+    cluster.sim.run(until=30)
+    statuses = {s.name: s for s in observe_nodes(service)}
+    assert statuses["node0"].load_current > statuses["node1"].load_current
+    assert statuses["node1"].mem_free > 0
+
+
+def test_allocation_history_recorded(monitored_cluster):
+    cluster, service = monitored_cluster
+    cluster.sim.run(until=5)
+    scheduler = JobScheduler(cluster, service)
+    allocation = scheduler.allocate(RoundRobin(), 4)
+    assert allocation.nodes == ["node0", "node1", "node2", "node3"]
+    assert scheduler.history == [allocation]
+
+
+def test_wbas_avoids_anomalous_nodes_live(monitored_cluster):
+    cluster, service = monitored_cluster
+    CpuOccupy(utilization=100).launch(cluster, "node0", core=0)
+    leak_target = cluster.node(2).memory.free - 1 * GB
+    MemLeak(buffer_size=512 * MB, rate=50, limit=leak_target).launch(
+        cluster, "node2", core=0
+    )
+    cluster.sim.run(until=60)
+    scheduler = JobScheduler(cluster, service)
+    allocation = scheduler.allocate(WellBalancedAllocation(), 4)
+    assert "node0" not in allocation.nodes
+    assert "node2" not in allocation.nodes
+
+
+def test_submit_launches_on_allocated_nodes(monitored_cluster):
+    cluster, service = monitored_cluster
+    cluster.sim.run(until=5)
+    scheduler = JobScheduler(cluster, service)
+    app = get_app("sw4lite").scaled(iterations=3)
+    allocation, job = scheduler.submit(app, RoundRobin(), n_nodes=2, ranks_per_node=2)
+    runtime = job.run(timeout=10_000)
+    assert runtime > 0
+    assert {p.node for p in job.procs} == set(allocation.nodes)

@@ -1,0 +1,266 @@
+"""Engine semantics: fluid progress, sleep/wait, kill, recurring events."""
+
+import math
+
+import pytest
+
+from repro.errors import ProcessCrash, SimulationError
+from repro.sim.engine import Simulator, UnitRateModel
+from repro.sim.process import (
+    Condition,
+    ProcessState,
+    Segment,
+    SimProcess,
+    Sleep,
+    Wait,
+)
+
+
+def make_proc(name, body, node="node0", core=0):
+    return SimProcess(name=name, body=body, node=node, core=core)
+
+
+def test_segment_completes_at_nominal_duration():
+    sim = Simulator()
+
+    def body(proc):
+        yield Segment(work=5.0)
+
+    p = sim.spawn(make_proc("p", body))
+    sim.run()
+    assert p.state is ProcessState.DONE
+    assert p.runtime == pytest.approx(5.0)
+
+
+def test_sleep_advances_time_without_demands():
+    sim = Simulator()
+    marks = []
+
+    def body(proc):
+        yield Sleep(2.5)
+        marks.append(proc.now)
+        yield Segment(work=1.0)
+
+    sim.spawn(make_proc("p", body))
+    sim.run()
+    assert marks == [2.5]
+    assert sim.now == pytest.approx(3.5)
+
+
+def test_spawn_at_future_time():
+    sim = Simulator()
+
+    def body(proc):
+        yield Segment(work=1.0)
+
+    p = sim.spawn(make_proc("p", body), at=10.0)
+    sim.run()
+    assert p.start_time == pytest.approx(10.0)
+    assert p.end_time == pytest.approx(11.0)
+
+
+def test_spawn_in_past_rejected():
+    sim = Simulator()
+    sim.run(until=5.0)
+
+    def body(proc):
+        yield Segment(work=1.0)
+
+    with pytest.raises(SimulationError):
+        sim.spawn(make_proc("p", body), at=1.0)
+
+
+def test_kill_runs_finally_blocks():
+    sim = Simulator()
+    cleaned = []
+
+    def body(proc):
+        try:
+            yield Segment(work=math.inf)
+        finally:
+            cleaned.append(proc.name)
+
+    p = sim.spawn(make_proc("p", body))
+    sim.schedule(3.0, lambda: sim.kill(p, reason="test"))
+    sim.run(until=10.0)
+    assert p.state is ProcessState.KILLED
+    assert p.exit_reason == "test"
+    assert cleaned == ["p"]
+    assert p.end_time == pytest.approx(3.0)
+
+
+def test_infinite_segment_runs_until_horizon():
+    sim = Simulator()
+
+    def body(proc):
+        yield Segment(work=math.inf)
+
+    p = sim.spawn(make_proc("p", body))
+    sim.run(until=42.0)
+    assert sim.now == pytest.approx(42.0)
+    assert p.state is ProcessState.RUNNING
+
+
+def test_wait_and_notify():
+    sim = Simulator()
+    cond = Condition("go")
+    order = []
+
+    def waiter(proc):
+        order.append("wait")
+        yield Wait(cond)
+        order.append("resumed")
+
+    def notifier(proc):
+        yield Sleep(2.0)
+        order.append("notify")
+        proc.sim.notify(cond)
+
+    sim.spawn(make_proc("w", waiter))
+    sim.spawn(make_proc("n", notifier))
+    sim.run()
+    assert order == ["wait", "notify", "resumed"]
+
+
+def test_crash_is_contained():
+    sim = Simulator()
+
+    def body(proc):
+        yield Segment(work=1.0)
+        raise ProcessCrash("boom")
+
+    p = sim.spawn(make_proc("p", body))
+    sim.run()
+    assert p.state is ProcessState.KILLED
+    assert "boom" in p.exit_reason
+
+
+def test_other_exceptions_propagate():
+    sim = Simulator()
+
+    def body(proc):
+        yield Segment(work=1.0)
+        raise ValueError("programming error")
+
+    sim.spawn(make_proc("p", body))
+    with pytest.raises(ValueError):
+        sim.run()
+
+
+def test_every_fires_at_interval_until_end():
+    sim = Simulator()
+    ticks = []
+    sim.every(1.0, ticks.append, start=0.0, end=5.0)
+    sim.run(until=10.0)
+    assert ticks == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+
+
+def test_every_cancel():
+    sim = Simulator()
+    ticks = []
+    handle = sim.every(1.0, ticks.append, start=0.0)
+    sim.schedule(2.5, handle.cancel)
+    sim.run(until=10.0)
+    assert ticks == [0.0, 1.0, 2.0]
+
+
+def test_stop_when_halts_immediately():
+    sim = Simulator()
+    done = []
+
+    def body(proc):
+        yield Segment(work=3.0)
+        done.append(proc.now)
+
+    sim.spawn(make_proc("p", body))
+    sim.every(1.0, lambda t: None, start=0.0)  # endless background ticks
+    sim.run(until=1000.0, stop_when=lambda: bool(done))
+    assert sim.now == pytest.approx(3.0)
+
+
+def test_run_integrates_idle_tail():
+    sim = Simulator()
+
+    def body(proc):
+        yield Segment(work=1.0)
+
+    sim.spawn(make_proc("p", body))
+    sim.run(until=7.5)
+    assert sim.now == pytest.approx(7.5)
+
+
+def test_speed_change_midway_is_exact():
+    """A process halved in speed finishes at the exact fluid time."""
+
+    class HalfAfter(UnitRateModel):
+        def __init__(self):
+            self.halved = False
+
+        def resolve(self, running, now):
+            speed = 0.5 if self.halved else 1.0
+            return {p.pid: speed for p in running}
+
+    model = HalfAfter()
+    sim = Simulator(model)
+
+    def body(proc):
+        yield Segment(work=10.0)
+
+    def flip():
+        model.halved = True
+        sim._dirty = True  # force re-resolve at this event
+
+    p = sim.spawn(make_proc("p", body))
+    sim.schedule(4.0, flip)
+    sim.run()
+    # 4 s at speed 1 + 6 remaining at 0.5 -> finishes at 16 s.
+    assert p.end_time == pytest.approx(16.0)
+
+
+def test_process_lookup_and_registry():
+    sim = Simulator()
+
+    def body(proc):
+        yield Segment(work=1.0)
+
+    p = sim.spawn(make_proc("p", body))
+    assert sim.process(p.pid) is p
+    with pytest.raises(SimulationError):
+        sim.process(999_999)
+
+
+def test_double_spawn_rejected():
+    sim = Simulator()
+
+    def body(proc):
+        yield Segment(work=1.0)
+
+    p = sim.spawn(make_proc("p", body))
+    with pytest.raises(SimulationError):
+        sim.spawn(p)
+
+
+def test_zero_work_segment_completes_instantly():
+    sim = Simulator()
+    times = []
+
+    def body(proc):
+        yield Segment(work=0.0)
+        times.append(proc.now)
+
+    sim.spawn(make_proc("p", body))
+    sim.run()
+    assert times == [0.0]
+
+
+def test_terminate_hook_called():
+    sim = Simulator()
+    ended = []
+    sim.add_terminate_hook(lambda proc: ended.append(proc.name))
+
+    def body(proc):
+        yield Segment(work=1.0)
+
+    sim.spawn(make_proc("a", body))
+    sim.run()
+    assert ended == ["a"]

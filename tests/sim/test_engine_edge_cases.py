@@ -1,0 +1,144 @@
+"""Engine edge cases: kill timing, nested notifications, accounting."""
+
+import math
+
+import pytest
+
+from repro.sim.engine import Simulator, UnitRateModel
+from repro.sim.process import (
+    Condition,
+    ProcessState,
+    Segment,
+    SimProcess,
+    Sleep,
+    Wait,
+)
+
+
+def proc(name, body, core=0):
+    return SimProcess(name=name, body=body, node="node0", core=core)
+
+
+def test_kill_while_sleeping():
+    sim = Simulator()
+
+    def body(p):
+        yield Sleep(100.0)
+
+    p = sim.spawn(proc("sleeper", body))
+    sim.schedule(5.0, lambda: sim.kill(p))
+    sim.run(until=200)
+    assert p.state is ProcessState.KILLED
+    assert p.end_time == pytest.approx(5.0)
+
+
+def test_kill_while_waiting_removes_from_condition():
+    sim = Simulator()
+    cond = Condition()
+
+    def body(p):
+        yield Wait(cond)
+        raise AssertionError("must not resume")  # pragma: no cover
+
+    p = sim.spawn(proc("waiter", body))
+    sim.schedule(1.0, lambda: sim.kill(p))
+    sim.schedule(2.0, lambda: sim.notify(cond))
+    sim.run(until=10)
+    assert p.state is ProcessState.KILLED
+
+
+def test_notify_before_any_waiter_is_lost():
+    """Conditions are broadcast edges, not latches."""
+    sim = Simulator()
+    cond = Condition()
+    resumed = []
+
+    def body(p):
+        yield Sleep(5.0)
+        yield Wait(cond)
+        resumed.append(p.now)
+
+    sim.spawn(proc("late", body))
+    sim.schedule(1.0, lambda: sim.notify(cond))  # nobody listening yet
+    sim.schedule(8.0, lambda: sim.notify(cond))
+    sim.run(until=20)
+    assert resumed == [8.0]
+
+
+def test_chained_notify_in_same_timestamp():
+    sim = Simulator()
+    first = Condition()
+    second = Condition()
+    order = []
+
+    def a(p):
+        yield Wait(first)
+        order.append("a")
+        p.sim.notify(second)
+
+    def b(p):
+        yield Wait(second)
+        order.append("b")
+
+    sim.spawn(proc("a", a))
+    sim.spawn(proc("b", b))
+    sim.schedule(3.0, lambda: sim.notify(first))
+    sim.run(until=10)
+    assert order == ["a", "b"]
+    assert sim.now == pytest.approx(10.0)
+
+
+def test_sequential_segments_accumulate():
+    sim = Simulator()
+
+    def body(p):
+        for _ in range(5):
+            yield Segment(work=2.0)
+
+    p = sim.spawn(proc("p", body))
+    sim.run()
+    assert p.runtime == pytest.approx(10.0)
+
+
+def test_counters_integrated_by_unit_model():
+    sim = Simulator(UnitRateModel())
+
+    def body(p):
+        yield Segment(work=4.0, cpu=0.5)
+
+    p = sim.spawn(proc("p", body))
+    sim.run()
+    assert p.counters["cpu_seconds"] == pytest.approx(2.0)
+
+
+def test_many_processes_same_timestamp_deterministic():
+    def once():
+        sim = Simulator()
+        finished = []
+
+        def body(p):
+            yield Segment(work=1.0)
+            finished.append(p.name)
+
+        for i in range(20):
+            sim.spawn(proc(f"p{i}", body, core=i))
+        sim.run()
+        return finished
+
+    assert once() == once()
+
+
+def test_killed_process_events_are_inert():
+    sim = Simulator()
+
+    def body(p):
+        yield Sleep(2.0)
+        yield Segment(work=5.0)
+
+    p = sim.spawn(proc("p", body))
+    sim.kill_done = False
+    sim.schedule(1.0, lambda: sim.kill(p))
+    sim.run(until=20)
+    # the sleep wake at t=2 must not resurrect the killed process
+    assert p.state is ProcessState.KILLED
+    assert p.end_time == pytest.approx(1.0)

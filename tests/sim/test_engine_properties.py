@@ -1,0 +1,113 @@
+"""Property-based engine invariants under random workloads."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster
+from repro.sim.engine import Simulator
+from repro.sim.process import ProcessState, Segment, SimProcess, Sleep
+
+# A workload item: (spawn_time, [(kind, value), ...]) where kind is
+# "work" (segment seconds) or "sleep" (idle seconds).
+step = st.tuples(
+    st.sampled_from(["work", "sleep"]),
+    st.floats(min_value=0.01, max_value=5.0, allow_nan=False),
+)
+workload = st.lists(
+    st.tuples(st.floats(min_value=0.0, max_value=10.0), st.lists(step, max_size=4)),
+    min_size=1,
+    max_size=6,
+)
+
+
+def make_body(steps):
+    def body(proc):
+        for kind, value in steps:
+            if kind == "work":
+                yield Segment(work=value)
+            else:
+                yield Sleep(value)
+
+    return body
+
+
+@settings(max_examples=60, deadline=None)
+@given(spec=workload)
+def test_uncontended_runtimes_are_exact(spec):
+    """With no contention every process runs exactly its nominal time."""
+    sim = Simulator()
+    procs = []
+    for i, (start, steps) in enumerate(spec):
+        p = SimProcess(f"p{i}", make_body(steps), node="n", core=i)
+        sim.spawn(p, at=start)
+        procs.append((p, start, steps))
+    sim.run(until=500.0)
+    for p, start, steps in procs:
+        assert p.state is ProcessState.DONE
+        nominal = sum(v for _, v in steps)
+        assert p.runtime == pytest.approx(nominal, rel=1e-9, abs=1e-9)
+        assert p.start_time == pytest.approx(start)
+
+
+@settings(max_examples=40, deadline=None)
+@given(spec=workload)
+def test_time_never_goes_backwards(spec):
+    sim = Simulator()
+    stamps = []
+    for i, (start, steps) in enumerate(spec):
+        sim.spawn(SimProcess(f"p{i}", make_body(steps), node="n", core=i), at=start)
+    sim.every(0.7, stamps.append, start=0.0, end=60.0)
+    sim.run(until=500.0)
+    assert stamps == sorted(stamps)
+    assert sim.now >= max(stamps, default=0.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    spec=workload,
+    shares=st.integers(min_value=2, max_value=5),
+)
+def test_core_sharing_conserves_throughput(spec, shares):
+    """N busy processes on one core finish in exactly N x the serial time."""
+    cluster = Cluster(num_nodes=1)
+    total_work = 4.0
+    procs = []
+    for i in range(shares):
+
+        def body(proc, w=total_work):
+            yield Segment(work=w)
+
+        procs.append(cluster.spawn(f"p{i}", body, node=0, core=0))
+    cluster.sim.run(until=1000.0)
+    # equal demands on one core: all finish together at shares * work
+    for p in procs:
+        assert p.end_time == pytest.approx(shares * total_work, rel=1e-9)
+    # CPU time accounting conserves the core: total busy == wall time
+    node = cluster.node(0)
+    assert node.counters["cpu_user_seconds"] == pytest.approx(
+        shares * total_work, rel=1e-9
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    duties=st.lists(
+        st.floats(min_value=0.05, max_value=1.0), min_size=1, max_size=4
+    )
+)
+def test_utilization_accounting_bounded_by_core(duties):
+    """Per-core busy time never exceeds wall time, whatever the duties."""
+    cluster = Cluster(num_nodes=1)
+    for i, duty in enumerate(duties):
+
+        def body(proc, d=duty):
+            yield Segment(work=math.inf, cpu=d)
+
+        cluster.spawn(f"p{i}", body, node=0, core=0)
+    cluster.sim.run(until=10.0)
+    busy = cluster.node(0).counters["cpu_user_seconds"]
+    expected = min(1.0, sum(duties)) * 10.0
+    assert busy == pytest.approx(expected, rel=1e-6)

@@ -1,0 +1,63 @@
+"""Event-queue behaviour: ordering, ties, cancellation."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import EventQueue
+
+
+def test_pops_in_time_order():
+    q = EventQueue()
+    fired = []
+    q.push(3.0, lambda: fired.append(3))
+    q.push(1.0, lambda: fired.append(1))
+    q.push(2.0, lambda: fired.append(2))
+    while (e := q.pop()) is not None:
+        e.action()
+    assert fired == [1, 2, 3]
+
+
+def test_ties_fire_in_insertion_order():
+    q = EventQueue()
+    fired = []
+    for i in range(10):
+        q.push(5.0, lambda i=i: fired.append(i))
+    while (e := q.pop()) is not None:
+        e.action()
+    assert fired == list(range(10))
+
+
+def test_cancelled_events_are_skipped():
+    q = EventQueue()
+    keep = q.push(1.0, lambda: None)
+    drop = q.push(0.5, lambda: None)
+    drop.cancel()
+    assert q.pop() is keep
+    assert q.pop() is None
+
+
+def test_peek_time_skips_cancelled():
+    q = EventQueue()
+    first = q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    first.cancel()
+    assert q.peek_time() == 2.0
+
+
+def test_len_counts_pending():
+    q = EventQueue()
+    q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    assert len(q) == 2
+
+
+def test_nan_time_rejected():
+    q = EventQueue()
+    with pytest.raises(SimulationError):
+        q.push(float("nan"), lambda: None)
+
+
+def test_empty_queue_pop_and_peek():
+    q = EventQueue()
+    assert q.pop() is None
+    assert q.peek_time() is None

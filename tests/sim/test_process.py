@@ -1,0 +1,107 @@
+"""Segment/process data-model validation."""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.process import (
+    CACHE_LEVELS,
+    Condition,
+    Flow,
+    IODemand,
+    ProcessState,
+    Segment,
+    SimProcess,
+    Sleep,
+)
+
+
+class TestSegmentValidation:
+    def test_defaults_are_pure_compute(self):
+        seg = Segment(work=1.0)
+        assert seg.cpu == 1.0
+        assert seg.mem_bw == 0.0
+        assert seg.flows == ()
+        assert seg.io is None
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(SimulationError):
+            Segment(work=-1.0)
+
+    def test_nan_work_rejected(self):
+        with pytest.raises(SimulationError):
+            Segment(work=float("nan"))
+
+    def test_infinite_work_allowed(self):
+        assert Segment(work=math.inf).work == math.inf
+
+    @pytest.mark.parametrize("duty", [-0.1, 1.1])
+    def test_cpu_duty_range(self, duty):
+        with pytest.raises(SimulationError):
+            Segment(work=1.0, cpu=duty)
+
+    def test_unknown_cache_level_rejected(self):
+        with pytest.raises(SimulationError):
+            Segment(work=1.0, cache_footprint={"L4": 100})
+
+    def test_negative_footprint_rejected(self):
+        with pytest.raises(SimulationError):
+            Segment(work=1.0, cache_footprint={"L1": -5})
+
+    @pytest.mark.parametrize(
+        "field", ["cache_intensity", "mpki_base", "mpki_extra", "mem_bw", "ips"]
+    )
+    def test_negative_rates_rejected(self, field):
+        with pytest.raises(SimulationError):
+            Segment(work=1.0, **{field: -1.0})
+
+    def test_cache_levels_constant(self):
+        assert CACHE_LEVELS == ("L1", "L2", "L3")
+
+
+class TestSleepAndWait:
+    def test_negative_sleep_rejected(self):
+        with pytest.raises(SimulationError):
+            Sleep(-1.0)
+
+    def test_condition_notify_returns_waiters(self):
+        cond = Condition("c")
+        p = SimProcess("p", lambda proc: iter(()), node="n", core=0)
+        cond._add(p)
+        assert cond.notify_all() == [p]
+        assert cond.notify_all() == []
+
+
+class TestSimProcess:
+    def test_pids_are_unique_and_increasing(self):
+        a = SimProcess("a", lambda p: iter(()), node="n", core=0)
+        b = SimProcess("b", lambda p: iter(()), node="n", core=0)
+        assert b.pid > a.pid
+
+    def test_runtime_requires_completion(self):
+        p = SimProcess("p", lambda proc: iter(()), node="n", core=0)
+        with pytest.raises(SimulationError):
+            _ = p.runtime
+
+    def test_counters_accumulate(self):
+        p = SimProcess("p", lambda proc: iter(()), node="n", core=0)
+        p.add_counter("x", 1.0)
+        p.add_counter("x", 2.0)
+        assert p.counters["x"] == 3.0
+
+    def test_initial_state(self):
+        p = SimProcess("p", lambda proc: iter(()), node="n", core=3)
+        assert p.state is ProcessState.NEW
+        assert not p.state.terminal
+        assert p.core == 3
+
+
+class TestFlowAndIO:
+    def test_flow_fields(self):
+        f = Flow(dst="node1", rate=1e9)
+        assert f.dst == "node1"
+
+    def test_io_demand_defaults(self):
+        d = IODemand(fs="nfs")
+        assert d.write_bw == 0.0 and d.read_bw == 0.0 and d.meta_ops == 0.0

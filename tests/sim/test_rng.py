@@ -1,0 +1,35 @@
+"""Deterministic RNG derivation."""
+
+import numpy as np
+
+from repro.sim.rng import DEFAULT_SEED, make_rng, spawn_rng
+
+
+def test_make_rng_is_deterministic():
+    a = make_rng(123).random(5)
+    b = make_rng(123).random(5)
+    assert np.array_equal(a, b)
+
+
+def test_default_seed_used_when_none():
+    a = make_rng(None).random(3)
+    b = make_rng(DEFAULT_SEED).random(3)
+    assert np.array_equal(a, b)
+
+
+def test_spawn_rng_stable_per_key():
+    a = spawn_rng(1, "worker-0").random(4)
+    b = spawn_rng(1, "worker-0").random(4)
+    assert np.array_equal(a, b)
+
+
+def test_spawn_rng_differs_across_keys():
+    a = spawn_rng(1, "worker-0").random(4)
+    b = spawn_rng(1, "worker-1").random(4)
+    assert not np.array_equal(a, b)
+
+
+def test_spawn_rng_differs_across_parents():
+    a = spawn_rng(1, "k").random(4)
+    b = spawn_rng(2, "k").random(4)
+    assert not np.array_equal(a, b)

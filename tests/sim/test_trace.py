@@ -1,0 +1,103 @@
+"""Execution tracer."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import CpuOccupy
+from repro.sim.engine import Simulator
+from repro.sim.process import Segment, SimProcess
+from repro.sim.trace import Tracer
+
+
+def test_timeline_records_speed_changes():
+    cluster = Cluster(num_nodes=1)
+    tracer = Tracer()
+    tracer.attach(cluster.sim)
+
+    def app(proc):
+        yield Segment(work=10.0, label="phase")
+
+    cluster.spawn("app", app, node=0, core=0)
+    CpuOccupy(utilization=100, duration=4.0).launch(cluster, "node0", core=0, start=2.0)
+    cluster.sim.run(until=100)
+    timeline = tracer.by_name("app")
+    assert timeline.speed_at(1.0) == pytest.approx(1.0)
+    assert timeline.speed_at(3.0) == pytest.approx(0.5)
+    assert timeline.speed_at(7.0) == pytest.approx(1.0)
+
+
+def test_intervals_cover_process_lifetime():
+    cluster = Cluster(num_nodes=1)
+    tracer = Tracer()
+    tracer.attach(cluster.sim)
+
+    def app(proc):
+        yield Segment(work=5.0)
+
+    cluster.spawn("app", app, node=0, core=0)
+    cluster.sim.run()
+    intervals = tracer.by_name("app").intervals()
+    assert intervals[0][0] == pytest.approx(0.0)
+    assert intervals[-1][1] == pytest.approx(5.0)
+
+
+def test_end_record_carries_reason():
+    cluster = Cluster(num_nodes=1)
+    tracer = Tracer()
+    tracer.attach(cluster.sim)
+
+    def app(proc):
+        yield Segment(work=5.0)
+
+    p = cluster.spawn("app", app, node=0, core=0)
+    cluster.sim.schedule(2.0, lambda: cluster.sim.kill(p, reason="testing"))
+    cluster.sim.run(until=10)
+    records = [r for r in tracer.by_name("app").records if r.kind == "end"]
+    assert records[0].detail == "testing"
+    assert records[0].time == pytest.approx(2.0)
+
+
+def test_render_is_readable():
+    cluster = Cluster(num_nodes=1)
+    tracer = Tracer()
+    tracer.attach(cluster.sim)
+
+    def app(proc):
+        yield Segment(work=1.0, label="compute")
+
+    cluster.spawn("app", app, node=0, core=0)
+    cluster.sim.run()
+    text = tracer.render()
+    assert "app" in text and "compute" in text and "END" in text
+
+
+def test_duplicate_resolves_deduplicated():
+    sim = Simulator()
+    tracer = Tracer()
+    tracer.attach(sim)
+
+    def body(proc):
+        yield Segment(work=2.0, label="x")
+
+    p = SimProcess("p", body, node="n", core=0)
+    sim.spawn(p)
+    sim.every(0.1, lambda t: setattr(sim, "_dirty", True), start=0.0, end=1.0)
+    sim.run()
+    speed_records = [
+        r for r in tracer.by_name("p").records if r.kind == "speed"
+    ]
+    assert len(speed_records) == 1  # same speed re-resolved -> one record
+
+
+def test_unknown_name_raises():
+    tracer = Tracer()
+    with pytest.raises(KeyError):
+        tracer.by_name("ghost")
+
+
+def test_double_attach_rejected():
+    sim = Simulator()
+    tracer = Tracer()
+    tracer.attach(sim)
+    with pytest.raises(RuntimeError):
+        tracer.attach(sim)

@@ -1,0 +1,146 @@
+"""Shared-filesystem model: pool sharing, node fairness, CPU thread grabbing."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.process import IODemand
+from repro.storage.filesystem import SharedFilesystem
+from repro.units import MB10
+
+
+def fs(**kwargs):
+    defaults = dict(
+        name="nfs",
+        disk_bw=320 * MB10,
+        meta_capacity=6000.0,
+        server_cpu=24.0,
+    )
+    defaults.update(kwargs)
+    return SharedFilesystem(**defaults)
+
+
+def wdemand(bw, fs_name="nfs"):
+    return IODemand(fs=fs_name, write_bw=bw)
+
+
+class TestBasics:
+    def test_single_writer_full_rate(self):
+        grants = fs().solve([(1, "node0", wdemand(100 * MB10))])
+        assert grants[1].write_bw == pytest.approx(100 * MB10, rel=1e-6)
+        assert grants[1].ratio == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert fs().solve([]) == {}
+
+    def test_wrong_fs_rejected(self):
+        with pytest.raises(ConfigError):
+            fs().solve([(1, "node0", wdemand(1.0, fs_name="lustre"))])
+
+    def test_disk_oversubscription_shared(self):
+        grants = fs().solve(
+            [(1, "node0", wdemand(300 * MB10)), (2, "node1", wdemand(300 * MB10))]
+        )
+        assert grants[1].write_bw == pytest.approx(160 * MB10, rel=1e-3)
+        assert grants[2].write_bw == pytest.approx(160 * MB10, rel=1e-3)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigError):
+            SharedFilesystem(disk_bw=0)
+        with pytest.raises(ConfigError):
+            SharedFilesystem(cpu_per_byte=-1)
+
+
+class TestNodeFairness:
+    def test_many_processes_on_one_node_share_that_nodes_slice(self):
+        # 10 hogs on node1 vs 1 client on node0: per-node fairness gives
+        # the lone client half the disk, not 1/11th.
+        demands = [(0, "node0", wdemand(300 * MB10))]
+        demands += [(i, "node1", wdemand(300 * MB10)) for i in range(1, 11)]
+        grants = fs().solve(demands)
+        assert grants[0].write_bw == pytest.approx(160 * MB10, rel=1e-3)
+        hog_total = sum(grants[i].write_bw for i in range(1, 11))
+        assert hog_total == pytest.approx(160 * MB10, rel=1e-3)
+
+    def test_meta_capacity_node_fair(self):
+        demands = [
+            (1, "node0", IODemand(fs="nfs", meta_ops=5000.0)),
+            (2, "node1", IODemand(fs="nfs", meta_ops=500.0)),
+        ]
+        grants = fs().solve(demands)
+        # node1's modest demand is protected by per-node max-min
+        assert grants[2].meta_ops == pytest.approx(500.0, rel=1e-3)
+        assert grants[1].meta_ops <= 5500.0
+
+
+class TestCpuThreadGrabbing:
+    def test_metadata_storm_starves_data_path_cpu(self):
+        """Worker threads are grabbed FCFS: proportional CPU sharing.
+
+        This is the Fig. 7 coupling — the data path asks for little CPU
+        but gets squeezed out anyway when a metadata storm saturates the
+        server threads.
+        """
+        shared = fs(server_cpu=4.0, cpu_per_meta_op=1e-3)
+        storm = [
+            (i, f"node{i % 3}", IODemand(fs="nfs", meta_ops=4000.0)) for i in range(3)
+        ]
+        writer = [(99, "node4", wdemand(100 * MB10))]
+        grants = shared.solve(storm + writer)
+        # storm cpu demand = 12, writer = 0.5 -> writer ratio ~ 4/12.5
+        assert grants[99].ratio == pytest.approx(4.0 / 12.5, rel=0.05)
+
+    def test_no_cpu_contention_when_pool_fits(self):
+        shared = fs(server_cpu=24.0)
+        demands = [
+            (1, "node0", IODemand(fs="nfs", meta_ops=1000.0)),
+            (2, "node1", wdemand(100 * MB10)),
+        ]
+        grants = shared.solve(demands)
+        assert grants[2].ratio == pytest.approx(1.0)
+
+
+class TestSeparateMetadata:
+    def test_separate_mds_decouples_cpu(self):
+        """With a dedicated MDS, metadata CPU does not throttle data."""
+        kwargs = dict(server_cpu=2.0, cpu_per_meta_op=1e-2)
+        coupled = fs(**kwargs)
+        lustre = fs(separate_metadata=True, **kwargs)
+        demands = [
+            (1, "node0", IODemand(fs="nfs", meta_ops=5000.0)),
+            (2, "node1", wdemand(50 * MB10)),
+        ]
+        with_mds = lustre.solve(demands)[2].write_bw
+        without = coupled.solve(demands)[2].write_bw
+        assert with_mds > without
+
+    def test_separate_mds_keeps_journal_off_shared_disk(self):
+        kwargs = dict(meta_disk_bytes=64 * 1024, disk_bw=100 * MB10)
+        coupled = fs(**kwargs)
+        lustre = fs(separate_metadata=True, **kwargs)
+        demands = [
+            (1, "node0", IODemand(fs="nfs", meta_ops=3000.0)),  # 192 MB/s journal
+            (2, "node1", wdemand(90 * MB10)),
+        ]
+        assert lustre.solve(demands)[2].ratio > coupled.solve(demands)[2].ratio
+
+
+class TestRatioSemantics:
+    def test_ratio_is_worst_pool(self):
+        shared = fs(disk_bw=50 * MB10)
+        grants = shared.solve([(1, "node0", wdemand(100 * MB10))])
+        assert grants[1].ratio == pytest.approx(0.5, rel=1e-6)
+        assert grants[1].write_bw == pytest.approx(50 * MB10, rel=1e-6)
+
+    def test_all_rates_scale_together(self):
+        shared = fs(disk_bw=50 * MB10)
+        demand = IODemand(fs="nfs", write_bw=100 * MB10, meta_ops=100.0)
+        grant = shared.solve([(1, "node0", demand)])[1]
+        assert grant.meta_ops == pytest.approx(100.0 * grant.ratio, rel=1e-6)
+
+
+def test_presets():
+    nfs = SharedFilesystem.nfs_appliance()
+    assert nfs.name == "nfs" and not nfs.separate_metadata
+    lustre = SharedFilesystem.lustre_like()
+    assert lustre.separate_metadata
+    assert lustre.disk_bw > nfs.disk_bw

@@ -1,0 +1,69 @@
+"""Property-based invariants of the shared-filesystem solver."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.process import IODemand
+from repro.storage.filesystem import SharedFilesystem
+
+demand_strategy = st.tuples(
+    st.floats(min_value=0, max_value=1e9),  # write
+    st.floats(min_value=0, max_value=1e9),  # read
+    st.floats(min_value=0, max_value=1e5),  # meta ops
+    st.integers(min_value=0, max_value=4),  # client node
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(demands=st.lists(demand_strategy, min_size=1, max_size=12),
+       separate=st.booleans())
+def test_solver_invariants(demands, separate):
+    fs = SharedFilesystem(separate_metadata=separate)
+    request = [
+        (i, f"node{node}", IODemand(fs="nfs", write_bw=w, read_bw=r, meta_ops=m))
+        for i, (w, r, m, node) in enumerate(demands)
+    ]
+    grants = fs.solve(request)
+    assert set(grants) == set(range(len(demands)))
+    total_disk = 0.0
+    total_meta = 0.0
+    for i, (w, r, m, _) in enumerate(demands):
+        g = grants[i]
+        # ratios are proper fractions, granted rates scale the demand
+        assert 0.0 <= g.ratio <= 1.0 + 1e-9
+        assert g.write_bw == pytest.approx(w * g.ratio, rel=1e-9, abs=1e-9)
+        assert g.read_bw == pytest.approx(r * g.ratio, rel=1e-9, abs=1e-9)
+        assert g.meta_ops == pytest.approx(m * g.ratio, rel=1e-9, abs=1e-9)
+        total_disk += g.write_bw + g.read_bw
+        total_meta += g.meta_ops
+    # conservation: granted traffic never exceeds the pools
+    assert total_disk <= fs.disk_bw * (1 + 1e-6) + 1e-3
+    assert total_meta <= fs.meta_capacity * (1 + 1e-6) + 1e-3
+
+
+@settings(max_examples=60, deadline=None)
+@given(demands=st.lists(demand_strategy, min_size=2, max_size=8))
+def test_adding_a_client_never_helps_existing_ones(demands):
+    """Monotonicity: more contention cannot increase anyone's grant."""
+    fs = SharedFilesystem()
+    base = [
+        (i, f"node{node}", IODemand(fs="nfs", write_bw=w, read_bw=r, meta_ops=m))
+        for i, (w, r, m, node) in enumerate(demands[:-1])
+    ]
+    extended = base + [
+        (
+            len(demands) - 1,
+            f"node{demands[-1][3]}",
+            IODemand(
+                fs="nfs",
+                write_bw=demands[-1][0],
+                read_bw=demands[-1][1],
+                meta_ops=demands[-1][2],
+            ),
+        )
+    ]
+    before = fs.solve(base)
+    after = fs.solve(extended)
+    for i, _ in enumerate(base):
+        assert after[i].ratio <= before[i].ratio + 1e-6

@@ -1,0 +1,51 @@
+"""HPAS-style command-line front end."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_known_anomalies_accepted(self):
+        parser = build_parser()
+        args, extra = parser.parse_known_args(["cpuoccupy", "-u", "50"])
+        assert args.anomaly == "cpuoccupy"
+        assert extra == ["-u", "50"]
+
+    def test_unknown_anomaly_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fanspin"])
+
+
+class TestMain:
+    def test_basic_run(self, capsys):
+        rc = main(["cpuoccupy", "-u", "80", "--horizon", "10"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ran cpuoccupy on node0:c0" in out
+
+    def test_report_prints_metrics(self, capsys):
+        rc = main(["membw", "--horizon", "10", "--report"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "user::procstat" in out
+        assert "LLC_MISSES::spapiHASW" in out
+
+    def test_with_app(self, capsys):
+        rc = main(
+            ["cachecopy", "-c", "L2", "--horizon", "30", "--with-app", "CoMD"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "co-ran CoMD" in out
+
+    def test_anomaly_knobs_forwarded(self, capsys):
+        rc = main(["cpuoccupy", "-u", "25", "-d", "5", "--horizon", "10"])
+        assert rc == 0
+        assert "state: killed" in capsys.readouterr().out
+
+    def test_custom_placement(self, capsys):
+        rc = main(["memleak", "--node", "node1", "--core", "3", "--horizon", "5"])
+        assert rc == 0
+        assert "node1:c3" in capsys.readouterr().out

@@ -1,0 +1,38 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro import errors
+
+
+def test_everything_derives_from_repro_error():
+    for name in (
+        "SimulationError",
+        "ConfigError",
+        "ResourceError",
+        "OutOfMemoryError",
+        "ProcessCrash",
+        "ProcessKilled",
+        "SchedulingError",
+        "AnomalyError",
+    ):
+        assert issubclass(getattr(errors, name), errors.ReproError), name
+
+
+def test_oom_is_both_resource_error_and_crash():
+    exc = errors.OutOfMemoryError("node0", requested=100.0, available=10.0)
+    assert isinstance(exc, errors.ResourceError)
+    assert isinstance(exc, errors.ProcessCrash)
+
+
+def test_oom_message_contents():
+    exc = errors.OutOfMemoryError("node3", requested=5e9, available=1e9)
+    text = str(exc)
+    assert "node3" in text and "killed" in text
+    assert exc.node == "node3"
+    assert exc.requested == 5e9
+
+
+def test_catching_repro_error_covers_all():
+    with pytest.raises(errors.ReproError):
+        raise errors.AnomalyError("bad knob")

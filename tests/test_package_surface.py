@@ -1,0 +1,72 @@
+"""Top-level package surface and entry points."""
+
+import subprocess
+import sys
+
+import repro
+
+
+def test_version_exposed():
+    assert repro.__version__.count(".") == 2
+
+
+def test_module_entry_point_help():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "--help"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0
+    assert "cpuoccupy" in proc.stdout
+    assert "cachecopy" in proc.stdout
+
+
+def test_module_entry_point_runs_anomaly():
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "cpuoccupy",
+            "-u",
+            "50",
+            "--horizon",
+            "5",
+        ],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0
+    assert "ran cpuoccupy" in proc.stdout
+
+
+def test_public_subpackages_importable():
+    import repro.analytics
+    import repro.apps
+    import repro.cluster
+    import repro.core
+    import repro.experiments
+    import repro.monitoring
+    import repro.mpi
+    import repro.network
+    import repro.runtime
+    import repro.scheduling
+    import repro.storage
+    import repro.varbench  # noqa: F401
+
+
+def test_anomaly_names_match_paper_table1():
+    from repro.core import ANOMALY_REGISTRY
+
+    assert sorted(ANOMALY_REGISTRY) == [
+        "cachecopy",
+        "cpuoccupy",
+        "iobandwidth",
+        "iometadata",
+        "membw",
+        "memeater",
+        "memleak",
+        "netoccupy",
+    ]

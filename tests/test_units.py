@@ -1,0 +1,40 @@
+"""Unit-helper tests."""
+
+import pytest
+
+from repro import units
+
+
+def test_binary_prefixes():
+    assert units.KB == 1024
+    assert units.MB == 1024**2
+    assert units.GB == 1024**3
+
+
+def test_decimal_prefixes():
+    assert units.GB10 == 10**9
+    assert units.MB10 == 10**6
+
+
+def test_mib_gib_kib():
+    assert units.mib(1) == units.MB
+    assert units.gib(2) == 2 * units.GB
+    assert units.kib(3) == 3 * units.KB
+
+
+@pytest.mark.parametrize(
+    "value,expected",
+    [
+        (512, "512 B"),
+        (2048, "2 KiB"),
+        (3 * units.MB, "3 MiB"),
+        (1.5 * units.GB, "1.5 GiB"),
+    ],
+)
+def test_fmt_bytes(value, expected):
+    assert units.fmt_bytes(value) == expected
+
+
+def test_fmt_rate():
+    assert units.fmt_rate(2048).endswith("/s")
+    assert "KiB" in units.fmt_rate(2048)

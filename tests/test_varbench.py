@@ -1,0 +1,57 @@
+"""Varbench-style variability measurement."""
+
+import pytest
+
+from repro.core import make_anomaly
+from repro.errors import ConfigError
+from repro.varbench import VariabilityReport
+
+
+class TestReportArithmetic:
+    REPORT = VariabilityReport(
+        app="x", anomaly="none", runtimes=(10.0, 12.0, 11.0, 13.0)
+    )
+
+    def test_mean_std(self):
+        assert self.REPORT.mean == pytest.approx(11.5)
+        assert self.REPORT.std > 0
+
+    def test_cov(self):
+        assert self.REPORT.coefficient_of_variation == pytest.approx(
+            self.REPORT.std / 11.5
+        )
+
+    def test_spread(self):
+        assert self.REPORT.spread == pytest.approx(0.3)
+
+    def test_percentile(self):
+        assert self.REPORT.percentile(50) == pytest.approx(11.5)
+
+
+class TestMeasurement:
+    def test_clean_runs_have_low_variability(self):
+        report = VariabilityReport.measure(
+            "miniMD", repetitions=3, iterations=6, seed=1
+        )
+        assert report.anomaly == "none"
+        assert len(report.runtimes) == 3
+        assert report.coefficient_of_variation < 0.05
+
+    def test_anomaly_with_random_phase_induces_variability(self):
+        clean = VariabilityReport.measure(
+            "miniMD", repetitions=4, iterations=8, seed=2
+        )
+        noisy = VariabilityReport.measure(
+            "miniMD",
+            anomaly_factory=lambda: make_anomaly("cpuoccupy"),
+            repetitions=4,
+            iterations=8,
+            seed=2,
+        )
+        assert noisy.anomaly == "cpuoccupy"
+        assert noisy.mean > clean.mean
+        assert noisy.coefficient_of_variation > clean.coefficient_of_variation
+
+    def test_needs_two_repetitions(self):
+        with pytest.raises(ConfigError):
+            VariabilityReport.measure("miniMD", repetitions=1)
