@@ -1,0 +1,17 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs `make lint test`.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: lint test check benchmarks
+
+lint:
+	$(PYTHON) -m repro lint src/ tests/
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+check: lint test
+
+benchmarks:
+	$(PYTHON) -m pytest benchmarks/ -q

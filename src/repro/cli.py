@@ -5,10 +5,12 @@ module provides the same surface against the simulated substrate::
 
     python -m repro cpuoccupy -u 80 -d 60 --node node0 --core 0
     python -m repro cachecopy -c L3 --with-app miniGhost --report
+    python -m repro lint src/ tests/
 
 It builds a Voltrino-like cluster, optionally co-runs a benchmark
 application, injects the requested anomaly, and prints a monitoring
-summary — a one-command demonstration of the suite.
+summary — a one-command demonstration of the suite.  The ``lint``
+subcommand runs the determinism analyzer (see :mod:`repro.lint`).
 """
 
 from __future__ import annotations
@@ -22,6 +24,7 @@ from repro.apps import AppJob, get_app
 from repro.cluster import Cluster
 from repro.core import ANOMALY_REGISTRY, parse_cli
 from repro.monitoring import MetricService
+from repro.output import OutputWriter
 
 SUMMARY_METRICS = (
     "user::procstat",
@@ -67,6 +70,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv[:1] == ["lint"]:
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
     # Split our options from the anomaly's HPAS-style knobs: everything the
     # parser does not know is forwarded to parse_cli.
     parser = build_parser()
@@ -92,16 +99,29 @@ def main(argv: list[str] | None = None) -> int:
     proc = anomaly.launch(cluster, node=args.node, core=args.core, start=1.0)
     cluster.sim.run(until=args.horizon)
 
-    print(f"ran {anomaly.name} on {args.node}:c{args.core} "
-          f"for {cluster.sim.now - 1.0:.0f}s (state: {proc.state.value})")
+    out = OutputWriter()
+    out.line(
+        f"ran {anomaly.name} on {args.node}:c{args.core} "
+        f"for {cluster.sim.now - 1.0:.0f}s (state: {proc.state.value})"
+    )
     if job is not None:
         done = sum(p.state.terminal for p in job.procs)
-        print(f"co-ran {args.with_app}: {done}/{job.n_ranks} ranks finished")
+        out.line(f"co-ran {args.with_app}: {done}/{job.n_ranks} ranks finished")
     if args.report:
-        print(f"\n{'metric':45s} {'mean':>12s} {'max':>12s}")
-        for metric in SUMMARY_METRICS:
-            series = service.series(args.node, metric)
-            print(f"{metric:45s} {np.mean(series):12.4g} {np.max(series):12.4g}")
+        out.line()
+        out.table(
+            header=("metric", "mean", "max"),
+            rows=(
+                (
+                    metric,
+                    f"{np.mean(service.series(args.node, metric)):.4g}",
+                    f"{np.max(service.series(args.node, metric)):.4g}",
+                )
+                for metric in SUMMARY_METRICS
+            ),
+            widths=(45, 12, 12),
+            align=">",
+        )
     return 0
 
 

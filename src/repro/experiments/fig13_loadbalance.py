@@ -16,6 +16,7 @@ from repro.cluster import Cluster
 from repro.core import CpuOccupy
 from repro.experiments.common import format_table
 from repro.runtime import CharmRuntime, GreedyRefineLB, LBObjOnly, WorkObject
+from repro.units import HOUR
 
 
 @dataclass
@@ -53,7 +54,7 @@ def _one(balancer, occupied_pct: int, n_objects: int, iterations: int) -> float:
     runtime = CharmRuntime(
         cluster, "node0", cores, objects, balancer, iterations=iterations
     )
-    runtime.run(timeout=3_600)
+    runtime.run(timeout=HOUR)
     return runtime.mean_iteration_time(skip=2)
 
 

@@ -1,0 +1,148 @@
+"""``python -m repro lint`` — run the determinism linter from the shell.
+
+Examples::
+
+    python -m repro lint src/                  # text report, exit 1 on findings
+    python -m repro lint src/ tests/ --format json
+    python -m repro lint --list-rules          # registry with rationales
+
+Exit status: 0 when clean, 1 when findings were reported, 2 on usage or
+configuration errors — the convention CI gates expect.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.errors import ConfigError
+from repro.lint.config import LintConfig, load_config
+from repro.lint.engine import RULE_REGISTRY, LintEngine
+from repro.lint.findings import Finding
+from repro.output import OutputWriter
+
+JSON_SCHEMA_VERSION = 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="AST-based determinism & unit-safety analyzer for the repro tree.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--config",
+        default=None,
+        metavar="DIR",
+        help="directory to search for pyproject.toml (default: first lint path)",
+    )
+    parser.add_argument(
+        "--no-config",
+        action="store_true",
+        help="ignore pyproject.toml and use built-in defaults",
+    )
+    parser.add_argument(
+        "--disable",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="disable a rule id for this run (repeatable)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule registry and exit",
+    )
+    return parser
+
+
+def _resolve_config(args: argparse.Namespace) -> LintConfig:
+    if args.no_config:
+        config = LintConfig()
+    else:
+        start = args.config if args.config is not None else args.paths[0]
+        config = load_config(start)
+    if args.disable:
+        config = LintConfig(
+            **{
+                **{f: getattr(config, f) for f in config.__dataclass_fields__},
+                "disable": tuple(dict.fromkeys([*config.disable, *args.disable])),
+            }
+        )
+    return config
+
+
+def _render_text(findings: list[Finding], n_files: int, out: OutputWriter) -> None:
+    for finding in findings:
+        out.line(finding.format_text())
+    noun = "file" if n_files == 1 else "files"
+    if findings:
+        out.line(f"{len(findings)} finding(s) in {n_files} {noun}")
+    else:
+        out.line(f"clean: 0 findings in {n_files} {noun}")
+
+
+def _render_json(findings: list[Finding], n_files: int, out: OutputWriter) -> None:
+    by_rule: dict[str, int] = {}
+    for finding in findings:
+        by_rule[finding.rule_id] = by_rule.get(finding.rule_id, 0) + 1
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "findings": [f.to_dict() for f in findings],
+        "summary": {
+            "files": n_files,
+            "findings": len(findings),
+            "by_rule": dict(sorted(by_rule.items())),
+        },
+    }
+    out.line(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def _render_rules(out: OutputWriter) -> None:
+    out.line(f"{'id':6s} {'name':16s} {'severity':8s} description")
+    for rule_id, cls in sorted(RULE_REGISTRY.items()):
+        out.line(
+            f"{rule_id:6s} {cls.name:16s} {cls.severity.value:8s} {cls.description}"
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    out = OutputWriter()
+
+    if args.list_rules:
+        _render_rules(out)
+        return 0
+
+    try:
+        config = _resolve_config(args)
+        engine = LintEngine(config)
+        files = engine.iter_files(args.paths)
+        findings = sorted(engine.lint_paths(files))
+    except ConfigError as exc:
+        sys.stderr.write(f"repro lint: error: {exc}\n")
+        return 2
+
+    if args.format == "json":
+        _render_json(findings, len(files), out)
+    else:
+        _render_text(findings, len(files), out)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

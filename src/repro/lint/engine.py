@@ -1,0 +1,233 @@
+"""Rule-registry engine: one AST walk per file, shared by all rules.
+
+The engine owns everything rules have in common — parsing, a parent map
+for upward navigation, package/path scoping, suppression comments and the
+global rule registry — so each rule in :mod:`repro.lint.rules` is just a
+small ``check`` method over the node types it cares about.
+
+Suppressions
+------------
+``# repro-lint: disable=RL001`` (comma-separate for several, or ``all``):
+
+* trailing a code line — suppresses those rules on that line only;
+* on a line of its own — suppresses those rules for the whole file.
+
+Findings are attached to the line of the offending AST node, so a trailing
+suppression goes on the line the report points at.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigError
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding, Severity
+
+SUPPRESS_ALL = "all"
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)")
+
+#: Rule id reserved for files the engine itself cannot analyse.
+PARSE_ERROR_ID = "RL000"
+
+RULE_REGISTRY: dict[str, type["Rule"]] = {}
+
+
+def register_rule(cls: type["Rule"]) -> type["Rule"]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.id or not cls.id.startswith("RL"):
+        raise ConfigError(f"rule id must look like 'RLnnn', got {cls.id!r}")
+    if cls.id in RULE_REGISTRY:
+        raise ConfigError(f"duplicate rule id {cls.id}")
+    RULE_REGISTRY[cls.id] = cls
+    return cls
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set the metadata class attributes, list the AST node types
+    they want to see in ``node_types``, and implement :meth:`check`.
+    """
+
+    id: str = ""
+    name: str = ""
+    severity: Severity = Severity.WARNING
+    description: str = ""
+    node_types: tuple[type[ast.AST], ...] = ()
+
+    def check(self, node: ast.AST, ctx: "LintContext") -> None:
+        raise NotImplementedError
+
+
+class LintContext:
+    """Per-file state handed to every rule invocation."""
+
+    def __init__(self, path: str, tree: ast.Module, source: str, config: LintConfig):
+        self.path = path
+        self.posix = path.replace("\\", "/")
+        self.config = config
+        self.tree = tree
+        self.findings: list[Finding] = []
+        self._parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+        self._line_suppressions, self._file_suppressions = _parse_suppressions(source)
+
+    # -- navigation -----------------------------------------------------------
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterable[ast.AST]:
+        current = self._parents.get(node)
+        while current is not None:
+            yield current
+            current = self._parents.get(current)
+
+    # -- scoping --------------------------------------------------------------
+
+    @property
+    def in_library(self) -> bool:
+        """True for files inside the installed ``repro`` package."""
+        return "/repro/" in f"/{self.posix}"
+
+    def in_packages(self, packages: Sequence[str]) -> bool:
+        """True if the file lives under ``repro/<pkg>/`` for any listed pkg."""
+        slashed = f"/{self.posix}"
+        return any(f"/repro/{pkg}/" in slashed for pkg in packages)
+
+    def matches_any(self, suffixes: Sequence[str]) -> bool:
+        """True if the file path ends with any of the given path suffixes."""
+        return any(self.posix.endswith(suffix) for suffix in suffixes)
+
+    # -- reporting ------------------------------------------------------------
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        for scope in (self._file_suppressions, self._line_suppressions.get(line, set())):
+            if rule_id in scope or SUPPRESS_ALL in scope:
+                return True
+        return False
+
+    def report(self, rule: Rule, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        if self.is_suppressed(rule.id, line):
+            return
+        self.findings.append(
+            Finding(
+                path=self.path,
+                line=line,
+                col=col,
+                rule_id=rule.id,
+                rule_name=rule.name,
+                severity=rule.severity,
+                message=message,
+            )
+        )
+
+
+def _parse_suppressions(source: str) -> tuple[dict[int, set[str]], set[str]]:
+    """Extract (line -> rule ids, file-wide rule ids) from comments."""
+    per_line: dict[int, set[str]] = {}
+    per_file: set[str] = set()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if match is None:
+                continue
+            rules = {r.strip() for r in match.group(1).split(",") if r.strip()}
+            own_line = tok.line[: tok.start[1]].strip() == ""
+            if own_line:
+                per_file |= rules
+            else:
+                per_line.setdefault(tok.start[0], set()).update(rules)
+    except tokenize.TokenError:
+        pass  # unparseable source: the ast.parse pass reports the real error
+    return per_line, per_file
+
+
+class LintEngine:
+    """Runs every registered (and enabled) rule over files or source text."""
+
+    def __init__(self, config: LintConfig | None = None):
+        self.config = config or LintConfig()
+        self.rules = [
+            cls()
+            for rule_id, cls in sorted(RULE_REGISTRY.items())
+            if not self.config.is_disabled(rule_id)
+        ]
+
+    def lint_source(self, source: str, path: str = "<string>") -> list[Finding]:
+        """Lint source text as if it lived at ``path`` (drives scoping)."""
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            return [
+                Finding(
+                    path=path,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    rule_id=PARSE_ERROR_ID,
+                    rule_name="parse-error",
+                    severity=Severity.ERROR,
+                    message=f"cannot parse file: {exc.msg}",
+                )
+            ]
+        ctx = LintContext(path=path, tree=tree, source=source, config=self.config)
+        dispatch = [(rule, rule.node_types) for rule in self.rules]
+        for node in ast.walk(tree):
+            for rule, types in dispatch:
+                if isinstance(node, types):
+                    rule.check(node, ctx)
+        return sorted(ctx.findings)
+
+    def lint_file(self, path: Path | str) -> list[Finding]:
+        path = Path(path)
+        return self.lint_source(path.read_text(encoding="utf-8"), str(path))
+
+    def lint_paths(self, paths: Sequence[Path | str]) -> list[Finding]:
+        """Lint files and directories (recursively); deterministic order."""
+        findings: list[Finding] = []
+        for path in self.iter_files(paths):
+            findings.extend(self.lint_file(path))
+        return findings
+
+    @staticmethod
+    def iter_files(paths: Sequence[Path | str]) -> list[Path]:
+        """Expand arguments into a sorted, de-duplicated list of .py files."""
+        seen: dict[Path, None] = {}
+        for raw in paths:
+            path = Path(raw)
+            if path.is_dir():
+                for file in sorted(path.rglob("*.py")):
+                    seen.setdefault(file, None)
+            elif path.is_file():
+                seen.setdefault(path, None)
+            else:
+                raise ConfigError(f"no such file or directory: {path}")
+        return sorted(seen)
+
+
+# -- module-level conveniences ------------------------------------------------
+
+
+def lint_source(source: str, path: str = "<string>", config: LintConfig | None = None) -> list[Finding]:
+    return LintEngine(config).lint_source(source, path)
+
+
+def lint_file(path: Path | str, config: LintConfig | None = None) -> list[Finding]:
+    return LintEngine(config).lint_file(path)
+
+
+def lint_paths(paths: Sequence[Path | str], config: LintConfig | None = None) -> list[Finding]:
+    return LintEngine(config).lint_paths(paths)

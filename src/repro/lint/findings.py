@@ -1,0 +1,50 @@
+"""Finding and severity types shared by the engine, rules and CLI."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import asdict, dataclass
+
+
+class Severity(str, enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings break the determinism contract outright (hidden
+    randomness, wall-clock reads, swallowed exceptions); ``WARNING``
+    findings are strong smells that occasionally have legitimate uses and
+    may be suppressed with a justifying comment.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a specific source location.
+
+    Ordering is (path, line, col, rule_id) so reports are stable across
+    runs and platforms — the linter holds itself to the determinism
+    contract it enforces.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    rule_name: str
+    severity: Severity
+    message: str
+
+    def format_text(self) -> str:
+        """``path:line:col: RLxxx [severity] message (rule-name)``."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: {self.rule_id} "
+            f"[{self.severity.value}] {self.message} ({self.rule_name})"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation (severity as its string value)."""
+        data = asdict(self)
+        data["severity"] = self.severity.value
+        return data

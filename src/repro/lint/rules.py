@@ -1,0 +1,418 @@
+"""Concrete determinism & unit-safety rules (RL001–RL008).
+
+Each rule encodes one convention this repository relies on for
+reproducibility.  The docstring of each rule class is its user-facing
+rationale (``python -m repro lint --list-rules`` prints them); docs/LINT.md
+carries worked examples.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.engine import LintContext, Rule, register_rule
+from repro.lint.findings import Severity
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Render ``a.b.c`` from a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> str | None:
+    return dotted_name(node.func)
+
+
+_SET_PRODUCERS = ("set", "frozenset")
+
+
+def is_unordered_expr(node: ast.AST, include_dict_views: bool = False) -> str | None:
+    """If ``node`` evaluates to an unordered collection, say which kind.
+
+    Dict views are insertion-ordered in Python and only hazardous when the
+    *consumer* is order-sensitive (float accumulation, first-match picks),
+    so they are reported only when ``include_dict_views`` is set.
+    """
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "a set"
+    if isinstance(node, ast.Call):
+        name = call_name(node)
+        if name in _SET_PRODUCERS:
+            return f"a {name}()"
+        if (
+            include_dict_views
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("values", "keys", "items")
+            and not node.args
+        ):
+            return f"dict.{node.func.attr}()"
+    return None
+
+
+@register_rule
+class SeededRngRule(Rule):
+    """All randomness must flow through ``make_rng``/``spawn_rng``.
+
+    Direct ``random`` / ``np.random`` use creates streams that are not
+    derived from the experiment seed, so runs stop being reproducible and
+    adding a consumer perturbs every stream created after it.
+    """
+
+    id = "RL001"
+    name = "seeded-rng"
+    severity = Severity.ERROR
+    description = (
+        "direct random/np.random use outside sim/rng.py; "
+        "use repro.sim.rng.make_rng/spawn_rng"
+    )
+    node_types = (ast.Call, ast.Import, ast.ImportFrom)
+
+    _BANNED_PREFIXES = ("random.", "np.random.", "numpy.random.")
+    _BANNED_MODULES = ("random", "numpy.random")
+
+    def check(self, node: ast.AST, ctx: LintContext) -> None:
+        if ctx.matches_any(ctx.config.rng_allowed):
+            return
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name in self._BANNED_MODULES:
+                    ctx.report(
+                        self, node,
+                        f"import of {alias.name!r}: derive streams via "
+                        "repro.sim.rng.make_rng/spawn_rng instead",
+                    )
+            return
+        if isinstance(node, ast.ImportFrom):
+            if node.module in self._BANNED_MODULES:
+                ctx.report(
+                    self, node,
+                    f"import from {node.module!r}: derive streams via "
+                    "repro.sim.rng.make_rng/spawn_rng instead",
+                )
+            return
+        name = call_name(node)
+        if name is None:
+            return
+        if name.startswith(self._BANNED_PREFIXES):
+            ctx.report(
+                self, node,
+                f"call to {name}(): unseeded/raw RNG breaks run-to-run "
+                "reproducibility; use make_rng/spawn_rng from repro.sim.rng",
+            )
+
+
+@register_rule
+class WallClockRule(Rule):
+    """Simulation code must use simulated time, never the wall clock.
+
+    A wall-clock read inside ``sim``/``core``/``apps``/``experiments``
+    couples results to host speed and load — exactly the variability the
+    paper injects on purpose and the simulator must not leak by accident.
+    """
+
+    id = "RL002"
+    name = "wall-clock"
+    severity = Severity.ERROR
+    description = "wall-clock reads (time.time, datetime.now, perf_counter) in simulation packages"
+    node_types = (ast.Call,)
+
+    _BANNED = frozenset(
+        {
+            "time.time",
+            "time.time_ns",
+            "time.monotonic",
+            "time.monotonic_ns",
+            "time.perf_counter",
+            "time.perf_counter_ns",
+            "time.process_time",
+            "time.process_time_ns",
+            "datetime.now",
+            "datetime.today",
+            "datetime.utcnow",
+            "datetime.datetime.now",
+            "datetime.datetime.today",
+            "datetime.datetime.utcnow",
+            "date.today",
+            "datetime.date.today",
+        }
+    )
+
+    def check(self, node: ast.AST, ctx: LintContext) -> None:
+        if not ctx.in_packages(ctx.config.wallclock_packages):
+            return
+        name = call_name(node)
+        if name in self._BANNED:
+            ctx.report(
+                self, node,
+                f"call to {name}(): simulation state must depend only on "
+                "simulated time (sim.now), not the host wall clock",
+            )
+
+
+@register_rule
+class UnorderedIterationRule(Rule):
+    """Scheduling/aggregation must not iterate unordered collections.
+
+    Set iteration order depends on hash seeding and insertion history;
+    feeding it into event scheduling or float accumulation makes results
+    run-order dependent.  Wrap in ``sorted(...)`` to fix.
+    """
+
+    id = "RL003"
+    name = "unordered-iter"
+    severity = Severity.WARNING
+    description = "iteration/aggregation over set()/dict.values() without sorted() in sim/scheduling"
+    node_types = (ast.For, ast.comprehension, ast.Call)
+
+    _AGGREGATORS = ("min", "max", "sum", "any", "all")
+
+    def check(self, node: ast.AST, ctx: LintContext) -> None:
+        if not ctx.in_packages(ctx.config.ordering_packages):
+            return
+        if isinstance(node, (ast.For, ast.comprehension)):
+            kind = is_unordered_expr(node.iter)
+            if kind is not None:
+                ctx.report(
+                    self, node.iter,
+                    f"iterating {kind}: order is not deterministic across "
+                    "runs; wrap in sorted(...) with an explicit key",
+                )
+            return
+        # Aggregator call over an unordered argument.  Dict views count
+        # here: sum() over float .values() accumulates in insertion order,
+        # which silently depends on the population history of the dict.
+        name = call_name(node)
+        if name in self._AGGREGATORS and node.args:
+            kind = is_unordered_expr(node.args[0], include_dict_views=name == "sum")
+            if kind is not None:
+                ctx.report(
+                    self, node,
+                    f"{name}() over {kind}: accumulation order is not "
+                    "deterministic; wrap the argument in sorted(...)",
+                )
+
+
+@register_rule
+class FloatEqualityRule(Rule):
+    """Simulated times/rates are floats; compare with tolerances.
+
+    ``==``/``!=`` against float literals is brittle under accumulation
+    order and optimisation level — use ``math.isclose`` or an explicit
+    epsilon, or restructure to an ordering comparison.
+    """
+
+    id = "RL004"
+    name = "float-equality"
+    severity = Severity.WARNING
+    description = "==/!= comparisons against float literals or time/rate-named values"
+    node_types = (ast.Compare,)
+
+    _TIMEY = (
+        "now", "time", "rate", "bandwidth", "duration", "elapsed",
+        "deadline", "latency", "runtime", "remaining",
+    )
+
+    def _is_float_literal(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+            node = node.operand
+        return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+    def _is_timey_name(self, node: ast.AST) -> bool:
+        name = dotted_name(node)
+        if name is None:
+            return False
+        terminal = name.rsplit(".", 1)[-1].lower()
+        return any(term in terminal for term in self._TIMEY)
+
+    def check(self, node: ast.AST, ctx: LintContext) -> None:
+        if not ctx.in_library:
+            return
+        assert isinstance(node, ast.Compare)
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            pair = (left, right)
+            if any(self._is_float_literal(side) for side in pair) or (
+                any(self._is_timey_name(side) for side in pair)
+                and all(
+                    self._is_timey_name(side) or self._is_float_literal(side)
+                    for side in pair
+                )
+            ):
+                ctx.report(
+                    self, node,
+                    "float equality on a simulated quantity: use "
+                    "math.isclose(a, b) or an ordering comparison",
+                )
+                return
+
+
+@register_rule
+class MagicUnitsRule(Rule):
+    """Byte/second quantities must come from :mod:`repro.units`.
+
+    Raw ``1048576``-style literals hide whether a quantity is binary or
+    decimal, bytes or seconds, and drift from the paper's configuration
+    tables; ``mib()``, ``gib()``, ``MB`` and ``HOUR`` say what they mean.
+    """
+
+    id = "RL005"
+    name = "magic-units"
+    severity = Severity.WARNING
+    description = "raw byte/second literals (1048576, 3600, ...) where units.py helpers exist"
+    node_types = (ast.Constant, ast.BinOp)
+
+    # The table below must spell out the raw literals it teaches people to
+    # avoid, so this file exempts itself from its own rule.
+    # repro-lint: disable=RL005
+    _SUGGESTIONS = {
+        1048576: "mib(1) or units.MB",
+        104857600: "mib(100)",
+        1073741824: "gib(1) or units.GB",
+        1099511627776: "gib(1024)",
+        3600: "units.HOUR",
+        86400: "24 * units.HOUR",
+    }
+
+    def _fold(self, node: ast.AST) -> float | int | None:
+        """Constant-fold numeric literals combined with * and **."""
+        if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+            if isinstance(node.value, bool):
+                return None
+            return node.value
+        if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Mult, ast.Pow)):
+            left, right = self._fold(node.left), self._fold(node.right)
+            if left is None or right is None:
+                return None
+            return left * right if isinstance(node.op, ast.Mult) else left**right
+        return None
+
+    def check(self, node: ast.AST, ctx: LintContext) -> None:
+        if not ctx.in_library or ctx.matches_any(ctx.config.units_allowed):
+            return
+        # Only report the outermost node of a folded expression.
+        parent = ctx.parent(node)
+        if isinstance(parent, ast.BinOp) and self._fold(parent) is not None:
+            return
+        value = self._fold(node)
+        if value is None:
+            return
+        for magic, suggestion in self._SUGGESTIONS.items():
+            if value == magic:
+                ctx.report(
+                    self, node,
+                    f"magic literal {magic}: use {suggestion} from repro.units "
+                    "so the unit and prefix are explicit",
+                )
+                return
+
+
+@register_rule
+class MutableDefaultRule(Rule):
+    """Mutable default arguments are shared across calls.
+
+    A ``[]``/``{}``/``set()`` default is created once at definition time;
+    mutation in one simulation run leaks into the next, which is both a
+    classic bug and a determinism hazard (state depends on call history).
+    """
+
+    id = "RL006"
+    name = "mutable-default"
+    severity = Severity.ERROR
+    description = "mutable default argument ([], {}, set(), ...) shared across calls"
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+    _MUTABLE_CALLS = ("list", "dict", "set", "defaultdict", "collections.defaultdict")
+
+    def _is_mutable(self, node: ast.AST | None) -> bool:
+        if node is None:
+            return False
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        return isinstance(node, ast.Call) and call_name(node) in self._MUTABLE_CALLS
+
+    def check(self, node: ast.AST, ctx: LintContext) -> None:
+        args = node.args
+        for default in [*args.defaults, *args.kw_defaults]:
+            if self._is_mutable(default):
+                where = getattr(node, "name", "<lambda>")
+                ctx.report(
+                    self, default,
+                    f"mutable default in {where}(): evaluated once at def "
+                    "time and shared across calls; use None and create inside",
+                )
+
+
+@register_rule
+class NoPrintRule(Rule):
+    """Library code must not ``print()``.
+
+    Output belongs to the monitoring/export layer or
+    :class:`repro.output.OutputWriter`, so callers can capture, redirect
+    and test it — and so simulations stay silent when embedded.
+    """
+
+    id = "RL007"
+    name = "no-print"
+    severity = Severity.WARNING
+    description = "print() in library code; route output through repro.output / monitoring export"
+    node_types = (ast.Call,)
+
+    def check(self, node: ast.AST, ctx: LintContext) -> None:
+        if not ctx.in_library or ctx.matches_any(ctx.config.print_allowed):
+            return
+        if isinstance(node.func, ast.Name) and node.func.id == "print":
+            ctx.report(
+                self, node,
+                "print() in library code: use repro.output.OutputWriter or "
+                "the monitoring export layer",
+            )
+
+
+@register_rule
+class SilentExceptRule(Rule):
+    """Simulation errors must never vanish.
+
+    A bare ``except:`` (or a handler that only ``pass``es) can hide
+    :class:`~repro.errors.SimulationError` and even ``KeyboardInterrupt``,
+    turning a corrupted run into a silently wrong figure.
+    """
+
+    id = "RL008"
+    name = "silent-except"
+    severity = Severity.ERROR
+    description = "bare except: or exception handler that swallows errors in sim/runtime"
+    node_types = (ast.ExceptHandler,)
+
+    def _swallows(self, handler: ast.ExceptHandler) -> bool:
+        return all(
+            isinstance(stmt, ast.Pass)
+            or (isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant))
+            or isinstance(stmt, ast.Continue)
+            for stmt in handler.body
+        )
+
+    def check(self, node: ast.AST, ctx: LintContext) -> None:
+        if not ctx.in_packages(ctx.config.except_packages):
+            return
+        assert isinstance(node, ast.ExceptHandler)
+        if node.type is None:
+            ctx.report(
+                self, node,
+                "bare except: catches SystemExit/KeyboardInterrupt and hides "
+                "simulation failures; name the exception types",
+            )
+        elif self._swallows(node):
+            ctx.report(
+                self, node,
+                "exception handler swallows the error; re-raise, record it, "
+                "or narrow the handled types",
+            )

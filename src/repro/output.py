@@ -1,0 +1,50 @@
+"""Structured text output for CLI-facing code.
+
+Library modules must not call ``print()`` (lint rule RL007): embedding a
+simulation inside a service or a test must stay silent unless the caller
+asks for output.  :class:`OutputWriter` is the sanctioned sink — a thin
+wrapper over a stream that resolves ``sys.stdout`` lazily, so pytest's
+``capsys`` and callers that rebind ``sys.stdout`` keep working.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO, Iterable, Sequence
+
+
+class OutputWriter:
+    """Line-oriented writer for human-facing CLI output.
+
+    ``stream=None`` (the default) resolves ``sys.stdout`` at write time
+    rather than construction time; pass an explicit stream (e.g.
+    ``io.StringIO``) to capture output programmatically.
+    """
+
+    def __init__(self, stream: IO[str] | None = None):
+        self._stream = stream
+
+    @property
+    def stream(self) -> IO[str]:
+        return self._stream if self._stream is not None else sys.stdout
+
+    def line(self, text: str = "") -> None:
+        """Write one line (a trailing newline is added)."""
+        self.stream.write(f"{text}\n")
+
+    def lines(self, rows: Iterable[str]) -> None:
+        for row in rows:
+            self.line(row)
+
+    def table(
+        self,
+        header: Sequence[str],
+        rows: Iterable[Sequence[str]],
+        widths: Sequence[int],
+        align: str = "<",
+    ) -> None:
+        """Fixed-width table: first column left-aligned, the rest ``align``."""
+        specs = [f"{{:{'<' if i == 0 else align}{w}s}}" for i, w in enumerate(widths)]
+        self.line(" ".join(spec.format(cell) for spec, cell in zip(specs, header)))
+        for row in rows:
+            self.line(" ".join(spec.format(cell) for spec, cell in zip(specs, row)))

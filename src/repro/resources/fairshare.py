@@ -51,22 +51,24 @@ def max_min_fair_share(capacity: float, demands: Sequence[float]) -> list[float]
     n = arr.size
     if n == 0:
         return []
+    total = float(arr.sum())
+    if total <= capacity:
+        return [float(d) for d in arr]
+    # Sorted waterfilling: visit demands in ascending order; a demand that
+    # fits under the current equal share is granted fully, and the first
+    # one that does not caps itself and everyone after it at the share.
+    # Exact in one pass — no tolerance thresholds, so the invariants hold
+    # at any magnitude (the iterative variant drifted at ~1e12 scales).
     grants = np.zeros(n)
-    remaining = capacity
-    unsatisfied = arr > 0
-    # Progressive filling terminates in <= n rounds because every round
-    # satisfies at least one demand (or exhausts capacity).
-    while remaining > 0 and np.any(unsatisfied):
-        share = remaining / int(np.count_nonzero(unsatisfied))
-        need = arr[unsatisfied] - grants[unsatisfied]
-        take = np.minimum(need, share)
-        grants[unsatisfied] += take
-        remaining -= float(take.sum())
-        newly_satisfied = grants >= arr - 1e-12
-        if np.array_equal(newly_satisfied & unsatisfied, unsatisfied) and share > 0:
-            break  # everyone satisfied
-        unsatisfied &= ~newly_satisfied
-        if remaining <= 1e-12:
+    remaining = float(capacity)
+    order = np.argsort(arr, kind="stable")
+    for pos, i in enumerate(order):
+        level = remaining / (n - pos)
+        if arr[i] <= level:
+            grants[i] = arr[i]
+            remaining -= float(arr[i])
+        else:
+            grants[order[pos:]] = level
             break
     return [float(g) for g in grants]
 
@@ -75,7 +77,9 @@ def proportional_share(capacity: float, demands: Sequence[float]) -> list[float]
     """Split ``capacity`` proportionally to demand (capped at the demand)."""
     arr = _validate(capacity, demands)
     total = float(arr.sum())
-    if total <= capacity or total == 0.0:
+    # total == 0 implies total <= capacity (both validated non-negative),
+    # so the all-satisfied branch also covers the no-demand case.
+    if total <= capacity:
         return [float(d) for d in arr]
     grants = arr * (capacity / total)
     return [float(g) for g in np.minimum(grants, arr)]

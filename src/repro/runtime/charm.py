@@ -20,6 +20,7 @@ from repro.errors import ConfigError
 from repro.mpi.comm import Barrier
 from repro.runtime.loadbalancers import LoadBalancer, WorkObject
 from repro.sim.process import Body, Segment, SimProcess
+from repro.units import MB
 
 
 @dataclass(frozen=True)
@@ -127,7 +128,7 @@ class CharmRuntime:
             work=work,
             cpu=1.0,
             ips=2.0e9,
-            cache_footprint={"L3": 1 * 1024 * 1024},
+            cache_footprint={"L3": MB},
             cache_intensity=1.0,
             mpki_base=1.0,
             mpki_extra=5.0,

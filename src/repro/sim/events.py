@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -46,7 +47,7 @@ class EventQueue:
 
     def push(self, time: float, action: Callable[[], None]) -> Event:
         """Schedule ``action`` at ``time`` and return a cancellable handle."""
-        if time != time:  # NaN guard
+        if math.isnan(time):
             raise SimulationError("event time is NaN")
         event = Event(time=time, seq=next(self._counter), action=action)
         heapq.heappush(self._heap, event)

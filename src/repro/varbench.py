@@ -11,7 +11,8 @@ anomalies can be characterised by the variability they induce::
         anomaly_factory=lambda: make_anomaly("cachecopy"),
         repetitions=10,
     )
-    print(report.coefficient_of_variation)
+    report.write()              # summary via repro.output.OutputWriter
+    cov = report.coefficient_of_variation
 
 Repetitions differ through the application's per-rank jitter stream (a
 fresh seed per repetition) and, when an anomaly factory is given, through
@@ -30,6 +31,7 @@ from repro.apps import AppJob, get_app
 from repro.cluster import Cluster
 from repro.core.anomaly import Anomaly
 from repro.errors import ConfigError
+from repro.output import OutputWriter
 from repro.sim.rng import spawn_rng
 
 
@@ -63,6 +65,20 @@ class VariabilityReport:
 
     def percentile(self, q: float) -> float:
         return float(np.percentile(self.runtimes, q))
+
+    def describe(self) -> list[str]:
+        """Human-readable summary lines (Varbench's report shape)."""
+        return [
+            f"app={self.app} anomaly={self.anomaly} reps={len(self.runtimes)}",
+            f"mean={self.mean:.3f}s std={self.std:.3f}s "
+            f"CoV={self.coefficient_of_variation:.4f} spread={self.spread:.4f}",
+            f"p05={self.percentile(5):.3f}s p50={self.percentile(50):.3f}s "
+            f"p95={self.percentile(95):.3f}s",
+        ]
+
+    def write(self, writer: OutputWriter | None = None) -> None:
+        """Emit :meth:`describe` through the sanctioned output layer."""
+        (writer or OutputWriter()).lines(self.describe())
 
     @classmethod
     def measure(

@@ -10,11 +10,12 @@ from repro.analytics.diagnosis import (
     default_models,
 )
 from repro.errors import ConfigError
+from repro.sim.rng import make_rng
 
 
 def synthetic_runs(n_per_class=4, t=60, m=3, seed=0):
     """Runs whose first metric encodes the class (plus noise)."""
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     runs = []
     for ci, label in enumerate(("none", "memleak", "cpuoccupy")):
         for r in range(n_per_class):

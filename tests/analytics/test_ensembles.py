@@ -7,10 +7,11 @@ from repro.analytics.adaboost import AdaBoostClassifier
 from repro.analytics.forest import RandomForestClassifier
 from repro.analytics.tree import DecisionTreeClassifier
 from repro.errors import ConfigError
+from repro.sim.rng import make_rng
 
 
 def noisy_blobs(n=120, noise=1.2, seed=0):
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     X = np.vstack(
         [rng.normal(loc=c * 2.0, scale=noise, size=(n // 3, 4)) for c in range(3)]
     )
@@ -63,7 +64,7 @@ class TestAdaBoost:
         assert len(boosted.learners_) < 50
 
     def test_single_class_degenerate(self):
-        X = np.random.default_rng(0).random((10, 2))
+        X = make_rng(0).random((10, 2))
         y = np.zeros(10)
         boosted = AdaBoostClassifier(n_estimators=5).fit(X, y)
         assert np.all(boosted.predict(X) == 0)

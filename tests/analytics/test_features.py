@@ -12,11 +12,12 @@ from repro.analytics.features import (
     windows,
 )
 from repro.errors import ConfigError
+from repro.sim.rng import make_rng
 
 
 class TestExtractFeatures:
     def test_feature_count(self):
-        window = np.random.default_rng(0).random((30, 4))
+        window = make_rng(0).random((30, 4))
         feats = extract_features(window)
         assert feats.shape == (4 * len(STAT_NAMES),)
 
@@ -81,7 +82,7 @@ class TestWindows:
     m=st.integers(min_value=1, max_value=6),
 )
 def test_features_always_finite(t, m):
-    rng = np.random.default_rng(t * 100 + m)
+    rng = make_rng(t * 100 + m)
     feats = extract_features(rng.normal(size=(t, m)) * 1e9)
     assert feats.shape == (m * 11,)
     assert np.all(np.isfinite(feats))

@@ -6,11 +6,12 @@ import pytest
 from repro.analytics.forest import RandomForestClassifier
 from repro.analytics.tree import DecisionTreeClassifier
 from repro.errors import ConfigError
+from repro.sim.rng import make_rng
 
 
 def informative_data(n=120, seed=0):
     """Feature 0 carries the label; features 1-3 are noise."""
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     y = rng.integers(0, 2, n)
     X = rng.normal(size=(n, 4))
     X[:, 0] += 5.0 * y

@@ -11,6 +11,7 @@ from repro.analytics.metrics import (
     normalized_confusion,
 )
 from repro.errors import ConfigError
+from repro.sim.rng import make_rng
 
 
 class TestConfusionMatrix:
@@ -104,7 +105,7 @@ class TestStratifiedKFold:
 
 class TestCrossValPredict:
     def test_every_sample_predicted(self):
-        rng = np.random.default_rng(0)
+        rng = make_rng(0)
         X = np.vstack(
             [rng.normal(0, 0.3, (15, 2)), rng.normal(4, 0.3, (15, 2))]
         )

@@ -6,6 +6,7 @@ import pytest
 from repro.analytics.online import OnlineDiagnoser
 from repro.analytics.tree import DecisionTreeClassifier
 from repro.errors import ConfigError
+from repro.sim.rng import make_rng
 
 
 class StepModel:
@@ -77,7 +78,7 @@ class TestEvaluate:
         assert report.detection_latency is None
 
     def test_with_real_tree(self):
-        rng = np.random.default_rng(0)
+        rng = make_rng(0)
         X = np.vstack([rng.normal(0, 0.2, (30, 22)), rng.normal(8, 0.2, (30, 22))])
         y = np.array(["none"] * 30 + ["hot"] * 30)
         tree = DecisionTreeClassifier(max_depth=3).fit(X, y)

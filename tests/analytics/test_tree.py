@@ -7,11 +7,12 @@ from hypothesis import strategies as st
 
 from repro.analytics.tree import DecisionTreeClassifier
 from repro.errors import ConfigError
+from repro.sim.rng import make_rng
 
 
 def blobs(n=60, seed=0):
     """Two well-separated Gaussian blobs."""
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     x0 = rng.normal(loc=0.0, scale=0.5, size=(n // 2, 3))
     x1 = rng.normal(loc=5.0, scale=0.5, size=(n // 2, 3))
     X = np.vstack([x0, x1])
@@ -26,7 +27,7 @@ class TestFitPredict:
         assert np.all(tree.predict(X) == y)
 
     def test_three_classes(self):
-        rng = np.random.default_rng(1)
+        rng = make_rng(1)
         X = np.vstack(
             [rng.normal(loc=c * 4, scale=0.3, size=(20, 2)) for c in range(3)]
         )

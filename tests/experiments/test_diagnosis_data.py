@@ -10,6 +10,7 @@ from repro.experiments.diagnosis_data import (
     build_dataset,
     generate_runs,
 )
+from repro.sim.rng import make_rng
 
 
 def test_place_rejects_unknown_label():
@@ -42,7 +43,7 @@ def test_trim_shortens_series():
 
 
 def test_build_dataset_from_monitored_runs():
-    rng = np.random.default_rng(0)
+    rng = make_rng(0)
     runs = [
         MonitoredRun(
             app="a",

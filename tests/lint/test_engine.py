@@ -1,0 +1,137 @@
+"""Engine behaviours: suppressions, config, parse errors, path walking."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.lint import LintConfig, LintEngine, lint_source, load_config
+from repro.lint.config import find_pyproject
+from repro.lint.engine import PARSE_ERROR_ID
+from repro.lint.findings import Severity
+
+SIM_PATH = "src/repro/sim/example.py"
+
+VIOLATION = "import numpy as np\nr = np.random.default_rng(3)\n"
+
+
+class TestSuppressions:
+    def test_trailing_comment_suppresses_line(self):
+        src = "import numpy as np\nr = np.random.default_rng(3)  # repro-lint: disable=RL001\n"
+        assert lint_source(src, SIM_PATH) == []
+
+    def test_trailing_comment_is_line_scoped(self):
+        src = (
+            "import numpy as np\n"
+            "a = np.random.default_rng(1)  # repro-lint: disable=RL001\n"
+            "b = np.random.default_rng(2)\n"
+        )
+        findings = lint_source(src, SIM_PATH)
+        assert [f.line for f in findings] == [3]
+
+    def test_own_line_comment_suppresses_file(self):
+        src = "# repro-lint: disable=RL001\n" + VIOLATION
+        assert lint_source(src, SIM_PATH) == []
+
+    def test_own_line_comment_anywhere_in_file(self):
+        src = VIOLATION + "x = 1\n# repro-lint: disable=RL001\n"
+        assert lint_source(src, SIM_PATH) == []
+
+    def test_disable_all(self):
+        src = "print(1)  # repro-lint: disable=all\n"
+        assert lint_source(src, SIM_PATH) == []
+
+    def test_comma_separated_rules(self):
+        src = "# repro-lint: disable=RL001, RL007\n" + VIOLATION + "print(1)\n"
+        assert lint_source(src, SIM_PATH) == []
+
+    def test_unrelated_rule_not_suppressed(self):
+        src = "# repro-lint: disable=RL007\n" + VIOLATION
+        assert [f.rule_id for f in lint_source(src, SIM_PATH)] == ["RL001"]
+
+
+class TestConfig:
+    def test_disable_drops_rule(self):
+        config = LintConfig(disable=("RL001",))
+        assert lint_source(VIOLATION, SIM_PATH, config) == []
+
+    def test_scoping_follows_config(self):
+        src = "import time\nt = time.time()\n"
+        flagged = LintConfig(wallclock_packages=("sim",))
+        unflagged = LintConfig(wallclock_packages=("core",))
+        assert lint_source(src, SIM_PATH, flagged) != []
+        assert lint_source(src, SIM_PATH, unflagged) == []
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigError, match="unknown"):
+            LintConfig.from_mapping({"wallclock-pkgs": ["sim"]})
+
+    def test_non_list_value_rejected(self):
+        with pytest.raises(ConfigError, match="list of strings"):
+            LintConfig.from_mapping({"disable": "RL001"})
+
+    def test_dashes_map_to_underscores(self):
+        config = LintConfig.from_mapping({"rng-allowed": ["x.py"], "disable": ["RL005"]})
+        assert config.rng_allowed == ("x.py",)
+        assert config.is_disabled("RL005")
+
+    def test_load_config_from_tree(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.repro-lint]\ndisable = ['RL004']\n"
+        )
+        nested = tmp_path / "pkg" / "sub"
+        nested.mkdir(parents=True)
+        config = load_config(nested)
+        assert config.disable == ("RL004",)
+
+    def test_load_config_defaults_without_table(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text("[project]\nname = 'x'\n")
+        assert load_config(tmp_path) == LintConfig()
+
+    def test_invalid_toml_rejected(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text("[tool.repro-lint\n")
+        with pytest.raises(ConfigError, match="invalid TOML"):
+            load_config(tmp_path)
+
+    def test_find_pyproject_missing(self, tmp_path):
+        assert find_pyproject(tmp_path) is None
+
+    def test_repo_config_names_only_known_keys(self):
+        # The committed [tool.repro-lint] table must load cleanly.
+        config = load_config(".")
+        assert "sim" in config.wallclock_packages
+
+
+class TestParseErrors:
+    def test_syntax_error_becomes_finding(self):
+        findings = lint_source("def broken(:\n", SIM_PATH)
+        assert len(findings) == 1
+        assert findings[0].rule_id == PARSE_ERROR_ID
+        assert findings[0].severity is Severity.ERROR
+
+
+class TestPathWalking:
+    def test_directory_walk_sorted_and_recursive(self, tmp_path):
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "b.py").write_text("x = 1\n")
+        (tmp_path / "sub" / "a.py").write_text("y = 2\n")
+        files = LintEngine.iter_files([tmp_path])
+        assert files == sorted(files)
+        assert {f.name for f in files} == {"a.py", "b.py"}
+
+    def test_duplicate_paths_deduplicated(self, tmp_path):
+        target = tmp_path / "a.py"
+        target.write_text("x = 1\n")
+        assert LintEngine.iter_files([target, tmp_path]) == [target]
+
+    def test_missing_path_rejected(self, tmp_path):
+        with pytest.raises(ConfigError, match="no such file"):
+            LintEngine.iter_files([tmp_path / "nope.py"])
+
+    def test_findings_sorted_deterministically(self, tmp_path):
+        src = "print(2)\nimport numpy as np\nnp.random.seed(0)\n"
+        target = tmp_path / "src" / "repro" / "sim"
+        target.mkdir(parents=True)
+        (target / "m.py").write_text(src)
+        engine = LintEngine(LintConfig())
+        findings = engine.lint_paths([tmp_path])
+        assert findings == sorted(findings)
+        assert [f.rule_id for f in findings] == ["RL007", "RL001"]  # line order

@@ -1,0 +1,217 @@
+"""Per-rule fixtures: every rule has at least one positive and one negative.
+
+Fixtures are linted under synthetic in-tree paths (``src/repro/sim/...``)
+so package scoping behaves exactly as it does on the real tree.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.lint import LintConfig, lint_source
+
+SIM_PATH = "src/repro/sim/example.py"
+SCHED_PATH = "src/repro/scheduling/example.py"
+ANALYTICS_PATH = "src/repro/analytics/example.py"
+TEST_PATH = "tests/sim/test_example.py"
+
+
+def ids_for(source: str, path: str = SIM_PATH) -> list[str]:
+    findings = lint_source(textwrap.dedent(source), path, LintConfig())
+    return [f.rule_id for f in findings]
+
+
+class TestRL001SeededRng:
+    def test_flags_np_default_rng(self):
+        assert "RL001" in ids_for("import numpy as np\nr = np.random.default_rng(3)\n")
+
+    def test_flags_np_random_seed(self):
+        assert "RL001" in ids_for("import numpy as np\nnp.random.seed(0)\n")
+
+    def test_flags_stdlib_random_import(self):
+        assert "RL001" in ids_for("import random\n")
+
+    def test_flags_from_numpy_random_import(self):
+        assert "RL001" in ids_for("from numpy.random import default_rng\n")
+
+    def test_flags_in_tests_too(self):
+        assert "RL001" in ids_for(
+            "import numpy as np\nr = np.random.default_rng(0)\n", path=TEST_PATH
+        )
+
+    def test_allows_make_rng(self):
+        assert ids_for(
+            "from repro.sim.rng import make_rng\nr = make_rng(3)\nx = r.random()\n"
+        ) == []
+
+    def test_allows_generator_methods(self):
+        # rng.random() is a method on a seeded Generator, not module-level.
+        assert ids_for("def f(rng):\n    return rng.random(10)\n") == []
+
+    def test_rng_module_itself_exempt(self):
+        src = "import numpy as np\nr = np.random.default_rng(1)\n"
+        assert lint_source(src, "src/repro/sim/rng.py", LintConfig()) == []
+
+
+class TestRL002WallClock:
+    def test_flags_time_time_in_sim(self):
+        assert "RL002" in ids_for("import time\nt = time.time()\n")
+
+    def test_flags_perf_counter_in_core(self):
+        assert "RL002" in ids_for(
+            "import time\nt = time.perf_counter()\n", path="src/repro/core/example.py"
+        )
+
+    def test_flags_datetime_now(self):
+        assert "RL002" in ids_for(
+            "from datetime import datetime\nt = datetime.now()\n"
+        )
+
+    def test_outside_scoped_packages_ok(self):
+        assert ids_for("import time\nt = time.time()\n", path=ANALYTICS_PATH) == []
+
+    def test_sleep_is_not_a_clock_read(self):
+        assert ids_for("import time\ntime.sleep(0)\n") == []
+
+
+class TestRL003UnorderedIteration:
+    def test_flags_for_over_set_literal(self):
+        assert "RL003" in ids_for("for x in {1, 2, 3}:\n    pass\n")
+
+    def test_flags_for_over_set_call(self):
+        assert "RL003" in ids_for("for x in set([1, 2]):\n    x\n", path=SCHED_PATH)
+
+    def test_flags_comprehension_over_set(self):
+        assert "RL003" in ids_for("out = [x for x in {1, 2}]\n")
+
+    def test_flags_sum_over_dict_values(self):
+        assert "RL003" in ids_for("def f(d):\n    return sum(d.values())\n")
+
+    def test_sorted_wrapper_ok(self):
+        assert ids_for("for x in sorted({1, 2}):\n    x\n") == []
+
+    def test_plain_dict_iteration_ok(self):
+        # Dict views are insertion-ordered; only order-sensitive
+        # accumulation over them is flagged.
+        assert ids_for("def f(d):\n    for v in d.values():\n        v\n") == []
+
+    def test_outside_scoped_packages_ok(self):
+        assert ids_for("for x in {1, 2}:\n    pass\n", path=ANALYTICS_PATH) == []
+
+
+class TestRL004FloatEquality:
+    def test_flags_float_literal_eq(self):
+        assert "RL004" in ids_for("def f(x):\n    return x == 1.5\n")
+
+    def test_flags_timey_name_neq(self):
+        assert "RL004" in ids_for("def f(a, b):\n    return a.now != b.deadline\n")
+
+    def test_int_literal_ok(self):
+        assert ids_for("def f(x):\n    return x == 3\n") == []
+
+    def test_ordering_comparison_ok(self):
+        assert ids_for("def f(t):\n    return t >= 1.5\n") == []
+
+    def test_string_equality_ok(self):
+        assert ids_for("def f(s):\n    return s == 'rate'\n") == []
+
+
+class TestRL005MagicUnits:
+    def test_flags_mib_literal(self):
+        assert "RL005" in ids_for("SIZE = 1048576\n")
+
+    def test_flags_folded_product(self):
+        assert "RL005" in ids_for("SIZE = 1024 * 1024\n")
+
+    def test_flags_hour_literal(self):
+        assert "RL005" in ids_for("TIMEOUT = 3600\n")
+
+    def test_reports_outermost_only(self):
+        ids = ids_for("SIZE = 1 * 1024 * 1024\n")
+        assert ids == ["RL005"]
+
+    def test_units_helpers_ok(self):
+        assert ids_for(
+            "from repro.units import MB, HOUR\nSIZE = MB\nTIMEOUT = HOUR\n"
+        ) == []
+
+    def test_units_module_exempt(self):
+        assert lint_source("HOUR = 3600.0\n", "src/repro/units.py", LintConfig()) == []
+
+    def test_non_library_code_ok(self):
+        assert ids_for("SIZE = 1048576\n", path=TEST_PATH) == []
+
+
+class TestRL006MutableDefault:
+    def test_flags_list_default(self):
+        assert "RL006" in ids_for("def f(items=[]):\n    return items\n")
+
+    def test_flags_dict_default(self):
+        assert "RL006" in ids_for("def f(table={}):\n    return table\n")
+
+    def test_flags_set_call_default(self):
+        assert "RL006" in ids_for("def f(seen=set()):\n    return seen\n")
+
+    def test_flags_kwonly_default(self):
+        assert "RL006" in ids_for("def f(*, items=[]):\n    return items\n")
+
+    def test_none_default_ok(self):
+        assert ids_for("def f(items=None):\n    return items or []\n") == []
+
+    def test_tuple_default_ok(self):
+        assert ids_for("def f(items=()):\n    return items\n") == []
+
+
+class TestRL007NoPrint:
+    def test_flags_print_in_library(self):
+        assert "RL007" in ids_for("def f():\n    print('hi')\n")
+
+    def test_docstring_mention_ok(self):
+        assert ids_for('def f():\n    """call print(x) yourself"""\n') == []
+
+    def test_output_writer_ok(self):
+        assert ids_for(
+            "from repro.output import OutputWriter\n"
+            "def f():\n    OutputWriter().line('hi')\n"
+        ) == []
+
+    def test_non_library_code_ok(self):
+        assert ids_for("print('scratch')\n", path="benchmarks/scratch.py") == []
+
+
+class TestRL008SilentExcept:
+    def test_flags_bare_except(self):
+        assert "RL008" in ids_for(
+            "def f():\n    try:\n        g()\n    except:\n        raise\n"
+        )
+
+    def test_flags_swallowed_exception(self):
+        assert "RL008" in ids_for(
+            "def f():\n    try:\n        g()\n    except ValueError:\n        pass\n"
+        )
+
+    def test_handled_exception_ok(self):
+        assert ids_for(
+            "def f(log):\n    try:\n        g()\n"
+            "    except ValueError as exc:\n        log.append(exc)\n"
+        ) == []
+
+    def test_reraise_ok(self):
+        assert ids_for(
+            "def f():\n    try:\n        g()\n    except ValueError:\n        raise\n"
+        ) == []
+
+    def test_outside_scoped_packages_ok(self):
+        assert ids_for(
+            "def f():\n    try:\n        g()\n    except ValueError:\n        pass\n",
+            path=ANALYTICS_PATH,
+        ) == []
+
+
+@pytest.mark.parametrize("rule_id", [f"RL00{i}" for i in range(1, 9)])
+def test_every_rule_registered(rule_id):
+    from repro.lint import RULE_REGISTRY
+
+    assert rule_id in RULE_REGISTRY
+    cls = RULE_REGISTRY[rule_id]
+    assert cls.name and cls.description and cls.__doc__

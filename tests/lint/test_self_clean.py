@@ -1,0 +1,27 @@
+"""The determinism contract holds on the tree itself.
+
+This is the CI gate in test form: the committed source (and the tests,
+which the workflow also lints) must produce zero findings under the
+committed ``[tool.repro-lint]`` configuration.
+"""
+
+from pathlib import Path
+
+from repro.lint import LintEngine, load_config
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _lint(path: Path):
+    engine = LintEngine(load_config(REPO_ROOT))
+    return engine.lint_paths([path])
+
+
+def test_src_tree_is_clean():
+    findings = _lint(REPO_ROOT / "src")
+    assert findings == [], "\n".join(f.format_text() for f in findings)
+
+
+def test_test_tree_is_clean():
+    findings = _lint(REPO_ROOT / "tests")
+    assert findings == [], "\n".join(f.format_text() for f in findings)
