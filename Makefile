@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: lint test check benchmarks
+.PHONY: lint test check benchmarks bench-core
 
 lint:
 	$(PYTHON) -m repro lint src/ tests/
@@ -15,3 +15,9 @@ check: lint test
 
 benchmarks:
 	$(PYTHON) -m pytest benchmarks/ -q
+
+# Core perf microbenchmarks; compares against the committed baseline and
+# fails on a >2x throughput regression (see docs/PERFORMANCE.md).
+bench-core:
+	$(PYTHON) benchmarks/perf/bench_core.py \
+		--baseline BENCH_core.json --output BENCH_core.new.json

@@ -1,0 +1,245 @@
+#!/usr/bin/env python
+"""Core performance microbenchmarks (``make bench-core``).
+
+Three benchmarks exercise the engine's hot paths and write their numbers
+to ``BENCH_core.json`` (committed at the repo root as the regression
+baseline):
+
+``engine_throughput``
+    Raw event-dispatch rate: many short segments under the trivial
+    :class:`~repro.sim.engine.UnitRateModel`, reported as events/s.
+
+``resolve_heavy``
+    The contention scenario the incremental resolver targets: miniMD at
+    8 ranks/node on 4 of 16 Voltrino nodes with CPU, memory-bandwidth
+    and network anomalies plus 1 Hz monitoring.  Run twice — with the
+    incremental resolver disabled and enabled — asserting identical
+    simulated results and non-trivial reuse counters, reporting wall
+    time and speedup.
+
+``figure_end_to_end``
+    One small end-to-end figure (the Varbench-style variability
+    extension) timing the full stack: apps, anomalies, sweep runner,
+    report rendering.
+
+Compare mode (the CI gate)::
+
+    python benchmarks/perf/bench_core.py --baseline BENCH_core.json \
+        --max-regression 2.0
+
+fails with exit 1 if any benchmark's throughput metric regressed by more
+than the given factor against the baseline file.  Timings move with host
+load, so the gate is deliberately loose — it catches algorithmic
+regressions (the O(n^2) kind), not percent-level drift.
+
+This is host-facing measurement code, so wall-clock reads are expected
+here (``benchmarks/`` is outside the linter's simulation packages).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+# Metric per benchmark used by the regression gate: higher is better.
+THROUGHPUT_METRICS = {
+    "engine_throughput": "events_per_s",
+    "resolve_heavy": "runs_per_s",
+    "figure_end_to_end": "runs_per_s",
+}
+
+SCHEMA = 1
+
+
+def bench_engine_throughput(repeat: int) -> dict:
+    """Event-dispatch rate for rate-trivial workloads (best of ``repeat``)."""
+    from repro.sim.engine import Simulator, UnitRateModel
+    from repro.sim.process import Segment, SimProcess
+
+    n_procs, n_segments = 50, 200
+
+    def body(proc):
+        for i in range(n_segments):
+            yield Segment(work=1.0 + (i % 7) * 0.25)
+
+    best = None
+    events = 0
+    for _ in range(repeat):
+        sim = Simulator(UnitRateModel())
+        for p in range(n_procs):
+            sim.spawn(
+                SimProcess(
+                    name=f"p{p}", body=body, node=f"node{p % 8}", core=p % 16
+                )
+            )
+        t0 = time.perf_counter()
+        sim.run()
+        elapsed = time.perf_counter() - t0
+        events = sim.stats.counters["events_dispatched"]
+        best = elapsed if best is None else min(best, elapsed)
+    return {
+        "events": events,
+        "seconds": round(best, 4),
+        "events_per_s": round(events / best, 1),
+    }
+
+
+def _resolve_heavy_run(incremental: bool) -> tuple[float, float, dict]:
+    """One contention run; returns (wall seconds, app runtime, counters)."""
+    from repro.apps import AppJob, get_app
+    from repro.cluster import Cluster
+    from repro.core import CpuOccupy, MemBw, NetOccupy
+    from repro.monitoring import MetricService
+
+    cluster = Cluster.voltrino(num_nodes=16)
+    cluster.model.incremental = incremental
+    service = MetricService(cluster)
+    service.attach(end=1e6)
+    app = get_app("miniMD").scaled(iterations=60)
+    job = AppJob(app, cluster, nodes=[0, 1, 2, 3], ranks_per_node=8, seed=7)
+    job.launch()
+    CpuOccupy(utilization=100).launch(cluster, "node0", core=0)
+    MemBw().launch(cluster, "node0", core=4)
+    MemBw().launch(cluster, "node0", core=5)
+    NetOccupy.launch_pair(cluster, src="node1", dst="node5", ranks=4)
+    t0 = time.perf_counter()
+    runtime = job.run(timeout=1e7)
+    elapsed = time.perf_counter() - t0
+    return elapsed, runtime, dict(cluster.sim.stats.as_dict())
+
+
+def bench_resolve_heavy(repeat: int) -> dict:
+    """Incremental-resolver speedup on the mixed-anomaly scenario."""
+    full_s = incr_s = None
+    for _ in range(repeat):
+        elapsed_full, runtime_full, _ = _resolve_heavy_run(incremental=False)
+        elapsed_incr, runtime_incr, counters = _resolve_heavy_run(incremental=True)
+        if runtime_full != runtime_incr:
+            raise AssertionError(
+                "incremental resolve changed simulated results: "
+                f"{runtime_incr!r} != {runtime_full!r}"
+            )
+        full_s = elapsed_full if full_s is None else min(full_s, elapsed_full)
+        incr_s = elapsed_incr if incr_s is None else min(incr_s, elapsed_incr)
+    for counter in ("nodes_reused", "flow_memo_hits", "reschedules_skipped"):
+        if counters.get(counter, 0) <= 0:
+            raise AssertionError(
+                f"incremental resolve did no work-avoidance: {counter} == 0"
+            )
+    return {
+        "app_runtime_simulated_s": runtime_incr,
+        "seconds_full": round(full_s, 4),
+        "seconds_incremental": round(incr_s, 4),
+        "speedup": round(full_s / incr_s, 2),
+        "runs_per_s": round(1.0 / incr_s, 3),
+        "counters": {
+            key: value
+            for key, value in sorted(counters.items())
+            if not key.startswith("t_")
+        },
+    }
+
+
+def bench_figure_end_to_end(repeat: int) -> dict:
+    """One small figure through the full stack (apps + sweep + render)."""
+    from repro.experiments.ext_variability import run_ext_variability
+
+    best = None
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        result = run_ext_variability(
+            app_name="miniMD",
+            repetitions=4,
+            iterations=10,
+            anomalies=("none", "membw"),
+        )
+        elapsed = time.perf_counter() - t0
+        best = elapsed if best is None else min(best, elapsed)
+    # A figure that renders to nothing is a broken benchmark, not a fast one.
+    if not result.render().strip():
+        raise AssertionError("figure produced empty output")
+    return {"seconds": round(best, 4), "runs_per_s": round(1.0 / best, 3)}
+
+
+def run_benchmarks(repeat: int) -> dict:
+    return {
+        "schema": SCHEMA,
+        "benchmarks": {
+            "engine_throughput": bench_engine_throughput(repeat),
+            "resolve_heavy": bench_resolve_heavy(repeat),
+            "figure_end_to_end": bench_figure_end_to_end(repeat),
+        },
+    }
+
+
+def check_regressions(current: dict, baseline: dict, max_regression: float) -> list[str]:
+    """Names of benchmarks whose throughput regressed beyond the factor."""
+    failures = []
+    for name, metric in THROUGHPUT_METRICS.items():
+        base = baseline.get("benchmarks", {}).get(name, {}).get(metric)
+        now = current["benchmarks"].get(name, {}).get(metric)
+        if base is None or now is None:
+            continue
+        if now * max_regression < base:
+            failures.append(
+                f"{name}: {metric} {now} vs baseline {base} "
+                f"(>{max_regression}x regression)"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path("BENCH_core.json"),
+        help="where to write the results JSON (default BENCH_core.json)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline JSON to compare against (enables the regression gate)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=2.0,
+        help="allowed slowdown factor vs the baseline (default 2.0)",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=2,
+        help="repetitions per benchmark; best time wins (default 2)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = None
+    if args.baseline is not None:
+        baseline = json.loads(args.baseline.read_text())
+
+    results = run_benchmarks(repeat=max(1, args.repeat))
+    args.output.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+
+    for name, numbers in results["benchmarks"].items():
+        metric = THROUGHPUT_METRICS[name]
+        print(f"{name}: {metric} = {numbers[metric]}")
+    print(f"wrote {args.output}")
+
+    if baseline is not None:
+        failures = check_regressions(results, baseline, args.max_regression)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION {failure}", file=sys.stderr)
+            return 1
+        print(f"regression gate passed (max {args.max_regression}x vs baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,13 +4,18 @@ The original suite ships binaries like ``hpas cpuoccupy -u 80``.  This
 module provides the same surface against the simulated substrate::
 
     python -m repro cpuoccupy -u 80 -d 60 --node node0 --core 0
-    python -m repro cachecopy -c L3 --with-app miniGhost --report
+    python -m repro cachecopy -c L3 --with-app miniGhost --report --profile
+    python -m repro varbench miniGhost --anomaly cachecopy --jobs 4
     python -m repro lint src/ tests/
 
 It builds a Voltrino-like cluster, optionally co-runs a benchmark
 application, injects the requested anomaly, and prints a monitoring
 summary — a one-command demonstration of the suite.  The ``lint``
-subcommand runs the determinism analyzer (see :mod:`repro.lint`).
+subcommand runs the determinism analyzer (see :mod:`repro.lint`); the
+``varbench`` subcommand measures induced run-to-run variability with
+repetitions optionally fanned out over ``--jobs`` worker processes.
+``--profile`` prints the engine's :class:`~repro.sim.stats.SimStats`
+counters (resolves, node reuse, flow memo hits, subsystem wall time).
 """
 
 from __future__ import annotations
@@ -65,7 +70,59 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--report", action="store_true", help="print the monitoring summary table"
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print engine performance counters after the run",
+    )
     return parser
+
+
+def build_varbench_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro varbench",
+        description="Measure induced run-to-run variability (Varbench-style).",
+    )
+    parser.add_argument("app", help="benchmark application (e.g. miniGhost)")
+    parser.add_argument(
+        "--anomaly",
+        default=None,
+        choices=sorted(ANOMALY_REGISTRY),
+        help="anomaly injected at a random phase of each repetition",
+    )
+    parser.add_argument("--reps", type=int, default=10, help="repetitions (default 10)")
+    parser.add_argument(
+        "--iterations", type=int, default=20, help="app iterations per repetition"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the repetitions (results are identical "
+        "for every value; default 1 = serial)",
+    )
+    return parser
+
+
+def varbench_main(argv: list[str]) -> int:
+    from repro.core import make_anomaly
+    from repro.varbench import VariabilityReport
+
+    args = build_varbench_parser().parse_args(argv)
+    factory = (
+        None if args.anomaly is None else (lambda a=args.anomaly: make_anomaly(a))
+    )
+    report = VariabilityReport.measure(
+        app_name=args.app,
+        anomaly_factory=factory,
+        repetitions=args.reps,
+        iterations=args.iterations,
+        seed=args.seed,
+        jobs=args.jobs,
+    )
+    report.write()
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -74,6 +131,8 @@ def main(argv: list[str] | None = None) -> int:
         from repro.lint.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv[:1] == ["varbench"]:
+        return varbench_main(argv[1:])
     # Split our options from the anomaly's HPAS-style knobs: everything the
     # parser does not know is forwarded to parse_cli.
     parser = build_parser()
@@ -122,6 +181,9 @@ def main(argv: list[str] | None = None) -> int:
             widths=(45, 12, 12),
             align=">",
         )
+    if args.profile:
+        out.line()
+        out.lines(cluster.sim.stats.describe())
     return 0
 
 

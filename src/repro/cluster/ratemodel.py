@@ -15,11 +15,18 @@
 ``accrue`` integrates the rates computed by the last ``resolve`` into
 per-process and per-node counters, which is what the LDMS-style samplers
 read at 1 Hz.
+
+Resolves are *incremental*: the engine passes the set of pids whose
+segment changed, stage 1 re-solves only the nodes hosting a dirty pid
+(clean nodes reuse their cached per-node result bit-for-bit), and the
+network/storage stages are skipped outright when their demand signature
+is unchanged since the previous resolve (see docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
 from repro.cache.model import (
@@ -32,10 +39,32 @@ from repro.memory.bandwidth import ShareFn, solve_bandwidth
 from repro.network.flows import FlowRequest, FlowSolver
 from repro.resources.fairshare import max_min_fair_share
 from repro.sim.engine import RateModel
-from repro.sim.process import CACHE_LEVELS, SimProcess
+from repro.sim.process import CACHE_LEVELS, IODemand, SimProcess
+from repro.sim.stats import SimStats
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.cluster import Cluster
+
+
+@dataclass
+class _NodeSolve:
+    """Cached stage-1 outcome for one node (valid while its tenants'
+    segments are untouched)."""
+
+    pids: tuple[int, ...]
+    speeds: dict[int, float]
+    rates: dict[int, dict[str, float]]
+    miss_factor: dict[int, float]
+
+
+@dataclass
+class _StageSolve:
+    """Cached network/storage stage outcome, keyed by a demand signature."""
+
+    signature: tuple
+    ratios: dict[int, float]
+    rates: dict[int, dict[str, float]]
+    remote: dict[str, dict[str, float]] = field(default_factory=dict)
 
 
 class ClusterRateModel(RateModel):
@@ -63,24 +92,56 @@ class ClusterRateModel(RateModel):
         share_fn: ShareFn = max_min_fair_share,
         cache_sharpness: float = 1.0,
         k_paths: int = 4,
+        incremental: bool = True,
     ) -> None:
         self.cluster = cluster
         self.share_fn = share_fn
         self.cache_sharpness = cache_sharpness
+        #: re-solve only dirty nodes and skip unchanged network/storage
+        #: stages; setting False re-prices everything on every resolve
+        #: (the from-scratch reference path, used by the equivalence tests)
+        self.incremental = incremental
+        self.stats = SimStats()
         self.flow_solver = (
             FlowSolver(cluster.topology, k_paths=k_paths)
             if cluster.topology is not None
             else None
         )
+        if self.flow_solver is not None:
+            self.flow_solver.stats = self.stats
         #: per-pid accounting rates from the last resolve
         self._proc_rates: dict[int, dict[str, float]] = {}
         #: per-pid extra node-level rates that land on a *different* node
         #: than the owning process (e.g. rx bytes at a flow's destination)
         self._remote_rates: dict[str, dict[str, float]] = {}
+        #: stage caches reused across resolves (incremental mode)
+        self._node_cache: dict[str, _NodeSolve] = {}
+        self._net_cache: _StageSolve | None = None
+        self._io_cache: _StageSolve | None = None
+
+    def attach_stats(self, stats: SimStats) -> None:
+        self.stats = stats
+        if self.flow_solver is not None:
+            self.flow_solver.stats = stats
 
     # -- RateModel interface ---------------------------------------------------
 
     def resolve(self, running: Sequence[SimProcess], now: float) -> dict[int, float]:
+        return self.resolve_incremental(running, now, None)
+
+    def resolve_incremental(
+        self,
+        running: Sequence[SimProcess],
+        now: float,
+        dirty: frozenset[int] | None = None,
+    ) -> dict[int, float]:
+        if not self.incremental:
+            dirty = None
+        if dirty is None:
+            # Full resolve: forget everything so no stale stage survives.
+            self._node_cache.clear()
+            self._net_cache = None
+            self._io_cache = None
         self._proc_rates = {p.pid: {} for p in running}
         self._remote_rates = defaultdict(lambda: defaultdict(float))
         speeds: dict[int, float] = {}
@@ -90,12 +151,41 @@ class ClusterRateModel(RateModel):
             by_node[proc.node].append(proc)
 
         miss_factor: dict[int, float] = {}
-        for node_name, procs in by_node.items():
-            node_speeds = self._solve_node(node_name, procs, miss_factor)
-            speeds.update(node_speeds)
+        with self.stats.timer("node"):
+            for node_name, procs in by_node.items():
+                pids = tuple(p.pid for p in procs)
+                cached = self._node_cache.get(node_name)
+                if (
+                    cached is not None
+                    and cached.pids == pids
+                    and dirty is not None
+                    and dirty.isdisjoint(pids)
+                ):
+                    # Same tenants, same segments: stage-1 is bit-identical.
+                    self.stats.count("nodes_reused")
+                    speeds.update(cached.speeds)
+                    miss_factor.update(cached.miss_factor)
+                    for pid, rates in cached.rates.items():
+                        self._proc_rates[pid].update(rates)
+                    continue
+                self.stats.count("nodes_solved")
+                node_speeds = self._solve_node(node_name, procs, miss_factor)
+                speeds.update(node_speeds)
+                self._node_cache[node_name] = _NodeSolve(
+                    pids=pids,
+                    speeds=dict(node_speeds),
+                    rates={pid: dict(self._proc_rates[pid]) for pid in pids},
+                    miss_factor={
+                        pid: miss_factor[pid] for pid in pids if pid in miss_factor
+                    },
+                )
+            for stale in [name for name in self._node_cache if name not in by_node]:
+                del self._node_cache[stale]
 
-        self._solve_network(running, speeds)
-        self._solve_storage(running, speeds)
+        with self.stats.timer("network"):
+            self._solve_network(running, speeds)
+        with self.stats.timer("storage"):
+            self._solve_storage(running, speeds)
         self._record_rates(running, speeds, miss_factor)
         return speeds
 
@@ -269,6 +359,17 @@ class ClusterRateModel(RateModel):
 
     # -- stage 2: network -----------------------------------------------------
 
+    def _apply_stage(self, stage: _StageSolve, speeds: dict[int, float]) -> None:
+        """Fold a (fresh or cached) stage outcome into speeds and rates."""
+        for pid, ratio in stage.ratios.items():
+            speeds[pid] *= ratio
+        for pid, rates in stage.rates.items():
+            self._proc_rates[pid].update(rates)
+        for node_name, rates in stage.remote.items():
+            remote = self._remote_rates[node_name]
+            for counter, rate in rates.items():
+                remote[counter] += rate
+
     def _solve_network(
         self, running: Sequence[SimProcess], speeds: dict[int, float]
     ) -> None:
@@ -289,56 +390,84 @@ class ClusterRateModel(RateModel):
                 owners.append((proc, demand))
                 key += 1
         if not requests:
+            self._net_cache = None
             return
+        signature = tuple(
+            (proc.pid, req.src, req.dst, req.demand)
+            for req, (proc, _) in zip(requests, owners)
+        )
+        if self._net_cache is not None and self._net_cache.signature == signature:
+            # Identical flow demand set: the previous allocation stands.
+            self.stats.count("network_stage_skips")
+            self._apply_stage(self._net_cache, speeds)
+            return
+        self.stats.count("network_stage_solves")
         result = self.flow_solver.solve(requests)
         worst_ratio: dict[int, float] = {}
+        tx_rates: dict[int, dict[str, float]] = {}
+        remote: dict[str, dict[str, float]] = {}
         for request, (proc, demand) in zip(requests, owners):
             grant = result.grants[request.key]
             ratio = 1.0 if demand <= 0 else min(1.0, grant / demand)
             worst_ratio[proc.pid] = min(worst_ratio.get(proc.pid, 1.0), ratio)
-            rates = self._proc_rates[proc.pid]
-            rates["nic_tx_bytes"] = rates.get("nic_tx_bytes", 0.0) + grant
-            self._remote_rates[request.dst]["nic_rx_bytes"] += grant
-        for pid, ratio in worst_ratio.items():
-            speeds[pid] *= ratio
-            # tx accounting already reflects granted (not demanded) rates
+            rates = tx_rates.setdefault(proc.pid, {"nic_tx_bytes": 0.0})
+            rates["nic_tx_bytes"] += grant
+            remote.setdefault(request.dst, {"nic_rx_bytes": 0.0})[
+                "nic_rx_bytes"
+            ] += grant
+        # tx accounting already reflects granted (not demanded) rates
+        self._net_cache = _StageSolve(
+            signature=signature, ratios=worst_ratio, rates=tx_rates, remote=remote
+        )
+        self._apply_stage(self._net_cache, speeds)
 
     # -- stage 3: storage -----------------------------------------------------
 
     def _solve_storage(
         self, running: Sequence[SimProcess], speeds: dict[int, float]
     ) -> None:
-        by_fs: dict[str, list[SimProcess]] = defaultdict(list)
+        by_fs: dict[str, list[tuple[SimProcess, IODemand]]] = defaultdict(list)
         for proc in running:
             seg = proc.current
             if seg is not None and seg.io is not None:
-                by_fs[seg.io.fs].append(proc)
-        for fs_name, procs in by_fs.items():
-            fs = self.cluster.filesystem(fs_name)
-            scaled = []
-            for p in procs:
-                io = p.current.io
-                s = speeds[p.pid]
-                scaled.append(
-                    (
-                        p.pid,
-                        p.node,
-                        type(io)(
-                            fs=io.fs,
-                            write_bw=io.write_bw * s,
-                            read_bw=io.read_bw * s,
-                            meta_ops=io.meta_ops * s,
-                        ),
-                    )
+                io = seg.io
+                s = speeds[proc.pid]
+                scaled = type(io)(
+                    fs=io.fs,
+                    write_bw=io.write_bw * s,
+                    read_bw=io.read_bw * s,
+                    meta_ops=io.meta_ops * s,
                 )
-            grants = fs.solve(scaled)
-            for p in procs:
+                by_fs[io.fs].append((proc, scaled))
+        if not by_fs:
+            self._io_cache = None
+            return
+        signature = tuple(
+            (p.pid, p.node, fs_name, io.write_bw, io.read_bw, io.meta_ops)
+            for fs_name, pairs in by_fs.items()
+            for p, io in pairs
+        )
+        if self._io_cache is not None and self._io_cache.signature == signature:
+            # Identical scaled IO demand set: previous grants stand.
+            self.stats.count("storage_stage_skips")
+            self._apply_stage(self._io_cache, speeds)
+            return
+        self.stats.count("storage_stage_solves")
+        ratios: dict[int, float] = {}
+        io_rates: dict[int, dict[str, float]] = {}
+        for fs_name, pairs in by_fs.items():
+            fs = self.cluster.filesystem(fs_name)
+            grants = fs.solve([(p.pid, p.node, io) for p, io in pairs])
+            for p, _ in pairs:
                 grant = grants[p.pid]
-                speeds[p.pid] *= min(1.0, grant.ratio)
-                rates = self._proc_rates[p.pid]
-                rates["io_write_bytes"] = grant.write_bw
-                rates["io_read_bytes"] = grant.read_bw
-                rates["io_meta_ops"] = grant.meta_ops
+                ratios[p.pid] = min(1.0, grant.ratio)
+                io_rates[p.pid] = {
+                    "io_write_bytes": grant.write_bw,
+                    "io_read_bytes": grant.read_bw,
+                    "io_meta_ops": grant.meta_ops,
+                }
+        self._io_cache = _StageSolve(signature=signature, ratios=ratios, rates=io_rates)
+        self._apply_stage(self._io_cache, speeds)
 
     # -- finalize --------------------------------------------------------------
 

@@ -18,6 +18,7 @@ from repro.cluster import Cluster
 from repro.core import CacheCopy, CpuOccupy, MemBw, MemEater, MemLeak
 from repro.experiments.fig8_matrix import APPS
 from repro.monitoring import MetricService
+from repro.parallel import run_trials
 
 
 @dataclass
@@ -28,6 +29,51 @@ class MonitoredRun:
     label: str
     series: np.ndarray  # (T, M) node0 matrix
     metrics: list[str]
+
+
+@dataclass(frozen=True)
+class _RunSpec:
+    """One (app, label) monitored run's configuration (worker payload)."""
+
+    run_idx: int
+    app_name: str
+    label: str
+    iterations: int
+    ranks_per_node: int
+    noise: float
+    seed: int
+    trim: int
+
+
+def _run_monitored(spec: _RunSpec) -> MonitoredRun:
+    """Execute one labelled monitored run; pure in the spec."""
+    cluster = Cluster.voltrino(num_nodes=8)
+    label_key = sum(ord(c) for c in spec.label)  # stable across processes
+    service = MetricService(
+        cluster, noise=spec.noise, seed=spec.seed + 1000 * spec.run_idx + label_key
+    )
+    service.attach(end=100_000)
+    app = get_app(spec.app_name).scaled(iterations=spec.iterations)
+    job = AppJob(
+        app,
+        cluster,
+        nodes=[0, 1, 2, 3],
+        ranks_per_node=spec.ranks_per_node,
+        seed=spec.seed + spec.run_idx,
+    )
+    job.launch()
+    _place(cluster, spec.label)
+    job.run(timeout=100_000)
+    service.detach()
+    series = service.matrix("node0")
+    if spec.trim > 0 and series.shape[0] > 2 * spec.trim + 1:
+        series = series[spec.trim : -spec.trim]
+    return MonitoredRun(
+        app=spec.app_name,
+        label=spec.label,
+        series=series,
+        metrics=service.metric_names,
+    )
 
 
 def _place(cluster: Cluster, label: str) -> None:
@@ -59,46 +105,34 @@ def generate_runs(
     noise: float = 0.02,
     seed: int = 0,
     trim: int = 10,
+    jobs: int = 1,
 ) -> list[MonitoredRun]:
     """Run every (app, anomaly) pair under monitoring; label node0 data.
 
     ``trim`` samples are dropped from each end of every run's series so
     the labelled windows cover steady state, not job startup/teardown
     (the convention of the diagnosis framework the paper evaluates).
+
+    ``jobs`` distributes the runs over worker processes; every run is a
+    pure function of its spec (all seeds are derived from ``seed``, the
+    app index, and the label), so the returned list — and any feature
+    matrix built from it — is identical for every ``jobs`` value.
     """
-    runs: list[MonitoredRun] = []
-    for run_idx, app_name in enumerate(apps):
-        for label in labels:
-            cluster = Cluster.voltrino(num_nodes=8)
-            label_key = sum(ord(c) for c in label)  # stable across processes
-            service = MetricService(
-                cluster, noise=noise, seed=seed + 1000 * run_idx + label_key
-            )
-            service.attach(end=100_000)
-            app = get_app(app_name).scaled(iterations=iterations)
-            job = AppJob(
-                app,
-                cluster,
-                nodes=[0, 1, 2, 3],
-                ranks_per_node=ranks_per_node,
-                seed=seed + run_idx,
-            )
-            job.launch()
-            _place(cluster, label)
-            job.run(timeout=100_000)
-            service.detach()
-            series = service.matrix("node0")
-            if trim > 0 and series.shape[0] > 2 * trim + 1:
-                series = series[trim:-trim]
-            runs.append(
-                MonitoredRun(
-                    app=app_name,
-                    label=label,
-                    series=series,
-                    metrics=service.metric_names,
-                )
-            )
-    return runs
+    specs = [
+        _RunSpec(
+            run_idx=run_idx,
+            app_name=app_name,
+            label=label,
+            iterations=iterations,
+            ranks_per_node=ranks_per_node,
+            noise=noise,
+            seed=seed,
+            trim=trim,
+        )
+        for run_idx, app_name in enumerate(apps)
+        for label in labels
+    ]
+    return run_trials(_run_monitored, specs, jobs=jobs)
 
 
 def build_dataset(

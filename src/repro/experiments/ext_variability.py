@@ -45,8 +45,13 @@ def run_ext_variability(
     iterations: int = 15,
     anomalies: tuple[str, ...] = ("none", "cpuoccupy", "membw", "memleak"),
     seed: int = 5,
+    jobs: int = 1,
 ) -> VariabilityResult:
-    """Measure induced variability for a set of anomalies."""
+    """Measure induced variability for a set of anomalies.
+
+    ``jobs`` parallelises each anomaly's repetitions (see
+    :meth:`VariabilityReport.measure`); the reports are unchanged.
+    """
     reports: dict[str, VariabilityReport] = {}
     for label in anomalies:
         factory = None if label == "none" else (lambda l=label: make_anomaly(l))
@@ -56,5 +61,6 @@ def run_ext_variability(
             repetitions=repetitions,
             iterations=iterations,
             seed=seed,
+            jobs=jobs,
         )
     return VariabilityResult(reports=reports)

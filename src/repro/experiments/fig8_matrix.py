@@ -26,6 +26,7 @@ from repro.core import (
     NetOccupy,
 )
 from repro.experiments.common import format_table
+from repro.parallel import run_trials
 
 ANOMALIES = (
     "cachecopy",
@@ -88,24 +89,38 @@ def _place_anomaly(cluster: Cluster, anomaly: str) -> None:
         raise ValueError(f"unknown anomaly {anomaly!r}")
 
 
+def _run_cell(cell: tuple[str, str, int, int]) -> float:
+    """One (app, anomaly) matrix cell; pure in its arguments."""
+    app_name, anomaly, iterations, ranks_per_node = cell
+    cluster = Cluster.voltrino(num_nodes=8)
+    app = get_app(app_name).scaled(iterations=iterations)
+    job = AppJob(
+        app, cluster, nodes=[0, 1, 2, 3], ranks_per_node=ranks_per_node, seed=5
+    )
+    job.launch()
+    _place_anomaly(cluster, anomaly)
+    return job.run(timeout=50_000)
+
+
 def run_fig8(
     iterations: int = 60,
     ranks_per_node: int = 4,
     apps: tuple[str, ...] = APPS,
     anomalies: tuple[str, ...] = ANOMALIES,
+    jobs: int = 1,
 ) -> Fig8Result:
-    """Runtime matrix: every app against every anomaly configuration."""
+    """Runtime matrix: every app against every anomaly configuration.
+
+    Cells are independent simulations, so ``jobs`` distributes them over
+    worker processes without changing any runtime in the matrix.
+    """
+    cells = [
+        (app_name, anomaly, iterations, ranks_per_node)
+        for app_name in apps
+        for anomaly in anomalies
+    ]
+    results = run_trials(_run_cell, cells, jobs=jobs)
     runtimes: dict[str, dict[str, float]] = {}
-    for app_name in apps:
-        per_anomaly: dict[str, float] = {}
-        for anomaly in anomalies:
-            cluster = Cluster.voltrino(num_nodes=8)
-            app = get_app(app_name).scaled(iterations=iterations)
-            job = AppJob(
-                app, cluster, nodes=[0, 1, 2, 3], ranks_per_node=ranks_per_node, seed=5
-            )
-            job.launch()
-            _place_anomaly(cluster, anomaly)
-            per_anomaly[anomaly] = job.run(timeout=50_000)
-        runtimes[app_name] = per_anomaly
+    for (app_name, anomaly, _, _), runtime in zip(cells, results):
+        runtimes.setdefault(app_name, {})[anomaly] = runtime
     return Fig8Result(runtimes=runtimes)

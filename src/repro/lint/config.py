@@ -42,6 +42,12 @@ class LintConfig:
     # Library files allowed to call print() (RL007); empty by design —
     # output goes through repro.output or the monitoring export layer.
     print_allowed: tuple[str, ...] = ()
+    # Files allowed to read the wall clock inside wallclock packages
+    # (RL002): observability-only timers that never feed simulated state.
+    wallclock_allowed: tuple[str, ...] = ("sim/stats.py",)
+    # Files allowed to use process pools (RL009): the deterministic
+    # parallel runner is the only sanctioned parallelism entry point.
+    parallel_allowed: tuple[str, ...] = ("repro/parallel.py",)
 
     def __post_init__(self) -> None:
         for rule_id in self.disable:

@@ -1,4 +1,4 @@
-"""Concrete determinism & unit-safety rules (RL001–RL008).
+"""Concrete determinism & unit-safety rules (RL001–RL009).
 
 Each rule encodes one convention this repository relies on for
 reproducibility.  The docstring of each rule class is its user-facing
@@ -146,6 +146,10 @@ class WallClockRule(Rule):
 
     def check(self, node: ast.AST, ctx: LintContext) -> None:
         if not ctx.in_packages(ctx.config.wallclock_packages):
+            return
+        if ctx.matches_any(ctx.config.wallclock_allowed):
+            # Observability-only timers (repro.sim.stats) measure host cost
+            # without feeding simulated state.
             return
         name = call_name(node)
         if name in self._BANNED:
@@ -374,6 +378,79 @@ class NoPrintRule(Rule):
                 self, node,
                 "print() in library code: use repro.output.OutputWriter or "
                 "the monitoring export layer",
+            )
+
+
+@register_rule
+class RawParallelismRule(Rule):
+    """Parallelism must flow through :mod:`repro.parallel`.
+
+    Raw ``multiprocessing`` / executor / ``os.fork`` use in library code
+    bypasses the deterministic sweep runner, which is the only place that
+    guarantees seed derivation, spawn-based isolation and seed-order
+    merging — the properties that keep ``jobs=N`` byte-identical to
+    serial execution.
+    """
+
+    id = "RL009"
+    name = "raw-parallelism"
+    severity = Severity.ERROR
+    description = (
+        "raw multiprocessing/executor/os.fork use outside repro/parallel.py; "
+        "use repro.parallel.run_trials"
+    )
+    node_types = (ast.Call, ast.Import, ast.ImportFrom)
+
+    _BANNED_MODULES = ("multiprocessing", "concurrent.futures")
+    _BANNED_CALLS = frozenset(
+        {
+            "os.fork",
+            "os.forkpty",
+            "multiprocessing.Process",
+            "multiprocessing.Pool",
+            "concurrent.futures.ProcessPoolExecutor",
+            "concurrent.futures.ThreadPoolExecutor",
+            "futures.ProcessPoolExecutor",
+            "futures.ThreadPoolExecutor",
+            "ProcessPoolExecutor",
+            "ThreadPoolExecutor",
+        }
+    )
+
+    def _is_banned_module(self, module: str) -> bool:
+        return any(
+            module == banned or module.startswith(banned + ".")
+            for banned in self._BANNED_MODULES
+        )
+
+    def check(self, node: ast.AST, ctx: LintContext) -> None:
+        if not ctx.in_library or ctx.matches_any(ctx.config.parallel_allowed):
+            return
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if self._is_banned_module(alias.name):
+                    ctx.report(
+                        self, node,
+                        f"import of {alias.name!r}: fan work out through "
+                        "repro.parallel.run_trials so results stay "
+                        "deterministic and seed-ordered",
+                    )
+            return
+        if isinstance(node, ast.ImportFrom):
+            if node.module is not None and self._is_banned_module(node.module):
+                ctx.report(
+                    self, node,
+                    f"import from {node.module!r}: fan work out through "
+                    "repro.parallel.run_trials so results stay "
+                    "deterministic and seed-ordered",
+                )
+            return
+        name = call_name(node)
+        if name in self._BANNED_CALLS:
+            ctx.report(
+                self, node,
+                f"call to {name}(): worker pools outside repro.parallel "
+                "cannot guarantee seed-order merging; use run_trials",
             )
 
 

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import ResourceError
 from repro.network.topology import NetworkTopology
+from repro.sim.stats import SimStats
 
 Edge = tuple[str, str]
 
@@ -76,12 +77,16 @@ class FlowResult:
 class FlowSolver:
     """Allocates network bandwidth for a set of concurrent flows."""
 
+    #: memoised solves kept before the oldest entry is evicted
+    MEMO_SIZE = 128
+
     def __init__(
         self,
         topology: NetworkTopology,
         k_paths: int = 4,
         rebalance_rounds: int = 4,
         latency_alpha: float = 0.6,
+        warm_start: bool = False,
     ) -> None:
         if k_paths < 1:
             raise ResourceError("k_paths must be >= 1")
@@ -90,6 +95,14 @@ class FlowSolver:
         self.topology = topology
         self.k_paths = k_paths
         self.rebalance_rounds = rebalance_rounds
+        #: start the adaptive split from the previous solve's converged
+        #: per-path fractions instead of a uniform split.  Off by default:
+        #: warm starting changes the (equally valid) allocation reached
+        #: after ``rebalance_rounds``, so results are no longer bit-equal
+        #: to a cold solve — see docs/PERFORMANCE.md before enabling.
+        self.warm_start = warm_start
+        #: counter block; the cluster rate model swaps in the engine's
+        self.stats = SimStats()
         #: strength of the congestion-latency degradation: traffic from
         #: *other* flows on a flow's path stretches per-packet latency,
         #: lowering the bandwidth a fixed-window sender can extract even
@@ -98,15 +111,25 @@ class FlowSolver:
         #: fabric whose links never fully saturate (paper Fig. 6).
         self.latency_alpha = latency_alpha
         self._path_cache: dict[tuple[str, str], list[list[Edge]]] = {}
+        #: memo of full solves keyed by the canonical request signature
+        self._solve_cache: dict[tuple, FlowResult] = {}
+        #: per-(src, dst) converged split fractions from the last solve
+        self._warm_splits: dict[tuple[str, str], tuple[float, ...]] = {}
 
     # -- public -----------------------------------------------------------
 
     def solve(self, flows: list[FlowRequest]) -> FlowResult:
         """Grant bandwidth to every flow; grants are keyed by ``flow.key``.
 
-        Multiple requests may share a key (a process with several flows);
-        the result sums grants per key is NOT done here — keys must be
-        unique per request for unambiguous results.
+        Keys must be unique per request: a process with several concurrent
+        flows must submit them under distinct keys.  A flow's grant is the
+        sum over its adaptive sub-flows (one per path), so each key maps
+        to the total bandwidth granted to that request.
+
+        Solves are memoised on the canonical signature of the request list
+        — the tuple of ``(key, src, dst, demand)`` per flow — because the
+        cluster rate model re-prices the network with an identical demand
+        set whenever a resolve leaves flow owners untouched.
         """
         if not flows:
             return FlowResult(grants={})
@@ -114,11 +137,21 @@ class FlowSolver:
         if len(set(keys)) != len(keys):
             raise ResourceError("flow keys must be unique per solve")
 
+        signature = tuple((f.key, f.src, f.dst, f.demand) for f in flows)
+        cached = self._solve_cache.get(signature)
+        if cached is not None:
+            self.stats.count("flow_memo_hits")
+            # Copy so a caller mutating the result cannot poison the memo.
+            return FlowResult(
+                grants=dict(cached.grants), edge_load=dict(cached.edge_load)
+            )
+        self.stats.count("flow_solves")
+
         subflows: list[_SubFlow] = []
         per_flow_subflows: list[list[_SubFlow]] = []
         for idx, flow in enumerate(flows):
             paths = self._paths(flow.src, flow.dst)
-            split = [flow.demand / len(paths)] * len(paths)
+            split = self._initial_split(flow, len(paths))
             flow_subs = [
                 _SubFlow(flow_index=idx, edges=path, demand=d)
                 for path, d in zip(paths, split)
@@ -129,6 +162,13 @@ class FlowSolver:
         for _ in range(self.rebalance_rounds):
             loads = self._edge_loads(subflows)
             self._rebalance(flows, per_flow_subflows, loads)
+
+        if self.warm_start:
+            for flow, subs in zip(flows, per_flow_subflows):
+                if flow.demand > 0:
+                    self._warm_splits[(flow.src, flow.dst)] = tuple(
+                        sub.demand / flow.demand for sub in subs
+                    )
 
         # Pass 1: capacity sharing with the raw demands.
         self._max_min(subflows)
@@ -156,9 +196,30 @@ class FlowSolver:
         grants = {f.key: 0.0 for f in flows}
         for sub in subflows:
             grants[flows[sub.flow_index].key] += sub.rate
-        return FlowResult(grants=grants, edge_load=self._edge_loads(subflows, use_rate=True))
+        result = FlowResult(
+            grants=grants, edge_load=self._edge_loads(subflows, use_rate=True)
+        )
+        if len(self._solve_cache) >= self.MEMO_SIZE:
+            self._solve_cache.pop(next(iter(self._solve_cache)))
+        self._solve_cache[signature] = FlowResult(
+            grants=dict(grants), edge_load=dict(result.edge_load)
+        )
+        return result
 
     # -- internals ----------------------------------------------------------
+
+    def _initial_split(self, flow: FlowRequest, n_paths: int) -> list[float]:
+        """Starting per-path demands: uniform, or the last converged split.
+
+        Warm starts apply on *signature-adjacent* solves — a previous
+        solve routed the same (src, dst) pair over the same path set — and
+        give the re-balancer a head start toward its fixed point.
+        """
+        if self.warm_start:
+            fractions = self._warm_splits.get((flow.src, flow.dst))
+            if fractions is not None and len(fractions) == n_paths:
+                return [flow.demand * fraction for fraction in fractions]
+        return [flow.demand / n_paths] * n_paths
 
     def _paths(self, src: str, dst: str) -> list[list[Edge]]:
         cache_key = (src, dst)

@@ -18,10 +18,12 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
+from collections import deque
 from typing import Callable, Sequence
 
 from repro.errors import ProcessCrash, SimulationError
 from repro.sim.events import Event, EventQueue
+from repro.sim.stats import SimStats
 from repro.sim.process import (
     Condition,
     ProcessState,
@@ -46,6 +48,9 @@ class RateModel(ABC):
     integrate usage counters between events.
     """
 
+    #: shared counter block; the engine injects its own via :meth:`attach_stats`
+    stats: SimStats | None = None
+
     @abstractmethod
     def resolve(self, running: Sequence[SimProcess], now: float) -> dict[int, float]:
         """Return ``{pid: speed}`` for every running process.
@@ -54,9 +59,31 @@ class RateModel(ABC):
         time, 0.5 means it takes twice its nominal duration.
         """
 
+    def resolve_incremental(
+        self,
+        running: Sequence[SimProcess],
+        now: float,
+        dirty: frozenset[int] | None = None,
+    ) -> dict[int, float]:
+        """Like :meth:`resolve`, but with a hint of *which* pids changed.
+
+        ``dirty`` names the pids whose segment started, changed, or ended
+        since the previous resolve; ``None`` means "assume everything
+        changed" (the first resolve, or an externally forced one).  The
+        default implementation ignores the hint and delegates to
+        :meth:`resolve`, so existing models stay correct; models that can
+        reuse per-subsystem results (see
+        :class:`~repro.cluster.ratemodel.ClusterRateModel`) override this.
+        """
+        return self.resolve(running, now)
+
     @abstractmethod
     def accrue(self, running: Sequence[SimProcess], t0: float, t1: float) -> None:
         """Integrate usage counters over ``[t0, t1]`` at the current rates."""
+
+    def attach_stats(self, stats: SimStats) -> None:
+        """Adopt the engine's :class:`SimStats` block (shared counters)."""
+        self.stats = stats
 
     def on_process_end(self, proc: SimProcess) -> None:
         """Hook called when a process finishes or is killed (cleanup)."""
@@ -103,11 +130,20 @@ class Simulator:
     def __init__(self, model: RateModel | None = None) -> None:
         self.model: RateModel = model if model is not None else UnitRateModel()
         self.now: float = 0.0
+        self.stats = SimStats()
+        self.model.attach_stats(self.stats)
         self._queue = EventQueue()
         self._processes: dict[int, SimProcess] = {}
         self._running: list[SimProcess] = []
-        self._ready: list[SimProcess] = []
+        self._ready: deque[SimProcess] = deque()
         self._dirty = False
+        #: pids whose segment started/changed/ended since the last resolve;
+        #: handed to the rate model so it can re-solve only what moved
+        self._dirty_pids: set[int] = set()
+        #: True while spawn order == pid order (the common case), letting
+        #: :attr:`processes` skip re-sorting the pid dict on every access
+        self._pids_monotonic = True
+        self._last_pid = -1
         self._events_dispatched = 0
         self._terminate_hooks: list[Callable[[SimProcess], None]] = []
 
@@ -115,7 +151,14 @@ class Simulator:
 
     @property
     def processes(self) -> tuple[SimProcess, ...]:
-        """All processes ever spawned, in pid order."""
+        """All processes ever spawned, in pid order.
+
+        Pids are handed out monotonically, so insertion order *is* pid
+        order unless a caller spawned pre-built processes out of creation
+        order; only then is a sorted view materialised.
+        """
+        if self._pids_monotonic:
+            return tuple(self._processes.values())
         return tuple(self._processes[pid] for pid in sorted(self._processes))
 
     @property
@@ -143,6 +186,9 @@ class Simulator:
             )
         if proc.pid in self._processes:
             raise SimulationError(f"process {proc.name} already spawned")
+        if proc.pid < self._last_pid:
+            self._pids_monotonic = False
+        self._last_pid = max(self._last_pid, proc.pid)
         self._processes[proc.pid] = proc
         self._queue.push(start, lambda: self._start(proc))
         return proc
@@ -224,6 +270,7 @@ class Simulator:
             assert event is not None
             self._advance(event.time)
             self._events_dispatched += 1
+            self.stats.count("events_dispatched")
             if self._events_dispatched > MAX_EVENTS:
                 raise SimulationError("event budget exhausted (runaway simulation?)")
             event.action()
@@ -250,14 +297,15 @@ class Simulator:
         if dt == 0:
             return
         if self._running:
-            self.model.accrue(self._running, self.now, t)
+            with self.stats.timer("accrue"):
+                self.model.accrue(self._running, self.now, t)
             for proc in self._running:
                 proc.remaining = max(0.0, proc.remaining - proc.speed * dt)
         self.now = t
 
     def _drain_ready(self) -> None:
         while self._ready:
-            proc = self._ready.pop(0)
+            proc = self._ready.popleft()
             if proc.state.terminal:
                 continue
             self._step(proc)
@@ -269,12 +317,12 @@ class Simulator:
         except ProcessCrash as crash:
             if was_running and proc in self._running:
                 self._running.remove(proc)
-                self._dirty = True
+                self._mark_dirty(proc)
             self._finish(proc, ProcessState.KILLED, f"crash: {crash}")
             return
         if was_running and proc in self._running and not isinstance(item, Segment):
             self._running.remove(proc)
-            self._dirty = True
+            self._mark_dirty(proc)
         if item is None:
             self._finish(proc, ProcessState.DONE, "done")
         elif isinstance(item, Segment):
@@ -284,7 +332,7 @@ class Simulator:
             if proc.state is not ProcessState.RUNNING:
                 proc.state = ProcessState.RUNNING
                 self._running.append(proc)
-            self._dirty = True
+            self._mark_dirty(proc)
         elif isinstance(item, Sleep):
             proc.current = None
             proc.state = ProcessState.SLEEPING
@@ -317,7 +365,7 @@ class Simulator:
     def _finish(self, proc: SimProcess, state: ProcessState, reason: str) -> None:
         if proc in self._running:
             self._running.remove(proc)
-            self._dirty = True
+            self._mark_dirty(proc)
         proc.state = state
         proc.current = None
         proc.end_time = self.now
@@ -327,11 +375,31 @@ class Simulator:
         for hook in self._terminate_hooks:
             hook(proc)
 
+    def _mark_dirty(self, proc: SimProcess) -> None:
+        self._dirty = True
+        self._dirty_pids.add(proc.pid)
+
     def _resolve(self) -> None:
         self._dirty = False
-        speeds = self.model.resolve(self._running, self.now)
+        # A dirty flag without recorded pids means an external actor poked
+        # ``sim._dirty`` directly (tests, tracing helpers): fall back to a
+        # full resolve so arbitrary model-state changes are re-priced.
+        dirty = frozenset(self._dirty_pids) if self._dirty_pids else None
+        self._dirty_pids.clear()
+        self.stats.count("resolves")
+        if dirty is None:
+            self.stats.count("full_resolves")
+        with self.stats.timer("resolve"):
+            speeds = self.model.resolve_incremental(self._running, self.now, dirty)
         for proc in self._running:
-            proc.speed = speeds.get(proc.pid, 0.0)
+            new_speed = speeds.get(proc.pid, 0.0)
+            if dirty is not None and proc.pid not in dirty and new_speed == proc.speed:
+                # Clean process, unchanged speed: its pending completion
+                # event (scheduled from the same remaining/speed line) is
+                # still exact — skip the reschedule.
+                self.stats.count("reschedules_skipped")
+                continue
+            proc.speed = new_speed
             proc.wake_version += 1
             if math.isfinite(proc.remaining) and proc.speed > 0.0:
                 eta = self.now + proc.remaining / proc.speed

@@ -76,6 +76,16 @@ class _TracingModel(RateModel):
             self.tracer._record_speed(now, proc, speeds.get(proc.pid, 0.0))
         return speeds
 
+    def resolve_incremental(self, running, now, dirty=None):
+        speeds = self.inner.resolve_incremental(running, now, dirty)
+        for proc in running:
+            self.tracer._record_speed(now, proc, speeds.get(proc.pid, 0.0))
+        return speeds
+
+    def attach_stats(self, stats):
+        self.stats = stats
+        self.inner.attach_stats(stats)
+
     def accrue(self, running, t0, t1):
         self.inner.accrue(running, t0, t1)
 

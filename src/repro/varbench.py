@@ -32,7 +32,40 @@ from repro.cluster import Cluster
 from repro.core.anomaly import Anomaly
 from repro.errors import ConfigError
 from repro.output import OutputWriter
+from repro.parallel import run_trials
 from repro.sim.rng import spawn_rng
+
+
+@dataclass(frozen=True)
+class _Trial:
+    """One repetition's full configuration (picklable worker payload)."""
+
+    app_name: str
+    iterations: int
+    nodes: int
+    ranks_per_node: int
+    job_seed: int
+    anomaly: Anomaly | None
+    anomaly_start: float
+
+
+def _run_trial(trial: _Trial) -> float:
+    """Execute one repetition; a pure function of the trial payload."""
+    cluster = Cluster.voltrino(num_nodes=max(trial.nodes, 4))
+    app = get_app(trial.app_name).scaled(iterations=trial.iterations)
+    job = AppJob(
+        app,
+        cluster,
+        nodes=list(range(trial.nodes)),
+        ranks_per_node=trial.ranks_per_node,
+        seed=trial.job_seed,
+    )
+    job.launch()
+    if trial.anomaly is not None:
+        # Collide with rank 0's core: the random arrival phase is what
+        # turns a deterministic anomaly into run-to-run variability.
+        trial.anomaly.launch(cluster, node="node0", core=0, start=trial.anomaly_start)
+    return job.run(timeout=1e7)
 
 
 @dataclass(frozen=True)
@@ -90,31 +123,39 @@ class VariabilityReport:
         nodes: int = 4,
         ranks_per_node: int = 4,
         seed: int = 0,
+        jobs: int = 1,
     ) -> "VariabilityReport":
-        """Run the workload ``repetitions`` times and summarise runtimes."""
+        """Run the workload ``repetitions`` times and summarise runtimes.
+
+        ``jobs`` fans repetitions out over worker processes via
+        :func:`repro.parallel.run_trials`.  All randomness — the anomaly
+        instances and their arrival phases — is drawn *here*, in the
+        parent, in repetition order, so the runtimes are byte-identical
+        for every ``jobs`` value.
+        """
         if repetitions < 2:
             raise ConfigError("need at least 2 repetitions to measure variability")
         rng = spawn_rng(seed, f"varbench:{app_name}")
-        runtimes = []
+        nominal = get_app(app_name).scaled(iterations=iterations).profile.nominal_runtime
+        trials = []
         anomaly_name = "none"
         for rep in range(repetitions):
-            cluster = Cluster.voltrino(num_nodes=max(nodes, 4))
-            app = get_app(app_name).scaled(iterations=iterations)
-            job = AppJob(
-                app,
-                cluster,
-                nodes=list(range(nodes)),
-                ranks_per_node=ranks_per_node,
-                seed=seed * 1000 + rep,
-            )
-            job.launch()
+            anomaly = None
+            start = 0.0
             if anomaly_factory is not None:
                 anomaly = anomaly_factory()
                 anomaly_name = anomaly.name
-                start = float(rng.uniform(0.0, app.profile.nominal_runtime / 2))
-                # Collide with rank 0's core: the random arrival phase is
-                # what turns a deterministic anomaly into run-to-run
-                # variability.
-                anomaly.launch(cluster, node="node0", core=0, start=start)
-            runtimes.append(job.run(timeout=1e7))
+                start = float(rng.uniform(0.0, nominal / 2))
+            trials.append(
+                _Trial(
+                    app_name=app_name,
+                    iterations=iterations,
+                    nodes=nodes,
+                    ranks_per_node=ranks_per_node,
+                    job_seed=seed * 1000 + rep,
+                    anomaly=anomaly,
+                    anomaly_start=start,
+                )
+            )
+        runtimes = run_trials(_run_trial, trials, jobs=jobs)
         return cls(app=app_name, anomaly=anomaly_name, runtimes=tuple(runtimes))

@@ -73,6 +73,11 @@ class TestRL002WallClock:
     def test_sleep_is_not_a_clock_read(self):
         assert ids_for("import time\ntime.sleep(0)\n") == []
 
+    def test_stats_module_allowlisted(self):
+        # Observability-only timers: sim/stats.py may read perf_counter.
+        src = "import time\nt = time.perf_counter()\n"
+        assert lint_source(src, "src/repro/sim/stats.py", LintConfig()) == []
+
 
 class TestRL003UnorderedIteration:
     def test_flags_for_over_set_literal(self):
@@ -208,7 +213,44 @@ class TestRL008SilentExcept:
         ) == []
 
 
-@pytest.mark.parametrize("rule_id", [f"RL00{i}" for i in range(1, 9)])
+class TestRL009RawParallelism:
+    def test_flags_multiprocessing_import(self):
+        assert "RL009" in ids_for("import multiprocessing\n", path=ANALYTICS_PATH)
+
+    def test_flags_concurrent_futures_import(self):
+        assert "RL009" in ids_for("import concurrent.futures\n", path=ANALYTICS_PATH)
+
+    def test_flags_executor_from_import(self):
+        assert "RL009" in ids_for(
+            "from concurrent.futures import ProcessPoolExecutor\n",
+            path=ANALYTICS_PATH,
+        )
+
+    def test_flags_executor_construction(self):
+        assert "RL009" in ids_for(
+            "def f(futures):\n    return futures.ProcessPoolExecutor(2)\n",
+            path=ANALYTICS_PATH,
+        )
+
+    def test_flags_os_fork(self):
+        assert "RL009" in ids_for("import os\npid = os.fork()\n", path=SIM_PATH)
+
+    def test_parallel_module_itself_exempt(self):
+        src = "from concurrent.futures import ProcessPoolExecutor\n"
+        assert lint_source(src, "src/repro/parallel.py", LintConfig()) == []
+
+    def test_run_trials_ok(self):
+        assert ids_for(
+            "from repro.parallel import run_trials\n"
+            "def f(work):\n    return run_trials(work, [1, 2], jobs=2)\n",
+            path=ANALYTICS_PATH,
+        ) == []
+
+    def test_non_library_code_ok(self):
+        assert ids_for("import multiprocessing\n", path=TEST_PATH) == []
+
+
+@pytest.mark.parametrize("rule_id", [f"RL00{i}" for i in range(1, 10)])
 def test_every_rule_registered(rule_id):
     from repro.lint import RULE_REGISTRY
 

@@ -49,3 +49,39 @@ class TestMain:
         rc = main(["memleak", "--node", "node1", "--core", "3", "--horizon", "5"])
         assert rc == 0
         assert "node1:c3" in capsys.readouterr().out
+
+    def test_profile_prints_engine_counters(self, capsys):
+        rc = main(["cpuoccupy", "-u", "80", "--horizon", "10", "--profile"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "profile:" in out
+        assert "events_dispatched" in out
+        assert "resolves" in out
+
+
+class TestVarbenchSubcommand:
+    def test_varbench_runs_and_reports(self, capsys):
+        rc = main(
+            [
+                "varbench", "miniMD",
+                "--anomaly", "membw",
+                "--reps", "3",
+                "--iterations", "6",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "miniMD" in out
+        assert "membw" in out
+
+    def test_varbench_jobs_flag_matches_serial(self, capsys):
+        argv = ["varbench", "miniMD", "--reps", "3", "--iterations", "6"]
+        assert main(argv + ["--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "3"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_varbench_rejects_unknown_anomaly(self):
+        with pytest.raises(SystemExit):
+            main(["varbench", "miniMD", "--anomaly", "fanspin"])

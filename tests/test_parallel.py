@@ -1,0 +1,94 @@
+"""The deterministic sweep runner: jobs=N must be invisible in results."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.diagnosis_data import build_dataset, generate_runs
+from repro.parallel import derive_seeds, run_trials
+from repro.varbench import VariabilityReport
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _spin(payload: tuple[int, float]) -> int:
+    index, _ = payload
+    return index
+
+
+class TestRunTrials:
+    def test_serial_matches_map(self):
+        assert run_trials(_square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_empty_payloads(self):
+        assert run_trials(_square, [], jobs=4) == []
+
+    def test_rejects_zero_jobs(self):
+        with pytest.raises(ConfigError):
+            run_trials(_square, [1], jobs=0)
+
+    def test_parallel_matches_serial(self):
+        serial = run_trials(_square, list(range(20)), jobs=1)
+        parallel = run_trials(_square, list(range(20)), jobs=4)
+        assert parallel == serial
+
+    def test_results_come_back_in_payload_order(self):
+        # Uneven payloads; merged order must follow submission, not finish.
+        payloads = [(i, 0.0) for i in range(16)]
+        assert run_trials(_spin, payloads, jobs=4) == list(range(16))
+
+
+class TestDeriveSeeds:
+    def test_stable_across_calls(self):
+        assert derive_seeds(7, "sweep", 5) == derive_seeds(7, "sweep", 5)
+
+    def test_scope_separates_streams(self):
+        assert derive_seeds(7, "a", 3) != derive_seeds(7, "b", 3)
+
+    def test_prefix_property(self):
+        assert derive_seeds(7, "sweep", 3) == derive_seeds(7, "sweep", 5)[:3]
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ConfigError):
+            derive_seeds(7, "sweep", -1)
+
+
+class TestVarbenchParallel:
+    def test_jobs_do_not_change_runtimes(self):
+        kwargs = dict(repetitions=4, iterations=6, seed=11)
+        serial = VariabilityReport.measure("miniMD", jobs=1, **kwargs)
+        parallel = VariabilityReport.measure("miniMD", jobs=4, **kwargs)
+        assert parallel.runtimes == serial.runtimes
+
+
+class TestFig8Parallel:
+    def test_jobs_do_not_change_the_matrix(self):
+        from repro.experiments.fig8_matrix import run_fig8
+
+        kwargs = dict(
+            iterations=10, apps=("miniMD",), anomalies=("none", "cpuoccupy")
+        )
+        serial = run_fig8(jobs=1, **kwargs)
+        parallel = run_fig8(jobs=2, **kwargs)
+        assert parallel.runtimes == serial.runtimes
+
+
+class TestDiagnosisParallel:
+    def test_jobs_do_not_change_feature_matrix(self):
+        kwargs = dict(
+            apps=("miniMD", "CoMD"),
+            labels=("none", "membw"),
+            iterations=25,
+            trim=2,
+        )
+        serial = generate_runs(jobs=1, **kwargs)
+        parallel = generate_runs(jobs=4, **kwargs)
+        assert [r.label for r in parallel] == [r.label for r in serial]
+        for a, b in zip(parallel, serial):
+            assert a.series.tobytes() == b.series.tobytes()
+        ds_serial = build_dataset(serial, window=20)
+        ds_parallel = build_dataset(parallel, window=20)
+        assert np.array_equal(ds_parallel.X, ds_serial.X)
+        assert np.array_equal(ds_parallel.y, ds_serial.y)
