@@ -7,12 +7,17 @@ Each ``bench_*.py`` regenerates one table or figure of the paper.  Run::
 ``-s`` shows the printed rows/series (the same quantities the paper
 plots); every bench also asserts the qualitative shape the paper reports,
 so a silent model regression fails loudly.  Each rendered table is also
-written to ``results/<ResultType>.txt`` as a reproducibility artefact.
+written to ``results/<ResultType>.txt`` as a reproducibility artefact,
+paired with ``results/<ResultType>.manifest.json`` recording its
+provenance (package version + table checksum; byte-identical across
+reruns — see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
 
 from pathlib import Path
+
+from repro.experiments.common import write_result_manifest
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
@@ -25,3 +30,4 @@ def emit(result) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     name = type(result).__name__.lstrip("_")
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    write_result_manifest(RESULTS_DIR, name, text + "\n")

@@ -7,15 +7,20 @@ module provides the same surface against the simulated substrate::
     python -m repro cachecopy -c L3 --with-app miniGhost --report --profile
     python -m repro varbench miniGhost --anomaly cachecopy --jobs 4
     python -m repro lint src/ tests/
+    python -m repro trace mixed --out trace.json --manifest manifest.json
 
 It builds a Voltrino-like cluster, optionally co-runs a benchmark
 application, injects the requested anomaly, and prints a monitoring
 summary — a one-command demonstration of the suite.  The ``lint``
 subcommand runs the determinism analyzer (see :mod:`repro.lint`); the
 ``varbench`` subcommand measures induced run-to-run variability with
-repetitions optionally fanned out over ``--jobs`` worker processes.
+repetitions optionally fanned out over ``--jobs`` worker processes; the
+``trace`` subcommand runs a multi-subsystem scenario with span tracing
+attached and writes a Chrome trace-event file plus an optional run
+manifest (see :mod:`repro.obs` and docs/OBSERVABILITY.md).
 ``--profile`` prints the engine's :class:`~repro.sim.stats.SimStats`
-counters (resolves, node reuse, flow memo hits, subsystem wall time).
+counters (resolves, node reuse, flow memo hits, subsystem wall time);
+``--trace FILE`` records spans during an anomaly run.
 """
 
 from __future__ import annotations
@@ -75,6 +80,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print engine performance counters after the run",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="record spans during the run and write a Chrome trace JSON",
+    )
     return parser
 
 
@@ -125,6 +136,64 @@ def varbench_main(argv: list[str]) -> int:
     return 0
 
 
+def build_trace_parser() -> argparse.ArgumentParser:
+    from repro.obs import TRACE_FORMATS
+    from repro.obs.scenarios import SCENARIOS
+
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="Trace a multi-subsystem scenario end to end.",
+    )
+    parser.add_argument(
+        "scenario",
+        choices=sorted(SCENARIOS),
+        help="scenario to run with span tracing attached",
+    )
+    parser.add_argument(
+        "--out", default="trace.json", help="trace output path (default trace.json)"
+    )
+    parser.add_argument(
+        "--format",
+        default="chrome",
+        choices=TRACE_FORMATS,
+        help="trace file format (default chrome)",
+    )
+    parser.add_argument(
+        "--manifest",
+        default=None,
+        metavar="FILE",
+        help="also write a deterministic run manifest",
+    )
+    parser.add_argument(
+        "--horizon", type=float, default=120.0, help="simulated seconds (default 120)"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="scenario seed")
+    return parser
+
+
+def trace_main(argv: list[str]) -> int:
+    from repro.obs.scenarios import run_scenario
+
+    args = build_trace_parser().parse_args(argv)
+    run = run_scenario(args.scenario, seed=args.seed, horizon=args.horizon)
+    out = OutputWriter()
+    path = run.obs.write_trace(args.out, fmt=args.format)
+    counts = run.obs.collector.categories()
+    summary = "  ".join(f"{cat}={n}" for cat, n in counts.items())
+    out.line(f"traced scenario {args.scenario!r} to {path}")
+    out.line(f"spans: {summary or 'none'}  instants: {len(run.obs.collector.instants)}")
+    if args.manifest is not None:
+        manifest_path = run.obs.write_manifest(
+            args.manifest,
+            name=f"trace-{args.scenario}",
+            seed=run.seed,
+            config=run.config,
+            injector=run.injector,
+        )
+        out.line(f"manifest: {manifest_path}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv[:1] == ["lint"]:
@@ -133,6 +202,8 @@ def main(argv: list[str] | None = None) -> int:
         return lint_main(argv[1:])
     if argv[:1] == ["varbench"]:
         return varbench_main(argv[1:])
+    if argv[:1] == ["trace"]:
+        return trace_main(argv[1:])
     # Split our options from the anomaly's HPAS-style knobs: everything the
     # parser does not know is forwarded to parse_cli.
     parser = build_parser()
@@ -142,6 +213,12 @@ def main(argv: list[str] | None = None) -> int:
     cluster = Cluster.voltrino(num_nodes=args.nodes)
     service = MetricService(cluster)
     service.attach(end=args.horizon)
+
+    obs = None
+    if args.trace is not None:
+        from repro.obs import Observability
+
+        obs = Observability(cluster, service=service).attach()
 
     job = None
     if args.with_app is not None:
@@ -184,6 +261,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.profile:
         out.line()
         out.lines(cluster.sim.stats.describe())
+    if obs is not None:
+        path = obs.write_trace(args.trace)
+        out.line(f"trace written to {path}")
     return 0
 
 

@@ -439,6 +439,18 @@ class ClusterRateModel(RateModel):
                     meta_ops=io.meta_ops * s,
                 )
                 by_fs[io.fs].append((proc, scaled))
+        obs = self.cluster.sim.obs
+        if obs is not None:
+            # Maintain one "busy" span per filesystem covering the stretch
+            # of simulated time during which any I/O demand exists.
+            for fs_name in self.cluster.filesystems:
+                obs.window(
+                    ("io", fs_name),
+                    "storage",
+                    f"busy:{fs_name}",
+                    ("storage", fs_name),
+                    active=fs_name in by_fs,
+                )
         if not by_fs:
             self._io_cache = None
             return

@@ -93,6 +93,22 @@ class AnomalyInjector:
             start=injection.start,
         )
         injection.process = proc
+        obs = self.cluster.sim.obs
+        if obs is not None:
+            node = self.cluster.node(injection.node).name
+            span = obs.begin(
+                "injector",
+                injection.anomaly.name,
+                ("cluster", "injector"),
+                start=injection.start,
+                args={
+                    "node": node,
+                    "core": injection.core,
+                    "duration": injection.duration,
+                    **injection.anomaly.describe(),
+                },
+            )
+            obs.watch(span, [proc.pid])
         return proc
 
     def active_labels(self, time: float) -> list[str]:

@@ -58,3 +58,7 @@ class SchedulingError(ReproError):
 
 class AnomalyError(ReproError):
     """Invalid anomaly configuration or usage."""
+
+
+class ObservabilityError(ReproError):
+    """Invalid use of the span/trace/manifest layer (repro.obs)."""

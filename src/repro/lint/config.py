@@ -48,6 +48,9 @@ class LintConfig:
     # Files allowed to use process pools (RL009): the deterministic
     # parallel runner is the only sanctioned parallelism entry point.
     parallel_allowed: tuple[str, ...] = ("repro/parallel.py",)
+    # Files allowed to call print() anywhere in the tree (RL010): by
+    # default only the sanctioned output layer itself.
+    output_allowed: tuple[str, ...] = ("repro/output.py",)
 
     def __post_init__(self) -> None:
         for rule_id in self.disable:

@@ -1,4 +1,4 @@
-"""Concrete determinism & unit-safety rules (RL001–RL009).
+"""Concrete determinism & unit-safety rules (RL001–RL010).
 
 Each rule encodes one convention this repository relies on for
 reproducibility.  The docstring of each rule class is its user-facing
@@ -371,6 +371,10 @@ class NoPrintRule(Rule):
     node_types = (ast.Call,)
 
     def check(self, node: ast.AST, ctx: LintContext) -> None:
+        if not ctx.config.is_disabled("RL010"):
+            # RL010 (output-writer) is a strict superset of this rule; when
+            # it is enabled, reporting here would double-count every call.
+            return
         if not ctx.in_library or ctx.matches_any(ctx.config.print_allowed):
             return
         if isinstance(node.func, ast.Name) and node.func.id == "print":
@@ -378,6 +382,44 @@ class NoPrintRule(Rule):
                 self, node,
                 "print() in library code: use repro.output.OutputWriter or "
                 "the monitoring export layer",
+            )
+
+
+@register_rule
+class OutputWriterRule(Rule):
+    """All output must flow through :class:`repro.output.OutputWriter`.
+
+    A bare ``print()`` anywhere — library, experiments, tests — bypasses
+    the sanctioned output layer, so it cannot be captured, redirected or
+    silenced, and its text never reaches the rendered-results checksums in
+    run manifests.  Allow-list specific files (or whole directories with a
+    trailing ``/``) via ``output-allowed`` in ``[tool.repro-lint]``.
+    """
+
+    id = "RL010"
+    name = "output-writer"
+    severity = Severity.ERROR
+    description = (
+        "print() outside repro/output.py; route output through "
+        "repro.output.OutputWriter"
+    )
+    node_types = (ast.Call,)
+
+    def _allowed(self, ctx: LintContext) -> bool:
+        entries = ctx.config.output_allowed
+        if ctx.matches_any(tuple(e for e in entries if not e.endswith("/"))):
+            return True
+        slashed = f"/{ctx.posix}"
+        return any(f"/{e}" in slashed for e in entries if e.endswith("/"))
+
+    def check(self, node: ast.AST, ctx: LintContext) -> None:
+        if self._allowed(ctx):
+            return
+        if isinstance(node.func, ast.Name) and node.func.id == "print":
+            ctx.report(
+                self, node,
+                "bare print(): use repro.output.OutputWriter so output can "
+                "be captured, redirected and checksummed",
             )
 
 

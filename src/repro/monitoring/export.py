@@ -1,15 +1,19 @@
-"""Exporting collected metrics (CSV / dict-of-arrays).
+"""Exporting collected metrics (CSV / JSONL / dict-of-arrays).
 
 Real LDMS deployments store samples in CSV files consumed by analysis
 pipelines; these helpers produce the same artefacts from a
 :class:`~repro.monitoring.service.MetricService` so downstream tooling
 (pandas, the paper's analysis scripts) can be pointed at simulated data.
+The JSONL flavour — one record per sample, ``{"time": ..., "node": ...,
+metric: value, ...}`` — matches what streaming collectors emit and what
+the :mod:`repro.obs` trace pipeline consumes.
 """
 
 from __future__ import annotations
 
 import csv
 import io
+import json
 from pathlib import Path
 
 import numpy as np
@@ -39,6 +43,55 @@ def write_csv(service: MetricService, node: str | int, path: str | Path) -> Path
     path = Path(path)
     path.write_text(to_csv_text(service, node))
     return path
+
+
+def to_jsonl_text(service: MetricService, node: str | int) -> str:
+    """One node's samples as JSONL: one ``{"time", "node", metrics...}``
+    record per sample, keys sorted for byte-stable output."""
+    name = f"node{node}" if isinstance(node, int) else node
+    times = service.timestamps()
+    if times.size == 0:
+        raise ConfigError("no samples collected")
+    metrics = service.metric_names
+    columns = [service.series(name, m) for m in metrics]
+    lines = []
+    for i, t in enumerate(times):
+        record: dict[str, object] = {"time": float(t), "node": name}
+        for metric, col in zip(metrics, columns):
+            record[metric] = float(col[i])
+        lines.append(json.dumps(record, sort_keys=True))
+    return "\n".join(lines) + "\n"
+
+
+def write_jsonl(service: MetricService, node: str | int, path: str | Path) -> Path:
+    """Write one node's samples to a JSONL file; returns the path."""
+    path = Path(path)
+    path.write_text(to_jsonl_text(service, node))
+    return path
+
+
+def read_jsonl(path: str | Path) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+    """Load a JSONL file produced by :func:`write_jsonl`.
+
+    Returns ``(times, {metric: series})`` — the inverse of the export,
+    so round-trips are exact.
+    """
+    path = Path(path)
+    records = []
+    for line in path.read_text().splitlines():
+        if line.strip():
+            records.append(json.loads(line))
+    if not records:
+        return np.empty(0), {}
+    first = records[0]
+    if "time" not in first:
+        raise ConfigError(f"{path} is not a metric export (no time field)")
+    metrics = sorted(k for k in first if k not in ("time", "node"))
+    times = np.asarray([r["time"] for r in records], dtype=float)
+    series = {
+        m: np.asarray([r[m] for r in records], dtype=float) for m in metrics
+    }
+    return times, series
 
 
 def read_csv(path: str | Path) -> tuple[np.ndarray, dict[str, np.ndarray]]:

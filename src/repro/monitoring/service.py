@@ -12,6 +12,8 @@ storing time series it can hand to the analytics pipeline::
 
 from __future__ import annotations
 
+import difflib
+
 import numpy as np
 
 from repro.cluster.cluster import Cluster
@@ -66,6 +68,11 @@ class MetricService:
             self._handle.cancel()
             self._handle = None
 
+    @property
+    def attached(self) -> bool:
+        """Whether the service is currently sampling."""
+        return self._handle is not None
+
     def _tick(self, now: float) -> None:
         dt = self.interval if self._last_time is None else now - self._last_time
         if dt <= 0:
@@ -103,9 +110,26 @@ class MetricService:
         """Time series of one metric on one node."""
         name = f"node{node}" if isinstance(node, int) else node
         try:
-            return np.asarray(self.data[name][metric], dtype=float)
+            store = self.data[name]
         except KeyError:
-            raise ConfigError(f"no series for {metric!r} on {name!r}") from None
+            known = ", ".join(sorted(self.data))
+            raise ConfigError(
+                f"unknown node {name!r} (known nodes: {known})"
+            ) from None
+        try:
+            return np.asarray(store[metric], dtype=float)
+        except KeyError:
+            available = sorted(store)
+            close = difflib.get_close_matches(metric, available, n=3)
+            if close:
+                hint = f"did you mean {', '.join(repr(c) for c in close)}?"
+            elif available:
+                hint = f"available: {', '.join(available)}"
+            else:
+                hint = "no samples collected yet (is the service attached?)"
+            raise ConfigError(
+                f"no series for {metric!r} on {name!r} — {hint}"
+            ) from None
 
     def timestamps(self) -> np.ndarray:
         return np.asarray(self.times, dtype=float)

@@ -42,15 +42,32 @@ class Barrier:
         self._count = 0
         self._cond = Condition(name)
         self.cycles = 0
+        self._first_arrival: float | None = None
 
     def wait(self):
         """Generator: arrive and block until all ``n`` ranks have arrived."""
         cond = self._cond
         self._count += 1
+        obs = self.sim.obs
+        if obs is not None and self._count == 1:
+            self._first_arrival = self.sim.now
         if self._count == self.n:
             self._count = 0
             self._cond = Condition(self.name)
             self.cycles += 1
+            if obs is not None:
+                start = (
+                    self.sim.now if self._first_arrival is None else self._first_arrival
+                )
+                self._first_arrival = None
+                obs.complete(
+                    "mpi",
+                    self.name,
+                    ("mpi", self.name),
+                    start=start,
+                    end=self.sim.now,
+                    args={"ranks": self.n, "cycle": self.cycles},
+                )
             self.sim.notify(cond)
             return
             yield  # pragma: no cover - makes this a generator function

@@ -1,0 +1,64 @@
+"""repro.obs — structured observability for the simulated stack.
+
+The subsystem has four layers:
+
+:mod:`repro.obs.spans`
+    :class:`SpanCollector` and the span/event records every subsystem
+    emits into (simulated-time, causally linked, zero-cost detached).
+:mod:`repro.obs.export`
+    Chrome trace-event JSON (Perfetto / ``chrome://tracing``) and JSONL
+    exporters, plus the schema validator CI runs on trace artefacts.
+:mod:`repro.obs.manifest`
+    Deterministic run manifests: seed, config, version, injection labels,
+    engine counters and series checksums as canonical JSON.
+:mod:`repro.obs.observability`
+    The :class:`Observability` handle unifying SimStats, the metric
+    service and the span timeline behind one attach/detach pair.
+
+See ``docs/OBSERVABILITY.md`` for the full tour.
+"""
+
+from repro.obs.export import (
+    assert_valid_chrome_trace,
+    chrome_trace,
+    jsonl_lines,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl_trace,
+)
+from repro.obs.manifest import (
+    build_manifest,
+    injection_labels,
+    manifest_text,
+    series_checksum,
+    service_checksums,
+    text_checksum,
+    write_manifest,
+)
+from repro.obs.observability import TRACE_FORMATS, Observability
+from repro.obs.scenarios import SCENARIOS, TraceRun, run_scenario
+from repro.obs.spans import InstantEvent, Span, SpanCollector
+
+__all__ = [
+    "InstantEvent",
+    "Observability",
+    "SCENARIOS",
+    "Span",
+    "SpanCollector",
+    "TRACE_FORMATS",
+    "TraceRun",
+    "assert_valid_chrome_trace",
+    "build_manifest",
+    "chrome_trace",
+    "injection_labels",
+    "jsonl_lines",
+    "manifest_text",
+    "run_scenario",
+    "series_checksum",
+    "service_checksums",
+    "text_checksum",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl_trace",
+    "write_manifest",
+]

@@ -1,0 +1,257 @@
+"""Trace exporters: Chrome trace-event JSON and JSONL.
+
+The Chrome format (one ``traceEvents`` array of ``X``/``i``/``M`` events)
+opens directly in Perfetto / ``chrome://tracing``, the same way ATLAHS
+renders its simulator traces; JSONL (one record per line) is the
+grep/pandas-friendly form.  Both exports are deterministic: events are
+sorted by ``(timestamp, kind, sid)`` and all JSON is emitted with sorted
+keys, so a deterministic simulation produces byte-identical trace files.
+
+Simulated seconds are exported as microseconds (the Chrome ``ts`` unit).
+Non-finite floats (an ``inf`` anomaly duration) are stringified because
+strict JSON has no ``Infinity`` literal.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import ObservabilityError
+from repro.obs.spans import InstantEvent, Span, SpanCollector
+
+#: simulated seconds -> Chrome trace microseconds
+_US = 1e6
+
+_VALID_PHASES = frozenset({"X", "i", "M"})
+
+
+def _json_safe(value: object) -> object:
+    """Recursively convert a value into strict-JSON-safe primitives."""
+    if isinstance(value, bool) or value is None or isinstance(value, (str, int)):
+        return value
+    if isinstance(value, float):
+        return value if math.isfinite(value) else str(value)
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(str(v) for v in value)
+    return str(value)
+
+
+def _track_ids(
+    spans: Iterable[Span], instants: Iterable[InstantEvent]
+) -> tuple[dict[str, int], dict[tuple[str, str], int]]:
+    """Deterministically number track groups (pid) and lanes (tid)."""
+    tracks = sorted({s.track for s in spans} | {e.track for e in instants})
+    groups = sorted({group for group, _ in tracks})
+    group_ids = {group: i + 1 for i, group in enumerate(groups)}
+    lane_ids = {track: i + 1 for i, track in enumerate(tracks)}
+    return group_ids, lane_ids
+
+
+def chrome_trace(collector: SpanCollector) -> dict[str, object]:
+    """Render the collected spans/events as a Chrome trace-event object."""
+    group_ids, lane_ids = _track_ids(collector.spans, collector.instants)
+    horizon = 0.0
+    for span in collector.spans:
+        horizon = max(horizon, span.start, span.end if span.end is not None else 0.0)
+    for event in collector.instants:
+        horizon = max(horizon, event.time)
+
+    events: list[dict[str, object]] = []
+    for group, gid in group_ids.items():
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": gid,
+                "tid": 0,
+                "ts": 0,
+                "args": {"name": group},
+            }
+        )
+    for (group, lane), tid in lane_ids.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": group_ids[group],
+                "tid": tid,
+                "ts": 0,
+                "args": {"name": lane},
+            }
+        )
+
+    records: list[tuple[float, int, int, dict[str, object]]] = []
+    for span in collector.spans:
+        end = span.end if span.end is not None else horizon
+        args = dict(span.args)
+        args["sid"] = span.sid
+        if span.parent is not None:
+            args["parent"] = span.parent
+        records.append(
+            (
+                span.start,
+                0,
+                span.sid,
+                {
+                    "name": span.name,
+                    "cat": span.cat,
+                    "ph": "X",
+                    "ts": span.start * _US,
+                    "dur": max(0.0, end - span.start) * _US,
+                    "pid": group_ids[span.track[0]],
+                    "tid": lane_ids[span.track],
+                    "args": _json_safe(args),
+                },
+            )
+        )
+    for i, event in enumerate(collector.instants):
+        records.append(
+            (
+                event.time,
+                1,
+                i,
+                {
+                    "name": event.name,
+                    "cat": event.cat,
+                    "ph": "i",
+                    "s": "t",
+                    "ts": event.time * _US,
+                    "pid": group_ids[event.track[0]],
+                    "tid": lane_ids[event.track],
+                    "args": _json_safe(dict(event.args)),
+                },
+            )
+        )
+    records.sort(key=lambda r: (r[0], r[1], r[2]))
+    events.extend(record for _, _, _, record in records)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "simulated", "time_unit": "us"},
+    }
+
+
+def jsonl_lines(collector: SpanCollector) -> list[str]:
+    """One JSON record per span/instant, in deterministic time order."""
+    records: list[tuple[float, int, int, dict[str, object]]] = []
+    for span in collector.spans:
+        records.append(
+            (
+                span.start,
+                0,
+                span.sid,
+                {
+                    "type": "span",
+                    "sid": span.sid,
+                    "cat": span.cat,
+                    "name": span.name,
+                    "group": span.track[0],
+                    "lane": span.track[1],
+                    "start": span.start,
+                    "end": span.end,
+                    "parent": span.parent,
+                    "args": _json_safe(dict(span.args)),
+                },
+            )
+        )
+    for i, event in enumerate(collector.instants):
+        records.append(
+            (
+                event.time,
+                1,
+                i,
+                {
+                    "type": "instant",
+                    "cat": event.cat,
+                    "name": event.name,
+                    "group": event.track[0],
+                    "lane": event.track[1],
+                    "time": event.time,
+                    "args": _json_safe(dict(event.args)),
+                },
+            )
+        )
+    records.sort(key=lambda r: (r[0], r[1], r[2]))
+    return [
+        json.dumps(_json_safe(record), sort_keys=True, separators=(",", ":"))
+        for _, _, _, record in records
+    ]
+
+
+def write_chrome_trace(collector: SpanCollector, path: str | Path) -> Path:
+    """Write (and validate) a Chrome trace-event JSON file."""
+    trace = chrome_trace(collector)
+    assert_valid_chrome_trace(trace)
+    path = Path(path)
+    path.write_text(json.dumps(trace, sort_keys=True, indent=1) + "\n")
+    return path
+
+
+def write_jsonl_trace(collector: SpanCollector, path: str | Path) -> Path:
+    """Write the JSONL form (one record per line)."""
+    path = Path(path)
+    path.write_text("\n".join(jsonl_lines(collector)) + "\n")
+    return path
+
+
+def validate_chrome_trace(trace: object) -> list[str]:
+    """Schema-check a Chrome trace-event object; returns problems found.
+
+    This is the validation CI runs on the ``repro trace`` artefact: the
+    top-level shape, required per-event keys, known phases, non-negative
+    timestamps/durations, and metadata naming for every referenced pid.
+    """
+    problems: list[str] = []
+    if not isinstance(trace, dict):
+        return [f"trace must be a JSON object, got {type(trace).__name__}"]
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+    named_pids: set[object] = set()
+    used_pids: set[object] = set()
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: event must be an object")
+            continue
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in event:
+                problems.append(f"{where}: missing key {key!r}")
+        phase = event.get("ph")
+        if phase not in _VALID_PHASES:
+            problems.append(f"{where}: unknown phase {phase!r}")
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: ts must be a number >= 0, got {ts!r}")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: X event needs dur >= 0, got {dur!r}")
+            if "cat" not in event:
+                problems.append(f"{where}: X event missing 'cat'")
+            used_pids.add(event.get("pid"))
+        elif phase == "i":
+            used_pids.add(event.get("pid"))
+        elif phase == "M" and event.get("name") == "process_name":
+            named_pids.add(event.get("pid"))
+    for pid in sorted(used_pids - named_pids, key=str):
+        problems.append(f"pid {pid!r} has no process_name metadata event")
+    return problems
+
+
+def assert_valid_chrome_trace(trace: object) -> None:
+    """Raise :class:`ObservabilityError` if the trace fails validation."""
+    problems = validate_chrome_trace(trace)
+    if problems:
+        preview = "; ".join(problems[:5])
+        raise ObservabilityError(
+            f"invalid Chrome trace ({len(problems)} problem(s)): {preview}"
+        )

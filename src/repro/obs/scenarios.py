@@ -1,0 +1,169 @@
+"""Traceable end-to-end scenarios for the ``repro trace`` subcommand.
+
+Each scenario builds a cluster, attaches an :class:`Observability` handle,
+runs a workload that exercises several subsystems at once, and returns the
+handle plus everything a manifest needs.  They are the span-layer analogue
+of the figure experiments: small, deterministic, and designed so one trace
+shows the whole stack interacting.
+
+``mixed``
+    A Chameleon-like cluster (star network + NFS appliance) where a
+    scheduler places a miniGhost job by WBAS while four anomalies —
+    cpuoccupy, membw, iometadata, netoccupy — pulse through staggered
+    injection windows.  Spans from the engine, injector, scheduler, MPI
+    barrier layer and the filesystem all land in one timeline.
+``loadbalance``
+    Fig. 13's setting: the Charm++-style runtime rebalancing stencil
+    objects with GreedyRefineLB while cpuoccupy squats on three cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.apps import get_app
+from repro.cluster import Cluster
+from repro.core import (
+    AnomalyInjector,
+    CpuOccupy,
+    Injection,
+    IOMetadata,
+    MemBw,
+    NetOccupy,
+)
+from repro.errors import ObservabilityError
+from repro.obs.observability import Observability
+from repro.runtime import CharmRuntime, GreedyRefineLB, WorkObject
+from repro.scheduling import JobScheduler, WellBalancedAllocation
+
+
+@dataclass
+class TraceRun:
+    """Everything a traced scenario produced."""
+
+    scenario: str
+    seed: int
+    horizon: float
+    cluster: Cluster
+    obs: Observability
+    injector: AnomalyInjector
+    config: dict[str, object]
+
+
+def _mixed(seed: int, horizon: float) -> TraceRun:
+    cluster = Cluster.chameleon(num_nodes=6, with_nfs=True)
+    obs = Observability(cluster).attach(end=horizon)
+    injector = AnomalyInjector(cluster)
+    injector.add(
+        Injection(CpuOccupy(utilization=80), node="node1", core=0, start=5.0, duration=0.5 * horizon)
+    )
+    injector.add(
+        Injection(MemBw(), node="node2", core=4, start=0.2 * horizon, duration=0.3 * horizon)
+    )
+    injector.add(
+        Injection(IOMetadata(rate=2000.0), node="node3", core=0, start=10.0, duration=0.6 * horizon)
+    )
+    injector.add(
+        Injection(
+            NetOccupy(peer="node5"), node="node4", core=1, start=0.3 * horizon, duration=0.25 * horizon
+        )
+    )
+    injector.deploy()
+
+    scheduler = JobScheduler(cluster, obs.service)
+    app = get_app("miniGhost").scaled(iterations=12)
+
+    def submit() -> None:
+        scheduler.submit(
+            app,
+            WellBalancedAllocation(),
+            n_nodes=2,
+            ranks_per_node=2,
+            seed=seed,
+        )
+
+    # Submit after a couple of monitoring samples exist (WBAS reads them).
+    cluster.sim.schedule(2.5, submit)
+    cluster.sim.run(until=horizon)
+    obs.collector.finalize()
+    return TraceRun(
+        scenario="mixed",
+        seed=seed,
+        horizon=horizon,
+        cluster=cluster,
+        obs=obs,
+        injector=injector,
+        config={
+            "cluster": "chameleon",
+            "nodes": 6,
+            "filesystem": "nfs",
+            "app": "miniGhost",
+            "policy": "WBAS",
+            "horizon": horizon,
+        },
+    )
+
+
+def _loadbalance(seed: int, horizon: float) -> TraceRun:
+    cluster = Cluster.voltrino(num_nodes=2)
+    obs = Observability(cluster).attach(end=horizon)
+    injector = AnomalyInjector(cluster)
+    for core in (0, 1, 2):
+        injector.add(
+            Injection(
+                CpuOccupy(utilization=100),
+                node="node0",
+                core=core,
+                start=2.0,
+                duration=0.8 * horizon,
+            )
+        )
+    injector.deploy()
+    objects = [WorkObject(oid=i, load=0.05 + 0.01 * (i % 5)) for i in range(24)]
+    runtime = CharmRuntime(
+        cluster,
+        node="node0",
+        cores=list(range(8)),
+        objects=objects,
+        balancer=GreedyRefineLB(),
+        iterations=12,
+    )
+    runtime.run(timeout=horizon)
+    cluster.sim.run(until=horizon)
+    obs.collector.finalize()
+    return TraceRun(
+        scenario="loadbalance",
+        seed=seed,
+        horizon=horizon,
+        cluster=cluster,
+        obs=obs,
+        injector=injector,
+        config={
+            "cluster": "voltrino",
+            "nodes": 2,
+            "balancer": "GreedyRefineLB",
+            "objects": len(objects),
+            "horizon": horizon,
+        },
+    )
+
+
+SCENARIOS: dict[str, Callable[[int, float], TraceRun]] = {
+    "mixed": _mixed,
+    "loadbalance": _loadbalance,
+}
+
+
+def run_scenario(name: str, seed: int = 0, horizon: float = 120.0) -> TraceRun:
+    """Run a named scenario end-to-end with tracing attached."""
+    try:
+        factory = SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise ObservabilityError(
+            f"unknown scenario {name!r} (known: {known})"
+        ) from None
+    if horizon <= 0:
+        raise ObservabilityError("horizon must be positive")
+    return factory(seed, horizon)

@@ -1,0 +1,355 @@
+"""Structured span/event collection in *simulated* time.
+
+A :class:`SpanCollector` is the substrate-wide analogue of the monitoring
+stack: while :class:`~repro.monitoring.service.MetricService` samples
+numeric counters at 1 Hz, the collector records *causally linked spans and
+instant events* — process lifetimes, work segments, anomaly injection
+windows, scheduler decisions, MPI collectives, filesystem busy windows and
+load-balancer iterations — each stamped with the simulated clock.
+
+The design follows the same pull-based, pay-for-what-you-use pattern as
+:class:`~repro.sim.trace.Tracer`: nothing is recorded (and nothing beyond a
+``None``-check is executed) unless a collector is attached to the
+simulator.  Every instrumentation site in the engine and the subsystems is
+guarded by ``if obs is not None``.
+
+Spans carry:
+
+``sid``
+    A collector-unique id, handed out in emission order (deterministic for
+    a deterministic simulation).
+``parent``
+    Optional ``sid`` of the causally enclosing span (e.g. a segment span's
+    parent is its process span), preserved by both exporters.
+``track``
+    A ``(group, lane)`` pair naming where the span renders in a trace
+    viewer — ``("node0", "p3:app")`` for process work,
+    ``("cluster", "scheduler")`` for control-plane events.
+
+Host wall-time annotation is opt-in (``wallclock=True``): spans then carry
+a ``host_s`` arg with the host-clock emission offset.  It is off by
+default because it makes exported traces non-reproducible byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+from repro.errors import ObservabilityError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+    from repro.sim.process import SimProcess
+
+#: (group, lane) pair locating a span/event in the trace display.
+Track = tuple[str, str]
+
+
+@dataclass
+class Span:
+    """One duration event in simulated time (``end is None`` while open)."""
+
+    sid: int
+    cat: str
+    name: str
+    track: Track
+    start: float
+    end: float | None = None
+    parent: int | None = None
+    args: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def open(self) -> bool:
+        return self.end is None
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise ObservabilityError(f"span {self.name!r} is still open")
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class InstantEvent:
+    """One point event in simulated time."""
+
+    cat: str
+    name: str
+    track: Track
+    time: float
+    args: Mapping[str, object] = field(default_factory=dict)
+
+
+class SpanCollector:
+    """Collects spans and instant events from an attached simulator.
+
+    Attach with :meth:`attach`; every instrumented subsystem then emits
+    through ``sim.obs``.  Detach restores the simulator to its un-observed
+    (zero-overhead) state while keeping the recorded data.
+
+    Parameters
+    ----------
+    wallclock:
+        Annotate each span/instant with the host-clock offset (seconds
+        since the collector was created) under the ``host_s`` arg.  Off by
+        default: host timings make exports non-reproducible.
+    resolve_events:
+        Record one instant event per engine rate-resolve round.  On by
+        default; turn off for very long traces where only subsystem spans
+        matter.
+    """
+
+    def __init__(self, wallclock: bool = False, resolve_events: bool = True) -> None:
+        self.spans: list[Span] = []
+        self.instants: list[InstantEvent] = []
+        self.wallclock = wallclock
+        self.resolve_events = resolve_events
+        self._sim: "Simulator | None" = None
+        self._next_sid = 1
+        #: open per-pid spans maintained by the engine callbacks
+        self._proc_spans: dict[int, Span] = {}
+        self._seg_spans: dict[int, Span] = {}
+        # Engine pids are allocated from a process-global counter, so lane
+        # names derived from them would differ between two same-seed runs in
+        # one interpreter.  Map them to run-local ordinals instead to keep
+        # exported traces byte-identical across reruns.
+        self._local_pids: dict[int, int] = {}
+        #: spans auto-closed when (all of) their watched pids terminate
+        self._watch_index: dict[int, list[Span]] = {}
+        self._watch_remaining: dict[int, set[int]] = {}
+        #: open keyed windows (e.g. per-filesystem busy spans)
+        self._windows: dict[object, Span] = {}
+        # Host reference point for the opt-in wall-time annotations; this
+        # is observability output only and never feeds simulated state.
+        self._host_t0 = time.perf_counter() if wallclock else 0.0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def attach(self, sim: "Simulator") -> None:
+        """Start observing ``sim`` (sets ``sim.obs`` to this collector)."""
+        if self._sim is not None:
+            raise ObservabilityError("collector already attached")
+        if getattr(sim, "obs", None) is not None:
+            raise ObservabilityError("simulator already has a collector attached")
+        self._sim = sim
+        sim.obs = self
+
+    def detach(self) -> None:
+        """Stop observing; recorded spans/events are kept."""
+        if self._sim is None:
+            raise ObservabilityError("collector is not attached")
+        self._sim.obs = None
+        self._sim = None
+
+    @property
+    def attached(self) -> bool:
+        return self._sim is not None
+
+    @property
+    def now(self) -> float:
+        if self._sim is None:
+            raise ObservabilityError("collector is not attached")
+        return self._sim.now
+
+    # -- emission -----------------------------------------------------------
+
+    def _annotate(self, args: dict[str, object]) -> dict[str, object]:
+        if self.wallclock:
+            args["host_s"] = time.perf_counter() - self._host_t0
+        return args
+
+    def begin(
+        self,
+        cat: str,
+        name: str,
+        track: Track,
+        start: float | None = None,
+        parent: int | None = None,
+        args: Mapping[str, object] | None = None,
+    ) -> Span:
+        """Open a span at ``start`` (default: simulated now)."""
+        span = Span(
+            sid=self._next_sid,
+            cat=cat,
+            name=name,
+            track=track,
+            start=self.now if start is None else start,
+            parent=parent,
+            args=self._annotate(dict(args) if args else {}),
+        )
+        self._next_sid += 1
+        self.spans.append(span)
+        return span
+
+    def end(
+        self,
+        span: Span,
+        t: float | None = None,
+        args: Mapping[str, object] | None = None,
+    ) -> None:
+        """Close an open span at ``t`` (default: simulated now)."""
+        if span.end is not None:
+            raise ObservabilityError(f"span {span.name!r} already closed")
+        span.end = self.now if t is None else t
+        if args:
+            span.args.update(args)
+
+    def complete(
+        self,
+        cat: str,
+        name: str,
+        track: Track,
+        start: float,
+        end: float,
+        parent: int | None = None,
+        args: Mapping[str, object] | None = None,
+    ) -> Span:
+        """Record an already-finished span (e.g. a barrier cycle)."""
+        span = self.begin(cat, name, track, start=start, parent=parent, args=args)
+        span.end = end
+        return span
+
+    def instant(
+        self,
+        cat: str,
+        name: str,
+        track: Track,
+        t: float | None = None,
+        args: Mapping[str, object] | None = None,
+    ) -> InstantEvent:
+        """Record a point event at ``t`` (default: simulated now)."""
+        event = InstantEvent(
+            cat=cat,
+            name=name,
+            track=track,
+            time=self.now if t is None else t,
+            args=self._annotate(dict(args) if args else {}),
+        )
+        self.instants.append(event)
+        return event
+
+    def watch(self, span: Span, pids: Iterable[int]) -> None:
+        """Auto-close ``span`` when the last of ``pids`` terminates."""
+        remaining = set(pids)
+        if not remaining:
+            return
+        self._watch_remaining[span.sid] = remaining
+        for pid in remaining:
+            self._watch_index.setdefault(pid, []).append(span)
+
+    def window(
+        self,
+        key: object,
+        cat: str,
+        name: str,
+        track: Track,
+        active: bool,
+        args: Mapping[str, object] | None = None,
+    ) -> None:
+        """Maintain a keyed open/closed window span (idempotent).
+
+        ``active=True`` opens the window if closed; ``active=False``
+        closes it if open.  Used for state that is "busy while any demand
+        exists", like a filesystem serving requests.
+        """
+        span = self._windows.get(key)
+        if active and span is None:
+            self._windows[key] = self.begin(cat, name, track, args=args)
+        elif not active and span is not None:
+            del self._windows[key]
+            self.end(span)
+
+    def finalize(self, t: float | None = None) -> None:
+        """Close every still-open span (at ``t`` or simulated now).
+
+        Call before exporting so anomalies running "forever" and processes
+        alive at the horizon produce well-formed duration events.
+        """
+        end = self.now if t is None else t
+        for span in self.spans:
+            if span.end is None:
+                span.end = max(end, span.start)
+                span.args.setdefault("unfinished", True)
+        self._proc_spans.clear()
+        self._seg_spans.clear()
+        self._watch_index.clear()
+        self._watch_remaining.clear()
+        self._windows.clear()
+
+    # -- engine callbacks ---------------------------------------------------
+    # Called by the Simulator (guarded by ``if self.obs is not None``), so
+    # an unattached simulation never pays more than an attribute check.
+
+    def _lane(self, proc: "SimProcess") -> str:
+        local = self._local_pids.setdefault(proc.pid, len(self._local_pids) + 1)
+        return f"p{local}:{proc.name}"
+
+    def on_process_start(self, proc: "SimProcess") -> None:
+        lane = self._lane(proc)
+        self._proc_spans[proc.pid] = self.begin(
+            "engine",
+            proc.name,
+            (proc.node or "cluster", lane),
+            args={"pid": self._local_pids[proc.pid], "core": proc.core},
+        )
+
+    def on_segment_start(self, proc: "SimProcess") -> None:
+        self.on_segment_end(proc)
+        parent = self._proc_spans.get(proc.pid)
+        seg = proc.current
+        label = seg.label if seg is not None and seg.label else "segment"
+        self._seg_spans[proc.pid] = self.begin(
+            "engine",
+            label,
+            (proc.node or "cluster", self._lane(proc)),
+            parent=parent.sid if parent is not None else None,
+            args={"work": seg.work if seg is not None else 0.0},
+        )
+
+    def on_segment_end(self, proc: "SimProcess") -> None:
+        span = self._seg_spans.pop(proc.pid, None)
+        if span is not None and span.end is None:
+            self.end(span)
+
+    def on_process_end(self, proc: "SimProcess") -> None:
+        self.on_segment_end(proc)
+        span = self._proc_spans.pop(proc.pid, None)
+        if span is not None and span.end is None:
+            self.end(span, args={"exit": proc.exit_reason})
+        for watched in self._watch_index.pop(proc.pid, ()):  # group spans
+            remaining = self._watch_remaining.get(watched.sid)
+            if remaining is None:
+                continue
+            remaining.discard(proc.pid)
+            if not remaining:
+                del self._watch_remaining[watched.sid]
+                if watched.end is None:
+                    self.end(watched)
+
+    def on_resolve(self, now: float, n_running: int, dirty: frozenset[int] | None) -> None:
+        if not self.resolve_events:
+            return
+        self.instant(
+            "engine",
+            "resolve",
+            ("cluster", "engine"),
+            t=now,
+            args={
+                "running": n_running,
+                "dirty": -1 if dirty is None else len(dirty),
+            },
+        )
+
+    # -- queries ------------------------------------------------------------
+
+    def by_category(self, cat: str) -> list[Span]:
+        return [span for span in self.spans if span.cat == cat]
+
+    def categories(self) -> dict[str, int]:
+        """Span counts per category (summary/manifest material)."""
+        counts: dict[str, int] = {}
+        for span in self.spans:
+            counts[span.cat] = counts.get(span.cat, 0) + 1
+        return dict(sorted(counts.items()))

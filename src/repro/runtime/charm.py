@@ -88,10 +88,27 @@ class CharmRuntime:
         return self.stats
 
     def _controller(self, proc: SimProcess) -> Body:
+        previous: dict[int, int] = {}
         for it in range(self.iterations):
             assignment = self.balancer.assign(
                 self.objects, self.cores, dict(self._speeds)
             )
+            obs = self.cluster.sim.obs
+            if obs is not None and previous:
+                placed = {
+                    o.oid: core for core, objs in assignment.items() for o in objs
+                }
+                moved = sum(1 for oid, core in placed.items() if previous.get(oid) != core)
+                if moved:
+                    obs.instant(
+                        "charm",
+                        "migrate",
+                        ("charm", self.balancer.name),
+                        args={"iteration": it, "moved": moved},
+                    )
+            previous = {
+                o.oid: core for core, objs in assignment.items() for o in objs
+            }
             loaded = {c: objs for c, objs in assignment.items() if objs}
             barrier = Barrier(self.cluster.sim, len(loaded) + 1, name=f"charm-it{it}")
             t0 = proc.now
@@ -109,6 +126,15 @@ class CharmRuntime:
                 workers[core] = (worker, work)
             yield from barrier.wait()
             duration = proc.now - t0
+            if obs is not None:
+                obs.complete(
+                    "charm",
+                    f"iteration {it}",
+                    ("charm", self.balancer.name),
+                    start=t0,
+                    end=proc.now,
+                    args={"workers": len(loaded)},
+                )
             for core, (worker, work) in workers.items():
                 elapsed = worker.counters.get("charm_compute_seconds", 0.0)
                 if elapsed > 0:

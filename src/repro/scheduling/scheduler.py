@@ -54,6 +54,14 @@ class JobScheduler:
         nodes = policy.select(statuses, n_nodes)
         allocation = Allocation(policy=policy.name, nodes=nodes)
         self.history.append(allocation)
+        obs = self.cluster.sim.obs
+        if obs is not None:
+            obs.instant(
+                "scheduler",
+                f"allocate:{policy.name}",
+                ("cluster", "scheduler"),
+                args={"nodes": list(nodes), "free": len(statuses)},
+            )
         return allocation
 
     def submit(
@@ -77,4 +85,17 @@ class JobScheduler:
         )
         job.launch()
         self._active.append((allocation, job))
+        obs = self.cluster.sim.obs
+        if obs is not None:
+            span = obs.begin(
+                "scheduler",
+                f"job:{app.name}",
+                ("cluster", "scheduler"),
+                args={
+                    "policy": allocation.policy,
+                    "nodes": list(allocation.nodes),
+                    "ranks": len(job.procs),
+                },
+            )
+            obs.watch(span, [proc.pid for proc in job.procs])
         return allocation, job

@@ -132,6 +132,10 @@ class Simulator:
         self.now: float = 0.0
         self.stats = SimStats()
         self.model.attach_stats(self.stats)
+        #: attached span collector (see :mod:`repro.obs`), or None.  Every
+        #: emission site is guarded by a None-check, so an unobserved
+        #: simulation pays nothing beyond the attribute read.
+        self.obs = None
         self._queue = EventQueue()
         self._processes: dict[int, SimProcess] = {}
         self._running: list[SimProcess] = []
@@ -288,6 +292,8 @@ class Simulator:
     def _start(self, proc: SimProcess) -> None:
         proc._bind(self)
         proc.start_time = self.now
+        if self.obs is not None:
+            self.obs.on_process_start(proc)
         self._ready.append(proc)
 
     def _advance(self, t: float) -> None:
@@ -333,16 +339,22 @@ class Simulator:
                 proc.state = ProcessState.RUNNING
                 self._running.append(proc)
             self._mark_dirty(proc)
+            if self.obs is not None:
+                self.obs.on_segment_start(proc)
         elif isinstance(item, Sleep):
             proc.current = None
             proc.state = ProcessState.SLEEPING
             proc.wake_version += 1
+            if self.obs is not None:
+                self.obs.on_segment_end(proc)
             version = proc.wake_version
             self._queue.push(self.now + item.duration, lambda: self._wake(proc, version))
         elif isinstance(item, Wait):
             proc.current = None
             proc.state = ProcessState.WAITING
             proc.wake_version += 1
+            if self.obs is not None:
+                self.obs.on_segment_end(proc)
             item.condition._add(proc)
         else:  # pragma: no cover - defensive
             raise SimulationError(f"process {proc.name} yielded {item!r}")
@@ -372,6 +384,8 @@ class Simulator:
         proc.exit_reason = reason
         proc.wake_version += 1
         self.model.on_process_end(proc)
+        if self.obs is not None:
+            self.obs.on_process_end(proc)
         for hook in self._terminate_hooks:
             hook(proc)
 
@@ -389,6 +403,8 @@ class Simulator:
         self.stats.count("resolves")
         if dirty is None:
             self.stats.count("full_resolves")
+        if self.obs is not None:
+            self.obs.on_resolve(self.now, len(self._running), dirty)
         with self.stats.timer("resolve"):
             speeds = self.model.resolve_incremental(self._running, self.now, dirty)
         for proc in self._running:

@@ -109,6 +109,23 @@ class Tracer:
         self._sim = sim
         sim.model = _TracingModel(sim.model, self)
 
+    def detach(self) -> None:
+        """Unwrap the simulator's rate model, restoring the original.
+
+        Recorded timelines are kept; the tracer can be re-attached (to the
+        same or another simulator) afterwards.
+        """
+        if self._sim is None:
+            raise RuntimeError("tracer is not attached")
+        model = self._sim.model
+        if not isinstance(model, _TracingModel) or model.tracer is not self:
+            raise RuntimeError(
+                "simulator's model is no longer this tracer's wrapper "
+                "(was another tracer attached on top?)"
+            )
+        self._sim.model = model.inner
+        self._sim = None
+
     # -- recording ------------------------------------------------------------
 
     def _timeline(self, proc: SimProcess) -> Timeline:

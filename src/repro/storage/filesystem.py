@@ -96,6 +96,10 @@ class SharedFilesystem:
         self.cpu_per_byte = cpu_per_byte
         self.meta_disk_bytes = meta_disk_bytes
         self.separate_metadata = separate_metadata
+        #: attached span collector (set by :class:`repro.obs.Observability`),
+        #: or None.  Guarded at every emission site, so an unobserved
+        #: filesystem pays nothing beyond the attribute read.
+        self.obs = None
 
     @classmethod
     def nfs_appliance(cls) -> "SharedFilesystem":
@@ -181,5 +185,16 @@ class SharedFilesystem:
                 write_bw=d.write_bw * ratio,
                 read_bw=d.read_bw * ratio,
                 meta_ops=d.meta_ops * ratio,
+            )
+        if self.obs is not None:
+            self.obs.instant(
+                "storage",
+                f"solve:{self.name}",
+                ("storage", self.name),
+                args={
+                    "requesters": len(demands),
+                    "nodes": len(nodes),
+                    "min_ratio": min(g.ratio for g in out.values()),
+                },
             )
         return out

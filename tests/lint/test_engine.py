@@ -40,7 +40,7 @@ class TestSuppressions:
         assert lint_source(src, SIM_PATH) == []
 
     def test_comma_separated_rules(self):
-        src = "# repro-lint: disable=RL001, RL007\n" + VIOLATION + "print(1)\n"
+        src = "# repro-lint: disable=RL001, RL010\n" + VIOLATION + "print(1)\n"
         assert lint_source(src, SIM_PATH) == []
 
     def test_unrelated_rule_not_suppressed(self):
@@ -134,4 +134,4 @@ class TestPathWalking:
         engine = LintEngine(LintConfig())
         findings = engine.lint_paths([tmp_path])
         assert findings == sorted(findings)
-        assert [f.rule_id for f in findings] == ["RL007", "RL001"]  # line order
+        assert [f.rule_id for f in findings] == ["RL010", "RL001"]  # line order

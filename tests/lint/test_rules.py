@@ -168,20 +168,31 @@ class TestRL006MutableDefault:
 
 
 class TestRL007NoPrint:
+    # RL007 only reports when its superset RL010 is disabled; these
+    # fixtures run with RL010 off to exercise the legacy behaviour.
+    CONFIG = LintConfig(disable=("RL010",))
+
+    def ids(self, source: str, path: str = SIM_PATH) -> list[str]:
+        findings = lint_source(textwrap.dedent(source), path, self.CONFIG)
+        return [f.rule_id for f in findings]
+
     def test_flags_print_in_library(self):
-        assert "RL007" in ids_for("def f():\n    print('hi')\n")
+        assert "RL007" in self.ids("def f():\n    print('hi')\n")
+
+    def test_suppressed_when_rl010_enabled(self):
+        assert ids_for("def f():\n    print('hi')\n") == ["RL010"]
 
     def test_docstring_mention_ok(self):
-        assert ids_for('def f():\n    """call print(x) yourself"""\n') == []
+        assert self.ids('def f():\n    """call print(x) yourself"""\n') == []
 
     def test_output_writer_ok(self):
-        assert ids_for(
+        assert self.ids(
             "from repro.output import OutputWriter\n"
             "def f():\n    OutputWriter().line('hi')\n"
         ) == []
 
     def test_non_library_code_ok(self):
-        assert ids_for("print('scratch')\n", path="benchmarks/scratch.py") == []
+        assert self.ids("print('scratch')\n", path="benchmarks/scratch.py") == []
 
 
 class TestRL008SilentExcept:
@@ -250,7 +261,39 @@ class TestRL009RawParallelism:
         assert ids_for("import multiprocessing\n", path=TEST_PATH) == []
 
 
-@pytest.mark.parametrize("rule_id", [f"RL00{i}" for i in range(1, 10)])
+class TestRL010OutputWriter:
+    def test_flags_print_in_library(self):
+        assert "RL010" in ids_for("def f():\n    print('hi')\n")
+
+    def test_flags_print_in_tests(self):
+        assert "RL010" in ids_for("print('dbg')\n", path=TEST_PATH)
+
+    def test_flags_print_in_scripts(self):
+        assert "RL010" in ids_for("print('scratch')\n", path="benchmarks/scratch.py")
+
+    def test_output_module_itself_exempt(self):
+        src = "def emit(text):\n    print(text)\n"
+        assert lint_source(src, "src/repro/output.py", LintConfig()) == []
+
+    def test_allowed_file_suffix(self):
+        config = LintConfig(output_allowed=("repro/output.py", "tools/report.py"))
+        assert lint_source("print('x')\n", "src/tools/report.py", config) == []
+
+    def test_allowed_directory_prefix(self):
+        config = LintConfig(output_allowed=("repro/output.py", "examples/"))
+        assert lint_source("print('x')\n", "examples/quickstart.py", config) == []
+        assert "RL010" in [
+            f.rule_id for f in lint_source("print('x')\n", "src/repro/x.py", config)
+        ]
+
+    def test_output_writer_ok(self):
+        assert ids_for(
+            "from repro.output import OutputWriter\n"
+            "def f():\n    OutputWriter().line('hi')\n"
+        ) == []
+
+
+@pytest.mark.parametrize("rule_id", [f"RL{i:03d}" for i in range(1, 11)])
 def test_every_rule_registered(rule_id):
     from repro.lint import RULE_REGISTRY
 

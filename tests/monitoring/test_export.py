@@ -7,7 +7,14 @@ from repro.cluster import Cluster
 from repro.core import CpuOccupy
 from repro.errors import ConfigError
 from repro.monitoring import MetricService
-from repro.monitoring.export import read_csv, to_csv_text, write_csv
+from repro.monitoring.export import (
+    read_csv,
+    read_jsonl,
+    to_csv_text,
+    to_jsonl_text,
+    write_csv,
+    write_jsonl,
+)
 
 
 @pytest.fixture
@@ -48,3 +55,44 @@ def test_read_rejects_foreign_csv(tmp_path):
     bad.write_text("a,b\n1,2\n")
     with pytest.raises(ConfigError):
         read_csv(bad)
+
+
+def test_jsonl_one_record_per_sample(collected):
+    text = to_jsonl_text(collected, "node0")
+    lines = text.strip().splitlines()
+    assert len(lines) == len(collected.times)
+    assert all(line.startswith("{") for line in lines)
+
+
+def test_jsonl_round_trip_exact(tmp_path, collected):
+    path = write_jsonl(collected, "node0", tmp_path / "node0.jsonl")
+    times, series = read_jsonl(path)
+    assert np.allclose(times, collected.timestamps())
+    assert sorted(series) == sorted(collected.metric_names)
+    for metric in collected.metric_names:
+        assert np.array_equal(series[metric], collected.series("node0", metric))
+
+
+def test_jsonl_deterministic_bytes(collected):
+    assert to_jsonl_text(collected, "node0") == to_jsonl_text(collected, "node0")
+
+
+def test_jsonl_empty_service_rejected():
+    cluster = Cluster(num_nodes=1)
+    service = MetricService(cluster)
+    with pytest.raises(ConfigError):
+        to_jsonl_text(service, "node0")
+
+
+def test_read_jsonl_rejects_foreign_file(tmp_path):
+    bad = tmp_path / "other.jsonl"
+    bad.write_text('{"a": 1}\n')
+    with pytest.raises(ConfigError):
+        read_jsonl(bad)
+
+
+def test_read_jsonl_empty_file(tmp_path):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    times, series = read_jsonl(empty)
+    assert times.size == 0 and series == {}

@@ -83,6 +83,43 @@ class TestCollection:
         with pytest.raises(ConfigError):
             svc.attach()
 
+    def test_attached_property_tracks_lifecycle(self):
+        cluster = Cluster(num_nodes=1)
+        svc = MetricService(cluster)
+        assert not svc.attached
+        svc.attach(end=5)
+        assert svc.attached
+        svc.detach()
+        assert not svc.attached
+
+    def test_unknown_metric_error_suggests_close_match(self):
+        cluster = Cluster(num_nodes=1)
+        svc = MetricService(cluster)
+        svc.attach(end=3)
+        cluster.sim.run(until=3)
+        with pytest.raises(ConfigError, match="did you mean.*user::procstat"):
+            svc.series("node0", "user::procstats")
+
+    def test_unknown_metric_error_lists_available(self):
+        cluster = Cluster(num_nodes=1)
+        svc = MetricService(cluster)
+        svc.attach(end=3)
+        cluster.sim.run(until=3)
+        with pytest.raises(ConfigError, match="available:"):
+            svc.series("node0", "zz-completely-unlike-anything")
+
+    def test_unknown_metric_before_sampling_mentions_attach(self):
+        cluster = Cluster(num_nodes=1)
+        svc = MetricService(cluster)
+        with pytest.raises(ConfigError, match="no samples collected"):
+            svc.series("node0", "user::procstat")
+
+    def test_unknown_node_error_lists_known_nodes(self):
+        cluster = Cluster(num_nodes=2)
+        svc = MetricService(cluster)
+        with pytest.raises(ConfigError, match="known nodes: node0, node1"):
+            svc.series("node9", "user::procstat")
+
     def test_invalid_interval(self):
         with pytest.raises(ConfigError):
             MetricService(Cluster(num_nodes=1), interval=0)

@@ -1,0 +1,158 @@
+"""Chrome trace / JSONL exporters and the CI schema validator."""
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    SpanCollector,
+    assert_valid_chrome_trace,
+    chrome_trace,
+    jsonl_lines,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl_trace,
+)
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def collector():
+    sim = Simulator()
+    c = SpanCollector()
+    c.attach(sim)
+    parent = c.begin("engine", "proc", ("node0", "pid1"), start=0.0)
+    c.complete("engine", "compute", ("node0", "pid1"), 0.0, 2.0, parent=parent.sid)
+    c.end(parent, t=3.0)
+    c.instant("scheduler", "allocate", ("cluster", "scheduler"), t=1.0)
+    c.complete(
+        "injector",
+        "cpuoccupy",
+        ("cluster", "injector"),
+        0.5,
+        2.5,
+        args={"duration": math.inf},
+    )
+    return c
+
+
+class TestChromeTrace:
+    def test_valid_by_own_validator(self, collector):
+        assert validate_chrome_trace(chrome_trace(collector)) == []
+
+    def test_event_counts(self, collector):
+        trace = chrome_trace(collector)
+        phases = [e["ph"] for e in trace["traceEvents"]]
+        assert phases.count("X") == 3
+        assert phases.count("i") == 1
+        assert phases.count("M") >= 3  # process + thread names
+
+    def test_times_in_microseconds(self, collector):
+        trace = chrome_trace(collector)
+        spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        proc = next(e for e in spans if e["name"] == "proc")
+        assert proc["ts"] == pytest.approx(0.0)
+        assert proc["dur"] == pytest.approx(3.0e6)
+
+    def test_parent_sid_preserved_in_args(self, collector):
+        trace = chrome_trace(collector)
+        compute = next(
+            e for e in trace["traceEvents"] if e.get("name") == "compute"
+        )
+        assert compute["args"]["parent"] == 1
+
+    def test_nonfinite_args_stringified(self, collector):
+        text = json.dumps(chrome_trace(collector))  # strict JSON must not fail
+        assert "Infinity" not in text
+
+    def test_track_ids_deterministic(self, collector):
+        a = chrome_trace(collector)
+        b = chrome_trace(collector)
+        assert a == b
+
+    def test_write_and_reload(self, tmp_path, collector):
+        path = write_chrome_trace(collector, tmp_path / "t.json")
+        loaded = json.loads(path.read_text())
+        assert validate_chrome_trace(loaded) == []
+
+    def test_written_bytes_deterministic(self, tmp_path, collector):
+        a = write_chrome_trace(collector, tmp_path / "a.json").read_text()
+        b = write_chrome_trace(collector, tmp_path / "b.json").read_text()
+        assert a == b
+
+    def test_open_span_closed_at_horizon(self):
+        c = SpanCollector()
+        c.attach(Simulator())
+        c.begin("x", "open", ("g", "l"), start=1.0)
+        c.complete("x", "done", ("g", "l"), 0.0, 9.0)
+        trace = chrome_trace(c)
+        open_event = next(
+            e for e in trace["traceEvents"] if e.get("name") == "open"
+        )
+        assert open_event["dur"] == pytest.approx(8.0e6)
+
+
+class TestJsonl:
+    def test_one_line_per_record(self, collector):
+        lines = jsonl_lines(collector)
+        assert len(lines) == len(collector.spans) + len(collector.instants)
+
+    def test_lines_parse_and_are_typed(self, collector):
+        records = [json.loads(line) for line in jsonl_lines(collector)]
+        kinds = {r["type"] for r in records}
+        assert kinds == {"span", "instant"}
+
+    def test_time_ordered(self, collector):
+        times = [
+            r.get("start", r.get("time"))
+            for r in map(json.loads, jsonl_lines(collector))
+        ]
+        assert times == sorted(times)
+
+    def test_write_jsonl(self, tmp_path, collector):
+        path = write_jsonl_trace(collector, tmp_path / "t.jsonl")
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == len(jsonl_lines(collector))
+
+
+class TestValidator:
+    def test_non_dict_rejected(self):
+        assert validate_chrome_trace([]) != []
+
+    def test_missing_trace_events_rejected(self):
+        assert validate_chrome_trace({}) != []
+
+    def test_missing_keys_reported(self):
+        problems = validate_chrome_trace({"traceEvents": [{"ph": "X"}]})
+        assert any("missing key" in p for p in problems)
+
+    def test_unknown_phase_reported(self):
+        event = {"name": "e", "ph": "Z", "ts": 0, "pid": 1, "tid": 1}
+        problems = validate_chrome_trace({"traceEvents": [event]})
+        assert any("unknown phase" in p for p in problems)
+
+    def test_negative_duration_reported(self):
+        event = {
+            "name": "e", "cat": "c", "ph": "X", "ts": 0, "dur": -1,
+            "pid": 1, "tid": 1,
+        }
+        meta = {
+            "name": "process_name", "ph": "M", "ts": 0, "pid": 1, "tid": 0,
+            "args": {"name": "g"},
+        }
+        problems = validate_chrome_trace({"traceEvents": [meta, event]})
+        assert any("dur" in p for p in problems)
+
+    def test_unnamed_pid_reported(self):
+        event = {
+            "name": "e", "cat": "c", "ph": "X", "ts": 0, "dur": 1,
+            "pid": 7, "tid": 1,
+        }
+        problems = validate_chrome_trace({"traceEvents": [event]})
+        assert any("process_name" in p for p in problems)
+
+    def test_assert_raises_with_summary(self):
+        with pytest.raises(ObservabilityError, match="invalid Chrome trace"):
+            assert_valid_chrome_trace({"traceEvents": "nope"})

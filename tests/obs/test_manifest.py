@@ -1,0 +1,132 @@
+"""Run manifests: content, canonical rendering, byte-identity contract."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import AnomalyInjector, CpuOccupy, Injection, MemBw
+from repro.monitoring import MetricService
+from repro.obs import (
+    build_manifest,
+    injection_labels,
+    manifest_text,
+    series_checksum,
+    service_checksums,
+    text_checksum,
+    write_manifest,
+)
+from repro.version import __version__
+
+
+def make_injector():
+    cluster = Cluster(num_nodes=2)
+    injector = AnomalyInjector(cluster)
+    injector.add(
+        Injection(MemBw(), node="node1", core=2, start=5.0, duration=10.0)
+    )
+    injector.add(Injection(CpuOccupy(utilization=80), node="node0", core=0, start=1.0))
+    return injector
+
+
+class TestChecksums:
+    def test_text_checksum_stable(self):
+        assert text_checksum("abc") == text_checksum("abc")
+        assert text_checksum("abc") != text_checksum("abd")
+
+    def test_series_checksum_uses_float64_bytes(self):
+        a = series_checksum(np.array([1.0, 2.0, 3.0]))
+        b = series_checksum(np.array([1, 2, 3], dtype=int))
+        assert a == b  # both normalised to <f8
+        assert a != series_checksum(np.array([1.0, 2.0, 3.5]))
+
+    def test_service_checksums_one_digest_per_node(self):
+        cluster = Cluster(num_nodes=2)
+        service = MetricService(cluster)
+        service.attach(end=5)
+        cluster.sim.run(until=5)
+        digests = service_checksums(service)
+        assert sorted(digests) == ["node0", "node1"]
+        assert all(len(d) == 64 for d in digests.values())
+
+
+class TestInjectionLabels:
+    def test_sorted_by_start_node_name(self):
+        labels = injection_labels(make_injector())
+        assert [lab["anomaly"] for lab in labels] == ["cpuoccupy", "membw"]
+        assert labels[0]["start"] == pytest.approx(1.0)
+
+    def test_infinite_duration_stringified(self):
+        labels = injection_labels(make_injector())
+        cpu = next(lab for lab in labels if lab["anomaly"] == "cpuoccupy")
+        assert cpu["duration"] == "inf"
+
+    def test_knobs_carry_table1_settings(self):
+        labels = injection_labels(make_injector())
+        cpu = next(lab for lab in labels if lab["anomaly"] == "cpuoccupy")
+        assert cpu["knobs"]["utilization"] == 80
+
+
+class TestBuildManifest:
+    def test_minimal_manifest(self):
+        manifest = build_manifest("exp")
+        assert manifest["name"] == "exp"
+        assert manifest["version"] == __version__
+        assert manifest["seed"] is None
+
+    def test_counters_included_timings_excluded(self):
+        cluster = Cluster(num_nodes=1)
+        CpuOccupy(utilization=50, duration=1.0).launch(cluster, "node0", core=0)
+        cluster.sim.run(until=2)
+        manifest = build_manifest("exp", stats=cluster.sim.stats)
+        assert "resolves" in manifest["counters"]
+        text = manifest_text(manifest)
+        assert "timings" not in text and "t_resolve" not in text
+
+    def test_results_checksum_matches_text(self):
+        manifest = build_manifest("exp", results_text="table\n")
+        assert manifest["results_checksum"] == text_checksum("table\n")
+
+    def test_manifest_text_is_canonical(self):
+        manifest = build_manifest("exp", config={"b": 1, "a": math.inf})
+        text = manifest_text(manifest)
+        assert text.endswith("\n")
+        assert json.loads(text)["config"]["a"] == "inf"
+        # sorted keys: "a" rendered before "b"
+        assert text.index('"a"') < text.index('"b"')
+
+    def test_write_manifest_round_trip(self, tmp_path):
+        manifest = build_manifest("exp", seed=3, config={"n": 2})
+        path = write_manifest(tmp_path / "manifest.json", manifest)
+        assert json.loads(path.read_text())["seed"] == 3
+
+
+class TestByteIdentity:
+    def run_once(self, seed):
+        cluster = Cluster(num_nodes=2)
+        service = MetricService(cluster, noise=0.02, seed=seed)
+        service.attach(end=20)
+        injector = AnomalyInjector(cluster)
+        injector.add(
+            Injection(CpuOccupy(utilization=90), node="node0", core=0, start=2.0, duration=10.0)
+        )
+        injector.deploy()
+        cluster.sim.run(until=20)
+        return manifest_text(
+            build_manifest(
+                "identity",
+                seed=seed,
+                config={"nodes": 2},
+                stats=cluster.sim.stats,
+                injector=injector,
+                service=service,
+            )
+        )
+
+    def test_same_seed_reruns_byte_identical(self):
+        assert self.run_once(7) == self.run_once(7)
+
+    def test_different_seed_changes_checksums(self):
+        assert self.run_once(7) != self.run_once(8)

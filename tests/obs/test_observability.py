@@ -1,0 +1,154 @@
+"""The unified Observability handle and the end-to-end trace scenarios."""
+
+import json
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.errors import ObservabilityError
+from repro.obs import (
+    Observability,
+    SCENARIOS,
+    run_scenario,
+    validate_chrome_trace,
+)
+
+
+class TestObservabilityHandle:
+    def test_attach_wires_sim_and_service(self):
+        cluster = Cluster(num_nodes=1)
+        obs = Observability(cluster).attach(end=5)
+        assert cluster.sim.obs is obs.collector
+        assert obs.service is not None and obs.service.attached
+        cluster.sim.run(until=5)
+        assert len(obs.service.times) > 0
+
+    def test_attach_adopts_existing_service(self):
+        cluster = Cluster(num_nodes=1)
+        from repro.monitoring import MetricService
+
+        service = MetricService(cluster)
+        service.attach(end=5)
+        obs = Observability(cluster, service=service).attach()
+        assert obs.service is service  # adopted, not re-attached
+
+    def test_detach_restores_zero_cost_state(self):
+        cluster = Cluster.chameleon(num_nodes=2, with_nfs=True)
+        obs = Observability(cluster).attach()
+        obs.detach()
+        assert cluster.sim.obs is None
+        assert all(fs.obs is None for fs in cluster.filesystems.values())
+        assert not obs.service.attached
+
+    def test_snapshot_unifies_surfaces(self):
+        cluster = Cluster(num_nodes=1)
+        obs = Observability(cluster).attach(end=3)
+        cluster.sim.run(until=3)
+        snap = obs.snapshot()
+        assert set(snap) >= {"counters", "spans", "instants", "metrics", "samples"}
+
+    def test_unknown_trace_format_rejected(self, tmp_path):
+        cluster = Cluster(num_nodes=1)
+        obs = Observability(cluster).attach()
+        with pytest.raises(ObservabilityError, match="unknown trace format"):
+            obs.write_trace(tmp_path / "t.bin", fmt="binary")
+
+
+class TestScenarios:
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ObservabilityError, match="unknown scenario"):
+            run_scenario("nope")
+
+    def test_bad_horizon_rejected(self):
+        with pytest.raises(ObservabilityError, match="horizon"):
+            run_scenario("mixed", horizon=0.0)
+
+    def test_scenario_registry_names(self):
+        assert set(SCENARIOS) == {"mixed", "loadbalance"}
+
+    def test_mixed_covers_five_subsystems(self):
+        run = run_scenario("mixed", seed=0, horizon=120.0)
+        categories = set(run.obs.collector.categories())
+        assert categories >= {"engine", "injector", "scheduler", "mpi", "storage"}
+
+    def test_mixed_trace_is_valid_chrome_json(self, tmp_path):
+        run = run_scenario("mixed", seed=0, horizon=120.0)
+        path = run.obs.write_trace(tmp_path / "trace.json")
+        assert validate_chrome_trace(json.loads(path.read_text())) == []
+
+    def test_mixed_manifest_byte_identical_across_reruns(self, tmp_path):
+        def manifest_bytes(path):
+            run = run_scenario("mixed", seed=3, horizon=120.0)
+            out = run.obs.write_manifest(
+                tmp_path / path,
+                name="trace-mixed",
+                seed=run.seed,
+                config=run.config,
+                injector=run.injector,
+            )
+            return out.read_bytes()
+
+        assert manifest_bytes("a.json") == manifest_bytes("b.json")
+
+    def test_mixed_trace_byte_identical_across_reruns(self, tmp_path):
+        def trace_bytes(path):
+            run = run_scenario("mixed", seed=0, horizon=120.0)
+            return run.obs.write_trace(tmp_path / path).read_bytes()
+
+        assert trace_bytes("a.json") == trace_bytes("b.json")
+
+    def test_loadbalance_emits_charm_spans(self):
+        run = run_scenario("loadbalance", seed=0, horizon=60.0)
+        categories = run.obs.collector.categories()
+        assert categories.get("charm", 0) >= 12  # one span per iteration
+        migrations = [
+            e for e in run.obs.collector.instants if e.name == "migrate"
+        ]
+        assert migrations  # the balancer reacts to the cpuoccupy squat
+
+
+class TestTraceCli:
+    def test_trace_subcommand_writes_artifacts(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "trace.json"
+        manifest = tmp_path / "manifest.json"
+        code = main(
+            [
+                "trace",
+                "mixed",
+                "--out",
+                str(out),
+                "--manifest",
+                str(manifest),
+                "--horizon",
+                "60",
+            ]
+        )
+        assert code == 0
+        assert validate_chrome_trace(json.loads(out.read_text())) == []
+        assert json.loads(manifest.read_text())["name"] == "trace-mixed"
+        stdout = capsys.readouterr().out
+        assert "traced scenario 'mixed'" in stdout
+
+    def test_trace_subcommand_jsonl_format(self, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "trace.jsonl"
+        code = main(
+            ["trace", "loadbalance", "--out", str(out), "--format", "jsonl",
+             "--horizon", "40"]
+        )
+        assert code == 0
+        lines = out.read_text().strip().splitlines()
+        assert all(json.loads(line)["type"] in ("span", "instant") for line in lines)
+
+    def test_anomaly_trace_flag(self, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "anomaly.json"
+        code = main(
+            ["cpuoccupy", "-u", "80", "--horizon", "20", "--trace", str(out)]
+        )
+        assert code == 0
+        assert validate_chrome_trace(json.loads(out.read_text())) == []

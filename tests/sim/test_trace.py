@@ -6,7 +6,7 @@ from repro.cluster import Cluster
 from repro.core import CpuOccupy
 from repro.sim.engine import Simulator
 from repro.sim.process import Segment, SimProcess
-from repro.sim.trace import Tracer
+from repro.sim.trace import Timeline, TraceRecord, Tracer
 
 
 def test_timeline_records_speed_changes():
@@ -101,3 +101,81 @@ def test_double_attach_rejected():
     tracer.attach(sim)
     with pytest.raises(RuntimeError):
         tracer.attach(sim)
+
+
+def test_detach_restores_model_and_allows_reattach():
+    cluster = Cluster(num_nodes=1)
+    original_model = cluster.sim.model
+    tracer = Tracer()
+    tracer.attach(cluster.sim)
+
+    def app(proc):
+        yield Segment(work=2.0)
+
+    cluster.spawn("app", app, node=0, core=0)
+    cluster.sim.run()
+    tracer.detach()
+    assert cluster.sim.model is original_model
+    # recorded data survives detach, and the tracer can attach again
+    assert tracer.by_name("app").records
+    tracer.attach(cluster.sim)
+
+    def second(proc):
+        yield Segment(work=1.0)
+
+    cluster.spawn("second", second, node=0, core=0)
+    cluster.sim.run()
+    assert tracer.by_name("second").records
+    tracer.detach()
+    assert cluster.sim.model is original_model
+
+
+def test_detach_without_attach_rejected():
+    tracer = Tracer()
+    with pytest.raises(RuntimeError):
+        tracer.detach()
+
+
+def test_detach_with_foreign_model_rejected():
+    sim = Simulator()
+    tracer = Tracer()
+    tracer.attach(sim)
+    other = Tracer()
+    other.attach(sim)  # wraps on top of the first tracer's wrapper
+    with pytest.raises(RuntimeError, match="wrapper"):
+        tracer.detach()
+    other.detach()  # unwraps cleanly back to the first wrapper
+    tracer.detach()
+
+
+class TestTimelineIntervals:
+    @staticmethod
+    def _speed(time, value):
+        return TraceRecord(time=time, pid=1, name="p", kind="speed", detail="", value=value)
+
+    @staticmethod
+    def _end(time):
+        return TraceRecord(time=time, pid=1, name="p", kind="end", detail="done")
+
+    def test_empty_timeline(self):
+        assert Timeline().intervals() == []
+
+    def test_end_only_timeline(self):
+        assert Timeline(records=[self._end(3.0)]).intervals() == []
+
+    def test_coincident_speed_records(self):
+        timeline = Timeline(
+            records=[self._speed(1.0, 0.5), self._speed(1.0, 0.8), self._end(4.0)]
+        )
+        pieces = timeline.intervals()
+        # zero-width piece for the superseded record, then the real one
+        assert pieces == [(1.0, 1.0, 0.5), (1.0, 4.0, 0.8)]
+
+    def test_end_before_speed_record(self):
+        timeline = Timeline(records=[self._end(1.0), self._speed(2.0, 1.0)])
+        pieces = timeline.intervals()
+        assert pieces == [(2.0, 1.0, 1.0)]  # degenerate: end precedes speed
+
+    def test_open_timeline_extends_to_infinity(self):
+        pieces = Timeline(records=[self._speed(0.0, 1.0)]).intervals()
+        assert pieces == [(0.0, float("inf"), 1.0)]
