@@ -17,17 +17,23 @@ from __future__ import annotations
 
 from pathlib import Path
 
-from repro.experiments.common import write_result_manifest
+from repro.experiments.registry import get_experiment, persist_result
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
 
 def emit(result) -> None:
-    """Print an experiment's table and archive it under ``results/``."""
-    text = result.render()
+    """Print an experiment's table and archive it under ``results/``.
+
+    Persistence goes through :func:`repro.experiments.registry.persist_result`
+    — the same path the ``repro experiment`` CLI uses — so both front ends
+    produce byte-identical artefacts.
+    """
     print()
-    print(text)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    name = type(result).__name__.lstrip("_")
-    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
-    write_result_manifest(RESULTS_DIR, name, text + "\n")
+    print(result.render())
+    persist_result(result, RESULTS_DIR)
+
+
+def run_registered(name: str, **overrides):
+    """Run a registry experiment with this bench's overrides applied."""
+    return get_experiment(name).run(**overrides)

@@ -17,8 +17,29 @@ from dataclasses import dataclass, replace
 from repro.cluster.cluster import Cluster
 from repro.errors import ConfigError
 from repro.mpi.comm import Barrier, p2p_transfer
-from repro.sim.process import Body, Segment, SimProcess
+from repro.sim.process import Body, ProcessState, Segment, SimProcess
 from repro.sim.rng import spawn_rng
+
+
+class CheckpointStore:
+    """Completed-iteration marker shared by all ranks of one job.
+
+    A commit at iteration ``k`` means every rank finished iterations
+    ``< k`` (ranks commit right after the barrier, so the whole BSP step
+    is globally complete).  A restarted job resumes from ``committed``
+    instead of iteration 0 — the work a fault destroyed is bounded by the
+    checkpoint interval.
+    """
+
+    def __init__(self) -> None:
+        #: highest globally-complete iteration count saved so far
+        self.committed = 0
+        #: rank-level commit operations performed (accounting)
+        self.commits = 0
+
+    def commit(self, iteration: int) -> None:
+        self.committed = max(self.committed, iteration)
+        self.commits += 1
 
 
 @dataclass(frozen=True)
@@ -100,18 +121,32 @@ class Application:
         barrier: Barrier,
         seed: int | None,
         nic_bw: float,
+        start_iteration: int = 0,
+        checkpoint: "CheckpointStore | None" = None,
+        checkpoint_interval: int | None = None,
+        checkpoint_cost: float = 0.0,
     ) -> Body:
-        """One MPI rank: alloc, iterate compute+halo+barrier, free."""
+        """One MPI rank: alloc, iterate compute+halo+barrier, free.
+
+        ``start_iteration`` resumes a restarted rank mid-run; the jitter
+        stream is skipped forward so iteration ``i`` draws the same jitter
+        whether reached directly or through a restart.  With a
+        ``checkpoint`` store and interval, the rank commits after every
+        interval-th barrier (optionally paying ``checkpoint_cost`` seconds
+        of checkpoint traffic first).
+        """
         p = self.profile
         cluster: Cluster = proc.sim.model.cluster  # type: ignore[attr-defined]
         ledger = cluster.node(proc.node).memory
         ledger.alloc(proc.pid, p.mem_alloc)
         rng = spawn_rng(seed, f"{p.name}:rank{rank}")
+        for _ in range(start_iteration):
+            rng.standard_normal()  # keep per-iteration jitter stable across restarts
         try:
             # Halo partner: the next rank in a ring; transfers only matter
             # when the partner lives on a different node.
             partner_node = peers[(rank + 1) % len(peers)][0] if peers else None
-            for it in range(p.iterations):
+            for it in range(start_iteration, p.iterations):
                 jitter = 1.0 + p.jitter * float(rng.standard_normal())
                 yield Segment(
                     work=p.iter_seconds * max(0.2, jitter),
@@ -134,6 +169,22 @@ class Application:
                         label=f"{p.name} halo {it}",
                     )
                 yield from barrier.wait()
+                # Past the barrier, every rank has finished iteration `it`,
+                # so committing it+1 here is globally consistent.
+                proc.add_counter("app_iterations", 1.0)
+                if (
+                    checkpoint is not None
+                    and checkpoint_interval is not None
+                    and (it + 1) % checkpoint_interval == 0
+                    and it + 1 < p.iterations
+                ):
+                    if checkpoint_cost > 0:
+                        yield Segment(
+                            work=checkpoint_cost,
+                            cpu=0.3,
+                            label=f"{p.name} ckpt {it + 1}",
+                        )
+                    checkpoint.commit(it + 1)
         finally:
             ledger.free_all(proc.pid)
 
@@ -156,6 +207,19 @@ class AppJob:
         Launch time.
     seed:
         Seed for per-rank jitter streams.
+    checkpoint_interval / checkpoint_cost / checkpoint:
+        Enable checkpoint/restart: ranks commit to the (shared) store
+        every ``checkpoint_interval`` iterations, paying
+        ``checkpoint_cost`` simulated seconds per commit.  Pass the
+        previous run's store plus ``start_iteration`` to restart a job
+        from its last checkpoint.
+    start_iteration:
+        First iteration to execute (restart support); ranks skip their
+        jitter streams forward so the remaining iterations behave exactly
+        as they would have in the original run.
+    barrier_timeout / barrier_on_timeout:
+        Collective timeout knobs forwarded to the job's
+        :class:`~repro.mpi.comm.Barrier`.
     """
 
     def __init__(
@@ -166,15 +230,35 @@ class AppJob:
         ranks_per_node: int = 1,
         start: float = 0.0,
         seed: int | None = None,
+        checkpoint_interval: int | None = None,
+        checkpoint_cost: float = 0.0,
+        checkpoint: CheckpointStore | None = None,
+        start_iteration: int = 0,
+        barrier_timeout: float | None = None,
+        barrier_on_timeout: str = "abort",
     ) -> None:
         if not nodes or ranks_per_node < 1:
             raise ConfigError("need at least one node and one rank per node")
+        if checkpoint_interval is not None and checkpoint_interval < 1:
+            raise ConfigError("checkpoint interval must be >= 1")
+        if checkpoint_cost < 0:
+            raise ConfigError("checkpoint cost must be >= 0")
+        if not 0 <= start_iteration <= app.profile.iterations:
+            raise ConfigError("start_iteration must be within the iteration count")
         self.app = app
         self.cluster = cluster
         self.node_names = [cluster.node(n).name for n in nodes]
         self.ranks_per_node = ranks_per_node
         self.start = start
         self.seed = seed
+        self.checkpoint_interval = checkpoint_interval
+        self.checkpoint_cost = checkpoint_cost
+        if checkpoint is None and checkpoint_interval is not None:
+            checkpoint = CheckpointStore()
+        self.checkpoint = checkpoint
+        self.start_iteration = start_iteration
+        self.barrier_timeout = barrier_timeout
+        self.barrier_on_timeout = barrier_on_timeout
         self.procs: list[SimProcess] = []
         self._launched = False
 
@@ -196,12 +280,27 @@ class AppJob:
             raise ConfigError("job already launched")
         self._launched = True
         peers = self.placement()
-        barrier = Barrier(self.cluster.sim, self.n_ranks, name=f"{self.app.name}-sync")
+        barrier = Barrier(
+            self.cluster.sim,
+            self.n_ranks,
+            name=f"{self.app.name}-sync",
+            timeout=self.barrier_timeout,
+            on_timeout=self.barrier_on_timeout,
+        )
         nic_bw = self.cluster.spec.nic_bw
         for rank, (node, core) in enumerate(peers):
             body = (
                 lambda proc, _rank=rank: self.app.rank_body(
-                    proc, _rank, peers, barrier, self.seed, nic_bw
+                    proc,
+                    _rank,
+                    peers,
+                    barrier,
+                    self.seed,
+                    nic_bw,
+                    start_iteration=self.start_iteration,
+                    checkpoint=self.checkpoint,
+                    checkpoint_interval=self.checkpoint_interval,
+                    checkpoint_cost=self.checkpoint_cost,
                 )
             )
             self.procs.append(
@@ -213,6 +312,15 @@ class AppJob:
                     at=self.start,
                 )
             )
+        own_pids = {p.pid for p in self.procs}
+
+        def _on_terminate(proc: SimProcess) -> None:
+            # A killed rank must not deadlock its surviving siblings at the
+            # barrier; DONE ranks already left the collective normally.
+            if proc.state is ProcessState.KILLED and proc.pid in own_pids:
+                barrier.leave(proc)
+
+        self.cluster.sim.add_terminate_hook(_on_terminate)
         return self.procs
 
     @property

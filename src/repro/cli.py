@@ -8,6 +8,9 @@ module provides the same surface against the simulated substrate::
     python -m repro varbench miniGhost --anomaly cachecopy --jobs 4
     python -m repro lint src/ tests/
     python -m repro trace mixed --out trace.json --manifest manifest.json
+    python -m repro experiment --list
+    python -m repro experiment fig8
+    python -m repro faults --seed 1
 
 It builds a Voltrino-like cluster, optionally co-runs a benchmark
 application, injects the requested anomaly, and prints a monitoring
@@ -17,10 +20,18 @@ subcommand runs the determinism analyzer (see :mod:`repro.lint`); the
 repetitions optionally fanned out over ``--jobs`` worker processes; the
 ``trace`` subcommand runs a multi-subsystem scenario with span tracing
 attached and writes a Chrome trace-event file plus an optional run
-manifest (see :mod:`repro.obs` and docs/OBSERVABILITY.md).
-``--profile`` prints the engine's :class:`~repro.sim.stats.SimStats`
-counters (resolves, node reuse, flow memo hits, subsystem wall time);
-``--trace FILE`` records spans during an anomaly run.
+manifest (see :mod:`repro.obs` and docs/OBSERVABILITY.md); the
+``experiment`` subcommand runs any table/figure experiment from the
+registry (:mod:`repro.experiments.registry`) and archives its results
+exactly as the benchmark harness does; ``faults`` runs the
+fault-injection resilience sweep (see docs/FAULTS.md).
+
+Invoking an experiment by its bare name (``repro fig8``) still works as
+a deprecated alias for ``repro experiment fig8`` and prints a warning on
+stderr.  ``--profile`` prints the engine's
+:class:`~repro.sim.stats.SimStats` counters (resolves, node reuse, flow
+memo hits, subsystem wall time); ``--trace FILE`` records spans during
+an anomaly run.
 """
 
 from __future__ import annotations
@@ -194,16 +205,161 @@ def trace_main(argv: list[str]) -> int:
     return 0
 
 
+def build_experiment_parser() -> argparse.ArgumentParser:
+    from repro.experiments.registry import EXPERIMENT_REGISTRY
+
+    parser = argparse.ArgumentParser(
+        prog="repro experiment",
+        description="Run a registered table/figure experiment.",
+    )
+    parser.add_argument(
+        "name",
+        nargs="?",
+        choices=sorted(EXPERIMENT_REGISTRY),
+        help="experiment to run (omit with --list to enumerate)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list registered experiments"
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override the experiment's default seed (seeded experiments only)",
+    )
+    parser.add_argument(
+        "--out",
+        default="results",
+        help="directory for the archived table + manifest (default results/)",
+    )
+    parser.add_argument(
+        "--no-persist",
+        action="store_true",
+        help="print the table without writing the results archive",
+    )
+    return parser
+
+
+def experiment_main(argv: list[str]) -> int:
+    from repro.experiments.registry import (
+        EXPERIMENT_REGISTRY,
+        get_experiment,
+        persist_result,
+    )
+
+    args = build_experiment_parser().parse_args(argv)
+    out = OutputWriter()
+    if args.list or args.name is None:
+        width = max(len(name) for name in EXPERIMENT_REGISTRY)
+        for name in sorted(EXPERIMENT_REGISTRY):
+            spec = EXPERIMENT_REGISTRY[name]
+            seed = "-" if spec.seed is None else str(spec.seed)
+            out.line(f"{name.ljust(width)}  seed={seed:4s} {spec.description}")
+        return 0
+    spec = get_experiment(args.name)
+    result = spec.run(seed=args.seed)
+    out.line(result.render())
+    if not args.no_persist:
+        path = persist_result(result, args.out)
+        out.line(f"archived {path}")
+    return 0
+
+
+def build_faults_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro faults",
+        description="Fault-injection resilience sweep: job success rate, "
+        "goodput and makespan inflation vs. fault rate, with and without "
+        "checkpoint/restart (see docs/FAULTS.md).",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="sweep seed (default 1)")
+    parser.add_argument(
+        "--rates",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="R",
+        help="fault rates in faults per 1000 simulated seconds "
+        "(a fault-free baseline is always prepended)",
+    )
+    parser.add_argument(
+        "--n-jobs", type=int, default=6, help="jobs per stream (default 6)"
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=40, help="app iterations per job"
+    )
+    parser.add_argument(
+        "--horizon",
+        type=float,
+        default=600.0,
+        help="fault-schedule horizon in simulated seconds (default 600)",
+    )
+    parser.add_argument(
+        "--out",
+        default="results",
+        help="directory for the archived table + manifest (default results/)",
+    )
+    parser.add_argument(
+        "--no-persist",
+        action="store_true",
+        help="print the table without writing the results archive",
+    )
+    return parser
+
+
+def faults_main(argv: list[str]) -> int:
+    from repro.experiments.ext_faults import run_ext_faults
+    from repro.experiments.registry import persist_result
+
+    args = build_faults_parser().parse_args(argv)
+    kwargs = {}
+    if args.rates is not None:
+        kwargs["rates"] = tuple(args.rates)
+    result = run_ext_faults(
+        seed=args.seed,
+        n_jobs=args.n_jobs,
+        iterations=args.iterations,
+        horizon=args.horizon,
+        **kwargs,
+    )
+    out = OutputWriter()
+    out.line(result.render())
+    if not args.no_persist:
+        path = persist_result(result, args.out)
+        out.line(f"archived {path}")
+    return 0
+
+
+def _lint_main(argv: list[str]) -> int:
+    from repro.lint.cli import main as lint_main
+
+    return lint_main(argv)
+
+
+#: first-class subcommands; anything else is an anomaly name, or a bare
+#: experiment name kept as a deprecated alias of ``repro experiment``
+SUBCOMMANDS = {
+    "lint": _lint_main,
+    "varbench": varbench_main,
+    "trace": trace_main,
+    "experiment": experiment_main,
+    "faults": faults_main,
+}
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
-    if argv[:1] == ["lint"]:
-        from repro.lint.cli import main as lint_main
+    if argv and argv[0] in SUBCOMMANDS:
+        return SUBCOMMANDS[argv[0]](argv[1:])
+    if argv and argv[0] not in ANOMALY_REGISTRY:
+        from repro.experiments.registry import EXPERIMENT_REGISTRY
 
-        return lint_main(argv[1:])
-    if argv[:1] == ["varbench"]:
-        return varbench_main(argv[1:])
-    if argv[:1] == ["trace"]:
-        return trace_main(argv[1:])
+        if argv[0].lower() in EXPERIMENT_REGISTRY:
+            OutputWriter(stream=sys.stderr).line(
+                f"warning: `repro {argv[0]}` is deprecated; "
+                f"use `repro experiment {argv[0]}`"
+            )
+            return experiment_main(argv)
     # Split our options from the anomaly's HPAS-style knobs: everything the
     # parser does not know is forwarded to parse_cli.
     parser = build_parser()

@@ -71,6 +71,11 @@ class Cluster:
         self.filesystems: dict[str, SharedFilesystem] = {
             fs.name: fs for fs in filesystems
         }
+        #: attached :class:`~repro.faults.state.FaultState`, or None.  Set
+        #: by a FaultInjector; every consumer (rate model, scheduler) is
+        #: guarded by a None-check, so an un-faulted simulation pays
+        #: nothing beyond the attribute read.
+        self.faults = None
         self.model = ClusterRateModel(
             self,
             share_fn=share_fn,

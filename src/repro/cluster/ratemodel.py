@@ -182,6 +182,21 @@ class ClusterRateModel(RateModel):
             for stale in [name for name in self._node_cache if name not in by_node]:
                 del self._node_cache[stale]
 
+        # Fault-induced compute degradation (node hang / transient
+        # slowdown) scales the stage-1 outcome.  The node cache always
+        # stores *pre-fault* values, so the factor is applied uniformly on
+        # every resolve — cached and fresh nodes alike — and clears the
+        # moment the fault reverts (the injector forces a full resolve).
+        faults = self.cluster.faults
+        if faults is not None and faults.active:
+            for proc in running:
+                factor = faults.speed_factor(proc.node)
+                if factor < 1.0:
+                    speeds[proc.pid] *= factor
+                    rates = self._proc_rates[proc.pid]
+                    for key in rates:
+                        rates[key] *= factor
+
         with self.stats.timer("network"):
             self._solve_network(running, speeds)
         with self.stats.timer("storage"):
@@ -392,9 +407,21 @@ class ClusterRateModel(RateModel):
         if not requests:
             self._net_cache = None
             return
+        # Fault-induced link degradation scales the *granted* ratio, not
+        # the demand: scaling demand to zero would hit the ``demand <= 0``
+        # branch below and wrongly grant full speed.  The factors join the
+        # signature so a link_down apply/revert invalidates the stage memo.
+        faults = self.cluster.faults
+        if faults is not None and faults.active:
+            nic_factors = [
+                faults.nic_factor(req.src) * faults.nic_factor(req.dst)
+                for req in requests
+            ]
+        else:
+            nic_factors = [1.0] * len(requests)
         signature = tuple(
-            (proc.pid, req.src, req.dst, req.demand)
-            for req, (proc, _) in zip(requests, owners)
+            (proc.pid, req.src, req.dst, req.demand, nic)
+            for req, (proc, _), nic in zip(requests, owners, nic_factors)
         )
         if self._net_cache is not None and self._net_cache.signature == signature:
             # Identical flow demand set: the previous allocation stands.
@@ -406,9 +433,9 @@ class ClusterRateModel(RateModel):
         worst_ratio: dict[int, float] = {}
         tx_rates: dict[int, dict[str, float]] = {}
         remote: dict[str, dict[str, float]] = {}
-        for request, (proc, demand) in zip(requests, owners):
-            grant = result.grants[request.key]
-            ratio = 1.0 if demand <= 0 else min(1.0, grant / demand)
+        for request, (proc, demand), nic in zip(requests, owners, nic_factors):
+            grant = result.grants[request.key] * nic
+            ratio = nic if demand <= 0 else min(1.0, grant / demand)
             worst_ratio[proc.pid] = min(worst_ratio.get(proc.pid, 1.0), ratio)
             rates = tx_rates.setdefault(proc.pid, {"nic_tx_bytes": 0.0})
             rates["nic_tx_bytes"] += grant
@@ -454,10 +481,19 @@ class ClusterRateModel(RateModel):
         if not by_fs:
             self._io_cache = None
             return
-        signature = tuple(
-            (p.pid, p.node, fs_name, io.write_bw, io.read_bw, io.meta_ops)
-            for fs_name, pairs in by_fs.items()
-            for p, io in pairs
+        # Filesystem health (failed OSTs, metadata brownout) joins the
+        # signature so degradation events invalidate the stage memo even
+        # when the demand set itself is unchanged.
+        signature = (
+            tuple(
+                (p.pid, p.node, fs_name, io.write_bw, io.read_bw, io.meta_ops)
+                for fs_name, pairs in by_fs.items()
+                for p, io in pairs
+            ),
+            tuple(
+                (fs_name, self.cluster.filesystem(fs_name).health_revision)
+                for fs_name in sorted(by_fs)
+            ),
         )
         if self._io_cache is not None and self._io_cache.signature == signature:
             # Identical scaled IO demand set: previous grants stand.

@@ -111,10 +111,20 @@ class AnomalyInjector:
             obs.watch(span, [proc.pid])
         return proc
 
-    def active_labels(self, time: float) -> list[str]:
-        """Names of anomalies whose window covers ``time`` (ground truth)."""
+    def active_labels(self, time: float, faults=None) -> list[str]:
+        """Names of anomalies whose window covers ``time`` (ground truth).
+
+        When a :class:`~repro.faults.FaultInjector` (or anything exposing
+        ``crashed_between``) is passed, anomalies whose node is crashed at
+        ``time`` are excluded — a dead node's anomaly process died with it,
+        so it must not appear in the ground-truth label either.
+        """
         labels = []
         for injection in self.injections:
             if injection.start <= time < injection.start + injection.duration:
+                if faults is not None:
+                    node = self.cluster.node(injection.node).name
+                    if faults.crashed_between(node, injection.start, time + 1e-9):
+                        continue
                 labels.append(injection.anomaly.name)
         return labels

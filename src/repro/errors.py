@@ -56,6 +56,18 @@ class SchedulingError(ReproError):
     """A job could not be scheduled/allocated."""
 
 
+class FaultError(ReproError):
+    """Invalid fault-injection configuration or usage (repro.faults)."""
+
+
+class FaultInterrupt(ProcessCrash):
+    """Delivered into a simulated process when a fault terminates it."""
+
+
+class MPITimeoutError(ProcessCrash):
+    """A collective operation exceeded its timeout (abort semantics)."""
+
+
 class AnomalyError(ReproError):
     """Invalid anomaly configuration or usage."""
 

@@ -20,6 +20,7 @@ from repro.experiments.fig10_confusion import run_fig10
 from repro.experiments.fig11_12_allocation import run_fig11_12
 from repro.experiments.fig13_loadbalance import run_fig13
 from repro.experiments.ext_dragonfly import run_ext_dragonfly
+from repro.experiments.ext_faults import run_ext_faults
 from repro.experiments.ext_importance import run_ext_importance
 from repro.experiments.ext_jitter import run_ext_jitter
 from repro.experiments.ext_jobstream import run_ext_jobstream
@@ -29,6 +30,7 @@ from repro.experiments.ext_variability import run_ext_variability
 
 __all__ = [
     "run_ext_dragonfly",
+    "run_ext_faults",
     "run_ext_importance",
     "run_ext_jitter",
     "run_ext_jobstream",

@@ -1,0 +1,282 @@
+"""Experiment registry: one :class:`ExperimentSpec` per table/figure.
+
+Mirrors :mod:`repro.apps.registry`: every ``fig*``/``table*``/``ext_*``
+module registers here under a short name (``fig8``, ``table1``,
+``ext_faults``), and all front ends — the ``repro experiment`` CLI, the
+pytest benchmark harness, and :func:`repro.parallel.run_trials` sweeps —
+drive experiments through the same normalized interface::
+
+    spec = get_experiment("fig8")
+    result = run(spec)            # or run(spec, obs=...) / spec(seed=...)
+    persist_result(result, "results/")
+
+:func:`run` is a plain importable function of ``(spec, obs)``, so a list
+of specs can be handed straight to ``run_trials(run, specs, jobs=N)``.
+Runners keep their historical keyword signatures; the spec layer adapts:
+``seed``/``obs`` are forwarded only to runners that accept them, and
+results persist byte-identically to what the benchmark harness has always
+written (text table + deterministic manifest).
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import ConfigError
+from repro.experiments.common import write_result_manifest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.observability import Observability
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``fig8``, ``ext_faults``, ...).
+    description:
+        One-line summary shown by ``repro experiment --list``.
+    runner:
+        The module's ``run_*`` function; returns a result object with a
+        ``render()`` method.
+    result_name:
+        Basename of the persisted artefacts: ``results/<result_name>.txt``
+        and ``results/<result_name>.manifest.json``.
+    seed:
+        The runner's default seed, or None for seedless experiments.
+    """
+
+    name: str
+    description: str
+    runner: Callable[..., object]
+    result_name: str
+    seed: int | None = None
+
+    def result_path(self, directory: str | Path) -> Path:
+        return Path(directory) / f"{self.result_name}.txt"
+
+    def manifest_path(self, directory: str | Path) -> Path:
+        return Path(directory) / f"{self.result_name}.manifest.json"
+
+    @property
+    def takes_seed(self) -> bool:
+        return "seed" in inspect.signature(self.runner).parameters
+
+    def run(
+        self,
+        seed: int | None = None,
+        obs: "Observability | None" = None,
+        **overrides: object,
+    ) -> object:
+        """Run with normalized arguments.
+
+        ``seed`` and ``obs`` are forwarded only when the runner accepts a
+        parameter of that name (passing a seed to a seedless experiment is
+        an error, not a silent no-op); ``overrides`` go through verbatim.
+        """
+        params = inspect.signature(self.runner).parameters
+        kwargs = dict(overrides)
+        if seed is not None:
+            if "seed" not in params:
+                raise ConfigError(
+                    f"experiment {self.name!r} does not take a seed"
+                )
+            kwargs["seed"] = seed
+        if obs is not None and "obs" in params:
+            kwargs["obs"] = obs
+        return self.runner(**kwargs)
+
+
+def run(spec: ExperimentSpec, obs: "Observability | None" = None) -> object:
+    """Normalized entry point: run ``spec`` with its default arguments.
+
+    A module-level pure function so ``run_trials(run, specs, jobs=N)``
+    can fan a list of specs out over worker processes.
+    """
+    return spec.run(obs=obs)
+
+
+def persist_result(result: object, directory: str | Path) -> Path:
+    """Archive a result exactly as the benchmark harness does.
+
+    Writes ``<directory>/<Type>.txt`` (rendered table + newline) and the
+    paired deterministic manifest.  Seed and config provenance are taken
+    from the result object when it carries them (``result.seed`` /
+    ``result.config``), which keeps manifests of provenance-free results
+    byte-identical to those the harness has always produced.
+    """
+    directory = Path(directory)
+    directory.mkdir(exist_ok=True)
+    text = result.render() + "\n"
+    name = type(result).__name__.lstrip("_")
+    path = directory / f"{name}.txt"
+    path.write_text(text)
+    write_result_manifest(
+        directory,
+        name,
+        text,
+        seed=getattr(result, "seed", None),
+        config=getattr(result, "config", None),
+    )
+    return path
+
+
+def _build_registry() -> dict[str, ExperimentSpec]:
+    from repro import experiments as exp
+    from repro.experiments.ext_faults import run_ext_faults
+
+    specs = [
+        ExperimentSpec(
+            "table1",
+            "anomaly inventory with induced per-metric deviations",
+            exp.run_table1,
+            "Table1Result",
+        ),
+        ExperimentSpec(
+            "table2",
+            "proxy-app resource characterisation (Table 2)",
+            exp.run_table2,
+            "Table2Result",
+        ),
+        ExperimentSpec(
+            "fig2",
+            "cpuoccupy utilisation sweep vs application slowdown",
+            exp.run_fig2,
+            "Fig2Result",
+        ),
+        ExperimentSpec(
+            "fig3",
+            "cachecopy slowdown on both machine flavours",
+            exp.run_fig3,
+            "Fig3Result",
+        ),
+        ExperimentSpec(
+            "fig4",
+            "membw instance-count sweep vs memory bandwidth",
+            exp.run_fig4,
+            "Fig4Result",
+        ),
+        ExperimentSpec(
+            "fig5",
+            "memleak/memeater footprint growth and OOM behaviour",
+            exp.run_fig5,
+            "Fig5Result",
+        ),
+        ExperimentSpec(
+            "fig6",
+            "netoccupy impact under static vs adaptive routing",
+            exp.run_fig6,
+            "Fig6Result",
+        ),
+        ExperimentSpec(
+            "fig7",
+            "iobandwidth/iometadata impact on shared-filesystem clients",
+            exp.run_fig7,
+            "Fig7Result",
+        ),
+        ExperimentSpec(
+            "fig8",
+            "runtime matrix: every app against every anomaly",
+            exp.run_fig8,
+            "Fig8Result",
+        ),
+        ExperimentSpec(
+            "fig9",
+            "anomaly diagnosis F1 vs training-set size",
+            exp.run_fig9,
+            "Fig9Result",
+            seed=0,
+        ),
+        ExperimentSpec(
+            "fig10",
+            "anomaly diagnosis confusion matrix",
+            exp.run_fig10,
+            "Fig10Result",
+            seed=0,
+        ),
+        ExperimentSpec(
+            "fig11_12",
+            "RR vs WBAS allocation under anomalies",
+            exp.run_fig11_12,
+            "Fig11_12Result",
+        ),
+        ExperimentSpec(
+            "fig13",
+            "load balancing away from a cpuoccupy-squatted core",
+            exp.run_fig13,
+            "Fig13Result",
+        ),
+        ExperimentSpec(
+            "ext_dragonfly",
+            "netoccupy on a dragonfly topology (extension)",
+            exp.run_ext_dragonfly,
+            "DragonflyResult",
+        ),
+        ExperimentSpec(
+            "ext_faults",
+            "fault-injection sweep: success rate, goodput, makespan "
+            "with/without checkpointing (extension)",
+            run_ext_faults,
+            "FaultsResult",
+            seed=1,
+        ),
+        ExperimentSpec(
+            "ext_importance",
+            "diagnosis feature-importance ranking (extension)",
+            exp.run_ext_importance,
+            "ImportanceResult",
+            seed=4,
+        ),
+        ExperimentSpec(
+            "ext_jitter",
+            "OS jitter scaling with node count (extension)",
+            exp.run_ext_jitter,
+            "JitterResult",
+            seed=3,
+        ),
+        ExperimentSpec(
+            "ext_jobstream",
+            "job-stream scheduling under anomalies (extension)",
+            exp.run_ext_jobstream,
+            "JobStreamResult",
+        ),
+        ExperimentSpec(
+            "ext_lustre",
+            "NFS vs Lustre-like metadata isolation (extension)",
+            exp.run_ext_lustre,
+            "LustreResult",
+        ),
+        ExperimentSpec(
+            "ext_online",
+            "online anomaly detection latency (extension)",
+            exp.run_ext_online,
+            "OnlineResult",
+            seed=6,
+        ),
+        ExperimentSpec(
+            "ext_variability",
+            "induced run-to-run variability report (extension)",
+            exp.run_ext_variability,
+            "VariabilityResult",
+            seed=5,
+        ),
+    ]
+    return {spec.name: spec for spec in specs}
+
+
+EXPERIMENT_REGISTRY: dict[str, ExperimentSpec] = _build_registry()
+
+
+def get_experiment(name: str) -> ExperimentSpec:
+    """Look up an experiment by name (case-insensitive)."""
+    for key, spec in EXPERIMENT_REGISTRY.items():
+        if key.lower() == name.lower():
+            return spec
+    known = ", ".join(sorted(EXPERIMENT_REGISTRY))
+    raise ConfigError(f"unknown experiment {name!r} (known: {known})")

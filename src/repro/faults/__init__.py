@@ -1,0 +1,58 @@
+"""Deterministic fault injection & resilience (FINJ-style).
+
+HPAS reproduces *performance* anomalies; production clusters also suffer
+hard faults — crashed nodes, hung daemons, dead links, filesystem
+brownouts.  This package layers a fault campaign over the simulated
+substrate (Netti et al.'s FINJ workload+fault-schedule pattern) and gives
+the rest of the stack the resilience mechanisms real systems react with:
+retry with exponential backoff, checkpoint/restart, scheduler requeue,
+MPI collective timeouts, and graceful filesystem degradation.
+
+Entry points:
+
+:class:`FaultSchedule`
+    Explicit or seeded-generated ``(time, node, fault, duration)`` events.
+:class:`FaultInjector`
+    Deploys a schedule onto a cluster; every fault window becomes an obs
+    span and composes freely with :class:`~repro.core.AnomalyInjector`
+    campaigns.
+:class:`RetryPolicy`
+    Deterministic exponential backoff + jitter from the sim RNG.
+
+See docs/FAULTS.md for the model catalogue and knob reference.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.models import (
+    FAULT_REGISTRY,
+    Fault,
+    LinkDown,
+    MetadataBrownout,
+    NodeCrash,
+    NodeHang,
+    OomKill,
+    OstFailure,
+    TransientSlowdown,
+    make_fault,
+)
+from repro.faults.retry import RetryPolicy
+from repro.faults.schedule import FaultEvent, FaultSchedule
+from repro.faults.state import FaultState
+
+__all__ = [
+    "FAULT_REGISTRY",
+    "Fault",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultState",
+    "LinkDown",
+    "MetadataBrownout",
+    "NodeCrash",
+    "NodeHang",
+    "OomKill",
+    "OstFailure",
+    "RetryPolicy",
+    "TransientSlowdown",
+    "make_fault",
+]

@@ -1,0 +1,144 @@
+"""Deploys a fault schedule onto a cluster.
+
+The :class:`FaultInjector` mirrors :class:`~repro.core.AnomalyInjector`:
+it owns the campaign records, schedules apply/revert actions on the
+simulator, and emits one obs span per fault window (category
+``"faults"``) plus a ``recovered`` instant when the window closes.  Both
+injectors compose on one cluster — a fault campaign can crash the node an
+anomaly campaign is stressing, which is exactly the ground-truth
+composition :meth:`~repro.core.AnomalyInjector.active_labels` accounts
+for via :meth:`FaultInjector.crashed_between`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from repro.errors import FaultError
+from repro.faults.models import Fault
+from repro.faults.schedule import FaultEvent, FaultSchedule
+from repro.faults.state import FaultState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.cluster import Cluster
+
+
+class FaultInjector:
+    """Schedules a fault campaign onto a cluster.
+
+    Construction attaches a fresh :class:`FaultState` as
+    ``cluster.faults`` (one injector per cluster); :meth:`detach`
+    removes it, restoring the zero-overhead un-faulted fast path.
+    """
+
+    def __init__(self, cluster: "Cluster") -> None:
+        if cluster.faults is not None:
+            raise FaultError("cluster already has a fault injector attached")
+        self.cluster = cluster
+        self.state = FaultState()
+        cluster.faults = self.state
+        self.schedule = FaultSchedule()
+        self._deployed: set[int] = set()
+
+    # -- campaign construction ----------------------------------------------
+
+    def add(
+        self,
+        time: float,
+        node: str,
+        fault: Fault | str,
+        duration: float = math.inf,
+        **knobs: object,
+    ) -> FaultEvent:
+        """Queue one fault event (call :meth:`deploy` to schedule them)."""
+        return self.schedule.add(time, node, fault, duration=duration, **knobs)
+
+    def extend(self, schedule: FaultSchedule) -> None:
+        """Queue every event of a pre-built schedule."""
+        for event in schedule.events:
+            self.schedule.add(
+                event.time, event.node, event.fault, duration=event.duration
+            )
+
+    def inject(
+        self,
+        fault: Fault | str,
+        node: str,
+        start: float = 0.0,
+        duration: float = math.inf,
+        **knobs: object,
+    ) -> FaultEvent:
+        """Convenience: queue and immediately deploy one fault."""
+        event = self.add(start, node, fault, duration=duration, **knobs)
+        self._deploy_one(event)
+        return event
+
+    def deploy(self) -> int:
+        """Schedule every queued event not yet deployed; returns the count."""
+        n = 0
+        for event in self.schedule.events:
+            if id(event) not in self._deployed:
+                self._deploy_one(event)
+                n += 1
+        return n
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _deploy_one(self, event: FaultEvent) -> None:
+        self._deployed.add(id(event))
+        sim = self.cluster.sim
+        sim.schedule(event.time, lambda: self._apply(event))
+
+    def _apply(self, event: FaultEvent) -> None:
+        sim = self.cluster.sim
+        span = None
+        if sim.obs is not None:
+            span = sim.obs.begin(
+                "faults",
+                event.fault.name,
+                ("cluster", "faults"),
+                args={
+                    "node": event.node,
+                    "duration": event.duration,
+                    **event.fault.describe(),
+                },
+            )
+        event.fault.apply(self.cluster, event.node)
+        sim.invalidate_rates()
+        if math.isfinite(event.duration):
+            sim.call_in(event.duration, lambda: self._revert(event, span))
+
+    def _revert(self, event: FaultEvent, span) -> None:
+        sim = self.cluster.sim
+        event.fault.revert(self.cluster, event.node)
+        sim.invalidate_rates()
+        if sim.obs is not None:
+            if span is not None and span.end is None:
+                sim.obs.end(span)
+            sim.obs.instant(
+                "faults",
+                f"recovered:{event.fault.name}",
+                ("cluster", "faults"),
+                args={"node": event.node},
+            )
+
+    # -- queries -------------------------------------------------------------
+
+    def fault_labels(self, time: float) -> list[str]:
+        """Names of faults whose window covers ``time`` (ground truth)."""
+        labels = []
+        for event in self.schedule.events:
+            if event.time <= time < event.time + event.duration:
+                labels.append(event.fault.name)
+        return labels
+
+    def crashed_between(self, node: str, start: float, end: float) -> bool:
+        """Whether ``node`` was crashed at any point in ``[start, end)``."""
+        return self.state.crashed_between(node, start, end)
+
+    def detach(self) -> None:
+        """Remove the fault state from the cluster (campaign records kept)."""
+        if self.cluster.faults is not self.state:
+            raise FaultError("injector is not attached to this cluster")
+        self.cluster.faults = None

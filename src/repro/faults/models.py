@@ -1,0 +1,233 @@
+"""The fault model catalogue.
+
+Each :class:`Fault` is a reversible mutation of cluster state: ``apply``
+imposes the failure at the event's start, ``revert`` restores health when
+the event's duration elapses.  Models mutate the cluster's
+:class:`~repro.faults.state.FaultState` (and kill processes / degrade
+filesystems directly); the rate model picks the factors up at the next
+resolve, which the :class:`~repro.faults.injector.FaultInjector` forces
+via :meth:`~repro.sim.engine.Simulator.invalidate_rates`.
+
+The catalogue mirrors the failure classes FINJ injects on real systems:
+
+===================  ====================================================
+``node_crash``       node dies; every process on it is killed
+``node_hang``        node freezes (speed factor 0) but processes survive
+``slowdown``         transient degradation (thermal throttle, sick DIMM)
+``link_down``        NIC/link outage: flows to/from the node get nothing
+``meta_brownout``    metadata service degraded to a fraction of capacity
+``ost_failure``      storage targets fail; stripe bandwidth shrinks
+``oom_kill``         the kernel OOM killer reaps the largest consumer
+===================  ====================================================
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
+
+from repro.errors import FaultError
+from repro.storage.filesystem import SharedFilesystem
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.cluster import Cluster
+
+
+def _state(cluster: "Cluster"):
+    if cluster.faults is None:
+        raise FaultError(
+            "cluster has no fault state attached (use FaultInjector)"
+        )
+    return cluster.faults
+
+
+def _filesystem(cluster: "Cluster", name: str | None) -> SharedFilesystem:
+    if name is not None:
+        return cluster.filesystem(name)
+    if len(cluster.filesystems) == 1:
+        return next(iter(cluster.filesystems.values()))
+    known = ", ".join(sorted(cluster.filesystems)) or "none"
+    raise FaultError(
+        f"filesystem fault needs an explicit fs name (filesystems: {known})"
+    )
+
+
+class Fault(ABC):
+    """One reversible failure mode."""
+
+    name: str = "fault"
+
+    @abstractmethod
+    def apply(self, cluster: "Cluster", node: str) -> None:
+        """Impose the failure on ``node`` (or the subsystem it names)."""
+
+    @abstractmethod
+    def revert(self, cluster: "Cluster", node: str) -> None:
+        """Restore health after the fault window closes."""
+
+    def describe(self) -> dict[str, object]:
+        """Deterministic knob snapshot for spans and manifests."""
+        return {}
+
+
+class NodeCrash(Fault):
+    """The node dies: every process on it is killed, and the scheduler
+    treats the node as unavailable until the fault window closes."""
+
+    name = "node_crash"
+
+    def apply(self, cluster: "Cluster", node: str) -> None:
+        sim = cluster.sim
+        _state(cluster).mark_down(node, at=sim.now)
+        for proc in sim.processes:
+            if proc.node == node and not proc.state.terminal:
+                sim.kill(proc, reason="node-crash")
+
+    def revert(self, cluster: "Cluster", node: str) -> None:
+        _state(cluster).mark_up(node, at=cluster.sim.now)
+
+
+class NodeHang(Fault):
+    """The node freezes (hung kernel, stuck daemon): processes survive
+    but make no progress until the hang clears."""
+
+    name = "node_hang"
+
+    def apply(self, cluster: "Cluster", node: str) -> None:
+        _state(cluster).set_speed_factor(node, 0.0)
+
+    def revert(self, cluster: "Cluster", node: str) -> None:
+        _state(cluster).clear_speed_factor(node)
+
+
+class TransientSlowdown(Fault):
+    """Transient degradation: every process on the node runs at
+    ``factor`` of its contention-priced speed."""
+
+    name = "slowdown"
+
+    def __init__(self, factor: float = 0.35) -> None:
+        if not 0.0 < factor < 1.0:
+            raise FaultError(f"slowdown factor must be in (0, 1), got {factor}")
+        self.factor = factor
+
+    def apply(self, cluster: "Cluster", node: str) -> None:
+        _state(cluster).set_speed_factor(node, self.factor)
+
+    def revert(self, cluster: "Cluster", node: str) -> None:
+        _state(cluster).clear_speed_factor(node)
+
+    def describe(self) -> dict[str, object]:
+        return {"factor": self.factor}
+
+
+class LinkDown(Fault):
+    """NIC/link outage: flows entering or leaving the node are granted
+    ``factor`` of their allocation (0 = complete outage)."""
+
+    name = "link_down"
+
+    def __init__(self, factor: float = 0.0) -> None:
+        if not 0.0 <= factor < 1.0:
+            raise FaultError(f"link factor must be in [0, 1), got {factor}")
+        self.factor = factor
+
+    def apply(self, cluster: "Cluster", node: str) -> None:
+        _state(cluster).set_nic_factor(node, self.factor)
+
+    def revert(self, cluster: "Cluster", node: str) -> None:
+        _state(cluster).clear_nic_factor(node)
+
+    def describe(self) -> dict[str, object]:
+        return {"factor": self.factor}
+
+
+class MetadataBrownout(Fault):
+    """The metadata service browns out to ``factor`` of its capacity
+    (overloaded MDS, failed-over HA pair running degraded)."""
+
+    name = "meta_brownout"
+
+    def __init__(self, factor: float = 0.1, fs: str | None = None) -> None:
+        if not 0.0 <= factor < 1.0:
+            raise FaultError(f"brownout factor must be in [0, 1), got {factor}")
+        self.factor = factor
+        self.fs = fs
+
+    def apply(self, cluster: "Cluster", node: str) -> None:
+        _filesystem(cluster, self.fs).set_meta_health(self.factor)
+
+    def revert(self, cluster: "Cluster", node: str) -> None:
+        _filesystem(cluster, self.fs).set_meta_health(1.0)
+
+    def describe(self) -> dict[str, object]:
+        return {"factor": self.factor, "fs": self.fs}
+
+
+class OstFailure(Fault):
+    """``count`` object storage targets fail: aggregate stripe bandwidth
+    shrinks proportionally instead of the filesystem crashing."""
+
+    name = "ost_failure"
+
+    def __init__(self, count: int = 1, fs: str | None = None) -> None:
+        if count < 1:
+            raise FaultError(f"ost failure count must be >= 1, got {count}")
+        self.count = count
+        self.fs = fs
+        self._failed: list[int] = []
+
+    def apply(self, cluster: "Cluster", node: str) -> None:
+        fs = _filesystem(cluster, self.fs)
+        healthy = [i for i in range(fs.n_osts) if i not in fs.failed_osts]
+        for ost in healthy[: self.count]:
+            fs.fail_ost(ost)
+            self._failed.append(ost)
+
+    def revert(self, cluster: "Cluster", node: str) -> None:
+        fs = _filesystem(cluster, self.fs)
+        while self._failed:
+            fs.restore_ost(self._failed.pop())
+
+    def describe(self) -> dict[str, object]:
+        return {"count": self.count, "fs": self.fs}
+
+
+class OomKill(Fault):
+    """The kernel OOM killer fires spuriously: the node's largest memory
+    consumer is killed (Linux badness approximated by resident size)."""
+
+    name = "oom_kill"
+
+    def apply(self, cluster: "Cluster", node: str) -> None:
+        victim = cluster.node(node).memory.largest_consumer()
+        if victim is None:
+            return
+        sim = cluster.sim
+        sim.kill(sim.process(victim), reason="oom-killed")
+
+    def revert(self, cluster: "Cluster", node: str) -> None:
+        pass  # a kill has no state to restore
+
+
+FAULT_REGISTRY: dict[str, type[Fault]] = {
+    cls.name: cls
+    for cls in (
+        NodeCrash,
+        NodeHang,
+        TransientSlowdown,
+        LinkDown,
+        MetadataBrownout,
+        OstFailure,
+        OomKill,
+    )
+}
+
+
+def make_fault(name: str, **knobs: object) -> Fault:
+    """Instantiate a registered fault by name (case-insensitive)."""
+    for key, cls in FAULT_REGISTRY.items():
+        if key.lower() == name.lower():
+            return cls(**knobs)  # type: ignore[arg-type]
+    known = ", ".join(sorted(FAULT_REGISTRY))
+    raise FaultError(f"unknown fault {name!r} (known: {known})")

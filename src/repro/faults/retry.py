@@ -1,0 +1,61 @@
+"""Deterministic retry policies (exponential backoff + jitter).
+
+Real resilience stacks back off exponentially with jitter to avoid
+retry storms.  Jitter is normally wall-clock entropy — here it comes
+from a :func:`~repro.sim.rng.spawn_rng` child stream keyed by the
+caller's scope, so the full backoff sequence is a pure function of
+``(policy, seed, scope)`` and reruns are byte-identical.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import FaultError
+from repro.sim.rng import spawn_rng
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with multiplicative jitter and a deadline.
+
+    Attempt ``i`` (0-based) waits ``min(max_delay, base_delay *
+    factor**i) * (1 + jitter * u_i)`` seconds, ``u_i`` uniform in
+    ``[0, 1)`` from the scoped RNG stream.  ``deadline`` bounds the total
+    simulated time a caller may keep retrying (measured by the caller
+    from its first attempt); ``max_retries`` bounds the attempt count.
+    """
+
+    base_delay: float = 1.0
+    factor: float = 2.0
+    jitter: float = 0.25
+    max_delay: float = 120.0
+    max_retries: int = 5
+    deadline: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.base_delay <= 0 or self.max_delay <= 0:
+            raise FaultError("retry delays must be positive")
+        if self.factor < 1.0:
+            raise FaultError("backoff factor must be >= 1")
+        if self.jitter < 0:
+            raise FaultError("jitter must be >= 0")
+        if self.max_retries < 0:
+            raise FaultError("max_retries must be >= 0")
+        if self.deadline <= 0:
+            raise FaultError("deadline must be positive")
+
+    def delays(self, seed: int | None, scope: str) -> list[float]:
+        """The full backoff sequence for one retrying entity.
+
+        Deterministic per ``(seed, scope)``: the same managed job in the
+        same run always sees the same jittered delays, independent of
+        every other RNG draw in the simulation.
+        """
+        rng = spawn_rng(seed, f"retry:{scope}")
+        out = []
+        for i in range(self.max_retries):
+            base = min(self.max_delay, self.base_delay * self.factor**i)
+            out.append(base * (1.0 + self.jitter * float(rng.random())))
+        return out

@@ -1,0 +1,123 @@
+"""Fault schedules: explicit event lists and seeded generators.
+
+FINJ drives resilience campaigns from a schedule file of
+``(time, target, fault, duration)`` records.  :class:`FaultSchedule` is
+the in-simulation analogue: build one explicitly with :meth:`add`, or
+draw a random-but-reproducible campaign with :meth:`generate` — the
+inter-arrival process, node choice, fault kind and duration all come
+from one :func:`~repro.sim.rng.spawn_rng` child stream, so a schedule is
+a pure function of ``(seed, scope)`` and identical across machines and
+worker layouts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import FaultError
+from repro.faults.models import Fault, make_fault
+from repro.sim.rng import spawn_rng
+
+#: default kind mix for generated campaigns (uniform over these)
+DEFAULT_KINDS = ("node_crash", "node_hang", "slowdown", "link_down")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault window.
+
+    ``duration=math.inf`` applies the fault permanently (never reverted).
+    """
+
+    time: float
+    node: str
+    fault: Fault = field(compare=False)
+    duration: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise FaultError("fault event time must be >= 0")
+        if self.duration <= 0:
+            raise FaultError("fault event duration must be positive")
+
+
+class FaultSchedule:
+    """An ordered fault campaign for one simulation run."""
+
+    def __init__(self, events: list[FaultEvent] | None = None) -> None:
+        self._events: list[FaultEvent] = list(events) if events else []
+
+    def add(
+        self,
+        time: float,
+        node: str,
+        fault: Fault | str,
+        duration: float = math.inf,
+        **knobs: object,
+    ) -> FaultEvent:
+        """Append one event; ``fault`` may be a name from the registry."""
+        if isinstance(fault, str):
+            fault = make_fault(fault, **knobs)
+        elif knobs:
+            raise FaultError("knobs only apply when fault is given by name")
+        event = FaultEvent(time=time, node=node, fault=fault, duration=duration)
+        self._events.append(event)
+        return event
+
+    @property
+    def events(self) -> list[FaultEvent]:
+        """Events sorted by (time, node, fault name) — deterministic."""
+        return sorted(
+            self._events, key=lambda e: (e.time, e.node, e.fault.name)
+        )
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int | None,
+        horizon: float,
+        nodes: list[str],
+        rate: float,
+        kinds: tuple[str, ...] = DEFAULT_KINDS,
+        min_duration: float = 30.0,
+        max_duration: float = 300.0,
+        scope: str = "faults",
+    ) -> "FaultSchedule":
+        """Draw a Poisson fault campaign over ``[0, horizon]``.
+
+        ``rate`` is the expected fault arrivals per simulated second
+        across the whole system (exponential inter-arrivals); each
+        arrival picks a uniform node, a uniform kind from ``kinds``, and
+        a uniform duration in ``[min_duration, max_duration]``.  The
+        stream is ``spawn_rng(seed, f"fault-schedule:{scope}")``, so two
+        campaigns with the same seed and scope are identical event for
+        event regardless of anything else the run draws.
+        """
+        if horizon <= 0:
+            raise FaultError("horizon must be positive")
+        if rate < 0:
+            raise FaultError("fault rate must be >= 0")
+        if not nodes:
+            raise FaultError("need at least one target node")
+        if not kinds:
+            raise FaultError("need at least one fault kind")
+        if not 0 < min_duration <= max_duration:
+            raise FaultError("need 0 < min_duration <= max_duration")
+        schedule = cls()
+        if rate == 0:
+            return schedule
+        rng = spawn_rng(seed, f"fault-schedule:{scope}")
+        t = 0.0
+        while True:
+            t += float(rng.exponential(1.0 / rate))
+            if t >= horizon:
+                break
+            node = nodes[int(rng.integers(0, len(nodes)))]
+            kind = kinds[int(rng.integers(0, len(kinds)))]
+            duration = float(rng.uniform(min_duration, max_duration))
+            schedule.add(t, node, make_fault(kind), duration=duration)
+        return schedule

@@ -1,0 +1,98 @@
+"""Shared fault state consulted by the rate model and the scheduler.
+
+A :class:`FaultState` is attached to a cluster (as ``cluster.faults``) by
+the :class:`~repro.faults.injector.FaultInjector`.  It is deliberately
+dumb: fault *models* mutate it, the rate model and scheduler *read* it.
+Every reader is guarded by a ``cluster.faults is None`` check, so an
+un-faulted simulation pays nothing beyond the attribute read — the same
+pay-for-what-you-use pattern as ``sim.obs``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FaultError
+
+
+class FaultState:
+    """Current fault-induced degradation factors, per node.
+
+    ``speed_factor`` multiplies every process speed on the node (0.0 = a
+    hung node, 0.35 = a transient slowdown); ``nic_factor`` multiplies the
+    grant ratio of flows entering/leaving the node (0.0 = link down);
+    ``is_down`` marks a crashed node the scheduler must avoid.
+    """
+
+    def __init__(self) -> None:
+        self._speed: dict[str, float] = {}
+        self._nic: dict[str, float] = {}
+        self._down: set[str] = set()
+        #: (node, start, end) records of crash windows; consulted by the
+        #: anomaly injector to prune ground-truth labels on dead nodes
+        self._crash_log: list[tuple[str, float, float]] = []
+
+    # -- compute degradation -------------------------------------------------
+
+    def set_speed_factor(self, node: str, factor: float) -> None:
+        if factor < 0.0 or factor > 1.0:
+            raise FaultError(f"speed factor must be in [0, 1], got {factor}")
+        self._speed[node] = factor
+
+    def clear_speed_factor(self, node: str) -> None:
+        self._speed.pop(node, None)
+
+    def speed_factor(self, node: str) -> float:
+        return self._speed.get(node, 1.0)
+
+    # -- network degradation -------------------------------------------------
+
+    def set_nic_factor(self, node: str, factor: float) -> None:
+        if factor < 0.0 or factor > 1.0:
+            raise FaultError(f"nic factor must be in [0, 1], got {factor}")
+        self._nic[node] = factor
+
+    def clear_nic_factor(self, node: str) -> None:
+        self._nic.pop(node, None)
+
+    def nic_factor(self, node: str) -> float:
+        return self._nic.get(node, 1.0)
+
+    # -- node liveness -------------------------------------------------------
+
+    def mark_down(self, node: str, at: float = 0.0) -> None:
+        self._down.add(node)
+        self._crash_log.append((node, at, float("inf")))
+
+    def mark_up(self, node: str, at: float = 0.0) -> None:
+        self._down.discard(node)
+        for i, (name, start, end) in enumerate(self._crash_log):
+            if name == node and end == float("inf"):
+                self._crash_log[i] = (name, start, at)
+
+    def is_down(self, node: str) -> bool:
+        return node in self._down
+
+    @property
+    def down_nodes(self) -> tuple[str, ...]:
+        return tuple(sorted(self._down))
+
+    def crashed_between(self, node: str, start: float, end: float) -> bool:
+        """Whether ``node`` was crashed at any point during ``[start, end)``."""
+        for name, t0, t1 in self._crash_log:
+            if name == node and t0 < end and start < t1:
+                return True
+        return False
+
+    # -- summary -------------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """Whether any degradation factor or crash is currently in force."""
+        return bool(self._speed or self._nic or self._down)
+
+    def describe(self) -> dict[str, object]:
+        """Deterministic snapshot for manifests and traces."""
+        return {
+            "down": list(self.down_nodes),
+            "slowed": {n: self._speed[n] for n in sorted(self._speed)},
+            "nic": {n: self._nic[n] for n in sorted(self._nic)},
+        }

@@ -73,6 +73,16 @@ class MemoryLedger:
         """Bytes currently charged to ``pid``."""
         return self._held.get(pid, 0.0)
 
+    def largest_consumer(self) -> int | None:
+        """Pid holding the most memory (ties by pid), or None if idle.
+
+        The spurious ``oom_kill`` fault model uses this to pick its
+        victim with the same badness approximation as real OOM kills.
+        """
+        if not self._held:
+            return None
+        return max(self._held, key=lambda p: (self._held[p], -p))
+
     # -- mutation ------------------------------------------------------------
 
     def alloc(self, pid: int, nbytes: float) -> None:

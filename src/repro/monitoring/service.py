@@ -113,8 +113,14 @@ class MetricService:
             store = self.data[name]
         except KeyError:
             known = ", ".join(sorted(self.data))
+            close = difflib.get_close_matches(name, sorted(self.data), n=3)
+            hint = (
+                f" — did you mean {', '.join(repr(c) for c in close)}?"
+                if close
+                else ""
+            )
             raise ConfigError(
-                f"unknown node {name!r} (known nodes: {known})"
+                f"unknown node {name!r} (known nodes: {known}){hint}"
             ) from None
         try:
             return np.asarray(store[metric], dtype=float)

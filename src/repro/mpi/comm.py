@@ -20,9 +20,9 @@ from __future__ import annotations
 
 import math
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, MPITimeoutError
 from repro.sim.engine import Simulator
-from repro.sim.process import Condition, Flow, Segment, Wait
+from repro.sim.process import Condition, Flow, Segment, SimProcess, Wait
 
 
 class Barrier:
@@ -31,47 +31,127 @@ class Barrier:
     Bodies use it as ``yield from barrier.wait()``.  Each cycle uses a
     fresh condition object, so a fast rank re-entering the barrier before
     slow ranks have resumed cannot corrupt the previous cycle.
+
+    Parameters
+    ----------
+    timeout:
+        Seconds a cycle may stay open after its first arrival before the
+        collective times out (``None`` = wait forever, the MPI default).
+    on_timeout:
+        ``"abort"`` delivers :class:`~repro.errors.MPITimeoutError` into
+        every waiting rank (like ``MPI_Abort`` on a timed-out collective);
+        ``"degrade"`` shrinks the barrier to the ranks that arrived and
+        releases them, letting the job limp on without the stragglers.
     """
 
-    def __init__(self, sim: Simulator, n: int, name: str = "barrier") -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        n: int,
+        name: str = "barrier",
+        timeout: float | None = None,
+        on_timeout: str = "abort",
+    ) -> None:
         if n < 1:
             raise ConfigError("barrier size must be >= 1")
+        if timeout is not None and timeout <= 0:
+            raise ConfigError("barrier timeout must be positive")
+        if on_timeout not in ("abort", "degrade"):
+            raise ConfigError(
+                f"on_timeout must be 'abort' or 'degrade', got {on_timeout!r}"
+            )
         self.sim = sim
         self.n = n
         self.name = name
+        self.timeout = timeout
+        self.on_timeout = on_timeout
         self._count = 0
         self._cond = Condition(name)
         self.cycles = 0
+        self.timeouts = 0
         self._first_arrival: float | None = None
 
     def wait(self):
         """Generator: arrive and block until all ``n`` ranks have arrived."""
         cond = self._cond
         self._count += 1
-        obs = self.sim.obs
-        if obs is not None and self._count == 1:
+        if self._count == 1:
             self._first_arrival = self.sim.now
-        if self._count == self.n:
-            self._count = 0
-            self._cond = Condition(self.name)
-            self.cycles += 1
-            if obs is not None:
-                start = (
-                    self.sim.now if self._first_arrival is None else self._first_arrival
-                )
-                self._first_arrival = None
-                obs.complete(
-                    "mpi",
-                    self.name,
-                    ("mpi", self.name),
-                    start=start,
-                    end=self.sim.now,
-                    args={"ranks": self.n, "cycle": self.cycles},
-                )
-            self.sim.notify(cond)
+            if self.timeout is not None:
+                self.sim.call_in(self.timeout, lambda: self._check_timeout(cond))
+        if self._count >= self.n:
+            self._release()
             return
             yield  # pragma: no cover - makes this a generator function
         yield Wait(cond)
+
+    def _release(self) -> None:
+        cond = self._cond
+        self._count = 0
+        self._cond = Condition(self.name)
+        self.cycles += 1
+        obs = self.sim.obs
+        if obs is not None:
+            start = (
+                self.sim.now if self._first_arrival is None else self._first_arrival
+            )
+            obs.complete(
+                "mpi",
+                self.name,
+                ("mpi", self.name),
+                start=start,
+                end=self.sim.now,
+                args={"ranks": self.n, "cycle": self.cycles},
+            )
+        self._first_arrival = None
+        self.sim.notify(cond)
+
+    def _check_timeout(self, cond: Condition) -> None:
+        if cond is not self._cond or self._count == 0:
+            return  # the cycle completed (or emptied) in time
+        self.timeouts += 1
+        obs = self.sim.obs
+        if obs is not None:
+            obs.instant(
+                "mpi",
+                f"timeout:{self.name}",
+                ("mpi", self.name),
+                args={
+                    "arrived": self._count,
+                    "expected": self.n,
+                    "action": self.on_timeout,
+                },
+            )
+        if self.on_timeout == "degrade":
+            # Continue without the stragglers: the arrived ranks become
+            # the new collective; late ranks join subsequent cycles.
+            self.n = self._count
+            self._release()
+            return
+        waiters = list(cond.waiters)
+        self._count = 0
+        self._cond = Condition(self.name)
+        self._first_arrival = None
+        exc_msg = f"barrier {self.name!r} timed out after {self.timeout}s"
+        for proc in waiters:
+            self.sim.interrupt(proc, MPITimeoutError(exc_msg))
+
+    def leave(self, proc: SimProcess | None = None) -> None:
+        """Permanently remove one participant (rank death cleanup).
+
+        Called by job-level terminate hooks when a rank is killed so the
+        surviving ranks are not deadlocked waiting for a dead peer.  If
+        the departing rank had already arrived this cycle (it died while
+        waiting), its arrival is uncounted; if its departure makes the
+        arrived set complete, the cycle releases immediately.
+        """
+        if self.n < 1:
+            return
+        self.n -= 1
+        if proc is not None and proc.waiting_on is self._cond:
+            self._count -= 1
+        if 0 < self.n <= self._count:
+            self._release()
 
 
 def p2p_transfer(

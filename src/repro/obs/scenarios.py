@@ -15,6 +15,13 @@ shows the whole stack interacting.
 ``loadbalance``
     Fig. 13's setting: the Charm++-style runtime rebalancing stencil
     objects with GreedyRefineLB while cpuoccupy squats on three cores.
+``faults``
+    Anomalies *and* faults composed on one cluster: cpuoccupy and
+    iometadata run their windows while a fault campaign crashes a node,
+    slows another, drops a NIC and browns out the metadata server — and a
+    checkpointing managed job requeues its way through.  Every fault
+    window lands as a ``faults``-category span next to the injector,
+    scheduler and recovery events.
 """
 
 from __future__ import annotations
@@ -33,6 +40,7 @@ from repro.core import (
     NetOccupy,
 )
 from repro.errors import ObservabilityError
+from repro.faults import FaultInjector, RetryPolicy
 from repro.obs.observability import Observability
 from repro.runtime import CharmRuntime, GreedyRefineLB, WorkObject
 from repro.scheduling import JobScheduler, WellBalancedAllocation
@@ -49,6 +57,7 @@ class TraceRun:
     obs: Observability
     injector: AnomalyInjector
     config: dict[str, object]
+    faults: FaultInjector | None = None
 
 
 def _mixed(seed: int, horizon: float) -> TraceRun:
@@ -149,9 +158,68 @@ def _loadbalance(seed: int, horizon: float) -> TraceRun:
     )
 
 
+def _faults(seed: int, horizon: float) -> TraceRun:
+    cluster = Cluster.chameleon(num_nodes=6, with_nfs=True)
+    obs = Observability(cluster).attach(end=horizon)
+    injector = AnomalyInjector(cluster)
+    injector.add(
+        Injection(CpuOccupy(utilization=80), node="node1", core=0, start=5.0, duration=0.5 * horizon)
+    )
+    injector.add(
+        Injection(IOMetadata(rate=2000.0), node="node3", core=0, start=10.0, duration=0.4 * horizon)
+    )
+    injector.deploy()
+
+    faults = FaultInjector(cluster)
+    faults.add(0.25 * horizon, "node2", "node_crash", duration=0.2 * horizon)
+    faults.add(0.35 * horizon, "node4", "slowdown", duration=0.2 * horizon, factor=0.4)
+    faults.add(0.5 * horizon, "node5", "link_down", duration=0.15 * horizon)
+    faults.add(0.6 * horizon, "node0", "meta_brownout", duration=0.2 * horizon, factor=0.2)
+    faults.deploy()
+
+    scheduler = JobScheduler(cluster, obs.service)
+    app = get_app("miniGhost").scaled(iterations=16)
+
+    def submit() -> None:
+        scheduler.submit_managed(
+            app,
+            WellBalancedAllocation(),
+            n_nodes=2,
+            ranks_per_node=2,
+            seed=seed,
+            retry=RetryPolicy(base_delay=2.0, max_retries=6),
+            checkpoint_interval=4,
+            checkpoint_cost=0.2,
+        )
+
+    cluster.sim.schedule(2.5, submit)
+    cluster.sim.run(until=horizon)
+    obs.collector.finalize()
+    return TraceRun(
+        scenario="faults",
+        seed=seed,
+        horizon=horizon,
+        cluster=cluster,
+        obs=obs,
+        injector=injector,
+        faults=faults,
+        config={
+            "cluster": "chameleon",
+            "nodes": 6,
+            "filesystem": "nfs",
+            "app": "miniGhost",
+            "policy": "WBAS",
+            "faults": len(faults.schedule),
+            "checkpoint_interval": 4,
+            "horizon": horizon,
+        },
+    )
+
+
 SCENARIOS: dict[str, Callable[[int, float], TraceRun]] = {
     "mixed": _mixed,
     "loadbalance": _loadbalance,
+    "faults": _faults,
 }
 
 

@@ -7,11 +7,12 @@ from repro.scheduling.policies import (
     WellBalancedAllocation,
     observe_nodes,
 )
-from repro.scheduling.scheduler import JobScheduler
+from repro.scheduling.scheduler import JobScheduler, ManagedJob
 
 __all__ = [
     "AllocationPolicy",
     "JobScheduler",
+    "ManagedJob",
     "NodeStatus",
     "RoundRobin",
     "WellBalancedAllocation",

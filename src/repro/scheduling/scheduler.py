@@ -9,11 +9,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.apps.base import Application, AppJob
+from repro.apps.base import Application, AppJob, CheckpointStore
 from repro.cluster.cluster import Cluster
 from repro.errors import SchedulingError
+from repro.faults.retry import RetryPolicy
 from repro.monitoring.service import MetricService
 from repro.scheduling.policies import AllocationPolicy, observe_nodes
+from repro.sim.process import ProcessState, SimProcess
 
 
 @dataclass
@@ -46,8 +48,11 @@ class JobScheduler:
         return {node for allocation, _ in self._active for node in allocation.nodes}
 
     def allocate(self, policy: AllocationPolicy, n_nodes: int) -> Allocation:
-        """Pick ``n_nodes`` currently-free nodes with ``policy``."""
+        """Pick ``n_nodes`` currently-free, currently-up nodes with ``policy``."""
         busy = self.busy_nodes
+        faults = self.cluster.faults
+        if faults is not None:
+            busy = busy | set(faults.down_nodes)
         statuses = [s for s in observe_nodes(self.service) if s.name not in busy]
         if not statuses:
             raise SchedulingError("no free nodes available")
@@ -99,3 +104,236 @@ class JobScheduler:
             )
             obs.watch(span, [proc.pid for proc in job.procs])
         return allocation, job
+
+    def submit_managed(
+        self,
+        app: Application,
+        policy: AllocationPolicy,
+        n_nodes: int,
+        ranks_per_node: int,
+        start: float | None = None,
+        seed: int | None = None,
+        retry: RetryPolicy | None = None,
+        checkpoint_interval: int | None = None,
+        checkpoint_cost: float = 0.0,
+        index: int = 0,
+    ) -> "ManagedJob":
+        """Submit a fault-managed job: requeue on rank death, restart
+        from the last checkpoint.
+
+        ``retry`` bounds the requeue attempts (None = fail permanently on
+        the first fault); ``index`` disambiguates the retry jitter stream
+        when the same app is submitted several times.
+        """
+        managed = ManagedJob(
+            scheduler=self,
+            app=app,
+            policy=policy,
+            n_nodes=n_nodes,
+            ranks_per_node=ranks_per_node,
+            seed=seed,
+            retry=retry,
+            checkpoint_interval=checkpoint_interval,
+            checkpoint_cost=checkpoint_cost,
+            index=index,
+        )
+        managed.start(at=start)
+        return managed
+
+
+class ManagedJob:
+    """A job the scheduler keeps alive across node faults.
+
+    Each attempt is a fresh :class:`AppJob` on a fresh allocation (failed
+    nodes are excluded by :meth:`JobScheduler.allocate`).  When any rank
+    of the current attempt is killed, the surviving ranks are torn down
+    ("requeue"), and — if the :class:`RetryPolicy` still has budget within
+    its deadline — a new attempt launches after a backoff delay, resuming
+    from the shared :class:`CheckpointStore` (iteration 0 without
+    checkpointing).  Allocation failures (no free nodes) consume retry
+    budget the same way, modelling a requeue into a drained queue.
+
+    States: ``pending`` → ``running`` → ``done`` | ``failed``.
+    """
+
+    def __init__(
+        self,
+        scheduler: JobScheduler,
+        app: Application,
+        policy: AllocationPolicy,
+        n_nodes: int,
+        ranks_per_node: int,
+        seed: int | None = None,
+        retry: RetryPolicy | None = None,
+        checkpoint_interval: int | None = None,
+        checkpoint_cost: float = 0.0,
+        index: int = 0,
+    ) -> None:
+        self.scheduler = scheduler
+        self.app = app
+        self.policy = policy
+        self.n_nodes = n_nodes
+        self.ranks_per_node = ranks_per_node
+        self.seed = seed
+        self.retry = retry
+        self.checkpoint_interval = checkpoint_interval
+        self.checkpoint_cost = checkpoint_cost
+        self.index = index
+        self.checkpoint = (
+            CheckpointStore() if checkpoint_interval is not None else None
+        )
+        self.state = "pending"
+        self.attempts = 0
+        self.requeues = 0
+        self.iterations_done = 0.0
+        self.job: AppJob | None = None
+        self.submitted: float | None = None
+        self.finished_at: float | None = None
+        #: why the most recent attempt ended early (None while healthy)
+        self.reason: str | None = None
+        self._delays = (
+            []
+            if retry is None
+            else retry.delays(seed, f"managed:{app.name}:{index}")
+        )
+        self._retries_used = 0
+        self._attempt_over = True
+        self._span = None
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self.state == "done"
+
+    @property
+    def failed(self) -> bool:
+        return self.state == "failed"
+
+    @property
+    def settled(self) -> bool:
+        """True once the job can make no further progress."""
+        return self.state in ("done", "failed")
+
+    def makespan(self) -> float:
+        """Submit-to-settle time (including requeue backoff waits)."""
+        if self.submitted is None or self.finished_at is None:
+            raise SchedulingError(f"managed job {self.app.name} has not settled")
+        return self.finished_at - self.submitted
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self, at: float | None = None) -> None:
+        """Schedule the first launch attempt (default: now)."""
+        if self.submitted is not None:
+            raise SchedulingError(f"managed job {self.app.name} already started")
+        sim = self.scheduler.cluster.sim
+        self.submitted = sim.now if at is None else at
+        obs = sim.obs
+        if obs is not None:
+            self._span = obs.begin(
+                "scheduler",
+                f"managed:{self.app.name}",
+                ("cluster", "scheduler"),
+                start=self.submitted,
+                args={
+                    "policy": self.policy.name,
+                    "checkpointing": self.checkpoint_interval is not None,
+                },
+            )
+        sim.schedule(self.submitted, self._launch)
+
+    def _launch(self) -> None:
+        if self.settled:
+            return
+        sim = self.scheduler.cluster.sim
+        self.attempts += 1
+        try:
+            allocation = self.scheduler.allocate(self.policy, self.n_nodes)
+        except SchedulingError:
+            self._retry_or_fail("no free nodes")
+            return
+        start_iteration = 0 if self.checkpoint is None else self.checkpoint.committed
+        job = AppJob(
+            self.app,
+            self.scheduler.cluster,
+            nodes=list(allocation.nodes),
+            ranks_per_node=self.ranks_per_node,
+            start=sim.now,
+            seed=self.seed,
+            checkpoint_interval=self.checkpoint_interval,
+            checkpoint_cost=self.checkpoint_cost,
+            checkpoint=self.checkpoint,
+            start_iteration=start_iteration,
+        )
+        job.launch()
+        self.job = job
+        self.state = "running"
+        self._attempt_over = False
+        self.scheduler._active.append((allocation, job))
+        own_pids = {p.pid for p in job.procs}
+        sim.add_terminate_hook(
+            lambda proc: self._on_rank_end(job, own_pids, proc)
+        )
+
+    def _on_rank_end(
+        self, job: AppJob, own_pids: set[int], proc: SimProcess
+    ) -> None:
+        if self._attempt_over or job is not self.job or proc.pid not in own_pids:
+            return
+        sim = self.scheduler.cluster.sim
+        if proc.state is ProcessState.KILLED:
+            # One dead rank dooms the attempt: tear down the survivors so
+            # their nodes free up, then back off and requeue.
+            self._attempt_over = True
+            self._harvest(job)
+            for sibling in job.procs:
+                if not sibling.state.terminal:
+                    sim.kill(sibling, reason="requeue")
+            self._retry_or_fail(proc.exit_reason or "rank killed")
+        elif job.finished:
+            self._attempt_over = True
+            self._harvest(job)
+            self._settle("done")
+
+    def _harvest(self, job: AppJob) -> None:
+        for proc in job.procs:
+            self.iterations_done += proc.counters.get("app_iterations", 0.0)
+
+    def _retry_or_fail(self, reason: str) -> None:
+        self.reason = reason
+        sim = self.scheduler.cluster.sim
+        obs = sim.obs
+        if obs is not None:
+            obs.instant(
+                "scheduler",
+                f"requeue:{self.app.name}",
+                ("cluster", "scheduler"),
+                args={"attempt": self.attempts, "reason": reason},
+            )
+        if self.retry is None or self._retries_used >= len(self._delays):
+            self._settle("failed")
+            return
+        delay = self._delays[self._retries_used]
+        self._retries_used += 1
+        assert self.submitted is not None
+        if sim.now + delay > self.submitted + self.retry.deadline:
+            self._settle("failed")
+            return
+        self.requeues += 1
+        sim.call_in(delay, self._launch)
+
+    def _settle(self, state: str) -> None:
+        sim = self.scheduler.cluster.sim
+        self.state = state
+        self.finished_at = sim.now
+        if self._span is not None and sim.obs is not None:
+            sim.obs.end(
+                self._span,
+                args={
+                    "state": state,
+                    "attempts": self.attempts,
+                    "iterations": self.iterations_done,
+                },
+            )
+            self._span = None

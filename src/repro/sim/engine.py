@@ -144,6 +144,10 @@ class Simulator:
         #: pids whose segment started/changed/ended since the last resolve;
         #: handed to the rate model so it can re-solve only what moved
         self._dirty_pids: set[int] = set()
+        #: set by :meth:`invalidate_rates`: model-global state changed (e.g.
+        #: a fault factor), so the next resolve must re-price *everything*
+        #: even if some pids were also marked dirty individually
+        self._force_full = False
         #: True while spawn order == pid order (the common case), letting
         #: :attr:`processes` skip re-sorting the pid dict on every access
         self._pids_monotonic = True
@@ -204,6 +208,38 @@ class Simulator:
         proc._close()
         self._finish(proc, ProcessState.KILLED, reason)
 
+    def invalidate_rates(self) -> None:
+        """Force a full rate re-resolve after the current event.
+
+        Call when model-global state changed outside any segment — fault
+        factors, filesystem health — so cached per-subsystem solves cannot
+        be trusted.  The resolve happens at the engine's normal point in
+        the event loop (current simulated time, after the event's action).
+        """
+        self._dirty = True
+        self._force_full = True
+
+    def interrupt(self, proc: SimProcess, exc: ProcessCrash) -> None:
+        """Throw ``exc`` into ``proc`` at the current simulated time.
+
+        The exception surfaces inside the process body at its current
+        ``yield``, so ``finally`` blocks run and the body may catch it and
+        continue (graceful degradation) or let it crash the process.  Only
+        :class:`ProcessCrash` subclasses may be delivered: anything else
+        escaping a body would abort the whole simulation.
+        """
+        if not isinstance(exc, ProcessCrash):
+            raise SimulationError(
+                f"can only interrupt with ProcessCrash subclasses, got {type(exc).__name__}"
+            )
+        if proc.state.terminal or proc.sim is None:
+            return
+        proc.wake_version += 1  # cancel pending sleep/segment wakes
+        if proc.waiting_on is not None:
+            proc.waiting_on.discard(proc)
+            proc.waiting_on = None
+        self._step(proc, exc)
+
     def schedule(self, time: float, action: Callable[[], None]) -> Event:
         """Run ``action`` at absolute simulated ``time``."""
         if time < self.now:
@@ -246,6 +282,7 @@ class Simulator:
         for proc in condition.notify_all():
             if proc.state is ProcessState.WAITING:
                 proc.state = ProcessState.NEW  # transitional; _drain re-steps it
+                proc.waiting_on = None
                 self._ready.append(proc)
 
     def run(
@@ -316,10 +353,10 @@ class Simulator:
                 continue
             self._step(proc)
 
-    def _step(self, proc: SimProcess) -> None:
+    def _step(self, proc: SimProcess, exc: BaseException | None = None) -> None:
         was_running = proc.state is ProcessState.RUNNING
         try:
-            item = proc._step()
+            item = proc._step(exc)
         except ProcessCrash as crash:
             if was_running and proc in self._running:
                 self._running.remove(proc)
@@ -355,6 +392,7 @@ class Simulator:
             proc.wake_version += 1
             if self.obs is not None:
                 self.obs.on_segment_end(proc)
+            proc.waiting_on = item.condition
             item.condition._add(proc)
         else:  # pragma: no cover - defensive
             raise SimulationError(f"process {proc.name} yielded {item!r}")
@@ -378,6 +416,10 @@ class Simulator:
         if proc in self._running:
             self._running.remove(proc)
             self._mark_dirty(proc)
+        if proc.waiting_on is not None:
+            # Drop the stale waiter entry; the pointer itself is kept so
+            # terminate hooks can see which condition the process died on.
+            proc.waiting_on.discard(proc)
         proc.state = state
         proc.current = None
         proc.end_time = self.now
@@ -396,9 +438,15 @@ class Simulator:
     def _resolve(self) -> None:
         self._dirty = False
         # A dirty flag without recorded pids means an external actor poked
-        # ``sim._dirty`` directly (tests, tracing helpers): fall back to a
-        # full resolve so arbitrary model-state changes are re-priced.
-        dirty = frozenset(self._dirty_pids) if self._dirty_pids else None
+        # ``sim._dirty`` directly (tests, tracing helpers); a set
+        # ``_force_full`` flag means :meth:`invalidate_rates` ran.  Either
+        # way, fall back to a full resolve so arbitrary model-state changes
+        # are re-priced even for pids whose segments did not move.
+        if self._force_full or not self._dirty_pids:
+            dirty = None
+        else:
+            dirty = frozenset(self._dirty_pids)
+        self._force_full = False
         self._dirty_pids.clear()
         self.stats.count("resolves")
         if dirty is None:

@@ -167,6 +167,14 @@ class Condition:
     def _add(self, proc: SimProcess) -> None:
         self._waiters.append(proc)
 
+    def discard(self, proc: "SimProcess") -> bool:
+        """Remove ``proc`` from the waiter list if present (crash cleanup)."""
+        try:
+            self._waiters.remove(proc)
+        except ValueError:
+            return False
+        return True
+
     def notify_all(self) -> list["SimProcess"]:
         """Release every waiter; returns the released processes."""
         released, self._waiters = self._waiters, []
@@ -241,6 +249,10 @@ class SimProcess:
         #: incremented every time the process is (re)scheduled; wake events
         #: carry the version they were computed for so stale ones are ignored
         self.wake_version: int = 0
+        #: the condition this process is blocked on (while WAITING); kept
+        #: pointing at the last condition after death so synchronisation
+        #: layers (e.g. Barrier.leave) can tell whether it had arrived
+        self.waiting_on: Condition | None = None
         self.start_time: float | None = None
         self.end_time: float | None = None
         self.exit_reason: str = ""

@@ -71,7 +71,15 @@ class SharedFilesystem:
         True for Lustre-like deployments with dedicated metadata servers:
         metadata CPU and journal traffic use the MDS's own resources and
         do not compete with the data path.
+    n_osts:
+        Object storage targets striping ``disk_bw``.  A failed OST (see
+        :meth:`fail_ost`) removes its stripe share of the aggregate
+        bandwidth instead of crashing the filesystem.
     """
+
+    #: floor on degraded capacity fractions: a fully browned-out service
+    #: still trickles, which keeps grant ratios finite and positive
+    MIN_HEALTH = 0.01
 
     def __init__(
         self,
@@ -83,11 +91,14 @@ class SharedFilesystem:
         cpu_per_byte: float = 5.0e-9,
         meta_disk_bytes: float = 2 * KB,
         separate_metadata: bool = False,
+        n_osts: int = 1,
     ) -> None:
         if disk_bw <= 0 or meta_capacity <= 0 or server_cpu <= 0:
             raise ConfigError("filesystem capacities must be positive")
         if cpu_per_meta_op < 0 or cpu_per_byte < 0 or meta_disk_bytes < 0:
             raise ConfigError("filesystem cost coefficients must be >= 0")
+        if n_osts < 1:
+            raise ConfigError("n_osts must be >= 1")
         self.name = name
         self.disk_bw = disk_bw
         self.meta_capacity = meta_capacity
@@ -96,6 +107,14 @@ class SharedFilesystem:
         self.cpu_per_byte = cpu_per_byte
         self.meta_disk_bytes = meta_disk_bytes
         self.separate_metadata = separate_metadata
+        self.n_osts = n_osts
+        #: currently-failed OST indices (graceful degradation, not a crash)
+        self.failed_osts: set[int] = set()
+        #: metadata service health in (0, 1]; lowered by brownout faults
+        self.meta_health = 1.0
+        #: bumped on every health change so the rate model's storage-stage
+        #: memo (keyed on demand signatures) notices degradation events
+        self.health_revision = 0
         #: attached span collector (set by :class:`repro.obs.Observability`),
         #: or None.  Guarded at every emission site, so an unobserved
         #: filesystem pays nothing beyond the attribute read.
@@ -119,7 +138,58 @@ class SharedFilesystem:
             meta_capacity=40_000.0,
             server_cpu=96.0,
             separate_metadata=True,
+            n_osts=8,
         )
+
+    # -- degradation -----------------------------------------------------------
+
+    @property
+    def effective_disk_bw(self) -> float:
+        """Aggregate disk bandwidth with failed OSTs' stripes removed."""
+        live = (self.n_osts - len(self.failed_osts)) / self.n_osts
+        return self.disk_bw * max(live, self.MIN_HEALTH)
+
+    @property
+    def effective_meta_capacity(self) -> float:
+        """Metadata ops/s capacity under the current brownout level."""
+        return self.meta_capacity * max(self.meta_health, self.MIN_HEALTH)
+
+    def fail_ost(self, ost: int) -> None:
+        """Mark one OST failed; its stripe share of ``disk_bw`` is lost."""
+        if not 0 <= ost < self.n_osts:
+            raise ConfigError(f"OST index must be in [0, {self.n_osts}), got {ost}")
+        if ost in self.failed_osts:
+            raise ConfigError(f"OST {ost} of {self.name!r} already failed")
+        self.failed_osts.add(ost)
+        self._health_changed("ost-failed", ost=ost)
+
+    def restore_ost(self, ost: int) -> None:
+        """Bring one failed OST back; bandwidth recovers its stripe."""
+        if ost not in self.failed_osts:
+            raise ConfigError(f"OST {ost} of {self.name!r} is not failed")
+        self.failed_osts.discard(ost)
+        self._health_changed("ost-restored", ost=ost)
+
+    def set_meta_health(self, fraction: float) -> None:
+        """Degrade (or restore) the metadata service to ``fraction``."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigError(f"meta health must be in [0, 1], got {fraction}")
+        self.meta_health = fraction
+        self._health_changed("meta-health", fraction=fraction)
+
+    def _health_changed(self, what: str, **args: object) -> None:
+        self.health_revision += 1
+        if self.obs is not None:
+            self.obs.instant(
+                "storage",
+                f"{what}:{self.name}",
+                ("storage", self.name),
+                args={
+                    "failed_osts": len(self.failed_osts),
+                    "meta_health": self.meta_health,
+                    **args,
+                },
+            )
 
     # -- solving ---------------------------------------------------------------
 
@@ -153,7 +223,10 @@ class SharedFilesystem:
         grants: dict[str, list[float]] = {}
 
         # Per-client-fair pools: two-level max-min.
-        for pool, capacity in (("disk", self.disk_bw), ("meta", self.meta_capacity)):
+        for pool, capacity in (
+            ("disk", self.effective_disk_bw),
+            ("meta", self.effective_meta_capacity),
+        ):
             per_demand = [self._pool_demand(d, pool) for _, _, d in demands]
             node_totals = [0.0] * len(nodes)
             for (_, node, _), dem in zip(demands, per_demand):

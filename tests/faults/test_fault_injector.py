@@ -1,0 +1,218 @@
+"""Fault models wired through the injector, engine and rate model."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import AnomalyInjector, CpuOccupy, Injection
+from repro.errors import FaultError
+from repro.faults import FaultInjector, FaultSchedule
+from repro.mpi.comm import p2p_transfer
+from repro.obs import SpanCollector
+from repro.sim.process import ProcessState, Segment, Sleep
+from repro.units import GB
+
+
+def busy(work=10.0):
+    def body(proc):
+        yield Segment(work=work, cpu=1.0, label="busy")
+
+    return body
+
+
+class TestAttachment:
+    def test_attach_sets_cluster_faults(self):
+        cluster = Cluster(num_nodes=1)
+        assert cluster.faults is None
+        injector = FaultInjector(cluster)
+        assert cluster.faults is injector.state
+
+    def test_double_attach_rejected(self):
+        cluster = Cluster(num_nodes=1)
+        FaultInjector(cluster)
+        with pytest.raises(FaultError, match="already"):
+            FaultInjector(cluster)
+
+    def test_detach_restores_unfaulted_state(self):
+        cluster = Cluster(num_nodes=1)
+        injector = FaultInjector(cluster)
+        injector.detach()
+        assert cluster.faults is None
+
+
+class TestComputeFaults:
+    def test_slowdown_stretches_runtime(self):
+        cluster = Cluster.voltrino(num_nodes=2)
+        injector = FaultInjector(cluster)
+        injector.inject("slowdown", "node0", factor=0.5)
+        proc = cluster.spawn("p", busy(10.0), node="node0", core=0)
+        cluster.sim.run()
+        assert proc.end_time == pytest.approx(20.0, rel=0.05)
+
+    def test_slowdown_window_reverts(self):
+        cluster = Cluster.voltrino(num_nodes=2)
+        injector = FaultInjector(cluster)
+        injector.inject("slowdown", "node0", start=0.0, duration=10.0, factor=0.5)
+        proc = cluster.spawn("p", busy(10.0), node="node0", core=0)
+        cluster.sim.run()
+        # 5 units done slow by t=10, the rest at (near) full speed.
+        assert proc.end_time == pytest.approx(15.0, rel=0.05)
+        assert not injector.state.active
+
+    def test_hang_freezes_without_killing(self):
+        cluster = Cluster.voltrino(num_nodes=2)
+        injector = FaultInjector(cluster)
+        injector.inject("node_hang", "node0", start=0.0, duration=5.0)
+        proc = cluster.spawn("p", busy(10.0), node="node0", core=0)
+        cluster.sim.run()
+        assert proc.state is ProcessState.DONE
+        assert proc.end_time == pytest.approx(15.0, rel=0.05)
+
+    def test_other_nodes_unaffected(self):
+        cluster = Cluster.voltrino(num_nodes=2)
+        injector = FaultInjector(cluster)
+        injector.inject("slowdown", "node0", factor=0.5)
+        other = cluster.spawn("q", busy(10.0), node="node1", core=0)
+        cluster.sim.run()
+        assert other.end_time == pytest.approx(10.0, rel=0.05)
+
+
+class TestNodeCrash:
+    def test_crash_kills_local_processes_only(self):
+        cluster = Cluster.voltrino(num_nodes=2)
+        injector = FaultInjector(cluster)
+        victim = cluster.spawn("v", busy(100.0), node="node0", core=0)
+        survivor = cluster.spawn("s", busy(10.0), node="node1", core=0)
+        injector.inject("node_crash", "node0", start=2.0, duration=50.0)
+        cluster.sim.run()
+        assert victim.state is ProcessState.KILLED
+        assert victim.exit_reason == "node-crash"
+        assert victim.end_time == pytest.approx(2.0)
+        assert survivor.state is ProcessState.DONE
+
+    def test_down_window_and_recovery(self):
+        cluster = Cluster.voltrino(num_nodes=2)
+        injector = FaultInjector(cluster)
+        injector.inject("node_crash", "node0", start=2.0, duration=8.0)
+        cluster.sim.run(until=20)
+        assert injector.state.down_nodes == ()
+        assert injector.crashed_between("node0", 0.0, 20.0)
+        assert injector.crashed_between("node0", 3.0, 4.0)
+        assert not injector.crashed_between("node0", 11.0, 20.0)
+        assert not injector.crashed_between("node1", 0.0, 20.0)
+
+    def test_fault_labels_ground_truth(self):
+        cluster = Cluster.voltrino(num_nodes=2)
+        injector = FaultInjector(cluster)
+        injector.add(2.0, "node0", "node_crash", duration=8.0)
+        injector.deploy()
+        assert injector.fault_labels(5.0) == ["node_crash"]
+        assert injector.fault_labels(15.0) == []
+
+
+class TestLinkDown:
+    def test_transfer_stalls_until_link_restored(self):
+        cluster = Cluster.voltrino(num_nodes=2)
+        injector = FaultInjector(cluster)
+        injector.inject("link_down", "node0", start=0.0, duration=3.0)
+
+        def sender(proc):
+            yield p2p_transfer(dst="node1", nbytes=1e9, peak_bw=1e9)
+
+        proc = cluster.spawn("tx", sender, node="node0", core=0)
+        cluster.sim.run()
+        assert proc.state is ProcessState.DONE
+        assert proc.end_time == pytest.approx(4.0, rel=0.1)
+
+
+class TestOomKill:
+    def test_largest_consumer_dies(self):
+        cluster = Cluster.voltrino(num_nodes=1)
+        injector = FaultInjector(cluster)
+
+        def hog(size):
+            def body(proc):
+                cluster.node("node0").memory.alloc(proc.pid, size)
+                yield Sleep(100.0)
+
+            return body
+
+        big = cluster.spawn("big", hog(8 * GB), node="node0", core=0)
+        small = cluster.spawn("small", hog(1 * GB), node="node0", core=1)
+        injector.inject("oom_kill", "node0", start=5.0)
+        cluster.sim.run()
+        assert big.state is ProcessState.KILLED
+        assert big.exit_reason == "oom-killed"
+        assert small.state is ProcessState.DONE
+
+
+class TestStorageFaults:
+    def test_meta_brownout_window(self):
+        cluster = Cluster.chameleon(num_nodes=2, with_nfs=True)
+        injector = FaultInjector(cluster)
+        fs = cluster.filesystem("nfs")
+        injector.inject("meta_brownout", "node0", start=1.0, duration=5.0, factor=0.2)
+        cluster.sim.run(until=3)
+        assert fs.meta_health == pytest.approx(0.2)
+        assert fs.effective_meta_capacity == pytest.approx(0.2 * fs.meta_capacity)
+        cluster.sim.run(until=10)
+        assert fs.meta_health == pytest.approx(1.0)
+
+    def test_ost_failure_degrades_bandwidth_then_recovers(self):
+        cluster = Cluster.chameleon(num_nodes=2, with_nfs=True)
+        fs = cluster.filesystem("nfs")
+        fs.n_osts = 4
+        injector = FaultInjector(cluster)
+        injector.inject("ost_failure", "node0", start=1.0, duration=5.0, count=2)
+        cluster.sim.run(until=3)
+        assert fs.effective_disk_bw == pytest.approx(0.5 * fs.disk_bw)
+        cluster.sim.run(until=10)
+        assert fs.effective_disk_bw == pytest.approx(fs.disk_bw)
+        assert fs.health_revision == 4  # 2 failures + 2 restores
+
+
+class TestComposition:
+    def test_active_labels_drop_anomalies_on_crashed_nodes(self):
+        cluster = Cluster.voltrino(num_nodes=2)
+        anomalies = AnomalyInjector(cluster)
+        anomalies.add(
+            Injection(CpuOccupy(utilization=80), node="node0", start=0.0, duration=50.0)
+        )
+        anomalies.add(
+            Injection(CpuOccupy(utilization=80), node="node1", start=0.0, duration=50.0)
+        )
+        anomalies.deploy()
+        faults = FaultInjector(cluster)
+        faults.add(10.0, "node0", "node_crash", duration=20.0)
+        faults.deploy()
+        cluster.sim.run(until=40)
+        assert anomalies.active_labels(5.0) == ["cpuoccupy", "cpuoccupy"]
+        assert anomalies.active_labels(15.0, faults=faults) == ["cpuoccupy"]
+        assert anomalies.active_labels(15.0) == ["cpuoccupy", "cpuoccupy"]
+
+    def test_fault_spans_and_recovery_instants(self):
+        cluster = Cluster.voltrino(num_nodes=2)
+        collector = SpanCollector()
+        collector.attach(cluster.sim)
+        injector = FaultInjector(cluster)
+        injector.inject("slowdown", "node0", start=2.0, duration=6.0, factor=0.5)
+        cluster.sim.run(until=20)
+        spans = [s for s in collector.spans if s.cat == "faults"]
+        assert len(spans) == 1
+        assert spans[0].name == "slowdown"
+        assert spans[0].start == pytest.approx(2.0)
+        assert spans[0].end == pytest.approx(8.0)
+        assert spans[0].args["node"] == "node0"
+        assert spans[0].args["factor"] == 0.5
+        recoveries = [
+            e for e in collector.instants if e.name == "recovered:slowdown"
+        ]
+        assert len(recoveries) == 1
+
+    def test_schedule_extension_deploys_once(self):
+        cluster = Cluster.voltrino(num_nodes=2)
+        injector = FaultInjector(cluster)
+        schedule = FaultSchedule()
+        schedule.add(1.0, "node0", "slowdown", duration=2.0)
+        injector.extend(schedule)
+        assert injector.deploy() == 1
+        assert injector.deploy() == 0

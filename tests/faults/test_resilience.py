@@ -1,0 +1,301 @@
+"""Resilience mechanics: checkpoint/restart, requeue, barrier timeouts."""
+
+import pytest
+
+from repro.apps import AppJob, get_app
+from repro.apps.base import CheckpointStore
+from repro.cluster import Cluster
+from repro.errors import ConfigError, MPITimeoutError
+from repro.faults import FaultInjector, RetryPolicy
+from repro.monitoring import MetricService
+from repro.mpi.comm import Barrier
+from repro.scheduling import JobScheduler, RoundRobin
+from repro.sim.process import ProcessState, Sleep
+
+
+class TestCheckpointStore:
+    def test_commit_is_monotonic(self):
+        store = CheckpointStore()
+        store.commit(4)
+        store.commit(2)
+        assert store.committed == 4
+        assert store.commits == 2
+
+
+class TestCheckpointing:
+    def test_zero_cost_checkpointing_is_exactly_free(self):
+        """With no faults and zero cost, checkpointing must not perturb
+        the simulation at all — byte-for-byte identical runtimes."""
+        runtimes = []
+        for interval in (None, 4):
+            cluster = Cluster(num_nodes=1)
+            app = get_app("CoMD").scaled(iterations=12)
+            job = AppJob(
+                app,
+                cluster,
+                nodes=[0],
+                ranks_per_node=2,
+                seed=7,
+                checkpoint_interval=interval,
+            )
+            runtimes.append(job.run(timeout=10_000))
+        assert runtimes[0] == runtimes[1]
+
+    def test_checkpoint_cost_adds_time(self):
+        runtimes = []
+        for cost in (0.0, 0.5):
+            cluster = Cluster(num_nodes=1)
+            app = get_app("CoMD").scaled(iterations=12)
+            job = AppJob(
+                app,
+                cluster,
+                nodes=[0],
+                ranks_per_node=1,
+                seed=7,
+                checkpoint_interval=4,
+                checkpoint_cost=cost,
+            )
+            runtimes.append(job.run(timeout=10_000))
+        assert runtimes[1] > runtimes[0]
+
+    def test_commits_follow_interval(self):
+        cluster = Cluster(num_nodes=1)
+        app = get_app("CoMD").scaled(iterations=12)
+        job = AppJob(
+            app, cluster, nodes=[0], ranks_per_node=2, seed=7,
+            checkpoint_interval=4,
+        )
+        job.run(timeout=10_000)
+        # commits at iterations 4 and 8; the final iteration needs none.
+        assert job.checkpoint.committed == 8
+        assert job.checkpoint.commits == 2 * 2  # per rank
+
+    def test_restart_resumes_from_committed_iteration(self):
+        cluster = Cluster(num_nodes=1)
+        app = get_app("CoMD").scaled(iterations=12)
+        store = CheckpointStore()
+        store.commit(8)
+        job = AppJob(
+            app,
+            cluster,
+            nodes=[0],
+            ranks_per_node=1,
+            seed=7,
+            checkpoint=store,
+            checkpoint_interval=4,
+            start_iteration=store.committed,
+        )
+        runtime = job.run(timeout=10_000)
+        assert runtime == pytest.approx(4 * app.profile.iter_seconds, rel=0.1)
+
+    def test_invalid_checkpoint_knobs(self):
+        cluster = Cluster(num_nodes=1)
+        app = get_app("CoMD").scaled(iterations=4)
+        with pytest.raises(ConfigError):
+            AppJob(app, cluster, nodes=[0], checkpoint_interval=0)
+        with pytest.raises(ConfigError):
+            AppJob(app, cluster, nodes=[0], checkpoint_cost=-1.0)
+        with pytest.raises(ConfigError):
+            AppJob(app, cluster, nodes=[0], start_iteration=5)
+
+
+@pytest.fixture
+def managed_cluster():
+    cluster = Cluster.voltrino(num_nodes=8)
+    service = MetricService(cluster)
+    service.attach(end=1_000_000)
+    scheduler = JobScheduler(cluster, service)
+    faults = FaultInjector(cluster)
+    return cluster, scheduler, faults
+
+
+class TestManagedJob:
+    APP_ITERS = 12
+
+    def _app(self):
+        return get_app("CoMD").scaled(iterations=self.APP_ITERS)
+
+    def _run_until_settled(self, cluster, managed, timeout=10_000):
+        cluster.sim.run(until=timeout, stop_when=lambda: managed.settled)
+
+    def test_clean_run_finishes_in_one_attempt(self, managed_cluster):
+        cluster, scheduler, _ = managed_cluster
+        managed = scheduler.submit_managed(
+            self._app(), RoundRobin(), n_nodes=2, ranks_per_node=2, seed=1
+        )
+        self._run_until_settled(cluster, managed)
+        assert managed.done
+        assert managed.attempts == 1
+        assert managed.requeues == 0
+        assert managed.makespan() > 0
+
+    def test_crash_without_retry_fails_job(self, managed_cluster):
+        cluster, scheduler, faults = managed_cluster
+        app = self._app()
+        crash_at = 0.5 * app.profile.nominal_runtime
+        faults.inject("node_crash", "node0", start=crash_at, duration=1_000.0)
+        managed = scheduler.submit_managed(
+            app, RoundRobin(), n_nodes=2, ranks_per_node=2, seed=1
+        )
+        self._run_until_settled(cluster, managed)
+        assert managed.failed
+        assert managed.attempts == 1
+        assert managed.reason == "node-crash"
+
+    def test_retry_with_checkpoint_survives_crash(self, managed_cluster):
+        cluster, scheduler, faults = managed_cluster
+        app = self._app()
+        crash_at = 0.5 * app.profile.nominal_runtime
+        faults.inject("node_crash", "node0", start=crash_at, duration=1_000.0)
+        managed = scheduler.submit_managed(
+            app,
+            RoundRobin(),
+            n_nodes=2,
+            ranks_per_node=2,
+            seed=1,
+            retry=RetryPolicy(base_delay=1.0, max_retries=5),
+            checkpoint_interval=3,
+        )
+        self._run_until_settled(cluster, managed)
+        assert managed.done
+        assert managed.requeues >= 1
+        assert managed.makespan() > app.profile.nominal_runtime
+
+    def test_requeue_avoids_down_node(self, managed_cluster):
+        cluster, scheduler, faults = managed_cluster
+        app = self._app()
+        crash_at = 0.5 * app.profile.nominal_runtime
+        faults.inject("node_crash", "node0", start=crash_at, duration=1_000.0)
+        managed = scheduler.submit_managed(
+            app,
+            RoundRobin(),
+            n_nodes=2,
+            ranks_per_node=2,
+            seed=1,
+            retry=RetryPolicy(base_delay=1.0, max_retries=5),
+            checkpoint_interval=3,
+        )
+        self._run_until_settled(cluster, managed)
+        assert managed.done
+        assert "node0" not in managed.job.node_names
+
+    def test_checkpoint_restart_skips_completed_work(self, managed_cluster):
+        """The restarted attempt resumes from the last commit, so the
+        total iterations executed stay close to the nominal count."""
+        cluster, scheduler, faults = managed_cluster
+        app = self._app()
+        crash_at = 0.6 * app.profile.nominal_runtime
+        faults.inject("node_crash", "node0", start=crash_at, duration=1_000.0)
+        managed = scheduler.submit_managed(
+            app,
+            RoundRobin(),
+            n_nodes=2,
+            ranks_per_node=2,
+            seed=1,
+            retry=RetryPolicy(base_delay=1.0, max_retries=5),
+            checkpoint_interval=3,
+        )
+        self._run_until_settled(cluster, managed)
+        assert managed.done
+        assert managed.checkpoint.committed > 0
+        ranks = 4
+        # lost work per rank is bounded by one checkpoint interval (+1
+        # requeue's worth of slack for the in-flight iteration).
+        assert managed.iterations_done <= ranks * (self.APP_ITERS + 4)
+
+    def test_retry_deadline_gives_up(self, managed_cluster):
+        cluster, scheduler, faults = managed_cluster
+        app = self._app()
+        faults.inject("node_crash", "node0", start=2.0, duration=1_000.0)
+        managed = scheduler.submit_managed(
+            app,
+            RoundRobin(),
+            n_nodes=2,
+            ranks_per_node=2,
+            seed=1,
+            retry=RetryPolicy(base_delay=50.0, jitter=0.0, max_retries=8,
+                              deadline=10.0),
+        )
+        self._run_until_settled(cluster, managed)
+        assert managed.failed
+        assert managed.attempts == 1
+
+    def test_allocate_excludes_down_nodes(self, managed_cluster):
+        cluster, scheduler, faults = managed_cluster
+        faults.inject("node_crash", "node0", start=1.0, duration=100.0)
+        cluster.sim.run(until=5)
+        allocation = scheduler.allocate(RoundRobin(), 2)
+        assert "node0" not in allocation.nodes
+
+
+class TestBarrierTimeout:
+    def test_abort_interrupts_waiters(self):
+        cluster = Cluster(num_nodes=1)
+        sim = cluster.sim
+        barrier = Barrier(sim, n=2, name="b", timeout=5.0, on_timeout="abort")
+        outcomes = []
+
+        def arriving(proc):
+            try:
+                yield from barrier.wait()
+                outcomes.append("released")
+            except MPITimeoutError:
+                outcomes.append("timeout")
+
+        def straggler(proc):
+            yield Sleep(100.0)
+
+        cluster.spawn("r0", arriving, node=0, core=0)
+        cluster.spawn("lag", straggler, node=0, core=1)
+        sim.run()
+        assert outcomes == ["timeout"]
+        assert barrier.timeouts == 1
+
+    def test_degrade_shrinks_collective(self):
+        cluster = Cluster(num_nodes=1)
+        sim = cluster.sim
+        barrier = Barrier(sim, n=3, name="b", timeout=5.0, on_timeout="degrade")
+        released = []
+
+        def arriving(name):
+            def body(proc):
+                yield from barrier.wait()
+                released.append(name)
+
+            return body
+
+        cluster.spawn("r0", arriving("r0"), node=0, core=0)
+        cluster.spawn("r1", arriving("r1"), node=0, core=1)
+        sim.run()
+        assert sorted(released) == ["r0", "r1"]
+        assert barrier.n == 2
+        assert barrier.timeouts == 1
+
+    def test_leave_uncounts_dead_waiter(self):
+        cluster = Cluster(num_nodes=1)
+        sim = cluster.sim
+        barrier = Barrier(sim, n=2, name="b")
+        released = []
+
+        def arriving(proc):
+            yield from barrier.wait()
+            released.append(proc.name)
+
+        p0 = cluster.spawn("r0", arriving, node=0, core=0)
+        sim.run(until=1.0)
+        assert p0.state is ProcessState.WAITING
+        barrier.leave(p0)
+        sim.kill(p0, reason="node-crash")
+        sim.run(until=2.0)
+        # the barrier shrank to n=1 and the dead rank's arrival was
+        # uncounted, so a fresh rank can pass alone.
+        cluster.spawn("r1", arriving, node=0, core=1)
+        sim.run()
+        assert released == ["r1"]
+
+    def test_validation(self):
+        cluster = Cluster(num_nodes=1)
+        with pytest.raises(ConfigError):
+            Barrier(cluster.sim, n=2, name="b", timeout=0.0)
+        with pytest.raises(ConfigError):
+            Barrier(cluster.sim, n=2, name="b", on_timeout="retry")

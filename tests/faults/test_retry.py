@@ -1,0 +1,56 @@
+"""RetryPolicy: deterministic backoff schedules."""
+
+import math
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import RetryPolicy
+
+
+class TestDelays:
+    def test_same_seed_and_scope_identical(self):
+        policy = RetryPolicy(base_delay=2.0, factor=2.0, jitter=0.5, max_retries=6)
+        assert policy.delays(7, "jobA") == policy.delays(7, "jobA")
+
+    def test_scope_separates_streams(self):
+        policy = RetryPolicy(max_retries=6)
+        assert policy.delays(7, "jobA") != policy.delays(7, "jobB")
+
+    def test_seed_separates_streams(self):
+        policy = RetryPolicy(max_retries=6)
+        assert policy.delays(7, "jobA") != policy.delays(8, "jobA")
+
+    def test_exponential_growth_with_cap(self):
+        policy = RetryPolicy(
+            base_delay=1.0, factor=2.0, jitter=0.0, max_delay=8.0, max_retries=6
+        )
+        assert policy.delays(0, "x") == [1.0, 2.0, 4.0, 8.0, 8.0, 8.0]
+
+    def test_jitter_bounded_and_positive(self):
+        policy = RetryPolicy(base_delay=1.0, factor=1.0, jitter=0.25, max_retries=50)
+        for delay in policy.delays(3, "jitter"):
+            assert 1.0 <= delay <= 1.25
+
+    def test_delay_count_is_max_retries(self):
+        assert len(RetryPolicy(max_retries=3).delays(0, "n")) == 3
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"base_delay": 0.0},
+            {"factor": 0.5},
+            {"jitter": -0.1},
+            {"max_delay": 0.0},
+            {"max_retries": -1},
+            {"deadline": 0.0},
+        ],
+    )
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(FaultError):
+            RetryPolicy(**kwargs)
+
+    def test_default_deadline_is_unbounded(self):
+        assert math.isinf(RetryPolicy().deadline)

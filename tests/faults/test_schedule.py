@@ -1,0 +1,94 @@
+"""FaultSchedule: explicit campaigns and seeded generation."""
+
+import math
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import FaultSchedule
+from repro.faults.models import TransientSlowdown
+
+
+def _signature(schedule):
+    return [
+        (e.time, e.node, e.fault.name, e.duration) for e in schedule.events
+    ]
+
+
+class TestExplicit:
+    def test_add_by_name_builds_fault_with_knobs(self):
+        schedule = FaultSchedule()
+        event = schedule.add(5.0, "node1", "slowdown", duration=10.0, factor=0.5)
+        assert event.fault.name == "slowdown"
+        assert event.fault.factor == 0.5
+
+    def test_knobs_rejected_with_fault_instance(self):
+        with pytest.raises(FaultError, match="knobs"):
+            FaultSchedule().add(0.0, "n", TransientSlowdown(), factor=0.5)
+
+    def test_events_sorted_by_time_node_name(self):
+        schedule = FaultSchedule()
+        schedule.add(9.0, "node1", "node_hang", duration=1.0)
+        schedule.add(3.0, "node2", "slowdown", duration=1.0)
+        schedule.add(3.0, "node0", "node_crash", duration=1.0)
+        assert [(e.time, e.node) for e in schedule.events] == [
+            (3.0, "node0"),
+            (3.0, "node2"),
+            (9.0, "node1"),
+        ]
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(FaultError):
+            FaultSchedule().add(-1.0, "n", "node_crash")
+
+    def test_default_duration_is_permanent(self):
+        event = FaultSchedule().add(0.0, "n", "node_crash")
+        assert math.isinf(event.duration)
+
+
+class TestGenerate:
+    NODES = ["node0", "node1", "node2", "node3"]
+
+    def test_same_seed_same_campaign(self):
+        a = FaultSchedule.generate(11, horizon=1000, nodes=self.NODES, rate=0.01)
+        b = FaultSchedule.generate(11, horizon=1000, nodes=self.NODES, rate=0.01)
+        assert len(a) > 0
+        assert _signature(a) == _signature(b)
+
+    def test_scope_separates_campaigns(self):
+        a = FaultSchedule.generate(
+            11, horizon=1000, nodes=self.NODES, rate=0.01, scope="a"
+        )
+        b = FaultSchedule.generate(
+            11, horizon=1000, nodes=self.NODES, rate=0.01, scope="b"
+        )
+        assert _signature(a) != _signature(b)
+
+    def test_zero_rate_is_empty(self):
+        schedule = FaultSchedule.generate(
+            1, horizon=1000, nodes=self.NODES, rate=0.0
+        )
+        assert len(schedule) == 0
+
+    def test_events_within_horizon_and_kinds(self):
+        kinds = ("node_hang", "slowdown")
+        schedule = FaultSchedule.generate(
+            2, horizon=500, nodes=self.NODES, rate=0.05, kinds=kinds
+        )
+        for event in schedule.events:
+            assert 0 <= event.time < 500
+            assert event.node in self.NODES
+            assert event.fault.name in kinds
+            assert 30.0 <= event.duration <= 300.0
+
+    def test_validation(self):
+        with pytest.raises(FaultError):
+            FaultSchedule.generate(1, horizon=0, nodes=self.NODES, rate=0.1)
+        with pytest.raises(FaultError):
+            FaultSchedule.generate(1, horizon=10, nodes=[], rate=0.1)
+        with pytest.raises(FaultError):
+            FaultSchedule.generate(1, horizon=10, nodes=self.NODES, rate=-0.1)
+        with pytest.raises(FaultError):
+            FaultSchedule.generate(
+                1, horizon=10, nodes=self.NODES, rate=0.1, kinds=()
+            )

@@ -120,6 +120,12 @@ class TestCollection:
         with pytest.raises(ConfigError, match="known nodes: node0, node1"):
             svc.series("node9", "user::procstat")
 
+    def test_unknown_node_error_suggests_close_match(self):
+        cluster = Cluster(num_nodes=2)
+        svc = MetricService(cluster)
+        with pytest.raises(ConfigError, match="did you mean 'node0'"):
+            svc.series("nod0", "user::procstat")
+
     def test_invalid_interval(self):
         with pytest.raises(ConfigError):
             MetricService(Cluster(num_nodes=1), interval=0)

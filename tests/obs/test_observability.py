@@ -64,7 +64,14 @@ class TestScenarios:
             run_scenario("mixed", horizon=0.0)
 
     def test_scenario_registry_names(self):
-        assert set(SCENARIOS) == {"mixed", "loadbalance"}
+        assert set(SCENARIOS) == {"mixed", "loadbalance", "faults"}
+
+    def test_faults_covers_fault_and_recovery_spans(self):
+        run = run_scenario("faults", seed=0, horizon=3600.0)
+        collector = run.obs.collector
+        assert "faults" in set(collector.categories())
+        names = {e.name for e in collector.instants}
+        assert any(n.startswith("recovered:") for n in names)
 
     def test_mixed_covers_five_subsystems(self):
         run = run_scenario("mixed", seed=0, horizon=120.0)

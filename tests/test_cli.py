@@ -85,3 +85,65 @@ class TestVarbenchSubcommand:
     def test_varbench_rejects_unknown_anomaly(self):
         with pytest.raises(SystemExit):
             main(["varbench", "miniMD", "--anomaly", "fanspin"])
+
+
+class _StubResult:
+    def render(self):
+        return "stub table"
+
+
+def _register_stub(monkeypatch, runner):
+    from repro.experiments.registry import EXPERIMENT_REGISTRY, ExperimentSpec
+
+    spec = ExperimentSpec("stub_exp", "a test stub", runner, "StubResult")
+    monkeypatch.setitem(EXPERIMENT_REGISTRY, "stub_exp", spec)
+    return spec
+
+
+class TestExperimentSubcommand:
+    def test_list_enumerates_registry(self, capsys):
+        from repro.experiments.registry import EXPERIMENT_REGISTRY
+
+        rc = main(["experiment", "--list"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENT_REGISTRY:
+            assert name in out
+
+    def test_run_renders_and_archives(self, capsys, tmp_path, monkeypatch):
+        _register_stub(monkeypatch, lambda: _StubResult())
+        rc = main(["experiment", "stub_exp", "--out", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "stub table" in out
+        assert (tmp_path / "StubResult.txt").read_text() == "stub table\n"
+        assert (tmp_path / "StubResult.manifest.json").exists()
+
+    def test_no_persist_skips_archiving(self, capsys, tmp_path, monkeypatch):
+        _register_stub(monkeypatch, lambda: _StubResult())
+        rc = main(
+            ["experiment", "stub_exp", "--out", str(tmp_path), "--no-persist"]
+        )
+        assert rc == 0
+        assert not (tmp_path / "StubResult.txt").exists()
+
+    def test_seed_rejected_for_seedless_experiment(self, monkeypatch):
+        from repro.errors import ConfigError
+
+        _register_stub(monkeypatch, lambda: _StubResult())
+        with pytest.raises(ConfigError, match="does not take a seed"):
+            main(["experiment", "stub_exp", "--seed", "3", "--no-persist"])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+    def test_deprecated_alias_warns_on_stderr(self, capsys, monkeypatch):
+        _register_stub(monkeypatch, lambda: _StubResult())
+        rc = main(["stub_exp", "--no-persist"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "deprecated" in captured.err
+        assert "repro experiment stub_exp" in captured.err
+        assert "stub table" in captured.out
+        assert "deprecated" not in captured.out
