@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: lint test check benchmarks bench-core
+.PHONY: lint test fuzz check benchmarks bench-core
 
 lint:
 	$(PYTHON) -m repro lint src/ tests/
@@ -11,7 +11,12 @@ lint:
 test:
 	$(PYTHON) -m pytest -x -q
 
-check: lint test
+# Invariant/oracle fuzzing: replay the pinned corpus plus a small fresh
+# batch (see docs/TESTING.md).
+fuzz:
+	$(PYTHON) -m repro check --corpus tests/check/corpus.json --cases 5 --seed 0
+
+check: lint test fuzz
 
 benchmarks:
 	$(PYTHON) -m pytest benchmarks/ -q

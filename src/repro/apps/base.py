@@ -262,6 +262,39 @@ class AppJob:
         self.procs: list[SimProcess] = []
         self._launched = False
 
+    @classmethod
+    def restart_from(
+        cls,
+        job: "AppJob",
+        cluster: Cluster | None = None,
+        start: float | None = None,
+    ) -> "AppJob":
+        """A new job resuming ``job`` from its last committed checkpoint.
+
+        The restarted job reuses the original checkpoint store, seed, and
+        placement, so the surviving iterations replay byte-identically
+        (the rank bodies skip their jitter streams forward to the resume
+        point).  ``cluster`` / ``start`` default to the original job's —
+        pass a fresh cluster when the old simulator is wedged or a later
+        ``start`` to model restart latency.
+        """
+        if job.checkpoint is None:
+            raise ConfigError("cannot restart a job that never checkpointed")
+        return cls(
+            app=job.app,
+            cluster=cluster if cluster is not None else job.cluster,
+            nodes=list(job.node_names),
+            ranks_per_node=job.ranks_per_node,
+            start=start if start is not None else job.start,
+            seed=job.seed,
+            checkpoint_interval=job.checkpoint_interval,
+            checkpoint_cost=job.checkpoint_cost,
+            checkpoint=job.checkpoint,
+            start_iteration=job.checkpoint.committed,
+            barrier_timeout=job.barrier_timeout,
+            barrier_on_timeout=job.barrier_on_timeout,
+        )
+
     @property
     def n_ranks(self) -> int:
         return len(self.node_names) * self.ranks_per_node

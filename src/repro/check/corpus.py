@@ -1,0 +1,54 @@
+"""Pinned fuzz corpus: JSON round-trip of case specs.
+
+The corpus file (``tests/check/corpus.json``) pins a set of
+:class:`~repro.check.generators.CaseSpec` values that CI replays on
+every run, in addition to a small fresh batch.  Cases that once exposed
+a divergence get appended here (shrunk form) so the regression stays
+covered forever.  The format is versioned, and specs round-trip through
+:meth:`CaseSpec.to_dict` / :meth:`CaseSpec.from_dict` so the file stays
+hand-editable::
+
+    {"version": 1, "cases": [{"case_id": 0, "seed": 0, ...}, ...]}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.check.generators import CaseSpec
+from repro.errors import CheckError
+
+CORPUS_VERSION = 1
+
+
+def load_corpus(path: str | Path) -> list[CaseSpec]:
+    """Read a corpus file; raises :class:`CheckError` on malformed input."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise CheckError(f"corpus file not found: {path}") from None
+    except json.JSONDecodeError as err:
+        raise CheckError(f"corpus {path} is not valid JSON: {err}") from None
+    if not isinstance(data, dict) or data.get("version") != CORPUS_VERSION:
+        raise CheckError(
+            f"corpus {path} has unsupported version "
+            f"{data.get('version') if isinstance(data, dict) else data!r} "
+            f"(expected {CORPUS_VERSION})"
+        )
+    cases = data.get("cases")
+    if not isinstance(cases, list):
+        raise CheckError(f"corpus {path} lacks a 'cases' list")
+    return [CaseSpec.from_dict(case) for case in cases]
+
+
+def save_corpus(path: str | Path, specs: list[CaseSpec]) -> Path:
+    """Write a corpus file (sorted keys, trailing newline: diff-friendly)."""
+    path = Path(path)
+    payload = {
+        "version": CORPUS_VERSION,
+        "cases": [spec.to_dict() for spec in specs],
+    }
+    path.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n")
+    return path

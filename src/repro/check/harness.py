@@ -1,0 +1,261 @@
+"""The fuzzing harness: run cases through paired paths and compare.
+
+The harness turns a :class:`~repro.check.generators.CaseSpec` into a
+**fingerprint** — a SHA-256 over every process's final state, timing, and
+counters rendered with ``float.hex()`` — and asserts that the fingerprint
+is byte-identical across paired implementations of the same semantics:
+
+* incremental rate resolution vs the from-scratch reference
+  (``ClusterRateModel.incremental = False``),
+* memoized flow solves vs cold re-solves (``FlowSolver.memoize = False``).
+
+The fast path additionally runs with an :class:`InvariantChecker`
+attached in ``record`` mode, so one evaluation yields both the
+conservation audit and the differential verdicts.  Failing cases are
+shrunk by halving (see
+:func:`~repro.check.generators.shrink_candidates`) until no smaller
+variant still fails.
+
+Fingerprints key on process *names* (with an occurrence index for
+same-named processes), never on pids: the pid counter is a process-wide
+global, so pids differ between runs inside one interpreter while names
+and spawn order do not.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+from repro.check.generators import (
+    CaseSpec,
+    build_cluster,
+    deploy_case,
+    generate_cases,
+    shrink_candidates,
+)
+from repro.check.invariants import InvariantChecker
+from repro.cluster.cluster import Cluster
+
+#: evaluation budget for shrinking one failing case
+SHRINK_BUDGET = 24
+
+
+def _hex(value: float | None) -> str | None:
+    return None if value is None else float(value).hex()
+
+
+def fingerprint_cluster(cluster: Cluster) -> str:
+    """Canonical digest of a finished simulation's observable outcome."""
+    name_counts: dict[str, int] = {}
+    entries = []
+    for proc in cluster.sim.processes:
+        occurrence = name_counts.get(proc.name, 0)
+        name_counts[proc.name] = occurrence + 1
+        entries.append(
+            {
+                "name": proc.name,
+                "occurrence": occurrence,
+                "node": proc.node,
+                "core": proc.core,
+                "state": proc.state.name,
+                "start": _hex(proc.start_time),
+                "end": _hex(proc.end_time),
+                "exit": proc.exit_reason,
+                "counters": {
+                    key: float(value).hex()
+                    for key, value in sorted(proc.counters.items())
+                },
+            }
+        )
+    payload = {"now": _hex(cluster.sim.now), "procs": entries}
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _run_case(
+    spec: CaseSpec,
+    incremental: bool = True,
+    memoize: bool = True,
+    checker: InvariantChecker | None = None,
+) -> str:
+    """Materialise, run, and fingerprint one case on a fresh cluster."""
+    cluster = build_cluster(spec)
+    cluster.model.incremental = incremental
+    if cluster.model.flow_solver is not None:
+        cluster.model.flow_solver.memoize = memoize
+    if checker is not None:
+        checker.attach(cluster)
+    jobs = deploy_case(spec, cluster)
+    stop = (lambda: all(job.finished for job in jobs)) if jobs else None
+    cluster.sim.run(until=spec.horizon, stop_when=stop)
+    fingerprint = fingerprint_cluster(cluster)
+    if checker is not None:
+        checker.detach()
+    return fingerprint
+
+
+def fingerprint_case(spec: CaseSpec) -> str:
+    """Default-path fingerprint of one case.
+
+    A module-level pure function of its payload, so
+    :func:`repro.parallel.run_trials` can fan specs out over worker
+    processes (the parallel-vs-serial oracle does exactly that).
+    """
+    return _run_case(spec)
+
+
+@dataclass(frozen=True)
+class CaseOutcome:
+    """Everything one evaluation learned about a case."""
+
+    spec: CaseSpec
+    fingerprint: str
+    violations: tuple[str, ...]
+    mismatches: tuple[tuple[str, str], ...]
+    hook_counts: tuple[tuple[str, int], ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.mismatches
+
+
+def evaluate_case(spec: CaseSpec) -> CaseOutcome:
+    """Run one case through the fast path and both reference paths."""
+    checker = InvariantChecker(mode="record")
+    fast = _run_case(spec, checker=checker)
+    mismatches = []
+    full = _run_case(spec, incremental=False)
+    if fast != full:
+        mismatches.append(
+            ("incremental_resolve", f"fast {fast[:16]}.. != full {full[:16]}..")
+        )
+    cold = _run_case(spec, memoize=False)
+    if fast != cold:
+        mismatches.append(
+            ("flow_memo", f"memoized {fast[:16]}.. != cold {cold[:16]}..")
+        )
+    return CaseOutcome(
+        spec=spec,
+        fingerprint=fast,
+        violations=tuple(v.render() for v in checker.violations),
+        mismatches=tuple(mismatches),
+        hook_counts=tuple(sorted(checker.hook_counts.items())),
+    )
+
+
+def shrink_failing(spec: CaseSpec, budget: int = SHRINK_BUDGET) -> CaseOutcome:
+    """Greedily halve a failing case while it keeps failing.
+
+    Returns the outcome of the smallest still-failing variant found
+    within ``budget`` evaluations (the original spec's outcome if no
+    candidate reproduces the failure).
+    """
+    current = evaluate_case(spec)
+    evals = 0
+    progress = True
+    while progress and evals < budget:
+        progress = False
+        for candidate in shrink_candidates(current.spec):
+            evals += 1
+            outcome = evaluate_case(candidate)
+            if not outcome.ok:
+                current = outcome
+                progress = True
+                break
+            if evals >= budget:
+                break
+    return current
+
+
+@dataclass(frozen=True)
+class FuzzReport:
+    """Deterministic summary of one fuzzing run."""
+
+    seed: int
+    generated: int
+    corpus_count: int
+    outcomes: tuple[CaseOutcome, ...]
+    oracles: tuple["OracleResult", ...]
+    shrunk: tuple[CaseOutcome, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(o.ok for o in self.outcomes) and all(o.ok for o in self.oracles)
+
+    def render(self) -> str:
+        """Byte-identical across runs of the same inputs: no wallclock,
+        no environment, only simulation outcomes."""
+        lines = [
+            f"repro check: seed={self.seed} corpus={self.corpus_count} "
+            f"generated={self.generated} cases={len(self.outcomes)}"
+        ]
+        totals: dict[str, int] = {}
+        for outcome in self.outcomes:
+            for family, count in outcome.hook_counts:
+                totals[family] = totals.get(family, 0) + count
+        hooks = "  ".join(f"{k}={v}" for k, v in sorted(totals.items()))
+        lines.append(f"invariant hooks fired: {hooks or 'none'}")
+        failing = [o for o in self.outcomes if not o.ok]
+        lines.append(
+            f"cases: {len(self.outcomes) - len(failing)} ok, {len(failing)} failing"
+        )
+        for oracle in self.oracles:
+            status = "ok" if oracle.ok else f"FAIL ({oracle.detail})"
+            lines.append(f"oracle {oracle.name}: {status}")
+        for outcome in failing:
+            lines.append(f"FAIL {outcome.spec.describe()}")
+            for violation in outcome.violations:
+                lines.append(f"  violation: {violation}")
+            for name, detail in outcome.mismatches:
+                lines.append(f"  mismatch[{name}]: {detail}")
+        for outcome in self.shrunk:
+            lines.append(f"shrunk {outcome.spec.describe()}")
+            for violation in outcome.violations:
+                lines.append(f"  violation: {violation}")
+            for name, detail in outcome.mismatches:
+                lines.append(f"  mismatch[{name}]: {detail}")
+            lines.append(f"  spec: {outcome.spec.to_json()}")
+        lines.append("PASS" if self.ok else "FAIL")
+        return "\n".join(lines)
+
+
+def run_fuzz(
+    cases: int,
+    seed: int,
+    corpus: list[CaseSpec] | None = None,
+    jobs: int = 1,
+    shrink: bool = True,
+    with_oracles: bool = True,
+) -> FuzzReport:
+    """Replay ``corpus`` plus ``cases`` freshly generated specs.
+
+    ``jobs > 1`` fans the per-case evaluations out over worker processes
+    (via :func:`repro.parallel.run_trials`, so results are identical for
+    every job count).  ``with_oracles`` additionally runs the global
+    differential oracles — parallel-vs-serial sweep, checkpoint/restart
+    equivalence, and registry-vs-legacy CLI — which exercise machinery a
+    single case cannot.
+    """
+    from repro.check import oracles as oracle_mod
+    from repro.parallel import run_trials
+
+    specs = list(corpus or []) + generate_cases(cases, seed)
+    outcomes = run_trials(evaluate_case, specs, jobs=jobs)
+    shrunk = []
+    if shrink:
+        for outcome in outcomes:
+            if not outcome.ok:
+                shrunk.append(shrink_failing(outcome.spec))
+    oracle_results: list[oracle_mod.OracleResult] = []
+    if with_oracles:
+        oracle_results.extend(oracle_mod.run_global_oracles(seed))
+    return FuzzReport(
+        seed=seed,
+        generated=cases,
+        corpus_count=len(corpus or []),
+        outcomes=tuple(outcomes),
+        oracles=tuple(oracle_results),
+        shrunk=tuple(shrunk),
+    )

@@ -1,0 +1,251 @@
+"""Differential oracles: paired paths that must agree byte-for-byte.
+
+Every optimisation PR so far kept a reference path alive next to its
+fast path — full resolve next to incremental, cold flow solves next to
+the memo, serial sweeps next to ``--jobs N``, uninterrupted jobs next to
+checkpoint/restart, and the legacy CLI spelling next to the experiment
+registry.  Each oracle here runs one seeded scenario through both sides
+and reports whether the results are byte-identical; the per-case
+incremental/memo variants live in :mod:`repro.check.harness` (they reuse
+the case fingerprint), while this module holds the oracles that need
+machinery a single case cannot exercise.
+
+All comparisons use ``float.hex()`` / fingerprint equality — "close
+enough" is exactly the silent-divergence failure mode this subsystem
+exists to catch.
+"""
+
+from __future__ import annotations
+
+import io
+from contextlib import redirect_stderr, redirect_stdout
+from dataclasses import dataclass
+
+from repro.apps.base import AppJob, CheckpointStore
+from repro.apps.registry import get_app
+from repro.check.generators import generate_cases
+from repro.cluster.cluster import Cluster
+from repro.parallel import run_trials
+
+
+@dataclass(frozen=True)
+class OracleResult:
+    """Verdict of one differential oracle."""
+
+    name: str
+    ok: bool
+    detail: str = ""
+
+
+# -- parallel vs serial sweep -------------------------------------------------
+
+
+def oracle_parallel_sweep(seed: int, cases: int = 3, jobs: int = 2) -> OracleResult:
+    """``run_trials(jobs=N)`` must merge byte-identically to a serial run."""
+    from repro.check.harness import fingerprint_case
+
+    specs = generate_cases(cases, seed)
+    serial = [fingerprint_case(spec) for spec in specs]
+    parallel = run_trials(fingerprint_case, specs, jobs=jobs)
+    if serial == parallel:
+        return OracleResult("parallel_sweep", True)
+    diverging = [
+        spec.case_id for spec, s, p in zip(specs, serial, parallel) if s != p
+    ]
+    return OracleResult(
+        "parallel_sweep",
+        False,
+        f"jobs={jobs} diverges from serial on cases {diverging}",
+    )
+
+
+# -- checkpoint/restart vs uninterrupted --------------------------------------
+
+
+class _RecordingStore(CheckpointStore):
+    """Checkpoint store that records the simulated instant of each commit.
+
+    All ranks commit right after the barrier releases them, i.e. within
+    one simulated instant, so the first commit of an iteration pins the
+    exact time the whole BSP step completed.
+    """
+
+    def __init__(self, cluster: Cluster) -> None:
+        super().__init__()
+        self._cluster = cluster
+        self.commit_times: dict[int, float] = {}
+
+    def commit(self, iteration: int) -> None:
+        super().commit(iteration)
+        self.commit_times.setdefault(iteration, self._cluster.sim.now)
+
+
+def _checkpoint_job(
+    cluster: Cluster,
+    seed: int,
+    iterations: int,
+    interval: int | None,
+    store: CheckpointStore | None = None,
+    start_iteration: int = 0,
+    start: float = 0.0,
+) -> AppJob:
+    app = get_app("miniMD").scaled(iterations=iterations)
+    return AppJob(
+        app,
+        cluster,
+        nodes=[0, 1],
+        ranks_per_node=2,
+        start=start,
+        seed=seed,
+        checkpoint_interval=interval,
+        checkpoint=store,
+        start_iteration=start_iteration,
+    )
+
+
+def oracle_checkpoint_restart(
+    seed: int, iterations: int = 8, interval: int = 2
+) -> OracleResult:
+    """A job killed and restarted from its checkpoint must finish at the
+    exact simulated instant of the uninterrupted run.
+
+    The uninterrupted run records the instant ``T_k`` at which iteration
+    ``k`` globally committed (the barrier releases every rank at one
+    timestamp).  Restarting the killed job at ``T_k`` with the same seed
+    replays iterations ``k..n`` through identical arithmetic — the rank
+    bodies skip their jitter streams forward — so the final event times
+    must agree to the last bit.
+    """
+    name = "checkpoint_restart"
+    # Uninterrupted reference run, with commit instants recorded.
+    cluster_a = Cluster.voltrino(num_nodes=2)
+    store_a = _RecordingStore(cluster_a)
+    job_a = _checkpoint_job(cluster_a, seed, iterations, interval, store=store_a)
+    job_a.run()
+    end_a = max(p.end_time for p in job_a.procs)
+    commits = sorted(store_a.commit_times)
+    if not commits:
+        return OracleResult(name, False, "reference run never committed")
+    k = commits[len(commits) // 2]
+    t_k = store_a.commit_times[k]
+    next_points = [store_a.commit_times[c] for c in commits if c > k]
+    t_next = min(next_points) if next_points else end_a
+    t_kill = (t_k + t_next) / 2.0
+
+    # Interrupted run: identical job, killed mid-flight after commit k.
+    cluster_b = Cluster.voltrino(num_nodes=2)
+    job_b = _checkpoint_job(cluster_b, seed, iterations, interval)
+    job_b.launch()
+    cluster_b.sim.run(until=t_kill)
+    for proc in job_b.procs:
+        if not proc.state.terminal:
+            cluster_b.sim.kill(proc, reason="check: injected crash")
+    if job_b.checkpoint.committed != k:
+        return OracleResult(
+            name,
+            False,
+            f"kill at t={t_kill!r} left committed="
+            f"{job_b.checkpoint.committed}, expected {k}",
+        )
+
+    # Restart from the survivor's store at the commit instant.
+    cluster_c = Cluster.voltrino(num_nodes=2)
+    job_c = AppJob.restart_from(job_b, cluster=cluster_c, start=t_k)
+    job_c.run()
+    end_c = max(p.end_time for p in job_c.procs)
+    if end_a.hex() == end_c.hex():
+        return OracleResult(name, True)
+    return OracleResult(
+        name,
+        False,
+        f"uninterrupted end {end_a.hex()} != restarted end {end_c.hex()} "
+        f"(restarted from iteration {k} at t={t_k!r})",
+    )
+
+
+def oracle_checkpoint_free(
+    seed: int, iterations: int = 6, interval: int = 2
+) -> OracleResult:
+    """Zero-cost checkpointing must be exactly free: same runtime bytes."""
+    cluster_plain = Cluster.voltrino(num_nodes=2)
+    plain = _checkpoint_job(cluster_plain, seed, iterations, interval=None).run()
+    cluster_ckpt = Cluster.voltrino(num_nodes=2)
+    ckpt = _checkpoint_job(cluster_ckpt, seed, iterations, interval=interval).run()
+    if plain.hex() == ckpt.hex():
+        return OracleResult("checkpoint_free", True)
+    return OracleResult(
+        "checkpoint_free",
+        False,
+        f"runtime without checkpointing {plain.hex()} != with zero-cost "
+        f"checkpointing {ckpt.hex()}",
+    )
+
+
+# -- registry vs legacy CLI ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _ProbeResult:
+    """Tiny renderable result for the CLI-equivalence probe."""
+
+    runtime: float
+
+    def render(self) -> str:
+        return f"check probe runtime {self.runtime.hex()}"
+
+
+def _run_check_probe(seed: int = 0) -> _ProbeResult:
+    cluster = Cluster.voltrino(num_nodes=2)
+    job = _checkpoint_job(cluster, seed, iterations=2, interval=None)
+    return _ProbeResult(runtime=job.run())
+
+
+def oracle_registry_cli(seed: int = 0) -> OracleResult:
+    """``repro experiment X`` and the legacy ``repro X`` alias must print
+    byte-identical stdout (the alias may add only a stderr warning)."""
+    from repro.cli import experiment_main, main as cli_main
+    from repro.experiments.registry import EXPERIMENT_REGISTRY, ExperimentSpec
+
+    name = "check_probe"
+    spec = ExperimentSpec(
+        name,
+        "internal probe for the registry-vs-CLI oracle",
+        _run_check_probe,
+        "CheckProbeResult",
+        seed=seed,
+    )
+    EXPERIMENT_REGISTRY[name] = spec
+    try:
+        registry_out = io.StringIO()
+        with redirect_stdout(registry_out):
+            rc_registry = experiment_main([name, "--no-persist"])
+        legacy_out = io.StringIO()
+        with redirect_stdout(legacy_out), redirect_stderr(io.StringIO()):
+            rc_legacy = cli_main([name, "--no-persist"])
+    finally:
+        EXPERIMENT_REGISTRY.pop(name, None)
+    if rc_registry != 0 or rc_legacy != 0:
+        return OracleResult(
+            "registry_cli",
+            False,
+            f"exit codes differ or non-zero: registry={rc_registry} "
+            f"legacy={rc_legacy}",
+        )
+    if registry_out.getvalue() == legacy_out.getvalue():
+        return OracleResult("registry_cli", True)
+    return OracleResult(
+        "registry_cli",
+        False,
+        "stdout of `repro experiment check_probe` differs from the "
+        "legacy `repro check_probe` spelling",
+    )
+
+
+def run_global_oracles(seed: int) -> list[OracleResult]:
+    """The oracles a fuzz run always executes once, in a fixed order."""
+    return [
+        oracle_parallel_sweep(seed),
+        oracle_checkpoint_restart(seed),
+        oracle_checkpoint_free(seed),
+        oracle_registry_cli(seed),
+    ]

@@ -11,6 +11,7 @@ module provides the same surface against the simulated substrate::
     python -m repro experiment --list
     python -m repro experiment fig8
     python -m repro faults --seed 1
+    python -m repro check --cases 50 --seed 0
 
 It builds a Voltrino-like cluster, optionally co-runs a benchmark
 application, injects the requested anomaly, and prints a monitoring
@@ -24,7 +25,9 @@ manifest (see :mod:`repro.obs` and docs/OBSERVABILITY.md); the
 ``experiment`` subcommand runs any table/figure experiment from the
 registry (:mod:`repro.experiments.registry`) and archives its results
 exactly as the benchmark harness does; ``faults`` runs the
-fault-injection resilience sweep (see docs/FAULTS.md).
+fault-injection resilience sweep (see docs/FAULTS.md); ``check`` fuzzes
+the simulator with runtime invariants and differential oracles attached
+(see :mod:`repro.check` and docs/TESTING.md).
 
 Invoking an experiment by its bare name (``repro fig8``) still works as
 a deprecated alias for ``repro experiment fig8`` and prints a warning on
@@ -237,6 +240,13 @@ def build_experiment_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the table without writing the results archive",
     )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="print only the result table (no archive chatter; also "
+        "silences the deprecated-alias warning)",
+    )
     return parser
 
 
@@ -261,7 +271,8 @@ def experiment_main(argv: list[str]) -> int:
     out.line(result.render())
     if not args.no_persist:
         path = persist_result(result, args.out)
-        out.line(f"archived {path}")
+        if not args.quiet:
+            out.line(f"archived {path}")
     return 0
 
 
@@ -336,6 +347,12 @@ def _lint_main(argv: list[str]) -> int:
     return lint_main(argv)
 
 
+def _check_main(argv: list[str]) -> int:
+    from repro.check.cli import check_main
+
+    return check_main(argv)
+
+
 #: first-class subcommands; anything else is an anomaly name, or a bare
 #: experiment name kept as a deprecated alias of ``repro experiment``
 SUBCOMMANDS = {
@@ -344,6 +361,7 @@ SUBCOMMANDS = {
     "trace": trace_main,
     "experiment": experiment_main,
     "faults": faults_main,
+    "check": _check_main,
 }
 
 
@@ -355,10 +373,14 @@ def main(argv: list[str] | None = None) -> int:
         from repro.experiments.registry import EXPERIMENT_REGISTRY
 
         if argv[0].lower() in EXPERIMENT_REGISTRY:
-            OutputWriter(stream=sys.stderr).line(
-                f"warning: `repro {argv[0]}` is deprecated; "
-                f"use `repro experiment {argv[0]}`"
-            )
+            # The deprecation nudge honours --quiet (and stays off the
+            # result stream: it goes to stderr via OutputWriter, so piped
+            # stdout never sees it).
+            if "--quiet" not in argv and "-q" not in argv:
+                OutputWriter(stream=sys.stderr).line(
+                    f"warning: `repro {argv[0]}` is deprecated; "
+                    f"use `repro experiment {argv[0]}`"
+                )
             return experiment_main(argv)
     # Split our options from the anomaly's HPAS-style knobs: everything the
     # parser does not know is forwarded to parse_cli.

@@ -124,7 +124,15 @@ class ClusterRateModel(RateModel):
         if self.flow_solver is not None:
             self.flow_solver.stats = stats
 
-    # -- RateModel interface ---------------------------------------------------
+    @property
+    def last_rates(self) -> dict[int, dict[str, float]]:
+        """Per-pid accounting rates computed by the last resolve.
+
+        Read-only view consumed by the invariant checker
+        (:mod:`repro.check`) to verify capacity conservation; the mapping
+        is rebuilt on every resolve, so callers must not hold onto it.
+        """
+        return self._proc_rates
 
     def resolve(self, running: Sequence[SimProcess], now: float) -> dict[int, float]:
         return self.resolve_incremental(running, now, None)

@@ -74,3 +74,7 @@ class AnomalyError(ReproError):
 
 class ObservabilityError(ReproError):
     """Invalid use of the span/trace/manifest layer (repro.obs)."""
+
+
+class CheckError(ReproError):
+    """A runtime invariant or differential oracle was violated (repro.check)."""

@@ -96,3 +96,35 @@ class FaultState:
             "slowed": {n: self._speed[n] for n in sorted(self._speed)},
             "nic": {n: self._nic[n] for n in sorted(self._nic)},
         }
+
+    def check_invariants(self) -> list[str]:
+        """Internal-consistency audit used by :mod:`repro.check`.
+
+        Returns a list of human-readable inconsistency descriptions
+        (empty when the state is coherent).  The setters already reject
+        out-of-range factors, so a non-empty result means some code path
+        mutated the private dicts directly — exactly the regression the
+        runtime checker exists to catch.
+        """
+        problems: list[str] = []
+        for label, factors in (("speed", self._speed), ("nic", self._nic)):
+            for node in sorted(factors):
+                factor = factors[node]
+                if not 0.0 <= factor <= 1.0:
+                    problems.append(
+                        f"{label} factor for {node!r} out of [0, 1]: {factor!r}"
+                    )
+        open_windows = {
+            name for name, _, end in self._crash_log if end == float("inf")
+        }
+        for node in sorted(self._down - open_windows):
+            problems.append(f"node {node!r} is down but has no open crash window")
+        for node in sorted(open_windows - self._down):
+            problems.append(f"node {node!r} has an open crash window but is not down")
+        for name, start, end in self._crash_log:
+            if end < start:
+                problems.append(
+                    f"crash window for {name!r} ends before it starts: "
+                    f"[{start}, {end}]"
+                )
+        return problems

@@ -87,6 +87,7 @@ class FlowSolver:
         rebalance_rounds: int = 4,
         latency_alpha: float = 0.6,
         warm_start: bool = False,
+        memoize: bool = True,
     ) -> None:
         if k_paths < 1:
             raise ResourceError("k_paths must be >= 1")
@@ -95,6 +96,13 @@ class FlowSolver:
         self.topology = topology
         self.k_paths = k_paths
         self.rebalance_rounds = rebalance_rounds
+        #: reuse full solves for identical request signatures.  ``False``
+        #: re-solves from scratch every call — the cold reference path the
+        #: ``repro check`` flow-memo oracle compares against.
+        self.memoize = memoize
+        #: attached invariant checker (see :mod:`repro.check`), or None;
+        #: hook sites are guarded so an unchecked solve pays nothing.
+        self.check = None
         #: start the adaptive split from the previous solve's converged
         #: per-path fractions instead of a uniform split.  Off by default:
         #: warm starting changes the (equally valid) allocation reached
@@ -138,7 +146,7 @@ class FlowSolver:
             raise ResourceError("flow keys must be unique per solve")
 
         signature = tuple((f.key, f.src, f.dst, f.demand) for f in flows)
-        cached = self._solve_cache.get(signature)
+        cached = self._solve_cache.get(signature) if self.memoize else None
         if cached is not None:
             self.stats.count("flow_memo_hits")
             # Copy so a caller mutating the result cannot poison the memo.
@@ -162,6 +170,8 @@ class FlowSolver:
         for _ in range(self.rebalance_rounds):
             loads = self._edge_loads(subflows)
             self._rebalance(flows, per_flow_subflows, loads)
+        if self.check is not None:
+            self.check.on_flow_split(flows, per_flow_subflows)
 
         if self.warm_start:
             for flow, subs in zip(flows, per_flow_subflows):
@@ -199,11 +209,14 @@ class FlowSolver:
         result = FlowResult(
             grants=grants, edge_load=self._edge_loads(subflows, use_rate=True)
         )
-        if len(self._solve_cache) >= self.MEMO_SIZE:
-            self._solve_cache.pop(next(iter(self._solve_cache)))
-        self._solve_cache[signature] = FlowResult(
-            grants=dict(grants), edge_load=dict(result.edge_load)
-        )
+        if self.check is not None:
+            self.check.on_flow_solve(self, flows, result)
+        if self.memoize:
+            if len(self._solve_cache) >= self.MEMO_SIZE:
+                self._solve_cache.pop(next(iter(self._solve_cache)))
+            self._solve_cache[signature] = FlowResult(
+                grants=dict(grants), edge_load=dict(result.edge_load)
+            )
         return result
 
     # -- internals ----------------------------------------------------------

@@ -136,6 +136,10 @@ class Simulator:
         #: emission site is guarded by a None-check, so an unobserved
         #: simulation pays nothing beyond the attribute read.
         self.obs = None
+        #: attached invariant checker (see :mod:`repro.check`), or None.
+        #: Same pay-for-what-you-use contract as ``obs``: every hook site
+        #: is guarded, so an unchecked simulation pays one attribute read.
+        self.check = None
         self._queue = EventQueue()
         self._processes: dict[int, SimProcess] = {}
         self._running: list[SimProcess] = []
@@ -309,6 +313,8 @@ class Simulator:
                 break
             event = self._queue.pop()
             assert event is not None
+            if self.check is not None:
+                self.check.on_event(self, event.time)
             self._advance(event.time)
             self._events_dispatched += 1
             self.stats.count("events_dispatched")
@@ -339,6 +345,8 @@ class Simulator:
             raise SimulationError("time went backwards")
         if dt == 0:
             return
+        if self.check is not None:
+            self.check.on_advance(self, t)
         if self._running:
             with self.stats.timer("accrue"):
                 self.model.accrue(self._running, self.now, t)
@@ -455,6 +463,8 @@ class Simulator:
             self.obs.on_resolve(self.now, len(self._running), dirty)
         with self.stats.timer("resolve"):
             speeds = self.model.resolve_incremental(self._running, self.now, dirty)
+        if self.check is not None:
+            self.check.after_resolve(self, speeds, dirty)
         for proc in self._running:
             new_speed = speeds.get(proc.pid, 0.0)
             if dirty is not None and proc.pid not in dirty and new_speed == proc.speed:

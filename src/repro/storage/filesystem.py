@@ -119,6 +119,9 @@ class SharedFilesystem:
         #: or None.  Guarded at every emission site, so an unobserved
         #: filesystem pays nothing beyond the attribute read.
         self.obs = None
+        #: attached invariant checker (see :mod:`repro.check`), or None.
+        #: Same guarded-hook contract as ``obs``.
+        self.check = None
 
     @classmethod
     def nfs_appliance(cls) -> "SharedFilesystem":
@@ -270,4 +273,6 @@ class SharedFilesystem:
                     "min_ratio": min(g.ratio for g in out.values()),
                 },
             )
+        if self.check is not None:
+            self.check.on_fs_solve(self, demands, out)
         return out

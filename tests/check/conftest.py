@@ -1,0 +1,96 @@
+"""Hand-built case specs shared by the repro.check tests.
+
+Generated cases are great for coverage but awkward as fixtures — these
+specs pin exactly which subsystems a test exercises (pure compute,
+network halo traffic, shared-filesystem I/O) and stay small enough that
+an evaluation (three full simulations) is cheap.
+"""
+
+import pytest
+
+from repro.check.generators import AnomalyCase, AppCase, CaseSpec
+from repro.units import mib
+
+
+@pytest.fixture
+def tiny_spec() -> CaseSpec:
+    """One single-node job: compute only, no network or storage stages."""
+    return CaseSpec(
+        case_id=900,
+        seed=5,
+        machine="voltrino",
+        n_nodes=2,
+        k_paths=1,
+        apps=(
+            AppCase(
+                app="miniMD",
+                first_node=0,
+                n_nodes=1,
+                ranks_per_node=1,
+                iterations=2,
+                start=0.0,
+            ),
+        ),
+        anomalies=(),
+        faults=(),
+        horizon=120.0,
+    )
+
+
+@pytest.fixture
+def net_spec() -> CaseSpec:
+    """A two-node halo-exchange job: exercises the flow solver."""
+    return CaseSpec(
+        case_id=901,
+        seed=7,
+        machine="voltrino",
+        n_nodes=2,
+        k_paths=2,
+        apps=(
+            AppCase(
+                app="miniGhost",
+                first_node=0,
+                n_nodes=2,
+                ranks_per_node=1,
+                iterations=3,
+                start=0.0,
+            ),
+        ),
+        anomalies=(),
+        faults=(),
+        horizon=200.0,
+    )
+
+
+@pytest.fixture
+def io_spec() -> CaseSpec:
+    """A chameleon case with an I/O anomaly: exercises the filesystem."""
+    return CaseSpec(
+        case_id=902,
+        seed=9,
+        machine="chameleon",
+        n_nodes=2,
+        k_paths=1,
+        apps=(
+            AppCase(
+                app="miniMD",
+                first_node=0,
+                n_nodes=1,
+                ranks_per_node=1,
+                iterations=2,
+                start=0.0,
+            ),
+        ),
+        anomalies=(
+            AnomalyCase(
+                name="iobandwidth",
+                node=1,
+                core=0,
+                start=0.5,
+                duration=10.0,
+                knobs=(("demand_bw", mib(20.0)),),
+            ),
+        ),
+        faults=(),
+        horizon=120.0,
+    )

@@ -1,0 +1,98 @@
+"""The ``repro check`` subcommand and the corpus file format."""
+
+import json
+
+import pytest
+
+from repro.check.cli import build_check_parser, check_main
+from repro.check.corpus import CORPUS_VERSION, load_corpus, save_corpus
+from repro.check.generators import generate_cases
+from repro.cli import main
+from repro.errors import CheckError
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_check_parser().parse_args([])
+        assert args.cases == 25
+        assert args.seed == 0
+        assert args.jobs == 1
+        assert args.corpus is None
+        assert not args.no_shrink
+        assert not args.no_oracles
+
+
+class TestCorpusFormat:
+    def test_round_trip(self, tmp_path):
+        specs = generate_cases(3, 21)
+        path = save_corpus(tmp_path / "corpus.json", specs)
+        assert load_corpus(path) == specs
+
+    def test_file_is_versioned_and_newline_terminated(self, tmp_path):
+        path = save_corpus(tmp_path / "corpus.json", generate_cases(1, 0))
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert json.loads(text)["version"] == CORPUS_VERSION
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(CheckError, match="not found"):
+            load_corpus(tmp_path / "nope.json")
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "corpus.json"
+        path.write_text("{not json")
+        with pytest.raises(CheckError, match="not valid JSON"):
+            load_corpus(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "corpus.json"
+        path.write_text(json.dumps({"version": 99, "cases": []}))
+        with pytest.raises(CheckError, match="unsupported version"):
+            load_corpus(path)
+
+    def test_missing_cases_list_rejected(self, tmp_path):
+        path = tmp_path / "corpus.json"
+        path.write_text(json.dumps({"version": CORPUS_VERSION}))
+        with pytest.raises(CheckError, match="lacks a 'cases' list"):
+            load_corpus(path)
+
+    def test_pinned_corpus_loads(self):
+        # The corpus CI replays must always stay loadable.
+        from pathlib import Path
+
+        specs = load_corpus(Path(__file__).with_name("corpus.json"))
+        assert specs
+
+
+class TestCheckMain:
+    def test_small_run_passes(self, capsys):
+        rc = check_main(["--cases", "1", "--seed", "3", "--no-oracles"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.rstrip().endswith("PASS")
+        assert "seed=3" in out
+
+    def test_save_corpus_writes_and_exits(self, tmp_path, capsys):
+        path = tmp_path / "c.json"
+        rc = check_main(["--save-corpus", str(path), "--cases", "2", "--seed", "4"])
+        assert rc == 0
+        assert "wrote 2 cases" in capsys.readouterr().out
+        assert load_corpus(path) == generate_cases(2, 4)
+
+    def test_corpus_replay(self, tmp_path, capsys):
+        path = save_corpus(tmp_path / "c.json", generate_cases(1, 5))
+        rc = check_main(
+            ["--corpus", str(path), "--cases", "1", "--seed", "5", "--no-oracles"]
+        )
+        assert rc == 0
+        assert "corpus=1 generated=1 cases=2" in capsys.readouterr().out
+
+    def test_bad_corpus_is_a_clean_error(self, tmp_path, capsys):
+        rc = check_main(["--corpus", str(tmp_path / "nope.json"), "--cases", "0"])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().out
+
+    def test_dispatched_from_the_main_cli(self, tmp_path, capsys):
+        rc = main(["check", "--save-corpus", str(tmp_path / "c.json"), "--cases", "1"])
+        assert rc == 0
+        assert "wrote 1 cases" in capsys.readouterr().out

@@ -1,0 +1,181 @@
+"""Case generation: determinism, round-trips, and shrink well-formedness."""
+
+import pytest
+
+from repro.check.generators import (
+    ANOMALY_POOL,
+    APP_POOL,
+    FAULT_POOL,
+    IO_ANOMALY_POOL,
+    MACHINES,
+    CaseSpec,
+    build_cluster,
+    deploy_case,
+    generate_case,
+    generate_cases,
+    shrink_candidates,
+)
+from repro.errors import CheckError
+
+
+def _size(spec: CaseSpec) -> int:
+    """Scalar size metric: shrinking must strictly decrease it."""
+    return (
+        spec.n_nodes
+        + len(spec.apps)
+        + len(spec.anomalies)
+        + len(spec.faults)
+        + sum(a.iterations + a.ranks_per_node for a in spec.apps)
+    )
+
+
+class TestGeneration:
+    def test_deterministic_per_seed_and_id(self):
+        assert generate_case(5, 3) == generate_case(5, 3)
+        assert generate_cases(4, 9) == generate_cases(4, 9)
+
+    def test_distinct_ids_give_distinct_cases(self):
+        specs = generate_cases(10, 0)
+        assert len(set(specs)) == len(specs)
+
+    def test_seed_changes_the_stream(self):
+        assert generate_cases(5, 0) != generate_cases(5, 1)
+
+    def test_zero_and_negative_counts(self):
+        assert generate_cases(0, 0) == []
+        with pytest.raises(CheckError):
+            generate_cases(-1, 0)
+
+    def test_generated_cases_stay_in_bounds(self):
+        for spec in generate_cases(25, 7):
+            assert spec.machine in MACHINES
+            assert 2 <= spec.n_nodes <= 4
+            assert 1 <= len(spec.apps) <= 2
+            for app in spec.apps:
+                assert app.app in APP_POOL
+                assert 3 <= app.iterations <= 6
+                assert 1 <= app.ranks_per_node <= 2
+            for anomaly in spec.anomalies:
+                assert anomaly.name in ANOMALY_POOL + IO_ANOMALY_POOL
+                if anomaly.name in IO_ANOMALY_POOL:
+                    assert spec.machine == "chameleon"
+                if anomaly.name == "netoccupy":
+                    assert anomaly.peer is not None
+                    assert anomaly.peer % spec.n_nodes != anomaly.node % spec.n_nodes
+                else:
+                    assert anomaly.peer is None
+            for fault in spec.faults:
+                assert fault.kind in FAULT_POOL
+            assert spec.k_paths == 1 or spec.machine == "voltrino"
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        for spec in generate_cases(10, 11):
+            assert CaseSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_round_trip(self):
+        for spec in generate_cases(10, 13):
+            assert CaseSpec.from_json(spec.to_json()) == spec
+
+    def test_malformed_dict_rejected(self):
+        spec = generate_case(0, 0)
+        data = spec.to_dict()
+        del data["apps"]
+        with pytest.raises(CheckError, match="malformed case spec"):
+            CaseSpec.from_dict(data)
+
+    def test_bad_field_type_rejected(self):
+        data = generate_case(0, 0).to_dict()
+        data["horizon"] = "soon"
+        with pytest.raises(CheckError, match="malformed case spec"):
+            CaseSpec.from_dict(data)
+
+    def test_describe_names_the_ingredients(self):
+        spec = generate_case(0, 0)
+        text = spec.describe()
+        assert spec.machine in text
+        for app in spec.apps:
+            assert app.app in text
+
+
+class TestShrinking:
+    def _rich_spec(self) -> CaseSpec:
+        # Keep drawing until the case has every shrinkable axis populated.
+        for i in range(200):
+            spec = generate_case(17, i)
+            if spec.anomalies and spec.faults and len(spec.apps) > 1:
+                return spec
+        raise AssertionError("no rich case in 200 draws")
+
+    def test_candidates_are_strictly_smaller(self):
+        spec = self._rich_spec()
+        candidates = list(shrink_candidates(spec))
+        assert candidates
+        for candidate in candidates:
+            assert _size(candidate) < _size(spec)
+
+    def test_candidates_never_drop_below_two_nodes(self):
+        spec = self._rich_spec()
+        seen = [spec]
+        for _ in range(10):
+            nxt = list(shrink_candidates(seen[-1]))
+            if not nxt:
+                break
+            seen.append(nxt[-1])
+        for candidate in seen:
+            assert candidate.n_nodes >= 2
+
+    def test_candidates_materialise(self):
+        spec = self._rich_spec()
+        for candidate in shrink_candidates(spec):
+            cluster = build_cluster(candidate)
+            jobs = deploy_case(candidate, cluster)
+            assert len(jobs) == len(candidate.apps)
+
+
+class TestDeployment:
+    def test_unknown_machine_rejected(self):
+        spec = generate_case(0, 0)
+        bad = CaseSpec.from_dict({**spec.to_dict(), "machine": "summit"})
+        with pytest.raises(CheckError, match="unknown machine"):
+            build_cluster(bad)
+
+    def test_netoccupy_peer_folded_onto_source_is_stepped(self):
+        # Shrinking can fold a peer index onto its source node; deployment
+        # must step it to a neighbour instead of building a self-flow.
+        from repro.check.generators import AnomalyCase, AppCase
+
+        spec = CaseSpec(
+            case_id=0,
+            seed=0,
+            machine="voltrino",
+            n_nodes=2,
+            k_paths=1,
+            apps=(
+                AppCase(
+                    app="miniMD",
+                    first_node=0,
+                    n_nodes=1,
+                    ranks_per_node=1,
+                    iterations=2,
+                    start=0.0,
+                ),
+            ),
+            anomalies=(
+                AnomalyCase(
+                    name="netoccupy",
+                    node=0,
+                    core=0,
+                    start=0.5,
+                    duration=5.0,
+                    knobs=(("rate", 0.5),),
+                    peer=2,  # 2 % 2 == 0 == source node
+                ),
+            ),
+            faults=(),
+            horizon=60.0,
+        )
+        cluster = build_cluster(spec)
+        jobs = deploy_case(spec, cluster)
+        assert len(jobs) == 1

@@ -1,0 +1,126 @@
+"""Differential oracles: each must pass clean and catch a planted bug.
+
+Every oracle gets two tests: the seeded scenario agrees byte-for-byte on
+an unmodified tree, and a deliberate perturbation of the fast path (the
+kind of regression the oracle exists to catch) flips it to failing.
+"""
+
+from repro.apps.base import CheckpointStore
+from repro.check.harness import evaluate_case
+from repro.check.oracles import (
+    oracle_checkpoint_free,
+    oracle_checkpoint_restart,
+    oracle_parallel_sweep,
+    oracle_registry_cli,
+    run_global_oracles,
+)
+from repro.network.flows import FlowResult, FlowSolver
+
+
+class TestCleanTree:
+    def test_all_global_oracles_pass(self):
+        results = run_global_oracles(seed=0)
+        assert [r.name for r in results] == [
+            "parallel_sweep",
+            "checkpoint_restart",
+            "checkpoint_free",
+            "registry_cli",
+        ]
+        for result in results:
+            assert result.ok, f"{result.name}: {result.detail}"
+
+
+class TestParallelSweepOracle:
+    def test_passes_clean(self):
+        assert oracle_parallel_sweep(seed=1, cases=2, jobs=2).ok
+
+    def test_catches_result_reordering(self, monkeypatch):
+        # A broken pool that merges worker results out of payload order.
+        def shuffled_run_trials(factory, payloads, jobs=1):
+            results = [factory(p) for p in payloads]
+            return results[::-1] if jobs > 1 else results
+
+        monkeypatch.setattr(
+            "repro.check.oracles.run_trials", shuffled_run_trials
+        )
+        result = oracle_parallel_sweep(seed=0, cases=3, jobs=2)
+        assert not result.ok
+        assert "diverges from serial" in result.detail
+
+
+class TestCheckpointRestartOracle:
+    def test_passes_clean(self):
+        result = oracle_checkpoint_restart(seed=0)
+        assert result.ok, result.detail
+
+    def test_catches_overcommitted_checkpoints(self, monkeypatch):
+        # A store that claims one more iteration than actually completed:
+        # the restart would skip work, so the oracle must fail.
+        real = CheckpointStore.commit
+
+        def over_commit(self, iteration):
+            real(self, iteration + 1)
+
+        monkeypatch.setattr(CheckpointStore, "commit", over_commit)
+        result = oracle_checkpoint_restart(seed=0)
+        assert not result.ok
+
+
+class TestCheckpointFreeOracle:
+    def test_passes_clean(self):
+        result = oracle_checkpoint_free(seed=0)
+        assert result.ok, result.detail
+
+
+class TestRegistryCliOracle:
+    def test_passes_clean(self, capsys):
+        result = oracle_registry_cli(seed=0)
+        assert result.ok, result.detail
+        # the probe spec must not leak into the registry
+        from repro.experiments.registry import EXPERIMENT_REGISTRY
+
+        assert "check_probe" not in EXPERIMENT_REGISTRY
+
+    def test_catches_diverging_output(self, monkeypatch):
+        # Simulate the regression this oracle exists for: the legacy
+        # spelling printing something the registry spelling does not.
+        from repro import cli
+        from repro.output import OutputWriter
+
+        real_main = cli.main
+
+        def noisy_main(argv):
+            rc = real_main(argv)
+            OutputWriter().line("legacy extra line")
+            return rc
+
+        monkeypatch.setattr(cli, "main", noisy_main)
+        result = oracle_registry_cli(seed=0)
+        assert not result.ok
+
+
+class TestFlowMemoOracle:
+    """The memoized-vs-cold comparison lives in evaluate_case."""
+
+    def test_catches_memo_divergence(self, net_spec, monkeypatch):
+        # Skew grants only when the memo is enabled; the cold reference
+        # path stays exact, so the flow_memo oracle must fire.
+        real = FlowSolver.solve
+
+        def perturbed(self, flows):
+            result = real(self, flows)
+            if self.memoize and result.grants:
+                return FlowResult(
+                    grants={k: g * 0.75 for k, g in result.grants.items()},
+                    edge_load=dict(result.edge_load),
+                )
+            return result
+
+        monkeypatch.setattr(FlowSolver, "solve", perturbed)
+        outcome = evaluate_case(net_spec)
+        assert not outcome.ok
+        names = [name for name, _ in outcome.mismatches]
+        assert "flow_memo" in names
+        # incremental and full runs both use the perturbed memoized
+        # solver, so they still agree with each other
+        assert "incremental_resolve" not in names

@@ -1,0 +1,106 @@
+"""Seeded property tests: unit helpers and the max-min share solver.
+
+Random inputs come from :func:`repro.sim.rng.spawn_rng` — the same
+no-new-dependency generator discipline as the fuzz harness, so every
+"random" assertion here replays identically on every machine.
+"""
+
+import pytest
+
+from repro.check.invariants import assert_max_min
+from repro.errors import CheckError
+from repro.resources.fairshare import max_min_fair_share
+from repro.sim.rng import spawn_rng
+from repro.units import GB, KB, MB, fmt_bytes, fmt_rate, gib, kib, mib
+
+TRIALS = 60
+
+
+def _demand_vectors(seed: int, trials: int = TRIALS):
+    """Yield (capacity, demands) pairs across the interesting regimes."""
+    rng = spawn_rng(seed, "check:properties")
+    for _ in range(trials):
+        n = int(rng.integers(1, 9))
+        demands = [float(d) for d in rng.uniform(0.0, 10.0, size=n)]
+        # Draw capacities below, around, and above the total demand.
+        capacity = float(rng.uniform(0.0, 1.5) * sum(demands)) + 1e-9
+        yield capacity, demands
+
+
+class TestUnitsRoundTrip:
+    def test_binary_prefixes_invert_exactly(self):
+        rng = spawn_rng(0, "check:units")
+        for _ in range(TRIALS):
+            n = int(rng.integers(1, 1 << 20))
+            assert kib(n) / KB == n
+            assert mib(n) / MB == n
+            assert gib(n) / GB == n
+
+    def test_prefix_ladder_is_consistent(self):
+        rng = spawn_rng(1, "check:units")
+        for _ in range(TRIALS):
+            n = int(rng.integers(1, 1 << 16))
+            assert mib(n) == kib(n * 1024)
+            assert gib(n) == mib(n * 1024)
+
+    def test_fmt_bytes_picks_the_right_prefix(self):
+        assert fmt_bytes(512) == "512 B"
+        assert fmt_bytes(kib(1)) == "1 KiB"
+        assert fmt_bytes(mib(1)) == "1 MiB"
+        assert fmt_bytes(gib(1)) == "1 GiB"
+        assert fmt_bytes(gib(2048)) == "2 TiB"
+
+    def test_fmt_rate_appends_per_second(self):
+        rng = spawn_rng(2, "check:units")
+        for _ in range(10):
+            n = float(rng.uniform(1.0, 1e12))
+            assert fmt_rate(n) == fmt_bytes(n) + "/s"
+
+
+class TestMaxMinProperties:
+    def test_contract_holds_across_regimes(self):
+        for capacity, demands in _demand_vectors(seed=10):
+            grants = max_min_fair_share(capacity, demands)
+            assert_max_min(capacity, demands, grants)
+
+    def test_permutation_invariance(self):
+        rng = spawn_rng(11, "check:properties")
+        for capacity, demands in _demand_vectors(seed=11, trials=30):
+            grants = max_min_fair_share(capacity, demands)
+            order = [int(i) for i in rng.permutation(len(demands))]
+            permuted = max_min_fair_share(capacity, [demands[i] for i in order])
+            for j, i in enumerate(order):
+                assert permuted[j] == grants[i]
+
+    def test_capacity_saturation(self):
+        for capacity, demands in _demand_vectors(seed=12, trials=30):
+            grants = max_min_fair_share(capacity, demands)
+            if sum(demands) <= capacity:
+                assert grants == demands
+            else:
+                assert sum(grants) == pytest.approx(capacity, rel=1e-12)
+
+    def test_equal_demands_get_equal_grants(self):
+        rng = spawn_rng(13, "check:properties")
+        for _ in range(30):
+            n = int(rng.integers(2, 9))
+            demand = float(rng.uniform(1.0, 10.0))
+            capacity = float(rng.uniform(0.5, 2.0)) * demand * n
+            grants = max_min_fair_share(capacity, [demand] * n)
+            assert len(set(grants)) == 1
+
+    def test_assert_max_min_rejects_a_biased_solver(self):
+        # A "solver" that feeds the first demand before the rest cannot
+        # sneak past the checker.
+        def greedy(capacity, demands):
+            grants = []
+            left = capacity
+            for demand in demands:
+                take = min(demand, left)
+                grants.append(take)
+                left -= take
+            return grants
+
+        capacity, demands = 10.0, [8.0, 8.0]
+        with pytest.raises(CheckError):
+            assert_max_min(capacity, demands, greedy(capacity, demands))

@@ -174,3 +174,48 @@ class TestMetricNames:
             "AR_NIC_NETMON_ORB_EVENT_CNTR_REQ_FLITS::aries_nic_mmr",
         ):
             assert expected in names
+
+
+class TestSeriesEdgeCases:
+    def test_empty_store_hints_at_attachment(self):
+        svc = MetricService(Cluster(num_nodes=1))  # never attached
+        with pytest.raises(ConfigError, match="is the service attached"):
+            svc.series("node0", "user::procstat")
+
+    def test_metric_typo_gets_a_fuzzy_hint(self):
+        cluster = Cluster(num_nodes=1)
+        svc = MetricService(cluster)
+        svc.attach(end=2)
+        cluster.sim.run(until=2)
+        with pytest.raises(ConfigError, match="did you mean 'user::procstat'"):
+            svc.series("node0", "user::prostat")
+
+    def test_node_typo_gets_a_fuzzy_hint(self):
+        svc = MetricService(Cluster(num_nodes=2))
+        with pytest.raises(ConfigError, match="did you mean 'node0'"):
+            svc.series("nod0", "user::procstat")
+
+    def test_unrelated_node_name_lists_known_nodes(self):
+        svc = MetricService(Cluster(num_nodes=2))
+        with pytest.raises(ConfigError, match="known nodes: node0, node1"):
+            svc.series("gpu7", "user::procstat")
+
+    def test_int_and_string_node_names_collide_onto_one_series(self):
+        cluster = Cluster(num_nodes=2)
+        svc = MetricService(cluster)
+        svc.attach(end=3)
+        cluster.spawn("b", busy(), node=0, core=0)
+        cluster.sim.run(until=3)
+        assert np.array_equal(
+            svc.series(0, "user::procstat"), svc.series("node0", "user::procstat")
+        )
+
+    def test_single_sample_series(self):
+        cluster = Cluster(num_nodes=1)
+        svc = MetricService(cluster)
+        svc.attach(end=0)  # exactly one tick, at t=0
+        cluster.sim.run(until=1)
+        series = svc.series("node0", "user::procstat")
+        assert series.shape == (1,)
+        assert svc.timestamps().tolist() == [0.0]
+        assert svc.matrix("node0").shape[0] == 1

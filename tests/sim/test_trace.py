@@ -179,3 +179,30 @@ class TestTimelineIntervals:
     def test_open_timeline_extends_to_infinity(self):
         pieces = Timeline(records=[self._speed(0.0, 1.0)]).intervals()
         assert pieces == [(0.0, float("inf"), 1.0)]
+
+    def test_pieces_are_contiguous(self):
+        timeline = Timeline(
+            records=[
+                self._speed(0.0, 1.0),
+                self._speed(2.0, 0.5),
+                self._speed(5.0, 0.8),
+                self._end(9.0),
+            ]
+        )
+        pieces = timeline.intervals()
+        assert pieces == [(0.0, 2.0, 1.0), (2.0, 5.0, 0.5), (5.0, 9.0, 0.8)]
+        for (_, prev_end, _), (nxt_start, _, _) in zip(pieces, pieces[1:]):
+            assert prev_end == nxt_start
+
+    def test_single_sample_profile(self):
+        timeline = Timeline(records=[self._speed(1.0, 0.25), self._end(3.0)])
+        assert timeline.intervals() == [(1.0, 3.0, 0.25)]
+        assert timeline.speed_at(0.5) == 0.0  # before the first record
+        assert timeline.speed_at(2.0) == 0.25
+
+    def test_multiple_end_records_use_the_last(self):
+        # A respawned process logs two ends; the profile closes at the last.
+        timeline = Timeline(
+            records=[self._speed(0.0, 1.0), self._end(2.0), self._end(4.0)]
+        )
+        assert timeline.intervals() == [(0.0, 4.0, 1.0)]

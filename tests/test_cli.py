@@ -147,3 +147,31 @@ class TestExperimentSubcommand:
         assert "repro experiment stub_exp" in captured.err
         assert "stub table" in captured.out
         assert "deprecated" not in captured.out
+
+    def test_deprecated_alias_silent_under_quiet(self, capsys, monkeypatch):
+        _register_stub(monkeypatch, lambda: _StubResult())
+        rc = main(["stub_exp", "--no-persist", "--quiet"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert captured.err == ""
+        assert "stub table" in captured.out
+
+    def test_deprecated_alias_silent_under_short_quiet(self, capsys, monkeypatch):
+        _register_stub(monkeypatch, lambda: _StubResult())
+        rc = main(["stub_exp", "--no-persist", "-q"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert captured.err == ""
+        assert "stub table" in captured.out
+
+    def test_quiet_suppresses_archive_line(self, capsys, tmp_path, monkeypatch):
+        _register_stub(monkeypatch, lambda: _StubResult())
+        rc = main(
+            ["experiment", "stub_exp", "--out", str(tmp_path), "--quiet"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "stub table" in out
+        assert "archived" not in out
+        # quiet silences the narration, not the archiving itself
+        assert (tmp_path / "StubResult.txt").exists()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Coverage ratchet: the measured line coverage may only go up.
+
+CI runs the test suite under ``pytest --cov=repro --cov-report=json`` and
+then gates on this script.  The committed floor lives in
+``COVERAGE_ratchet.json``; the gate fails when measured coverage drops
+below it, and nudges (without failing) when coverage has risen far
+enough that the floor should be ratcheted up and committed.
+
+Usage::
+
+    python tools/coverage_gate.py coverage.json
+    python tools/coverage_gate.py coverage.json --update   # raise the floor
+
+The floor is deliberately conservative the first time a module lands;
+``--update`` rounds the measured value *down* to one decimal so a rerun
+with normal jitter never dips below its own ratchet.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+#: measured coverage must exceed the floor minus nothing — but a nudge to
+#: raise the ratchet only fires once the gap is worth a commit
+NUDGE_MARGIN = 2.0
+
+
+def read_percent(coverage_json: Path) -> float:
+    data = json.loads(coverage_json.read_text())
+    try:
+        return float(data["totals"]["percent_covered"])
+    except (KeyError, TypeError) as err:
+        raise SystemExit(
+            f"error: {coverage_json} has no totals.percent_covered "
+            f"(is it a coverage.py JSON report?): {err}"
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("coverage_json", type=Path, help="coverage.py JSON report")
+    parser.add_argument(
+        "--ratchet",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "COVERAGE_ratchet.json",
+        help="ratchet file holding the committed floor",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="raise the floor to the measured value (never lowers it)",
+    )
+    args = parser.parse_args(argv)
+
+    measured = read_percent(args.coverage_json)
+    ratchet = json.loads(args.ratchet.read_text())
+    floor = float(ratchet["line_percent"])
+
+    if args.update:
+        new_floor = max(floor, math.floor(measured * 10) / 10)
+        ratchet["line_percent"] = new_floor
+        args.ratchet.write_text(json.dumps(ratchet, indent=2) + "\n")
+        print(f"ratchet: floor {floor:.1f}% -> {new_floor:.1f}%")
+        return 0
+
+    print(f"coverage: measured {measured:.2f}%, committed floor {floor:.1f}%")
+    if measured < floor:
+        print(
+            f"FAIL: coverage dropped below the ratchet floor "
+            f"({measured:.2f}% < {floor:.1f}%). Add tests for what you "
+            f"changed, or explain in the PR why the floor must move down."
+        )
+        return 1
+    if measured >= floor + NUDGE_MARGIN:
+        print(
+            f"note: coverage is {measured - floor:.1f} points above the "
+            f"floor; consider `python tools/coverage_gate.py "
+            f"{args.coverage_json} --update` and committing the ratchet."
+        )
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
