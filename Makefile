@@ -3,10 +3,18 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: lint test fuzz check benchmarks bench-core
+.PHONY: lint lint-baseline test fuzz check benchmarks bench-core
 
+# Per-file rules plus the whole-program flow analysis (RL011+), gated on
+# the committed baseline so only *new* findings fail.
 lint:
 	$(PYTHON) -m repro lint src/ tests/
+	$(PYTHON) -m repro lint src/ tests/ --flow --baseline LINT_baseline.json
+
+# Deliberately re-record the flow baseline (see docs/LINT.md).
+lint-baseline:
+	$(PYTHON) -m repro lint src/ tests/ --flow --no-cache \
+		--write-baseline LINT_baseline.json
 
 test:
 	$(PYTHON) -m pytest -x -q

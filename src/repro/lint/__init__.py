@@ -15,13 +15,20 @@ Public surface::
     for f in findings:
         print(f.format_text())     # path:line:col: RLxxx [severity] message
 
-Rules are registered in :mod:`repro.lint.rules` (RL001–RL008); the CLI
-entry point is ``python -m repro lint [paths]``.
+Per-file rules are registered in :mod:`repro.lint.rules` (RL001–RL010);
+whole-program dataflow rules (RL011–RL016) live in
+:mod:`repro.lint.flow` and run via ``repro lint --flow``, which adds an
+incremental sha256-keyed cache, a SARIF 2.1.0 exporter
+(:mod:`repro.lint.sarif`) and baseline support
+(:mod:`repro.lint.baseline`).  The CLI entry point is
+``python -m repro lint [paths]``.
 """
 
 from __future__ import annotations
 
+from repro.lint.baseline import apply_baseline, load_baseline, save_baseline
 from repro.lint.config import LintConfig, load_config
+from repro.lint.sarif import render_sarif, to_sarif
 from repro.lint.engine import (
     RULE_REGISTRY,
     LintEngine,
@@ -48,4 +55,9 @@ __all__ = [
     "lint_source",
     "lint_file",
     "lint_paths",
+    "to_sarif",
+    "render_sarif",
+    "load_baseline",
+    "save_baseline",
+    "apply_baseline",
 ]

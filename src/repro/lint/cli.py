@@ -4,10 +4,19 @@ Examples::
 
     python -m repro lint src/                  # text report, exit 1 on findings
     python -m repro lint src/ tests/ --format json
+    python -m repro lint src/ --flow --stats   # + whole-program rules RL011+
+    python -m repro lint src/ --flow --sarif lint.sarif \
+        --baseline LINT_baseline.json          # CI: only new findings fail
     python -m repro lint --list-rules          # registry with rationales
 
 Exit status: 0 when clean, 1 when findings were reported, 2 on usage or
 configuration errors — the convention CI gates expect.
+
+``--flow`` adds the whole-program dataflow rules (RL011–RL016) and an
+incremental cache: warm re-runs re-analyze only changed files and their
+reverse dependencies (``--stats`` prints the hit rate).  ``--baseline``
+filters out pre-existing findings recorded with ``--write-baseline``;
+``--sarif`` writes a SARIF 2.1.0 log for GitHub code scanning.
 """
 
 from __future__ import annotations
@@ -15,14 +24,19 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 
 from repro.errors import ConfigError
+from repro.lint.baseline import apply_baseline, load_baseline, save_baseline
 from repro.lint.config import LintConfig, load_config
 from repro.lint.engine import RULE_REGISTRY, LintEngine
 from repro.lint.findings import Finding
+from repro.lint.sarif import render_sarif
 from repro.output import OutputWriter
 
-JSON_SCHEMA_VERSION = 1
+JSON_SCHEMA_VERSION = 2
+
+DEFAULT_CACHE = ".repro_lint_cache.json"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -65,6 +79,54 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the rule registry and exit",
     )
+    parser.add_argument(
+        "--flow",
+        action="store_true",
+        help="run the whole-program dataflow rules (RL011+) with the "
+        "incremental cache",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print a summary block (findings per rule, files analyzed, "
+        "cache hit rate); silenced by --quiet",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="print findings only — no summary line and no --stats block",
+    )
+    parser.add_argument(
+        "--sarif",
+        default=None,
+        metavar="FILE",
+        help="also write a SARIF 2.1.0 log (post-baseline findings)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="suppress findings recorded in this baseline file; only new "
+        "findings are reported",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help="record the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--cache",
+        default=DEFAULT_CACHE,
+        metavar="FILE",
+        help=f"incremental cache file for --flow (default {DEFAULT_CACHE})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the incremental cache",
+    )
     return parser
 
 
@@ -84,9 +146,13 @@ def _resolve_config(args: argparse.Namespace) -> LintConfig:
     return config
 
 
-def _render_text(findings: list[Finding], n_files: int, out: OutputWriter) -> None:
+def _render_text(
+    findings: list[Finding], n_files: int, out: OutputWriter, quiet: bool
+) -> None:
     for finding in findings:
         out.line(finding.format_text())
+    if quiet:
+        return
     noun = "file" if n_files == 1 else "files"
     if findings:
         out.line(f"{len(findings)} finding(s) in {n_files} {noun}")
@@ -94,7 +160,9 @@ def _render_text(findings: list[Finding], n_files: int, out: OutputWriter) -> No
         out.line(f"clean: 0 findings in {n_files} {noun}")
 
 
-def _render_json(findings: list[Finding], n_files: int, out: OutputWriter) -> None:
+def _render_json(
+    findings: list[Finding], n_files: int, out: OutputWriter, stats: dict | None
+) -> None:
     by_rule: dict[str, int] = {}
     for finding in findings:
         by_rule[finding.rule_id] = by_rule.get(finding.rule_id, 0) + 1
@@ -107,14 +175,35 @@ def _render_json(findings: list[Finding], n_files: int, out: OutputWriter) -> No
             "by_rule": dict(sorted(by_rule.items())),
         },
     }
+    if stats is not None:
+        payload["stats"] = stats
     out.line(json.dumps(payload, indent=2, sort_keys=True))
 
 
+def _render_stats(
+    findings: list[Finding], report, out: OutputWriter
+) -> None:
+    by_rule: dict[str, int] = {}
+    for finding in findings:
+        by_rule[finding.rule_id] = by_rule.get(finding.rule_id, 0) + 1
+    out.line("-- lint stats --")
+    out.line(f"files analyzed:  {len(report.analyzed)} of {len(report.files)}")
+    out.line(f"cache hits:      {len(report.cached)} ({report.cache_hit_rate:.0%})")
+    out.line(f"findings:        {len(findings)}")
+    for rule_id, count in sorted(by_rule.items()):
+        out.line(f"  {rule_id}: {count}")
+
+
 def _render_rules(out: OutputWriter) -> None:
-    out.line(f"{'id':6s} {'name':16s} {'severity':8s} description")
-    for rule_id, cls in sorted(RULE_REGISTRY.items()):
+    from repro.lint.flow.base import FLOW_RULE_REGISTRY
+
+    out.line(f"{'id':6s} {'name':20s} {'severity':8s} description")
+    merged = {**RULE_REGISTRY, **FLOW_RULE_REGISTRY}
+    for rule_id, cls in sorted(merged.items()):
+        scope = "flow" if rule_id in FLOW_RULE_REGISTRY else "file"
         out.line(
-            f"{rule_id:6s} {cls.name:16s} {cls.severity.value:8s} {cls.description}"
+            f"{rule_id:6s} {cls.name:20s} {cls.severity.value:8s} "
+            f"[{scope}] {cls.description}"
         )
 
 
@@ -128,19 +217,63 @@ def main(argv: list[str] | None = None) -> int:
         _render_rules(out)
         return 0
 
+    report = None
     try:
         config = _resolve_config(args)
-        engine = LintEngine(config)
-        files = engine.iter_files(args.paths)
-        findings = sorted(engine.lint_paths(files))
+        if args.flow:
+            from repro.lint.flow.analyzer import analyze_paths
+
+            cache_path = None if args.no_cache else Path(args.cache)
+            report = analyze_paths(args.paths, config, cache_path=cache_path)
+            findings = report.findings
+            n_files = len(report.files)
+        else:
+            engine = LintEngine(config)
+            files = engine.iter_files(args.paths)
+            findings = sorted(engine.lint_paths(files))
+            n_files = len(files)
+
+        if args.write_baseline is not None:
+            path = save_baseline(findings, args.write_baseline)
+            if not args.quiet:
+                out.line(f"baseline written: {path} ({len(findings)} finding(s))")
+            return 0
+
+        if args.baseline is not None:
+            findings = apply_baseline(findings, load_baseline(args.baseline))
     except ConfigError as exc:
         sys.stderr.write(f"repro lint: error: {exc}\n")
         return 2
 
+    if args.sarif is not None:
+        Path(args.sarif).write_text(render_sarif(findings), encoding="utf-8")
+
+    stats_payload = None
+    if report is not None:
+        stats_payload = {
+            "files": len(report.files),
+            "analyzed": len(report.analyzed),
+            "cached": len(report.cached),
+            "cache_hit_rate": round(report.cache_hit_rate, 4),
+        }
     if args.format == "json":
-        _render_json(findings, len(files), out)
+        _render_json(
+            findings, n_files, out, stats_payload if args.stats else None
+        )
     else:
-        _render_text(findings, len(files), out)
+        _render_text(findings, n_files, out, args.quiet)
+        if args.stats and not args.quiet:
+            if report is not None:
+                _render_stats(findings, report, out)
+            else:
+                by_rule: dict[str, int] = {}
+                for finding in findings:
+                    by_rule[finding.rule_id] = by_rule.get(finding.rule_id, 0) + 1
+                out.line("-- lint stats --")
+                out.line(f"files analyzed:  {n_files} of {n_files}")
+                out.line(f"findings:        {len(findings)}")
+                for rule_id, count in sorted(by_rule.items()):
+                    out.line(f"  {rule_id}: {count}")
     return 1 if findings else 0
 
 

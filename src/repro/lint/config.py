@@ -52,6 +52,38 @@ class LintConfig:
     # default only the sanctioned output layer itself.
     output_allowed: tuple[str, ...] = ("repro/output.py",)
 
+    # -- whole-program flow analysis (RL011–RL016, `repro lint --flow`) --
+
+    # Blessed RNG factory names (RL011): values returned by these calls
+    # are seed-derived and may flow anywhere.
+    flow_rng_factories: tuple[str, ...] = ("make_rng", "spawn_rng")
+    # Packages whose functions are RNG provenance sinks (RL011): a raw
+    # generator must never reach them through any call chain.
+    flow_rng_sinks: tuple[str, ...] = (
+        "sim", "cluster", "network", "storage", "faults", "core",
+    )
+    # Packages whose functions are wall-clock provenance sinks (RL012).
+    flow_time_sinks: tuple[str, ...] = ("sim",)
+    # Memoized solver entry points (RL013), matched as qualname suffixes
+    # ("Class.method"); their transitive same-class reads are checked
+    # against the cache key.
+    flow_memo_functions: tuple[str, ...] = (
+        "FlowSolver.solve", "ClusterRateModel._solve_node",
+    )
+    # Instance attributes a memoized solve may read even though they are
+    # mutated at runtime (RL013): observability counters, the attached
+    # checker hook and the memo dict itself never change the result.
+    flow_memo_state_allowed: tuple[str, ...] = ("stats", "check", "obs", "_solve_cache")
+    # Optional hook attributes that must be None-guarded (RL015).
+    flow_guard_hooks: tuple[str, ...] = ("obs", "check")
+    # Packages where the zero-cost guard pattern is mandatory (RL015).
+    flow_guard_packages: tuple[str, ...] = (
+        "sim", "cluster", "network", "storage", "runtime", "apps",
+    )
+    # Sanctioned parallel entry points (RL014): functions handed to these
+    # become spawn-boundary worker roots checked for shared-state writes.
+    flow_worker_entrypoints: tuple[str, ...] = ("run_trials",)
+
     def __post_init__(self) -> None:
         for rule_id in self.disable:
             if not isinstance(rule_id, str):

@@ -1,0 +1,80 @@
+"""Flow-rule base class and registry.
+
+Flow rules are whole-program: instead of a per-node ``check`` they get
+the :class:`~repro.lint.flow.index.ProjectIndex` and the
+:class:`~repro.lint.flow.callgraph.CallGraph` and return findings for the
+entire tree in one pass.  They share the classic engine's
+:class:`~repro.lint.findings.Finding` type, severity model, suppression
+comments and ``disable`` config, so ``# repro-lint: disable=RL014`` works
+exactly as it does for the per-file rules.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.errors import ConfigError
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding, Severity
+from repro.lint.flow.callgraph import CallGraph
+from repro.lint.flow.index import ModuleInfo, ProjectIndex
+
+FLOW_RULE_REGISTRY: dict[str, type["FlowRule"]] = {}
+
+
+def register_flow_rule(cls: type["FlowRule"]) -> type["FlowRule"]:
+    """Class decorator adding a whole-program rule to the registry."""
+    if not cls.id or not cls.id.startswith("RL"):
+        raise ConfigError(f"flow rule id must look like 'RLnnn', got {cls.id!r}")
+    if cls.id in FLOW_RULE_REGISTRY:
+        raise ConfigError(f"duplicate flow rule id {cls.id}")
+    FLOW_RULE_REGISTRY[cls.id] = cls
+    return cls
+
+
+class FlowRule:
+    """Base class for whole-program rules (RL011+)."""
+
+    id: str = ""
+    name: str = ""
+    severity: Severity = Severity.WARNING
+    description: str = ""
+
+    def __init__(self, config: LintConfig):
+        self.config = config
+        self.findings: list[Finding] = []
+
+    def run(self, project: ProjectIndex, graph: CallGraph) -> list[Finding]:
+        raise NotImplementedError
+
+    def report(self, info: ModuleInfo, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        if info.is_suppressed(self.id, line):
+            return
+        self.findings.append(
+            Finding(
+                path=info.path,
+                line=line,
+                col=col,
+                rule_id=self.id,
+                rule_name=self.name,
+                severity=self.severity,
+                message=message,
+            )
+        )
+
+
+def run_flow_rules(
+    project: ProjectIndex, config: LintConfig | None = None
+) -> list[Finding]:
+    """Run every enabled flow rule over an index; sorted findings."""
+    config = config or LintConfig()
+    graph = CallGraph.build(project)
+    findings: list[Finding] = []
+    for rule_id, cls in sorted(FLOW_RULE_REGISTRY.items()):
+        if config.is_disabled(rule_id):
+            continue
+        rule = cls(config)
+        findings.extend(rule.run(project, graph))
+    return sorted(findings)

@@ -1,0 +1,133 @@
+"""Incremental analysis cache keyed on per-file sha256.
+
+The cache file records, per analyzed file: its content hash, the project
+modules it depends on, and the findings attributed to it on the last
+run.  A warm run re-analyzes only the *dirty set* — files whose hash
+changed, files new to the cache, and every reverse dependency of a
+changed file (a change in ``sim/rng.py`` can alter findings reported in
+any module that imports it, so dependents are invalidated too).  Clean
+files are served their cached findings verbatim, which is what makes a
+warm re-run byte-identical to a cold one.
+
+The cache is invalidated wholesale when the linter's configuration or
+rule registry changes (``config_key`` mismatch) and is always written in
+canonical JSON so the file itself is deterministic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding, Severity
+
+CACHE_VERSION = 1
+
+
+def config_key(config: LintConfig, rule_ids: tuple[str, ...]) -> str:
+    """Digest of everything that invalidates cached findings."""
+    payload = {
+        "version": CACHE_VERSION,
+        "rules": sorted(rule_ids),
+        "config": {
+            field: list(getattr(config, field))
+            for field in sorted(config.__dataclass_fields__)
+        },
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _finding_to_dict(finding: Finding) -> dict:
+    data = asdict(finding)
+    data["severity"] = finding.severity.value
+    return data
+
+
+def _finding_from_dict(data: dict) -> Finding:
+    return Finding(
+        path=data["path"],
+        line=int(data["line"]),
+        col=int(data["col"]),
+        rule_id=data["rule_id"],
+        rule_name=data["rule_name"],
+        severity=Severity(data["severity"]),
+        message=data["message"],
+    )
+
+
+class AnalysisCache:
+    """Load/plan/update/save cycle for one lint run."""
+
+    def __init__(self, path: Path | None, key: str):
+        self.path = path
+        self.key = key
+        self.entries: dict[str, dict] = {}
+        self.valid = False
+        if path is not None and path.is_file():
+            self._load(path)
+
+    def _load(self, path: Path) -> None:
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return
+        if data.get("version") != CACHE_VERSION or data.get("config_key") != self.key:
+            return
+        files = data.get("files")
+        if isinstance(files, dict):
+            self.entries = files
+            self.valid = True
+
+    # -- planning ------------------------------------------------------------
+
+    def dirty_files(self, hashes: dict[str, str]) -> set[str]:
+        """Posix paths whose content hash is new or changed (or uncached)."""
+        dirty: set[str] = set()
+        for posix, digest in hashes.items():
+            entry = self.entries.get(posix)
+            if entry is None or entry.get("sha256") != digest:
+                dirty.add(posix)
+        return dirty
+
+    def findings_for(self, posix: str) -> list[Finding] | None:
+        entry = self.entries.get(posix)
+        if entry is None:
+            return None
+        return [_finding_from_dict(d) for d in entry.get("findings", [])]
+
+    # -- updating ------------------------------------------------------------
+
+    def update(
+        self,
+        posix: str,
+        sha256: str,
+        deps: list[str],
+        findings: list[Finding],
+    ) -> None:
+        self.entries[posix] = {
+            "sha256": sha256,
+            "deps": sorted(deps),
+            "findings": [_finding_to_dict(f) for f in sorted(findings)],
+        }
+
+    def prune(self, keep: set[str]) -> None:
+        """Drop entries for files no longer part of the analyzed set."""
+        for posix in list(self.entries):
+            if posix not in keep:
+                del self.entries[posix]
+
+    def save(self) -> None:
+        if self.path is None:
+            return
+        payload = {
+            "version": CACHE_VERSION,
+            "config_key": self.key,
+            "files": {k: self.entries[k] for k in sorted(self.entries)},
+        }
+        self.path.write_text(
+            json.dumps(payload, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+        )

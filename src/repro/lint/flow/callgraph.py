@@ -1,0 +1,258 @@
+"""Approximate call graph with attribute/method resolution.
+
+The graph is intentionally *approximate*: it resolves what static
+structure supports — direct calls, imported names (including aliases),
+``self.method()`` through the project-local MRO, constructor-typed local
+variables and parameters, and one level of attribute indirection through
+inferred instance-attribute types (``self.flow_solver.solve()`` resolves
+because ``__init__`` assigned ``self.flow_solver = FlowSolver(...)``).
+Unresolvable calls are kept as *external* edges carrying their qualified
+name, which is how the provenance rules recognise ``numpy.random.*`` and
+``time.perf_counter`` without importing anything.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.lint.flow.index import (
+    FunctionInfo,
+    ModuleInfo,
+    ProjectIndex,
+    _dotted,
+)
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function body."""
+
+    caller: str  # qualname of the enclosing function
+    node: ast.Call
+    callee: str | None  # qualname of the resolved project function
+    external: str | None  # qualified name when not resolved in-project
+
+    @property
+    def target(self) -> str | None:
+        return self.callee if self.callee is not None else self.external
+
+
+class _FunctionScope:
+    """Static local-variable typing for one function body.
+
+    Tracks two maps: ``var_types`` (local name → class qualname, from
+    constructor assignments, annotations and typed instance attributes)
+    and ``var_funcs`` (local name → function qualname, from bare-name
+    aliasing like ``fn = run_trials``).
+    """
+
+    def __init__(
+        self, project: ProjectIndex, info: ModuleInfo, fn: FunctionInfo
+    ) -> None:
+        self.project = project
+        self.info = info
+        self.fn = fn
+        self.var_types: dict[str, str] = {}
+        self.var_funcs: dict[str, str] = {}
+        self._seed_params()
+        self._seed_assignments()
+
+    def _seed_params(self) -> None:
+        args = self.fn.node.args
+        for param in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            if param.annotation is None:
+                continue
+            ann = param.annotation
+            if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+                name = ann.value.strip("\"'")
+            else:
+                name = _dotted(ann)
+            if name is None:
+                continue
+            resolved = self.project.resolve(self.info, name)
+            if resolved is not None and resolved in self.project.classes:
+                self.var_types[param.arg] = resolved
+
+    def _seed_assignments(self) -> None:
+        for node in ast.walk(self.fn.node):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            value = node.value
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            names = [t.id for t in targets if isinstance(t, ast.Name)]
+            if not names or value is None:
+                continue
+            if isinstance(value, ast.Call):
+                ctor = _dotted(value.func)
+                resolved = (
+                    self.project.resolve(self.info, ctor) if ctor is not None else None
+                )
+                if resolved is not None and resolved in self.project.classes:
+                    for name in names:
+                        self.var_types[name] = resolved
+            elif isinstance(value, (ast.Name, ast.Attribute)):
+                dotted = _dotted(value)
+                if dotted is None:
+                    continue
+                cls = self.resolve_value_type(value)
+                if cls is not None:
+                    for name in names:
+                        self.var_types[name] = cls
+                resolved = self.project.resolve(self.info, dotted)
+                if resolved is not None and self.project.lookup_function(resolved):
+                    for name in names:
+                        self.var_funcs[name] = resolved
+
+    # -- type resolution -----------------------------------------------------
+
+    def resolve_value_type(self, node: ast.AST) -> str | None:
+        """Class qualname of the value ``node`` evaluates to, if inferable."""
+        if isinstance(node, ast.Name):
+            return self.var_types.get(node.id)
+        if isinstance(node, ast.Attribute):
+            base_cls = None
+            if isinstance(node.value, ast.Name) and node.value.id == "self":
+                base_cls = self._own_class()
+            else:
+                base_cls = self.resolve_value_type(node.value)
+            if base_cls is not None:
+                cinfo = self.project.classes.get(base_cls)
+                if cinfo is not None and node.attr in cinfo.attr_types:
+                    owner = self.project.modules.get(cinfo.module)
+                    ctor = cinfo.attr_types[node.attr]
+                    resolved = (
+                        self.project.resolve(owner, ctor) if owner else ctor
+                    )
+                    if resolved is not None and resolved in self.project.classes:
+                        return resolved
+        if isinstance(node, ast.Call):
+            ctor = _dotted(node.func)
+            if ctor is not None:
+                resolved = self.project.resolve(self.info, ctor)
+                if resolved is not None and resolved in self.project.classes:
+                    return resolved
+        return None
+
+    def _own_class(self) -> str | None:
+        if self.fn.cls is None:
+            return None
+        return f"{self.fn.module}.{self.fn.cls}"
+
+    # -- call resolution -----------------------------------------------------
+
+    def resolve_call(self, node: ast.Call) -> tuple[str | None, str | None]:
+        """(project function qualname, external qualified name) for a call."""
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in self.var_funcs:
+                return self.var_funcs[func.id], None
+            resolved = self.project.resolve(self.info, func.id)
+            if resolved is None:
+                return None, func.id  # builtin or unknown bare name
+            fn = self.project.lookup_function(resolved)
+            return (fn.qualname if fn else None), (None if fn else resolved)
+        if isinstance(func, ast.Attribute):
+            # self.method() / cls.method() through the project MRO.
+            if isinstance(func.value, ast.Name) and func.value.id in ("self", "cls"):
+                own = self._own_class()
+                if own is not None:
+                    method = self.project.lookup_method(own, func.attr)
+                    if method is not None:
+                        return method.qualname, None
+            # Typed receiver: constructor-typed local, annotated parameter,
+            # or an instance attribute with an inferred type.
+            receiver_cls = self.resolve_value_type(func.value)
+            if receiver_cls is not None:
+                method = self.project.lookup_method(receiver_cls, func.attr)
+                if method is not None:
+                    return method.qualname, None
+            # Module attribute: mod.func() through the import table.
+            dotted = _dotted(func)
+            if dotted is not None:
+                resolved = self.project.resolve(self.info, dotted)
+                if resolved is not None:
+                    fn = self.project.lookup_function(resolved)
+                    if fn is not None:
+                        return fn.qualname, None
+                    return None, resolved
+                return None, dotted
+        return None, None
+
+    def resolve_function_ref(self, node: ast.AST) -> str | None:
+        """Resolve a non-call reference (e.g. ``run_trials(factory, …)``'s
+        first argument) to a project function qualname."""
+        if isinstance(node, ast.Name) and node.id in self.var_funcs:
+            return self.var_funcs[node.id]
+        dotted = _dotted(node)
+        if dotted is None:
+            return None
+        if dotted.startswith("self.") and self.fn.cls is not None:
+            own = self._own_class()
+            method = (
+                self.project.lookup_method(own, dotted.split(".", 1)[1])
+                if own is not None and dotted.count(".") == 1
+                else None
+            )
+            return method.qualname if method is not None else None
+        resolved = self.project.resolve(self.info, dotted)
+        if resolved is None:
+            return None
+        fn = self.project.lookup_function(resolved)
+        return fn.qualname if fn is not None else None
+
+
+class CallGraph:
+    """Call sites per function plus forward/reverse adjacency."""
+
+    def __init__(self, project: ProjectIndex) -> None:
+        self.project = project
+        self.sites: dict[str, list[CallSite]] = {}
+        self._forward: dict[str, set[str]] = {}
+        self._reverse: dict[str, set[str]] = {}
+        self._scopes: dict[str, _FunctionScope] = {}
+
+    @classmethod
+    def build(cls, project: ProjectIndex) -> "CallGraph":
+        graph = cls(project)
+        for fn in project.functions.values():
+            info = graph.project.modules.get(fn.module)
+            if info is None:
+                continue
+            scope = _FunctionScope(project, info, fn)
+            graph._scopes[fn.qualname] = scope
+            sites: list[CallSite] = []
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee, external = scope.resolve_call(node)
+                sites.append(
+                    CallSite(caller=fn.qualname, node=node, callee=callee, external=external)
+                )
+                if callee is not None:
+                    graph._forward.setdefault(fn.qualname, set()).add(callee)
+                    graph._reverse.setdefault(callee, set()).add(fn.qualname)
+            graph.sites[fn.qualname] = sites
+        return graph
+
+    def scope(self, qualname: str) -> _FunctionScope | None:
+        return self._scopes.get(qualname)
+
+    def callees(self, qualname: str) -> set[str]:
+        return self._forward.get(qualname, set())
+
+    def callers(self, qualname: str) -> set[str]:
+        return self._reverse.get(qualname, set())
+
+    def reachable(self, roots: Iterable[str]) -> set[str]:
+        """Project functions reachable from ``roots`` (roots included)."""
+        seen: set[str] = set()
+        queue = [r for r in roots if r in self.project.functions]
+        while queue:
+            current = queue.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            queue.extend(self._forward.get(current, ()))
+        return seen

@@ -1,0 +1,295 @@
+"""RL016 — lightweight dimension propagation from :mod:`repro.units`.
+
+Every quantity in the simulator is SI base units (bytes, seconds), and
+the :mod:`repro.units` constructors are where dimensions enter the
+program: ``mib(4)`` is bytes, ``units.HOUR`` is seconds.  This analysis
+tags those values, propagates tags through assignments, arithmetic,
+returns and (one round of) call-site → parameter inference, and flags
+``+``/``-`` between two *different* known dimensions — the classic
+mixed-unit bug (``deadline = start + mib(1)``) that type checkers cannot
+see because everything is ``float``.
+
+The algebra is deliberately tiny: bytes, seconds, and bytes/second.
+``bytes / seconds → rate``, ``rate * seconds → bytes``,
+``dim / dim → dimensionless``; multiplication by untagged numbers keeps
+the tag.  Anything else degrades to *unknown*, which never fires.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.lint.findings import Severity
+from repro.lint.flow.base import FlowRule, register_flow_rule
+from repro.lint.flow.callgraph import CallGraph
+from repro.lint.flow.index import FunctionInfo, ProjectIndex, _dotted
+
+BYTES = "bytes"
+SECONDS = "seconds"
+RATE = "bytes/second"
+DIMLESS = "dimensionless"
+
+#: units.py constructors / constants → dimension
+_BYTE_FUNCS = ("mib", "gib", "kib")
+_BYTE_CONSTS = ("KB", "MB", "GB", "KB10", "MB10", "GB10")
+_SECOND_CONSTS = ("MINUTE", "HOUR")
+
+_INFER_ROUNDS = 3
+
+
+def _is_units_symbol(resolved: str | None) -> Optional[str]:
+    """Dimension of a resolved qualified name, if it is a units symbol."""
+    if resolved is None:
+        return None
+    parts = resolved.split(".")
+    if len(parts) < 2 or not parts[-2].endswith("units"):
+        return None
+    terminal = parts[-1]
+    if terminal in _BYTE_FUNCS or terminal in _BYTE_CONSTS:
+        return BYTES
+    if terminal in _SECOND_CONSTS:
+        return SECONDS
+    return None
+
+
+class _DimensionInference:
+    """Fixpoint dimension inference over the whole project."""
+
+    def __init__(self, project: ProjectIndex, graph: CallGraph):
+        self.project = project
+        self.graph = graph
+        #: function qualname → dimension of its return value
+        self.returns: dict[str, str] = {}
+        #: (function qualname, param name) → dimension
+        self.params: dict[tuple[str, str], str] = {}
+        #: (function qualname, param name) → conflicting call sites seen
+        self._param_conflicts: set[tuple[str, str]] = set()
+        self.mixed: list[tuple[FunctionInfo, ast.BinOp, str, str]] = []
+
+    def run(self) -> None:
+        for _ in range(_INFER_ROUNDS):
+            changed = self._infer_returns()
+            changed |= self._infer_params()
+            if not changed:
+                break
+        self._detect()
+
+    # -- expression typing ---------------------------------------------------
+
+    def dim_of(self, fn: FunctionInfo, node: ast.AST, local: dict[str, str]) -> str | None:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool) or not isinstance(node.value, (int, float)):
+                return None
+            return DIMLESS
+        if isinstance(node, ast.Name):
+            if node.id in local:
+                return local[node.id]
+            return self._symbol_dim(fn, node.id)
+        if isinstance(node, ast.Attribute):
+            dotted = _dotted(node)
+            if dotted is not None:
+                return self._symbol_dim(fn, dotted)
+            return None
+        if isinstance(node, ast.Call):
+            return self._call_dim(fn, node)
+        if isinstance(node, ast.UnaryOp):
+            return self.dim_of(fn, node.operand, local)
+        if isinstance(node, ast.IfExp):
+            a = self.dim_of(fn, node.body, local)
+            b = self.dim_of(fn, node.orelse, local)
+            return a if a == b else None
+        if isinstance(node, ast.BinOp):
+            return self._binop_dim(fn, node, local)
+        return None
+
+    def _symbol_dim(self, fn: FunctionInfo, dotted: str) -> str | None:
+        info = self.project.modules.get(fn.module)
+        if info is None:
+            return None
+        resolved = self.project.resolve(info, dotted)
+        dim = _is_units_symbol(resolved)
+        if dim is not None:
+            return dim
+        return self.params.get((fn.qualname, dotted))
+
+    def _call_dim(self, fn: FunctionInfo, node: ast.Call) -> str | None:
+        name = _dotted(node.func)
+        info = self.project.modules.get(fn.module)
+        if name is not None and info is not None:
+            resolved = self.project.resolve(info, name)
+            dim = _is_units_symbol(resolved)
+            if dim is not None:
+                return dim
+        scope = self.graph.scope(fn.qualname)
+        if scope is not None:
+            callee, _ = scope.resolve_call(node)
+            if callee is not None:
+                return self.returns.get(callee)
+        return None
+
+    def _binop_dim(self, fn: FunctionInfo, node: ast.BinOp, local: dict[str, str]) -> str | None:
+        left = self.dim_of(fn, node.left, local)
+        right = self.dim_of(fn, node.right, local)
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            if left == right:
+                return left
+            if DIMLESS in (left, right):
+                # ``x + 1`` keeps x's dimension (epsilon offsets etc.)
+                return left if right == DIMLESS else right
+            return None  # mixed or unknown; _detect reports the mix
+        if isinstance(node.op, ast.Mult):
+            pair = {left, right}
+            if pair == {RATE, SECONDS}:
+                return BYTES
+            if DIMLESS in pair:
+                other = left if right == DIMLESS else right
+                return other
+            return None
+        if isinstance(node.op, (ast.Div, ast.FloorDiv)):
+            if left == right and left is not None:
+                return DIMLESS
+            if left == BYTES and right == SECONDS:
+                return RATE
+            if left == BYTES and right == RATE:
+                return SECONDS
+            if right == DIMLESS:
+                return left
+            return None
+        if isinstance(node.op, ast.Mod):
+            return left
+        return None
+
+    # -- locals --------------------------------------------------------------
+
+    def _locals_for(self, fn: FunctionInfo) -> dict[str, str]:
+        local: dict[str, str] = {}
+        for _ in range(2):
+            for node in ast.walk(fn.node):
+                if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                    value = node.value
+                    if value is None:
+                        continue
+                    targets = (
+                        node.targets if isinstance(node, ast.Assign) else [node.target]
+                    )
+                    dim = self.dim_of(fn, value, local)
+                    for target in targets:
+                        if isinstance(target, ast.Name):
+                            if dim is not None and dim != DIMLESS:
+                                local[target.id] = dim
+                            else:
+                                local.pop(target.id, None)
+        return local
+
+    # -- fixpoint ------------------------------------------------------------
+
+    def _infer_returns(self) -> bool:
+        changed = False
+        for qualname, fn in self.project.functions.items():
+            local = self._locals_for(fn)
+            dims: set[str] = set()
+            has_return = False
+            for node in ast.walk(fn.node):
+                if isinstance(node, ast.Return) and node.value is not None:
+                    has_return = True
+                    dim = self.dim_of(fn, node.value, local)
+                    dims.add(dim if dim is not None else "?")
+            if has_return and len(dims) == 1:
+                (dim,) = dims
+                if dim != "?" and self.returns.get(qualname) != dim:
+                    self.returns[qualname] = dim
+                    changed = True
+        return changed
+
+    def _infer_params(self) -> bool:
+        changed = False
+        for qualname, fn in self.project.functions.items():
+            local = self._locals_for(fn)
+            for site in self.graph.sites.get(qualname, ()):
+                if site.callee is None:
+                    continue
+                callee = self.project.functions.get(site.callee)
+                if callee is None:
+                    continue
+                params = callee.param_names
+                pairs: list[tuple[str, ast.AST]] = [
+                    (params[i], arg)
+                    for i, arg in enumerate(site.node.args)
+                    if i < len(params) and not isinstance(arg, ast.Starred)
+                ]
+                pairs += [
+                    (kw.arg, kw.value) for kw in site.node.keywords if kw.arg in params
+                ]
+                for pname, arg in pairs:
+                    key = (site.callee, pname)
+                    if key in self._param_conflicts:
+                        continue
+                    dim = self.dim_of(fn, arg, local)
+                    if dim is None or dim == DIMLESS:
+                        continue
+                    known = self.params.get(key)
+                    if known is None:
+                        self.params[key] = dim
+                        changed = True
+                    elif known != dim:
+                        # call sites disagree: withdraw the inference
+                        del self.params[key]
+                        self._param_conflicts.add(key)
+                        changed = True
+        return changed
+
+    # -- detection -----------------------------------------------------------
+
+    def _detect(self) -> None:
+        real = (BYTES, SECONDS, RATE)
+        for qualname, fn in self.project.functions.items():
+            local = self._locals_for(fn)
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.BinOp) or not isinstance(
+                    node.op, (ast.Add, ast.Sub)
+                ):
+                    continue
+                left = self.dim_of(fn, node.left, local)
+                right = self.dim_of(fn, node.right, local)
+                if left in real and right in real and left != right:
+                    self.mixed.append((fn, node, left, right))
+
+
+@register_flow_rule
+class UnitFlowRule(FlowRule):
+    """Mixed-dimension arithmetic across function boundaries.
+
+    ``mib(100) + HOUR`` adds bytes to seconds — obviously wrong at the
+    call site, invisible once the byte count has travelled through two
+    helpers and a parameter.  This rule propagates the dimension tags
+    :mod:`repro.units` constructors establish through assignments,
+    returns and parameters, and flags additive mixing wherever the two
+    operands' dimensions are both known and differ.
+    """
+
+    id = "RL016"
+    name = "unit-flow"
+    severity = Severity.WARNING
+    description = (
+        "mixed-dimension arithmetic (bytes vs seconds vs bytes/s) through "
+        "assignments, returns and parameters"
+    )
+
+    def run(self, project: ProjectIndex, graph: CallGraph):
+        inference = _DimensionInference(project, graph)
+        inference.run()
+        op_names = {ast.Add: "+", ast.Sub: "-"}
+        for fn, node, left, right in inference.mixed:
+            info = project.modules.get(fn.module)
+            if info is None:
+                continue
+            op = op_names.get(type(node.op), "?")
+            self.report(
+                info,
+                node,
+                f"mixed-dimension arithmetic in {fn.name}(): {left} {op} "
+                f"{right}; both operands trace back to repro.units "
+                "constructors of different dimensions",
+            )
+        return sorted(self.findings)

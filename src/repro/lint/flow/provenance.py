@@ -1,0 +1,383 @@
+"""Value-provenance rules: RL011 (rng) and RL012 (wall clock).
+
+Both rules share one interprocedural taint analysis:
+
+* **sources** — expressions whose value carries the hazard (a raw
+  ``numpy.random.default_rng()`` generator; a ``time.perf_counter()``
+  reading);
+* **summaries** — a fixpoint over the call graph computes which project
+  functions *return* tainted values and which *parameters* forward their
+  argument into a sink (directly or through further calls);
+* **sinks** — functions living in the configured sink packages
+  (engine/solver/fault code for RL011, simulation code for RL012), plus
+  rule-specific extras such as ``hashlib`` for fingerprinted state.
+
+A finding fires where a tainted value is passed as an argument whose
+position (transitively) reaches a sink — the line the report points at
+is the call in the *caller*, i.e. the place the smuggling happens.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.lint.findings import Severity
+from repro.lint.flow.base import FlowRule, register_flow_rule
+from repro.lint.flow.callgraph import CallGraph, CallSite
+from repro.lint.flow.index import FunctionInfo, ProjectIndex, _dotted
+
+#: every parameter of a sink-package function is a sink position
+ALL_PARAMS = "*"
+
+_FIXPOINT_ROUNDS = 6
+
+
+@dataclass
+class TaintSpec:
+    """What taints a value and where it must not go."""
+
+    #: predicate over the *resolved external* name of a call (e.g.
+    #: "numpy.random.default_rng") — True when the call creates taint
+    is_source: Callable[[str], bool]
+    #: terminal callee names whose return value is clean by decree
+    blessed: Sequence[str]
+    #: package components whose functions are sinks
+    sink_packages: Sequence[str]
+    #: qualified-name prefixes of external sinks (e.g. "hashlib.")
+    external_sinks: Sequence[str] = ()
+
+
+@dataclass
+class _Summary:
+    returns_taint: bool = False
+    sink_params: set[str] = field(default_factory=set)  # names, or ALL_PARAMS
+
+
+class TaintAnalysis:
+    """Shared machinery; see module docstring."""
+
+    def __init__(self, project: ProjectIndex, graph: CallGraph, spec: TaintSpec):
+        self.project = project
+        self.graph = graph
+        self.spec = spec
+        self.summaries: dict[str, _Summary] = {}
+        self._compute_summaries()
+
+    # -- summaries -----------------------------------------------------------
+
+    def _summary(self, qualname: str) -> _Summary:
+        if qualname not in self.summaries:
+            summary = _Summary()
+            fn = self.project.functions.get(qualname)
+            if fn is not None and self._in_sink_package(fn):
+                summary.sink_params.add(ALL_PARAMS)
+            self.summaries[qualname] = summary
+        return self.summaries[qualname]
+
+    def _in_sink_package(self, fn: FunctionInfo) -> bool:
+        info = self.project.modules.get(fn.module)
+        return info is not None and info.in_packages(self.spec.sink_packages)
+
+    def _compute_summaries(self) -> None:
+        for qualname in self.project.functions:
+            self._summary(qualname)
+        for _ in range(_FIXPOINT_ROUNDS):
+            changed = False
+            for qualname, fn in self.project.functions.items():
+                changed |= self._update_summary(qualname, fn)
+            if not changed:
+                return
+
+    def _update_summary(self, qualname: str, fn: FunctionInfo) -> bool:
+        summary = self._summary(qualname)
+        tainted = self._tainted_vars(fn, seed_params=set(fn.param_names))
+        changed = False
+        # returns_taint: any return of a tainted-by-construction value
+        # (parameters are NOT sources here, so seed with construction only).
+        constructed = self._tainted_vars(fn, seed_params=set())
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Return) and node.value is not None:
+                if self._expr_tainted(fn, node.value, constructed):
+                    if not summary.returns_taint:
+                        summary.returns_taint = True
+                        changed = True
+        # sink_params: a parameter forwarded into a sink position.
+        param_set = set(fn.param_names)
+        for site in self.graph.sites.get(qualname, ()):
+            for position, arg in self._iter_args(site):
+                names = self._names_in(arg) & param_set & tainted
+                if not names:
+                    continue
+                if self._position_is_sink(site, position):
+                    new = names - summary.sink_params
+                    if new:
+                        summary.sink_params |= new
+                        changed = True
+        return changed
+
+    # -- intra-function taint ------------------------------------------------
+
+    def _tainted_vars(self, fn: FunctionInfo, seed_params: set[str]) -> set[str]:
+        """Local names holding tainted values (two passes for loops)."""
+        tainted = set(seed_params)
+        for _ in range(2):
+            for node in ast.walk(fn.node):
+                if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                    value = node.value
+                    if value is None:
+                        continue
+                    targets = (
+                        node.targets if isinstance(node, ast.Assign) else [node.target]
+                    )
+                    names = [t.id for t in targets if isinstance(t, ast.Name)]
+                    if not names:
+                        continue
+                    if self._expr_tainted(fn, value, tainted):
+                        tainted.update(names)
+                    else:
+                        # re-binding a name to a clean value clears it only
+                        # on the first pass; keep it simple and sticky.
+                        pass
+        return tainted - self._blessed_vars(fn)
+
+    def _blessed_vars(self, fn: FunctionInfo) -> set[str]:
+        """Names assigned from blessed factories are clean even if a
+        broader expression around the factory looked like a source."""
+        blessed: set[str] = set()
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                name = _dotted(node.value.func)
+                if name is not None and name.split(".")[-1] in self.spec.blessed:
+                    blessed.update(
+                        t.id for t in node.targets if isinstance(t, ast.Name)
+                    )
+        return blessed
+
+    def _expr_tainted(self, fn: FunctionInfo, node: ast.AST, tainted: set[str]) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in tainted
+        if isinstance(node, ast.Call):
+            if self._is_source_call(fn, node):
+                return True
+            callee = self._resolved_callee(fn, node)
+            if callee is not None and self._summary(callee).returns_taint:
+                return True
+            return False
+        if isinstance(node, (ast.Tuple, ast.List)):
+            return any(self._expr_tainted(fn, e, tainted) for e in node.elts)
+        if isinstance(node, ast.IfExp):
+            return self._expr_tainted(fn, node.body, tainted) or self._expr_tainted(
+                fn, node.orelse, tainted
+            )
+        if isinstance(node, ast.Attribute):
+            # rng.bit_generator and friends stay tainted with their base
+            return self._expr_tainted(fn, node.value, tainted)
+        return False
+
+    def _is_source_call(self, fn: FunctionInfo, node: ast.Call) -> bool:
+        name = _dotted(node.func)
+        if name is None:
+            return False
+        if name.split(".")[-1] in self.spec.blessed:
+            return False
+        info = self.project.modules.get(fn.module)
+        resolved = self.project.resolve(info, name) if info is not None else name
+        candidate = resolved if resolved is not None else name
+        return self.spec.is_source(candidate)
+
+    def _resolved_callee(self, fn: FunctionInfo, node: ast.Call) -> str | None:
+        scope = self.graph.scope(fn.qualname)
+        if scope is None:
+            return None
+        callee, _external = scope.resolve_call(node)
+        return callee
+
+    # -- sink matching -------------------------------------------------------
+
+    def _iter_args(self, site: CallSite) -> list[tuple[str | int, ast.AST]]:
+        args: list[tuple[str | int, ast.AST]] = []
+        for i, arg in enumerate(site.node.args):
+            if isinstance(arg, ast.Starred):
+                continue
+            args.append((i, arg))
+        for kw in site.node.keywords:
+            if kw.arg is not None:
+                args.append((kw.arg, kw.value))
+        return args
+
+    def _position_is_sink(self, site: CallSite, position: str | int) -> bool:
+        if site.callee is not None:
+            summary = self._summary(site.callee)
+            if ALL_PARAMS in summary.sink_params:
+                return True
+            fn = self.project.functions.get(site.callee)
+            if fn is None:
+                return False
+            name = position
+            if isinstance(position, int):
+                params = fn.param_names
+                name = params[position] if position < len(params) else None
+            return name is not None and name in summary.sink_params
+        if site.external is not None:
+            return any(
+                site.external.startswith(prefix) for prefix in self.spec.external_sinks
+            )
+        return False
+
+    @staticmethod
+    def _names_in(node: ast.AST) -> set[str]:
+        return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
+
+    # -- findings ------------------------------------------------------------
+
+    def violations(self) -> list[tuple[FunctionInfo, ast.Call, str, str]]:
+        """(function, call node, tainted description, sink name) tuples."""
+        results: list[tuple[FunctionInfo, ast.Call, str, str]] = []
+        for qualname, fn in self.project.functions.items():
+            tainted = self._tainted_vars(fn, seed_params=set())
+            for site in self.graph.sites.get(qualname, ()):
+                for position, arg in self._iter_args(site):
+                    if not self._expr_tainted(fn, arg, tainted):
+                        continue
+                    if not self._position_is_sink(site, position):
+                        continue
+                    desc = _describe(arg)
+                    sink = site.target or "<unknown>"
+                    results.append((fn, site.node, desc, sink))
+        return results
+
+
+def _describe(node: ast.AST) -> str:
+    name = _dotted(node)
+    if name is not None:
+        return name
+    if isinstance(node, ast.Call):
+        callee = _dotted(node.func)
+        return f"{callee}(...)" if callee else "a call result"
+    return "an expression"
+
+
+# -- RL011 --------------------------------------------------------------------
+
+_RAW_RNG = (
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+    "numpy.random.Generator",
+    "np.random.default_rng",
+    "np.random.RandomState",
+    "random.Random",
+    "random.SystemRandom",
+)
+
+
+@register_flow_rule
+class RngProvenanceRule(FlowRule):
+    """Raw RNGs must never reach engine/solver/fault code.
+
+    RL001 flags raw generator *construction* per file; this rule closes
+    the interprocedural hole: a generator built in an allow-listed or
+    suppressed location (or returned by a helper) that flows — through
+    any chain of calls — into ``sim``/``cluster``/``network``/``faults``
+    code still breaks run-to-run reproducibility, because its stream is
+    not derived from the experiment seed.
+    """
+
+    id = "RL011"
+    name = "rng-provenance"
+    severity = Severity.ERROR
+    description = (
+        "RNG not derived from make_rng/spawn_rng reaching engine/solver/"
+        "fault code through a call chain"
+    )
+
+    def run(self, project: ProjectIndex, graph: CallGraph):
+        spec = TaintSpec(
+            is_source=lambda name: name in _RAW_RNG,
+            blessed=self.config.flow_rng_factories,
+            sink_packages=self.config.flow_rng_sinks,
+        )
+        analysis = TaintAnalysis(project, graph, spec)
+        for fn, node, desc, sink in analysis.violations():
+            info = project.modules.get(fn.module)
+            if info is None:
+                continue
+            self.report(
+                info,
+                node,
+                f"raw RNG ({desc}) passed into {_short(sink)}(): streams "
+                "reaching simulation code must derive from "
+                "make_rng/spawn_rng so they are seed-stable",
+            )
+        return sorted(self.findings)
+
+
+# -- RL012 --------------------------------------------------------------------
+
+_WALLCLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.today",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+        "datetime.now",
+        "datetime.today",
+        "datetime.utcnow",
+        "date.today",
+    }
+)
+
+
+@register_flow_rule
+class WallClockProvenanceRule(FlowRule):
+    """Wall-clock readings must not flow into simulated or hashed state.
+
+    RL002 bans wall-clock calls *inside* simulation packages; this rule
+    catches the indirect variant — a ``perf_counter()`` taken in
+    benchmark/CLI code and passed into ``sim`` functions (contaminating
+    simulated time) or into ``hashlib`` digests (contaminating the
+    fingerprints run manifests are keyed on).
+    """
+
+    id = "RL012"
+    name = "wallclock-provenance"
+    severity = Severity.ERROR
+    description = (
+        "wall-clock value (time.*/perf_counter) flowing into simulated-time "
+        "or fingerprinted state"
+    )
+
+    def run(self, project: ProjectIndex, graph: CallGraph):
+        spec = TaintSpec(
+            is_source=lambda name: name in _WALLCLOCK,
+            blessed=(),
+            sink_packages=self.config.flow_time_sinks,
+            external_sinks=("hashlib.",),
+        )
+        analysis = TaintAnalysis(project, graph, spec)
+        for fn, node, desc, sink in analysis.violations():
+            info = project.modules.get(fn.module)
+            if info is None:
+                continue
+            self.report(
+                info,
+                node,
+                f"wall-clock value ({desc}) passed into {_short(sink)}(): "
+                "simulated time and fingerprinted state must not depend on "
+                "the host clock",
+            )
+        return sorted(self.findings)
+
+
+def _short(qualified: str) -> str:
+    parts = qualified.split(".")
+    return ".".join(parts[-2:]) if len(parts) > 1 else qualified

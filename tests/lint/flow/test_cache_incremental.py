@@ -1,0 +1,226 @@
+"""Incremental analysis: dirty sets, dependent invalidation, identity.
+
+The contract under test: a warm run re-analyzes only changed files plus
+their reverse dependencies, and its findings are **identical** to a cold
+(no-cache) run of the same tree — incrementality must never change the
+answer.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro.lint.config import LintConfig
+from repro.lint.flow.analyzer import analyze_paths
+from repro.lint.flow.cache import AnalysisCache, config_key
+
+FILES = {
+    "repro/__init__.py": "",
+    "repro/sim/__init__.py": "",
+    "repro/sim/rng.py": """
+        def make_rng(seed=0):
+            return ("rng", seed)
+    """,
+    "repro/sim/engine.py": """
+        def advance(rng, steps):
+            return (rng, steps)
+    """,
+    "repro/util.py": """
+        from repro.sim.rng import make_rng
+
+        def fresh():
+            return make_rng(3)
+    """,
+    "repro/driver.py": """
+        from repro.sim.engine import advance
+        from repro.util import fresh
+
+        def run():
+            return advance(fresh(), 2)
+    """,
+    "repro/other.py": """
+        def nothing():
+            return 1
+    """,
+}
+
+UTIL_WITH_BUG = """
+    import numpy as np
+
+    def fresh():
+        return np.random.default_rng()
+"""
+
+
+def rel(report_paths, root):
+    prefix = str(root).replace("\\", "/") + "/"
+    return {p.replace(prefix, "") for p in report_paths}
+
+
+class TestIncrementalRuns:
+    def test_cold_run_analyzes_everything(self, tree_factory, tmp_path):
+        root = tree_factory(FILES)
+        cache = tmp_path / "cache.json"
+        report = analyze_paths([root], LintConfig(), cache_path=cache)
+        assert report.findings == []
+        assert set(report.analyzed) == set(report.files)
+        assert report.cached == []
+        assert cache.is_file()
+
+    def test_warm_run_analyzes_nothing(self, tree_factory, tmp_path):
+        root = tree_factory(FILES)
+        cache = tmp_path / "cache.json"
+        cold = analyze_paths([root], LintConfig(), cache_path=cache)
+        warm = analyze_paths([root], LintConfig(), cache_path=cache)
+        assert warm.analyzed == []
+        assert set(warm.cached) == set(warm.files)
+        assert warm.cache_hit_rate == 1.0
+        assert warm.findings == cold.findings
+
+    def test_rewriting_identical_content_stays_clean(self, tree_factory, tmp_path):
+        root = tree_factory(FILES)
+        cache = tmp_path / "cache.json"
+        analyze_paths([root], LintConfig(), cache_path=cache)
+        # Touch a file without changing its bytes: the sha256 key must
+        # keep it out of the dirty set (mtime is irrelevant).
+        target = root / "repro/other.py"
+        target.write_text(target.read_text(encoding="utf-8"), encoding="utf-8")
+        report = analyze_paths([root], LintConfig(), cache_path=cache)
+        assert report.analyzed == []
+
+    def test_edit_invalidates_file_and_dependents(self, tree_factory, tmp_path):
+        root = tree_factory(FILES)
+        cache = tmp_path / "cache.json"
+        analyze_paths([root], LintConfig(), cache_path=cache)
+        (root / "repro/util.py").write_text(
+            textwrap.dedent(UTIL_WITH_BUG), encoding="utf-8"
+        )
+        report = analyze_paths([root], LintConfig(), cache_path=cache)
+        analyzed = rel(report.analyzed, root)
+        # Changed file and its importer re-ran …
+        assert "repro/util.py" in analyzed
+        assert "repro/driver.py" in analyzed
+        # … but files nothing imports from util stayed cached.
+        assert "repro/other.py" not in analyzed
+        assert "repro/sim/rng.py" not in analyzed
+
+    def test_dependent_reanalysis_surfaces_new_finding(self, tree_factory, tmp_path):
+        # The planted bug lives in util.py, but the *finding* lands in
+        # driver.py (where the tainted value enters the sink).  If the
+        # dependent were not re-analyzed, the warm run would miss it.
+        root = tree_factory(FILES)
+        cache = tmp_path / "cache.json"
+        clean = analyze_paths([root], LintConfig(), cache_path=cache)
+        assert [f for f in clean.findings if f.rule_id == "RL011"] == []
+        (root / "repro/util.py").write_text(
+            textwrap.dedent(UTIL_WITH_BUG), encoding="utf-8"
+        )
+        report = analyze_paths([root], LintConfig(), cache_path=cache)
+        rl011 = [f for f in report.findings if f.rule_id == "RL011"]
+        assert len(rl011) == 1
+        assert rl011[0].path.endswith("repro/driver.py")
+
+    def test_incremental_equals_full_reanalysis(self, tree_factory, tmp_path):
+        root = tree_factory(FILES)
+        cache = tmp_path / "cache.json"
+        analyze_paths([root], LintConfig(), cache_path=cache)
+        (root / "repro/util.py").write_text(
+            textwrap.dedent(UTIL_WITH_BUG), encoding="utf-8"
+        )
+        incremental = analyze_paths([root], LintConfig(), cache_path=cache)
+        full = analyze_paths([root], LintConfig(), cache_path=None)
+        assert [f.to_dict() for f in incremental.findings] == [
+            f.to_dict() for f in full.findings
+        ]
+
+    def test_findings_served_from_cache_verbatim(self, tree_factory, tmp_path):
+        # A tree with a stable finding: the warm run reports it from the
+        # cache with identical location and message.
+        files = dict(FILES)
+        files["repro/bad.py"] = """
+            import numpy as np
+            from repro.sim.engine import advance
+
+            def run():
+                return advance(np.random.default_rng(), 1)
+        """
+        root = tree_factory(files)
+        cache = tmp_path / "cache.json"
+        cold = analyze_paths([root], LintConfig(), cache_path=cache)
+        warm = analyze_paths([root], LintConfig(), cache_path=cache)
+        assert warm.analyzed == []
+        assert [f.to_dict() for f in warm.findings] == [
+            f.to_dict() for f in cold.findings
+        ]
+        assert any(f.rule_id == "RL011" for f in warm.findings)
+
+    def test_deleted_file_pruned_from_cache(self, tree_factory, tmp_path):
+        root = tree_factory(FILES)
+        cache = tmp_path / "cache.json"
+        analyze_paths([root], LintConfig(), cache_path=cache)
+        (root / "repro/other.py").unlink()
+        analyze_paths([root], LintConfig(), cache_path=cache)
+        data = json.loads(cache.read_text(encoding="utf-8"))
+        assert not any(p.endswith("repro/other.py") for p in data["files"])
+
+
+class TestCacheInvalidation:
+    def test_config_change_invalidates_wholesale(self, tree_factory, tmp_path):
+        root = tree_factory(FILES)
+        cache = tmp_path / "cache.json"
+        analyze_paths([root], LintConfig(), cache_path=cache)
+        report = analyze_paths(
+            [root], LintConfig(disable=("RL016",)), cache_path=cache
+        )
+        assert set(report.analyzed) == set(report.files)
+
+    def test_config_key_sensitive_to_fields_and_rules(self):
+        base = config_key(LintConfig(), ("RL011",))
+        assert base == config_key(LintConfig(), ("RL011",))
+        assert base != config_key(LintConfig(disable=("RL001",)), ("RL011",))
+        assert base != config_key(LintConfig(), ("RL011", "RL012"))
+
+    def test_corrupt_cache_file_ignored(self, tree_factory, tmp_path):
+        root = tree_factory(FILES)
+        cache = tmp_path / "cache.json"
+        cache.write_text("{not json", encoding="utf-8")
+        report = analyze_paths([root], LintConfig(), cache_path=cache)
+        assert set(report.analyzed) == set(report.files)
+        # and the run leaves a valid cache behind
+        json.loads(cache.read_text(encoding="utf-8"))
+
+    def test_cache_file_is_deterministic(self, tree_factory, tmp_path):
+        root = tree_factory(FILES)
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        analyze_paths([root], LintConfig(), cache_path=a)
+        analyze_paths([root], LintConfig(), cache_path=b)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        cache_file = tmp_path / "cache.json"
+        cache_file.write_text(
+            json.dumps({"version": 999, "config_key": "k", "files": {}}),
+            encoding="utf-8",
+        )
+        cache = AnalysisCache(cache_file, "k")
+        assert not cache.valid
+        assert cache.entries == {}
+
+
+class TestParseErrorHandling:
+    def test_unparsable_file_reported_not_cached(self, tree_factory, tmp_path):
+        files = dict(FILES)
+        files["repro/broken.py"] = "def oops(:\n"
+        root = tree_factory(files)
+        cache = tmp_path / "cache.json"
+        cold = analyze_paths([root], LintConfig(), cache_path=cache)
+        assert len(cold.parse_errors) == 1
+        assert any(f.rule_id == "RL000" for f in cold.findings)
+        # Warm run: the broken file is outside the index, so it is
+        # re-reported every run rather than served stale from the cache.
+        warm = analyze_paths([root], LintConfig(), cache_path=cache)
+        assert any(f.rule_id == "RL000" for f in warm.findings)
+        assert [f.to_dict() for f in warm.findings] == [
+            f.to_dict() for f in cold.findings
+        ]

@@ -1,0 +1,280 @@
+"""Call graph resolution: imports, methods, aliasing, typed receivers."""
+
+from __future__ import annotations
+
+from repro.lint.flow.callgraph import CallGraph
+
+
+def graph_for(project_factory, files):
+    project = project_factory(files)
+    return project, CallGraph.build(project)
+
+
+def targets(graph, caller):
+    return {s.callee for s in graph.sites.get(caller, []) if s.callee}
+
+
+def externals(graph, caller):
+    return {s.external for s in graph.sites.get(caller, []) if s.external}
+
+
+class TestNameResolution:
+    def test_direct_call_same_module(self, project_factory):
+        project, graph = graph_for(
+            project_factory,
+            {
+                "repro/__init__.py": "",
+                "repro/a.py": """
+                    def helper():
+                        return 1
+
+                    def run():
+                        return helper()
+                """,
+            },
+        )
+        assert targets(graph, "repro.a.run") == {"repro.a.helper"}
+
+    def test_from_import_call(self, project_factory):
+        project, graph = graph_for(
+            project_factory,
+            {
+                "repro/__init__.py": "",
+                "repro/util.py": "def helper():\n    return 1\n",
+                "repro/a.py": """
+                    from repro.util import helper
+
+                    def run():
+                        return helper()
+                """,
+            },
+        )
+        assert targets(graph, "repro.a.run") == {"repro.util.helper"}
+
+    def test_module_attribute_call_through_alias(self, project_factory):
+        project, graph = graph_for(
+            project_factory,
+            {
+                "repro/__init__.py": "",
+                "repro/util.py": "def helper():\n    return 1\n",
+                "repro/a.py": """
+                    import repro.util as u
+
+                    def run():
+                        return u.helper()
+                """,
+            },
+        )
+        assert targets(graph, "repro.a.run") == {"repro.util.helper"}
+
+    def test_function_alias_variable(self, project_factory):
+        project, graph = graph_for(
+            project_factory,
+            {
+                "repro/__init__.py": "",
+                "repro/util.py": "def helper():\n    return 1\n",
+                "repro/a.py": """
+                    from repro.util import helper
+
+                    def run():
+                        fn = helper
+                        return fn()
+                """,
+            },
+        )
+        assert targets(graph, "repro.a.run") == {"repro.util.helper"}
+
+    def test_unresolved_call_kept_as_external(self, project_factory):
+        project, graph = graph_for(
+            project_factory,
+            {
+                "repro/__init__.py": "",
+                "repro/a.py": """
+                    import numpy as np
+
+                    def run():
+                        return np.random.default_rng()
+                """,
+            },
+        )
+        assert externals(graph, "repro.a.run") == {"numpy.random.default_rng"}
+
+
+class TestMethodResolution:
+    def test_self_method_through_mro(self, project_factory):
+        project, graph = graph_for(
+            project_factory,
+            {
+                "repro/__init__.py": "",
+                "repro/a.py": """
+                    class Base:
+                        def shared(self):
+                            return 0
+
+                    class Solver(Base):
+                        def solve(self):
+                            return self.shared()
+                """,
+            },
+        )
+        assert targets(graph, "repro.a.Solver.solve") == {"repro.a.Base.shared"}
+
+    def test_constructor_typed_local(self, project_factory):
+        project, graph = graph_for(
+            project_factory,
+            {
+                "repro/__init__.py": "",
+                "repro/a.py": """
+                    class Solver:
+                        def solve(self):
+                            return 1
+
+                    def run():
+                        s = Solver()
+                        return s.solve()
+                """,
+            },
+        )
+        assert "repro.a.Solver.solve" in targets(graph, "repro.a.run")
+        # constructing also resolves to __init__ when present; the solve
+        # edge is what matters here
+
+    def test_annotated_parameter(self, project_factory):
+        project, graph = graph_for(
+            project_factory,
+            {
+                "repro/__init__.py": "",
+                "repro/a.py": """
+                    class Solver:
+                        def solve(self):
+                            return 1
+
+                    def run(s: Solver):
+                        return s.solve()
+                """,
+            },
+        )
+        assert targets(graph, "repro.a.run") == {"repro.a.Solver.solve"}
+
+    def test_instance_attribute_type(self, project_factory):
+        project, graph = graph_for(
+            project_factory,
+            {
+                "repro/__init__.py": "",
+                "repro/a.py": """
+                    class Solver:
+                        def solve(self):
+                            return 1
+
+                    class Engine:
+                        def __init__(self):
+                            self.solver = Solver()
+
+                        def step(self):
+                            return self.solver.solve()
+                """,
+            },
+        )
+        assert targets(graph, "repro.a.Engine.step") == {"repro.a.Solver.solve"}
+
+    def test_cross_module_typed_receiver(self, project_factory):
+        project, graph = graph_for(
+            project_factory,
+            {
+                "repro/__init__.py": "",
+                "repro/solver.py": """
+                    class Solver:
+                        def solve(self):
+                            return 1
+                """,
+                "repro/a.py": """
+                    from repro.solver import Solver
+
+                    def run():
+                        s = Solver()
+                        return s.solve()
+                """,
+            },
+        )
+        assert "repro.solver.Solver.solve" in targets(graph, "repro.a.run")
+
+
+class TestFunctionRefs:
+    def test_resolve_function_ref_bare_name(self, project_factory):
+        project, graph = graph_for(
+            project_factory,
+            {
+                "repro/__init__.py": "",
+                "repro/a.py": """
+                    def worker(x):
+                        return x
+
+                    def run(pool):
+                        return pool(worker)
+                """,
+            },
+        )
+        scope = graph.scope("repro.a.run")
+        site = graph.sites["repro.a.run"][0]
+        ref = scope.resolve_function_ref(site.node.args[0])
+        assert ref == "repro.a.worker"
+
+    def test_resolve_function_ref_module_attribute(self, project_factory):
+        project, graph = graph_for(
+            project_factory,
+            {
+                "repro/__init__.py": "",
+                "repro/util.py": "def worker(x):\n    return x\n",
+                "repro/a.py": """
+                    import repro.util as u
+
+                    def run(pool):
+                        return pool(u.worker)
+                """,
+            },
+        )
+        scope = graph.scope("repro.a.run")
+        site = graph.sites["repro.a.run"][0]
+        assert scope.resolve_function_ref(site.node.args[0]) == "repro.util.worker"
+
+
+class TestReachability:
+    def test_reachable_follows_chains(self, project_factory):
+        project, graph = graph_for(
+            project_factory,
+            {
+                "repro/__init__.py": "",
+                "repro/a.py": """
+                    def leaf():
+                        return 1
+
+                    def mid():
+                        return leaf()
+
+                    def root():
+                        return mid()
+
+                    def unrelated():
+                        return 2
+                """,
+            },
+        )
+        reached = graph.reachable(["repro.a.root"])
+        assert reached == {"repro.a.root", "repro.a.mid", "repro.a.leaf"}
+
+    def test_callers_callees_adjacency(self, project_factory):
+        project, graph = graph_for(
+            project_factory,
+            {
+                "repro/__init__.py": "",
+                "repro/a.py": """
+                    def leaf():
+                        return 1
+
+                    def root():
+                        return leaf()
+                """,
+            },
+        )
+        assert graph.callees("repro.a.root") == {"repro.a.leaf"}
+        assert graph.callers("repro.a.leaf") == {"repro.a.root"}

@@ -1,0 +1,242 @@
+"""CLI surface of the flow analyzer: --flow, --stats, --quiet, --sarif,
+--baseline/--write-baseline, cache flags, and cold/warm byte-identity."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint.cli import main
+
+CLEAN_FILES = {
+    "repro/__init__.py": "",
+    "repro/sim/__init__.py": "",
+    "repro/sim/rng.py": """
+        def make_rng(seed=0):
+            return ("rng", seed)
+    """,
+    "repro/sim/engine.py": """
+        def advance(rng, steps):
+            return (rng, steps)
+    """,
+    "repro/driver.py": """
+        from repro.sim.rng import make_rng
+        from repro.sim.engine import advance
+
+        def run():
+            return advance(make_rng(7), 3)
+    """,
+}
+
+BUGGY_FILES = dict(CLEAN_FILES)
+BUGGY_FILES["repro/driver.py"] = """
+    import numpy as np
+
+    from repro.sim.engine import advance
+
+    def run():
+        return advance(np.random.default_rng(), 3)
+"""
+
+
+@pytest.fixture
+def clean_root(tree_factory):
+    return tree_factory(CLEAN_FILES)
+
+
+@pytest.fixture
+def buggy_root(tree_factory):
+    return tree_factory(BUGGY_FILES)
+
+
+def run_cli(capsys, *argv):
+    code = main([str(a) for a in argv])
+    return code, capsys.readouterr().out
+
+
+class TestExitCodesAndText:
+    def test_clean_tree_exits_zero(self, clean_root, capsys):
+        code, out = run_cli(capsys, clean_root, "--flow", "--no-cache", "--no-config")
+        assert code == 0
+        assert "clean: 0 findings" in out
+
+    def test_findings_exit_one(self, buggy_root, capsys):
+        code, out = run_cli(capsys, buggy_root, "--flow", "--no-cache", "--no-config")
+        assert code == 1
+        assert "RL011" in out
+
+    def test_missing_baseline_exits_two(self, clean_root, capsys):
+        code, _ = run_cli(
+            capsys, clean_root, "--flow", "--no-cache", "--no-config",
+            "--baseline", clean_root / "absent.json",
+        )
+        assert code == 2
+
+    def test_quiet_clean_prints_nothing(self, clean_root, capsys):
+        code, out = run_cli(
+            capsys, clean_root, "--flow", "--no-cache", "--no-config", "--quiet"
+        )
+        assert code == 0
+        assert out == ""
+
+    def test_quiet_still_prints_findings(self, buggy_root, capsys):
+        _, out = run_cli(
+            capsys, buggy_root, "--flow", "--no-cache", "--no-config", "--quiet"
+        )
+        assert "RL011" in out
+        assert "finding(s) in" not in out  # summary suppressed
+
+    def test_quiet_suppresses_stats(self, buggy_root, capsys):
+        _, out = run_cli(
+            capsys, buggy_root, "--flow", "--no-cache", "--no-config",
+            "--quiet", "--stats",
+        )
+        assert "-- lint stats --" not in out
+
+
+class TestStats:
+    def test_text_stats_block(self, buggy_root, tmp_path, capsys):
+        cache = tmp_path / "cache.json"
+        _, out = run_cli(
+            capsys, buggy_root, "--flow", "--no-config",
+            "--cache", cache, "--stats",
+        )
+        assert "-- lint stats --" in out
+        assert "files analyzed:" in out
+        assert "cache hits:" in out
+        assert "RL011:" in out
+
+    def test_stats_reflect_warm_cache(self, clean_root, tmp_path, capsys):
+        cache = tmp_path / "cache.json"
+        run_cli(capsys, clean_root, "--flow", "--no-config", "--cache", cache)
+        _, out = run_cli(
+            capsys, clean_root, "--flow", "--no-config",
+            "--cache", cache, "--stats",
+        )
+        assert "files analyzed:  0 of 5" in out
+        assert "(100%)" in out
+
+    def test_json_stats_payload(self, clean_root, tmp_path, capsys):
+        cache = tmp_path / "cache.json"
+        _, out = run_cli(
+            capsys, clean_root, "--flow", "--no-config",
+            "--cache", cache, "--format", "json", "--stats",
+        )
+        payload = json.loads(out)
+        assert payload["version"] == 2
+        assert payload["stats"]["files"] == 5
+        assert payload["stats"]["analyzed"] == 5
+        assert payload["stats"]["cache_hit_rate"] == 0.0
+
+    def test_json_without_stats_flag_has_no_stats_key(self, clean_root, capsys):
+        _, out = run_cli(
+            capsys, clean_root, "--flow", "--no-cache", "--no-config",
+            "--format", "json",
+        )
+        assert "stats" not in json.loads(out)
+
+
+class TestBaselineWorkflow:
+    def test_write_then_apply(self, buggy_root, tmp_path, capsys):
+        baseline = tmp_path / "LINT_baseline.json"
+        code, out = run_cli(
+            capsys, buggy_root, "--flow", "--no-cache", "--no-config",
+            "--write-baseline", baseline,
+        )
+        assert code == 0
+        assert "baseline written" in out
+        assert baseline.is_file()
+        # Every current finding is baselined → the gate passes.
+        code, out = run_cli(
+            capsys, buggy_root, "--flow", "--no-cache", "--no-config",
+            "--baseline", baseline,
+        )
+        assert code == 0
+        assert "clean: 0 findings" in out
+
+    def test_new_finding_not_covered_by_baseline(
+        self, buggy_root, tmp_path, capsys
+    ):
+        baseline = tmp_path / "LINT_baseline.json"
+        run_cli(
+            capsys, buggy_root, "--flow", "--no-cache", "--no-config",
+            "--write-baseline", baseline,
+        )
+        (buggy_root / "repro/late.py").write_text(
+            "import time\n\nfrom repro.sim.engine import advance\n\n"
+            "def run():\n    return advance(time.time(), 1)\n",
+            encoding="utf-8",
+        )
+        code, out = run_cli(
+            capsys, buggy_root, "--flow", "--no-cache", "--no-config",
+            "--baseline", baseline,
+        )
+        assert code == 1
+        assert "RL012" in out
+        assert "RL011" not in out  # the baselined finding stays silent
+
+
+class TestSarifOutput:
+    def test_sarif_file_written(self, buggy_root, tmp_path, capsys):
+        sarif = tmp_path / "lint.sarif"
+        run_cli(
+            capsys, buggy_root, "--flow", "--no-cache", "--no-config",
+            "--sarif", sarif,
+        )
+        log = json.loads(sarif.read_text(encoding="utf-8"))
+        assert log["version"] == "2.1.0"
+        assert any(
+            r["ruleId"] == "RL011" for r in log["runs"][0]["results"]
+        )
+
+    def test_cold_and_warm_sarif_byte_identical(
+        self, buggy_root, tmp_path, capsys
+    ):
+        cache = tmp_path / "cache.json"
+        cold, warm = tmp_path / "cold.sarif", tmp_path / "warm.sarif"
+        run_cli(
+            capsys, buggy_root, "--flow", "--no-config",
+            "--cache", cache, "--sarif", cold,
+        )
+        run_cli(
+            capsys, buggy_root, "--flow", "--no-config",
+            "--cache", cache, "--sarif", warm,
+        )
+        assert cold.read_bytes() == warm.read_bytes()
+
+    def test_sarif_respects_baseline(self, buggy_root, tmp_path, capsys):
+        baseline = tmp_path / "LINT_baseline.json"
+        sarif = tmp_path / "lint.sarif"
+        run_cli(
+            capsys, buggy_root, "--flow", "--no-cache", "--no-config",
+            "--write-baseline", baseline,
+        )
+        run_cli(
+            capsys, buggy_root, "--flow", "--no-cache", "--no-config",
+            "--baseline", baseline, "--sarif", sarif,
+        )
+        log = json.loads(sarif.read_text(encoding="utf-8"))
+        assert log["runs"][0]["results"] == []
+
+
+class TestCacheFlags:
+    def test_no_cache_leaves_no_file(self, clean_root, capsys, monkeypatch, tmp_path):
+        monkeypatch.chdir(tmp_path)
+        run_cli(capsys, clean_root, "--flow", "--no-cache", "--no-config")
+        assert not (tmp_path / ".repro_lint_cache.json").exists()
+
+    def test_default_cache_location(self, clean_root, capsys, monkeypatch, tmp_path):
+        monkeypatch.chdir(tmp_path)
+        run_cli(capsys, clean_root, "--flow", "--no-config")
+        assert (tmp_path / ".repro_lint_cache.json").is_file()
+
+
+class TestListRules:
+    def test_flow_rules_listed_with_scope(self, capsys):
+        code, out = run_cli(capsys, "--list-rules")
+        assert code == 0
+        for rule_id in ("RL011", "RL012", "RL013", "RL014", "RL015", "RL016"):
+            assert rule_id in out
+        assert "[flow]" in out
+        assert "[file]" in out

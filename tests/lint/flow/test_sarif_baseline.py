@@ -1,0 +1,126 @@
+"""SARIF 2.1.0 export and baseline filtering."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.lint.findings import Finding, Severity
+from repro.lint.baseline import apply_baseline, load_baseline, save_baseline
+from repro.lint.sarif import render_sarif, to_sarif
+
+
+def make_finding(path="src/repro/a.py", line=3, col=4, rule="RL011", msg="boom"):
+    return Finding(
+        path=path,
+        line=line,
+        col=col,
+        rule_id=rule,
+        rule_name="rng-provenance",
+        severity=Severity.ERROR,
+        message=msg,
+    )
+
+
+class TestSarif:
+    def test_log_shape(self):
+        log = to_sarif([make_finding()])
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        assert len(run["results"]) == 1
+        result = run["results"][0]
+        assert result["ruleId"] == "RL011"
+        assert result["level"] == "error"
+        loc = result["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "src/repro/a.py"
+        assert loc["artifactLocation"]["uriBaseId"] == "%SRCROOT%"
+        # SARIF columns are 1-based; Finding cols are 0-based.
+        assert loc["region"] == {"startLine": 3, "startColumn": 5}
+
+    def test_rule_metadata_included(self):
+        log = to_sarif([make_finding(rule="RL011"), make_finding(rule="RL014")])
+        rules = log["runs"][0]["tool"]["driver"]["rules"]
+        assert [r["id"] for r in rules] == ["RL011", "RL014"]
+        assert all("shortDescription" in r for r in rules)
+        # ruleIndex points into the sorted rules array
+        for result in log["runs"][0]["results"]:
+            assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+
+    def test_results_sorted_and_render_deterministic(self):
+        findings = [
+            make_finding(path="src/z.py", line=9),
+            make_finding(path="src/a.py", line=1),
+        ]
+        log = to_sarif(findings)
+        uris = [
+            r["locations"][0]["physicalLocation"]["artifactLocation"]["uri"]
+            for r in log["runs"][0]["results"]
+        ]
+        assert uris == sorted(uris)
+        assert render_sarif(findings) == render_sarif(list(reversed(findings)))
+        # canonical text: valid JSON, newline-terminated, no timestamps
+        text = render_sarif(findings)
+        assert text.endswith("\n")
+        assert "time" not in json.dumps(json.loads(text))
+
+    def test_empty_findings_valid_log(self):
+        log = to_sarif([])
+        assert log["runs"][0]["results"] == []
+        assert log["runs"][0]["tool"]["driver"]["rules"] == []
+
+
+class TestBaseline:
+    def test_roundtrip_filters_known_findings(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        old = make_finding(msg="known issue")
+        save_baseline([old], path)
+        baseline = load_baseline(path)
+        new = make_finding(msg="fresh issue")
+        assert apply_baseline([old, new], baseline) == [new]
+
+    def test_line_numbers_do_not_matter(self, tmp_path):
+        # Shifting a finding up or down must not resurrect it.
+        path = tmp_path / "baseline.json"
+        save_baseline([make_finding(line=10)], path)
+        moved = make_finding(line=200)
+        assert apply_baseline([moved], load_baseline(path)) == []
+
+    def test_multiplicity_respected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        save_baseline([make_finding(line=1)], path)
+        dup_a, dup_b = make_finding(line=1), make_finding(line=2)
+        # Two findings with the same key, baseline count 1 → one survives.
+        survivors = apply_baseline([dup_a, dup_b], load_baseline(path))
+        assert len(survivors) == 1
+
+    def test_different_rule_not_matched(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        save_baseline([make_finding(rule="RL011")], path)
+        other = make_finding(rule="RL012")
+        assert apply_baseline([other], load_baseline(path)) == [other]
+
+    def test_missing_baseline_is_config_error(self, tmp_path):
+        with pytest.raises(ConfigError):
+            load_baseline(tmp_path / "absent.json")
+
+    def test_invalid_json_is_config_error(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{broken", encoding="utf-8")
+        with pytest.raises(ConfigError):
+            load_baseline(path)
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "findings": []}), encoding="utf-8")
+        with pytest.raises(ConfigError):
+            load_baseline(path)
+
+    def test_baseline_file_deterministic(self, tmp_path):
+        findings = [make_finding(line=1), make_finding(rule="RL014", line=2)]
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        save_baseline(findings, a)
+        save_baseline(list(reversed(findings)), b)
+        assert a.read_bytes() == b.read_bytes()
