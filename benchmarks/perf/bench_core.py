@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Core performance microbenchmarks (``make bench-core``).
 
-Three benchmarks exercise the engine's hot paths and write their numbers
+Five benchmarks exercise the engine's hot paths and write their numbers
 to ``BENCH_core.json`` (committed at the repo root as the regression
 baseline):
 
@@ -12,10 +12,23 @@ baseline):
 ``resolve_heavy``
     The contention scenario the incremental resolver targets: miniMD at
     8 ranks/node on 4 of 16 Voltrino nodes with CPU, memory-bandwidth
-    and network anomalies plus 1 Hz monitoring.  Run twice — with the
-    incremental resolver disabled and enabled — asserting identical
-    simulated results and non-trivial reuse counters, reporting wall
-    time and speedup.
+    and network anomalies plus 1 Hz monitoring.  Run three ways — object
+    backend with the incremental resolver disabled and enabled, then the
+    array backend — asserting identical simulated results and
+    non-trivial reuse counters for each path.  The gate metric
+    (``runs_per_s``) tracks the array backend, the engine's fastest
+    supported configuration; ``object_runs_per_s`` keeps the scalar
+    path's trend alongside it.
+
+``waterfill_wide``
+    The vectorized max-min share solver on wide oversubscribed demand
+    vectors (the regime the array backend's network and memory stages
+    feed it), reported as solves/s.
+
+``same_timestamp_burst``
+    The calendar queue under the engine's batched-dispatch access
+    pattern: bursts of equal-timestamp events pushed and drained through
+    ``peek_time``/``pop_at``, reported as events/s.
 
 ``figure_end_to_end``
     One small end-to-end figure (the Varbench-style variability
@@ -48,6 +61,8 @@ from pathlib import Path
 THROUGHPUT_METRICS = {
     "engine_throughput": "events_per_s",
     "resolve_heavy": "runs_per_s",
+    "waterfill_wide": "solves_per_s",
+    "same_timestamp_burst": "events_per_s",
     "figure_end_to_end": "runs_per_s",
 }
 
@@ -87,14 +102,20 @@ def bench_engine_throughput(repeat: int) -> dict:
     }
 
 
-def _resolve_heavy_run(incremental: bool) -> tuple[float, float, dict]:
-    """One contention run; returns (wall seconds, app runtime, counters)."""
+def _resolve_heavy_run(
+    incremental: bool, backend: str | None = None
+) -> tuple[float, float, dict]:
+    """One contention run; returns (wall seconds, app runtime, counters).
+
+    ``backend`` selects the rate-model backend (``"object"`` /
+    ``"array"``); ``None`` keeps the ambient default (``REPRO_BACKEND``).
+    """
     from repro.apps import AppJob, get_app
     from repro.cluster import Cluster
     from repro.core import CpuOccupy, MemBw, NetOccupy
     from repro.monitoring import MetricService
 
-    cluster = Cluster.voltrino(num_nodes=16)
+    cluster = Cluster.voltrino(num_nodes=16, backend=backend)
     cluster.model.incremental = incremental
     service = MetricService(cluster)
     service.attach(end=1e6)
@@ -112,34 +133,155 @@ def _resolve_heavy_run(incremental: bool) -> tuple[float, float, dict]:
 
 
 def bench_resolve_heavy(repeat: int) -> dict:
-    """Incremental-resolver speedup on the mixed-anomaly scenario."""
-    full_s = incr_s = None
+    """Resolver speedups (incremental, then array) on the mixed-anomaly
+    scenario.  All three paths must simulate byte-identical results."""
+    full_s = incr_s = array_s = None
     for _ in range(repeat):
-        elapsed_full, runtime_full, _ = _resolve_heavy_run(incremental=False)
-        elapsed_incr, runtime_incr, counters = _resolve_heavy_run(incremental=True)
+        elapsed_full, runtime_full, _ = _resolve_heavy_run(
+            incremental=False, backend="object"
+        )
+        elapsed_incr, runtime_incr, counters = _resolve_heavy_run(
+            incremental=True, backend="object"
+        )
+        elapsed_array, runtime_array, counters_array = _resolve_heavy_run(
+            incremental=True, backend="array"
+        )
         if runtime_full != runtime_incr:
             raise AssertionError(
                 "incremental resolve changed simulated results: "
                 f"{runtime_incr!r} != {runtime_full!r}"
             )
+        if runtime_array != runtime_full:
+            raise AssertionError(
+                "array backend changed simulated results: "
+                f"{runtime_array!r} != {runtime_full!r}"
+            )
         full_s = elapsed_full if full_s is None else min(full_s, elapsed_full)
         incr_s = elapsed_incr if incr_s is None else min(incr_s, elapsed_incr)
+        array_s = elapsed_array if array_s is None else min(array_s, elapsed_array)
     for counter in ("nodes_reused", "flow_memo_hits", "reschedules_skipped"):
         if counters.get(counter, 0) <= 0:
             raise AssertionError(
                 f"incremental resolve did no work-avoidance: {counter} == 0"
             )
+    for counter in (
+        "array_resolves",
+        "vectorized_waterfills",
+        "stage1_memo_hits",
+        "network_memo_hits",
+        "nodes_reused",
+        "batched_events",
+        "reschedules_skipped",
+    ):
+        if counters_array.get(counter, 0) <= 0:
+            raise AssertionError(
+                f"array backend did no work-avoidance: {counter} == 0"
+            )
     return {
         "app_runtime_simulated_s": runtime_incr,
         "seconds_full": round(full_s, 4),
         "seconds_incremental": round(incr_s, 4),
+        "seconds_array": round(array_s, 4),
         "speedup": round(full_s / incr_s, 2),
-        "runs_per_s": round(1.0 / incr_s, 3),
+        "array_speedup": round(full_s / array_s, 2),
+        "runs_per_s": round(1.0 / array_s, 3),
+        "object_runs_per_s": round(1.0 / incr_s, 3),
         "counters": {
             key: value
             for key, value in sorted(counters.items())
             if not key.startswith("t_")
         },
+        "counters_array": {
+            key: value
+            for key, value in sorted(counters_array.items())
+            if not key.startswith("t_")
+        },
+    }
+
+
+def bench_waterfill_wide(repeat: int) -> dict:
+    """Vectorized max-min share solves on wide oversubscribed demands.
+
+    The array backend funnels every contended memory-bandwidth and
+    network allocation through :func:`waterfill`; this times it at the
+    widths a many-tenant node produces, after checking one case against
+    the scalar reference (a fast-but-wrong solver must not post a score).
+    """
+    import numpy as np
+
+    from repro.resources.fairshare import (
+        max_min_fair_share,
+        max_min_fair_share_reference,
+        waterfill,
+    )
+    from repro.sim.rng import spawn_rng
+
+    n, solves = 4096, 120
+    rng = spawn_rng(7, "bench:waterfill-wide")
+    demands = rng.uniform(0.0, 10.0, size=n)
+    capacity = 0.35 * float(demands.sum())
+    if max_min_fair_share(capacity, demands.tolist()) != (
+        max_min_fair_share_reference(capacity, demands.tolist())
+    ):
+        raise AssertionError("vectorized waterfill diverged from the reference")
+
+    cases = [np.roll(demands, k) for k in range(solves)]
+    best = None
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        for arr in cases:
+            waterfill(capacity, arr)
+        elapsed = time.perf_counter() - t0
+        best = elapsed if best is None else min(best, elapsed)
+    return {
+        "width": n,
+        "solves": solves,
+        "seconds": round(best, 4),
+        "solves_per_s": round(solves / best, 1),
+    }
+
+
+def bench_same_timestamp_burst(repeat: int) -> dict:
+    """Calendar queue under the engine's batched-dispatch pattern.
+
+    Bursts of equal-timestamp events (a barrier releasing a node's worth
+    of ranks at once) are pushed and drained through the exact
+    ``peek_time``/``pop_at`` sequence the engine's batched dispatch
+    uses; drain order is checked against the FIFO tie-break contract.
+    """
+    from repro.sim.events import CalendarQueue
+
+    timestamps, burst = 400, 64
+    events = timestamps * burst
+
+    def run() -> float:
+        queue = CalendarQueue()
+        fired: list[int] = []
+        t0 = time.perf_counter()
+        for ts in range(timestamps):
+            when = float(ts)
+            for i in range(burst):
+                queue.push(when, lambda i=i: fired.append(i))
+            now = queue.peek_time()
+            while True:
+                event = queue.pop_at(now)
+                if event is None:
+                    break
+                event.action()
+        elapsed = time.perf_counter() - t0
+        if fired != list(range(burst)) * timestamps:
+            raise AssertionError("burst drain violated the FIFO tie-break")
+        return elapsed
+
+    best = None
+    for _ in range(repeat):
+        elapsed = run()
+        best = elapsed if best is None else min(best, elapsed)
+    return {
+        "events": events,
+        "burst": burst,
+        "seconds": round(best, 4),
+        "events_per_s": round(events / best, 1),
     }
 
 
@@ -170,6 +312,8 @@ def run_benchmarks(repeat: int) -> dict:
         "benchmarks": {
             "engine_throughput": bench_engine_throughput(repeat),
             "resolve_heavy": bench_resolve_heavy(repeat),
+            "waterfill_wide": bench_waterfill_wide(repeat),
+            "same_timestamp_burst": bench_same_timestamp_burst(repeat),
             "figure_end_to_end": bench_figure_end_to_end(repeat),
         },
     }

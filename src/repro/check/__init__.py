@@ -42,6 +42,7 @@ from repro.check.invariants import (
 )
 from repro.check.oracles import (
     OracleResult,
+    oracle_array_backend,
     oracle_checkpoint_free,
     oracle_checkpoint_restart,
     oracle_parallel_sweep,
@@ -69,6 +70,7 @@ __all__ = [
     "generate_case",
     "generate_cases",
     "load_corpus",
+    "oracle_array_backend",
     "oracle_checkpoint_free",
     "oracle_checkpoint_restart",
     "oracle_parallel_sweep",

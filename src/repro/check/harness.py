@@ -79,9 +79,10 @@ def _run_case(
     incremental: bool = True,
     memoize: bool = True,
     checker: InvariantChecker | None = None,
+    backend: str | None = None,
 ) -> str:
     """Materialise, run, and fingerprint one case on a fresh cluster."""
-    cluster = build_cluster(spec)
+    cluster = build_cluster(spec, backend=backend)
     cluster.model.incremental = incremental
     if cluster.model.flow_solver is not None:
         cluster.model.flow_solver.memoize = memoize
@@ -234,7 +235,8 @@ def run_fuzz(
     ``jobs > 1`` fans the per-case evaluations out over worker processes
     (via :func:`repro.parallel.run_trials`, so results are identical for
     every job count).  ``with_oracles`` additionally runs the global
-    differential oracles — parallel-vs-serial sweep, checkpoint/restart
+    differential oracles — parallel-vs-serial sweep, array-vs-object
+    backend equivalence (replaying the pinned corpus), checkpoint/restart
     equivalence, and registry-vs-legacy CLI — which exercise machinery a
     single case cannot.
     """
@@ -250,7 +252,7 @@ def run_fuzz(
                 shrunk.append(shrink_failing(outcome.spec))
     oracle_results: list[oracle_mod.OracleResult] = []
     if with_oracles:
-        oracle_results.extend(oracle_mod.run_global_oracles(seed))
+        oracle_results.extend(oracle_mod.run_global_oracles(seed, corpus=corpus))
     return FuzzReport(
         seed=seed,
         generated=cases,

@@ -59,6 +59,40 @@ def oracle_parallel_sweep(seed: int, cases: int = 3, jobs: int = 2) -> OracleRes
     )
 
 
+# -- array backend vs object reference ----------------------------------------
+
+
+def oracle_array_backend(
+    seed: int, cases: int = 3, corpus: list | None = None
+) -> OracleResult:
+    """The numpy array backend must reproduce the object backend exactly.
+
+    Every case (the pinned corpus, when given, plus ``cases`` freshly
+    generated specs) runs twice on fresh clusters — once on the
+    dict-based reference model with the heap event queue, once on
+    :class:`~repro.cluster.ratemodel.ArrayRateModel` with the calendar
+    queue and batched dispatch — and the final fingerprints must match
+    byte-for-byte.  This is the oracle that licenses running production
+    sweeps with ``--backend array``.
+    """
+    from repro.check.harness import _run_case
+
+    specs = list(corpus or []) + generate_cases(cases, seed)
+    diverging = []
+    for spec in specs:
+        reference = _run_case(spec, backend="object")
+        vectorized = _run_case(spec, backend="array")
+        if reference != vectorized:
+            diverging.append(spec.case_id)
+    if not diverging:
+        return OracleResult("array_backend", True)
+    return OracleResult(
+        "array_backend",
+        False,
+        f"array backend diverges from object backend on cases {diverging}",
+    )
+
+
 # -- checkpoint/restart vs uninterrupted --------------------------------------
 
 
@@ -241,10 +275,16 @@ def oracle_registry_cli(seed: int = 0) -> OracleResult:
     )
 
 
-def run_global_oracles(seed: int) -> list[OracleResult]:
-    """The oracles a fuzz run always executes once, in a fixed order."""
+def run_global_oracles(seed: int, corpus: list | None = None) -> list[OracleResult]:
+    """The oracles a fuzz run always executes once, in a fixed order.
+
+    ``corpus`` (pinned :class:`CaseSpec` list, when the fuzz run has one)
+    is replayed through the array-backend oracle so backend equivalence
+    is pinned on exactly the cases CI replays.
+    """
     return [
         oracle_parallel_sweep(seed),
+        oracle_array_backend(seed, corpus=corpus),
         oracle_checkpoint_restart(seed),
         oracle_checkpoint_free(seed),
         oracle_registry_cli(seed),

@@ -40,6 +40,7 @@ an anomaly run.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -57,6 +58,28 @@ SUMMARY_METRICS = (
     "INST_RETIRED:ANY::spapiHASW",
     "LLC_MISSES::spapiHASW",
 )
+
+
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    from repro.sim.engine import BACKENDS
+
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=BACKENDS,
+        help="simulation core: 'object' (reference) or 'array' (numpy hot "
+        "path, identical results); default honours REPRO_BACKEND",
+    )
+
+
+def _apply_backend(args: argparse.Namespace) -> None:
+    """Propagate ``--backend`` to every cluster built below this command.
+
+    Exported through the environment rather than threaded through each
+    call chain so that worker processes (``--jobs``) inherit it too.
+    """
+    if getattr(args, "backend", None) is not None:
+        os.environ["REPRO_BACKEND"] = args.backend
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -127,6 +150,7 @@ def build_varbench_parser() -> argparse.ArgumentParser:
         help="worker processes for the repetitions (results are identical "
         "for every value; default 1 = serial)",
     )
+    _add_backend_argument(parser)
     return parser
 
 
@@ -135,6 +159,7 @@ def varbench_main(argv: list[str]) -> int:
     from repro.varbench import VariabilityReport
 
     args = build_varbench_parser().parse_args(argv)
+    _apply_backend(args)
     factory = (
         None if args.anomaly is None else (lambda a=args.anomaly: make_anomaly(a))
     )
@@ -247,6 +272,7 @@ def build_experiment_parser() -> argparse.ArgumentParser:
         help="print only the result table (no archive chatter; also "
         "silences the deprecated-alias warning)",
     )
+    _add_backend_argument(parser)
     return parser
 
 
@@ -258,6 +284,7 @@ def experiment_main(argv: list[str]) -> int:
     )
 
     args = build_experiment_parser().parse_args(argv)
+    _apply_backend(args)
     out = OutputWriter()
     if args.list or args.name is None:
         width = max(len(name) for name in EXPERIMENT_REGISTRY)

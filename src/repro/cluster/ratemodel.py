@@ -29,6 +29,8 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
+import numpy as np
+
 from repro.cache.model import (
     CacheDemand,
     cascade_miss_factor,
@@ -37,7 +39,7 @@ from repro.cache.model import (
 )
 from repro.memory.bandwidth import ShareFn, solve_bandwidth
 from repro.network.flows import FlowRequest, FlowSolver
-from repro.resources.fairshare import max_min_fair_share
+from repro.resources.fairshare import max_min_fair_share, waterfill
 from repro.sim.engine import RateModel
 from repro.sim.process import CACHE_LEVELS, IODemand, SimProcess
 from repro.sim.stats import SimStats
@@ -569,3 +571,1014 @@ _NODE_COUNTER = {
     "io_read_bytes": "io_read_bytes",
     "io_meta_ops": "io_meta_ops",
 }
+
+#: canonical column order of the model-owned per-process counter keys —
+#: disjoint from app-written keys (``cpu_seconds``, ``app_iterations``,
+#: ``charm_compute_seconds``), so the array backend can flush its columns
+#: by assignment without clobbering anything the app wrote directly
+_RATE_KEYS = tuple(_NODE_COUNTER)
+(_CPU, _MEM, _INSTR, _L2, _L3, _NIC, _IOW, _IOR, _IOM) = range(len(_RATE_KEYS))
+
+
+@dataclass
+class _ArrayNodeSolve:
+    """Array-backend stage-1 cache marker.
+
+    The values live in the model's persistent stage-1 arrays, so only the
+    tenancy (which pids, in which order) needs remembering to decide
+    whether those rows are still valid."""
+
+    pids: tuple[int, ...]
+
+
+@dataclass
+class _ArrayStage:
+    """Cached network-stage outcome in array form (rows into the model)."""
+
+    signature: tuple
+    rows: np.ndarray
+    ratios: np.ndarray
+    tx: np.ndarray
+    remote: dict[str, float]
+
+
+class _RunGroup:
+    """Structures derived from one running set, reused while it is stable.
+
+    The engine resolves thousands of times per simulated run against the
+    same ordered process list; everything here is a pure function of that
+    list, so rebuilding it per resolve is pure overhead.  ``sel`` is a
+    slice when the rows happen to be contiguous (the common case — rows
+    are handed out in spawn order), letting the per-resolve array ops use
+    basic indexing instead of fancy indexing."""
+
+    __slots__ = (
+        "pids",
+        "rows",
+        "rows_list",
+        "sel",
+        "by_node",
+        "node_pids",
+        "node_rows",
+        "pid_index",
+        "resolved",
+        "node_cells",
+        "core_cells",
+    )
+
+    def __init__(
+        self,
+        model: "ArrayRateModel",
+        pids: tuple[int, ...],
+        rows_list: list[int],
+        by_node: dict[str, list[SimProcess]],
+    ) -> None:
+        self.pids = pids
+        self.rows_list = rows_list
+        rows = np.asarray(rows_list, dtype=np.int64)
+        self.rows = rows
+        n = len(rows_list)
+        if n and rows_list == list(range(rows_list[0], rows_list[0] + n)):
+            self.sel: slice | np.ndarray = slice(rows_list[0], rows_list[0] + n)
+        else:
+            self.sel = rows
+        self.by_node = by_node
+        pid_row = model._pid_row
+        intern = model._node_rows_intern
+        node_pids: dict[str, tuple[int, ...]] = {}
+        node_rows: dict[str, tuple] = {}
+        for name, procs in by_node.items():
+            pids_t = tuple(p.pid for p in procs)
+            node_pids[name] = pids_t
+            quad = intern.get((name, pids_t))
+            if quad is None:
+                rows_py = [pid_row[p.pid] for p in procs]
+                quad = (
+                    np.asarray(rows_py, dtype=np.int64),
+                    rows_py,
+                    tuple(p.core for p in procs),
+                    model.cluster.node(name).spec,
+                )
+                intern[(name, pids_t)] = quad
+                if len(intern) > 4 * model.GROUP_CACHE_SIZE:
+                    del intern[next(iter(intern))]
+            node_rows[name] = quad
+        self.node_pids = node_pids
+        self.node_rows = node_rows
+        self.pid_index = {pid: i for i, pid in enumerate(pids)}
+        self.resolved = frozenset(pids)
+        self.node_cells = model._row_node[rows]
+        self.core_cells = model._row_corecell[rows]
+
+
+class ArrayRateModel(ClusterRateModel):
+    """Array-backed rate model: the engine's ``backend="array"`` hot path.
+
+    Produces **byte-identical** simulations to :class:`ClusterRateModel`
+    (the differential oracle in :mod:`repro.check` pins this across the
+    fuzz corpus) while replacing the per-event Python dict traffic with
+    flat numpy state:
+
+    * per-process speeds and the nine model-owned counter *rates* live in
+      contiguous arrays indexed by a pid→row slot table; a resolve writes
+      rows, not dicts;
+    * per-process and per-node counter *totals* live in matching arrays;
+      ``accrue`` is a handful of vectorized adds (``np.add.at`` applies
+      per-cell additions in running order, so every float lands exactly
+      as the scalar loop's would);
+    * counter dictionaries become a *view* refreshed by assignment at the
+      points where readers look: the monitoring tick
+      (:meth:`accrue_background` runs just before the sampler reads),
+      process end, and end of :meth:`~repro.sim.engine.Simulator.run`
+      (:meth:`sync_counters`);
+    * stage 1 resolves a dirty node's tenants in **one vectorized pass**
+      (:meth:`_solve_node_vectorized`): cache totals, SMT-coupled CPU
+      sharing, per-socket bandwidth degradation, and the roofline
+      composition are all elementwise/grouped array ops that reproduce
+      the scalar loop bit-for-bit; a content-addressed memo in front of
+      it (:meth:`_solve_node_memo`) reuses whole configurations — a
+      node's solve is a pure function of (spec, per-tenant ``(core,
+      segment demand)``), and synchronized ranks cycle a handful of
+      identical configurations;
+    * the network stage's memo signature is an array fingerprint — the
+      structural (pid, src, dst) tuple plus ``demands.tobytes()`` — used
+      three deep: an unchanged signature reuses the previous allocation
+      outright, a recurring one replays a cached stage from
+      ``_net_memo``, and only novel signatures reach
+      :meth:`FlowSolver.solve` (whose own memo is keyed the same way).
+
+    Exactness rules used throughout (see docs/PERFORMANCE.md): elementwise
+    numpy ops are IEEE-identical to the scalar ops they replace;
+    ``np.add.at`` accumulates strictly in index order; adding ``0.0`` to a
+    non-negative total is a bitwise no-op (which is why untouched rate
+    cells can ride along in the vectorized add); reductions that would
+    reassociate floating-point sums are never used on accumulated values.
+    """
+
+    #: distinct (spec, tenancy) stage-1 configurations kept.  Jittered
+    #: ranks desynchronize, so distinct tenancy configurations number in
+    #: the thousands on long contended runs; entries are four small
+    #: arrays, so a deep memo is cheap.
+    STAGE1_MEMO_SIZE = 4096
+    #: distinct network-stage signatures kept
+    NET_MEMO_SIZE = 256
+    #: distinct running-set configurations whose grouping is kept
+    GROUP_CACHE_SIZE = 256
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        cluster = self.cluster
+        nodes = list(cluster.nodes.values())
+        self._node_index = {node.name: i for i, node in enumerate(nodes)}
+        self._node_list = nodes
+        self._node_sizes = [
+            {lvl: node.spec.cache.size(lvl) for lvl in CACHE_LEVELS}
+            for node in nodes
+        ]
+        first = nodes[0]
+        node_keys = [k for k in first.counters if not k.startswith("cpu_core")]
+        self._node_cols = {k: j for j, k in enumerate(node_keys)}
+        self._node_key_list = node_keys
+        self._ncores = first.logical_cores
+        self._core_keys = [f"cpu_core{i}_seconds" for i in range(self._ncores)]
+        #: per-node counter totals (matching the nodes' dicts column-wise)
+        self._NC = np.array(
+            [[node.counters[k] for k in node_keys] for node in nodes], dtype=float
+        )
+        self._NCcore = np.array(
+            [[node.counters[k] for k in self._core_keys] for node in nodes],
+            dtype=float,
+        )
+        self._key_node_col = [
+            self._node_cols[_NODE_COUNTER[k]] for k in _RATE_KEYS
+        ]
+        self._key_node_col_arr = np.asarray(self._key_node_col, dtype=np.int64)
+        self._sys_col = self._node_cols["cpu_sys_seconds"]
+        self._rx_col = self._node_cols["nic_rx_bytes"]
+        self._noise_base = np.array(
+            [node.spec.os_noise_util * node.logical_cores for node in nodes],
+            dtype=float,
+        )
+        #: sampler-flush snapshots: cells equal to these are already in
+        #: the node dicts, so a flush only writes what changed
+        self._NC_flushed = self._NC.copy()
+        self._NCcore_flushed = self._NCcore.copy()
+        # pid → row slot table plus row-indexed state; capacity doubles on
+        # demand and rows are never recycled (pids are globally unique).
+        self._pid_row: dict[int, int] = {}
+        self._row_proc: list[SimProcess] = []
+        self._seg_key_list: list[int | None] = []
+        self._row_flows: list[tuple | None] = []
+        self._nrows = 0
+        self._alloc(64)
+        #: stage-1 configuration memo (content-addressed, see class doc)
+        self._stage1_cache: dict[tuple, tuple] = {}
+        #: per-spec stacked cache-level geometry (see ``_evict_levels``)
+        self._evict_geom: dict[int, tuple] = {}
+        #: per-node tenant quadruples keyed by (node, ordered pid tuple);
+        #: a node's tenant configuration is a pure function of that key
+        #: (rows and core pinning are fixed per pid), and recurs across
+        #: many distinct global running sets, so group (re)builds mostly
+        #: assemble interned entries
+        self._node_rows_intern: dict[tuple, tuple] = {}
+        #: segment-key interning table: memo keys carry small ints instead
+        #: of nested float tuples, so hashing them is integer work
+        self._seg_intern: dict[tuple, int] = {}
+        self._net_cache: _ArrayStage | None = None
+        #: network-stage memo (signature → folded stage outcome)
+        self._net_memo: dict[tuple, _ArrayStage] = {}
+        # flow-structure cache: rebuilt only when the set of flow-bearing
+        # rows (or any of their segments) changes
+        self._flow_rows_key: tuple | None = None
+        self._flow_rows_arr = np.zeros(0, dtype=np.int64)
+        self._flow_rates_arr = np.zeros(0)
+        self._flow_struct: tuple = ()
+        self._flow_token = -1
+        #: flow-structure interning table (structure tuple → token); the
+        #: per-resolve network signature carries the token so hashing it
+        #: does not re-walk the structure tuple
+        self._struct_intern: dict[tuple, int] = {}
+        self._flow_pairs: list[tuple[str, str]] = []
+        self._flow_ones = np.zeros(0)
+        self._flows_dirty = False
+        self._remote: dict[str, float] = {}
+        self._acc_rows = np.zeros(0, dtype=np.int64)
+        self._acc_sel: slice | np.ndarray = self._acc_rows
+        self._acc_node_cells = np.zeros(0, dtype=np.int64)
+        self._acc_core_cells = np.zeros(0, dtype=np.int64)
+        self._resolved_pids: frozenset[int] = frozenset()
+        self._last_pids: Sequence[int] = []
+        #: running-set grouping caches keyed by the ordered pid tuple —
+        #: barrier phases make the running set oscillate between a few
+        #: recurring configurations, so one entry per configuration
+        #: (FIFO-bounded) turns the per-resolve grouping into one lookup
+        self._group_cache: dict[tuple[int, ...], _RunGroup] = {}
+
+    # -- slot management ----------------------------------------------------
+
+    def _alloc(self, cap: int) -> None:
+        nkeys = len(_RATE_KEYS)
+
+        def grow(old, shape, dtype):
+            out = np.zeros(shape, dtype=dtype)
+            if old is not None:
+                out[: old.shape[0]] = old
+            return out
+
+        self._row_node = grow(getattr(self, "_row_node", None), cap, np.int64)
+        self._row_corecell = grow(getattr(self, "_row_corecell", None), cap, np.int64)
+        # node-local topology of the row's core (stage-1 group indices)
+        self._row_core = grow(getattr(self, "_row_core", None), cap, np.int64)
+        self._row_phys = grow(getattr(self, "_row_phys", None), cap, np.int64)
+        self._row_sib = grow(getattr(self, "_row_sib", None), cap, np.int64)
+        self._row_sock = grow(getattr(self, "_row_sock", None), cap, np.int64)
+        self._row_amp = grow(getattr(self, "_row_amp", None), cap, float)
+        self._seg_present = grow(getattr(self, "_seg_present", None), cap, bool)
+        self._seg_ips = grow(getattr(self, "_seg_ips", None), cap, float)
+        self._seg_mpki_base = grow(getattr(self, "_seg_mpki_base", None), cap, float)
+        self._seg_mpki_extra = grow(getattr(self, "_seg_mpki_extra", None), cap, float)
+        # stage-1 demand vector of the row's current segment (refreshed
+        # when the segment changes; footprints are inclusive-normalized)
+        self._seg_cpu = grow(getattr(self, "_seg_cpu", None), cap, float)
+        self._seg_int = grow(getattr(self, "_seg_int", None), cap, float)
+        self._seg_mcp = grow(getattr(self, "_seg_mcp", None), cap, float)
+        self._seg_bw = grow(getattr(self, "_seg_bw", None), cap, float)
+        self._seg_bwx = grow(getattr(self, "_seg_bwx", None), cap, float)
+        self._seg_fp1 = grow(getattr(self, "_seg_fp1", None), cap, float)
+        self._seg_fp2 = grow(getattr(self, "_seg_fp2", None), cap, float)
+        self._seg_fp3 = grow(getattr(self, "_seg_fp3", None), cap, float)
+        # stage-2/3 membership of the row's current segment
+        self._row_flow_mask = grow(getattr(self, "_row_flow_mask", None), cap, bool)
+        self._row_io_mask = grow(getattr(self, "_row_io_mask", None), cap, bool)
+        self._s1_speed = grow(getattr(self, "_s1_speed", None), cap, float)
+        self._s1_cpu = grow(getattr(self, "_s1_cpu", None), cap, float)
+        self._s1_mem = grow(getattr(self, "_s1_mem", None), cap, float)
+        self._mf = grow(getattr(self, "_mf", None), cap, float)
+        self._S = grow(getattr(self, "_S", None), cap, float)
+        self._R = grow(getattr(self, "_R", None), (cap, nkeys), float)
+        self._Tmask = grow(getattr(self, "_Tmask", None), (cap, nkeys), bool)
+        self._C = grow(getattr(self, "_C", None), (cap, nkeys), float)
+        self._Tc = grow(getattr(self, "_Tc", None), (cap, nkeys), bool)
+
+    def _row_for(self, proc: SimProcess) -> int:
+        row = self._pid_row.get(proc.pid)
+        if row is not None:
+            return row
+        if self._nrows == self._S.shape[0]:
+            self._alloc(2 * self._nrows)
+        row = self._nrows
+        self._nrows += 1
+        self._pid_row[proc.pid] = row
+        self._row_proc.append(proc)
+        self._seg_key_list.append(None)
+        self._row_flows.append(None)
+        ni = self._node_index[proc.node]
+        spec = self._node_list[ni].spec
+        self._row_node[row] = ni
+        self._row_corecell[row] = ni * self._ncores + proc.core
+        self._row_core[row] = proc.core
+        self._row_phys[row] = spec.physical_core_of(proc.core)
+        sibling = spec.sibling_of(proc.core)
+        self._row_sib[row] = -1 if sibling is None else sibling
+        self._row_sock[row] = spec.socket_of(proc.core)
+        self._row_amp[row] = spec.miss_amplification
+        counters = proc.counters
+        for col, key in enumerate(_RATE_KEYS):
+            if key in counters:
+                self._C[row, col] = counters[key]
+                self._Tc[row, col] = True
+        return row
+
+    # -- resolve ------------------------------------------------------------
+
+    def resolve_incremental(
+        self,
+        running: Sequence[SimProcess],
+        now: float,
+        dirty: frozenset[int] | None = None,
+    ) -> dict[int, float]:
+        if not self.incremental:
+            dirty = None
+        if dirty is None:
+            # Full resolve: forget everything so no stale stage survives.
+            # The stage-1 memo goes too — a forced full resolve signals
+            # that model inputs may have changed out-of-band.
+            self._node_cache.clear()
+            self._net_cache = None
+            self._io_cache = None
+            self._stage1_cache.clear()
+            self._net_memo.clear()
+        self.stats.count("array_resolves")
+        self._remote = {}
+
+        pids = tuple(p.pid for p in running)
+        group = self._group_cache.get(pids)
+        if group is not None:
+            # Known running set: rows, by-node grouping, and per-node pid
+            # tuples are all unchanged — only refresh dirty segments (plus
+            # any row whose segment is still unset, e.g. between phases).
+            # Grouping is a pure function of the ordered pid list, and a
+            # proc's node/core pinning is fixed for its lifetime, so a
+            # configuration revived after a barrier phase is still exact.
+            rows = group.rows
+            rows_list = group.rows_list
+            if dirty is None:
+                for i, proc in enumerate(running):
+                    self._refresh_segment(proc, rows_list[i])
+            else:
+                if dirty:
+                    pid_index = group.pid_index
+                    for pid in dirty:
+                        i = pid_index.get(pid)
+                        if i is not None:
+                            self._refresh_segment(running[i], rows_list[i])
+                present = self._seg_present[group.sel]
+                if not present.all():
+                    for i in np.nonzero(~present)[0].tolist():
+                        if pids[i] not in dirty:
+                            self._refresh_segment(running[i], rows_list[i])
+        else:
+            rows_list = []
+            by_node: dict[str, list[SimProcess]] = {}
+            for proc in running:
+                row = self._row_for(proc)
+                rows_list.append(row)
+                procs = by_node.get(proc.node)
+                if procs is None:
+                    by_node[proc.node] = [proc]
+                else:
+                    procs.append(proc)
+                if dirty is None or proc.pid in dirty or not self._seg_present[row]:
+                    self._refresh_segment(proc, row)
+            group = _RunGroup(self, pids, rows_list, by_node)
+            self._group_cache[pids] = group
+            if len(self._group_cache) > self.GROUP_CACHE_SIZE:
+                del self._group_cache[next(iter(self._group_cache))]
+            rows = group.rows
+            # Nodes only lose all tenants when the running set changes, so
+            # stale-entry cleanup belongs to the group rebuild.
+            for stale in [
+                name for name in self._node_cache if name not in by_node
+            ]:
+                del self._node_cache[stale]
+
+        node_pids = group.node_pids
+        node_rows = group.node_rows
+        for node_name, procs in group.by_node.items():
+            pids_t = node_pids[node_name]
+            cached = self._node_cache.get(node_name)
+            if (
+                cached is not None
+                and cached.pids == pids_t
+                and dirty is not None
+                and dirty.isdisjoint(pids_t)
+            ):
+                # Same tenants, same segments: the stage-1 rows are
+                # still exact.
+                self.stats.count("nodes_reused")
+                continue
+            self.stats.count("nodes_solved")
+            self._solve_node_memo(node_rows[node_name])
+            self._node_cache[node_name] = _ArrayNodeSolve(pids=pids_t)
+
+        sel = group.sel
+        if rows.size:
+            self._R[sel] = 0.0
+            self._Tmask[sel] = False
+            self._S[sel] = self._s1_speed[sel]
+            self._R[sel, _CPU] = self._s1_cpu[sel]
+            self._R[sel, _MEM] = self._s1_mem[sel]
+            self._Tmask[sel, _CPU] = True
+            self._Tmask[sel, _MEM] = True
+
+        # Fault-induced compute degradation: stage-1 rows always store
+        # *pre-fault* values, so the factor is applied uniformly on every
+        # resolve — cached and fresh rows alike (see ClusterRateModel).
+        # At this point the only materialized rates are the stage-1 pair,
+        # exactly the keys the scalar path scales.
+        faults = self.cluster.faults
+        if faults is not None and faults.active and rows.size:
+            node_factor = np.ones(len(self._node_index))
+            for name, i in self._node_index.items():
+                node_factor[i] = faults.speed_factor(name)
+            factor = node_factor[group.node_cells]
+            degraded = factor < 1.0
+            if degraded.any():
+                drows = rows[degraded]
+                f = factor[degraded]
+                self._S[drows] *= f
+                self._R[drows, _CPU] *= f
+                self._R[drows, _MEM] *= f
+
+        self._solve_network_array(rows[self._row_flow_mask[sel]].tolist())
+        self._solve_storage_array(rows[self._row_io_mask[sel]])
+        self._acc_rows = rows
+        self._acc_sel = sel
+        self._acc_node_cells = group.node_cells
+        self._acc_core_cells = group.core_cells
+        self._record_rates_array(rows)
+
+        self._Tc[sel] |= self._Tmask[sel]
+        self._resolved_pids = group.resolved
+        self._last_pids = pids
+        return dict(zip(pids, self._S[sel].tolist()))
+
+    @property
+    def last_rates(self) -> dict[int, dict[str, float]]:
+        """Per-pid accounting rates from the last resolve, materialized
+        on demand from the rate matrix (checker-facing view)."""
+        out: dict[int, dict[str, float]] = {}
+        for pid in self._last_pids:
+            row = self._pid_row[pid]
+            rates: dict[str, float] = {}
+            for col, key in enumerate(_RATE_KEYS):
+                if self._Tmask[row, col]:
+                    rates[key] = float(self._R[row, col])
+            out[pid] = rates
+        return out
+
+    def _refresh_segment(self, proc: SimProcess, row: int) -> None:
+        """Mirror the row's current segment into the demand arrays."""
+        seg = proc.current
+        old_flows = self._row_flows[row]
+        if seg is None:
+            self._seg_present[row] = False
+            self._row_flows[row] = None
+            self._row_flow_mask[row] = False
+            self._row_io_mask[row] = False
+            if old_flows is not None:
+                self._flows_dirty = True
+            return
+        self._seg_present[row] = True
+        self._seg_ips[row] = seg.ips
+        self._seg_mpki_base[row] = seg.mpki_base
+        self._seg_mpki_extra[row] = seg.mpki_extra
+        self._seg_cpu[row] = seg.cpu
+        self._seg_int[row] = seg.cache_intensity
+        self._seg_mcp[row] = seg.miss_cpi_penalty
+        self._seg_bw[row] = seg.mem_bw
+        self._seg_bwx[row] = seg.mem_bw_extra
+        fp = inclusive_footprints(
+            seg.cache_footprint, self._node_sizes[self._row_node[row]]
+        )
+        self._seg_fp1[row] = fp["L1"]
+        self._seg_fp2[row] = fp["L2"]
+        self._seg_fp3[row] = fp["L3"]
+        seg_key = self._segment_key(seg)
+        token = self._seg_intern.get(seg_key)
+        if token is None:
+            token = len(self._seg_intern)
+            self._seg_intern[seg_key] = token
+        self._seg_key_list[row] = token
+        flows = seg.flows if seg.flows else None
+        self._row_flows[row] = flows
+        self._row_flow_mask[row] = flows is not None
+        self._row_io_mask[row] = seg.io is not None
+        if flows is not None or old_flows is not None:
+            self._flows_dirty = True
+
+    # -- stage 1 with a configuration memo ----------------------------------
+
+    @staticmethod
+    def _segment_key(seg) -> tuple:
+        # Exactly the segment fields stage 1 reads; two segments agreeing
+        # on these produce bit-identical node solves.
+        return (
+            seg.cpu,
+            tuple(sorted(seg.cache_footprint.items())),
+            seg.cache_intensity,
+            seg.miss_cpi_penalty,
+            seg.mem_bw,
+            seg.mem_bw_extra,
+        )
+
+    def _solve_node_memo(self, node_rows: tuple) -> None:
+        """Stage-1 solve via the content-addressed configuration memo.
+
+        The solve is a pure function of the node's spec and the ordered
+        per-tenant ``(core, segment demand)`` vector — pids only label the
+        outputs — so identical configurations (synchronized ranks cycling
+        compute/comm phases) are served from the memo bit-for-bit.  The
+        memoized value is the vectorized solve's output quadruple
+        ``(speed, miss_factor, cpu_rate, mem_rate)`` — one array each,
+        aligned with the rows — scattered into the stage-1 arrays here.
+        Segment demand enters the key as its interned token (see
+        :meth:`_refresh_segment`), so key hashing is integer work.
+        """
+        rows, rows_py, cores, spec = node_rows
+        seg_keys = self._seg_key_list
+        key = (id(spec), cores, tuple(seg_keys[r] for r in rows_py))
+        hit = self._stage1_cache.get(key)
+        if hit is not None:
+            self.stats.count("stage1_memo_hits")
+        else:
+            self.stats.count("stage1_memo_misses")
+            hit = self._solve_node_vectorized(spec, rows)
+            if len(self._stage1_cache) >= self.STAGE1_MEMO_SIZE:
+                self._stage1_cache.pop(next(iter(self._stage1_cache)))
+            self._stage1_cache[key] = hit
+        speed, mf, cpu_rate, mem_rate = hit
+        self._s1_speed[rows] = speed
+        self._mf[rows] = mf
+        self._s1_cpu[rows] = cpu_rate
+        self._s1_mem[rows] = mem_rate
+
+    def _evict_levels(
+        self,
+        spec,
+        phys: np.ndarray,
+        sock: np.ndarray,
+        fp1: np.ndarray,
+        fp2: np.ndarray,
+        fp3: np.ndarray,
+        inten: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-tenant eviction fractions for all three cache levels.
+
+        The three per-level solves are independent (their cell groups are
+        disjoint), so they stack into one cell space — L1 cells ``[0,
+        P)``, L2 ``[P, 2P)``, L3 ``[2P, 2P+S)`` for ``P`` physical cores
+        and ``S`` sockets — and resolve in a single add.at/compare pass.
+        Group totals come from ``np.add.at`` (strictly sequential, and
+        riding-along ``0.0`` footprints cannot perturb a non-negative
+        running sum), so the fits/overflow decision lands on exactly the
+        bits the scalar ``solve_occupancy`` would see.  Groups that fit —
+        the overwhelmingly common case — are all-zero evictions by
+        definition; each oversubscribed group falls back to the scalar
+        weighted-fill solver on identical inputs, in ascending stacked
+        cell order — exactly the old L1-then-L2-then-L3,
+        ascending-cell-within-level order.
+        """
+        geom = self._evict_geom.get(id(spec))
+        if geom is None:
+            cache = spec.cache
+            p, s = spec.physical_cores, spec.sockets
+            caps = np.empty(2 * p + s)
+            caps[:p] = cache.size("L1")
+            caps[p : 2 * p] = cache.size("L2")
+            caps[2 * p :] = cache.size("L3")
+            geom = (p, caps)
+            self._evict_geom[id(spec)] = geom
+        p, caps = geom
+        gid = np.concatenate((phys, phys + p, sock + 2 * p))
+        fp = np.concatenate((fp1, fp2, fp3))
+        tot = np.zeros(caps.size)
+        np.add.at(tot, gid, fp)
+        ev = np.zeros(gid.size)
+        over = tot[gid] > caps[gid]
+        if over.any():
+            inten3 = np.concatenate((inten, inten, inten))
+            for cell in sorted(set(gid[over].tolist())):
+                idx = np.nonzero(gid == cell)[0]
+                res = solve_occupancy(
+                    float(caps[cell]),
+                    [
+                        CacheDemand(int(i), float(fp[i]), float(inten3[i]))
+                        for i in idx
+                    ],
+                    sharpness=self.cache_sharpness,
+                )
+                for i in idx.tolist():
+                    ev[i] = res[i].eviction
+        n = phys.size
+        return ev[:n], ev[n : 2 * n], ev[2 * n :]
+
+    def _solve_node_vectorized(self, spec, rows: np.ndarray) -> tuple:
+        """One node's stage-1 solve as a single vectorized pass.
+
+        Replays :meth:`ClusterRateModel._solve_node` with array ops whose
+        float sequence is identical to the scalar loop's (elementwise ops
+        are IEEE-identical, group sums use ``np.add.at`` in tenant order,
+        branchy scalar code becomes ``np.where`` with masked-safe
+        denominators), so the outputs match the reference bit-for-bit —
+        the property the array-backend oracle pins.
+        """
+        fp1 = self._seg_fp1[rows]
+        fp2 = self._seg_fp2[rows]
+        fp3 = self._seg_fp3[rows]
+        inten = self._seg_int[rows]
+        core = self._row_core[rows]
+        phys = self._row_phys[rows]
+        sib = self._row_sib[rows]
+        sock = self._row_sock[rows]
+
+        # Cache occupancy: L1/L2 contested per physical core, L3 per
+        # socket, all three levels solved in one stacked pass.
+        ev1, ev2, ev3 = self._evict_levels(spec, phys, sock, fp1, fp2, fp3, inten)
+
+        # cascade_miss_factor, vectorized: the dominant contribution counts
+        # fully, the other two at 30%.  IEEE addition commutes bitwise, so
+        # summing the two non-dominant terms in either order matches the
+        # scalar sorted()-based reduction exactly.
+        c1, c2, c3 = spec.cache_miss_cascade
+        ca = c1 * ev1
+        cb = c2 * ev2
+        cc = c3 * ev3
+        bc = np.maximum(cb, cc)
+        hi = np.maximum(ca, bc)
+        others = np.where(
+            ca >= bc, cb + cc, np.where(cb >= np.maximum(ca, cc), ca + cc, ca + cb)
+        )
+        mf = np.minimum(1.0, hi + 0.3 * others)
+
+        # CPU: processor sharing per logical core, SMT capacity coupling.
+        cpu = self._seg_cpu[rows]
+        cd = np.zeros(spec.logical_cores)
+        np.add.at(cd, core, cpu)
+        has_sib = sib >= 0
+        sib_util = np.where(
+            has_sib, np.minimum(1.0, cd[np.where(has_sib, sib, 0)]), 0.0
+        )
+        smt_capacity = 1.0 - (1.0 - spec.smt_throughput / 2.0) * sib_util
+        total = cd[core]
+        pos = cpu > 0.0
+        time_share = np.where(
+            pos, cpu * np.minimum(1.0, 1.0 / np.where(pos, total, 1.0)), 0.0
+        )
+        cpu_ratio = np.where(
+            pos, (time_share / np.where(pos, cpu, 1.0)) * smt_capacity, 1.0
+        )
+        cpi = 1.0 + self._seg_mcp[rows] * mf
+        compute_speed = cpu_ratio / cpi
+
+        # Memory bandwidth per socket: latency degradation elementwise,
+        # then the sharing discipline per socket group.  The max-min fast
+        # path is inlined on the same pairwise total the solver would
+        # compute; any other share_fn (ablations) gets the generic call.
+        corebw = spec.core_mem_bw
+        sockbw = spec.mem_bw_per_socket
+        alpha = spec.bw_latency_alpha
+        want = np.minimum(self._seg_bw[rows] + self._seg_bwx[rows] * mf, corebw)
+        totw = np.zeros(spec.sockets)
+        np.add.at(totw, sock, want)
+        other_load = np.maximum(0.0, totw[sock] - want) / sockbw
+        degraded = want / (1.0 + alpha * other_load)
+        grants = np.empty(rows.size)
+        inline_maxmin = self.share_fn is max_min_fair_share
+        for s in sorted(set(sock.tolist())):
+            idx = np.nonzero(sock == s)[0]
+            dem = degraded[idx]
+            if inline_maxmin:
+                grants[idx] = (
+                    dem if float(dem.sum()) <= sockbw else waterfill(sockbw, dem)
+                )
+            else:
+                grants[idx] = self.share_fn(sockbw, dem)
+        wpos = want > 0.0
+        mem_ratio = np.where(
+            wpos, np.minimum(1.0, grants / np.where(wpos, want, 1.0)), 1.0
+        )
+        phi = want / corebw
+        phi0 = np.minimum(self._seg_bw[rows], corebw) / corebw
+
+        # Roofline composition (see the scalar loop for the rationale).
+        baseline = np.maximum(1.0 - phi0, phi0)
+        slowdown = (
+            np.maximum((1.0 - phi0) / compute_speed, phi / mem_ratio) / baseline
+        )
+        speed = 1.0 / slowdown
+        mem_rate = phi * corebw * speed
+        return speed, mf, time_share, mem_rate
+
+    # -- stage 2: network ----------------------------------------------------
+
+    def _solve_network_array(self, flow_rows: list[int]) -> None:
+        if self.flow_solver is None:
+            return
+        if not flow_rows:
+            self._net_cache = None
+            return
+        # Rebuild the flow-structure arrays only when the set of
+        # flow-bearing rows changed or one of their segments refreshed;
+        # between changes a resolve just rescales cached per-flow rates.
+        key = tuple(flow_rows)
+        if self._flows_dirty or key != self._flow_rows_key:
+            rows_l: list[int] = []
+            rates: list[float] = []
+            struct: list[tuple] = []
+            pairs: list[tuple[str, str]] = []
+            for row in flow_rows:
+                proc = self._row_proc[row]
+                for flow in self._row_flows[row]:
+                    rows_l.append(row)
+                    rates.append(flow.rate)
+                    struct.append((proc.pid, proc.node, flow.dst))
+                    pairs.append((proc.node, flow.dst))
+            self._flow_rows_key = key
+            self._flow_rows_arr = np.asarray(rows_l, dtype=np.int64)
+            self._flow_rates_arr = np.asarray(rates)
+            struct_t = tuple(struct)
+            self._flow_struct = struct_t
+            token = self._struct_intern.get(struct_t)
+            if token is None:
+                token = len(self._struct_intern)
+                self._struct_intern[struct_t] = token
+            self._flow_token = token
+            self._flow_pairs = pairs
+            self._flow_ones = np.ones(len(rows_l))
+            self._flows_dirty = False
+        demands = self._flow_rates_arr * self._S[self._flow_rows_arr]
+        faults = self.cluster.faults
+        if faults is not None and faults.active:
+            nic = np.asarray(
+                [
+                    faults.nic_factor(src) * faults.nic_factor(dst)
+                    for src, dst in self._flow_pairs
+                ]
+            )
+        else:
+            nic = self._flow_ones
+        # Array fingerprint: interned structure token + raw demand/nic
+        # bytes (bytes objects cache their hash, so repeat signatures cost
+        # one int hash plus two cached-byte hashes).  The same key is
+        # handed to the flow solver so its memo (PR 2) is keyed on the
+        # fingerprint rather than a per-flow float tuple.
+        signature = (self._flow_token, nic.tobytes(), demands.tobytes())
+        cache = self._net_cache
+        if cache is not None and cache.signature == signature:
+            self.stats.count("network_stage_skips")
+            self._apply_net_stage(cache)
+            return
+        memo = self._net_memo if self.flow_solver.memoize else None
+        stage = memo.get(signature) if memo is not None else None
+        if stage is not None:
+            self.stats.count("network_memo_hits")
+        else:
+            self.stats.count("network_stage_solves")
+            requests = [
+                FlowRequest(key=k, src=src, dst=dst, demand=float(demand))
+                for k, ((pid, src, dst), demand) in enumerate(
+                    zip(self._flow_struct, demands)
+                )
+            ]
+            result = self.flow_solver.solve(requests, signature=signature)
+            worst: dict[int, float] = {}
+            tx: dict[int, float] = {}
+            remote: dict[str, float] = {}
+            nic_list = nic.tolist()
+            rows_list = self._flow_rows_arr.tolist()
+            for request, row, nic_k in zip(requests, rows_list, nic_list):
+                grant = result.grants[request.key] * nic_k
+                demand = request.demand
+                ratio = nic_k if demand <= 0 else min(1.0, grant / demand)
+                worst[row] = min(worst.get(row, 1.0), ratio)
+                tx[row] = tx.get(row, 0.0) + grant
+                remote[request.dst] = remote.get(request.dst, 0.0) + grant
+            stage = _ArrayStage(
+                signature=signature,
+                rows=np.fromiter(worst, dtype=np.int64, count=len(worst)),
+                ratios=np.fromiter(worst.values(), dtype=float, count=len(worst)),
+                tx=np.fromiter(
+                    (tx[row] for row in worst), dtype=float, count=len(worst)
+                ),
+                remote=remote,
+            )
+            if memo is not None:
+                if len(memo) >= self.NET_MEMO_SIZE:
+                    memo.pop(next(iter(memo)))
+                memo[signature] = stage
+        self._net_cache = stage
+        self._apply_net_stage(stage)
+
+    def _apply_net_stage(self, stage: _ArrayStage) -> None:
+        self._S[stage.rows] *= stage.ratios
+        self._R[stage.rows, _NIC] = stage.tx
+        self._Tmask[stage.rows, _NIC] = True
+        for dst, rate in stage.remote.items():
+            self._remote[dst] = self._remote.get(dst, 0.0) + rate
+
+    # -- stage 3: storage ----------------------------------------------------
+
+    def _solve_storage_array(self, io_rows: np.ndarray) -> None:
+        by_fs: dict[str, list[tuple[SimProcess, IODemand]]] = defaultdict(list)
+        for row in io_rows.tolist():
+            proc = self._row_proc[row]
+            io = proc.current.io
+            speed = float(self._S[row])
+            scaled = type(io)(
+                fs=io.fs,
+                write_bw=io.write_bw * speed,
+                read_bw=io.read_bw * speed,
+                meta_ops=io.meta_ops * speed,
+            )
+            by_fs[io.fs].append((proc, scaled))
+        obs = self.cluster.sim.obs
+        if obs is not None:
+            for fs_name in self.cluster.filesystems:
+                obs.window(
+                    ("io", fs_name),
+                    "storage",
+                    f"busy:{fs_name}",
+                    ("storage", fs_name),
+                    active=fs_name in by_fs,
+                )
+        if not by_fs:
+            self._io_cache = None
+            return
+        signature = (
+            tuple(
+                (p.pid, p.node, fs_name, io.write_bw, io.read_bw, io.meta_ops)
+                for fs_name, pairs in by_fs.items()
+                for p, io in pairs
+            ),
+            tuple(
+                (fs_name, self.cluster.filesystem(fs_name).health_revision)
+                for fs_name in sorted(by_fs)
+            ),
+        )
+        if self._io_cache is not None and self._io_cache.signature == signature:
+            self.stats.count("storage_stage_skips")
+            self._apply_io_stage(self._io_cache)
+            return
+        self.stats.count("storage_stage_solves")
+        ratios: dict[int, float] = {}
+        io_rates: dict[int, dict[str, float]] = {}
+        for fs_name, pairs in by_fs.items():
+            fs = self.cluster.filesystem(fs_name)
+            grants = fs.solve([(p.pid, p.node, io) for p, io in pairs])
+            for p, _ in pairs:
+                grant = grants[p.pid]
+                ratios[p.pid] = min(1.0, grant.ratio)
+                io_rates[p.pid] = {
+                    "io_write_bytes": grant.write_bw,
+                    "io_read_bytes": grant.read_bw,
+                    "io_meta_ops": grant.meta_ops,
+                }
+        self._io_cache = _StageSolve(signature=signature, ratios=ratios, rates=io_rates)
+        self._apply_io_stage(self._io_cache)
+
+    def _apply_io_stage(self, stage: _StageSolve) -> None:
+        for pid, ratio in stage.ratios.items():
+            self._S[self._pid_row[pid]] *= ratio
+        for pid, rates in stage.rates.items():
+            row = self._pid_row[pid]
+            self._R[row, _IOW] = rates["io_write_bytes"]
+            self._R[row, _IOR] = rates["io_read_bytes"]
+            self._R[row, _IOM] = rates["io_meta_ops"]
+            self._Tmask[row, _IOW] = True
+            self._Tmask[row, _IOR] = True
+            self._Tmask[row, _IOM] = True
+
+    # -- finalize ------------------------------------------------------------
+
+    def _record_rates_array(self, rows: np.ndarray) -> None:
+        if not rows.size:
+            return
+        # The resolve that just ran leaves its selector in _acc_sel; when
+        # every row has a live segment (the common case) the whole update
+        # runs on that selector — a slice for contiguous groups.
+        sel = self._acc_sel if rows is self._acc_rows else rows
+        present = self._seg_present[sel]
+        if present.all():
+            rr: slice | np.ndarray = sel
+        else:
+            rr = rows[present]
+            if not rr.size:
+                return
+        speed = self._S[rr]
+        ips = self._seg_ips[rr] * speed
+        mpki = self._row_amp[rr] * (
+            self._seg_mpki_base[rr] + self._seg_mpki_extra[rr] * self._mf[rr]
+        )
+        self._R[rr, _INSTR] = ips
+        self._R[rr, _L3] = mpki * ips / 1000.0
+        self._R[rr, _L2] = np.maximum(
+            self.L2_MISS_FACTOR * mpki * ips / 1000.0,
+            self._R[rr, _MEM] / 256.0,
+        )
+        self._Tmask[rr, _INSTR] = True
+        self._Tmask[rr, _L3] = True
+        self._Tmask[rr, _L2] = True
+
+    # -- accrual -------------------------------------------------------------
+
+    def accrue(self, running: Sequence[SimProcess], t0: float, t1: float) -> None:
+        dt = t1 - t0
+        rows = self._acc_rows
+        if rows.size != len(running) or (
+            rows.size and self._pid_row.get(running[0].pid, -1) != rows[0]
+        ):
+            # Running set drifted from the last resolve (only possible for
+            # un-resolved newcomers; any change marks the engine dirty and
+            # forces a resolve before the next accrue).
+            rows = np.asarray(
+                [
+                    self._pid_row[p.pid]
+                    for p in running
+                    if p.pid in self._resolved_pids
+                ],
+                dtype=np.int64,
+            )
+            sel: slice | np.ndarray = rows
+            node_cells = self._row_node[rows]
+            core_cells = self._row_corecell[rows]
+        else:
+            sel = self._acc_sel
+            node_cells = self._acc_node_cells
+            core_cells = self._acc_core_cells
+        if rows.size:
+            amounts = self._R[sel] * dt
+            self._C[sel] += amounts
+            # One fused scatter-add; C-order iteration is per-process,
+            # per-key — and because _NODE_COUNTER maps rate keys to node
+            # counters injectively, each target cell still receives its
+            # contributions in process order, bit-identical to the scalar
+            # per-process loop.
+            np.add.at(
+                self._NC,
+                (node_cells[:, None], self._key_node_col_arr[None, :]),
+                amounts,
+            )
+            np.add.at(
+                self._NCcore.reshape(-1),
+                core_cells,
+                amounts[:, _CPU],
+            )
+        for node_name, rate in self._remote.items():
+            self._NC[self._node_index[node_name], self._rx_col] += rate * dt
+
+    def accrue_background(self, dt: float) -> None:
+        """OS noise accounting plus the pre-sampler counter flush."""
+        self._NC[:, self._sys_col] += self._noise_base * dt
+        self._flush_nodes()
+
+    # -- counter flushes -----------------------------------------------------
+
+    def _flush_proc_row(self, proc: SimProcess, row: int) -> None:
+        counters = proc.counters
+        for col, key in enumerate(_RATE_KEYS):
+            if self._Tc[row, col]:
+                counters[key] = float(self._C[row, col])
+
+    def _flush_nodes(self) -> None:
+        """Write array-held node counters back to the node dicts.
+
+        Cells equal to the last-flushed snapshot are already current in
+        the dicts (this model is the only writer of these keys), so only
+        the delta is materialized — the sampler tick touches a handful of
+        cells, not every counter on every node.
+        """
+        nodes = self._node_list
+        changed = np.nonzero(self._NC != self._NC_flushed)
+        if changed[0].size:
+            keys = self._node_key_list
+            for i, j in zip(changed[0].tolist(), changed[1].tolist()):
+                nodes[i].counters[keys[j]] = float(self._NC[i, j])
+            np.copyto(self._NC_flushed, self._NC)
+        changed = np.nonzero(self._NCcore != self._NCcore_flushed)
+        if changed[0].size:
+            keys = self._core_keys
+            for i, c in zip(changed[0].tolist(), changed[1].tolist()):
+                nodes[i].counters[keys[c]] = float(self._NCcore[i, c])
+            np.copyto(self._NCcore_flushed, self._NCcore)
+
+    def sync_counters(self) -> None:
+        for proc, row in zip(self._row_proc, range(self._nrows)):
+            self._flush_proc_row(proc, row)
+        self._flush_nodes()
+
+    def on_process_end(self, proc: SimProcess) -> None:
+        row = self._pid_row.get(proc.pid)
+        if row is not None:
+            self._flush_proc_row(proc, row)
+        super().on_process_end(proc)

@@ -74,6 +74,13 @@ class LintConfig:
     # mutated at runtime (RL013): observability counters, the attached
     # checker hook and the memo dict itself never change the result.
     flow_memo_state_allowed: tuple[str, ...] = ("stats", "check", "obs", "_solve_cache")
+    # Instance attributes whose contents are content-addressed by an
+    # interned token or array fingerprint that *does* appear in the cache
+    # key (RL013): the attribute and the key token are written together,
+    # so a memo hit implies identical contents.  The linter trusts the
+    # declared pairing; the array-vs-object differential oracle enforces
+    # it at runtime.
+    flow_memo_derived_state: tuple[str, ...] = ()
     # Optional hook attributes that must be None-guarded (RL015).
     flow_guard_hooks: tuple[str, ...] = ("obs", "check")
     # Packages where the zero-cost guard pattern is mandatory (RL015).

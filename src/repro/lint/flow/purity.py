@@ -67,7 +67,11 @@ class MemoImpurityRule(FlowRule):
         if cinfo is None:
             return
         key_attrs = self._key_attrs(fn)
-        allowed = set(self.config.flow_memo_state_allowed) | key_attrs
+        allowed = (
+            set(self.config.flow_memo_state_allowed)
+            | set(self.config.flow_memo_derived_state)
+            | key_attrs
+        )
         # The whole computation: the memoized entry point plus every
         # same-class method reachable from it.
         region = [
@@ -118,21 +122,58 @@ class MemoImpurityRule(FlowRule):
 
     @staticmethod
     def _key_attrs(fn: FunctionInfo) -> set[str]:
-        """``self.<attr>`` names mentioned in the cache-key expression."""
-        attrs: set[str] = set()
-        for node in ast.walk(fn.node):
-            if not isinstance(node, ast.Assign):
-                continue
-            names = [t.id for t in node.targets if isinstance(t, ast.Name)]
-            if not any(name in _KEY_NAMES for name in names):
-                continue
-            for sub in ast.walk(node.value):
+        """``self.<attr>`` names the cache-key expression depends on.
+
+        Array-fingerprint keys rarely name their state directly: the
+        idiom is ``demands = self._rates[rows] * self._S[rows]`` followed
+        by ``signature = (token, demands.tobytes())`` — the attribute
+        reads hide behind locals that feed the fingerprint.  A fixpoint
+        over the function's simple local assignments propagates
+        self-attribute provenance through those locals (including
+        aliases like ``seg_keys = self._seg_key_list``), so every
+        attribute whose *contents* reach the key bytes counts as
+        key-covered.  The closure is flow-insensitive (both arms of a
+        branch contribute), which errs toward treating state as covered
+        — acceptable for a WARNING-severity rule whose ground truth is
+        the runtime differential oracle.
+        """
+        assigns = [
+            node for node in ast.walk(fn.node) if isinstance(node, ast.Assign)
+        ]
+
+        def reads(expr: ast.AST, local_attrs: dict[str, set[str]]) -> set[str]:
+            found: set[str] = set()
+            for sub in ast.walk(expr):
                 if (
                     isinstance(sub, ast.Attribute)
                     and isinstance(sub.value, ast.Name)
                     and sub.value.id == "self"
                 ):
-                    attrs.add(sub.attr)
+                    found.add(sub.attr)
+                elif isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+                    found |= local_attrs.get(sub.id, set())
+            return found
+
+        local_attrs: dict[str, set[str]] = {}
+        changed = True
+        while changed:
+            changed = False
+            for node in assigns:
+                names = [t.id for t in node.targets if isinstance(t, ast.Name)]
+                if not names:
+                    continue
+                attrs = reads(node.value, local_attrs)
+                for name in names:
+                    known = local_attrs.setdefault(name, set())
+                    if not attrs <= known:
+                        known |= attrs
+                        changed = True
+
+        attrs: set[str] = set()
+        for node in assigns:
+            names = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if any(name in _KEY_NAMES for name in names):
+                attrs |= reads(node.value, local_attrs)
         return attrs
 
 

@@ -40,6 +40,16 @@ class Sampler(ABC):
         """Fully-qualified metric names this sampler emits."""
         return [f"{m}::{self.name}" for m in self.raw_metric_names()]
 
+    def counter_keys(self) -> tuple[str, ...] | None:
+        """Node counters this sampler reads from ``delta``, or ``None``.
+
+        When every attached sampler declares its keys, the metric service
+        computes per-tick deltas only for their union instead of every
+        counter on the node; ``None`` (the default) keeps the
+        full-delta behaviour for samplers that inspect arbitrary keys.
+        """
+        return None
+
     @abstractmethod
     def raw_metric_names(self) -> list[str]: ...
 
@@ -56,6 +66,9 @@ class ProcstatSampler(Sampler):
 
     name = "procstat"
 
+    def counter_keys(self) -> tuple[str, ...]:
+        return ("cpu_user_seconds", "cpu_sys_seconds")
+
     def raw_metric_names(self) -> list[str]:
         return ["user", "sys", "idle"]
 
@@ -71,6 +84,9 @@ class MeminfoSampler(Sampler):
 
     name = "meminfo"
     gauge = True
+
+    def counter_keys(self) -> tuple[str, ...]:
+        return ()
 
     def raw_metric_names(self) -> list[str]:
         return ["MemTotal", "MemFree", "MemUsed", "Active"]
@@ -89,6 +105,9 @@ class VmstatSampler(Sampler):
     """Paging/free-page metrics from /proc/vmstat."""
 
     name = "vmstat"
+
+    def counter_keys(self) -> tuple[str, ...]:
+        return ("io_read_bytes", "io_write_bytes")
 
     def raw_metric_names(self) -> list[str]:
         return ["nr_free_pages", "pgpgin", "pgpgout"]
@@ -110,6 +129,9 @@ class PapiSampler(Sampler):
 
     name = "spapiHASW"
 
+    def counter_keys(self) -> tuple[str, ...]:
+        return ("instructions", "l2_misses", "l3_misses")
+
     def raw_metric_names(self) -> list[str]:
         return ["INST_RETIRED:ANY", "L2_RQSTS:MISS", "LLC_MISSES"]
 
@@ -125,6 +147,9 @@ class AriesNicSampler(Sampler):
     """Aries NIC machine registers (flit counters), as rates per second."""
 
     name = "aries_nic_mmr"
+
+    def counter_keys(self) -> tuple[str, ...]:
+        return ("nic_tx_bytes", "nic_rx_bytes")
 
     def raw_metric_names(self) -> list[str]:
         return [
@@ -155,6 +180,11 @@ class PerCoreProcstatSampler(Sampler):
 
     def __init__(self, logical_cores: int) -> None:
         self.logical_cores = logical_cores
+
+    def counter_keys(self) -> tuple[str, ...]:
+        return tuple(
+            f"cpu_core{core}_seconds" for core in range(self.logical_cores)
+        )
 
     def raw_metric_names(self) -> list[str]:
         return [f"user{core}" for core in range(self.logical_cores)]

@@ -49,9 +49,30 @@ class MetricService:
         self.data: dict[str, dict[str, list[float]]] = {
             name: {} for name in cluster.nodes
         }
-        self._last_counters: dict[str, dict[str, float]] = {
-            name: dict(node.counters) for name, node in cluster.nodes.items()
-        }
+        # When every sampler declares the counters it reads, per-tick
+        # deltas cover only their union; a single None falls back to
+        # delta-ing every counter on the node.
+        keys: set[str] | None = set()
+        for sampler in self.samplers:
+            declared = sampler.counter_keys()
+            if declared is None:
+                keys = None
+                break
+            keys.update(declared)
+        self._delta_keys: tuple[str, ...] | None = (
+            None if keys is None else tuple(sorted(keys))
+        )
+        if self._delta_keys is None:
+            self._last_counters = {
+                name: dict(node.counters) for name, node in cluster.nodes.items()
+            }
+        else:
+            self._last_counters = {
+                name: {
+                    key: node.counters.get(key, 0.0) for key in self._delta_keys
+                }
+                for name, node in cluster.nodes.items()
+            }
         self._last_time: float | None = None
         self._handle = None
 
@@ -81,13 +102,18 @@ class MetricService:
         # `sys::procstat` shows the jitter floor.
         self.cluster.model.accrue_background(dt)
         self.times.append(now)
+        keys = self._delta_keys
         for name, node in self.cluster.nodes.items():
             last = self._last_counters[name]
+            counters = node.counters
+            if keys is None:
+                current = {key: counters.get(key, 0.0) for key in counters}
+            else:
+                current = {key: counters.get(key, 0.0) for key in keys}
             delta = {
-                key: node.counters.get(key, 0.0) - last.get(key, 0.0)
-                for key in node.counters
+                key: value - last.get(key, 0.0) for key, value in current.items()
             }
-            self._last_counters[name] = dict(node.counters)
+            self._last_counters[name] = current
             store = self.data[name]
             for sampler in self.samplers:
                 values = sampler.sample(node, delta, dt)

@@ -22,6 +22,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.errors import ResourceError
 from repro.network.topology import NetworkTopology
 from repro.sim.stats import SimStats
@@ -119,6 +121,10 @@ class FlowSolver:
         #: fabric whose links never fully saturate (paper Fig. 6).
         self.latency_alpha = latency_alpha
         self._path_cache: dict[tuple[str, str], list[list[Edge]]] = {}
+        #: per-edge capacity memo over the immutable topology; the solver
+        #: reads capacities hundreds of times per solve and the networkx
+        #: edge-view lookup dominates without it
+        self._cap_cache: dict[Edge, float] = {}
         #: memo of full solves keyed by the canonical request signature
         self._solve_cache: dict[tuple, FlowResult] = {}
         #: per-(src, dst) converged split fractions from the last solve
@@ -126,7 +132,9 @@ class FlowSolver:
 
     # -- public -----------------------------------------------------------
 
-    def solve(self, flows: list[FlowRequest]) -> FlowResult:
+    def solve(
+        self, flows: list[FlowRequest], signature: tuple | None = None
+    ) -> FlowResult:
         """Grant bandwidth to every flow; grants are keyed by ``flow.key``.
 
         Keys must be unique per request: a process with several concurrent
@@ -137,7 +145,13 @@ class FlowSolver:
         Solves are memoised on the canonical signature of the request list
         — the tuple of ``(key, src, dst, demand)`` per flow — because the
         cluster rate model re-prices the network with an identical demand
-        set whenever a resolve leaves flow owners untouched.
+        set whenever a resolve leaves flow owners untouched.  A caller
+        that already holds the request set in arrays may pass a
+        precomputed ``signature`` (e.g. structural key plus
+        ``demands.tobytes()``, the array-backend fingerprint); it must
+        determine ``(key, src, dst, demand)`` for every flow exactly as
+        the default tuple does, or the memo would conflate distinct
+        request sets.
         """
         if not flows:
             return FlowResult(grants={})
@@ -145,7 +159,8 @@ class FlowSolver:
         if len(set(keys)) != len(keys):
             raise ResourceError("flow keys must be unique per solve")
 
-        signature = tuple((f.key, f.src, f.dst, f.demand) for f in flows)
+        if signature is None:
+            signature = tuple((f.key, f.src, f.dst, f.demand) for f in flows)
         cached = self._solve_cache.get(signature) if self.memoize else None
         if cached is not None:
             self.stats.count("flow_memo_hits")
@@ -195,7 +210,7 @@ class FlowSolver:
                 worst = 0.0
                 for sub in subs:
                     for e in sub.edges:
-                        cap = self.topology.capacity(*e)
+                        cap = self._capacity(e)
                         other = max(0.0, granted_loads.get(e, 0.0) - own[e])
                         worst = max(worst, other / cap)
                 factor = 1.0 / (1.0 + self.latency_alpha * worst)
@@ -236,6 +251,14 @@ class FlowSolver:
             if fractions is not None and len(fractions) == n_paths:
                 return [flow.demand * fraction for fraction in fractions]
         return [flow.demand / n_paths] * n_paths
+
+    def _capacity(self, edge: Edge) -> float:
+        # A pure memo over the immutable topology, like _path_cache.
+        cap = self._cap_cache.get(edge)  # repro-lint: disable=RL013
+        if cap is None:
+            cap = self.topology.capacity(*edge)
+            self._cap_cache[edge] = cap
+        return cap
 
     def _paths(self, src: str, dst: str) -> list[list[Edge]]:
         cache_key = (src, dst)
@@ -279,7 +302,7 @@ class FlowSolver:
                 # traffic (its own contribution removed).
                 worst = 0.0
                 for edge in sub.edges:
-                    cap = self.topology.capacity(*edge)
+                    cap = self._capacity(edge)
                     other = loads.get(edge, 0.0) - sub.demand
                     worst = max(worst, other / cap)
                 congestions.append(worst)
@@ -293,7 +316,87 @@ class FlowSolver:
                     loads[edge] = loads.get(edge, 0.0) + sub.demand
 
     def _max_min(self, subflows: list[_SubFlow]) -> None:
-        """Demand-capped max-min fair rates over all links (water filling)."""
+        """Demand-capped max-min fair rates over all links (water filling).
+
+        Vectorized: crossing counts come from one boolean incidence matrix
+        reduction per round instead of a per-edge membership scan, so a
+        round costs O(subflows × edges) numpy work rather than O(subflows
+        × edges) Python-loop work.  Bit-identical to
+        :meth:`_max_min_reference` — every float op (link shares, the
+        water level, the residual drains) is the same scalar IEEE op in
+        the same order; only integer counting and candidate selection are
+        batched.  The bottleneck tie-break (lowest share, then
+        lexicographically smallest edge) survives because the edge columns
+        are built sorted, so "first column at the minimum share" is
+        exactly ``min(link_share, key=...)``.
+        """
+        if not subflows:
+            return
+        n = len(subflows)
+        edge_list = sorted({e for sub in subflows for e in sub.edges})
+        m = len(edge_list)
+        col = {e: j for j, e in enumerate(edge_list)}
+        caps = np.array(
+            [self._capacity(e) for e in edge_list], dtype=float
+        )
+        demand = np.array([s.demand for s in subflows], dtype=float)
+        inc = np.zeros((n, m), dtype=bool)
+        sub_cols: list[list[int]] = []
+        for i, sub in enumerate(subflows):
+            cols_i = [col[e] for e in sub.edges]
+            sub_cols.append(cols_i)
+            inc[i, cols_i] = True
+
+        rate = np.zeros(n)
+        fixed = demand <= 0.0
+        residual = caps.copy()
+        self.stats.count("vectorized_waterfills")
+
+        converged = False
+        for _ in range(n + m + 1):
+            unfixed = ~fixed
+            if not unfixed.any():
+                converged = True
+                break
+            # Fair share offered by each link to its unfixed subflows.
+            crossing = inc[unfixed].sum(axis=0)
+            has_crossing = crossing > 0
+            if not has_crossing.any():
+                rate[unfixed] = demand[unfixed]  # no constrained links
+                fixed[:] = True
+                converged = True
+                break
+            share = residual[has_crossing] / crossing[has_crossing]
+            level = float(share.min())
+            # Subflows whose demand is below the current water level are
+            # satisfied outright; otherwise fix flows crossing the tightest
+            # link at the fair share.
+            newly = unfixed & (demand <= level + 1e-12)
+            if newly.any():
+                rate[newly] = demand[newly]
+            else:
+                candidates = np.flatnonzero(has_crossing)
+                bottleneck = int(candidates[int(np.argmax(share == level))])
+                newly = unfixed & inc[:, bottleneck]
+                rate[newly] = level
+            fixed |= newly
+            for i in np.flatnonzero(newly):
+                granted = float(rate[i])
+                for j in sub_cols[i]:
+                    residual[j] = max(0.0, float(residual[j]) - granted)
+        if not converged:
+            raise ResourceError("max-min water filling failed to converge")
+        for sub, sub_rate, sub_fixed in zip(subflows, rate, fixed):
+            sub.rate = float(sub_rate)
+            sub.fixed = bool(sub_fixed)
+
+    def _max_min_reference(self, subflows: list[_SubFlow]) -> None:
+        """Scalar reference for :meth:`_max_min` (PR 1 semantics).
+
+        Kept as the ground truth the vectorized water filling is tested
+        against (``tests/network/test_flows_vectorized.py`` pins exact
+        float equality); do not call it from production paths.
+        """
         for sub in subflows:
             sub.rate = 0.0
             sub.fixed = sub.demand <= 0.0
@@ -316,9 +419,6 @@ class FlowSolver:
                     sub.fixed = True
                 return
             bottleneck_rate = min(link_share.values())
-            # Subflows whose demand is below the current water level are
-            # satisfied outright; otherwise fix flows crossing the tightest
-            # link at the fair share.
             demand_limited = [s for s in unfixed if s.demand <= bottleneck_rate + 1e-12]
             if demand_limited:
                 fixed_now = demand_limited

@@ -46,6 +46,10 @@ def max_min_fair_share(capacity: float, demands: Sequence[float]) -> list[float]
     * the grants sum to ``min(capacity, sum(demands))``,
     * any unsatisfied demand receives at least as much as every other
       demand's grant (max-min fairness).
+
+    Bit-for-bit equal to :func:`max_min_fair_share_reference` (the scalar
+    loop it replaced); ``tests/resources/test_fairshare_vectorized.py``
+    pins that equality on random cases.
     """
     arr = _validate(capacity, demands)
     n = arr.size
@@ -54,11 +58,57 @@ def max_min_fair_share(capacity: float, demands: Sequence[float]) -> list[float]
     total = float(arr.sum())
     if total <= capacity:
         return [float(d) for d in arr]
-    # Sorted waterfilling: visit demands in ascending order; a demand that
-    # fits under the current equal share is granted fully, and the first
-    # one that does not caps itself and everyone after it at the share.
-    # Exact in one pass — no tolerance thresholds, so the invariants hold
-    # at any magnitude (the iterative variant drifted at ~1e12 scales).
+    return [float(g) for g in waterfill(capacity, arr)]
+
+
+def waterfill(capacity: float, arr: np.ndarray) -> np.ndarray:
+    """Vectorized sorted waterfilling over an oversubscribed demand array.
+
+    Callers must have checked ``sum(arr) > capacity`` (otherwise the
+    all-satisfied fast path applies).  Visits demands in ascending order;
+    a demand that fits under the current equal share is granted fully, and
+    the first one that does not caps itself and everyone after it at the
+    share.  Exact in one pass — no tolerance thresholds, so the invariants
+    hold at any magnitude (the iterative variant drifted at ~1e12 scales).
+
+    Every float op mirrors the scalar loop: the running remainders come
+    from ``np.subtract.accumulate`` (strictly sequential, unlike
+    ``np.sum``'s pairwise order), each level is one division, and the
+    first unsatisfied position is found on exactly those values — so the
+    grants are bit-identical to the scalar reference.
+    """
+    n = arr.size
+    order = np.argsort(arr, kind="stable")
+    s = arr[order]
+    # remaining[k] = capacity - s[0] - ... - s[k-1], the water level's
+    # numerator right before visiting position k.
+    remaining = np.subtract.accumulate(np.concatenate(((capacity,), s)))[:-1]
+    levels = remaining / np.arange(n, 0, -1, dtype=float)
+    unsat = s > levels
+    granted = s.copy()
+    if unsat.any():
+        k = int(np.argmax(unsat))
+        granted[k:] = levels[k]
+    grants = np.empty(n)
+    grants[order] = granted
+    return grants
+
+
+def max_min_fair_share_reference(
+    capacity: float, demands: Sequence[float]
+) -> list[float]:
+    """Scalar reference for :func:`max_min_fair_share` (PR 1 semantics).
+
+    Kept as the ground truth the vectorized implementation is tested
+    against; do not call it from production paths.
+    """
+    arr = _validate(capacity, demands)
+    n = arr.size
+    if n == 0:
+        return []
+    total = float(arr.sum())
+    if total <= capacity:
+        return [float(d) for d in arr]
     grants = np.zeros(n)
     remaining = float(capacity)
     order = np.argsort(arr, kind="stable")

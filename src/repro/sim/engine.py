@@ -17,12 +17,13 @@ duration.
 from __future__ import annotations
 
 import math
+import os
 from abc import ABC, abstractmethod
 from collections import deque
 from typing import Callable, Sequence
 
-from repro.errors import ProcessCrash, SimulationError
-from repro.sim.events import Event, EventQueue
+from repro.errors import ConfigError, ProcessCrash, SimulationError
+from repro.sim.events import CalendarQueue, Event, EventQueue
 from repro.sim.stats import SimStats
 from repro.sim.process import (
     Condition,
@@ -38,6 +39,21 @@ MAX_EVENTS = 20_000_000
 
 #: Slack used when clamping residual work after float round-off.
 _EPS = 1e-9
+
+#: Engine backends (see :class:`Simulator`); the environment variable
+#: ``REPRO_BACKEND`` overrides the default for a whole run (the CI matrix
+#: uses it to run the entire test suite on the array backend).
+BACKENDS = ("object", "array")
+
+
+def default_backend() -> str:
+    """The backend used when a Simulator/Cluster does not pin one."""
+    backend = os.environ.get("REPRO_BACKEND", "object")
+    if backend not in BACKENDS:
+        raise ConfigError(
+            f"REPRO_BACKEND must be one of {BACKENDS}, got {backend!r}"
+        )
+    return backend
 
 
 class RateModel(ABC):
@@ -88,6 +104,14 @@ class RateModel(ABC):
     def on_process_end(self, proc: SimProcess) -> None:
         """Hook called when a process finishes or is killed (cleanup)."""
 
+    def sync_counters(self) -> None:
+        """Flush any internally-buffered usage counters to their dicts.
+
+        Models that accumulate counters in flat arrays (the array backend)
+        override this; the engine calls it whenever :meth:`Simulator.run`
+        returns so post-run readers always see up-to-date dictionaries.
+        """
+
 
 class UnitRateModel(RateModel):
     """Trivial model: every segment runs at full speed (used in tests)."""
@@ -125,10 +149,27 @@ class Simulator:
         The :class:`RateModel` that prices resource contention.  Defaults
         to :class:`UnitRateModel` (no contention), which is useful for unit
         tests of process logic.
+    backend:
+        ``"object"`` (default) is the reference path: a heap event queue
+        and one rate resolve per dispatched event.  ``"array"`` selects
+        the performance path: a calendar queue plus *batched dispatch* —
+        all events sharing a timestamp run in one batch with a single
+        rate resolve at the end (simultaneous events cannot accrue work
+        between each other, so the collapsed resolve is state-identical;
+        the ``repro check`` backend oracle pins byte-equality).  ``None``
+        defers to the ``REPRO_BACKEND`` environment variable.
     """
 
-    def __init__(self, model: RateModel | None = None) -> None:
+    def __init__(
+        self, model: RateModel | None = None, backend: str | None = None
+    ) -> None:
         self.model: RateModel = model if model is not None else UnitRateModel()
+        if backend is None:
+            backend = default_backend()
+        if backend not in BACKENDS:
+            raise ConfigError(f"backend must be one of {BACKENDS}, got {backend!r}")
+        #: which event loop/queue flavour this simulator runs (read-only)
+        self.backend = backend
         self.now: float = 0.0
         self.stats = SimStats()
         self.model.attach_stats(self.stats)
@@ -140,7 +181,7 @@ class Simulator:
         #: Same pay-for-what-you-use contract as ``obs``: every hook site
         #: is guarded, so an unchecked simulation pays one attribute read.
         self.check = None
-        self._queue = EventQueue()
+        self._queue = CalendarQueue() if backend == "array" else EventQueue()
         self._processes: dict[int, SimProcess] = {}
         self._running: list[SimProcess] = []
         self._ready: deque[SimProcess] = deque()
@@ -305,23 +346,58 @@ class Simulator:
         way to ``until`` when it is finite and no stop condition fired, so
         sampling windows that end in quiet periods account usage correctly.
         """
+        try:
+            return self._run_batched(until, stop_when)
+        finally:
+            # Array-backed models buffer counters; make every run() exit a
+            # consistent read point for samplers, apps and fingerprints.
+            self.model.sync_counters()
+            if self._events_dispatched:
+                self.stats.counters["events_dispatched"] = self._events_dispatched
+
+    def _run_batched(
+        self, until: float, stop_when: Callable[[], bool] | None
+    ) -> float:
+        """Event loop: batch each timestamp into a single resolve.
+
+        Events at one timestamp cannot accrue work between each other
+        (``dt == 0``), so only the *final* rate resolve of a timestamp is
+        observable; per-event intermediate resolves would be pure
+        recomputation — worse, their transient speed changes would
+        re-stamp completion ETAs from the same ``(now, remaining)`` line
+        with different rounding, so batching is what keeps the two
+        backends bit-for-bit interchangeable.  Actions and ready-queue
+        drains still run strictly in the serial order (per-event),
+        preserving the dispatch sequence and tie-break contract.
+
+        Both backends share this loop; the backend choice selects the
+        event-queue implementation and the rate model, which the
+        ``array_backend`` differential oracle holds to byte-identical
+        fingerprints.
+        """
         if stop_when is not None and stop_when():
             return self.now
+        queue = self._queue
         while True:
-            tnext = self._queue.peek_time()
+            tnext = queue.peek_time()
             if tnext is None or tnext > until:
                 break
-            event = self._queue.pop()
-            assert event is not None
-            if self.check is not None:
-                self.check.on_event(self, event.time)
-            self._advance(event.time)
-            self._events_dispatched += 1
-            self.stats.count("events_dispatched")
-            if self._events_dispatched > MAX_EVENTS:
-                raise SimulationError("event budget exhausted (runaway simulation?)")
-            event.action()
-            self._drain_ready()
+            self._advance(tnext)
+            batch = 0
+            while (event := queue.pop_at(tnext)) is not None:
+                if self.check is not None:
+                    self.check.on_event(self, event.time)
+                self._count_event()
+                event.action()
+                self._drain_ready()
+                batch += 1
+                if stop_when is not None and stop_when():
+                    if self._dirty:
+                        self._resolve()
+                    return self.now
+            self.stats.count("event_batches")
+            if batch > 1:
+                self.stats.count("batched_events", batch - 1)
             if self._dirty:
                 self._resolve()
             if stop_when is not None and stop_when():
@@ -329,6 +405,12 @@ class Simulator:
         if math.isfinite(until) and until > self.now:
             self._advance(until)
         return self.now
+
+    def _count_event(self) -> None:
+        # The running total lands in stats once per run() (not per event).
+        self._events_dispatched += 1
+        if self._events_dispatched > MAX_EVENTS:
+            raise SimulationError("event budget exhausted (runaway simulation?)")
 
     # -- internals ------------------------------------------------------------
 
@@ -351,7 +433,8 @@ class Simulator:
             with self.stats.timer("accrue"):
                 self.model.accrue(self._running, self.now, t)
             for proc in self._running:
-                proc.remaining = max(0.0, proc.remaining - proc.speed * dt)
+                left = proc.remaining - proc.speed * dt
+                proc.remaining = left if left > 0.0 else 0.0
         self.now = t
 
     def _drain_ready(self) -> None:
@@ -465,13 +548,14 @@ class Simulator:
             speeds = self.model.resolve_incremental(self._running, self.now, dirty)
         if self.check is not None:
             self.check.after_resolve(self, speeds, dirty)
+        skipped = 0
         for proc in self._running:
             new_speed = speeds.get(proc.pid, 0.0)
             if dirty is not None and proc.pid not in dirty and new_speed == proc.speed:
                 # Clean process, unchanged speed: its pending completion
                 # event (scheduled from the same remaining/speed line) is
                 # still exact — skip the reschedule.
-                self.stats.count("reschedules_skipped")
+                skipped += 1
                 continue
             proc.speed = new_speed
             proc.wake_version += 1
@@ -479,6 +563,8 @@ class Simulator:
                 eta = self.now + proc.remaining / proc.speed
                 version = proc.wake_version
                 self._queue.push(eta, lambda p=proc, v=version: self._on_segment_done(p, v))
+        if skipped:
+            self.stats.count("reschedules_skipped", skipped)
         if self._dirty:
             # resolve() itself may kill processes (e.g. OOM policies); loop.
             self._resolve()

@@ -10,24 +10,32 @@ from repro.check.harness import (
     run_fuzz,
     shrink_failing,
 )
-from repro.cluster.ratemodel import ClusterRateModel
+from repro.cluster.ratemodel import ArrayRateModel, ClusterRateModel
 
 
 def _perturb_incremental(monkeypatch, factor=0.75):
     """Skew speeds only on incremental resolves with a non-empty hint.
 
     The reference path (``incremental=False``) never takes the hinted
-    branch, so the differential oracle must flag the divergence.
+    branch, so the differential oracle must flag the divergence.  Both
+    rate-model classes are patched — ``ArrayRateModel`` overrides
+    ``resolve_incremental``, so a patch on the base class alone would
+    leave the array backend unperturbed.
     """
-    real = ClusterRateModel.resolve_incremental
 
-    def perturbed(self, running, now, dirty=None):
-        speeds = real(self, running, now, dirty)
-        if self.incremental and dirty:
-            return {pid: s * factor for pid, s in speeds.items()}
-        return speeds
+    def wrap(cls):
+        real = cls.resolve_incremental
 
-    monkeypatch.setattr(ClusterRateModel, "resolve_incremental", perturbed)
+        def perturbed(self, running, now, dirty=None):
+            speeds = real(self, running, now, dirty)
+            if self.incremental and dirty:
+                return {pid: s * factor for pid, s in speeds.items()}
+            return speeds
+
+        monkeypatch.setattr(cls, "resolve_incremental", perturbed)
+
+    wrap(ClusterRateModel)
+    wrap(ArrayRateModel)
 
 
 class TestFingerprint:

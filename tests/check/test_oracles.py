@@ -5,16 +5,23 @@ an unmodified tree, and a deliberate perturbation of the fast path (the
 kind of regression the oracle exists to catch) flips it to failing.
 """
 
+from pathlib import Path
+
 from repro.apps.base import CheckpointStore
+from repro.check.corpus import load_corpus
 from repro.check.harness import evaluate_case
 from repro.check.oracles import (
+    oracle_array_backend,
     oracle_checkpoint_free,
     oracle_checkpoint_restart,
     oracle_parallel_sweep,
     oracle_registry_cli,
     run_global_oracles,
 )
+from repro.cluster.ratemodel import ArrayRateModel
 from repro.network.flows import FlowResult, FlowSolver
+
+PINNED_CORPUS = Path(__file__).with_name("corpus.json")
 
 
 class TestCleanTree:
@@ -22,6 +29,7 @@ class TestCleanTree:
         results = run_global_oracles(seed=0)
         assert [r.name for r in results] == [
             "parallel_sweep",
+            "array_backend",
             "checkpoint_restart",
             "checkpoint_free",
             "registry_cli",
@@ -46,6 +54,56 @@ class TestParallelSweepOracle:
         result = oracle_parallel_sweep(seed=0, cases=3, jobs=2)
         assert not result.ok
         assert "diverges from serial" in result.detail
+
+
+class TestArrayBackendOracle:
+    def test_passes_clean(self):
+        result = oracle_array_backend(seed=3, cases=2)
+        assert result.ok, result.detail
+
+    def test_pinned_corpus_replays_identically(self):
+        # The exact cases CI replays must agree across backends — a case
+        # that once exposed a divergence stays covered on both paths.
+        corpus = load_corpus(PINNED_CORPUS)
+        result = oracle_array_backend(seed=3, cases=0, corpus=corpus)
+        assert result.ok, result.detail
+
+    def test_catches_array_accounting_skew(self, monkeypatch):
+        # Planted bug: the array path mis-prices instruction rates by a
+        # hair.  "A hair" is precisely what fingerprints exist to catch.
+        real = ArrayRateModel._record_rates_array
+
+        def skewed(self, rows):
+            real(self, rows)
+            if rows.size:
+                self._R[rows, 2] *= 1.0 + 1e-9  # instructions column
+
+        monkeypatch.setattr(ArrayRateModel, "_record_rates_array", skewed)
+        result = oracle_array_backend(seed=3, cases=2)
+        assert not result.ok
+        assert "array backend diverges" in result.detail
+
+    def test_catches_batch_merging_close_timestamps(self, monkeypatch):
+        # Planted bug in the *engine* half of the backend: a calendar
+        # queue whose ``pop_at`` drains events merely *close* to the
+        # batch timestamp instead of exactly equal.  Merging two distinct
+        # instants into one batch changes accrual windows and resolve
+        # cadence, which must surface as a fingerprint divergence — this
+        # is the regression the exact float comparison in ``pop_at``
+        # exists to prevent.
+        from repro.sim.events import CalendarQueue
+
+        def sloppy_pop_at(self, time):
+            event = self._scan(pop=False)
+            if event is None or abs(event.time - time) > 1e-9 * max(
+                1.0, abs(time)
+            ):
+                return None
+            return self._scan(pop=True)
+
+        monkeypatch.setattr(CalendarQueue, "pop_at", sloppy_pop_at)
+        result = oracle_array_backend(seed=3, cases=2)
+        assert not result.ok
 
 
 class TestCheckpointRestartOracle:
@@ -107,8 +165,8 @@ class TestFlowMemoOracle:
         # path stays exact, so the flow_memo oracle must fire.
         real = FlowSolver.solve
 
-        def perturbed(self, flows):
-            result = real(self, flows)
+        def perturbed(self, flows, signature=None):
+            result = real(self, flows, signature=signature)
             if self.memoize and result.grants:
                 return FlowResult(
                     grants={k: g * 0.75 for k, g in result.grants.items()},

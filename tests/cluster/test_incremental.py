@@ -87,7 +87,12 @@ class TestWorkAvoidance:
 
     def test_flow_solves_were_memoized(self, runs):
         _, _, stats = runs
-        assert stats["flow_memo_hits"] > 0
+        # The object backend memoizes inside FlowSolver.solve
+        # (flow_memo_hits); the array backend's network-stage memo
+        # absorbs recurring signatures before the solver is reached
+        # (network_memo_hits).  Either way, repeat traffic must hit.
+        hits = stats.get("flow_memo_hits", 0) + stats.get("network_memo_hits", 0)
+        assert hits > 0
 
     def test_reschedules_were_skipped(self, runs):
         _, _, stats = runs

@@ -274,6 +274,78 @@ class TestRL013MemoImpurity:
         """
         assert findings_for(project_factory, files, "RL013", _MEMO_CONFIG) == []
 
+    def test_clean_array_fingerprint_key_via_locals(self, project_factory):
+        """State reaching the key bytes through locals is key-covered.
+
+        The array-backend idiom: the key expression fingerprints a local
+        (``demands.tobytes()``) that was *derived* from mutable instance
+        arrays, and aliases another (``seg = self.seg_tokens``).  The
+        local-provenance closure must credit both attributes to the key.
+        """
+        files = dict(_MEMO_CLEAN)
+        files["repro/network/solver.py"] = """
+            class Solver:
+                def __init__(self):
+                    self.memo = {}
+                    self.rates = [1.0]
+                    self.seg_tokens = [0]
+
+                def solve(self, rows):
+                    seg = self.seg_tokens
+                    demands = [self.rates[r] for r in rows]
+                    key = (tuple(demands), tuple(seg[r] for r in rows))
+                    if key in self.memo:
+                        return self.memo[key]
+                    result = self._compute(demands)
+                    self.memo[key] = result
+                    return result
+
+                def _compute(self, demands):
+                    return [d * 2.0 for d in demands]
+
+                def refresh(self, r, rate, token):
+                    self.rates[r] = rate
+                    self.seg_tokens[r] = token
+        """
+        assert findings_for(project_factory, files, "RL013", _MEMO_CONFIG) == []
+
+    def test_clean_declared_derived_state(self, project_factory):
+        """flow_memo_derived_state vouches for token-paired attributes."""
+        files = dict(_MEMO_CLEAN)
+        files["repro/network/solver.py"] = """
+            class Solver:
+                def __init__(self):
+                    self.memo = {}
+                    self.token = 0
+                    self.footprints = [1.0]
+
+                def solve(self, rows):
+                    key = (self.token, tuple(rows))
+                    if key in self.memo:
+                        return self.memo[key]
+                    result = self._compute(rows)
+                    self.memo[key] = result
+                    return result
+
+                def _compute(self, rows):
+                    return [self.footprints[r] for r in rows]
+
+                def refresh(self, r, fp):
+                    # footprints and the interned token move together
+                    self.footprints[r] = fp
+                    self.token = self.token + 1
+        """
+        config = LintConfig(
+            flow_memo_functions=("Solver.solve",),
+            flow_memo_state_allowed=("memo",),
+            flow_memo_derived_state=("footprints",),
+        )
+        assert findings_for(project_factory, files, "RL013", config) == []
+        # Without the declaration the same read is still a finding.
+        found = findings_for(project_factory, files, "RL013", _MEMO_CONFIG)
+        assert len(found) == 1
+        assert "self.footprints" in found[0].message
+
 
 # -- RL014: spawn shared state ------------------------------------------------
 

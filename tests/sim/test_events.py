@@ -1,63 +1,155 @@
-"""Event-queue behaviour: ordering, ties, cancellation."""
+"""Event-queue behaviour: ordering, ties, cancellation.
+
+The heap and calendar queues share one contract — non-decreasing time
+order with equal-timestamp events firing in **insertion order** (the
+tie-break the engine's determinism rests on) — so every behavioural test
+here is parametrised over both implementations, and a differential test
+drives them with an identical random schedule and asserts the pop
+sequences are identical.
+"""
 
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim.events import EventQueue
+from repro.sim.events import CalendarQueue, EventQueue
+from repro.sim.rng import spawn_rng
+
+QUEUES = [EventQueue, CalendarQueue]
 
 
-def test_pops_in_time_order():
-    q = EventQueue()
+@pytest.fixture(params=QUEUES, ids=["heap", "calendar"])
+def queue(request):
+    return request.param()
+
+
+def test_pops_in_time_order(queue):
     fired = []
-    q.push(3.0, lambda: fired.append(3))
-    q.push(1.0, lambda: fired.append(1))
-    q.push(2.0, lambda: fired.append(2))
-    while (e := q.pop()) is not None:
+    queue.push(3.0, lambda: fired.append(3))
+    queue.push(1.0, lambda: fired.append(1))
+    queue.push(2.0, lambda: fired.append(2))
+    while (e := queue.pop()) is not None:
         e.action()
     assert fired == [1, 2, 3]
 
 
-def test_ties_fire_in_insertion_order():
-    q = EventQueue()
+def test_ties_fire_in_insertion_order(queue):
     fired = []
     for i in range(10):
-        q.push(5.0, lambda i=i: fired.append(i))
-    while (e := q.pop()) is not None:
+        queue.push(5.0, lambda i=i: fired.append(i))
+    while (e := queue.pop()) is not None:
         e.action()
     assert fired == list(range(10))
 
 
-def test_cancelled_events_are_skipped():
-    q = EventQueue()
-    keep = q.push(1.0, lambda: None)
-    drop = q.push(0.5, lambda: None)
+def test_interleaved_ties_keep_per_timestamp_fifo(queue):
+    # Ties pushed in interleaved time order must still dispatch FIFO
+    # within each timestamp.
+    fired = []
+    for i in range(6):
+        queue.push(2.0, lambda i=i: fired.append(("b", i)))
+        queue.push(1.0, lambda i=i: fired.append(("a", i)))
+    while (e := queue.pop()) is not None:
+        e.action()
+    assert fired == [("a", i) for i in range(6)] + [("b", i) for i in range(6)]
+
+
+def test_cancelled_events_are_skipped(queue):
+    keep = queue.push(1.0, lambda: None)
+    drop = queue.push(0.5, lambda: None)
     drop.cancel()
-    assert q.pop() is keep
-    assert q.pop() is None
+    assert queue.pop() is keep
+    assert queue.pop() is None
 
 
-def test_peek_time_skips_cancelled():
-    q = EventQueue()
-    first = q.push(1.0, lambda: None)
-    q.push(2.0, lambda: None)
+def test_peek_time_skips_cancelled(queue):
+    first = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
     first.cancel()
-    assert q.peek_time() == 2.0
+    assert queue.peek_time() == 2.0
 
 
-def test_len_counts_pending():
-    q = EventQueue()
-    q.push(1.0, lambda: None)
-    q.push(2.0, lambda: None)
-    assert len(q) == 2
+def test_len_counts_pending(queue):
+    queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    assert len(queue) == 2
 
 
-def test_nan_time_rejected():
-    q = EventQueue()
+def test_nan_time_rejected(queue):
     with pytest.raises(SimulationError):
-        q.push(float("nan"), lambda: None)
+        queue.push(float("nan"), lambda: None)
 
 
-def test_empty_queue_pop_and_peek():
-    q = EventQueue()
-    assert q.pop() is None
-    assert q.peek_time() is None
+def test_empty_queue_pop_and_peek(queue):
+    assert queue.pop() is None
+    assert queue.peek_time() is None
+
+
+def test_pop_at_drains_only_the_due_timestamp(queue):
+    a = queue.push(1.0, lambda: None)
+    b = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    assert queue.pop_at(1.0) is a
+    assert queue.pop_at(1.0) is b
+    assert queue.pop_at(1.0) is None  # next event is at 2.0
+    assert queue.peek_time() == 2.0
+
+
+def test_infinite_timestamps_sort_last(queue):
+    far = queue.push(float("inf"), lambda: None)
+    near = queue.push(1.0, lambda: None)
+    assert queue.peek_time() == 1.0
+    assert queue.pop() is near
+    assert queue.peek_time() == float("inf")
+    assert queue.pop() is far
+    assert queue.pop() is None
+
+
+def test_monotone_growth_forces_calendar_resizes():
+    # Push enough events to trigger repeated doubling, then drain to
+    # trigger shrinking; order must survive every resize.
+    q = CalendarQueue()
+    rng = spawn_rng(0, "events:resize")
+    times = [float(t) for t in rng.uniform(0.0, 1000.0, size=500)]
+    for t in times:
+        q.push(t, lambda: None)
+    popped = []
+    while (e := q.pop()) is not None:
+        popped.append(e.time)
+    assert popped == sorted(times)
+
+
+def test_heap_and_calendar_pop_sequences_are_identical():
+    """Differential drive: same pushes/cancels/pops, identical order."""
+    rng = spawn_rng(1, "events:differential")
+    heap, cal = EventQueue(), CalendarQueue()
+    heap_events, cal_events = [], []
+    heap_order, cal_order = [], []
+    now = 0.0
+    for step in range(2000):
+        op = rng.random()
+        if op < 0.55 or not heap_events:
+            # Push at or after "now"; quantised times plant many exact ties.
+            t = now + float(rng.integers(0, 20)) * 0.5
+            tag = step
+            heap_events.append(heap.push(t, lambda: None))
+            cal_events.append(cal.push(t, lambda: None))
+            heap_events[-1].tag = cal_events[-1].tag = tag
+        elif op < 0.7 and heap_events:
+            i = int(rng.integers(0, len(heap_events)))
+            heap_events[i].cancel()
+            cal_events[i].cancel()
+        else:
+            assert heap.peek_time() == cal.peek_time()
+            he, ce = heap.pop(), cal.pop()
+            if he is None:
+                assert ce is None
+                continue
+            assert (he.time, he.tag) == (ce.time, ce.tag)
+            now = he.time
+            heap_order.append((he.time, he.tag))
+            cal_order.append((ce.time, ce.tag))
+    while (he := heap.pop()) is not None:
+        ce = cal.pop()
+        assert (he.time, he.tag) == (ce.time, ce.tag)
+    assert cal.pop() is None
+    assert heap_order == cal_order
