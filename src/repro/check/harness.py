@@ -237,8 +237,8 @@ def run_fuzz(
     every job count).  ``with_oracles`` additionally runs the global
     differential oracles — parallel-vs-serial sweep, array-vs-object
     backend equivalence (replaying the pinned corpus), checkpoint/restart
-    equivalence, and registry-vs-legacy CLI — which exercise machinery a
-    single case cannot.
+    equivalence, registry-vs-legacy CLI, and streamed-vs-batch telemetry
+    export — which exercise machinery a single case cannot.
     """
     from repro.check import oracles as oracle_mod
     from repro.parallel import run_trials

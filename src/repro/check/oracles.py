@@ -215,6 +215,103 @@ def oracle_checkpoint_free(
     )
 
 
+# -- streamed vs batch telemetry export ---------------------------------------
+
+
+def _first_byte_diff(a: str, b: str) -> int:
+    """Index of the first differing character (or the shorter length)."""
+    for i, (ca, cb) in enumerate(zip(a, b)):
+        if ca != cb:
+            return i
+    return min(len(a), len(b))
+
+
+def oracle_stream_export(
+    seed: int, cases: int = 2, corpus: list | None = None
+) -> OracleResult:
+    """Streaming writers must reproduce the batch exporters byte-for-byte.
+
+    Every case (the pinned corpus plus ``cases`` generated specs) runs
+    once with an :class:`~repro.obs.observability.Observability` handle
+    attached and in-memory streaming sinks registered — JSONL trace,
+    Chrome trace, and one metric stream per node.  After the run the
+    streamed bytes are compared against the end-of-run exporters over the
+    same collector/service.  Any drift means a record was flushed before
+    its content was final, or the canonical completion order broke — the
+    exact regression the bounded-memory pipeline must never ship with.
+    """
+    import json as json_mod
+
+    from repro.check.generators import build_cluster, deploy_case
+    from repro.monitoring.export import to_jsonl_text
+    from repro.obs.export import chrome_trace, jsonl_lines
+    from repro.obs.observability import Observability
+    from repro.obs.stream import (
+        ChromeStreamWriter,
+        JsonlStreamWriter,
+        MetricJsonlStreamWriter,
+    )
+
+    specs = list(corpus or []) + generate_cases(cases, seed)
+    failures: list[str] = []
+    for spec in specs:
+        cluster = build_cluster(spec)
+        obs = Observability(cluster).attach(end=spec.horizon)
+        jsonl_buf, chrome_buf = io.StringIO(), io.StringIO()
+        trace_sinks = [JsonlStreamWriter(jsonl_buf), ChromeStreamWriter(chrome_buf)]
+        for sink in trace_sinks:
+            obs.collector.add_sink(sink)
+        service = obs.service
+        assert service is not None
+        metric_bufs: dict[str, io.StringIO] = {}
+        for node in sorted(service.data):
+            buf = io.StringIO()
+            service.add_sink(
+                MetricJsonlStreamWriter(buf, node, service.metric_names)
+            )
+            metric_bufs[node] = buf
+
+        jobs = deploy_case(spec, cluster)
+        stop = (lambda: all(job.finished for job in jobs)) if jobs else None
+        cluster.sim.run(until=spec.horizon, stop_when=stop)
+        obs.collector.finalize()
+        for sink in trace_sinks:
+            sink.close()
+
+        batch_jsonl = "\n".join(jsonl_lines(obs.collector)) + "\n"
+        streamed_jsonl = jsonl_buf.getvalue()
+        if streamed_jsonl != batch_jsonl:
+            failures.append(
+                f"{spec.case_id}: jsonl drift at byte "
+                f"{_first_byte_diff(streamed_jsonl, batch_jsonl)}"
+            )
+        batch_chrome = (
+            json_mod.dumps(chrome_trace(obs.collector), sort_keys=True, indent=1)
+            + "\n"
+        )
+        streamed_chrome = chrome_buf.getvalue()
+        if streamed_chrome != batch_chrome:
+            failures.append(
+                f"{spec.case_id}: chrome drift at byte "
+                f"{_first_byte_diff(streamed_chrome, batch_chrome)}"
+            )
+        if service.times:
+            for node, buf in metric_bufs.items():
+                batch_metrics = to_jsonl_text(service, node)
+                if buf.getvalue() != batch_metrics:
+                    failures.append(
+                        f"{spec.case_id}: metric stream {node} drift at byte "
+                        f"{_first_byte_diff(buf.getvalue(), batch_metrics)}"
+                    )
+    if not failures:
+        return OracleResult("stream_export", True)
+    return OracleResult(
+        "stream_export",
+        False,
+        f"streamed exports diverge from batch: {'; '.join(failures)}",
+    )
+
+
 # -- registry vs legacy CLI ---------------------------------------------------
 
 
@@ -288,4 +385,5 @@ def run_global_oracles(seed: int, corpus: list | None = None) -> list[OracleResu
         oracle_checkpoint_restart(seed),
         oracle_checkpoint_free(seed),
         oracle_registry_cli(seed),
+        oracle_stream_export(seed, corpus=corpus),
     ]

@@ -8,6 +8,9 @@ module provides the same surface against the simulated substrate::
     python -m repro varbench miniGhost --anomaly cachecopy --jobs 4
     python -m repro lint src/ tests/
     python -m repro trace mixed --out trace.json --manifest manifest.json
+    python -m repro trace faults --stream runs/a
+    python -m repro diff runs/a runs/b
+    python -m repro report mixed --no-wallclock --md report.md
     python -m repro experiment --list
     python -m repro experiment fig8
     python -m repro faults --seed 1
@@ -21,7 +24,11 @@ subcommand runs the determinism analyzer (see :mod:`repro.lint`); the
 repetitions optionally fanned out over ``--jobs`` worker processes; the
 ``trace`` subcommand runs a multi-subsystem scenario with span tracing
 attached and writes a Chrome trace-event file plus an optional run
-manifest (see :mod:`repro.obs` and docs/OBSERVABILITY.md); the
+manifest — or, with ``--stream DIR``, streams the run incrementally
+(see :mod:`repro.obs` and docs/OBSERVABILITY.md); ``diff`` compares two
+run directories and localizes the first divergence down to the sample
+index and enclosing span; ``report`` summarizes a run with per-subsystem
+wall-clock attribution; the
 ``experiment`` subcommand runs any table/figure experiment from the
 registry (:mod:`repro.experiments.registry`) and archives its results
 exactly as the benchmark harness does; ``faults`` runs the
@@ -185,8 +192,13 @@ def build_trace_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "scenario",
+        nargs="?",
         choices=sorted(SCENARIOS),
-        help="scenario to run with span tracing attached",
+        help="scenario to run with span tracing attached "
+        "(omit with --list to enumerate)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list registered trace scenarios"
     )
     parser.add_argument(
         "--out", default="trace.json", help="trace output path (default trace.json)"
@@ -196,6 +208,14 @@ def build_trace_parser() -> argparse.ArgumentParser:
         default="chrome",
         choices=TRACE_FORMATS,
         help="trace file format (default chrome)",
+    )
+    parser.add_argument(
+        "--stream",
+        default=None,
+        metavar="DIR",
+        help="stream the run into DIR as it happens (trace.jsonl, "
+        "metrics/<node>.jsonl, counters.json) instead of buffering; "
+        "see docs/OBSERVABILITY.md",
     )
     parser.add_argument(
         "--manifest",
@@ -211,11 +231,25 @@ def build_trace_parser() -> argparse.ArgumentParser:
 
 
 def trace_main(argv: list[str]) -> int:
-    from repro.obs.scenarios import run_scenario
+    from repro.obs.scenarios import SCENARIOS, run_scenario
 
-    args = build_trace_parser().parse_args(argv)
-    run = run_scenario(args.scenario, seed=args.seed, horizon=args.horizon)
+    parser = build_trace_parser()
+    args = parser.parse_args(argv)
     out = OutputWriter()
+    if args.list or args.scenario is None:
+        width = max(len(name) for name in SCENARIOS)
+        for name in sorted(SCENARIOS):
+            out.line(f"{name.ljust(width)}  {SCENARIOS[name].description}")
+        return 0
+    on_obs = None
+    if args.stream is not None:
+        on_obs = lambda obs: obs.stream_to(args.stream, chrome=True)  # noqa: E731
+    run = run_scenario(
+        args.scenario, seed=args.seed, horizon=args.horizon, on_obs=on_obs
+    )
+    if args.stream is not None:
+        for directory in run.obs.close_streams():
+            out.line(f"streamed scenario {args.scenario!r} into {directory}/")
     path = run.obs.write_trace(args.out, fmt=args.format)
     counts = run.obs.collector.categories()
     summary = "  ".join(f"{cat}={n}" for cat, n in counts.items())
@@ -230,6 +264,100 @@ def trace_main(argv: list[str]) -> int:
             injector=run.injector,
         )
         out.line(f"manifest: {manifest_path}")
+    return 0
+
+
+def build_diff_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro diff",
+        description="Compare two run/result directories and localize the "
+        "first divergence (manifest key, sample index, enclosing span). "
+        "Exit status 0 = identical, 1 = diverged.",
+    )
+    parser.add_argument("run_a", help="first run directory")
+    parser.add_argument("run_b", help="second run directory")
+    parser.add_argument(
+        "--label-a", default=None, help="display label for run_a (default: path)"
+    )
+    parser.add_argument(
+        "--label-b", default=None, help="display label for run_b (default: path)"
+    )
+    return parser
+
+
+def diff_main(argv: list[str]) -> int:
+    from repro.obs.diff import diff_runs
+
+    args = build_diff_parser().parse_args(argv)
+    report = diff_runs(
+        args.run_a, args.run_b, label_a=args.label_a, label_b=args.label_b
+    )
+    OutputWriter().line(report.render())
+    return 0 if report.is_identical else 1
+
+
+def build_report_parser() -> argparse.ArgumentParser:
+    from repro.obs.scenarios import SCENARIOS
+
+    parser = argparse.ArgumentParser(
+        prog="repro report",
+        description="Summarize a run: span counts, utilization, critical "
+        "path, counters and per-subsystem wall-clock attribution.",
+    )
+    parser.add_argument(
+        "scenario",
+        nargs="?",
+        choices=sorted(SCENARIOS),
+        help="scenario to run and report on (or use --run-dir)",
+    )
+    parser.add_argument(
+        "--run-dir",
+        default=None,
+        metavar="DIR",
+        help="report on a streamed run directory instead of running a scenario",
+    )
+    parser.add_argument(
+        "--no-wallclock",
+        action="store_true",
+        help="omit the (nondeterministic) wall-clock section so the "
+        "report is byte-identical across same-seed reruns",
+    )
+    parser.add_argument(
+        "--md",
+        default=None,
+        metavar="FILE",
+        help="also write the report as markdown",
+    )
+    parser.add_argument(
+        "--horizon", type=float, default=120.0, help="simulated seconds (default 120)"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="scenario seed")
+    return parser
+
+
+def report_main(argv: list[str]) -> int:
+    from repro.obs.report import report_run_dir, report_scenario
+
+    parser = build_report_parser()
+    args = parser.parse_args(argv)
+    if (args.scenario is None) == (args.run_dir is None):
+        parser.error("give exactly one of: a scenario name, or --run-dir DIR")
+    if args.run_dir is not None:
+        report = report_run_dir(args.run_dir, wallclock=not args.no_wallclock)
+    else:
+        report = report_scenario(
+            args.scenario,
+            seed=args.seed,
+            horizon=args.horizon,
+            wallclock=not args.no_wallclock,
+        )
+    out = OutputWriter()
+    out.line(report.render())
+    if args.md is not None:
+        from pathlib import Path
+
+        Path(args.md).write_text(report.render_markdown())
+        out.line(f"markdown report: {args.md}")
     return 0
 
 
@@ -386,6 +514,8 @@ SUBCOMMANDS = {
     "lint": _lint_main,
     "varbench": varbench_main,
     "trace": trace_main,
+    "diff": diff_main,
+    "report": report_main,
     "experiment": experiment_main,
     "faults": faults_main,
     "check": _check_main,

@@ -13,6 +13,7 @@ storing time series it can hand to the analytics pipeline::
 from __future__ import annotations
 
 import difflib
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -20,6 +21,9 @@ from repro.cluster.cluster import Cluster
 from repro.errors import ConfigError
 from repro.monitoring.samplers import Sampler, default_samplers
 from repro.sim.rng import spawn_rng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.stream import ObsSink
 
 
 class MetricService:
@@ -75,6 +79,26 @@ class MetricService:
             }
         self._last_time: float | None = None
         self._handle = None
+        self._sinks: list["ObsSink"] = []
+
+    # -- streaming sinks -------------------------------------------------------
+
+    def add_sink(self, sink: "ObsSink") -> None:
+        """Register a streaming sink notified at every sampling tick."""
+        if sink in self._sinks:
+            raise ConfigError("sink is already registered")
+        self._sinks.append(sink)
+
+    def remove_sink(self, sink: "ObsSink") -> None:
+        """Unregister a previously added sink."""
+        try:
+            self._sinks.remove(sink)
+        except ValueError:
+            raise ConfigError("sink is not registered") from None
+
+    @property
+    def sinks(self) -> tuple["ObsSink", ...]:
+        return tuple(self._sinks)
 
     # -- collection -----------------------------------------------------------
 
@@ -98,11 +122,17 @@ class MetricService:
         dt = self.interval if self._last_time is None else now - self._last_time
         if dt <= 0:
             return
+        with self.cluster.sim.stats.timer("monitoring"):
+            self._sample(now, dt)
+        self._last_time = now
+
+    def _sample(self, now: float, dt: float) -> None:
         # Integrate background OS activity before reading the counters so
         # `sys::procstat` shows the jitter floor.
         self.cluster.model.accrue_background(dt)
         self.times.append(now)
         keys = self._delta_keys
+        sinks = self._sinks
         for name, node in self.cluster.nodes.items():
             last = self._last_counters[name]
             counters = node.counters
@@ -115,13 +145,20 @@ class MetricService:
             }
             self._last_counters[name] = current
             store = self.data[name]
+            tick_values: dict[str, float] | None = {} if sinks else None
             for sampler in self.samplers:
                 values = sampler.sample(node, delta, dt)
                 for raw, value in values.items():
                     if self.noise > 0 and not sampler.gauge:
                         value *= 1.0 + self.noise * float(self._rng.standard_normal())
-                    store.setdefault(f"{raw}::{sampler.name}", []).append(value)
-        self._last_time = now
+                    metric = f"{raw}::{sampler.name}"
+                    store.setdefault(metric, []).append(value)
+                    if tick_values is not None:
+                        tick_values[metric] = value
+            if tick_values is not None:
+                with self.cluster.sim.stats.timer("obs"):
+                    for sink in sinks:
+                        sink.on_metric_sample(now, name, tick_values)
 
     # -- access --------------------------------------------------------------
 

@@ -14,6 +14,19 @@ The subsystem has four layers:
 :mod:`repro.obs.observability`
     The :class:`Observability` handle unifying SimStats, the metric
     service and the span timeline behind one attach/detach pair.
+:mod:`repro.obs.stream`
+    The :class:`ObsSink` protocol and bounded-memory incremental writers
+    that flush spans/samples/counters during the run, byte-identical to
+    the batch exporters.
+:mod:`repro.obs.analyze`
+    The trace-query engine: filtering, duration stats, utilization
+    rollups and critical-path extraction over the causal span links.
+:mod:`repro.obs.diff`
+    Run-directory comparison with divergence localization (manifest →
+    series → sample index → enclosing span), behind ``repro diff``.
+:mod:`repro.obs.report`
+    Deterministic run summaries plus wall-clock self-profiling per
+    subsystem, behind ``repro report``.
 
 See ``docs/OBSERVABILITY.md`` for the full tour.
 """
@@ -36,13 +49,26 @@ from repro.obs.manifest import (
     write_manifest,
 )
 from repro.obs.observability import TRACE_FORMATS, Observability
-from repro.obs.scenarios import SCENARIOS, TraceRun, run_scenario
+from repro.obs.scenarios import SCENARIOS, ScenarioSpec, TraceRun, run_scenario
 from repro.obs.spans import InstantEvent, Span, SpanCollector
+from repro.obs.stream import (
+    ChromeStreamWriter,
+    JsonlStreamWriter,
+    MetricJsonlStreamWriter,
+    ObsSink,
+    RunStreamer,
+)
 
 __all__ = [
+    "ChromeStreamWriter",
     "InstantEvent",
+    "JsonlStreamWriter",
+    "MetricJsonlStreamWriter",
+    "ObsSink",
     "Observability",
+    "RunStreamer",
     "SCENARIOS",
+    "ScenarioSpec",
     "Span",
     "SpanCollector",
     "TRACE_FORMATS",

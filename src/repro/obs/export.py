@@ -3,9 +3,20 @@
 The Chrome format (one ``traceEvents`` array of ``X``/``i``/``M`` events)
 opens directly in Perfetto / ``chrome://tracing``, the same way ATLAHS
 renders its simulator traces; JSONL (one record per line) is the
-grep/pandas-friendly form.  Both exports are deterministic: events are
-sorted by ``(timestamp, kind, sid)`` and all JSON is emitted with sorted
-keys, so a deterministic simulation produces byte-identical trace files.
+grep/pandas-friendly form.  Both exports are deterministic and share one
+canonical record order: the collector-wide **completion sequence**
+(``seq``), assigned when a span closes or an instant is recorded.  A
+record's content is final exactly when its ``seq`` is assigned, so the
+streaming writers in :mod:`repro.obs.stream` can flush each record the
+moment it closes and still produce files byte-identical to these
+end-of-run exporters (the property the ``stream_export`` differential
+oracle in :mod:`repro.check` pins).  Consumers wanting start-time order
+sort on ``start``/``time``; viewers do this themselves.
+
+Track ids (Chrome ``pid``/``tid``) are numbered by first appearance in
+the completion-ordered record stream, and the ``M`` metadata events that
+name them are interleaved immediately before their first use — again so
+a streaming writer can emit them without knowing the future.
 
 Simulated seconds are exported as microseconds (the Chrome ``ts`` unit).
 Non-finite floats (an ``inf`` anomaly duration) are stringified because
@@ -17,7 +28,7 @@ from __future__ import annotations
 import json
 import math
 from pathlib import Path
-from typing import Iterable
+from typing import Iterator
 
 from repro.errors import ObservabilityError
 from repro.obs.spans import InstantEvent, Span, SpanCollector
@@ -26,6 +37,10 @@ from repro.obs.spans import InstantEvent, Span, SpanCollector
 _US = 1e6
 
 _VALID_PHASES = frozenset({"X", "i", "M"})
+
+#: the fixed non-event sections of a Chrome trace file
+CHROME_OTHER_DATA = {"clock": "simulated", "time_unit": "us"}
+CHROME_DISPLAY_TIME_UNIT = "ms"
 
 
 def _json_safe(value: object) -> object:
@@ -43,146 +58,190 @@ def _json_safe(value: object) -> object:
     return str(value)
 
 
-def _track_ids(
-    spans: Iterable[Span], instants: Iterable[InstantEvent]
-) -> tuple[dict[str, int], dict[tuple[str, str], int]]:
-    """Deterministically number track groups (pid) and lanes (tid)."""
-    tracks = sorted({s.track for s in spans} | {e.track for e in instants})
-    groups = sorted({group for group, _ in tracks})
-    group_ids = {group: i + 1 for i, group in enumerate(groups)}
-    lane_ids = {track: i + 1 for i, track in enumerate(tracks)}
-    return group_ids, lane_ids
+def ordered_records(
+    collector: SpanCollector,
+) -> list[tuple[Span | InstantEvent, float | None]]:
+    """Every span/instant in canonical completion (``seq``) order.
 
-
-def chrome_trace(collector: SpanCollector) -> dict[str, object]:
-    """Render the collected spans/events as a Chrome trace-event object."""
-    group_ids, lane_ids = _track_ids(collector.spans, collector.instants)
+    Returns ``(record, end)`` pairs; ``end`` is the effective end time for
+    spans (still-open spans are assigned the trace horizon) and ``None``
+    for instants.  Spans that are still open — the collector was exported
+    without :meth:`~repro.obs.spans.SpanCollector.finalize` — have no
+    ``seq`` yet; they sort after every sealed record, in ``sid`` order,
+    without mutating the collector (so repeated exports are identical).
+    """
     horizon = 0.0
     for span in collector.spans:
         horizon = max(horizon, span.start, span.end if span.end is not None else 0.0)
     for event in collector.instants:
         horizon = max(horizon, event.time)
 
-    events: list[dict[str, object]] = []
-    for group, gid in group_ids.items():
-        events.append(
-            {
-                "name": "process_name",
-                "ph": "M",
-                "pid": gid,
-                "tid": 0,
-                "ts": 0,
-                "args": {"name": group},
-            }
-        )
-    for (group, lane), tid in lane_ids.items():
-        events.append(
-            {
-                "name": "thread_name",
-                "ph": "M",
-                "pid": group_ids[group],
-                "tid": tid,
-                "ts": 0,
-                "args": {"name": lane},
-            }
-        )
-
-    records: list[tuple[float, int, int, dict[str, object]]] = []
+    sealed: list[tuple[int, Span | InstantEvent, float | None]] = []
+    pending: list[tuple[int, Span]] = []
     for span in collector.spans:
-        end = span.end if span.end is not None else horizon
-        args = dict(span.args)
-        args["sid"] = span.sid
-        if span.parent is not None:
-            args["parent"] = span.parent
-        records.append(
-            (
-                span.start,
-                0,
-                span.sid,
+        if span.seq is None:
+            pending.append((span.sid, span))
+        else:
+            sealed.append((span.seq, span, span.end))
+    for event in collector.instants:
+        sealed.append((event.seq, event, None))
+    sealed.sort(key=lambda r: r[0])
+    out: list[tuple[Span | InstantEvent, float | None]] = [
+        (record, end) for _, record, end in sealed
+    ]
+    for _, span in sorted(pending, key=lambda r: r[0]):
+        out.append((span, max(horizon, span.start)))
+    return out
+
+
+class TrackNumbering:
+    """First-appearance pid/tid assignment shared by batch and stream.
+
+    Feeding tracks in completion order yields the same numbering whether
+    the records come from a finished collector or one close at a time.
+    """
+
+    def __init__(self) -> None:
+        self.group_ids: dict[str, int] = {}
+        self.lane_ids: dict[tuple[str, str], int] = {}
+
+    def metadata_for(self, track: tuple[str, str]) -> list[dict[str, object]]:
+        """The ``M`` events to emit before the first event on ``track``."""
+        group, _ = track
+        events: list[dict[str, object]] = []
+        if group not in self.group_ids:
+            self.group_ids[group] = len(self.group_ids) + 1
+            events.append(
                 {
-                    "name": span.name,
-                    "cat": span.cat,
-                    "ph": "X",
-                    "ts": span.start * _US,
-                    "dur": max(0.0, end - span.start) * _US,
-                    "pid": group_ids[span.track[0]],
-                    "tid": lane_ids[span.track],
-                    "args": _json_safe(args),
-                },
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": self.group_ids[group],
+                    "tid": 0,
+                    "ts": 0,
+                    "args": {"name": group},
+                }
             )
-        )
-    for i, event in enumerate(collector.instants):
-        records.append(
-            (
-                event.time,
-                1,
-                i,
+        if track not in self.lane_ids:
+            self.lane_ids[track] = len(self.lane_ids) + 1
+            events.append(
                 {
-                    "name": event.name,
-                    "cat": event.cat,
-                    "ph": "i",
-                    "s": "t",
-                    "ts": event.time * _US,
-                    "pid": group_ids[event.track[0]],
-                    "tid": lane_ids[event.track],
-                    "args": _json_safe(dict(event.args)),
-                },
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": self.group_ids[group],
+                    "tid": self.lane_ids[track],
+                    "ts": 0,
+                    "args": {"name": track[1]},
+                }
             )
-        )
-    records.sort(key=lambda r: (r[0], r[1], r[2]))
-    events.extend(record for _, _, _, record in records)
+        return events
+
+    def ids(self, track: tuple[str, str]) -> tuple[int, int]:
+        return self.group_ids[track[0]], self.lane_ids[track]
+
+
+def chrome_span_event(
+    span: Span, end: float, tracks: TrackNumbering
+) -> dict[str, object]:
+    """One ``X`` (complete) trace event for a closed span."""
+    args = dict(span.args)
+    args["sid"] = span.sid
+    if span.parent is not None:
+        args["parent"] = span.parent
+    pid, tid = tracks.ids(span.track)
     return {
-        "traceEvents": events,
-        "displayTimeUnit": "ms",
-        "otherData": {"clock": "simulated", "time_unit": "us"},
+        "name": span.name,
+        "cat": span.cat,
+        "ph": "X",
+        "ts": span.start * _US,
+        "dur": max(0.0, end - span.start) * _US,
+        "pid": pid,
+        "tid": tid,
+        "args": _json_safe(args),
     }
 
 
+def chrome_instant_event(
+    event: InstantEvent, tracks: TrackNumbering
+) -> dict[str, object]:
+    """One ``i`` (instant) trace event."""
+    pid, tid = tracks.ids(event.track)
+    return {
+        "name": event.name,
+        "cat": event.cat,
+        "ph": "i",
+        "s": "t",
+        "ts": event.time * _US,
+        "pid": pid,
+        "tid": tid,
+        "args": _json_safe(dict(event.args)),
+    }
+
+
+def chrome_events(collector: SpanCollector) -> Iterator[dict[str, object]]:
+    """The full event stream (metadata interleaved) in canonical order."""
+    tracks = TrackNumbering()
+    for record, end in ordered_records(collector):
+        yield from tracks.metadata_for(record.track)
+        if isinstance(record, Span):
+            yield chrome_span_event(record, end, tracks)  # type: ignore[arg-type]
+        else:
+            yield chrome_instant_event(record, tracks)
+
+
+def chrome_trace(collector: SpanCollector) -> dict[str, object]:
+    """Render the collected spans/events as a Chrome trace-event object."""
+    return {
+        "traceEvents": list(chrome_events(collector)),
+        "displayTimeUnit": CHROME_DISPLAY_TIME_UNIT,
+        "otherData": dict(CHROME_OTHER_DATA),
+    }
+
+
+def jsonl_span_record(span: Span, end: float) -> dict[str, object]:
+    """The JSONL form of one closed span."""
+    return {
+        "type": "span",
+        "sid": span.sid,
+        "seq": span.seq,
+        "cat": span.cat,
+        "name": span.name,
+        "group": span.track[0],
+        "lane": span.track[1],
+        "start": span.start,
+        "end": end,
+        "parent": span.parent,
+        "args": _json_safe(dict(span.args)),
+    }
+
+
+def jsonl_instant_record(event: InstantEvent) -> dict[str, object]:
+    """The JSONL form of one instant."""
+    return {
+        "type": "instant",
+        "seq": event.seq,
+        "cat": event.cat,
+        "name": event.name,
+        "group": event.track[0],
+        "lane": event.track[1],
+        "time": event.time,
+        "args": _json_safe(dict(event.args)),
+    }
+
+
+def encode_jsonl(record: dict[str, object]) -> str:
+    """Canonical one-line encoding shared by batch and streaming writers."""
+    return json.dumps(_json_safe(record), sort_keys=True, separators=(",", ":"))
+
+
 def jsonl_lines(collector: SpanCollector) -> list[str]:
-    """One JSON record per span/instant, in deterministic time order."""
-    records: list[tuple[float, int, int, dict[str, object]]] = []
-    for span in collector.spans:
-        records.append(
-            (
-                span.start,
-                0,
-                span.sid,
-                {
-                    "type": "span",
-                    "sid": span.sid,
-                    "cat": span.cat,
-                    "name": span.name,
-                    "group": span.track[0],
-                    "lane": span.track[1],
-                    "start": span.start,
-                    "end": span.end,
-                    "parent": span.parent,
-                    "args": _json_safe(dict(span.args)),
-                },
-            )
-        )
-    for i, event in enumerate(collector.instants):
-        records.append(
-            (
-                event.time,
-                1,
-                i,
-                {
-                    "type": "instant",
-                    "cat": event.cat,
-                    "name": event.name,
-                    "group": event.track[0],
-                    "lane": event.track[1],
-                    "time": event.time,
-                    "args": _json_safe(dict(event.args)),
-                },
-            )
-        )
-    records.sort(key=lambda r: (r[0], r[1], r[2]))
-    return [
-        json.dumps(_json_safe(record), sort_keys=True, separators=(",", ":"))
-        for _, _, _, record in records
-    ]
+    """One JSON record per span/instant, in completion (``seq``) order."""
+    lines: list[str] = []
+    for record, end in ordered_records(collector):
+        if isinstance(record, Span):
+            lines.append(encode_jsonl(jsonl_span_record(record, end)))  # type: ignore[arg-type]
+        else:
+            lines.append(encode_jsonl(jsonl_instant_record(record)))
+    return lines
 
 
 def write_chrome_trace(collector: SpanCollector, path: str | Path) -> Path:

@@ -26,6 +26,7 @@ from repro.obs.spans import SpanCollector
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.cluster import Cluster
     from repro.core.injector import AnomalyInjector
+    from repro.obs.stream import RunStreamer
     from repro.sim.stats import SimStats
 
 TRACE_FORMATS = ("chrome", "jsonl")
@@ -59,6 +60,7 @@ class Observability:
         self.collector = collector if collector is not None else SpanCollector()
         self.service = service
         self.interval = interval
+        self._streamers: list["RunStreamer"] = []
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -91,6 +93,33 @@ class Observability:
             fs.obs = None
         if self.service is not None and self.service.attached:
             self.service.detach()
+
+    # -- streaming ----------------------------------------------------------
+
+    def stream_to(self, directory: str | Path, chrome: bool = False) -> "RunStreamer":
+        """Stream this run into ``directory`` as it happens.
+
+        Registers incremental writers (see :mod:`repro.obs.stream`) on the
+        span collector and — when a metric service exists — on the metric
+        service, so spans, samples and counters hit disk at their flush
+        points instead of at the end of the run.  Call **after**
+        :meth:`attach` so the per-node metric streams are known; call
+        :meth:`close_streams` (or the streamer's ``close``) when the run
+        ends to finalize open spans and seal the files.
+        """
+        from repro.obs.stream import RunStreamer
+
+        streamer = RunStreamer(self, directory, chrome=chrome)
+        self._streamers.append(streamer)
+        return streamer
+
+    def close_streams(self) -> list[Path]:
+        """Close every active streamer; returns their run directories."""
+        out: list[Path] = []
+        for streamer in self._streamers:
+            out.append(streamer.close())
+        self._streamers.clear()
+        return out
 
     @property
     def stats(self) -> "SimStats":

@@ -60,9 +60,16 @@ class TraceRun:
     faults: FaultInjector | None = None
 
 
-def _mixed(seed: int, horizon: float) -> TraceRun:
+#: called with the attached Observability handle *before* the run starts —
+#: the hook streaming writers use to register their sinks early enough
+ObsHook = Callable[[Observability], None]
+
+
+def _mixed(seed: int, horizon: float, on_obs: ObsHook | None = None) -> TraceRun:
     cluster = Cluster.chameleon(num_nodes=6, with_nfs=True)
     obs = Observability(cluster).attach(end=horizon)
+    if on_obs is not None:
+        on_obs(obs)
     injector = AnomalyInjector(cluster)
     injector.add(
         Injection(CpuOccupy(utilization=80), node="node1", core=0, start=5.0, duration=0.5 * horizon)
@@ -114,9 +121,11 @@ def _mixed(seed: int, horizon: float) -> TraceRun:
     )
 
 
-def _loadbalance(seed: int, horizon: float) -> TraceRun:
+def _loadbalance(seed: int, horizon: float, on_obs: ObsHook | None = None) -> TraceRun:
     cluster = Cluster.voltrino(num_nodes=2)
     obs = Observability(cluster).attach(end=horizon)
+    if on_obs is not None:
+        on_obs(obs)
     injector = AnomalyInjector(cluster)
     for core in (0, 1, 2):
         injector.add(
@@ -158,9 +167,11 @@ def _loadbalance(seed: int, horizon: float) -> TraceRun:
     )
 
 
-def _faults(seed: int, horizon: float) -> TraceRun:
+def _faults(seed: int, horizon: float, on_obs: ObsHook | None = None) -> TraceRun:
     cluster = Cluster.chameleon(num_nodes=6, with_nfs=True)
     obs = Observability(cluster).attach(end=horizon)
+    if on_obs is not None:
+        on_obs(obs)
     injector = AnomalyInjector(cluster)
     injector.add(
         Injection(CpuOccupy(utilization=80), node="node1", core=0, start=5.0, duration=0.5 * horizon)
@@ -216,17 +227,48 @@ def _faults(seed: int, horizon: float) -> TraceRun:
     )
 
 
-SCENARIOS: dict[str, Callable[[int, float], TraceRun]] = {
-    "mixed": _mixed,
-    "loadbalance": _loadbalance,
-    "faults": _faults,
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A registered trace scenario: factory plus the ``--list`` blurb."""
+
+    name: str
+    description: str
+    factory: Callable[..., TraceRun]
+
+
+SCENARIOS: dict[str, ScenarioSpec] = {
+    "mixed": ScenarioSpec(
+        "mixed",
+        "Chameleon cluster, miniGhost under WBAS, four staggered anomalies",
+        _mixed,
+    ),
+    "loadbalance": ScenarioSpec(
+        "loadbalance",
+        "Charm++-style GreedyRefineLB rebalance under cpuoccupy (Fig. 13)",
+        _loadbalance,
+    ),
+    "faults": ScenarioSpec(
+        "faults",
+        "anomalies + fault campaign with a checkpointing managed job",
+        _faults,
+    ),
 }
 
 
-def run_scenario(name: str, seed: int = 0, horizon: float = 120.0) -> TraceRun:
-    """Run a named scenario end-to-end with tracing attached."""
+def run_scenario(
+    name: str,
+    seed: int = 0,
+    horizon: float = 120.0,
+    on_obs: ObsHook | None = None,
+) -> TraceRun:
+    """Run a named scenario end-to-end with tracing attached.
+
+    ``on_obs`` is invoked with the attached :class:`Observability` handle
+    before the workload runs — pass e.g. ``lambda obs: obs.stream_to(dir)``
+    to stream the run incrementally.
+    """
     try:
-        factory = SCENARIOS[name]
+        spec = SCENARIOS[name]
     except KeyError:
         known = ", ".join(sorted(SCENARIOS))
         raise ObservabilityError(
@@ -234,4 +276,4 @@ def run_scenario(name: str, seed: int = 0, horizon: float = 120.0) -> TraceRun:
         ) from None
     if horizon <= 0:
         raise ObservabilityError("horizon must be positive")
-    return factory(seed, horizon)
+    return spec.factory(seed, horizon, on_obs)

@@ -18,6 +18,14 @@ Spans carry:
 ``sid``
     A collector-unique id, handed out in emission order (deterministic for
     a deterministic simulation).
+``seq``
+    The collector-wide *completion sequence*: assigned when a span closes
+    (and when an instant is recorded), shared between spans and instants.
+    This is the canonical record order of every exporter — a record's
+    content is final exactly when its ``seq`` is assigned, which is what
+    lets the streaming sinks (:mod:`repro.obs.stream`) flush records
+    incrementally with bounded memory and still produce files
+    byte-identical to the end-of-run exporters.
 ``parent``
     Optional ``sid`` of the causally enclosing span (e.g. a segment span's
     parent is its process span), preserved by both exporters.
@@ -40,6 +48,7 @@ from typing import TYPE_CHECKING, Iterable, Mapping
 from repro.errors import ObservabilityError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.stream import ObsSink
     from repro.sim.engine import Simulator
     from repro.sim.process import SimProcess
 
@@ -59,6 +68,8 @@ class Span:
     end: float | None = None
     parent: int | None = None
     args: dict[str, object] = field(default_factory=dict)
+    #: completion sequence (None while open); see the module docstring
+    seq: int | None = None
 
     @property
     def open(self) -> bool:
@@ -80,6 +91,8 @@ class InstantEvent:
     track: Track
     time: float
     args: Mapping[str, object] = field(default_factory=dict)
+    #: completion sequence (assigned at emission; instants are final at birth)
+    seq: int = 0
 
 
 class SpanCollector:
@@ -108,6 +121,10 @@ class SpanCollector:
         self.resolve_events = resolve_events
         self._sim: "Simulator | None" = None
         self._next_sid = 1
+        #: completion sequence shared by spans and instants (record order)
+        self._next_seq = 1
+        #: streaming sinks notified as records open/close (see obs.stream)
+        self._sinks: list["ObsSink"] = []
         #: open per-pid spans maintained by the engine callbacks
         self._proc_spans: dict[int, Span] = {}
         self._seg_spans: dict[int, Span] = {}
@@ -153,6 +170,63 @@ class SpanCollector:
             raise ObservabilityError("collector is not attached")
         return self._sim.now
 
+    # -- streaming sinks ----------------------------------------------------
+
+    def add_sink(self, sink: "ObsSink") -> None:
+        """Register a streaming sink (notified as records open/close).
+
+        Sinks receive every subsequently *closed* span and every instant
+        in completion (``seq``) order — the canonical record order of the
+        exporters — so a sink that writes records as they arrive produces
+        the same bytes as an end-of-run export.
+        """
+        if sink in self._sinks:
+            raise ObservabilityError("sink already registered")
+        self._sinks.append(sink)
+
+    def remove_sink(self, sink: "ObsSink") -> None:
+        """Unregister a sink (already-written records are kept)."""
+        try:
+            self._sinks.remove(sink)
+        except ValueError:
+            raise ObservabilityError("sink is not registered") from None
+
+    @property
+    def sinks(self) -> tuple["ObsSink", ...]:
+        return tuple(self._sinks)
+
+    def _dispatch(self, method: str, record: object) -> None:
+        """Fan one record out to every sink, attributing host time to obs.
+
+        The wall time sinks spend serialising/writing is accumulated under
+        the ``obs`` SimStats timer so ``repro report`` can attribute it;
+        an un-sinked collector never enters this method body beyond the
+        truthiness check at each call site.
+        """
+        sim = self._sim
+        if sim is not None:
+            with sim.stats.timer("obs"):
+                for sink in self._sinks:
+                    getattr(sink, method)(record)
+        else:
+            for sink in self._sinks:
+                getattr(sink, method)(record)
+
+    def _close(
+        self,
+        span: Span,
+        t: float,
+        args: Mapping[str, object] | None = None,
+    ) -> None:
+        """Seal a span: set its end, assign its seq, notify the sinks."""
+        span.end = t
+        if args:
+            span.args.update(args)
+        span.seq = self._next_seq
+        self._next_seq += 1
+        if self._sinks:
+            self._dispatch("on_span_close", span)
+
     # -- emission -----------------------------------------------------------
 
     def _annotate(self, args: dict[str, object]) -> dict[str, object]:
@@ -181,6 +255,8 @@ class SpanCollector:
         )
         self._next_sid += 1
         self.spans.append(span)
+        if self._sinks:
+            self._dispatch("on_span_open", span)
         return span
 
     def end(
@@ -192,9 +268,7 @@ class SpanCollector:
         """Close an open span at ``t`` (default: simulated now)."""
         if span.end is not None:
             raise ObservabilityError(f"span {span.name!r} already closed")
-        span.end = self.now if t is None else t
-        if args:
-            span.args.update(args)
+        self._close(span, self.now if t is None else t, args)
 
     def complete(
         self,
@@ -206,9 +280,14 @@ class SpanCollector:
         parent: int | None = None,
         args: Mapping[str, object] | None = None,
     ) -> Span:
-        """Record an already-finished span (e.g. a barrier cycle)."""
+        """Record an already-finished span (e.g. a barrier cycle).
+
+        The span may start arbitrarily far in the past (a barrier cycle's
+        first arrival); it enters the record stream at the moment it is
+        recorded, which is why exporters order by completion ``seq``.
+        """
         span = self.begin(cat, name, track, start=start, parent=parent, args=args)
-        span.end = end
+        self._close(span, end)
         return span
 
     def instant(
@@ -226,8 +305,12 @@ class SpanCollector:
             track=track,
             time=self.now if t is None else t,
             args=self._annotate(dict(args) if args else {}),
+            seq=self._next_seq,
         )
+        self._next_seq += 1
         self.instants.append(event)
+        if self._sinks:
+            self._dispatch("on_instant", event)
         return event
 
     def watch(self, span: Span, pids: Iterable[int]) -> None:
@@ -270,8 +353,8 @@ class SpanCollector:
         end = self.now if t is None else t
         for span in self.spans:
             if span.end is None:
-                span.end = max(end, span.start)
                 span.args.setdefault("unfinished", True)
+                self._close(span, max(end, span.start))
         self._proc_spans.clear()
         self._seg_spans.clear()
         self._watch_index.clear()

@@ -1,0 +1,349 @@
+"""Streaming telemetry sinks: flush records as the run produces them.
+
+The batch exporters in :mod:`repro.obs.export` hold every span in memory
+and write one file at the end of the run.  This module provides the
+LDMS-style alternative — an :class:`ObsSink` protocol plus bounded-memory
+incremental writers that flush each record the moment it is final:
+
+* spans flush when they **close** (the collector assigns their completion
+  ``seq`` and notifies every registered sink),
+* instants flush when they are recorded,
+* :class:`~repro.monitoring.service.MetricService` samples flush at every
+  sampling tick,
+* :class:`~repro.sim.stats.SimStats` counters flush as periodic snapshot
+  records alongside the samples (plus one final snapshot at close).
+
+**The ObsSink contract.**  A sink receives records in canonical
+completion (``seq``) order, the same order the batch exporters use, so a
+sink that writes records as they arrive produces byte-identical files —
+the ``stream_export`` differential oracle in :mod:`repro.check` asserts
+exactly this for every fuzz-corpus case.  Determinism requirements:
+
+* *Flush points are content-final*: a span's args must not be mutated
+  after it closes; the collector enforces the ordering, the emitters the
+  finality.
+* *Finalize before close*: still-open spans at the end of a run are
+  sealed (and streamed) by
+  :meth:`~repro.obs.spans.SpanCollector.finalize`; closing a writer
+  earlier simply omits the still-open spans.
+* *Bounded memory*: writers keep O(tracks) state (the pid/tid numbering),
+  never the record backlog.
+
+``repro trace <scenario> --stream DIR`` and
+:meth:`~repro.obs.observability.Observability.stream_to` wire a full run
+directory::
+
+    DIR/
+      trace.jsonl          # spans + instants, streamed
+      trace.json           # Chrome trace (opt-in), streamed
+      metrics/<node>.jsonl # one LDMS-style sample stream per node
+      counters.jsonl       # SimStats counter snapshots per sample tick
+      counters.json        # final counter snapshot (written at close)
+
+which is the layout ``repro diff`` and ``repro report`` analyse.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, TYPE_CHECKING, Mapping, Sequence
+
+from repro.errors import ObservabilityError
+from repro.obs.export import (
+    CHROME_DISPLAY_TIME_UNIT,
+    CHROME_OTHER_DATA,
+    TrackNumbering,
+    chrome_instant_event,
+    chrome_span_event,
+    encode_jsonl,
+    jsonl_instant_record,
+    jsonl_span_record,
+)
+from repro.obs.spans import InstantEvent, Span
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.monitoring.service import MetricService
+    from repro.obs.observability import Observability
+    from repro.sim.stats import SimStats
+
+#: filenames of the streamed run-directory layout
+TRACE_JSONL = "trace.jsonl"
+TRACE_CHROME = "trace.json"
+METRICS_DIR = "metrics"
+COUNTERS_JSONL = "counters.jsonl"
+COUNTERS_JSON = "counters.json"
+
+
+class ObsSink:
+    """Protocol base for streaming telemetry consumers.
+
+    Subclass and override the callbacks you care about; every method is a
+    no-op by default so sinks only pay for what they consume.  Callbacks
+    arrive in completion (``seq``) order — see the module docstring for
+    the full contract.
+    """
+
+    def on_span_open(self, span: Span) -> None:
+        """A span was opened (its content is *not* final yet)."""
+
+    def on_span_close(self, span: Span) -> None:
+        """A span closed; its ``seq``, ``end`` and args are final."""
+
+    def on_instant(self, event: InstantEvent) -> None:
+        """An instant was recorded (final at birth)."""
+
+    def on_metric_sample(
+        self, time: float, node: str, values: Mapping[str, float]
+    ) -> None:
+        """A monitoring tick sampled ``node`` (one value per metric)."""
+
+    def flush(self) -> None:
+        """Push buffered bytes to the underlying file, if any."""
+
+    def close(self) -> None:
+        """Seal the output; no callbacks may arrive afterwards."""
+
+
+class _FileSink(ObsSink):
+    """Shared file-handle plumbing: accepts a path or an open text file."""
+
+    def __init__(self, target: str | Path | IO[str]) -> None:
+        if hasattr(target, "write"):
+            self._file: IO[str] = target  # type: ignore[assignment]
+            self._owns_file = False
+        else:
+            path = Path(target)  # type: ignore[arg-type]
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = path.open("w")
+            self._owns_file = True
+        self._closed = False
+
+    def _write(self, text: str) -> None:
+        if self._closed:
+            raise ObservabilityError(f"{type(self).__name__} is closed")
+        self._file.write(text)
+
+    def flush(self) -> None:
+        if not self._closed:
+            self._file.flush()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._file.flush()
+        if self._owns_file:
+            self._file.close()
+
+
+class JsonlStreamWriter(_FileSink):
+    """Incremental JSONL trace writer.
+
+    Writes one record line per closed span / instant as it arrives;
+    after :meth:`~repro.obs.spans.SpanCollector.finalize` + :meth:`close`
+    the file is byte-identical to
+    :func:`repro.obs.export.write_jsonl_trace` of the same collector.
+    """
+
+    def on_span_close(self, span: Span) -> None:
+        assert span.end is not None
+        self._write(encode_jsonl(jsonl_span_record(span, span.end)) + "\n")
+
+    def on_instant(self, event: InstantEvent) -> None:
+        self._write(encode_jsonl(jsonl_instant_record(event)) + "\n")
+
+
+class ChromeStreamWriter(_FileSink):
+    """Incremental Chrome trace-event writer.
+
+    Reproduces ``json.dumps(chrome_trace(collector), sort_keys=True,
+    indent=1)`` byte-for-byte without ever holding more than one event:
+    the fixed header keys sort before ``traceEvents``, track metadata is
+    interleaved at first use, and each event is serialised independently
+    and re-indented into the array.
+    """
+
+    def __init__(self, target: str | Path | IO[str]) -> None:
+        super().__init__(target)
+        self._tracks = TrackNumbering()
+        self._n_events = 0
+        header = {
+            "displayTimeUnit": CHROME_DISPLAY_TIME_UNIT,
+            "otherData": dict(CHROME_OTHER_DATA),
+        }
+        # Render the fixed keys exactly as json.dumps would, then re-open
+        # the object for the trailing "traceEvents" array.
+        body = json.dumps(header, sort_keys=True, indent=1)
+        self._write(body[: body.rfind("\n}")] + ',\n "traceEvents": [')
+
+    def _emit(self, event: dict[str, object]) -> None:
+        lead = "\n" if self._n_events == 0 else ",\n"
+        dumped = json.dumps(event, sort_keys=True, indent=1)
+        self._write(lead + "\n".join("  " + line for line in dumped.splitlines()))
+        self._n_events += 1
+
+    def _emit_with_metadata(self, track: tuple[str, str], event: dict[str, object]) -> None:
+        for meta in self._tracks.metadata_for(track):
+            self._emit(meta)
+        self._emit(event)
+
+    def on_span_close(self, span: Span) -> None:
+        assert span.end is not None
+        for meta in self._tracks.metadata_for(span.track):
+            self._emit(meta)
+        self._emit(chrome_span_event(span, span.end, self._tracks))
+
+    def on_instant(self, event: InstantEvent) -> None:
+        for meta in self._tracks.metadata_for(event.track):
+            self._emit(meta)
+        self._emit(chrome_instant_event(event, self._tracks))
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._write(("\n ]" if self._n_events else "]") + "\n}\n")
+        super().close()
+
+
+class MetricJsonlStreamWriter(_FileSink):
+    """Streams one node's monitoring samples as JSONL.
+
+    Byte-identical to :func:`repro.monitoring.export.to_jsonl_text` for
+    the same node once the run ends: one ``{"time", "node", metrics...}``
+    record per sampling tick, restricted to the service's declared metric
+    names (per-core extras stay out of the export, as in the batch path).
+    """
+
+    def __init__(
+        self,
+        target: str | Path | IO[str],
+        node: str,
+        metrics: Sequence[str],
+    ) -> None:
+        super().__init__(target)
+        self.node = node
+        self.metrics = tuple(metrics)
+
+    def on_metric_sample(
+        self, time: float, node: str, values: Mapping[str, float]
+    ) -> None:
+        if node != self.node:
+            return
+        record: dict[str, object] = {"time": float(time), "node": node}
+        for metric in self.metrics:
+            record[metric] = float(values[metric])
+        self._write(json.dumps(record, sort_keys=True) + "\n")
+
+
+class CounterStreamWriter(_FileSink):
+    """Streams deterministic SimStats counter snapshots per sample tick.
+
+    Each line is ``{"time": t, "counters": {...}}`` with the integer
+    counters sorted by name; wall-clock timings are excluded (they are
+    not deterministic and belong to ``repro report``'s wallclock section).
+    """
+
+    def __init__(self, target: str | Path | IO[str], stats: "SimStats") -> None:
+        super().__init__(target)
+        self._stats = stats
+        self._last_node: str | None = None
+
+    def on_metric_sample(
+        self, time: float, node: str, values: Mapping[str, float]
+    ) -> None:
+        # One snapshot per tick, not per node: emit on the first node seen
+        # at each new timestamp.
+        if self._last_node is not None and node != self._last_node:
+            return
+        self._last_node = node
+        record = {
+            "time": float(time),
+            "counters": dict(sorted(self._stats.counters.items())),
+        }
+        self._write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def counters_snapshot_text(stats: "SimStats") -> str:
+    """Canonical JSON of the final deterministic counter block."""
+    return (
+        json.dumps(
+            {"counters": dict(sorted(stats.counters.items()))},
+            sort_keys=True,
+            indent=2,
+        )
+        + "\n"
+    )
+
+
+class RunStreamer:
+    """Wire a full streamed run directory onto an Observability handle.
+
+    Registers trace writers on the span collector and per-node metric
+    writers on the metric service; :meth:`close` finalizes the collector,
+    seals every file and writes the final counter snapshot.  Create via
+    :meth:`Observability.stream_to`.
+    """
+
+    def __init__(
+        self,
+        obs: "Observability",
+        directory: str | Path,
+        chrome: bool = False,
+    ) -> None:
+        self.obs = obs
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.sinks: list[ObsSink] = []
+        self._closed = False
+
+        self._trace_sinks: list[ObsSink] = [
+            JsonlStreamWriter(self.directory / TRACE_JSONL)
+        ]
+        if chrome:
+            self._trace_sinks.append(ChromeStreamWriter(self.directory / TRACE_CHROME))
+        for sink in self._trace_sinks:
+            obs.collector.add_sink(sink)
+        self.sinks.extend(self._trace_sinks)
+
+        self._metric_sinks: list[ObsSink] = []
+        service = obs.service
+        if service is not None:
+            metrics = service.metric_names
+            for node in sorted(service.data):
+                self._metric_sinks.append(
+                    MetricJsonlStreamWriter(
+                        self.directory / METRICS_DIR / f"{node}.jsonl", node, metrics
+                    )
+                )
+            self._metric_sinks.append(
+                CounterStreamWriter(self.directory / COUNTERS_JSONL, obs.stats)
+            )
+            for sink in self._metric_sinks:
+                service.add_sink(sink)
+            self.sinks.extend(self._metric_sinks)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> Path:
+        """Finalize, detach every sink, seal the files; returns the dir."""
+        if self._closed:
+            return self.directory
+        self._closed = True
+        collector = self.obs.collector
+        if collector.attached:
+            collector.finalize()
+        for sink in self._trace_sinks:
+            collector.remove_sink(sink)
+        service = self.obs.service
+        if service is not None:
+            for sink in self._metric_sinks:
+                service.remove_sink(sink)
+        for sink in self.sinks:
+            sink.close()
+        (self.directory / COUNTERS_JSON).write_text(
+            counters_snapshot_text(self.obs.stats)
+        )
+        return self.directory

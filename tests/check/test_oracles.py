@@ -16,6 +16,7 @@ from repro.check.oracles import (
     oracle_checkpoint_restart,
     oracle_parallel_sweep,
     oracle_registry_cli,
+    oracle_stream_export,
     run_global_oracles,
 )
 from repro.cluster.ratemodel import ArrayRateModel
@@ -33,6 +34,7 @@ class TestCleanTree:
             "checkpoint_restart",
             "checkpoint_free",
             "registry_cli",
+            "stream_export",
         ]
         for result in results:
             assert result.ok, f"{result.name}: {result.detail}"
@@ -182,3 +184,36 @@ class TestFlowMemoOracle:
         # incremental and full runs both use the perturbed memoized
         # solver, so they still agree with each other
         assert "incremental_resolve" not in names
+
+
+class TestStreamExportOracle:
+    def test_passes_clean(self):
+        result = oracle_stream_export(seed=1, cases=2)
+        assert result.ok, result.detail
+
+    def test_catches_dropped_records(self, monkeypatch):
+        # A sink that silently loses instants — the lost-flush regression
+        # streaming exists to never ship with.
+        from repro.obs.stream import JsonlStreamWriter
+
+        monkeypatch.setattr(
+            JsonlStreamWriter, "on_instant", lambda self, event: None
+        )
+        result = oracle_stream_export(seed=0, cases=2)
+        assert not result.ok
+        assert "jsonl drift" in result.detail
+
+    def test_catches_nonfinal_flush(self, monkeypatch):
+        # A metric writer that mangles values at flush time: streamed
+        # bytes must mirror the batch export, not a lossy rounding.
+        from repro.obs.stream import MetricJsonlStreamWriter
+
+        real = MetricJsonlStreamWriter.on_metric_sample
+
+        def rounded(self, time, node, values):
+            real(self, time, node, {k: round(v, 1) for k, v in values.items()})
+
+        monkeypatch.setattr(MetricJsonlStreamWriter, "on_metric_sample", rounded)
+        result = oracle_stream_export(seed=0, cases=2)
+        assert not result.ok
+        assert "metric stream" in result.detail

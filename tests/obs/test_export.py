@@ -104,12 +104,18 @@ class TestJsonl:
         kinds = {r["type"] for r in records}
         assert kinds == {"span", "instant"}
 
-    def test_time_ordered(self, collector):
-        times = [
-            r.get("start", r.get("time"))
-            for r in map(json.loads, jsonl_lines(collector))
-        ]
-        assert times == sorted(times)
+    def test_completion_seq_ordered(self, collector):
+        seqs = [r["seq"] for r in map(json.loads, jsonl_lines(collector))]
+        assert seqs == sorted(seqs)
+        assert seqs == list(range(1, len(seqs) + 1))
+
+    def test_retroactive_complete_streams_at_record_time(self, collector):
+        # The cpuoccupy span starts at t=0.5 but was recorded last, so it
+        # is last in canonical order — the property that lets streaming
+        # writers flush records the moment they close.
+        records = [json.loads(line) for line in jsonl_lines(collector)]
+        assert records[-1]["name"] == "cpuoccupy"
+        assert records[-1]["start"] == pytest.approx(0.5)
 
     def test_write_jsonl(self, tmp_path, collector):
         path = write_jsonl_trace(collector, tmp_path / "t.jsonl")

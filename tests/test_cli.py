@@ -175,3 +175,117 @@ class TestExperimentSubcommand:
         assert "archived" not in out
         # quiet silences the narration, not the archiving itself
         assert (tmp_path / "StubResult.txt").exists()
+
+
+class TestTrace:
+    def test_list_enumerates_scenarios(self, capsys):
+        rc = main(["trace", "--list"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in ("faults", "loadbalance", "mixed"):
+            assert name in out
+        assert "GreedyRefineLB" in out  # descriptions, not just names
+
+    def test_bare_trace_lists_too(self, capsys):
+        rc = main(["trace"])
+        assert rc == 0
+        assert "mixed" in capsys.readouterr().out
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "nope"])
+
+    def test_stream_writes_run_directory(self, capsys, tmp_path):
+        run_dir = tmp_path / "run"
+        rc = main(
+            [
+                "trace",
+                "loadbalance",
+                "--horizon",
+                "30",
+                "--stream",
+                str(run_dir),
+                "--out",
+                str(tmp_path / "trace.json"),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "streamed scenario 'loadbalance'" in out
+        assert (run_dir / "trace.jsonl").is_file()
+        assert (run_dir / "trace.json").is_file()
+        assert (run_dir / "counters.json").is_file()
+        assert (run_dir / "metrics" / "node0.jsonl").is_file()
+
+
+class TestDiff:
+    def test_identical_directories_exit_zero(self, capsys, tmp_path):
+        import shutil
+
+        run_dir = tmp_path / "a"
+        main(
+            [
+                "trace",
+                "loadbalance",
+                "--horizon",
+                "30",
+                "--stream",
+                str(run_dir),
+                "--out",
+                str(tmp_path / "trace.json"),
+            ]
+        )
+        shutil.copytree(run_dir, tmp_path / "b")
+        capsys.readouterr()
+        rc = main(["diff", str(run_dir), str(tmp_path / "b")])
+        assert rc == 0
+        assert "0 differences" in capsys.readouterr().out
+
+        # Any byte drift must flip the exit status.
+        counters = tmp_path / "b" / "counters.jsonl"
+        counters.write_text(counters.read_text().replace("0", "1", 1))
+        rc = main(["diff", str(run_dir), str(tmp_path / "b")])
+        assert rc == 1
+        assert "differs: counters.jsonl" in capsys.readouterr().out
+
+    def test_missing_directory_raises(self, tmp_path):
+        from repro.errors import ObservabilityError
+
+        (tmp_path / "a").mkdir()
+        with pytest.raises(ObservabilityError, match="not a directory"):
+            main(["diff", str(tmp_path / "a"), str(tmp_path / "nope")])
+
+
+class TestReport:
+    def test_scenario_report_renders(self, capsys):
+        rc = main(
+            ["report", "loadbalance", "--horizon", "30", "--no-wallclock"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "run report: scenario 'loadbalance'" in out
+        assert "wall-clock" not in out
+
+    def test_markdown_output(self, capsys, tmp_path):
+        md = tmp_path / "report.md"
+        rc = main(
+            [
+                "report",
+                "loadbalance",
+                "--horizon",
+                "30",
+                "--no-wallclock",
+                "--md",
+                str(md),
+            ]
+        )
+        assert rc == 0
+        assert "# Run report:" in md.read_text()
+
+    def test_scenario_and_run_dir_are_exclusive(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["report", "mixed", "--run-dir", str(tmp_path)])
+
+    def test_one_source_required(self):
+        with pytest.raises(SystemExit):
+            main(["report"])
