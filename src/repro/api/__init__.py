@@ -1,0 +1,41 @@
+"""Public client API for running experiments as jobs.
+
+This package is the supported programmatic surface of the job service
+(docs/SERVICE.md).  Everything a caller needs is exported here::
+
+    from repro.api import Client
+
+    with Client(state_dir="state") as client:
+        handle = client.submit("fig8")
+        client.wait(handle.job_id)
+        print(client.result(handle.job_id).render())
+
+Resubmitting the same (experiment, seed, overrides) against the same
+``state_dir`` is a cache hit: no simulation runs, and the returned
+artefacts are byte-identical to the fresh run's (a property enforced by
+the ``result_cache`` differential oracle in :mod:`repro.check`).
+
+Naming convention (see docs/API.md): names exported from ``repro.api``
+and ``repro.service`` package roots are public and stable; modules with
+a leading underscore (``repro.api._client``, ``repro.service._queue``,
+...) are internal and may change without notice.
+"""
+
+from repro.api._client import (
+    DEFAULT_CLIENT,
+    Client,
+    JobHandle,
+    JobResult,
+    JobStatus,
+)
+from repro.api._schema import JOB_RECORD_SCHEMA, JOB_REQUEST_SCHEMA
+
+__all__ = [
+    "Client",
+    "DEFAULT_CLIENT",
+    "JOB_RECORD_SCHEMA",
+    "JOB_REQUEST_SCHEMA",
+    "JobHandle",
+    "JobResult",
+    "JobStatus",
+]

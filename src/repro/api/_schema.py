@@ -1,0 +1,65 @@
+"""Stable JSON schemas for the service's wire records (internal).
+
+These document — and pin, via tests — the JSON forms that cross process
+or filesystem boundaries: the normalized job request
+(:meth:`repro.experiments.registry.JobRequest.to_json`) and the queue's
+job record (:meth:`repro.service.JobRecord.to_json`, also the ``job``
+field of every ``submit`` journal entry).  Consumers outside this
+codebase (dashboards tailing the journal, CI scripts inspecting
+``record.json`` store entries) may rely on every listed property being
+present with the listed type; additions are backwards-compatible,
+removals and renames are not.
+"""
+
+from __future__ import annotations
+
+#: JSON schema of a normalized job request (``JobRequest.to_json``).
+JOB_REQUEST_SCHEMA: dict[str, object] = {
+    "$schema": "https://json-schema.org/draft/2020-12/schema",
+    "title": "JobRequest",
+    "type": "object",
+    "properties": {
+        "name": {"type": "string"},
+        "result_name": {"type": "string"},
+        "seed": {"type": ["integer", "null"]},
+        "overrides": {"type": "object"},
+        "extras": {"type": "object"},
+    },
+    "required": ["name", "result_name", "seed", "overrides"],
+    "additionalProperties": True,
+}
+
+#: JSON schema of a queue job record (``JobRecord.to_json``).
+JOB_RECORD_SCHEMA: dict[str, object] = {
+    "$schema": "https://json-schema.org/draft/2020-12/schema",
+    "title": "JobRecord",
+    "type": "object",
+    "properties": {
+        "job_id": {"type": "string"},
+        "request": JOB_REQUEST_SCHEMA,
+        "fingerprint": {"type": "string"},
+        "priority": {"type": "integer"},
+        "client": {"type": "string"},
+        "seq": {"type": "integer"},
+        "state": {
+            "type": "string",
+            "enum": ["queued", "running", "done", "failed", "cancelled"],
+        },
+        "attempt": {"type": "integer"},
+        "cached": {"type": "boolean"},
+        "reason": {"type": "string"},
+    },
+    "required": [
+        "job_id",
+        "request",
+        "fingerprint",
+        "priority",
+        "client",
+        "seq",
+        "state",
+        "attempt",
+        "cached",
+        "reason",
+    ],
+    "additionalProperties": True,
+}

@@ -372,6 +372,86 @@ def oracle_registry_cli(seed: int = 0) -> OracleResult:
     )
 
 
+# -- cached vs fresh results --------------------------------------------------
+
+
+def oracle_result_cache(seed: int = 0) -> OracleResult:
+    """Submitting the same (spec, seed) twice must simulate exactly once,
+    and the cache-hit artefacts must be byte-identical to a fresh run's."""
+    import tempfile
+    from pathlib import Path
+
+    from repro.api import Client
+    from repro.experiments.registry import (
+        EXPERIMENT_REGISTRY,
+        ExperimentSpec,
+        persist_result,
+    )
+
+    calls: list[int] = []
+
+    def probe_runner(seed: int = seed) -> _ProbeResult:
+        calls.append(seed)
+        return _run_check_probe(seed)
+
+    name = "cache_probe"
+    spec = ExperimentSpec(
+        name,
+        "internal probe for the result-cache oracle",
+        probe_runner,
+        "CheckProbeResult",
+        seed=seed,
+    )
+    EXPERIMENT_REGISTRY[name] = spec
+    try:
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp)
+            with Client(state_dir=root / "state") as client:
+                first = client.submit(name)
+                second = client.submit(name)
+                client.wait()
+                s1 = client.status(first.job_id)
+                s2 = client.status(second.job_id)
+                if len(calls) != 1:
+                    return OracleResult(
+                        "result_cache",
+                        False,
+                        f"two equal submissions ran the simulation "
+                        f"{len(calls)} times (want exactly 1)",
+                    )
+                if s1.state != "done" or s2.state != "done":
+                    return OracleResult(
+                        "result_cache",
+                        False,
+                        f"jobs did not finish: {s1.state}/{s2.state} "
+                        f"({s1.reason or s2.reason})",
+                    )
+                if s1.cached or not s2.cached:
+                    return OracleResult(
+                        "result_cache",
+                        False,
+                        f"cache flags wrong: first cached={s1.cached} "
+                        f"(want False), second cached={s2.cached} (want True)",
+                    )
+                fresh_txt = client.persist(first.job_id, root / "fresh")
+                hit_txt = client.persist(second.job_id, root / "hit")
+            direct_txt = persist_result(_run_check_probe(seed), root / "direct")
+            for label, archived in (("fresh", fresh_txt), ("cache-hit", hit_txt)):
+                for suffix in ("", ".manifest.json"):
+                    a = Path(str(archived).replace(".txt", suffix or ".txt"))
+                    b = Path(str(direct_txt).replace(".txt", suffix or ".txt"))
+                    if a.read_bytes() != b.read_bytes():
+                        return OracleResult(
+                            "result_cache",
+                            False,
+                            f"{label} artefact {a.name} differs from a "
+                            f"direct run's",
+                        )
+    finally:
+        EXPERIMENT_REGISTRY.pop(name, None)
+    return OracleResult("result_cache", True)
+
+
 def run_global_oracles(seed: int, corpus: list | None = None) -> list[OracleResult]:
     """The oracles a fuzz run always executes once, in a fixed order.
 
@@ -385,5 +465,6 @@ def run_global_oracles(seed: int, corpus: list | None = None) -> list[OracleResu
         oracle_checkpoint_restart(seed),
         oracle_checkpoint_free(seed),
         oracle_registry_cli(seed),
+        oracle_result_cache(seed),
         oracle_stream_export(seed, corpus=corpus),
     ]

@@ -15,6 +15,8 @@ module provides the same surface against the simulated substrate::
     python -m repro experiment fig8
     python -m repro faults --seed 1
     python -m repro check --cases 50 --seed 0
+    python -m repro submit fig8 --state-dir state
+    python -m repro serve --state-dir state --shards 2
 
 It builds a Voltrino-like cluster, optionally co-runs a benchmark
 application, injects the requested anomaly, and prints a monitoring
@@ -34,7 +36,12 @@ registry (:mod:`repro.experiments.registry`) and archives its results
 exactly as the benchmark harness does; ``faults`` runs the
 fault-injection resilience sweep (see docs/FAULTS.md); ``check`` fuzzes
 the simulator with runtime invariants and differential oracles attached
-(see :mod:`repro.check` and docs/TESTING.md).
+(see :mod:`repro.check` and docs/TESTING.md); ``submit`` and ``serve``
+expose the async job service with its content-addressed result cache
+(see docs/SERVICE.md).  The ``experiment`` / ``varbench`` / ``faults``
+subcommands are thin adapters over :class:`repro.api.Client` — same
+flags, byte-identical output, but repeated runs against a persistent
+``--state-dir`` are served from the cache.
 
 Invoking an experiment by its bare name (``repro fig8``) still works as
 a deprecated alias for ``repro experiment fig8`` and prints a warning on
@@ -161,24 +168,45 @@ def build_varbench_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run_job(client, name, seed=None, overrides=None):
+    """Submit one job on ``client``, drive it to completion, return its result.
+
+    The shared body of every legacy subcommand adapter: a failed job
+    surfaces as a :class:`~repro.errors.ServiceError` carrying the
+    worker-side exception text, mirroring how the old direct call would
+    have raised.
+    """
+    from repro.errors import ServiceError
+
+    handle = client.submit(name, seed=seed, overrides=overrides)
+    status = client.wait(handle.job_id)
+    if status.state != "done":
+        raise ServiceError(
+            f"job {status.job_id} ({status.name}) {status.state}"
+            + (f": {status.reason}" if status.reason else "")
+        )
+    return client.result(handle.job_id)
+
+
 def varbench_main(argv: list[str]) -> int:
-    from repro.core import make_anomaly
-    from repro.varbench import VariabilityReport
+    from repro.api import Client
 
     args = build_varbench_parser().parse_args(argv)
     _apply_backend(args)
-    factory = (
-        None if args.anomaly is None else (lambda a=args.anomaly: make_anomaly(a))
-    )
-    report = VariabilityReport.measure(
-        app_name=args.app,
-        anomaly_factory=factory,
-        repetitions=args.reps,
-        iterations=args.iterations,
-        seed=args.seed,
-        jobs=args.jobs,
-    )
-    report.write()
+    with Client() as client:
+        result = _run_job(
+            client,
+            "varbench",
+            seed=args.seed,
+            overrides={
+                "app": args.app,
+                "anomaly": args.anomaly,
+                "reps": args.reps,
+                "iterations": args.iterations,
+                "jobs": args.jobs,
+            },
+        )
+    OutputWriter().line(result.render())
     return 0
 
 
@@ -405,11 +433,8 @@ def build_experiment_parser() -> argparse.ArgumentParser:
 
 
 def experiment_main(argv: list[str]) -> int:
-    from repro.experiments.registry import (
-        EXPERIMENT_REGISTRY,
-        get_experiment,
-        persist_result,
-    )
+    from repro.api import Client
+    from repro.experiments.registry import EXPERIMENT_REGISTRY
 
     args = build_experiment_parser().parse_args(argv)
     _apply_backend(args)
@@ -421,11 +446,11 @@ def experiment_main(argv: list[str]) -> int:
             seed = "-" if spec.seed is None else str(spec.seed)
             out.line(f"{name.ljust(width)}  seed={seed:4s} {spec.description}")
         return 0
-    spec = get_experiment(args.name)
-    result = spec.run(seed=args.seed)
+    with Client() as client:
+        result = _run_job(client, args.name, seed=args.seed)
     out.line(result.render())
     if not args.no_persist:
-        path = persist_result(result, args.out)
+        path = result.persist(args.out)
         if not args.quiet:
             out.line(f"archived {path}")
     return 0
@@ -474,24 +499,22 @@ def build_faults_parser() -> argparse.ArgumentParser:
 
 
 def faults_main(argv: list[str]) -> int:
-    from repro.experiments.ext_faults import run_ext_faults
-    from repro.experiments.registry import persist_result
+    from repro.api import Client
 
     args = build_faults_parser().parse_args(argv)
-    kwargs = {}
+    overrides: dict[str, object] = {
+        "n_jobs": args.n_jobs,
+        "iterations": args.iterations,
+        "horizon": args.horizon,
+    }
     if args.rates is not None:
-        kwargs["rates"] = tuple(args.rates)
-    result = run_ext_faults(
-        seed=args.seed,
-        n_jobs=args.n_jobs,
-        iterations=args.iterations,
-        horizon=args.horizon,
-        **kwargs,
-    )
+        overrides["rates"] = tuple(args.rates)
+    with Client() as client:
+        result = _run_job(client, "ext_faults", seed=args.seed, overrides=overrides)
     out = OutputWriter()
     out.line(result.render())
     if not args.no_persist:
-        path = persist_result(result, args.out)
+        path = result.persist(args.out)
         out.line(f"archived {path}")
     return 0
 
@@ -508,6 +531,18 @@ def _check_main(argv: list[str]) -> int:
     return check_main(argv)
 
 
+def _submit_main(argv: list[str]) -> int:
+    from repro.service.cli import submit_main
+
+    return submit_main(argv)
+
+
+def _serve_main(argv: list[str]) -> int:
+    from repro.service.cli import serve_main
+
+    return serve_main(argv)
+
+
 #: first-class subcommands; anything else is an anomaly name, or a bare
 #: experiment name kept as a deprecated alias of ``repro experiment``
 SUBCOMMANDS = {
@@ -519,6 +554,8 @@ SUBCOMMANDS = {
     "experiment": experiment_main,
     "faults": faults_main,
     "check": _check_main,
+    "submit": _submit_main,
+    "serve": _serve_main,
 }
 
 

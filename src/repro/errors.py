@@ -78,3 +78,15 @@ class ObservabilityError(ReproError):
 
 class CheckError(ReproError):
     """A runtime invariant or differential oracle was violated (repro.check)."""
+
+
+class ServiceError(ReproError):
+    """Invalid use of the job-service layer (repro.service / repro.api)."""
+
+
+class QuotaError(ServiceError):
+    """A client exceeded its per-client active-job quota."""
+
+
+class JobNotFound(ServiceError):
+    """The referenced job id is unknown to the queue."""

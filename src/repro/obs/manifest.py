@@ -128,7 +128,14 @@ def manifest_text(manifest: Mapping[str, object]) -> str:
 
 
 def write_manifest(path: str | Path, manifest: Mapping[str, object]) -> Path:
-    """Write a manifest next to its results; returns the path."""
+    """Write a manifest next to its results; returns the path.
+
+    Atomic (temp file + rename, :mod:`repro._atomic`): a crash mid-write
+    leaves either the previous manifest or the new one, never a torn
+    file that `repro diff` would misread as a divergence.
+    """
+    from repro._atomic import atomic_write_text
+
     path = Path(path)
-    path.write_text(manifest_text(manifest))
+    atomic_write_text(path, manifest_text(manifest))
     return path

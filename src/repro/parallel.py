@@ -24,6 +24,7 @@ else in the library.
 from __future__ import annotations
 
 import multiprocessing
+import queue as queue_mod
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
@@ -78,3 +79,110 @@ def run_trials(
     with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
         futures = [pool.submit(factory, payload) for payload in payloads]
         return [future.result() for future in futures]
+
+
+# -- persistent workers (the job-service substrate) ---------------------------
+
+
+def _shard_main(
+    factory: Callable[[T], R],
+    inbox: "multiprocessing.Queue",
+    outbox: "multiprocessing.Queue",
+) -> None:
+    """Worker-process loop: execute payloads until the ``None`` sentinel.
+
+    Exceptions raised by a payload are *reported*, not fatal — the worker
+    stays alive for the next payload.  Only an external kill (or an
+    interpreter-level crash) takes the process down, which the parent
+    observes as a dead process with an unanswered payload.
+    """
+    while True:
+        item = inbox.get()
+        if item is None:
+            return
+        tag, payload = item
+        try:
+            result = factory(payload)
+        except BaseException as exc:  # deliberate: report, keep serving
+            outbox.put((tag, False, f"{type(exc).__name__}: {exc}"))
+        else:
+            outbox.put((tag, True, result))
+
+
+class ShardWorker:
+    """One persistent ``spawn`` worker executing payloads in order.
+
+    The long-running sibling of :func:`run_trials`: same determinism
+    contract (pure importable factory, ``spawn`` start method, payloads
+    carry all state), but the process outlives individual payloads so a
+    job service can keep submitting without paying interpreter start-up
+    per job.  :class:`repro.service.WorkerPool` builds its shards from
+    this class; like the executor above, it is sanctioned here so lint
+    rule RL009 keeps flagging ad-hoc ``multiprocessing`` elsewhere.
+    """
+
+    def __init__(self, factory: Callable[[T], R], name: str = "shard") -> None:
+        self.factory = factory
+        self.name = name
+        context = multiprocessing.get_context("spawn")
+        self._inbox: multiprocessing.Queue = context.Queue()
+        self._outbox: multiprocessing.Queue = context.Queue()
+        self._process = context.Process(
+            target=_shard_main,
+            args=(factory, self._inbox, self._outbox),
+            name=name,
+            daemon=True,
+        )
+        self._process.start()
+        self.outstanding = 0
+
+    @property
+    def alive(self) -> bool:
+        return self._process.is_alive()
+
+    @property
+    def busy(self) -> bool:
+        return self.outstanding > 0
+
+    def submit(self, tag: object, payload: T) -> None:
+        """Queue one payload; results come back through :meth:`poll`."""
+        if not self.alive:
+            raise ConfigError(f"worker {self.name!r} is not running")
+        self._inbox.put((tag, payload))
+        self.outstanding += 1
+
+    def poll(self, timeout: float | None = 0.0):
+        """Next ``(tag, ok, value)`` result, or ``None`` within ``timeout``.
+
+        ``ok`` is False when the payload raised; ``value`` is then the
+        formatted exception.  A worker killed mid-payload never answers —
+        detect that as ``poll() is None and not worker.alive`` while
+        :attr:`busy`.
+        """
+        try:
+            tag, ok, value = self._outbox.get(
+                block=timeout is None or timeout > 0, timeout=timeout or None
+            )
+        except queue_mod.Empty:
+            return None
+        self.outstanding -= 1
+        return tag, ok, value
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Graceful shutdown: sentinel, join, terminate as a last resort."""
+        if self._process.is_alive():
+            self._inbox.put(None)
+            self._process.join(timeout)
+        if self._process.is_alive():  # pragma: no cover - stuck worker
+            self._process.terminate()
+            self._process.join(timeout)
+        self._inbox.close()
+        self._outbox.close()
+
+    def kill(self) -> None:
+        """Hard-stop the worker (timeout enforcement path)."""
+        if self._process.is_alive():
+            self._process.terminate()
+            self._process.join(5.0)
+        self._inbox.close()
+        self._outbox.close()

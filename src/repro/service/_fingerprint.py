@@ -1,0 +1,59 @@
+"""Content-addressed job fingerprints (internal).
+
+A fingerprint is the sha256 of the canonical JSON of everything that can
+change a job's artefact bytes:
+
+* the normalized request — spec name, result name, resolved seed, and
+  the semantic overrides (:meth:`ExperimentSpec.normalize` has already
+  canonicalized values and dropped non-semantic knobs like ``jobs``);
+* the simulation backend (``object`` / ``array``) — the differential
+  oracle proves the backends byte-identical, but keying on the backend
+  keeps the cache trustworthy even while that oracle is the thing under
+  test;
+* the package version — any code change that could move a float ships
+  with a version bump, which invalidates every prior entry (the cache
+  invalidation rule, see docs/SERVICE.md).
+
+Two requests with equal fingerprints therefore have byte-identical
+artefacts, which is what lets the :class:`~repro.service.ResultStore`
+serve a cache hit in place of a simulation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import TYPE_CHECKING
+
+from repro.sim.engine import default_backend
+from repro.version import __version__
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.registry import JobRequest
+
+
+def fingerprint_key(
+    request: "JobRequest",
+    backend: str | None = None,
+    version: str | None = None,
+) -> dict[str, object]:
+    """The canonical key material a fingerprint digests (for inspection)."""
+    return {
+        "name": request.name,
+        "result_name": request.result_name,
+        "seed": request.seed,
+        "overrides": dict(request.overrides),
+        "backend": default_backend() if backend is None else backend,
+        "version": __version__ if version is None else version,
+    }
+
+
+def fingerprint_request(
+    request: "JobRequest",
+    backend: str | None = None,
+    version: str | None = None,
+) -> str:
+    """sha256 hex digest of the canonical fingerprint key."""
+    key = fingerprint_key(request, backend=backend, version=version)
+    text = json.dumps(key, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

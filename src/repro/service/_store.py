@@ -1,0 +1,136 @@
+"""Content-addressed result store (internal).
+
+Entries are keyed by the job fingerprint (:mod:`._fingerprint`) and hold
+the exact artefact bytes a fresh run would persist::
+
+    <store>/ab/abcdef.../result.txt       # rendered table + newline
+    <store>/ab/abcdef.../manifest.json    # canonical run manifest
+    <store>/ab/abcdef.../record.json      # fingerprint key + provenance
+
+Every file is written with temp-file + ``os.replace`` renames, and
+``record.json`` is written **last** — its presence is the commit marker.
+A worker killed mid-``put`` leaves at worst an uncommitted entry that
+:meth:`ResultStore.get` ignores and a later ``put`` overwrites, so the
+store can never serve a truncated artefact as a cache hit (the
+``result_cache`` differential oracle in :mod:`repro.check` asserts the
+stronger property: a served hit is byte-identical to a fresh run).
+
+Invalidation is by construction: the fingerprint keys on package version
+and backend, so stale entries are simply never looked up again.  Delete
+the store directory to reclaim space.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping
+
+from repro._atomic import atomic_write_text
+from repro.errors import ServiceError
+from repro.experiments.registry import ResultArtifacts, persist_artifacts
+
+#: filenames inside one store entry
+RESULT_FILE = "result.txt"
+MANIFEST_FILE = "manifest.json"
+RECORD_FILE = "record.json"
+
+
+@dataclass(frozen=True)
+class StoredResult:
+    """One committed cache entry."""
+
+    fingerprint: str
+    artifacts: ResultArtifacts
+    record: Mapping[str, object]
+
+
+class ResultStore:
+    """Content-addressed, crash-safe store of whole-run artefacts."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        #: in-memory counters (this process's hits/misses/puts)
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+
+    def entry_dir(self, fingerprint: str) -> Path:
+        if len(fingerprint) < 3:
+            raise ServiceError(f"malformed fingerprint {fingerprint!r}")
+        return self.directory / fingerprint[:2] / fingerprint
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return (self.entry_dir(fingerprint) / RECORD_FILE).exists()
+
+    def get(self, fingerprint: str) -> StoredResult | None:
+        """Return the committed entry, or ``None`` (counts a miss)."""
+        entry = self.entry_dir(fingerprint)
+        record_path = entry / RECORD_FILE
+        if not record_path.exists():
+            self.misses += 1
+            return None
+        record = json.loads(record_path.read_text())
+        artifacts = ResultArtifacts(
+            result_name=str(record["result_name"]),
+            text=(entry / RESULT_FILE).read_text(),
+            manifest_text=(entry / MANIFEST_FILE).read_text(),
+        )
+        self.hits += 1
+        return StoredResult(fingerprint, artifacts, record)
+
+    def put(
+        self,
+        fingerprint: str,
+        artifacts: ResultArtifacts,
+        record: Mapping[str, object] | None = None,
+    ) -> StoredResult:
+        """Commit an entry (idempotent: equal fingerprints, equal bytes)."""
+        entry = self.entry_dir(fingerprint)
+        atomic_write_text(entry / RESULT_FILE, artifacts.text)
+        atomic_write_text(entry / MANIFEST_FILE, artifacts.manifest_text)
+        full_record: dict[str, object] = {
+            "fingerprint": fingerprint,
+            "result_name": artifacts.result_name,
+            **(dict(record) if record else {}),
+        }
+        # The commit point: readers only trust entries with a record.
+        atomic_write_text(
+            entry / RECORD_FILE,
+            json.dumps(full_record, sort_keys=True, indent=2) + "\n",
+        )
+        self.puts += 1
+        return StoredResult(fingerprint, artifacts, full_record)
+
+    def persist_to(self, fingerprint: str, directory: str | Path) -> Path:
+        """Write an entry's artefacts into ``directory`` (cache-hit path).
+
+        Byte-identical to persisting the fresh result: both go through
+        :func:`repro.experiments.registry.persist_artifacts` on the same
+        strings.
+        """
+        stored = self.get(fingerprint)
+        if stored is None:
+            raise ServiceError(f"no committed entry for {fingerprint!r}")
+        return persist_artifacts(stored.artifacts, directory)
+
+    def fingerprints(self) -> tuple[str, ...]:
+        """Every committed fingerprint, sorted."""
+        out = []
+        for record_path in sorted(self.directory.glob(f"??/*/{RECORD_FILE}")):
+            out.append(record_path.parent.name)
+        return tuple(sorted(out))
+
+    def clear(self) -> int:
+        """Drop every committed entry; returns how many were removed."""
+        removed = 0
+        for fingerprint in self.fingerprints():
+            entry = self.entry_dir(fingerprint)
+            for name in (RECORD_FILE, RESULT_FILE, MANIFEST_FILE):
+                path = entry / name
+                if path.exists():
+                    path.unlink()
+            removed += 1
+        return removed

@@ -1,0 +1,143 @@
+"""Incremental job telemetry over the ObsSink protocol (internal).
+
+Subscribers see a job's life as it happens instead of reading files
+after the fact: every queue transition is streamed through the exact
+:class:`~repro.obs.stream.ObsSink` machinery PR 8 built for simulation
+telemetry —
+
+* one **span** per job (``cat="job"``), opened at submission and closed
+  at the terminal transition, carrying the request name, fingerprint,
+  priority, client, attempt count and final state;
+* one **instant** per transition (``cat="service"``);
+* one **metric sample** per transition on the synthetic node
+  ``"service"`` with the queue gauges (``queued``, ``running``, ...,
+  ``cache_hits``) — tailable with the PR 8
+  :class:`~repro.obs.stream.MetricJsonlStreamWriter`.
+
+The timeline is the queue's *logical clock*: tick ``n`` is the n-th
+journalled transition.  That makes streams deterministic for a given
+submission sequence — byte-identical across reruns, wall-clock-free —
+exactly the property every other exporter in this codebase holds.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING, Mapping
+
+from repro.obs.spans import Span, SpanCollector
+from repro.obs.stream import JsonlStreamWriter, MetricJsonlStreamWriter, ObsSink
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service._queue import JobRecord
+
+#: gauge names streamed on every transition, in export order
+SERVICE_METRICS = (
+    "queued",
+    "running",
+    "done",
+    "failed",
+    "cancelled",
+    "cache_hits",
+)
+
+#: the synthetic node name service gauges are sampled on
+SERVICE_NODE = "service"
+
+
+class ServiceTelemetry:
+    """Fan queue transitions out to ObsSink subscribers, incrementally."""
+
+    def __init__(self) -> None:
+        self.collector = SpanCollector()
+        self.tick = 0
+        self.cache_hits = 0
+        self._job_spans: dict[str, Span] = {}
+        self._metric_sinks: list[ObsSink] = []
+        self._owned_sinks: list[ObsSink] = []
+
+    # -- subscriptions -------------------------------------------------------
+
+    def subscribe(self, sink: ObsSink) -> None:
+        """Stream job spans/instants and queue gauges to ``sink``."""
+        self.collector.add_sink(sink)
+        self._metric_sinks.append(sink)
+
+    def unsubscribe(self, sink: ObsSink) -> None:
+        self.collector.remove_sink(sink)
+        self._metric_sinks.remove(sink)
+
+    def stream_to(self, directory: str | Path) -> Path:
+        """Write the telemetry streams into ``directory`` as they happen.
+
+        Produces ``trace.jsonl`` (job spans + transition instants) and
+        ``metrics/service.jsonl`` (queue gauges), the same layout
+        ``repro trace --stream`` uses for simulation runs.
+        """
+        directory = Path(directory)
+        trace = JsonlStreamWriter(directory / "trace.jsonl")
+        metrics = MetricJsonlStreamWriter(
+            directory / "metrics" / f"{SERVICE_NODE}.jsonl",
+            SERVICE_NODE,
+            SERVICE_METRICS,
+        )
+        for sink in (trace, metrics):
+            self.subscribe(sink)
+            self._owned_sinks.append(sink)
+        return directory
+
+    def close(self) -> None:
+        """Seal owned file sinks (subscriber-owned sinks stay open)."""
+        for sink in self._owned_sinks:
+            self.unsubscribe(sink)
+            sink.close()
+        self._owned_sinks.clear()
+
+    # -- the queue hook ------------------------------------------------------
+
+    def on_transition(
+        self, job: "JobRecord", event: str, counts: Mapping[str, int]
+    ) -> None:
+        """Record one journalled transition (wired as ``JobQueue.on_transition``)."""
+        self.tick += 1
+        t = float(self.tick)
+        track = (SERVICE_NODE, job.job_id)
+        if event == "submit":
+            self._job_spans[job.job_id] = self.collector.begin(
+                "job",
+                job.request.name,
+                track,
+                start=t,
+                args={
+                    "job_id": job.job_id,
+                    "fingerprint": job.fingerprint,
+                    "priority": job.priority,
+                    "client": job.client,
+                },
+            )
+        self.collector.instant(
+            "service",
+            event,
+            track,
+            t=t,
+            args={"job_id": job.job_id, "state": job.state.value},
+        )
+        if job.state.terminal:
+            if job.state.value == "done" and job.cached:
+                self.cache_hits += 1
+            span = self._job_spans.pop(job.job_id, None)
+            if span is not None and span.end is None:
+                self.collector.end(
+                    span,
+                    t=t,
+                    args={
+                        "state": job.state.value,
+                        "cached": job.cached,
+                        "attempt": job.attempt,
+                        "reason": job.reason,
+                    },
+                )
+        gauges = {name: float(counts.get(name, 0)) for name in SERVICE_METRICS}
+        gauges["cache_hits"] = float(self.cache_hits)
+        for sink in self._metric_sinks:
+            sink.on_metric_sample(t, SERVICE_NODE, gauges)

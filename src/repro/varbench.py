@@ -159,3 +159,57 @@ class VariabilityReport:
             )
         runtimes = run_trials(_run_trial, trials, jobs=jobs)
         return cls(app=app_name, anomaly=anomaly_name, runtimes=tuple(runtimes))
+
+
+@dataclass(frozen=True)
+class VarbenchResult:
+    """Registry-shaped wrapper: a variability report with ``render()``.
+
+    ``render()`` returns exactly the lines ``VariabilityReport.write``
+    prints, so the ``repro varbench`` CLI produces byte-identical stdout
+    whether it calls the report directly (legacy) or routes through the
+    job service.  ``seed``/``config`` feed the persisted manifest.
+    """
+
+    report: VariabilityReport
+    seed: int
+
+    @property
+    def config(self) -> dict[str, object]:
+        return {
+            "app": self.report.app,
+            "anomaly": self.report.anomaly,
+            "repetitions": len(self.report.runtimes),
+        }
+
+    def render(self) -> str:
+        return "\n".join(self.report.describe())
+
+
+def run_varbench(
+    app: str = "miniGhost",
+    anomaly: str | None = None,
+    reps: int = 10,
+    iterations: int = 20,
+    seed: int = 0,
+    jobs: int = 1,
+) -> VarbenchResult:
+    """Run a variability measurement as a registry job.
+
+    The importable runner behind the ``varbench`` entry of the job
+    registry (:func:`repro.experiments.registry.resolve_job_spec`); the
+    ``repro varbench`` CLI is a thin adapter over this via
+    :class:`repro.api.Client`.
+    """
+    from repro.core import make_anomaly
+
+    factory = None if anomaly is None else (lambda: make_anomaly(anomaly))
+    report = VariabilityReport.measure(
+        app_name=app,
+        anomaly_factory=factory,
+        repetitions=reps,
+        iterations=iterations,
+        seed=seed,
+        jobs=jobs,
+    )
+    return VarbenchResult(report=report, seed=seed)

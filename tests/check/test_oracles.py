@@ -16,6 +16,7 @@ from repro.check.oracles import (
     oracle_checkpoint_restart,
     oracle_parallel_sweep,
     oracle_registry_cli,
+    oracle_result_cache,
     oracle_stream_export,
     run_global_oracles,
 )
@@ -34,6 +35,7 @@ class TestCleanTree:
             "checkpoint_restart",
             "checkpoint_free",
             "registry_cli",
+            "result_cache",
             "stream_export",
         ]
         for result in results:
@@ -157,6 +159,57 @@ class TestRegistryCliOracle:
         monkeypatch.setattr(cli, "main", noisy_main)
         result = oracle_registry_cli(seed=0)
         assert not result.ok
+
+
+class TestResultCacheOracle:
+    def test_passes_clean(self):
+        result = oracle_result_cache(seed=0)
+        assert result.ok, result.detail
+        # the probe spec must not leak into the registry
+        from repro.experiments.registry import EXPERIMENT_REGISTRY
+
+        assert "cache_probe" not in EXPERIMENT_REGISTRY
+
+    def test_catches_tampered_cache_entry(self, monkeypatch):
+        # Planted bug: a store that serves subtly corrupted bytes on a
+        # hit — the exact silent failure mode a content-addressed cache
+        # must never have.
+        from repro.experiments.registry import ResultArtifacts
+        from repro.service import ResultStore
+
+        real_get = ResultStore.get
+
+        def tampered_get(self, fingerprint):
+            stored = real_get(self, fingerprint)
+            if stored is None:
+                return None
+            arts = stored.artifacts
+            return type(stored)(
+                stored.fingerprint,
+                ResultArtifacts(
+                    arts.result_name, arts.text + " ", arts.manifest_text
+                ),
+                stored.record,
+            )
+
+        monkeypatch.setattr(ResultStore, "get", tampered_get)
+        result = oracle_result_cache(seed=0)
+        assert not result.ok
+        assert "differs" in result.detail
+
+    def test_catches_double_execution(self, monkeypatch):
+        # Planted bug: a store that never reports a hit, so the duplicate
+        # submission simulates again instead of being served from cache.
+        from repro.service import ResultStore
+
+        def always_miss(self, fingerprint):
+            self.misses += 1
+            return None
+
+        monkeypatch.setattr(ResultStore, "get", always_miss)
+        result = oracle_result_cache(seed=0)
+        assert not result.ok
+        assert "2 times" in result.detail
 
 
 class TestFlowMemoOracle:

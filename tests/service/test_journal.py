@@ -1,0 +1,56 @@
+"""Journal durability: append-only JSONL with torn-tail tolerance."""
+
+import json
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import JOURNAL_VERSION, Journal
+
+
+def test_append_and_replay_round_trip(tmp_path):
+    journal = Journal(tmp_path / "journal.jsonl")
+    journal.append({"event": "submit", "job_id": "j1"})
+    journal.append({"event": "start", "job_id": "j1", "attempt": 1})
+    records = list(Journal(tmp_path / "journal.jsonl").replay())
+    assert [r["event"] for r in records] == ["submit", "start"]
+    assert all(r["v"] == JOURNAL_VERSION for r in records)
+
+
+def test_replay_of_missing_file_is_empty(tmp_path):
+    assert list(Journal(tmp_path / "journal.jsonl").replay()) == []
+
+
+def test_records_require_an_event(tmp_path):
+    journal = Journal(tmp_path / "journal.jsonl")
+    with pytest.raises(ServiceError):
+        journal.append({"job_id": "j1"})
+
+
+def test_torn_trailing_line_is_dropped(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    journal = Journal(path)
+    journal.append({"event": "submit", "job_id": "j1"})
+    journal.append({"event": "start", "job_id": "j1"})
+    # Simulate a crash mid-append: the final line is half-written.
+    with path.open("a") as handle:
+        handle.write('{"event": "done", "job_')
+    records = list(Journal(path).replay())
+    assert [r["event"] for r in records] == ["submit", "start"]
+
+
+def test_mid_file_corruption_is_an_error(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    good = json.dumps({"event": "submit", "job_id": "j1", "v": 1})
+    path.write_text("not json at all\n" + good + "\n")
+    with pytest.raises(ServiceError):
+        list(Journal(path).replay())
+
+
+def test_lines_are_canonical_json(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    Journal(path).append({"event": "submit", "b": 2, "a": 1})
+    line = path.read_text().splitlines()[0]
+    assert line == json.dumps(
+        json.loads(line), sort_keys=True, separators=(",", ":")
+    )

@@ -1,0 +1,160 @@
+"""Worker pool: inline + sharded execution, dedup, crash and timeout paths."""
+
+import os
+import signal
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.experiments.registry import JobRequest, ResultArtifacts
+from repro.service import JobQueue, ResultStore, WorkerPool
+
+
+def request(name="probe", **overrides):
+    return JobRequest(
+        name=name,
+        result_name="PoolResult",
+        overrides=tuple(sorted(overrides.items())),
+    )
+
+
+def fp(tag):
+    return f"{tag:0>8}" + "0" * 56
+
+
+def echo_factory(req: JobRequest) -> ResultArtifacts:
+    return ResultArtifacts("PoolResult", f"ran {req.name}\n", "{}\n")
+
+
+def failing_factory(req: JobRequest) -> ResultArtifacts:
+    raise ValueError("simulated defect")
+
+
+def _crash_once_factory(req: JobRequest) -> ResultArtifacts:
+    """Dies hard on its first attempt, succeeds on the retry."""
+    flag = Path(dict(req.overrides)["flag"])
+    if not flag.exists():
+        flag.write_text("died here")
+        os.kill(os.getpid(), signal.SIGKILL)
+    return ResultArtifacts("PoolResult", "survived the retry\n", "{}\n")
+
+
+def _always_crash_factory(req: JobRequest) -> ResultArtifacts:
+    os.kill(os.getpid(), signal.SIGKILL)
+    raise AssertionError("unreachable")
+
+
+def _sleepy_factory(req: JobRequest) -> ResultArtifacts:
+    time.sleep(120)
+    raise AssertionError("unreachable")
+
+
+class TestInline:
+    def test_runs_jobs_and_stores_results(self, tmp_path):
+        queue = JobQueue(tmp_path / "q")
+        store = ResultStore(tmp_path / "s")
+        queue.submit(request("a"), fp("a"))
+        queue.submit(request("b"), fp("b"))
+        settled = WorkerPool(factory=echo_factory).run(queue, store)
+        assert [j.state.value for j in settled] == ["done", "done"]
+        assert store.get(fp("a")).artifacts.text == "ran a\n"
+
+    def test_duplicate_fingerprint_executes_once(self, tmp_path):
+        calls = []
+
+        def counting(req):
+            calls.append(req.name)
+            return echo_factory(req)
+
+        queue = JobQueue(tmp_path / "q")
+        store = ResultStore(tmp_path / "s")
+        for _ in range(3):
+            queue.submit(request("a"), fp("dup"))
+        settled = WorkerPool(factory=counting).run(queue, store)
+        assert calls == ["a"]
+        assert [j.cached for j in settled] == [False, True, True]
+
+    def test_factory_exception_fails_the_job(self, tmp_path):
+        queue = JobQueue(tmp_path / "q")
+        job = queue.submit(request(), fp("a"))
+        settled = WorkerPool(factory=failing_factory).run(queue)
+        assert settled[0].state.value == "failed"
+        assert "ValueError: simulated defect" in queue.job(job.job_id).reason
+
+    def test_max_jobs_stops_early(self, tmp_path):
+        queue = JobQueue(tmp_path / "q")
+        for tag in "abc":
+            queue.submit(request(tag), fp(tag))
+        settled = WorkerPool(factory=echo_factory).run(queue, max_jobs=2)
+        assert len(settled) == 2
+        assert queue.counts()["queued"] == 1
+
+    def test_priority_order_is_respected(self, tmp_path):
+        queue = JobQueue(tmp_path / "q")
+        queue.submit(request("low"), fp("a"), priority=0)
+        queue.submit(request("high"), fp("b"), priority=9)
+        settled = WorkerPool(factory=echo_factory).run(queue)
+        assert [j.request.name for j in settled] == ["high", "low"]
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ServiceError):
+            WorkerPool(shards=-1)
+        with pytest.raises(ServiceError):
+            WorkerPool(max_attempts=0)
+
+    def test_closed_pool_refuses_work(self, tmp_path):
+        pool = WorkerPool(factory=echo_factory)
+        pool.shutdown()
+        with pytest.raises(ServiceError):
+            pool.run(JobQueue(tmp_path / "q"))
+
+
+class TestSharding:
+    def test_shard_assignment_is_deterministic(self):
+        pool = WorkerPool(factory=echo_factory, shards=3)
+        fingerprint = "deadbeef" + "0" * 56
+        assert pool.shard_for(fingerprint) == int("deadbeef", 16) % 3
+        assert pool.shard_for(fingerprint) == pool.shard_for(fingerprint)
+
+    def test_sharded_execution_completes_jobs(self, tmp_path):
+        queue = JobQueue(tmp_path / "q")
+        store = ResultStore(tmp_path / "s")
+        for tag in "ab":
+            queue.submit(request(tag), fp(tag))
+        with WorkerPool(factory=echo_factory, shards=2) as pool:
+            settled = pool.run(queue, store)
+        assert sorted(j.state.value for j in settled) == ["done", "done"]
+        assert store.get(fp("a")).artifacts.text == "ran a\n"
+
+    def test_worker_death_requeues_then_succeeds(self, tmp_path):
+        # The worker SIGKILLs itself mid-job on attempt one; the pool must
+        # requeue the job, respawn the shard, and let the retry finish.
+        queue = JobQueue(tmp_path / "q")
+        store = ResultStore(tmp_path / "s")
+        job = queue.submit(
+            request("crashy", flag=str(tmp_path / "crashed.flag")), fp("a")
+        )
+        with WorkerPool(factory=_crash_once_factory, shards=1) as pool:
+            settled = pool.run(queue, store)
+        assert queue.job(job.job_id).state.value == "done"
+        assert queue.job(job.job_id).attempt == 2
+        assert (tmp_path / "crashed.flag").exists()
+        assert store.get(fp("a")).artifacts.text == "survived the retry\n"
+
+    def test_repeated_worker_death_fails_the_job(self, tmp_path):
+        queue = JobQueue(tmp_path / "q")
+        job = queue.submit(request("doomed"), fp("a"))
+        with WorkerPool(factory=_always_crash_factory, shards=1) as pool:
+            settled = pool.run(queue)
+        assert settled[-1].state.value == "failed"
+        assert "died" in queue.job(job.job_id).reason
+
+    def test_timeout_fails_the_job_and_respawns(self, tmp_path):
+        queue = JobQueue(tmp_path / "q")
+        slow = queue.submit(request("slow"), fp("a"))
+        with WorkerPool(factory=_sleepy_factory, shards=1, timeout=0.5) as pool:
+            settled = pool.run(queue)
+        assert settled[0].state.value == "failed"
+        assert "timeout" in queue.job(slow.job_id).reason

@@ -44,6 +44,7 @@ def test_module_entry_point_runs_anomaly():
 
 def test_public_subpackages_importable():
     import repro.analytics
+    import repro.api
     import repro.apps
     import repro.cluster
     import repro.core
@@ -53,8 +54,20 @@ def test_public_subpackages_importable():
     import repro.network
     import repro.runtime
     import repro.scheduling
+    import repro.service
     import repro.storage
     import repro.varbench  # noqa: F401
+
+
+def test_api_and_service_declare_their_surface():
+    import repro.api
+    import repro.service
+
+    for package in (repro.api, repro.service):
+        assert package.__all__ == sorted(package.__all__)
+        for name in package.__all__:
+            assert not name.startswith("_")
+            assert hasattr(package, name)
 
 
 def test_anomaly_names_match_paper_table1():
