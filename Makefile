@@ -19,10 +19,11 @@ lint-baseline:
 test:
 	$(PYTHON) -m pytest -x -q
 
-# Invariant/oracle fuzzing: replay the pinned corpus plus a small fresh
-# batch (see docs/TESTING.md).
+# Invariant/oracle fuzzing: replay the pinned corpora (generated cases
+# plus workload traces) and a small fresh batch (see docs/TESTING.md).
 fuzz:
-	$(PYTHON) -m repro check --corpus tests/check/corpus.json --cases 5 --seed 0
+	$(PYTHON) -m repro check --corpus tests/check/corpus.json \
+		--trace-corpus tests/traces/corpus --cases 5 --seed 0
 
 check: lint test fuzz
 

@@ -39,6 +39,13 @@ def build_check_parser() -> argparse.ArgumentParser:
         help="replay the pinned corpus before the fresh batch",
     )
     parser.add_argument(
+        "--trace-corpus",
+        default=None,
+        metavar="DIR",
+        help="also replay every pinned workload trace (*.jsonl) in DIR "
+        "on both backends and require identical fingerprints",
+    )
+    parser.add_argument(
         "--save-corpus",
         default=None,
         metavar="FILE",
@@ -85,6 +92,7 @@ def check_main(argv: list[str]) -> int:
             jobs=args.jobs,
             shrink=not args.no_shrink,
             with_oracles=not args.no_oracles,
+            trace_corpus=args.trace_corpus,
         )
     except CheckError as err:
         out.line(f"error: {err}")

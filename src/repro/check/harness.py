@@ -180,10 +180,15 @@ class FuzzReport:
     outcomes: tuple[CaseOutcome, ...]
     oracles: tuple["OracleResult", ...]
     shrunk: tuple[CaseOutcome, ...]
+    traces: tuple["OracleResult", ...] = ()
 
     @property
     def ok(self) -> bool:
-        return all(o.ok for o in self.outcomes) and all(o.ok for o in self.oracles)
+        return (
+            all(o.ok for o in self.outcomes)
+            and all(o.ok for o in self.oracles)
+            and all(t.ok for t in self.traces)
+        )
 
     def render(self) -> str:
         """Byte-identical across runs of the same inputs: no wallclock,
@@ -205,6 +210,9 @@ class FuzzReport:
         for oracle in self.oracles:
             status = "ok" if oracle.ok else f"FAIL ({oracle.detail})"
             lines.append(f"oracle {oracle.name}: {status}")
+        for verdict in self.traces:
+            status = "ok" if verdict.ok else f"FAIL ({verdict.detail})"
+            lines.append(f"{verdict.name}: {status}")
         for outcome in failing:
             lines.append(f"FAIL {outcome.spec.describe()}")
             for violation in outcome.violations:
@@ -222,6 +230,44 @@ class FuzzReport:
         return "\n".join(lines)
 
 
+def replay_trace_corpus(directory) -> list["OracleResult"]:
+    """Replay every pinned ``*.jsonl`` trace under ``directory``.
+
+    Each trace must load (which verifies its sha256 trailer), pass full
+    validation, and replay to the *same* fingerprint on the object and
+    array backends — the trace-layer half of backend equivalence, pinned
+    on committed workloads rather than generated cases.
+    """
+    from pathlib import Path
+
+    from repro.check.oracles import OracleResult
+    from repro.errors import CheckError, ReproError
+    from repro.traces import load_trace, replay_fingerprint
+
+    paths = sorted(Path(directory).glob("*.jsonl"))
+    if not paths:
+        raise CheckError(f"trace corpus {directory} contains no .jsonl traces")
+    results: list[OracleResult] = []
+    for path in paths:
+        name = f"trace corpus {path.stem}"
+        try:
+            trace = load_trace(path).validate()
+            reference = replay_fingerprint(trace, backend="object")
+            vectorized = replay_fingerprint(trace, backend="array")
+        except ReproError as err:
+            results.append(OracleResult(name, False, str(err)))
+            continue
+        if reference != vectorized:
+            results.append(
+                OracleResult(
+                    name, False, "object/array replay fingerprints diverge"
+                )
+            )
+        else:
+            results.append(OracleResult(name, True))
+    return results
+
+
 def run_fuzz(
     cases: int,
     seed: int,
@@ -229,6 +275,7 @@ def run_fuzz(
     jobs: int = 1,
     shrink: bool = True,
     with_oracles: bool = True,
+    trace_corpus: str | None = None,
 ) -> FuzzReport:
     """Replay ``corpus`` plus ``cases`` freshly generated specs.
 
@@ -237,8 +284,11 @@ def run_fuzz(
     every job count).  ``with_oracles`` additionally runs the global
     differential oracles — parallel-vs-serial sweep, array-vs-object
     backend equivalence (replaying the pinned corpus), checkpoint/restart
-    equivalence, registry-vs-legacy CLI, and streamed-vs-batch telemetry
-    export — which exercise machinery a single case cannot.
+    equivalence, registry-vs-legacy CLI, streamed-vs-batch telemetry
+    export, and trace record/replay identity — which exercise machinery a
+    single case cannot.  ``trace_corpus`` names a directory of pinned
+    workload traces additionally replayed on both backends
+    (:func:`replay_trace_corpus`).
     """
     from repro.check import oracles as oracle_mod
     from repro.parallel import run_trials
@@ -253,6 +303,9 @@ def run_fuzz(
     oracle_results: list[oracle_mod.OracleResult] = []
     if with_oracles:
         oracle_results.extend(oracle_mod.run_global_oracles(seed, corpus=corpus))
+    trace_results: list[oracle_mod.OracleResult] = []
+    if trace_corpus is not None:
+        trace_results.extend(replay_trace_corpus(trace_corpus))
     return FuzzReport(
         seed=seed,
         generated=cases,
@@ -260,4 +313,5 @@ def run_fuzz(
         outcomes=tuple(outcomes),
         oracles=tuple(oracle_results),
         shrunk=tuple(shrunk),
+        traces=tuple(trace_results),
     )

@@ -452,6 +452,157 @@ def oracle_result_cache(seed: int = 0) -> OracleResult:
     return OracleResult("result_cache", True)
 
 
+# -- trace record/replay vs native execution ----------------------------------
+
+
+def _mix_workload(cluster: Cluster):
+    """A combined network+storage workload with live metric sampling.
+
+    miniGhost ranks exchange halos over the star network while an IOR
+    client streams against the NFS appliance — the mixed case whose
+    metric series must survive a record/replay round trip bit-for-bit.
+    """
+    from repro.apps.ior import IORBenchmark
+    from repro.monitoring import MetricService
+
+    service = MetricService(cluster)
+    service.attach(end=600.0)
+    app = get_app("miniGhost").scaled(iterations=6)
+    job = AppJob(app, cluster, nodes=[0, 1, 2], ranks_per_node=2, seed=7)
+    job.launch()
+    IORBenchmark(
+        fs="nfs", file_bytes=40_000_000, access_files=50, demand_bw=200_000_000
+    ).launch(cluster, "node3", start=1.0)
+    return service
+
+
+def oracle_trace_replay(seed: int) -> OracleResult:
+    """Record-then-replay must be byte-identical to native execution.
+
+    Three claims, each checked on both simulation backends where a
+    replay is involved:
+
+    * **transparency** — recording a registry experiment leaves its
+      result artefacts byte-identical to an unrecorded run (one
+      network-bound experiment, one storage-bound);
+    * **replay identity** — replaying a clean recording reproduces the
+      recorded cluster's state fingerprint exactly, and the canonical
+      JSONL round-trips losslessly on the way;
+    * **metric series** — for a mixed workload with a live
+      :class:`~repro.monitoring.service.MetricService`, the replay's
+      run manifest (which checksums every sampled series) matches the
+      native run's byte-for-byte;
+
+    plus the cache claim: two service submissions of the same trace
+    bytes from *different paths* are one simulation (the canonicalize
+    hook keys the fingerprint on the trace sha256, not the filename).
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.api import Client
+    from repro.check.harness import fingerprint_cluster
+    from repro.experiments.registry import render_artifacts, resolve_job_spec
+    from repro.monitoring import MetricService
+    from repro.obs.manifest import build_manifest, manifest_text
+    from repro.traces import (
+        TraceReplayApp,
+        build_replay_cluster,
+        dump_trace,
+        dumps,
+        generate_trace,
+        loads,
+        record_experiment,
+        recording_session,
+        replay_fingerprint,
+    )
+
+    name = "trace_replay"
+    failures: list[str] = []
+
+    # Transparency + replay identity on registry experiments.
+    experiments = (
+        ("table2", {"iterations": 2, "ranks_per_node": 2}),
+        ("fig7", {"anomaly_nodes": 1, "instances_per_node": 1, "horizon": 250.0}),
+    )
+    for exp_name, overrides in experiments:
+        spec = resolve_job_spec(exp_name)
+        request = spec.normalize(overrides=overrides)
+        plain = render_artifacts(spec.run_request(request))
+        recorded = record_experiment(exp_name, overrides=overrides)
+        taped = render_artifacts(recorded.result)
+        if (plain.text, plain.manifest_text) != (taped.text, taped.manifest_text):
+            failures.append(f"{exp_name}: recording changed the result artefacts")
+        clean = recorded.clean_traces()
+        if not clean:
+            failures.append(f"{exp_name}: no clean recordings")
+            continue
+        recording = clean[0]
+        if loads(dumps(recording.trace)) != recording.trace:
+            failures.append(f"{exp_name}: canonical JSONL round-trip is lossy")
+        for backend in ("object", "array"):
+            if replay_fingerprint(recording.trace, backend=backend) != recording.fingerprint:
+                failures.append(
+                    f"{exp_name}: {backend} replay diverges from the recording"
+                )
+
+    # Metric-series identity on the mixed workload.
+    def mix_manifest(service) -> str:
+        fp = fingerprint_cluster(service.cluster)
+        return manifest_text(
+            build_manifest(name="trace_mix", service=service, results_text=fp)
+        )
+
+    with recording_session("mix") as session:
+        cluster = Cluster.chameleon(num_nodes=4)
+        service = _mix_workload(cluster)
+        cluster.sim.run(until=120.0)
+    native = mix_manifest(service)
+    mixes = session.clean_traces()
+    if not mixes:
+        taints = [t for rec in session.traces for t in rec.taints]
+        failures.append(f"mix: recording tainted ({'; '.join(taints)})")
+    else:
+        mix = mixes[0]
+        for backend in ("object", "array"):
+            replay_cluster = build_replay_cluster(mix.trace, backend=backend)
+            replay_service = MetricService(replay_cluster)
+            replay_service.attach(end=600.0)
+            TraceReplayApp(mix.trace, replay_cluster, tickers=False).run()
+            if mix_manifest(replay_service) != native:
+                failures.append(
+                    f"mix: {backend} replay manifest (metric series) diverges"
+                )
+
+    # Content-addressed caching: same trace bytes, different paths.
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        trace = generate_trace("ai_training", seed=seed, ranks=3, steps=2)
+        path_a, path_b = root / "a" / "t.jsonl", root / "b" / "t.jsonl"
+        for path in (path_a, path_b):
+            path.parent.mkdir()
+            dump_trace(trace, path)
+        with Client(state_dir=root / "state") as client:
+            first = client.submit("trace_replay", overrides={"trace": str(path_a)})
+            second = client.submit("trace_replay", overrides={"trace": str(path_b)})
+            client.wait()
+            s1, s2 = client.status(first.job_id), client.status(second.job_id)
+            if s1.state != "done" or s2.state != "done":
+                failures.append(
+                    f"cache: jobs did not finish ({s1.state}/{s2.state}: "
+                    f"{s1.reason or s2.reason})"
+                )
+            elif s1.cached or not s2.cached:
+                failures.append(
+                    f"cache: same trace bytes at two paths simulated twice "
+                    f"(first cached={s1.cached}, second cached={s2.cached})"
+                )
+
+    if not failures:
+        return OracleResult(name, True)
+    return OracleResult(name, False, "; ".join(failures))
+
+
 def run_global_oracles(seed: int, corpus: list | None = None) -> list[OracleResult]:
     """The oracles a fuzz run always executes once, in a fixed order.
 
@@ -467,4 +618,5 @@ def run_global_oracles(seed: int, corpus: list | None = None) -> list[OracleResu
         oracle_registry_cli(seed),
         oracle_result_cache(seed),
         oracle_stream_export(seed, corpus=corpus),
+        oracle_trace_replay(seed),
     ]

@@ -9,6 +9,7 @@ module provides the same surface against the simulated substrate::
     python -m repro lint src/ tests/
     python -m repro trace mixed --out trace.json --manifest manifest.json
     python -m repro trace faults --stream runs/a
+    python -m repro trace-gen ai_training --seed 0 --out ai.jsonl
     python -m repro diff runs/a runs/b
     python -m repro report mixed --no-wallclock --md report.md
     python -m repro experiment --list
@@ -531,6 +532,12 @@ def _check_main(argv: list[str]) -> int:
     return check_main(argv)
 
 
+def _trace_gen_main(argv: list[str]) -> int:
+    from repro.traces.cli import trace_gen_main
+
+    return trace_gen_main(argv)
+
+
 def _submit_main(argv: list[str]) -> int:
     from repro.service.cli import submit_main
 
@@ -549,6 +556,7 @@ SUBCOMMANDS = {
     "lint": _lint_main,
     "varbench": varbench_main,
     "trace": trace_main,
+    "trace-gen": _trace_gen_main,
     "diff": diff_main,
     "report": report_main,
     "experiment": experiment_main,

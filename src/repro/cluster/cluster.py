@@ -24,6 +24,12 @@ from repro.sim.engine import Simulator, default_backend
 from repro.sim.process import Body, SimProcess
 from repro.storage.filesystem import SharedFilesystem
 
+#: callbacks invoked with every newly constructed Cluster.  The trace
+#: recorder uses this to attach to clusters built *inside* an experiment
+#: runner (see :func:`repro.traces.recorder.recording_session`); empty in
+#: normal operation, so construction pays one truthiness check.
+_CLUSTER_OBSERVERS: list[Callable[["Cluster"], None]] = []
+
 
 class Cluster:
     """A simulated HPC system.
@@ -94,6 +100,9 @@ class Cluster:
         self.sim = Simulator(self.model, backend=backend)
         for node in self.nodes.values():
             node.memory.oom_killer = self._oom_kill
+        if _CLUSTER_OBSERVERS:
+            for observer in list(_CLUSTER_OBSERVERS):
+                observer(self)
 
     # -- constructors -----------------------------------------------------
 

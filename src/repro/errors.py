@@ -80,6 +80,14 @@ class CheckError(ReproError):
     """A runtime invariant or differential oracle was violated (repro.check)."""
 
 
+class TraceError(ReproError):
+    """Invalid use of the trace layer (repro.traces)."""
+
+
+class TraceFormatError(TraceError):
+    """A trace file or record violates the canonical JSONL schema."""
+
+
 class ServiceError(ReproError):
     """Invalid use of the job-service layer (repro.service / repro.api)."""
 

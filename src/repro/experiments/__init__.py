@@ -26,6 +26,7 @@ from repro.experiments.ext_jitter import run_ext_jitter
 from repro.experiments.ext_jobstream import run_ext_jobstream
 from repro.experiments.ext_lustre import run_ext_lustre
 from repro.experiments.ext_online import run_ext_online
+from repro.experiments.ext_trace_replay import run_trace_replay
 from repro.experiments.ext_variability import run_ext_variability
 
 __all__ = [
@@ -50,4 +51,5 @@ __all__ = [
     "run_fig13",
     "run_table1",
     "run_table2",
+    "run_trace_replay",
 ]

@@ -111,6 +111,12 @@ class ExperimentSpec:
         and ``results/<result_name>.manifest.json``.
     seed:
         The runner's default seed, or None for seedless experiments.
+    canonicalize:
+        Optional hook ``semantic -> (semantic, moved_extras)`` applied by
+        :meth:`normalize` after override validation.  Lets a spec rewrite
+        fingerprint-relevant overrides into content-addressed form — the
+        ``trace_replay`` spec folds a ``trace=`` file path into its
+        sha256 so the cache keys on trace *bytes*, not filenames.
     """
 
     name: str
@@ -118,6 +124,7 @@ class ExperimentSpec:
     runner: Callable[..., object]
     result_name: str
     seed: int | None = None
+    canonicalize: Callable[[dict], tuple[dict, dict]] | None = None
 
     def result_path(self, directory: str | Path) -> Path:
         return Path(directory) / f"{self.result_name}.txt"
@@ -197,6 +204,9 @@ class ExperimentSpec:
                 )
             target = extras if key in NONSEMANTIC_OVERRIDES else semantic
             target[key] = _json_safe(value)
+        if self.canonicalize is not None:
+            semantic, moved = self.canonicalize(semantic)
+            extras.update(moved)
         return JobRequest(
             name=self.name,
             result_name=self.result_name,
@@ -320,6 +330,9 @@ def persist_result(result: object, directory: str | Path) -> Path:
 def _build_registry() -> dict[str, ExperimentSpec]:
     from repro import experiments as exp
     from repro.experiments.ext_faults import run_ext_faults
+    from repro.experiments.ext_trace_replay import (
+        _canonicalize_trace as _canonicalize_trace_override,
+    )
 
     specs = [
         ExperimentSpec(
@@ -455,6 +468,14 @@ def _build_registry() -> dict[str, ExperimentSpec]:
             exp.run_ext_variability,
             "VariabilityResult",
             seed=5,
+        ),
+        ExperimentSpec(
+            "trace_replay",
+            "replay a generated or recorded workload trace (extension)",
+            exp.run_trace_replay,
+            "TraceReplayResult",
+            seed=0,
+            canonicalize=_canonicalize_trace_override,
         ),
     ]
     return {spec.name: spec for spec in specs}

@@ -22,6 +22,11 @@ shows the whole stack interacting.
     checkpointing managed job requeues its way through.  Every fault
     window lands as a ``faults``-category span next to the injector,
     scheduler and recovery events.
+``replay_ai``
+    A seeded ``ai_training`` workload trace (see :mod:`repro.traces`)
+    replayed on the cluster its header describes while cpuoccupy squats
+    on a ring neighbour's core — the trace-driven workload path under
+    observation.
 """
 
 from __future__ import annotations
@@ -227,6 +232,51 @@ def _faults(seed: int, horizon: float, on_obs: ObsHook | None = None) -> TraceRu
     )
 
 
+def _replay_ai(seed: int, horizon: float, on_obs: ObsHook | None = None) -> TraceRun:
+    from repro.traces import TraceReplayApp, build_replay_cluster, generate_trace
+
+    trace = generate_trace("ai_training", seed=seed, ranks=4, steps=6)
+    cluster = build_replay_cluster(trace)
+    obs = Observability(cluster).attach(end=horizon)
+    if on_obs is not None:
+        on_obs(obs)
+    # An anomaly pulsing through the replay window: replayed workloads
+    # compose with injections exactly like native apps, and the trace
+    # shows the allreduce steps stretching under the squatted core.
+    injector = AnomalyInjector(cluster)
+    injector.add(
+        Injection(
+            CpuOccupy(utilization=60),
+            node="node1",
+            core=0,
+            start=1.0,
+            duration=0.5 * horizon,
+        )
+    )
+    injector.deploy()
+    replay = TraceReplayApp(trace, cluster)
+    replay.launch()
+    cluster.sim.run(until=horizon, stop_when=lambda: replay.finished)
+    obs.collector.finalize()
+    return TraceRun(
+        scenario="replay_ai",
+        seed=seed,
+        horizon=horizon,
+        cluster=cluster,
+        obs=obs,
+        injector=injector,
+        config={
+            "cluster": "chameleon",
+            "nodes": 4,
+            "generator": "ai_training",
+            "ranks": 4,
+            "steps": 6,
+            "trace_sha256": trace.sha256,
+            "horizon": horizon,
+        },
+    )
+
+
 @dataclass(frozen=True)
 class ScenarioSpec:
     """A registered trace scenario: factory plus the ``--list`` blurb."""
@@ -251,6 +301,11 @@ SCENARIOS: dict[str, ScenarioSpec] = {
         "faults",
         "anomalies + fault campaign with a checkpointing managed job",
         _faults,
+    ),
+    "replay_ai": ScenarioSpec(
+        "replay_ai",
+        "generated AI-training trace replayed under a cpuoccupy window",
+        _replay_ai,
     ),
 }
 

@@ -181,6 +181,10 @@ class Simulator:
         #: Same pay-for-what-you-use contract as ``obs``: every hook site
         #: is guarded, so an unchecked simulation pays one attribute read.
         self.check = None
+        #: attached trace recorder (see :mod:`repro.traces`), or None.
+        #: Same pay-for-what-you-use contract: spawn/notify/every are the
+        #: only tap sites, each guarded by a None-check.
+        self.record = None
         self._queue = CalendarQueue() if backend == "array" else EventQueue()
         self._processes: dict[int, SimProcess] = {}
         self._running: list[SimProcess] = []
@@ -243,6 +247,8 @@ class Simulator:
             self._pids_monotonic = False
         self._last_pid = max(self._last_pid, proc.pid)
         self._processes[proc.pid] = proc
+        if self.record is not None:
+            self.record.on_spawn(proc, start)
         self._queue.push(start, lambda: self._start(proc))
         return proc
 
@@ -310,6 +316,8 @@ class Simulator:
             raise SimulationError("recurring interval must be > 0")
         handle = RecurringHandle()
         first = self.now if start is None else start
+        if self.record is not None:
+            self.record.on_every(interval, first, end)
 
         def fire(at: float) -> None:
             if handle.cancelled or at > end:
@@ -324,6 +332,8 @@ class Simulator:
 
     def notify(self, condition: Condition) -> None:
         """Release all waiters of ``condition``; they resume in this event."""
+        if self.record is not None:
+            self.record.on_notify(condition)
         for proc in condition.notify_all():
             if proc.state is ProcessState.WAITING:
                 proc.state = ProcessState.NEW  # transitional; _drain re-steps it

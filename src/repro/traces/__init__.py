@@ -1,0 +1,73 @@
+"""repro.traces: GOAL-like workload traces — schema, generators, replay, recording.
+
+The trace layer decouples *workloads* from *applications* (ROADMAP item
+3, the ATLAHS direction): a trace is a canonical JSONL file of per-rank
+compute/send/recv/collective/io records linked by explicit dependency
+edges, and anything that can be traced can be replayed onto any cluster,
+composed with faults and anomalies, and cached by content.
+
+Four pieces (see docs/TRACES.md):
+
+* :mod:`repro.traces.schema` — frozen record/trace dataclasses, the
+  canonical serialization with sha256 trailer, loader and validator;
+* :mod:`repro.traces.generators` — seeded synthetic AI-training and
+  distributed-storage patterns (byte-reproducible via ``spawn_rng``);
+* :mod:`repro.traces.replay` — :class:`TraceReplayApp` drives the
+  engine's models from a trace, honoring dependencies;
+* :mod:`repro.traces.recorder` — capture any native run (including
+  registry experiments) into a trace; record-then-replay is
+  byte-identical, pinned by the ``trace_replay`` differential oracle.
+"""
+
+from repro.traces.generators import TRACE_GENERATORS, generate_trace
+from repro.traces.recorder import (
+    RecordedExperiment,
+    RecordedTrace,
+    RecordingSession,
+    TraceRecorder,
+    record_experiment,
+    recording_session,
+)
+from repro.traces.replay import (
+    TraceReplayApp,
+    build_replay_cluster,
+    replay_fingerprint,
+    replay_trace,
+)
+from repro.traces.schema import (
+    RECORD_KINDS,
+    TRACE_MACHINES,
+    TRACE_VERSION,
+    Trace,
+    TraceMeta,
+    TraceRecord,
+    dump_trace,
+    dumps,
+    load_trace,
+    loads,
+)
+
+__all__ = [
+    "RECORD_KINDS",
+    "RecordedExperiment",
+    "RecordedTrace",
+    "RecordingSession",
+    "TRACE_GENERATORS",
+    "TRACE_MACHINES",
+    "TRACE_VERSION",
+    "Trace",
+    "TraceMeta",
+    "TraceRecord",
+    "TraceRecorder",
+    "TraceReplayApp",
+    "build_replay_cluster",
+    "dump_trace",
+    "dumps",
+    "generate_trace",
+    "load_trace",
+    "loads",
+    "record_experiment",
+    "recording_session",
+    "replay_fingerprint",
+    "replay_trace",
+]

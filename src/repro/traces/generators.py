@@ -1,0 +1,310 @@
+"""Seeded synthetic trace generators for AI-training and storage patterns.
+
+Each generator is a pure function ``(seed, ranks, steps) -> Trace`` whose
+randomness flows exclusively through :func:`repro.sim.rng.spawn_rng`, so
+the same seed produces a byte-identical canonical JSONL on every run and
+every platform.  Jitter values are rounded to a fixed decimal budget
+before they enter a record, which keeps the serialized floats short and
+makes the pinned corpus diffable by eye.
+
+Patterns (the ATLAHS workload families):
+
+* ``ai_training`` — data-parallel SGD: per-rank fwd/bwd compute with
+  seeded jitter, then a ring allreduce (send to the ring neighbour,
+  collective completion gated on *every* rank's send of that step).
+* ``parameter_server`` — fan-in/fan-out: workers push gradients to rank
+  0, rank 0 applies the update, workers pull parameters back.
+* ``checkpoint_burst`` — compute epochs punctuated by barrier-aligned
+  bursts where every rank writes its shard to the shared filesystem.
+* ``metadata_storm`` — small-file create/stat storms: tiny writes with a
+  dominant metadata-op demand, the pattern that saturates an NFS
+  metadata server long before its data path.
+
+Generated traces target the ``chameleon`` machine (it carries the NFS
+appliance the storage patterns need) with one rank per node and replay
+to completion (``ran_until`` 0).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import TraceError
+from repro.sim.rng import spawn_rng
+from repro.traces.schema import Trace, TraceMeta, TraceRecord
+
+MB = 1_000_000.0
+
+#: registry of generator name -> (seed, ranks, steps) -> Trace
+TRACE_GENERATORS: dict[str, Callable[[int, int, int], Trace]] = {}
+
+
+def _generator(name: str):
+    def register(fn: Callable[[int, int, int], Trace]):
+        TRACE_GENERATORS[name] = fn
+        return fn
+
+    return register
+
+
+def generate_trace(name: str, seed: int = 0, ranks: int = 4, steps: int = 4) -> Trace:
+    """Generate a named pattern; unknown names are a typed error."""
+    if name not in TRACE_GENERATORS:
+        known = ", ".join(sorted(TRACE_GENERATORS))
+        raise TraceError(f"unknown trace generator {name!r} (known: {known})")
+    if ranks < 2:
+        raise TraceError(f"trace generators need >= 2 ranks, got {ranks}")
+    if steps < 1:
+        raise TraceError(f"trace generators need >= 1 step, got {steps}")
+    return TRACE_GENERATORS[name](seed, ranks, steps).validate()
+
+
+def _meta(name: str, seed: int, ranks: int, with_fs: bool = False) -> TraceMeta:
+    return TraceMeta(
+        name=name,
+        machine="chameleon",
+        nodes=ranks,
+        ranks=ranks,
+        placement=tuple((f"node{r}", 0) for r in range(ranks)),
+        rank_names=tuple(f"{name}.r{r}" for r in range(ranks)),
+        starts=(0.0,) * ranks,
+        filesystems=("nfs",) if with_fs else (),
+        seed=seed,
+        origin="generated",
+    )
+
+
+def _jitter(rng, scale: float) -> float:
+    """Symmetric multiplicative jitter in [1-scale, 1+scale], 6 decimals."""
+    return round(1.0 + scale * (2.0 * float(rng.random()) - 1.0), 6)
+
+
+@_generator("ai_training")
+def ai_training(seed: int, ranks: int, steps: int) -> Trace:
+    """Data-parallel training: jittered compute + ring allreduce per step."""
+    meta = _meta("ai_training", seed, ranks)
+    records: list[TraceRecord] = []
+    next_id = 1
+    # the collective of step s depends on every rank's send of step s
+    prev_collective = [-(r + 1) for r in range(ranks)]
+    for step in range(steps):
+        send_ids: list[int] = []
+        compute_ids: list[int] = []
+        for rank in range(ranks):
+            rng = spawn_rng(seed, f"ai_training:step{step}:rank{rank}")
+            compute = TraceRecord(
+                id=next_id,
+                kind="compute",
+                rank=rank,
+                deps=(prev_collective[rank],),
+                work=round(0.8 * _jitter(rng, 0.1), 6),
+                cache=(("L2", 2.0 * MB),),
+                cache_intensity=0.6,
+                mem_bw=1_500.0 * MB,
+                label=f"step{step}.fwd_bwd",
+            )
+            next_id += 1
+            compute_ids.append(compute.id)
+            send = TraceRecord(
+                id=next_id,
+                kind="send",
+                rank=rank,
+                deps=(compute.id,),
+                work=0.25,
+                cpu=0.1,
+                flows=((f"r{(rank + 1) % ranks}", 900.0 * MB),),
+                label=f"step{step}.ring_send",
+            )
+            next_id += 1
+            send_ids.append(send.id)
+            records.extend((compute, send))
+        for rank in range(ranks):
+            collective = TraceRecord(
+                id=next_id,
+                kind="collective",
+                rank=rank,
+                deps=tuple(send_ids),
+                counters=(("trace_steps", 1.0),),
+                label=f"step{step}.allreduce",
+            )
+            next_id += 1
+            prev_collective[rank] = collective.id
+            records.append(collective)
+    return Trace(meta=meta, records=tuple(records))
+
+
+@_generator("parameter_server")
+def parameter_server(seed: int, ranks: int, steps: int) -> Trace:
+    """Fan-in/fan-out: workers push to rank 0, rank 0 updates, workers pull."""
+    meta = _meta("parameter_server", seed, ranks)
+    records: list[TraceRecord] = []
+    next_id = 1
+    workers = range(1, ranks)
+    prev_pull = {r: -(r + 1) for r in workers}
+    prev_update = -1  # rank 0 start marker
+    for step in range(steps):
+        push_ids: list[int] = []
+        for rank in workers:
+            rng = spawn_rng(seed, f"parameter_server:step{step}:rank{rank}")
+            grad = TraceRecord(
+                id=next_id,
+                kind="compute",
+                rank=rank,
+                deps=(prev_pull[rank],),
+                work=round(0.6 * _jitter(rng, 0.15), 6),
+                mem_bw=1_000.0 * MB,
+                label=f"step{step}.grad",
+            )
+            next_id += 1
+            push = TraceRecord(
+                id=next_id,
+                kind="send",
+                rank=rank,
+                deps=(grad.id,),
+                work=0.15,
+                cpu=0.1,
+                flows=(("r0", 700.0 * MB),),
+                label=f"step{step}.push",
+            )
+            next_id += 1
+            push_ids.append(push.id)
+            records.extend((grad, push))
+        gather = TraceRecord(
+            id=next_id,
+            kind="recv",
+            rank=0,
+            deps=(prev_update, *push_ids),
+            label=f"step{step}.gather",
+        )
+        next_id += 1
+        update = TraceRecord(
+            id=next_id,
+            kind="compute",
+            rank=0,
+            deps=(gather.id,),
+            work=0.3,
+            cache=(("L3", 8.0 * MB),),
+            cache_intensity=0.8,
+            counters=(("trace_steps", 1.0),),
+            label=f"step{step}.apply",
+        )
+        next_id += 1
+        prev_update = update.id
+        records.extend((gather, update))
+        fanout_ids: list[int] = []
+        for rank in workers:
+            fanout = TraceRecord(
+                id=next_id,
+                kind="send",
+                rank=0,
+                deps=(update.id,),
+                work=0.1,
+                cpu=0.1,
+                flows=((f"r{rank}", 700.0 * MB),),
+                label=f"step{step}.fanout.r{rank}",
+            )
+            next_id += 1
+            fanout_ids.append(fanout.id)
+            records.append(fanout)
+        for index, rank in enumerate(workers):
+            pull = TraceRecord(
+                id=next_id,
+                kind="recv",
+                rank=rank,
+                deps=(fanout_ids[index],),
+                counters=(("trace_steps", 1.0),),
+                label=f"step{step}.pull",
+            )
+            next_id += 1
+            prev_pull[rank] = pull.id
+            records.append(pull)
+    return Trace(meta=meta, records=tuple(records))
+
+
+@_generator("checkpoint_burst")
+def checkpoint_burst(seed: int, ranks: int, steps: int) -> Trace:
+    """Compute epochs punctuated by barrier-aligned checkpoint write bursts."""
+    meta = _meta("checkpoint_burst", seed, ranks, with_fs=True)
+    records: list[TraceRecord] = []
+    next_id = 1
+    prev_barrier = [-(r + 1) for r in range(ranks)]
+    for step in range(steps):
+        write_ids: list[int] = []
+        for rank in range(ranks):
+            rng = spawn_rng(seed, f"checkpoint_burst:step{step}:rank{rank}")
+            epoch = TraceRecord(
+                id=next_id,
+                kind="compute",
+                rank=rank,
+                deps=(prev_barrier[rank],),
+                work=round(1.0 * _jitter(rng, 0.05), 6),
+                mem_bw=800.0 * MB,
+                label=f"epoch{step}.compute",
+            )
+            next_id += 1
+            write = TraceRecord(
+                id=next_id,
+                kind="io",
+                rank=rank,
+                deps=(epoch.id,),
+                work=0.5,
+                cpu=0.2,
+                io=("nfs", 250.0 * MB, 0.0, 50.0),
+                mem=256.0 * MB,
+                label=f"epoch{step}.ckpt_write",
+            )
+            next_id += 1
+            write_ids.append(write.id)
+            records.extend((epoch, write))
+        for rank in range(ranks):
+            barrier = TraceRecord(
+                id=next_id,
+                kind="collective",
+                rank=rank,
+                deps=tuple(write_ids),
+                counters=(("trace_steps", 1.0),),
+                label=f"epoch{step}.barrier",
+            )
+            next_id += 1
+            prev_barrier[rank] = barrier.id
+            records.append(barrier)
+    return Trace(meta=meta, records=tuple(records))
+
+
+@_generator("metadata_storm")
+def metadata_storm(seed: int, ranks: int, steps: int) -> Trace:
+    """Small-file create/stat storms: metadata-op-dominated NFS pressure."""
+    meta = _meta("metadata_storm", seed, ranks, with_fs=True)
+    records: list[TraceRecord] = []
+    next_id = 1
+    prev = [-(r + 1) for r in range(ranks)]
+    for step in range(steps):
+        for rank in range(ranks):
+            rng = spawn_rng(seed, f"metadata_storm:step{step}:rank{rank}")
+            ops = round(400.0 * _jitter(rng, 0.2), 6)
+            storm = TraceRecord(
+                id=next_id,
+                kind="io",
+                rank=rank,
+                deps=(prev[rank],),
+                work=0.8,
+                cpu=0.3,
+                io=("nfs", 2.0 * MB, 1.0 * MB, ops),
+                label=f"burst{step}.create_stat",
+            )
+            next_id += 1
+            prev[rank] = storm.id
+            records.append(storm)
+            pause = TraceRecord(
+                id=next_id,
+                kind="sleep",
+                rank=rank,
+                deps=(storm.id,),
+                work=0.2,
+                counters=(("trace_steps", 1.0),),
+                label=f"burst{step}.think",
+            )
+            next_id += 1
+            prev[rank] = pause.id
+            records.append(pause)
+    return Trace(meta=meta, records=tuple(records))

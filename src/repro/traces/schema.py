@@ -1,0 +1,557 @@
+"""GOAL-like trace schema with a canonical JSONL serialization.
+
+A trace is an application's execution skeleton, machine-readable and
+replayable: per-rank *records* (compute / send / recv / collective / io /
+sleep) carrying the engine's resource-demand vocabulary, linked by
+explicit cross-rank dependency edges, plus a :class:`TraceMeta` header
+that pins the machine, the rank placement, and the spawn times.  The
+design follows the GOAL trace family used by LogGOPSim/ATLAHS: local
+operations are ordered implicitly per rank (ascending record id), and
+only cross-rank happens-before edges are spelled out.
+
+Serialization is canonical so traces can be fingerprinted and diffed:
+
+* one JSON object per line — the meta header, then every record in
+  ascending-id order, then a trailer;
+* sorted keys, compact separators, exact float round-trip (``repr``);
+* the trailer carries the record count and the sha256 of every byte
+  above it, so a torn tail is detected as a
+  :class:`~repro.errors.TraceFormatError`, never silently replayed.
+
+Record ids encode the *arrival order* of the recorded run: ids are
+assigned globally in yield order, so sorting by id reproduces the exact
+sequence in which same-timestamp operations reached the engine — the
+property the replay engine relies on for byte-identical wakeup order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.errors import TraceFormatError
+from repro.sim.process import CACHE_LEVELS
+
+#: schema version written into every trace header
+TRACE_VERSION = 1
+
+#: record kinds: segment-backed work, pure dependency waits, and sleeps
+RECORD_KINDS = ("collective", "compute", "io", "recv", "send", "sleep")
+
+#: kinds whose replay is a pure dependency wait (no engine payload)
+WAIT_KINDS = frozenset({"recv", "collective"})
+
+#: machines a trace may target (the paper's two systems)
+TRACE_MACHINES = ("chameleon", "voltrino")
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise TraceFormatError(message)
+
+
+def _finite(value: float, what: str, minimum: float = 0.0) -> float:
+    value = float(value)
+    _require(math.isfinite(value), f"{what} must be finite, got {value!r}")
+    _require(value >= minimum, f"{what} must be >= {minimum}, got {value!r}")
+    return value
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One operation of one rank.
+
+    Attributes
+    ----------
+    id:
+        Globally unique positive integer; ascending id is both the
+        canonical serialization order and, within a rank, program order.
+    kind:
+        One of :data:`RECORD_KINDS`.  ``recv`` and ``collective`` replay
+        as pure dependency waits; the others carry an engine payload.
+    rank:
+        Owning rank (index into the meta's placement).
+    deps:
+        Cross-rank happens-before edges: positive entries name earlier
+        record ids (``dep < id``, so the graph is acyclic by
+        construction); ``-(r + 1)`` means "rank ``r`` has started".
+    work:
+        Segment work (seconds at full speed), or the sleep duration.
+    cpu / cache / cache_intensity / mpki_base / mpki_extra /
+    miss_cpi_penalty / mem_bw / mem_bw_extra / ips:
+        The :class:`~repro.sim.process.Segment` demand vector; ``cache``
+        is the footprint as a sorted ``(level, bytes)`` tuple.
+    flows:
+        ``(dst, rate)`` network demands.  ``dst`` is either a literal
+        node name (recorded traces) or ``"r<k>"``, a rank reference the
+        replay engine resolves through the placement (generated traces).
+    io:
+        ``(fs, write_bw, read_bw, meta_ops)`` filesystem demand, or None.
+    counters:
+        Body-side ``(key, delta)`` counter writes applied (via
+        ``add_counter``) when this record becomes the rank's current
+        record, before its dependencies are awaited.  Deltas — not
+        absolutes — because the engine's rate models accrue into the
+        same counters between records; replaying the exact recorded
+        deltas at the same points reproduces the native run's
+        interleaved floating-point sum bit-for-bit on both backends.
+    mem:
+        Absolute resident-set bytes to hold from this record on, or None
+        for "unchanged" (the replay adjusts the node's memory ledger;
+        nothing else accrues into the ledger, so absolute is exact).
+    label:
+        Free-form tag, forwarded to the replayed segment for tracing.
+    """
+
+    id: int
+    kind: str
+    rank: int
+    deps: tuple[int, ...] = ()
+    work: float = 0.0
+    cpu: float = 1.0
+    cache: tuple[tuple[str, float], ...] = ()
+    cache_intensity: float = 0.0
+    mpki_base: float = 0.0
+    mpki_extra: float = 0.0
+    miss_cpi_penalty: float = 0.0
+    mem_bw: float = 0.0
+    mem_bw_extra: float = 0.0
+    ips: float = 0.0
+    flows: tuple[tuple[str, float], ...] = ()
+    io: tuple[str, float, float, float] | None = None
+    counters: tuple[tuple[str, float], ...] = ()
+    mem: float | None = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        # Canonicalize numeric types at construction: recorders hand in
+        # whatever the workload carried (ints for byte counts, numpy
+        # scalars from rate math), but the serialization must not depend
+        # on that — ``2097152`` and ``2097152.0`` are equal in Python yet
+        # different JSON bytes, which would break the sha256 round trip.
+        object.__setattr__(self, "id", int(self.id))
+        object.__setattr__(self, "rank", int(self.rank))
+        object.__setattr__(self, "deps", tuple(sorted(int(d) for d in self.deps)))
+        object.__setattr__(
+            self,
+            "cache",
+            tuple(sorted((str(level), float(size)) for level, size in self.cache)),
+        )
+        object.__setattr__(
+            self, "flows", tuple((str(dst), float(rate)) for dst, rate in self.flows)
+        )
+        object.__setattr__(
+            self,
+            "counters",
+            tuple(sorted((str(k), float(v)) for k, v in self.counters)),
+        )
+        for name in (
+            "work",
+            "cpu",
+            "cache_intensity",
+            "mpki_base",
+            "mpki_extra",
+            "miss_cpi_penalty",
+            "mem_bw",
+            "mem_bw_extra",
+            "ips",
+        ):
+            object.__setattr__(self, name, float(getattr(self, name)))
+        if self.io is not None:
+            fs, write_bw, read_bw, meta_ops = self.io
+            object.__setattr__(
+                self,
+                "io",
+                (str(fs), float(write_bw), float(read_bw), float(meta_ops)),
+            )
+        if self.mem is not None:
+            object.__setattr__(self, "mem", float(self.mem))
+
+    def validate(self, ranks: int) -> None:
+        """Field-level validation (the trace validates the edges)."""
+        _require(self.id > 0, f"record id must be positive, got {self.id}")
+        _require(
+            self.kind in RECORD_KINDS,
+            f"record {self.id}: unknown kind {self.kind!r}",
+        )
+        _require(
+            0 <= self.rank < ranks,
+            f"record {self.id}: rank {self.rank} out of range [0, {ranks})",
+        )
+        for dep in self.deps:
+            if dep < 0:
+                _require(
+                    -dep - 1 < ranks,
+                    f"record {self.id}: start-dep {dep} names no rank",
+                )
+            else:
+                _require(
+                    0 < dep < self.id,
+                    f"record {self.id}: dep {dep} must name an earlier record",
+                )
+        _finite(self.work, f"record {self.id}: work")
+        _require(
+            0.0 <= float(self.cpu) <= 1.0,
+            f"record {self.id}: cpu must be in [0, 1], got {self.cpu!r}",
+        )
+        for name in (
+            "cache_intensity",
+            "mpki_base",
+            "mpki_extra",
+            "miss_cpi_penalty",
+            "mem_bw",
+            "mem_bw_extra",
+            "ips",
+        ):
+            _finite(getattr(self, name), f"record {self.id}: {name}")
+        for level, size in self.cache:
+            _require(
+                level in CACHE_LEVELS,
+                f"record {self.id}: unknown cache level {level!r}",
+            )
+            _finite(size, f"record {self.id}: cache[{level}]")
+        for dst, rate in self.flows:
+            _require(
+                bool(dst),
+                f"record {self.id}: flow destination must be non-empty",
+            )
+            _finite(rate, f"record {self.id}: flow rate to {dst!r}")
+        if self.io is not None:
+            fs, write_bw, read_bw, meta_ops = self.io
+            _require(bool(fs), f"record {self.id}: io filesystem must be named")
+            _finite(write_bw, f"record {self.id}: io write_bw")
+            _finite(read_bw, f"record {self.id}: io read_bw")
+            _finite(meta_ops, f"record {self.id}: io meta_ops")
+        for key, value in self.counters:
+            _require(bool(key), f"record {self.id}: counter key must be non-empty")
+            _finite(value, f"record {self.id}: counter {key!r}", minimum=-math.inf)
+        if self.mem is not None:
+            _finite(self.mem, f"record {self.id}: mem")
+
+    def to_json(self) -> dict[str, object]:
+        """Stable dict form (tuples become lists; None io/mem omitted)."""
+        data: dict[str, object] = {
+            "id": self.id,
+            "kind": self.kind,
+            "rank": self.rank,
+            "deps": list(self.deps),
+            "work": self.work,
+            "cpu": self.cpu,
+            "cache": [[level, size] for level, size in self.cache],
+            "cache_intensity": self.cache_intensity,
+            "mpki_base": self.mpki_base,
+            "mpki_extra": self.mpki_extra,
+            "miss_cpi_penalty": self.miss_cpi_penalty,
+            "mem_bw": self.mem_bw,
+            "mem_bw_extra": self.mem_bw_extra,
+            "ips": self.ips,
+            "flows": [[dst, rate] for dst, rate in self.flows],
+            "io": None if self.io is None else list(self.io),
+            "counters": [[key, value] for key, value in self.counters],
+            "mem": self.mem,
+            "label": self.label,
+        }
+        return data
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, object]) -> "TraceRecord":
+        try:
+            io_raw = data.get("io")
+            io = None
+            if io_raw is not None:
+                fs, write_bw, read_bw, meta_ops = io_raw  # type: ignore[misc]
+                io = (str(fs), float(write_bw), float(read_bw), float(meta_ops))
+            return cls(
+                id=int(data["id"]),  # type: ignore[arg-type]
+                kind=str(data["kind"]),
+                rank=int(data["rank"]),  # type: ignore[arg-type]
+                deps=tuple(int(d) for d in data.get("deps", ())),  # type: ignore[union-attr]
+                work=float(data.get("work", 0.0)),  # type: ignore[arg-type]
+                cpu=float(data.get("cpu", 1.0)),  # type: ignore[arg-type]
+                cache=tuple(
+                    (str(level), float(size))
+                    for level, size in data.get("cache", ())  # type: ignore[union-attr]
+                ),
+                cache_intensity=float(data.get("cache_intensity", 0.0)),  # type: ignore[arg-type]
+                mpki_base=float(data.get("mpki_base", 0.0)),  # type: ignore[arg-type]
+                mpki_extra=float(data.get("mpki_extra", 0.0)),  # type: ignore[arg-type]
+                miss_cpi_penalty=float(data.get("miss_cpi_penalty", 0.0)),  # type: ignore[arg-type]
+                mem_bw=float(data.get("mem_bw", 0.0)),  # type: ignore[arg-type]
+                mem_bw_extra=float(data.get("mem_bw_extra", 0.0)),  # type: ignore[arg-type]
+                ips=float(data.get("ips", 0.0)),  # type: ignore[arg-type]
+                flows=tuple(
+                    (str(dst), float(rate))
+                    for dst, rate in data.get("flows", ())  # type: ignore[union-attr]
+                ),
+                io=io,
+                counters=tuple(
+                    (str(key), float(value))
+                    for key, value in data.get("counters", ())  # type: ignore[union-attr]
+                ),
+                mem=None if data.get("mem") is None else float(data["mem"]),  # type: ignore[arg-type]
+                label=str(data.get("label", "")),
+            )
+        except (KeyError, TypeError, ValueError) as err:
+            raise TraceFormatError(f"malformed trace record: {err}") from err
+
+
+@dataclass(frozen=True)
+class TraceMeta:
+    """Trace header: everything replay needs to rebuild the stage.
+
+    ``tickers`` lists the recurring engine timers that were active in the
+    recorded run as ``(interval, start, end)`` triples (``end`` None for
+    unbounded).  Timers never mutate simulation state, but their firing
+    times are floating-point accrual boundaries; replay re-installs
+    no-op timers on the same schedule so counter integration sums in the
+    exact same order.  ``ran_until`` is the simulated instant the
+    recording was finalized at (0 for generated traces, which replay to
+    completion instead).
+    """
+
+    name: str
+    machine: str
+    nodes: int
+    ranks: int
+    placement: tuple[tuple[str, int], ...]
+    rank_names: tuple[str, ...]
+    starts: tuple[float, ...]
+    filesystems: tuple[str, ...] = ()
+    tickers: tuple[tuple[float, float, float | None], ...] = ()
+    ran_until: float = 0.0
+    seed: int | None = None
+    origin: str = "generated"
+    version: int = TRACE_VERSION
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "placement", tuple((str(n), int(c)) for n, c in self.placement)
+        )
+        object.__setattr__(self, "rank_names", tuple(self.rank_names))
+        object.__setattr__(self, "starts", tuple(float(s) for s in self.starts))
+        object.__setattr__(self, "filesystems", tuple(sorted(self.filesystems)))
+        object.__setattr__(
+            self,
+            "tickers",
+            tuple(
+                (float(i), float(s), None if e is None else float(e))
+                for i, s, e in self.tickers
+            ),
+        )
+
+    def validate(self) -> None:
+        _require(self.version == TRACE_VERSION, f"unsupported trace version {self.version}")
+        _require(bool(self.name), "trace name must be non-empty")
+        _require(
+            self.machine in TRACE_MACHINES,
+            f"unknown machine {self.machine!r} (known: {', '.join(TRACE_MACHINES)})",
+        )
+        _require(self.nodes >= 1, "trace needs at least one node")
+        _require(self.ranks >= 1, "trace needs at least one rank")
+        for label, seq in (
+            ("placement", self.placement),
+            ("rank_names", self.rank_names),
+            ("starts", self.starts),
+        ):
+            _require(
+                len(seq) == self.ranks,
+                f"meta {label} has {len(seq)} entries for {self.ranks} ranks",
+            )
+        for node, core in self.placement:
+            _require(bool(node), "placement node names must be non-empty")
+            _require(core >= 0, f"placement core {core} must be >= 0")
+        for start in self.starts:
+            _finite(start, "rank start time")
+        for interval, start, end in self.tickers:
+            _require(interval > 0, f"ticker interval must be > 0, got {interval!r}")
+            _finite(start, "ticker start")
+            if end is not None:
+                _finite(end, "ticker end")
+        _finite(self.ran_until, "ran_until")
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "version": self.version,
+            "name": self.name,
+            "machine": self.machine,
+            "nodes": self.nodes,
+            "ranks": self.ranks,
+            "placement": [[node, core] for node, core in self.placement],
+            "rank_names": list(self.rank_names),
+            "starts": list(self.starts),
+            "filesystems": list(self.filesystems),
+            "tickers": [[i, s, e] for i, s, e in self.tickers],
+            "ran_until": self.ran_until,
+            "seed": self.seed,
+            "origin": self.origin,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, object]) -> "TraceMeta":
+        try:
+            return cls(
+                name=str(data["name"]),
+                machine=str(data["machine"]),
+                nodes=int(data["nodes"]),  # type: ignore[arg-type]
+                ranks=int(data["ranks"]),  # type: ignore[arg-type]
+                placement=tuple(
+                    (str(node), int(core)) for node, core in data["placement"]  # type: ignore[union-attr]
+                ),
+                rank_names=tuple(str(n) for n in data["rank_names"]),  # type: ignore[union-attr]
+                starts=tuple(float(s) for s in data["starts"]),  # type: ignore[union-attr]
+                filesystems=tuple(str(f) for f in data.get("filesystems", ())),  # type: ignore[union-attr]
+                tickers=tuple(
+                    (float(i), float(s), None if e is None else float(e))
+                    for i, s, e in data.get("tickers", ())  # type: ignore[union-attr]
+                ),
+                ran_until=float(data.get("ran_until", 0.0)),  # type: ignore[arg-type]
+                seed=None if data.get("seed") is None else int(data["seed"]),  # type: ignore[arg-type]
+                origin=str(data.get("origin", "generated")),
+                version=int(data.get("version", TRACE_VERSION)),  # type: ignore[arg-type]
+            )
+        except (KeyError, TypeError, ValueError) as err:
+            raise TraceFormatError(f"malformed trace meta: {err}") from err
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A complete trace: header plus records in canonical (id) order.
+
+    Construction normalizes: records are sorted by id regardless of the
+    order they were emitted in, so two generators producing the same
+    record *set* serialize byte-identically.
+    """
+
+    meta: TraceMeta
+    records: tuple[TraceRecord, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "records", tuple(sorted(self.records, key=lambda r: r.id))
+        )
+
+    def validate(self) -> "Trace":
+        """Full validation: meta, every record, and the dependency graph.
+
+        Returns self so call sites can chain ``load(...).validate()``.
+        """
+        self.meta.validate()
+        seen: set[int] = set()
+        for record in self.records:
+            _require(
+                record.id not in seen, f"duplicate record id {record.id}"
+            )
+            seen.add(record.id)
+            record.validate(self.meta.ranks)
+            for dep in record.deps:
+                if dep > 0:
+                    _require(
+                        dep in seen,
+                        f"record {record.id}: dep {dep} names no record",
+                    )
+        return self
+
+    @property
+    def sha256(self) -> str:
+        """Fingerprint over the canonical meta + record lines."""
+        digest = hashlib.sha256()
+        for line in self._body_lines():
+            digest.update(line.encode("utf-8"))
+            digest.update(b"\n")
+        return digest.hexdigest()
+
+    def per_rank(self) -> list[list[TraceRecord]]:
+        """Records grouped by rank, in program (ascending-id) order."""
+        out: list[list[TraceRecord]] = [[] for _ in range(self.meta.ranks)]
+        for record in self.records:
+            out[record.rank].append(record)
+        return out
+
+    def _body_lines(self) -> Iterable[str]:
+        yield _canonical({"meta": self.meta.to_json()})
+        for record in self.records:
+            yield _canonical({"record": record.to_json()})
+
+
+def _canonical(payload: Mapping[str, object]) -> str:
+    try:
+        return json.dumps(
+            payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+    except ValueError as err:
+        raise TraceFormatError(f"non-finite value in trace: {err}") from err
+
+
+def dumps(trace: Trace) -> str:
+    """Canonical JSONL text: meta line, record lines, sha256 trailer."""
+    lines = list(trace._body_lines())
+    trailer = _canonical({"records": len(trace.records), "sha256": trace.sha256})
+    return "\n".join([*lines, trailer]) + "\n"
+
+
+def loads(text: str) -> Trace:
+    """Parse canonical JSONL; torn or tampered input is a typed error."""
+    lines = [line for line in text.split("\n") if line.strip()]
+    _require(len(lines) >= 2, "trace must have a meta line and a trailer")
+    parsed: list[Mapping[str, object]] = []
+    for index, line in enumerate(lines):
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as err:
+            raise TraceFormatError(
+                f"trace line {index + 1} is not valid JSON (torn file?): {err}"
+            ) from err
+        if not isinstance(obj, dict):
+            raise TraceFormatError(f"trace line {index + 1} is not an object")
+        parsed.append(obj)
+    trailer = parsed[-1]
+    _require(
+        "records" in trailer and "sha256" in trailer,
+        "trace trailer missing (torn tail?)",
+    )
+    _require("meta" in parsed[0], "first trace line must be the meta header")
+    meta = TraceMeta.from_json(parsed[0]["meta"])  # type: ignore[arg-type]
+    records = []
+    for index, obj in enumerate(parsed[1:-1]):
+        _require(
+            "record" in obj, f"trace line {index + 2} is not a record"
+        )
+        records.append(TraceRecord.from_json(obj["record"]))  # type: ignore[arg-type]
+    trace = Trace(meta=meta, records=tuple(records))
+    _require(
+        int(trailer["records"]) == len(records),  # type: ignore[arg-type]
+        f"trailer promises {trailer['records']} records, found {len(records)} "
+        "(torn tail?)",
+    )
+    _require(
+        str(trailer["sha256"]) == trace.sha256,
+        "trace sha256 mismatch: file was modified or torn",
+    )
+    return trace
+
+
+def dump_trace(trace: Trace, path: str | Path) -> Path:
+    """Write the canonical JSONL to ``path`` (atomic rename)."""
+    from repro._atomic import atomic_write_text
+
+    path = Path(path)
+    atomic_write_text(path, dumps(trace))
+    return path
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Read and parse a canonical JSONL trace file."""
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as err:
+        raise TraceFormatError(f"cannot read trace {path}: {err}") from err
+    return loads(text)
+
+
+def with_records(trace: Trace, records: Iterable[TraceRecord]) -> Trace:
+    """A copy of ``trace`` with its record set replaced (test surgery)."""
+    return replace(trace, records=tuple(records))

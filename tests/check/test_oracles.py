@@ -37,6 +37,7 @@ class TestCleanTree:
             "registry_cli",
             "result_cache",
             "stream_export",
+            "trace_replay",
         ]
         for result in results:
             assert result.ok, f"{result.name}: {result.detail}"

@@ -64,7 +64,7 @@ class TestScenarios:
             run_scenario("mixed", horizon=0.0)
 
     def test_scenario_registry_names(self):
-        assert set(SCENARIOS) == {"mixed", "loadbalance", "faults"}
+        assert set(SCENARIOS) == {"mixed", "loadbalance", "faults", "replay_ai"}
 
     def test_faults_covers_fault_and_recovery_spans(self):
         run = run_scenario("faults", seed=0, horizon=3600.0)

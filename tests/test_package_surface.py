@@ -56,6 +56,7 @@ def test_public_subpackages_importable():
     import repro.scheduling
     import repro.service
     import repro.storage
+    import repro.traces
     import repro.varbench  # noqa: F401
 
 
@@ -68,6 +69,37 @@ def test_api_and_service_declare_their_surface():
         for name in package.__all__:
             assert not name.startswith("_")
             assert hasattr(package, name)
+
+
+def test_traces_declare_their_surface():
+    import repro.traces
+
+    assert repro.traces.__all__ == sorted(repro.traces.__all__)
+    for name in repro.traces.__all__:
+        assert not name.startswith("_")
+        assert hasattr(repro.traces, name)
+
+
+def test_trace_schema_surface_is_pinned():
+    # The canonical format is a compatibility contract: kinds, machines
+    # and the version only change together with a corpus re-pin and a
+    # docs/TRACES.md update.
+    from repro.traces import RECORD_KINDS, TRACE_MACHINES, TRACE_VERSION
+
+    assert TRACE_VERSION == 1
+    assert RECORD_KINDS == ("collective", "compute", "io", "recv", "send", "sleep")
+    assert TRACE_MACHINES == ("chameleon", "voltrino")
+
+
+def test_trace_generator_names_are_pinned():
+    from repro.traces import TRACE_GENERATORS
+
+    assert sorted(TRACE_GENERATORS) == [
+        "ai_training",
+        "checkpoint_burst",
+        "metadata_storm",
+        "parameter_server",
+    ]
 
 
 def test_anomaly_names_match_paper_table1():

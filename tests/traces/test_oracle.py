@@ -1,0 +1,112 @@
+"""Planted-bug tests: the replay oracle must catch broken traces.
+
+Each test takes a clean recording (replay fingerprint == native
+fingerprint, proven in test_recorder), plants one bug of the kind the
+``trace_replay`` oracle exists to catch, and asserts the fingerprint
+comparison flags it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.apps import AppJob, get_app
+from repro.cluster import Cluster
+from repro.traces import TraceRecorder, dump_trace, replay_fingerprint
+from repro.traces.schema import Trace, with_records
+
+
+@pytest.fixture(scope="module")
+def recording():
+    cluster = Cluster.voltrino(num_nodes=2)
+    recorder = TraceRecorder(cluster)
+    app = get_app("miniMD").scaled(iterations=3)
+    AppJob(app, cluster, nodes=[0, 1], ranks_per_node=2, seed=11).run()
+    recorded = recorder.finalize()
+    assert recorded.clean, recorded.taints
+    assert replay_fingerprint(recorded.trace) == recorded.fingerprint
+    return recorded
+
+
+def test_dropped_dependency_edge_diverges(recording):
+    trace = recording.trace
+    # Drop every cross-rank edge from the last dependent record: that
+    # rank stops waiting for its peers, finishes early, and the replay
+    # fingerprint must move away from the native one.
+    victim = max((r for r in trace.records if r.deps), key=lambda r: r.id)
+    buggy = with_records(
+        trace,
+        [
+            dataclasses.replace(r, deps=()) if r.id == victim.id else r
+            for r in trace.records
+        ],
+    ).validate()
+    assert replay_fingerprint(buggy) != recording.fingerprint
+
+
+def test_reordered_same_timestamp_records_diverge(recording):
+    trace = recording.trace
+    # A barrier wait and the segment right after it execute at the same
+    # simulated instant in program order.  Swapping their ids replays
+    # them in the wrong order — compute before the barrier instead of
+    # after — which shifts every later arrival time.
+    swapped = None
+    per_rank = trace.per_rank()
+    for records in per_rank:
+        for earlier, later in zip(records, records[1:]):
+            if earlier.kind == "collective" and later.kind == "compute":
+                swapped = (earlier.id, later.id)
+                break
+        if swapped:
+            break
+    assert swapped is not None, "recording has no barrier-then-compute pair"
+    a, b = swapped
+
+    def renumber(record):
+        if record.id == a:
+            return dataclasses.replace(record, id=b)
+        if record.id == b:
+            return dataclasses.replace(record, id=a)
+        return record
+
+    buggy = with_records(trace, [renumber(r) for r in trace.records]).validate()
+    assert replay_fingerprint(buggy) != recording.fingerprint
+
+
+def test_perturbed_work_diverges(recording):
+    trace = recording.trace
+    victim = max(
+        (r for r in trace.records if r.kind == "compute"), key=lambda r: r.work
+    )
+    buggy = with_records(
+        trace,
+        [
+            dataclasses.replace(r, work=r.work * 1.01) if r.id == victim.id else r
+            for r in trace.records
+        ],
+    ).validate()
+    assert replay_fingerprint(buggy) != recording.fingerprint
+
+
+def test_trace_corpus_harness_flags_tampered_trace(tmp_path, recording):
+    from repro.check.harness import replay_trace_corpus
+
+    dump_trace(recording.trace, tmp_path / "good.jsonl")
+    text = (tmp_path / "good.jsonl").read_text()
+    (tmp_path / "bad.jsonl").write_text(text[:-40])
+    verdicts = {v.name: v for v in replay_trace_corpus(tmp_path)}
+    assert verdicts["trace corpus good"].ok
+    assert not verdicts["trace corpus bad"].ok
+    assert "torn" in verdicts["trace corpus bad"].detail or "sha256" in verdicts[
+        "trace corpus bad"
+    ].detail
+
+
+def test_empty_trace_corpus_is_typed_error(tmp_path):
+    from repro.check.harness import replay_trace_corpus
+    from repro.errors import CheckError
+
+    with pytest.raises(CheckError, match="no .jsonl traces"):
+        replay_trace_corpus(tmp_path)
